@@ -1,0 +1,71 @@
+"""Ablation (§6.2 analysis): shared-memory bank addressing modes.
+
+Isolates the FT mechanism: the same double-staging kernel executed under
+the OpenCL framework (32-bit mode) vs under CUDA (64-bit mode), plus a
+float control where the modes must not differ.
+"""
+
+from conftest import regen
+
+from repro.clike import parse
+from repro.clike import types as T
+from repro.device import Device, GTX_TITAN, LocalArg, launch_kernel, load_module
+
+
+def _run(elem: str, framework: str):
+    dev = Device(GTX_TITAN)
+    if framework == "opencl":
+        src = f"""
+        __kernel void stage(__global {elem}* g, __local {elem}* t) {{
+          int lid = get_local_id(0);
+          t[lid] = g[get_global_id(0)];
+          barrier(CLK_LOCAL_MEM_FENCE);
+          g[get_global_id(0)] = t[lid] * ({elem})2;
+        }}"""
+        mod = load_module(dev, parse(src, "opencl"), "opencl")
+        k = mod.get_kernel("stage")
+        esz = 8 if elem == "double" else 4
+        p = dev.alloc_global(esz * 128)
+        return launch_kernel(dev, k, [4], [32],
+                             [p.retype(T.scalar(elem)), LocalArg(32 * esz)],
+                             framework="opencl")
+    src = f"""
+    __global__ void stage({elem}* g) {{
+      extern __shared__ {elem} t[];
+      int lid = threadIdx.x;
+      t[lid] = g[blockIdx.x * blockDim.x + lid];
+      __syncthreads();
+      g[blockIdx.x * blockDim.x + lid] = t[lid] * ({elem})2;
+    }}"""
+    mod = load_module(dev, parse(src, "cuda"), "cuda")
+    k = mod.get_kernel("stage")
+    esz = 8 if elem == "double" else 4
+    p = dev.alloc_global(esz * 128)
+    return launch_kernel(dev, k, [4], [32], [p.retype(T.scalar(elem))],
+                         dynamic_shared=32 * esz, framework="cuda")
+
+
+def bench_bank_mode_ablation(benchmark):
+    def sweep():
+        out = {}
+        for elem in ("float", "double"):
+            out[elem] = {fw: _run(elem, fw) for fw in ("opencl", "cuda")}
+        return out
+
+    results = regen(benchmark, sweep)
+    print()
+    print(f"{'element':<8}{'mode':>10}{'local transactions':>22}")
+    for elem, runs in results.items():
+        for fw, res in runs.items():
+            bits = GTX_TITAN.bank_mode(fw)
+            print(f"{elem:<8}{f'{bits}-bit':>10}"
+                  f"{res.counters.local_transactions:>22}")
+
+    # doubles: exactly 2x the transactions in 32-bit mode (paper §6.2)
+    d = results["double"]
+    assert d["opencl"].counters.local_transactions == \
+        2 * d["cuda"].counters.local_transactions
+    # floats: the modes agree
+    f = results["float"]
+    assert f["opencl"].counters.local_transactions == \
+        f["cuda"].counters.local_transactions

@@ -1,0 +1,52 @@
+"""Ablation (§6.3 claim): "the overhead of wrapper functions is negligible".
+
+Measures the same vectorAdd workload natively and through each wrapper
+library, and separately isolates the per-call API overhead ratio — plus the
+one counter-example the paper highlights (deviceQuery).
+"""
+
+from conftest import regen
+
+from repro.apps.base import get_app
+from repro.harness import (run_cuda_app, run_cuda_translated, run_opencl_app,
+                           run_opencl_translated)
+
+
+def bench_wrapper_overhead(benchmark):
+    def sweep():
+        va_ocl = get_app("toolkit", "oclVectorAdd")
+        va_cuda = get_app("toolkit", "vectorAdd")
+        dq = get_app("toolkit", "deviceQuery")
+        return {
+            "ocl_native": run_opencl_app(va_ocl.name, va_ocl.opencl_host,
+                                         va_ocl.opencl_kernels),
+            "ocl_on_cuda": run_opencl_translated(
+                va_ocl.name, va_ocl.opencl_host, va_ocl.opencl_kernels),
+            "cuda_native": run_cuda_app(va_cuda.name, va_cuda.cuda_source),
+            "cuda_on_ocl": run_cuda_translated(va_cuda.name,
+                                               va_cuda.cuda_source),
+            "dq_native": run_cuda_app(dq.name, dq.cuda_source),
+            "dq_on_ocl": run_cuda_translated(dq.name, dq.cuda_source),
+        }
+
+    r = regen(benchmark, sweep)
+    print()
+    print(f"{'configuration':<26}{'sim time (us)':>16}{'api calls':>12}")
+    for k, v in r.items():
+        print(f"{k:<26}{v.sim_time * 1e6:>16.2f}{v.api_calls:>12}")
+
+    # compute-carrying workloads: wrappers cost a few percent at most
+    ocl_ratio = r["ocl_on_cuda"].sim_time / r["ocl_native"].sim_time
+    cuda_ratio = r["cuda_on_ocl"].sim_time / r["cuda_native"].sim_time
+    print(f"vectorAdd wrapper overhead: OpenCL->CUDA {ocl_ratio:.3f}x, "
+          f"CUDA->OpenCL {cuda_ratio:.3f}x")
+    assert 0.9 < ocl_ratio < 1.15
+    assert 0.9 < cuda_ratio < 1.15
+
+    # ...except API-bound programs: wrapped property queries fan out into
+    # many clGetDeviceInfo calls (§6.3)
+    dq_ratio = r["dq_on_ocl"].sim_time / r["dq_native"].sim_time
+    print(f"deviceQuery wrapper overhead: {dq_ratio:.2f}x "
+          f"({r['dq_native'].api_calls} -> {r['dq_on_ocl'].api_calls} calls)")
+    assert dq_ratio > 2.0
+    assert r["dq_on_ocl"].api_calls > 3 * r["dq_native"].api_calls

@@ -1,0 +1,20 @@
+"""Figure 7(c): OpenCL→CUDA translation, NVIDIA Toolkit OpenCL samples (27).
+
+Paper shape: all 27 translate successfully with ~3% average difference.
+"""
+
+from conftest import regen
+
+from repro.harness.figures import figure7
+from repro.harness.report import render_figure
+
+
+def bench_figure7_toolkit(benchmark):
+    data = regen(benchmark, lambda: figure7("toolkit"))
+    print()
+    print(render_figure(data))
+
+    assert len(data.rows) == 27, "Toolkit 4.2 ships 27 OpenCL samples"
+    assert all(r.ok for r in data.rows), \
+        [(r.app, r.note) for r in data.rows if not r.ok]
+    assert data.average_diff("cuda_translated") < 0.08

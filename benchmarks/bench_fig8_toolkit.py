@@ -1,0 +1,39 @@
+"""Figure 8(b): CUDA→OpenCL translation, Toolkit samples (25 of 81).
+
+Paper shape: ~0.2% average difference, except deviceQuery and
+deviceQueryDrv, whose wrappers turn one cudaGetDeviceProperties /
+cuDeviceGetAttribute into many clGetDeviceInfo calls (§6.3).
+"""
+
+from conftest import regen
+
+from repro.harness.figures import figure8
+from repro.harness.report import render_figure
+
+
+def bench_figure8_toolkit(benchmark):
+    data = regen(benchmark, lambda: figure8("toolkit"))
+    print()
+    print(render_figure(data))
+
+    assert len(data.rows) == 25, "25 of the 81 Toolkit CUDA samples translate"
+    assert all(r.ok for r in data.rows), \
+        [(r.app, r.note) for r in data.rows if not r.ok]
+
+    # deviceQuery-class apps degrade markedly under translation (§6.3)
+    dq = data.row("deviceQuery").normalized()["opencl_translated"]
+    dqd = data.row("deviceQueryDrv").normalized()["opencl_translated"]
+    assert dq > 2.0, f"deviceQuery wrapper storm missing: {dq:.2f}"
+    assert dqd > 1.2, f"deviceQueryDrv wrapper storm missing: {dqd:.2f}"
+
+    # everything else stays within ~10% on average.  (Our simulator makes
+    # the 32-bit-vs-64-bit shared addressing difference visible on a few
+    # extra samples — bitonic networks and texture-heavy kernels — where
+    # the paper's Titan hid it; the *shape* — tight cluster plus the two
+    # deviceQuery outliers — is preserved.)
+    others = [abs(r.normalized()["opencl_translated"] - 1.0)
+              for r in data.rows
+              if r.app not in ("deviceQuery", "deviceQueryDrv")]
+    assert sum(others) / len(others) < 0.10
+    tight = [d for d in others if d < 0.06]
+    assert len(tight) >= len(others) * 0.6, "most samples must stay tight"

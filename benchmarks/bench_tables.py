@@ -1,0 +1,39 @@
+"""Tables 1-3: allocation matrix, system configuration, failure taxonomy.
+
+Table 1 is probed live against both frameworks; Table 3 runs the
+translatability analyzer over all 81 Toolkit CUDA samples.  Both must match
+the paper cell-for-cell / count-for-count.
+"""
+
+from conftest import regen
+
+from repro.harness.report import (render_table1, render_table2,
+                                  render_table3)
+from repro.harness.tables import (PAPER_TABLE3_COUNTS, table1, table2,
+                                  table3)
+
+
+def bench_table1_memory_allocation(benchmark):
+    t = regen(benchmark, table1)
+    print()
+    print(render_table1(t))
+    assert t.matches_paper(), t.cells
+
+
+def bench_table2_system_configuration(benchmark):
+    rows = regen(benchmark, table2)
+    print()
+    print(render_table2(rows))
+    assert "Titan" in rows["GPUs used"]
+    assert "HD7970" in rows["GPUs used"]
+
+
+def bench_table3_failure_taxonomy(benchmark):
+    t = regen(benchmark, table3)
+    print()
+    print(render_table3(t))
+    assert not t.mismatches, t.mismatches
+    assert t.counts == PAPER_TABLE3_COUNTS, t.counts
+    assert len(t.translated) == 25
+    total = sum(t.counts.values()) + len(t.translated)
+    assert total == 81, "Toolkit 4.2 has 81 CUDA samples"

@@ -1,0 +1,34 @@
+"""Translator throughput: wall-clock speed of the source-to-source passes.
+
+Unlike the figure benches (which report *simulated* time), these measure
+the real cost of running the translator itself — the "rapid prototyping
+tool" usability angle of the paper's conclusion.
+"""
+
+from repro.apps.base import apps_in_suite, get_app
+from repro.translate import (analyze_cuda_source, translate_cuda_program,
+                             translate_opencl_program)
+
+
+def bench_translate_opencl_to_cuda(benchmark):
+    app = get_app("rodinia", "cfd")
+    result = benchmark(lambda: translate_opencl_program(app.opencl_kernels))
+    assert "compute_flux" in result.kernels
+
+
+def bench_translate_cuda_to_opencl(benchmark):
+    app = get_app("rodinia", "cfd")
+    result = benchmark(lambda: translate_cuda_program(app.cuda_source))
+    assert result.launches_translated == 2
+
+
+def bench_analyzer_full_toolkit(benchmark):
+    """Analyze all 81 Toolkit CUDA samples (Table 3's inner loop)."""
+    sources = [a.cuda_source for a in apps_in_suite("toolkit") if a.has_cuda]
+    assert len(sources) == 81
+
+    def run():
+        return sum(1 for s in sources if not analyze_cuda_source(s))
+
+    translated = benchmark(run)
+    assert translated == 25

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures:
+the workload generators are the application corpus, the measured quantity
+is *simulated* execution time (the paper's normalized comparisons), and
+pytest-benchmark wall-clock numbers additionally report how fast the
+framework itself (translator + simulator) runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def regen(benchmark, fn):
+    """Run a figure/table regeneration exactly once under the benchmark
+    fixture (the workloads are deterministic; repetition adds nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""CUDA textures → OpenCL images (paper §5): the image-processing showcase.
+
+A CUDA image-blur program samples its input through a 2D texture reference
+with clamped addressing.  The translator turns the file-scope texture into
+an ``image2d_t`` + ``sampler_t`` kernel parameter pair and ``tex2D()`` into
+``read_imagef()``, and the wrapper runtime materializes an OpenCL image
+from the bound CUDA array at launch time — the part the paper claims no
+previous translator handled.
+"""
+
+from repro.harness import run_cuda_app, run_cuda_translated
+from repro.translate import translate_cuda_program
+
+CUDA_BLUR = r"""
+texture<float, 2, cudaReadModeElementType> tex_img;
+
+__global__ void blur3x3(float* out, int w, int h) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x >= w || y >= h) return;
+  float acc = 0.0f;
+  for (int dy = -1; dy <= 1; dy++)
+    for (int dx = -1; dx <= 1; dx++)
+      acc += tex2D(tex_img, (float)(x + dx), (float)(y + dy));
+  out[y * w + x] = acc / 9.0f;
+}
+
+int main(void) {
+  int w = 16; int h = 8; int n = 128;
+  float img[128]; float out[128];
+  srand(7);
+  for (int i = 0; i < n; i++) img[i] = (float)(rand() % 256);
+
+  cudaChannelFormatDesc desc = cudaCreateChannelDesc(32, 0, 0, 0,
+                                                     cudaChannelFormatKindFloat);
+  cudaArray_t arr;
+  cudaMallocArray(&arr, &desc, w, h);
+  cudaMemcpyToArray(arr, 0, 0, img, n * 4, cudaMemcpyHostToDevice);
+  tex_img.filterMode = cudaFilterModePoint;
+  tex_img.addressMode[0] = cudaAddressModeClamp;
+  tex_img.normalized = 0;
+  cudaBindTextureToArray(tex_img, arr);
+
+  float* dout;
+  cudaMalloc((void**)&dout, n * 4);
+  dim3 grid(2, 1);
+  dim3 block(8, 8);
+  blur3x3<<<grid, block>>>(dout, w, h);
+  cudaMemcpy(out, dout, n * 4, cudaMemcpyDeviceToHost);
+
+  /* CPU reference with clamped borders */
+  int ok = 1;
+  for (int y = 0; y < h; y++)
+    for (int x = 0; x < w; x++) {
+      float acc = 0.0f;
+      for (int dy = -1; dy <= 1; dy++)
+        for (int dx = -1; dx <= 1; dx++) {
+          int sx = x + dx; int sy = y + dy;
+          if (sx < 0) sx = 0;
+          if (sx >= w) sx = w - 1;
+          if (sy < 0) sy = 0;
+          if (sy >= h) sy = h - 1;
+          acc += img[sy * w + sx];
+        }
+      if (fabs(out[y * w + x] - acc / 9.0f) > 1e-3f) ok = 0;
+    }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return ok ? 0 : 1;
+}
+"""
+
+
+def main() -> None:
+    prog = translate_cuda_program(CUDA_BLUR)
+    print("=" * 70)
+    print("translated OpenCL kernel (texture -> image2d_t + sampler_t):")
+    print("=" * 70)
+    print(prog.device_source)
+
+    native = run_cuda_app("blur3x3", CUDA_BLUR)
+    translated = run_cuda_translated("blur3x3", CUDA_BLUR)
+    print(f"native CUDA (textures):        {native.stdout.strip()}")
+    print(f"translated OpenCL (images):    {translated.stdout.strip()}")
+    assert native.ok and translated.ok
+    print("\nboth versions produce identical blurred output -- the §5 "
+          "texture translation works end to end.")
+
+
+if __name__ == "__main__":
+    main()

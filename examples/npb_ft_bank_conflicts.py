@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The FT story (paper §6.2): why translated CUDA beats original OpenCL.
+
+NPB FT's cffts kernels stage complex *doubles* in local memory.  On the
+Titan, NVIDIA's OpenCL runtime uses the 32-bit shared-memory addressing
+mode — every 8-byte access spans two banks, so a warp streaming
+consecutive doubles is serialized two-fold.  The translated CUDA version
+runs in the 64-bit mode and is conflict-free: the paper measures it at 57%
+of the original's execution time.  This script shows the mechanism at both
+the counter level and the application level.
+"""
+
+from repro.apps.base import get_app
+from repro.device.banks import warp_transactions
+from repro.device.specs import GTX_TITAN
+from repro.harness import run_opencl_app, run_opencl_translated
+
+
+def main() -> None:
+    print("bank model: one warp reading 32 consecutive doubles")
+    accesses = [(i * 8, 8) for i in range(32)]
+    for fw in ("opencl", "cuda"):
+        bits = GTX_TITAN.bank_mode(fw)
+        tx = warp_transactions(accesses, bits)
+        print(f"  {fw:<8} ({bits}-bit addressing): {tx} transaction(s)")
+
+    app = get_app("npb", "FT")
+    native = run_opencl_app(app.name, app.opencl_host, app.opencl_kernels)
+    translated = run_opencl_translated(app.name, app.opencl_host,
+                                       app.opencl_kernels)
+    assert native.ok and translated.ok
+
+    print("\nNPB FT, simulated execution time (build time excluded):")
+    print(f"  original OpenCL (32-bit banks): "
+          f"{native.sim_time * 1e6:8.1f} us"
+          f"   kernel portion {native.breakdown['kernel'] * 1e6:7.1f} us")
+    print(f"  translated CUDA (64-bit banks): "
+          f"{translated.sim_time * 1e6:8.1f} us"
+          f"   kernel portion {translated.breakdown['kernel'] * 1e6:7.1f} us")
+    ratio = translated.sim_time / native.sim_time
+    kratio = translated.breakdown["kernel"] / native.breakdown["kernel"]
+    print(f"  translated / original = {ratio:.3f} "
+          f"(paper: 0.57); kernel-only ratio = {kratio:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Quickstart: translate a small program in both directions and run it.
+
+The framework's whole pipeline in one file:
+
+1. an OpenCL kernel is translated to CUDA C source and the *unchanged*
+   OpenCL host program runs over the OpenCL→CUDA wrapper library;
+2. a CUDA ``.cu`` program is translated to OpenCL (device code rewritten,
+   the ``<<<...>>>`` launch statically converted to ``clSetKernelArg`` +
+   ``clEnqueueNDRangeKernel``) and runs over the CUDA→OpenCL wrappers.
+"""
+
+from repro.harness import (run_cuda_app, run_cuda_translated, run_opencl_app,
+                           run_opencl_translated)
+from repro.translate import translate_cuda_program, translate_opencl_program
+
+OPENCL_KERNEL = r"""
+__kernel void saxpy(__global float* y, __global const float* x,
+                    float a, int n) {
+  int i = get_global_id(0);
+  if (i < n) y[i] = a * x[i] + y[i];
+}
+"""
+
+OPENCL_HOST = r"""
+int main(void) {
+  cl_platform_id plat; cl_device_id dev; cl_int err;
+  clGetPlatformIDs(1, &plat, NULL);
+  clGetDeviceIDs(plat, CL_DEVICE_TYPE_GPU, 1, &dev, NULL);
+  cl_context ctx = clCreateContext(NULL, 1, &dev, NULL, NULL, &err);
+  cl_command_queue q = clCreateCommandQueue(ctx, dev, 0, &err);
+  const char* src = KERNEL_SOURCE;
+  cl_program prog = clCreateProgramWithSource(ctx, 1, &src, NULL, &err);
+  clBuildProgram(prog, 1, &dev, NULL, NULL, NULL);
+  cl_kernel k = clCreateKernel(prog, "saxpy", &err);
+
+  int n = 256;
+  float x[256]; float y[256];
+  for (int i = 0; i < n; i++) { x[i] = (float)i; y[i] = 1.0f; }
+  cl_mem dx = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &err);
+  cl_mem dy = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &err);
+  clEnqueueWriteBuffer(q, dx, CL_TRUE, 0, n * 4, x, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dy, CL_TRUE, 0, n * 4, y, 0, NULL, NULL);
+  float a = 2.0f;
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dy);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dx);
+  clSetKernelArg(k, 2, sizeof(float), &a);
+  clSetKernelArg(k, 3, sizeof(int), &n);
+  size_t gws[1] = {256}; size_t lws[1] = {64};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dy, CL_TRUE, 0, n * 4, y, 0, NULL, NULL);
+
+  int ok = 1;
+  for (int i = 0; i < n; i++)
+    if (y[i] != 2.0f * (float)i + 1.0f) ok = 0;
+  printf(ok ? "PASSED (sum check y[10]=%f)\n" : "FAILED\n", y[10]);
+  return ok ? 0 : 1;
+}
+"""
+
+CUDA_PROGRAM = r"""
+__global__ void saxpy(float* y, const float* x, float a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) y[i] = a * x[i] + y[i];
+}
+
+int main(void) {
+  int n = 256;
+  float x[256]; float y[256];
+  for (int i = 0; i < n; i++) { x[i] = (float)i; y[i] = 1.0f; }
+  float *dx, *dy;
+  cudaMalloc((void**)&dx, n * 4);
+  cudaMalloc((void**)&dy, n * 4);
+  cudaMemcpy(dx, x, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dy, y, n * 4, cudaMemcpyHostToDevice);
+  saxpy<<<4, 64>>>(dy, dx, 2.0f, n);
+  cudaMemcpy(y, dy, n * 4, cudaMemcpyDeviceToHost);
+  int ok = 1;
+  for (int i = 0; i < n; i++)
+    if (y[i] != 2.0f * (float)i + 1.0f) ok = 0;
+  printf(ok ? "PASSED (y[10]=%f)\n" : "FAILED\n", y[10]);
+  return ok ? 0 : 1;
+}
+"""
+
+
+def main() -> None:
+    print("=" * 70)
+    print("OpenCL -> CUDA: translated kernel source (Fig. 2 pipeline)")
+    print("=" * 70)
+    result = translate_opencl_program(OPENCL_KERNEL)
+    print(result.cuda_source)
+
+    native = run_opencl_app("saxpy", OPENCL_HOST, OPENCL_KERNEL)
+    translated = run_opencl_translated("saxpy", OPENCL_HOST, OPENCL_KERNEL)
+    print(f"native OpenCL run:     {native.stdout.strip()}  "
+          f"[{native.sim_time * 1e6:.1f} us simulated]")
+    print(f"translated (on CUDA):  {translated.stdout.strip()}  "
+          f"[{translated.sim_time * 1e6:.1f} us simulated]")
+
+    print()
+    print("=" * 70)
+    print("CUDA -> OpenCL: statically translated host code (Fig. 3 pipeline)")
+    print("=" * 70)
+    prog = translate_cuda_program(CUDA_PROGRAM)
+    print(prog.device_source)
+    print("--- host code (the <<<...>>> launch became clSetKernelArg"
+          " + clEnqueueNDRangeKernel): ---")
+    print(prog.host_source)
+
+    native = run_cuda_app("saxpy", CUDA_PROGRAM)
+    translated = run_cuda_translated("saxpy", CUDA_PROGRAM)
+    print(f"native CUDA run:          {native.stdout.strip()}  "
+          f"[{native.sim_time * 1e6:.1f} us simulated]")
+    print(f"translated (on OpenCL):   {translated.stdout.strip()}  "
+          f"[{translated.sim_time * 1e6:.1f} us simulated]")
+
+
+if __name__ == "__main__":
+    main()

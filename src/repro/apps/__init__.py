@@ -1,0 +1,12 @@
+"""Benchmark application corpus: Rodinia 3.0, SNU NPB, NVIDIA Toolkit 4.2.
+
+Simplified-but-real re-implementations of the paper's evaluation workloads
+in our OpenCL-C and CUDA-C dialects, preserving each application's
+structure and the specific properties the paper's results hinge on (FT's
+shared-memory doubles, hybridSort's transfer asymmetry, cfd's register
+pressure, the exact untranslatable features of Table 3).
+"""
+
+from .base import App, all_apps, apps_in_suite, get_app, register
+
+__all__ = ["App", "register", "get_app", "apps_in_suite", "all_apps"]

@@ -1,0 +1,94 @@
+"""Application corpus infrastructure.
+
+Each benchmark application is an :class:`App`: OpenCL sources (host C +
+kernel file contents), a CUDA ``.cu`` source, or both — mirroring which
+versions the real suites ship (paper §6.1: Rodinia and the NVIDIA Toolkit
+provide both models, SNU NPB is OpenCL-only).  Applications are
+*self-verifying*: they compute a CPU reference and print PASSED/FAILED,
+like the NVIDIA samples.
+
+Untranslatable CUDA applications carry their expected Table-3 failure
+category; the harness checks the analyzer really reports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["App", "register", "get_app", "apps_in_suite", "all_apps"]
+
+
+@dataclass
+class App:
+    """One benchmark application."""
+
+    name: str
+    suite: str                          # 'rodinia' | 'npb' | 'toolkit'
+    description: str = ""
+    opencl_host: Optional[str] = None
+    opencl_kernels: Optional[str] = None
+    cuda_source: Optional[str] = None
+    #: expected Table-3 category when CUDA→OpenCL translation must fail
+    fail_category: Optional[str] = None
+    #: the specific feature that causes the failure (documentation + tests)
+    fail_feature: Optional[str] = None
+    #: False for analyzer-corpus fragments whose CUDA source is not a
+    #: complete runnable program (e.g. dwt2d's class-based device code)
+    cuda_runs_natively: bool = True
+
+    @property
+    def has_opencl(self) -> bool:
+        return self.opencl_host is not None and self.opencl_kernels is not None
+
+    @property
+    def has_cuda(self) -> bool:
+        return self.cuda_source is not None
+
+    @property
+    def cuda_translatable(self) -> bool:
+        return self.has_cuda and self.fail_category is None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        models = "/".join(m for m, ok in (("ocl", self.has_opencl),
+                                          ("cuda", self.has_cuda)) if ok)
+        return f"<App {self.suite}/{self.name} [{models}]>"
+
+
+_REGISTRY: Dict[str, App] = {}
+
+
+def register(app: App) -> App:
+    key = f"{app.suite}/{app.name}"
+    if key in _REGISTRY:
+        raise ValueError(f"duplicate app {key}")
+    _REGISTRY[key] = app
+    return app
+
+
+def get_app(suite: str, name: str) -> App:
+    _ensure_loaded()
+    return _REGISTRY[f"{suite}/{name}"]
+
+
+def apps_in_suite(suite: str) -> List[App]:
+    _ensure_loaded()
+    return sorted((a for a in _REGISTRY.values() if a.suite == suite),
+                  key=lambda a: a.name)
+
+
+def all_apps() -> List[App]:
+    _ensure_loaded()
+    return sorted(_REGISTRY.values(), key=lambda a: (a.suite, a.name))
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import every corpus module exactly once (they self-register)."""
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from . import rodinia, npb, toolkit  # noqa: F401

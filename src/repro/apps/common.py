@@ -1,0 +1,30 @@
+"""Shared source fragments for the application corpus.
+
+``ocl_main`` wraps an application body with the standard OpenCL host setup
+(platform → device → context → queue → program build) that every real
+OpenCL benchmark repeats; the kernel source arrives through the
+``KERNEL_SOURCE`` constant the harness defines (it stands in for reading
+``kernel.cl`` from disk, which is how Rodinia ships its kernels).
+"""
+
+from __future__ import annotations
+
+__all__ = ["OCL_SETUP", "ocl_main"]
+
+OCL_SETUP = r"""
+  cl_platform_id __plat; cl_device_id __dev; cl_int __err;
+  clGetPlatformIDs(1, &__plat, NULL);
+  clGetDeviceIDs(__plat, CL_DEVICE_TYPE_GPU, 1, &__dev, NULL);
+  cl_context ctx = clCreateContext(NULL, 1, &__dev, NULL, NULL, &__err);
+  cl_command_queue q = clCreateCommandQueue(ctx, __dev, 0, &__err);
+  const char* __src = KERNEL_SOURCE;
+  cl_program prog = clCreateProgramWithSource(ctx, 1, &__src, NULL, &__err);
+  __err = clBuildProgram(prog, 1, &__dev, NULL, NULL, NULL);
+  if (__err != CL_SUCCESS) { printf("FAILED: build\n"); return 2; }
+"""
+
+
+def ocl_main(body: str, prelude: str = "") -> str:
+    """A complete OpenCL host program: ``prelude`` at file scope, ``body``
+    inside main() after the standard setup."""
+    return f"{prelude}\nint main(void) {{\n{OCL_SETUP}\n{body}\n}}\n"

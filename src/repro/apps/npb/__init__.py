@@ -1,0 +1,3 @@
+"""SNU NPB 1.0.3 corpus (7 OpenCL applications; no CUDA versions, §6.1)."""
+
+from . import cg, ep, ft, is_, lu, mg, sp

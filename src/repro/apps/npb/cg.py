@@ -1,0 +1,101 @@
+"""SNU NPB CG: sparse matrix-vector product + dot products."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+OCL_KERNELS = r"""
+__kernel void spmv(__global const float* vals, __global const int* cols,
+                   __global const int* rowptr, __global const float* x,
+                   __global float* y, int n) {
+  int row = get_global_id(0);
+  if (row >= n) return;
+  float acc = 0.0f;
+  for (int j = rowptr[row]; j < rowptr[row + 1]; j++)
+    acc += vals[j] * x[cols[j]];
+  y[row] = acc;
+}
+
+__kernel void dotp(__global const float* a, __global const float* b,
+                   __global float* partial, __local float* tmp, int n) {
+  int lid = get_local_id(0);
+  int i = get_global_id(0);
+  tmp[lid] = i < n ? a[i] * b[i] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) partial[get_group_id(0)] = tmp[0];
+}
+"""
+
+OCL_HOST = ocl_main(r"""
+  int n = 128; int nnz_per_row = 4;
+  float vals[512]; int cols[512]; int rowptr[129]; float x[128]; float y[128];
+  srand(83);
+  rowptr[0] = 0;
+  for (int r = 0; r < n; r++) {
+    for (int j = 0; j < nnz_per_row; j++) {
+      int idx = r * nnz_per_row + j;
+      vals[idx] = (float)(rand() % 100) * 0.01f;
+      cols[idx] = (r + j * 31) % n;
+    }
+    rowptr[r + 1] = (r + 1) * nnz_per_row;
+  }
+  for (int i = 0; i < n; i++) x[i] = (float)(rand() % 100) * 0.01f;
+
+  cl_kernel ks = clCreateKernel(prog, "spmv", &__err);
+  cl_kernel kd = clCreateKernel(prog, "dotp", &__err);
+  cl_mem dvals = clCreateBuffer(ctx, CL_MEM_READ_ONLY, 512 * 4, NULL, &__err);
+  cl_mem dcols = clCreateBuffer(ctx, CL_MEM_READ_ONLY, 512 * 4, NULL, &__err);
+  cl_mem drp = clCreateBuffer(ctx, CL_MEM_READ_ONLY, 129 * 4, NULL, &__err);
+  cl_mem dx = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dy = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dpart = clCreateBuffer(ctx, CL_MEM_READ_WRITE, 4 * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dvals, CL_TRUE, 0, 512 * 4, vals, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dcols, CL_TRUE, 0, 512 * 4, cols, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, drp, CL_TRUE, 0, 129 * 4, rowptr, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dx, CL_TRUE, 0, n * 4, x, 0, NULL, NULL);
+
+  size_t gws[1] = {128}; size_t lws[1] = {32};
+  clSetKernelArg(ks, 0, sizeof(cl_mem), &dvals);
+  clSetKernelArg(ks, 1, sizeof(cl_mem), &dcols);
+  clSetKernelArg(ks, 2, sizeof(cl_mem), &drp);
+  clSetKernelArg(ks, 3, sizeof(cl_mem), &dx);
+  clSetKernelArg(ks, 4, sizeof(cl_mem), &dy);
+  clSetKernelArg(ks, 5, sizeof(int), &n);
+  clEnqueueNDRangeKernel(q, ks, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  clSetKernelArg(kd, 0, sizeof(cl_mem), &dy);
+  clSetKernelArg(kd, 1, sizeof(cl_mem), &dx);
+  clSetKernelArg(kd, 2, sizeof(cl_mem), &dpart);
+  clSetKernelArg(kd, 3, 32 * 4, NULL);
+  clSetKernelArg(kd, 4, sizeof(int), &n);
+  clEnqueueNDRangeKernel(q, kd, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  clEnqueueReadBuffer(q, dy, CL_TRUE, 0, n * 4, y, 0, NULL, NULL);
+  float partial[4];
+  clEnqueueReadBuffer(q, dpart, CL_TRUE, 0, 4 * 4, partial, 0, NULL, NULL);
+
+  int ok = 1;
+  float want_dot = 0.0f;
+  for (int r = 0; r < n; r++) {
+    float acc = 0.0f;
+    for (int j = rowptr[r]; j < rowptr[r + 1]; j++)
+      acc += vals[j] * x[cols[j]];
+    if (fabs(y[r] - acc) > 1e-4f) ok = 0;
+    want_dot += acc * x[r];
+  }
+  float got_dot = partial[0] + partial[1] + partial[2] + partial[3];
+  if (fabs(got_dot - want_dot) > 1e-2f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")
+
+register(App(
+    name="CG",
+    suite="npb",
+    description="conjugate-gradient building blocks: SpMV + reduction",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+))

@@ -1,0 +1,87 @@
+"""SNU NPB IS: integer bucket sort via histogram + rank."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+OCL_KERNELS = r"""
+__kernel void histo(__global const int* keys, __global int* counts,
+                    int n, int nbuckets) {
+  int i = get_global_id(0);
+  if (i < n)
+    atomic_add(&counts[keys[i] % nbuckets], 1);
+}
+
+__kernel void rank_keys(__global const int* keys,
+                        __global const int* offsets,
+                        __global int* cursors, __global int* ranked,
+                        int n, int nbuckets) {
+  int i = get_global_id(0);
+  if (i < n) {
+    int b = keys[i] % nbuckets;
+    int pos = atomic_add(&cursors[b], 1);
+    ranked[pos] = keys[i];
+  }
+}
+"""
+
+OCL_HOST = ocl_main(r"""
+  int n = 256; int nbuckets = 16;
+  int keys[256]; int counts[16]; int offsets[16]; int ranked[256];
+  srand(89);
+  for (int i = 0; i < n; i++) keys[i] = rand() % 1000;
+  for (int b = 0; b < nbuckets; b++) counts[b] = 0;
+
+  cl_kernel kh = clCreateKernel(prog, "histo", &__err);
+  cl_kernel kr = clCreateKernel(prog, "rank_keys", &__err);
+  cl_mem dk = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_WRITE, nbuckets * 4, NULL, &__err);
+  cl_mem doff = clCreateBuffer(ctx, CL_MEM_READ_ONLY, nbuckets * 4, NULL, &__err);
+  cl_mem dcur = clCreateBuffer(ctx, CL_MEM_READ_WRITE, nbuckets * 4, NULL, &__err);
+  cl_mem dr = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dk, CL_TRUE, 0, n * 4, keys, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dc, CL_TRUE, 0, nbuckets * 4, counts, 0, NULL, NULL);
+
+  size_t gws[1] = {256}; size_t lws[1] = {64};
+  clSetKernelArg(kh, 0, sizeof(cl_mem), &dk);
+  clSetKernelArg(kh, 1, sizeof(cl_mem), &dc);
+  clSetKernelArg(kh, 2, sizeof(int), &n);
+  clSetKernelArg(kh, 3, sizeof(int), &nbuckets);
+  clEnqueueNDRangeKernel(q, kh, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dc, CL_TRUE, 0, nbuckets * 4, counts, 0, NULL, NULL);
+
+  offsets[0] = 0;
+  for (int b = 1; b < nbuckets; b++) offsets[b] = offsets[b - 1] + counts[b - 1];
+  clEnqueueWriteBuffer(q, doff, CL_TRUE, 0, nbuckets * 4, offsets, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dcur, CL_TRUE, 0, nbuckets * 4, offsets, 0, NULL, NULL);
+
+  clSetKernelArg(kr, 0, sizeof(cl_mem), &dk);
+  clSetKernelArg(kr, 1, sizeof(cl_mem), &doff);
+  clSetKernelArg(kr, 2, sizeof(cl_mem), &dcur);
+  clSetKernelArg(kr, 3, sizeof(cl_mem), &dr);
+  clSetKernelArg(kr, 4, sizeof(int), &n);
+  clSetKernelArg(kr, 5, sizeof(int), &nbuckets);
+  clEnqueueNDRangeKernel(q, kr, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dr, CL_TRUE, 0, n * 4, ranked, 0, NULL, NULL);
+
+  /* each bucket segment must hold exactly the right multiset */
+  int ok = 1;
+  for (int b = 0; b < nbuckets; b++) {
+    int lo = offsets[b];
+    int hi = b + 1 < nbuckets ? offsets[b + 1] : n;
+    for (int i = lo; i < hi; i++)
+      if (ranked[i] % nbuckets != b) ok = 0;
+  }
+  int total = 0;
+  for (int b = 0; b < nbuckets; b++) total += counts[b];
+  if (total != n) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")
+
+register(App(
+    name="IS",
+    suite="npb",
+    description="integer sort: histogram + ranked scatter",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+))

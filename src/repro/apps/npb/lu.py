@@ -1,0 +1,85 @@
+"""SNU NPB LU: SSOR-style lower/upper sweeps over a 2D grid."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+OCL_KERNELS = r"""
+__kernel void lower_sweep(__global float* u, __global const float* rhs,
+                          int dim, int wave) {
+  int t = get_global_id(0);
+  int y = t;
+  int x = wave - t;
+  if (x >= 1 && x < dim && y >= 1 && y < dim)
+    u[y * dim + x] = 0.8f * rhs[y * dim + x]
+                   + 0.1f * u[(y - 1) * dim + x]
+                   + 0.1f * u[y * dim + x - 1];
+}
+
+__kernel void upper_sweep(__global float* u, int dim, int wave) {
+  int t = get_global_id(0);
+  int y = t;
+  int x = wave - t;
+  if (x >= 0 && x < dim - 1 && y >= 0 && y < dim - 1)
+    u[y * dim + x] += 0.05f * (u[(y + 1) * dim + x] + u[y * dim + x + 1]);
+}
+"""
+
+OCL_HOST = ocl_main(r"""
+  int dim = 24;
+  float u[576]; float rhs[576];
+  srand(101);
+  for (int i = 0; i < dim * dim; i++) {
+    u[i] = 0.0f;
+    rhs[i] = (float)(rand() % 100) * 0.01f;
+  }
+  float u0[576];
+  for (int i = 0; i < dim * dim; i++) u0[i] = u[i];
+
+  cl_kernel kl = clCreateKernel(prog, "lower_sweep", &__err);
+  cl_kernel ku = clCreateKernel(prog, "upper_sweep", &__err);
+  cl_mem du = clCreateBuffer(ctx, CL_MEM_READ_WRITE, dim * dim * 4, NULL, &__err);
+  cl_mem drhs = clCreateBuffer(ctx, CL_MEM_READ_ONLY, dim * dim * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, du, CL_TRUE, 0, dim * dim * 4, u, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, drhs, CL_TRUE, 0, dim * dim * 4, rhs, 0, NULL, NULL);
+
+  size_t gws[1] = {24}; size_t lws[1] = {24};
+  clSetKernelArg(kl, 0, sizeof(cl_mem), &du);
+  clSetKernelArg(kl, 1, sizeof(cl_mem), &drhs);
+  clSetKernelArg(kl, 2, sizeof(int), &dim);
+  for (int wave = 2; wave <= 2 * (dim - 1); wave++) {
+    clSetKernelArg(kl, 3, sizeof(int), &wave);
+    clEnqueueNDRangeKernel(q, kl, 1, NULL, gws, lws, 0, NULL, NULL);
+  }
+  clSetKernelArg(ku, 0, sizeof(cl_mem), &du);
+  clSetKernelArg(ku, 1, sizeof(int), &dim);
+  for (int wave = 2 * (dim - 2); wave >= 0; wave--) {
+    clSetKernelArg(ku, 2, sizeof(int), &wave);
+    clEnqueueNDRangeKernel(q, ku, 1, NULL, gws, lws, 0, NULL, NULL);
+  }
+  clEnqueueReadBuffer(q, du, CL_TRUE, 0, dim * dim * 4, u, 0, NULL, NULL);
+
+  /* CPU reference of both sweeps */
+  float r[576];
+  for (int i = 0; i < dim * dim; i++) r[i] = u0[i];
+  for (int y = 1; y < dim; y++)
+    for (int x = 1; x < dim; x++)
+      r[y * dim + x] = 0.8f * rhs[y * dim + x]
+                     + 0.1f * r[(y - 1) * dim + x]
+                     + 0.1f * r[y * dim + x - 1];
+  for (int y = dim - 2; y >= 0; y--)
+    for (int x = dim - 2; x >= 0; x--)
+      r[y * dim + x] += 0.05f * (r[(y + 1) * dim + x] + r[y * dim + x + 1]);
+  int ok = 1;
+  for (int i = 0; i < dim * dim; i++)
+    if (fabs(u[i] - r[i]) > 1e-3f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")
+
+register(App(
+    name="LU",
+    suite="npb",
+    description="SSOR lower/upper wavefront sweeps",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+))

@@ -1,0 +1,72 @@
+"""SNU NPB MG: multigrid smoothing + restriction on a 1D hierarchy."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+OCL_KERNELS = r"""
+__kernel void smooth(__global const float* u, __global float* out, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float c = u[i];
+  float l = i > 0 ? u[i - 1] : c;
+  float r = i < n - 1 ? u[i + 1] : c;
+  out[i] = 0.25f * l + 0.5f * c + 0.25f * r;
+}
+
+__kernel void restrict_half(__global const float* fine,
+                            __global float* coarse, int nc) {
+  int i = get_global_id(0);
+  if (i < nc)
+    coarse[i] = 0.5f * (fine[2 * i] + fine[2 * i + 1]);
+}
+"""
+
+OCL_HOST = ocl_main(r"""
+  int n = 256; int nc = 128;
+  float u[256]; float s[256]; float coarse[128];
+  srand(97);
+  for (int i = 0; i < n; i++) u[i] = (float)(rand() % 100) * 0.01f;
+
+  cl_kernel ks = clCreateKernel(prog, "smooth", &__err);
+  cl_kernel kr = clCreateKernel(prog, "restrict_half", &__err);
+  cl_mem du = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dsm = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, nc * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, du, CL_TRUE, 0, n * 4, u, 0, NULL, NULL);
+
+  size_t gws[1] = {256}; size_t lws[1] = {64};
+  clSetKernelArg(ks, 0, sizeof(cl_mem), &du);
+  clSetKernelArg(ks, 1, sizeof(cl_mem), &dsm);
+  clSetKernelArg(ks, 2, sizeof(int), &n);
+  clEnqueueNDRangeKernel(q, ks, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  size_t gws2[1] = {128}; size_t lws2[1] = {64};
+  clSetKernelArg(kr, 0, sizeof(cl_mem), &dsm);
+  clSetKernelArg(kr, 1, sizeof(cl_mem), &dc);
+  clSetKernelArg(kr, 2, sizeof(int), &nc);
+  clEnqueueNDRangeKernel(q, kr, 1, NULL, gws2, lws2, 0, NULL, NULL);
+
+  clEnqueueReadBuffer(q, dsm, CL_TRUE, 0, n * 4, s, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dc, CL_TRUE, 0, nc * 4, coarse, 0, NULL, NULL);
+
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    float c = u[i];
+    float l = i > 0 ? u[i - 1] : c;
+    float r = i < n - 1 ? u[i + 1] : c;
+    float want = 0.25f * l + 0.5f * c + 0.25f * r;
+    if (fabs(s[i] - want) > 1e-5f) ok = 0;
+  }
+  for (int i = 0; i < nc; i++)
+    if (fabs(coarse[i] - 0.5f * (s[2 * i] + s[2 * i + 1])) > 1e-5f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")
+
+register(App(
+    name="MG",
+    suite="npb",
+    description="multigrid smoothing and restriction",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+))

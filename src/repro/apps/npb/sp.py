@@ -1,0 +1,80 @@
+"""SNU NPB SP: scalar pentadiagonal line solve along grid rows."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+OCL_KERNELS = r"""
+__kernel void thomas_rows(__global float* a, __global float* b,
+                          __global float* c, __global float* d,
+                          __global float* x, int dim) {
+  int row = get_global_id(0);
+  if (row >= dim) return;
+  int base = row * dim;
+  /* Thomas algorithm: forward elimination */
+  for (int i = 1; i < dim; i++) {
+    float m = a[base + i] / b[base + i - 1];
+    b[base + i] -= m * c[base + i - 1];
+    d[base + i] -= m * d[base + i - 1];
+  }
+  /* back substitution */
+  x[base + dim - 1] = d[base + dim - 1] / b[base + dim - 1];
+  for (int i = dim - 2; i >= 0; i--)
+    x[base + i] = (d[base + i] - c[base + i] * x[base + i + 1]) / b[base + i];
+}
+"""
+
+OCL_HOST = ocl_main(r"""
+  int dim = 16; int n = 256;
+  float a[256]; float b[256]; float c[256]; float d[256]; float x[256];
+  srand(103);
+  for (int i = 0; i < n; i++) {
+    a[i] = -1.0f;
+    b[i] = 4.0f + (float)(rand() % 10) * 0.01f;
+    c[i] = -1.0f;
+    d[i] = (float)(rand() % 100) * 0.01f;
+  }
+  float a0[256]; float b0[256]; float c0[256]; float d0[256];
+  for (int i = 0; i < n; i++) { a0[i] = a[i]; b0[i] = b[i]; c0[i] = c[i]; d0[i] = d[i]; }
+
+  cl_kernel k = clCreateKernel(prog, "thomas_rows", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dd = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dx = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, n * 4, a, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, db, CL_TRUE, 0, n * 4, b, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dc, CL_TRUE, 0, n * 4, c, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dd, CL_TRUE, 0, n * 4, d, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &da);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &db);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dc);
+  clSetKernelArg(k, 3, sizeof(cl_mem), &dd);
+  clSetKernelArg(k, 4, sizeof(cl_mem), &dx);
+  clSetKernelArg(k, 5, sizeof(int), &dim);
+  size_t gws[1] = {16}; size_t lws[1] = {16};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dx, CL_TRUE, 0, n * 4, x, 0, NULL, NULL);
+
+  /* verify the tridiagonal residual per row */
+  int ok = 1;
+  for (int row = 0; row < dim; row++) {
+    int base = row * dim;
+    for (int i = 0; i < dim; i++) {
+      float r = b0[base + i] * x[base + i] - d0[base + i];
+      if (i > 0) r += a0[base + i] * x[base + i - 1];
+      if (i < dim - 1) r += c0[base + i] * x[base + i + 1];
+      if (fabs(r) > 0.01f) ok = 0;
+    }
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")
+
+register(App(
+    name="SP",
+    suite="npb",
+    description="per-row Thomas tridiagonal solves",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+))

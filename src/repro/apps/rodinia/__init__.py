@@ -1,0 +1,6 @@
+"""Rodinia 3.0 corpus (21 applications; 20 have OpenCL originals)."""
+
+from . import (backprop, bfs, bplustree, cfd, dwt2d, gaussian, heartwall,
+               hotspot, hybridsort, kmeans, lavamd, leukocyte, lud,
+               mummergpu, myocyte, nn, nw, particlefilter, pathfinder, srad,
+               streamcluster)

@@ -1,0 +1,159 @@
+"""Rodinia backprop: one forward + one weight-adjust pass of an MLP layer."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_IN = 64       # input units
+_HID = 16      # hidden units
+_WG = 16
+
+OCL_KERNELS = r"""
+__kernel void layerforward(__global const float* input,
+                           __global const float* weights,
+                           __global float* hidden,
+                           __local float* tmp,
+                           int n_in, int n_hid) {
+  int h = get_group_id(0);
+  int lid = get_local_id(0);
+  float acc = 0.0f;
+  for (int i = lid; i < n_in; i += get_local_size(0))
+    acc += input[i] * weights[h * n_in + i];
+  tmp[lid] = acc;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0)
+    hidden[h] = 1.0f / (1.0f + exp(-tmp[0]));
+}
+
+__kernel void adjust_weights(__global float* weights,
+                             __global const float* input,
+                             __global const float* delta,
+                             int n_in, float eta) {
+  int h = get_group_id(0);
+  int i = get_local_id(0);
+  for (int j = i; j < n_in; j += get_local_size(0))
+    weights[h * n_in + j] += eta * delta[h] * input[j];
+}
+"""
+
+_BODY_COMMON = r"""
+  int n_in = 64; int n_hid = 16;
+  float input[64]; float weights[1024]; float hidden[16]; float delta[16];
+  srand(11);
+  for (int i = 0; i < n_in; i++) input[i] = (float)(rand() % 100) * 0.01f;
+  for (int i = 0; i < n_in * n_hid; i++)
+    weights[i] = (float)(rand() % 200 - 100) * 0.001f;
+  for (int h = 0; h < n_hid; h++) delta[h] = (float)(rand() % 50) * 0.001f;
+"""
+
+_VERIFY = r"""
+  /* CPU reference */
+  int ok = 1;
+  for (int h = 0; h < n_hid; h++) {
+    float acc = 0.0f;
+    for (int i = 0; i < n_in; i++) acc += input[i] * w0[h * n_in + i];
+    float want = 1.0f / (1.0f + exp(-acc));
+    if (fabs(hidden[h] - want) > 1e-4f) ok = 0;
+  }
+  for (int h = 0; h < n_hid; h++)
+    for (int i = 0; i < n_in; i++) {
+      float want = w0[h * n_in + i] + 0.3f * delta[h] * input[i];
+      if (fabs(weights[h * n_in + i] - want) > 1e-4f) ok = 0;
+    }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_HOST = ocl_main(_BODY_COMMON + r"""
+  float w0[1024];
+  for (int i = 0; i < n_in * n_hid; i++) w0[i] = weights[i];
+
+  cl_kernel kfwd = clCreateKernel(prog, "layerforward", &__err);
+  cl_kernel kadj = clCreateKernel(prog, "adjust_weights", &__err);
+  cl_mem din = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n_in * 4, NULL, &__err);
+  cl_mem dw = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n_in * n_hid * 4, NULL, &__err);
+  cl_mem dhid = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n_hid * 4, NULL, &__err);
+  cl_mem ddel = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n_hid * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, din, CL_TRUE, 0, n_in * 4, input, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dw, CL_TRUE, 0, n_in * n_hid * 4, weights, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, ddel, CL_TRUE, 0, n_hid * 4, delta, 0, NULL, NULL);
+
+  clSetKernelArg(kfwd, 0, sizeof(cl_mem), &din);
+  clSetKernelArg(kfwd, 1, sizeof(cl_mem), &dw);
+  clSetKernelArg(kfwd, 2, sizeof(cl_mem), &dhid);
+  clSetKernelArg(kfwd, 3, 16 * 4, NULL);
+  clSetKernelArg(kfwd, 4, sizeof(int), &n_in);
+  clSetKernelArg(kfwd, 5, sizeof(int), &n_hid);
+  size_t gws[1] = {256}; size_t lws[1] = {16};
+  clEnqueueNDRangeKernel(q, kfwd, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  float eta = 0.3f;
+  clSetKernelArg(kadj, 0, sizeof(cl_mem), &dw);
+  clSetKernelArg(kadj, 1, sizeof(cl_mem), &din);
+  clSetKernelArg(kadj, 2, sizeof(cl_mem), &ddel);
+  clSetKernelArg(kadj, 3, sizeof(int), &n_in);
+  clSetKernelArg(kadj, 4, sizeof(float), &eta);
+  clEnqueueNDRangeKernel(q, kadj, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  clEnqueueReadBuffer(q, dhid, CL_TRUE, 0, n_hid * 4, hidden, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dw, CL_TRUE, 0, n_in * n_hid * 4, weights, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void layerforward(const float* input, const float* weights,
+                             float* hidden, int n_in, int n_hid) {
+  extern __shared__ float tmp[];
+  int h = blockIdx.x;
+  int lid = threadIdx.x;
+  float acc = 0.0f;
+  for (int i = lid; i < n_in; i += blockDim.x)
+    acc += input[i] * weights[h * n_in + i];
+  tmp[lid] = acc;
+  __syncthreads();
+  for (int s = blockDim.x / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    __syncthreads();
+  }
+  if (lid == 0)
+    hidden[h] = 1.0f / (1.0f + expf(-tmp[0]));
+}
+
+__global__ void adjust_weights(float* weights, const float* input,
+                               const float* delta, int n_in, float eta) {
+  int h = blockIdx.x;
+  for (int j = threadIdx.x; j < n_in; j += blockDim.x)
+    weights[h * n_in + j] += eta * delta[h] * input[j];
+}
+
+int main(void) {
+""" + _BODY_COMMON + r"""
+  float w0[1024];
+  for (int i = 0; i < n_in * n_hid; i++) w0[i] = weights[i];
+
+  float *din, *dw, *dhid, *ddel;
+  cudaMalloc((void**)&din, n_in * 4);
+  cudaMalloc((void**)&dw, n_in * n_hid * 4);
+  cudaMalloc((void**)&dhid, n_hid * 4);
+  cudaMalloc((void**)&ddel, n_hid * 4);
+  cudaMemcpy(din, input, n_in * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dw, weights, n_in * n_hid * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(ddel, delta, n_hid * 4, cudaMemcpyHostToDevice);
+
+  layerforward<<<16, 16, 16 * sizeof(float)>>>(din, dw, dhid, n_in, n_hid);
+  adjust_weights<<<16, 16>>>(dw, din, ddel, n_in, 0.3f);
+
+  cudaMemcpy(hidden, dhid, n_hid * 4, cudaMemcpyDeviceToHost);
+  cudaMemcpy(weights, dw, n_in * n_hid * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="backprop",
+    suite="rodinia",
+    description="MLP layer forward pass + weight adjustment",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

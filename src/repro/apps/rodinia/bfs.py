@@ -1,0 +1,173 @@
+"""Rodinia bfs: level-synchronous breadth-first search.
+
+Two kernels per level with a host-side continuation flag, like the
+original (kernel 1 expands the frontier, kernel 2 commits the next mask).
+"""
+
+from ..base import App, register
+from ..common import ocl_main
+
+# graph: N nodes in a ring with chords, CSR-ish fixed degree 2
+_N = 256
+
+_GRAPH_SETUP = r"""
+  int n = 256;
+  int edges[512];
+  int mask[256]; int next_mask[256]; int visited[256]; int cost[256];
+  for (int i = 0; i < n; i++) {
+    edges[i * 2] = (i + 1) % n;        /* ring */
+    edges[i * 2 + 1] = (i * 7 + 3) % n; /* chord */
+    mask[i] = 0; next_mask[i] = 0; visited[i] = 0; cost[i] = -1;
+  }
+  mask[0] = 1; visited[0] = 1; cost[0] = 0;
+"""
+
+_VERIFY = r"""
+  /* CPU reference BFS */
+  int ref_cost[256]; int frontier[256]; int nf = 1;
+  for (int i = 0; i < n; i++) ref_cost[i] = -1;
+  ref_cost[0] = 0; frontier[0] = 0;
+  while (nf > 0) {
+    int nn = 0; int nxt[256];
+    for (int f = 0; f < nf; f++) {
+      int u = frontier[f];
+      for (int e = 0; e < 2; e++) {
+        int v = edges[u * 2 + e];
+        if (ref_cost[v] < 0) { ref_cost[v] = ref_cost[u] + 1; nxt[nn] = v; nn++; }
+      }
+    }
+    for (int i = 0; i < nn; i++) frontier[i] = nxt[i];
+    nf = nn;
+  }
+  int ok = 1;
+  for (int i = 0; i < n; i++) if (cost[i] != ref_cost[i]) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void bfs_expand(__global const int* edges, __global const int* mask,
+                         __global int* next_mask, __global int* visited,
+                         __global int* cost, __global int* cont, int n) {
+  int u = get_global_id(0);
+  if (u < n && mask[u]) {
+    for (int e = 0; e < 2; e++) {
+      int v = edges[u * 2 + e];
+      if (!visited[v]) {
+        cost[v] = cost[u] + 1;
+        next_mask[v] = 1;
+        *cont = 1;
+      }
+    }
+  }
+}
+
+__kernel void bfs_commit(__global int* mask, __global int* next_mask,
+                         __global int* visited, int n) {
+  int u = get_global_id(0);
+  if (u < n) {
+    mask[u] = next_mask[u];
+    if (next_mask[u]) visited[u] = 1;
+    next_mask[u] = 0;
+  }
+}
+"""
+
+OCL_HOST = ocl_main(_GRAPH_SETUP + r"""
+  cl_kernel kexp = clCreateKernel(prog, "bfs_expand", &__err);
+  cl_kernel kcom = clCreateKernel(prog, "bfs_commit", &__err);
+  cl_mem de = clCreateBuffer(ctx, CL_MEM_READ_ONLY, 512 * 4, NULL, &__err);
+  cl_mem dm = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dnm = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dv = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dcont = clCreateBuffer(ctx, CL_MEM_READ_WRITE, 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, de, CL_TRUE, 0, 512 * 4, edges, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dm, CL_TRUE, 0, n * 4, mask, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dnm, CL_TRUE, 0, n * 4, next_mask, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dv, CL_TRUE, 0, n * 4, visited, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dc, CL_TRUE, 0, n * 4, cost, 0, NULL, NULL);
+
+  clSetKernelArg(kexp, 0, sizeof(cl_mem), &de);
+  clSetKernelArg(kexp, 1, sizeof(cl_mem), &dm);
+  clSetKernelArg(kexp, 2, sizeof(cl_mem), &dnm);
+  clSetKernelArg(kexp, 3, sizeof(cl_mem), &dv);
+  clSetKernelArg(kexp, 4, sizeof(cl_mem), &dc);
+  clSetKernelArg(kexp, 5, sizeof(cl_mem), &dcont);
+  clSetKernelArg(kexp, 6, sizeof(int), &n);
+  clSetKernelArg(kcom, 0, sizeof(cl_mem), &dm);
+  clSetKernelArg(kcom, 1, sizeof(cl_mem), &dnm);
+  clSetKernelArg(kcom, 2, sizeof(cl_mem), &dv);
+  clSetKernelArg(kcom, 3, sizeof(int), &n);
+
+  size_t gws[1] = {256}; size_t lws[1] = {64};
+  int cont = 1;
+  while (cont) {
+    cont = 0;
+    clEnqueueWriteBuffer(q, dcont, CL_TRUE, 0, 4, &cont, 0, NULL, NULL);
+    clEnqueueNDRangeKernel(q, kexp, 1, NULL, gws, lws, 0, NULL, NULL);
+    clEnqueueNDRangeKernel(q, kcom, 1, NULL, gws, lws, 0, NULL, NULL);
+    clEnqueueReadBuffer(q, dcont, CL_TRUE, 0, 4, &cont, 0, NULL, NULL);
+  }
+  clEnqueueReadBuffer(q, dc, CL_TRUE, 0, n * 4, cost, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void bfs_expand(const int* edges, const int* mask, int* next_mask,
+                           int* visited, int* cost, int* cont, int n) {
+  int u = blockIdx.x * blockDim.x + threadIdx.x;
+  if (u < n && mask[u]) {
+    for (int e = 0; e < 2; e++) {
+      int v = edges[u * 2 + e];
+      if (!visited[v]) {
+        cost[v] = cost[u] + 1;
+        next_mask[v] = 1;
+        *cont = 1;
+      }
+    }
+  }
+}
+
+__global__ void bfs_commit(int* mask, int* next_mask, int* visited, int n) {
+  int u = blockIdx.x * blockDim.x + threadIdx.x;
+  if (u < n) {
+    mask[u] = next_mask[u];
+    if (next_mask[u]) visited[u] = 1;
+    next_mask[u] = 0;
+  }
+}
+
+int main(void) {
+""" + _GRAPH_SETUP + r"""
+  int *de, *dm, *dnm, *dv, *dc, *dcont;
+  cudaMalloc((void**)&de, 512 * 4);
+  cudaMalloc((void**)&dm, n * 4);
+  cudaMalloc((void**)&dnm, n * 4);
+  cudaMalloc((void**)&dv, n * 4);
+  cudaMalloc((void**)&dc, n * 4);
+  cudaMalloc((void**)&dcont, 4);
+  cudaMemcpy(de, edges, 512 * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dm, mask, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dnm, next_mask, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dv, visited, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dc, cost, n * 4, cudaMemcpyHostToDevice);
+
+  int cont = 1;
+  while (cont) {
+    cont = 0;
+    cudaMemcpy(dcont, &cont, 4, cudaMemcpyHostToDevice);
+    bfs_expand<<<4, 64>>>(de, dm, dnm, dv, dc, dcont, n);
+    bfs_commit<<<4, 64>>>(dm, dnm, dv, n);
+    cudaMemcpy(&cont, dcont, 4, cudaMemcpyDeviceToHost);
+  }
+  cudaMemcpy(cost, dc, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="bfs",
+    suite="rodinia",
+    description="level-synchronous BFS with host continuation flag",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

@@ -1,0 +1,107 @@
+"""Rodinia b+tree: batched key search over a sorted node array (findK)."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int nkeys = 256; int nqueries = 64;
+  int keys[256]; int vals[256]; int queries[64]; int results[64];
+  srand(59);
+  int cur = 0;
+  for (int i = 0; i < nkeys; i++) {
+    cur += 1 + rand() % 3;
+    keys[i] = cur;
+    vals[i] = cur * 10;
+  }
+  for (int i = 0; i < nqueries; i++)
+    queries[i] = keys[rand() % nkeys];
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < nqueries; i++) {
+    int want = -1;
+    for (int j = 0; j < nkeys; j++)
+      if (keys[j] == queries[i]) want = vals[j];
+    if (results[i] != want) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void findK(__global const int* keys, __global const int* vals,
+                    __global const int* queries, __global int* results,
+                    int nkeys, int nqueries) {
+  int i = get_global_id(0);
+  if (i >= nqueries) return;
+  int target = queries[i];
+  int lo = 0; int hi = nkeys - 1; int found = -1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    int kv = keys[mid];
+    if (kv == target) { found = vals[mid]; break; }
+    if (kv < target) lo = mid + 1; else hi = mid - 1;
+  }
+  results[i] = found;
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "findK", &__err);
+  cl_mem dk = clCreateBuffer(ctx, CL_MEM_READ_ONLY, nkeys * 4, NULL, &__err);
+  cl_mem dv = clCreateBuffer(ctx, CL_MEM_READ_ONLY, nkeys * 4, NULL, &__err);
+  cl_mem dq = clCreateBuffer(ctx, CL_MEM_READ_ONLY, nqueries * 4, NULL, &__err);
+  cl_mem dr = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, nqueries * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dk, CL_TRUE, 0, nkeys * 4, keys, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dv, CL_TRUE, 0, nkeys * 4, vals, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dq, CL_TRUE, 0, nqueries * 4, queries, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dk);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dv);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dq);
+  clSetKernelArg(k, 3, sizeof(cl_mem), &dr);
+  clSetKernelArg(k, 4, sizeof(int), &nkeys);
+  clSetKernelArg(k, 5, sizeof(int), &nqueries);
+  size_t gws[1] = {64}; size_t lws[1] = {32};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dr, CL_TRUE, 0, nqueries * 4, results, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void findK(const int* keys, const int* vals, const int* queries,
+                      int* results, int nkeys, int nqueries) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= nqueries) return;
+  int target = queries[i];
+  int lo = 0; int hi = nkeys - 1; int found = -1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    int kv = keys[mid];
+    if (kv == target) { found = vals[mid]; break; }
+    if (kv < target) lo = mid + 1; else hi = mid - 1;
+  }
+  results[i] = found;
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  int *dk, *dv, *dq, *dr;
+  cudaMalloc((void**)&dk, nkeys * 4);
+  cudaMalloc((void**)&dv, nkeys * 4);
+  cudaMalloc((void**)&dq, nqueries * 4);
+  cudaMalloc((void**)&dr, nqueries * 4);
+  cudaMemcpy(dk, keys, nkeys * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dv, vals, nkeys * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dq, queries, nqueries * 4, cudaMemcpyHostToDevice);
+  findK<<<2, 32>>>(dk, dv, dq, dr, nkeys, nqueries);
+  cudaMemcpy(results, dr, nqueries * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="b+tree",
+    suite="rodinia",
+    description="batched ordered-key search (findK)",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

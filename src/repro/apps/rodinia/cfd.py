@@ -1,0 +1,167 @@
+"""Rodinia cfd: Euler solver flux computation.
+
+This is the paper's occupancy showcase (§6.3): the flux kernel is
+register-hungry and launched with 192-thread blocks; nvcc allocates ~72
+registers per thread (4 resident blocks, occupancy 0.375) while NVIDIA's
+OpenCL compiler allocates ~62 (5 blocks, 0.469) — a ~14% performance gap
+between the original CUDA code and the translated/original OpenCL code.
+"""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int n = 1536; int iters = 2;
+  float density[1536]; float mx[1536]; float my[1536]; float energy[1536];
+  srand(37);
+  for (int i = 0; i < n; i++) {
+    density[i] = 1.0f + (float)(rand() % 100) * 0.001f;
+    mx[i] = (float)(rand() % 200 - 100) * 0.001f;
+    my[i] = (float)(rand() % 200 - 100) * 0.001f;
+    energy[i] = 2.5f + (float)(rand() % 100) * 0.001f;
+  }
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  float checksum = 0.0f;
+  for (int i = 0; i < n; i++) {
+    checksum += density[i] + energy[i];
+    if (density[i] < 0.0f || density[i] != density[i]) ok = 0;
+    if (energy[i] != energy[i]) ok = 0;
+  }
+  if (checksum != checksum || checksum < 1.0f) ok = 0;
+  printf(ok ? "PASSED %f\n" : "FAILED %f\n", checksum);
+  return 0;
+"""
+
+# The flux kernel body is deliberately register-fat: many live scalar
+# temporaries, exactly like the real compute_flux.
+_FLUX_BODY = r"""
+  int nb1 = i > 0 ? i - 1 : i;
+  int nb2 = i < n - 1 ? i + 1 : i;
+  float rho = density[i];
+  float rmx = mx[i];
+  float rmy = my[i];
+  float ren = energy[i];
+  float rho1 = density[nb1];
+  float mx1 = mx[nb1];
+  float my1 = my[nb1];
+  float en1 = energy[nb1];
+  float rho2 = density[nb2];
+  float mx2 = mx[nb2];
+  float my2 = my[nb2];
+  float en2 = energy[nb2];
+  float vx = rmx / rho;
+  float vy = rmy / rho;
+  float pressure = 0.4f * (ren - 0.5f * rho * (vx * vx + vy * vy));
+  float vx1 = mx1 / rho1;
+  float vy1 = my1 / rho1;
+  float p1 = 0.4f * (en1 - 0.5f * rho1 * (vx1 * vx1 + vy1 * vy1));
+  float vx2 = mx2 / rho2;
+  float vy2 = my2 / rho2;
+  float p2 = 0.4f * (en2 - 0.5f * rho2 * (vx2 * vx2 + vy2 * vy2));
+  float f_rho = 0.5f * (rho1 * vx1 + rho2 * vx2) - rho * vx;
+  float f_mx = 0.5f * (mx1 * vx1 + p1 + mx2 * vx2 + p2) - (rmx * vx + pressure);
+  float f_my = 0.5f * (my1 * vx1 + my2 * vx2) - rmy * vx;
+  float f_en = 0.5f * ((en1 + p1) * vx1 + (en2 + p2) * vx2)
+             - (ren + pressure) * vx;
+  out_density[i] = rho + 0.01f * f_rho;
+  out_mx[i] = rmx + 0.01f * f_mx;
+  out_my[i] = rmy + 0.01f * f_my;
+  out_energy[i] = ren + 0.01f * f_en;
+"""
+
+OCL_KERNELS = r"""
+__kernel void compute_flux(__global const float* density,
+                           __global const float* mx,
+                           __global const float* my,
+                           __global const float* energy,
+                           __global float* out_density,
+                           __global float* out_mx,
+                           __global float* out_my,
+                           __global float* out_energy, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+""" + _FLUX_BODY + r"""
+}
+"""
+
+_OCL_LAUNCH = r"""
+  size_t gws[1] = {1536}; size_t lws[1] = {192};
+  for (int it = 0; it < iters; it++) {
+    if (it % 2 == 0) {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &dd);  clSetKernelArg(k, 1, sizeof(cl_mem), &dmx);
+      clSetKernelArg(k, 2, sizeof(cl_mem), &dmy); clSetKernelArg(k, 3, sizeof(cl_mem), &de);
+      clSetKernelArg(k, 4, sizeof(cl_mem), &dd2); clSetKernelArg(k, 5, sizeof(cl_mem), &dmx2);
+      clSetKernelArg(k, 6, sizeof(cl_mem), &dmy2); clSetKernelArg(k, 7, sizeof(cl_mem), &de2);
+    } else {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &dd2);  clSetKernelArg(k, 1, sizeof(cl_mem), &dmx2);
+      clSetKernelArg(k, 2, sizeof(cl_mem), &dmy2); clSetKernelArg(k, 3, sizeof(cl_mem), &de2);
+      clSetKernelArg(k, 4, sizeof(cl_mem), &dd);   clSetKernelArg(k, 5, sizeof(cl_mem), &dmx);
+      clSetKernelArg(k, 6, sizeof(cl_mem), &dmy);  clSetKernelArg(k, 7, sizeof(cl_mem), &de);
+    }
+    clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  }
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "compute_flux", &__err);
+  cl_mem dd = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dmx = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dmy = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem de = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dd2 = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dmx2 = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dmy2 = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem de2 = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dd, CL_TRUE, 0, n * 4, density, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dmx, CL_TRUE, 0, n * 4, mx, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dmy, CL_TRUE, 0, n * 4, my, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, de, CL_TRUE, 0, n * 4, energy, 0, NULL, NULL);
+  clSetKernelArg(k, 8, sizeof(int), &n);
+""" + _OCL_LAUNCH + r"""
+  clEnqueueReadBuffer(q, iters % 2 ? dd2 : dd, CL_TRUE, 0, n * 4, density, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, iters % 2 ? de2 : de, CL_TRUE, 0, n * 4, energy, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void compute_flux(const float* density, const float* mx,
+                             const float* my, const float* energy,
+                             float* out_density, float* out_mx,
+                             float* out_my, float* out_energy, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+""" + _FLUX_BODY + r"""
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float *dd, *dmx, *dmy, *de, *dd2, *dmx2, *dmy2, *de2;
+  cudaMalloc((void**)&dd, n * 4);  cudaMalloc((void**)&dmx, n * 4);
+  cudaMalloc((void**)&dmy, n * 4); cudaMalloc((void**)&de, n * 4);
+  cudaMalloc((void**)&dd2, n * 4); cudaMalloc((void**)&dmx2, n * 4);
+  cudaMalloc((void**)&dmy2, n * 4); cudaMalloc((void**)&de2, n * 4);
+  cudaMemcpy(dd, density, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dmx, mx, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dmy, my, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(de, energy, n * 4, cudaMemcpyHostToDevice);
+
+  for (int it = 0; it < iters; it++) {
+    if (it % 2 == 0)
+      compute_flux<<<8, 192>>>(dd, dmx, dmy, de, dd2, dmx2, dmy2, de2, n);
+    else
+      compute_flux<<<8, 192>>>(dd2, dmx2, dmy2, de2, dd, dmx, dmy, de, n);
+  }
+  cudaMemcpy(density, iters % 2 ? dd2 : dd, n * 4, cudaMemcpyDeviceToHost);
+  cudaMemcpy(energy, iters % 2 ? de2 : de, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="cfd",
+    suite="rodinia",
+    description="Euler solver flux kernel (register-pressure showcase)",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

@@ -1,0 +1,114 @@
+"""Rodinia dwt2d: one 2D Haar wavelet level.
+
+The CUDA version wraps its coefficient store in a C++ *class* used from
+device code — the "using C++ classes in the device code" failure the paper
+reports for dwt2d (§6.3).  The OpenCL version is plain C and translates.
+"""
+
+from ..base import App, register
+from ..common import ocl_main
+from ...translate.categories import CAT_LANG
+
+_SETUP = r"""
+  int dim = 16; int n = 256;
+  float img[256]; float out[256];
+  srand(67);
+  for (int i = 0; i < n; i++) img[i] = (float)(rand() % 256);
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  int half = dim / 2;
+  for (int y = 0; y < half; y++)
+    for (int x = 0; x < half; x++) {
+      float a = img[(2 * y) * dim + 2 * x];
+      float b = img[(2 * y) * dim + 2 * x + 1];
+      float c = img[(2 * y + 1) * dim + 2 * x];
+      float d = img[(2 * y + 1) * dim + 2 * x + 1];
+      float ll = 0.25f * (a + b + c + d);
+      float hl = 0.25f * (a - b + c - d);
+      float lh = 0.25f * (a + b - c - d);
+      float hh = 0.25f * (a - b - c + d);
+      if (fabs(out[y * dim + x] - ll) > 1e-3f) ok = 0;
+      if (fabs(out[y * dim + x + half] - hl) > 1e-3f) ok = 0;
+      if (fabs(out[(y + half) * dim + x] - lh) > 1e-3f) ok = 0;
+      if (fabs(out[(y + half) * dim + x + half] - hh) > 1e-3f) ok = 0;
+    }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void haar2d(__global const float* img, __global float* out,
+                     int dim) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int half = dim / 2;
+  if (x >= half || y >= half) return;
+  float a = img[(2 * y) * dim + 2 * x];
+  float b = img[(2 * y) * dim + 2 * x + 1];
+  float c = img[(2 * y + 1) * dim + 2 * x];
+  float d = img[(2 * y + 1) * dim + 2 * x + 1];
+  out[y * dim + x] = 0.25f * (a + b + c + d);
+  out[y * dim + x + half] = 0.25f * (a - b + c - d);
+  out[(y + half) * dim + x] = 0.25f * (a + b - c - d);
+  out[(y + half) * dim + x + half] = 0.25f * (a - b - c + d);
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "haar2d", &__err);
+  cl_mem di = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, di, CL_TRUE, 0, n * 4, img, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &di);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dout);
+  clSetKernelArg(k, 2, sizeof(int), &dim);
+  size_t gws[2] = {8, 8}; size_t lws[2] = {8, 8};
+  clEnqueueNDRangeKernel(q, k, 2, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, out, 0, NULL, NULL);
+""" + _VERIFY)
+
+# Device-side C++ class — the analyzer's lexical prescan rejects this
+# before parsing, just like clang-based translators bail out (§6.3).
+CUDA_SOURCE = r"""
+class CoeffStore {
+ public:
+  float* data;
+  int dim;
+  __device__ float load(int x, int y) { return data[y * dim + x]; }
+  __device__ void store(int x, int y, float v) { data[y * dim + x] = v; }
+};
+
+__global__ void haar2d(CoeffStore in, CoeffStore out) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  int half = in.dim / 2;
+  if (x >= half || y >= half) return;
+  float a = in.load(2 * x, 2 * y);
+  float b = in.load(2 * x + 1, 2 * y);
+  float c = in.load(2 * x, 2 * y + 1);
+  float d = in.load(2 * x + 1, 2 * y + 1);
+  out.store(x, y, 0.25f * (a + b + c + d));
+  out.store(x + half, y, 0.25f * (a - b + c - d));
+  out.store(x, y + half, 0.25f * (a + b - c - d));
+  out.store(x + half, y + half, 0.25f * (a - b - c + d));
+}
+
+int main(void) {
+  /* ... allocate CoeffStore objects and launch haar2d ... */
+  return 0;
+}
+"""
+
+register(App(
+    name="dwt2d",
+    suite="rodinia",
+    description="2D Haar wavelet; CUDA version uses a device-code C++ class",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+    fail_category=CAT_LANG,
+    fail_feature="C++ classes in device code",
+    cuda_runs_natively=False,
+))

@@ -1,0 +1,130 @@
+"""Rodinia gaussian: Gaussian elimination with Fan1/Fan2 kernels per column."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int n = 16;
+  float a[256]; float b[16]; float m[256]; float x[16];
+  srand(21);
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = (i == j) ? (float)(n + rand() % 5) :
+                                (float)(rand() % 5) * 0.1f;
+    b[i] = (float)(rand() % 10);
+    x[i] = 0.0f;
+  }
+  for (int i = 0; i < n * n; i++) m[i] = 0.0f;
+  float a0[256]; float b0[16];
+  for (int i = 0; i < n * n; i++) a0[i] = a[i];
+  for (int i = 0; i < n; i++) b0[i] = b[i];
+"""
+
+_VERIFY = r"""
+  /* back substitution on host, then residual check */
+  for (int i = n - 1; i >= 0; i--) {
+    float s = b[i];
+    for (int j = i + 1; j < n; j++) s -= a[i * n + j] * x[j];
+    x[i] = s / a[i * n + i];
+  }
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    float r = -b0[i];
+    for (int j = 0; j < n; j++) r += a0[i * n + j] * x[j];
+    if (fabs(r) > 0.05f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void fan1(__global float* m, __global const float* a, int n, int t) {
+  int i = get_global_id(0);
+  if (i < n - 1 - t)
+    m[(t + 1 + i) * n + t] = a[(t + 1 + i) * n + t] / a[t * n + t];
+}
+
+__kernel void fan2(__global float* a, __global float* b,
+                   __global const float* m, int n, int t) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  if (i < n - 1 - t && j < n - t) {
+    a[(t + 1 + i) * n + (t + j)] -= m[(t + 1 + i) * n + t] * a[t * n + (t + j)];
+    if (j == 0) b[t + 1 + i] -= m[(t + 1 + i) * n + t] * b[t];
+  }
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k1 = clCreateKernel(prog, "fan1", &__err);
+  cl_kernel k2 = clCreateKernel(prog, "fan2", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * n * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dm = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, n * n * 4, a, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, db, CL_TRUE, 0, n * 4, b, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dm, CL_TRUE, 0, n * n * 4, m, 0, NULL, NULL);
+
+  clSetKernelArg(k1, 0, sizeof(cl_mem), &dm);
+  clSetKernelArg(k1, 1, sizeof(cl_mem), &da);
+  clSetKernelArg(k1, 2, sizeof(int), &n);
+  clSetKernelArg(k2, 0, sizeof(cl_mem), &da);
+  clSetKernelArg(k2, 1, sizeof(cl_mem), &db);
+  clSetKernelArg(k2, 2, sizeof(cl_mem), &dm);
+  clSetKernelArg(k2, 3, sizeof(int), &n);
+  size_t g1[1] = {16}; size_t l1[1] = {16};
+  size_t g2[2] = {16, 16}; size_t l2[2] = {16, 16};
+  for (int t = 0; t < n - 1; t++) {
+    clSetKernelArg(k1, 3, sizeof(int), &t);
+    clEnqueueNDRangeKernel(q, k1, 1, NULL, g1, l1, 0, NULL, NULL);
+    clSetKernelArg(k2, 4, sizeof(int), &t);
+    clEnqueueNDRangeKernel(q, k2, 2, NULL, g2, l2, 0, NULL, NULL);
+  }
+  clEnqueueReadBuffer(q, da, CL_TRUE, 0, n * n * 4, a, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, db, CL_TRUE, 0, n * 4, b, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void fan1(float* m, const float* a, int n, int t) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n - 1 - t)
+    m[(t + 1 + i) * n + t] = a[(t + 1 + i) * n + t] / a[t * n + t];
+}
+
+__global__ void fan2(float* a, float* b, const float* m, int n, int t) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < n - 1 - t && j < n - t) {
+    a[(t + 1 + i) * n + (t + j)] -= m[(t + 1 + i) * n + t] * a[t * n + (t + j)];
+    if (j == 0) b[t + 1 + i] -= m[(t + 1 + i) * n + t] * b[t];
+  }
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float *da, *db, *dm;
+  cudaMalloc((void**)&da, n * n * 4);
+  cudaMalloc((void**)&db, n * 4);
+  cudaMalloc((void**)&dm, n * n * 4);
+  cudaMemcpy(da, a, n * n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(db, b, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dm, m, n * n * 4, cudaMemcpyHostToDevice);
+
+  dim3 g2(1, 1);
+  dim3 b2(16, 16);
+  for (int t = 0; t < n - 1; t++) {
+    fan1<<<1, 16>>>(dm, da, n, t);
+    fan2<<<g2, b2>>>(da, db, dm, n, t);
+  }
+  cudaMemcpy(a, da, n * n * 4, cudaMemcpyDeviceToHost);
+  cudaMemcpy(b, db, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="gaussian",
+    suite="rodinia",
+    description="Gaussian elimination (Fan1/Fan2 kernels per pivot)",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

@@ -1,0 +1,108 @@
+"""Rodinia heartwall: template tracking.
+
+The CUDA version passes a single struct *containing device pointers* to the
+kernel — the exact "passing pointers to a kernel function" failure the
+paper reports for heartwall (§6.3): OpenCL kernel arguments cannot embed
+pointers, so the translation is rejected.  The OpenCL version passes the
+pointers as separate arguments and translates fine.
+"""
+
+from ..base import App, register
+from ..common import ocl_main
+from ...translate.categories import CAT_LANG
+
+_SETUP = r"""
+  int npts = 64; int tpl = 8;
+  float frame[512]; float templ[8]; float response[64];
+  srand(61);
+  for (int i = 0; i < npts * tpl; i++)
+    frame[i] = (float)(rand() % 100) * 0.01f;
+  for (int i = 0; i < tpl; i++)
+    templ[i] = (float)(rand() % 100) * 0.01f;
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  for (int p = 0; p < npts; p++) {
+    float acc = 0.0f;
+    for (int t = 0; t < tpl; t++)
+      acc += frame[p * tpl + t] * templ[t];
+    if (fabs(response[p] - acc) > 1e-4f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void track(__global const float* frame, __constant float* templ,
+                    __global float* response, int npts, int tpl) {
+  int p = get_global_id(0);
+  if (p >= npts) return;
+  float acc = 0.0f;
+  for (int t = 0; t < tpl; t++)
+    acc += frame[p * tpl + t] * templ[t];
+  response[p] = acc;
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "track", &__err);
+  cl_mem df = clCreateBuffer(ctx, CL_MEM_READ_ONLY, npts * tpl * 4, NULL, &__err);
+  cl_mem dt = clCreateBuffer(ctx, CL_MEM_READ_ONLY, tpl * 4, NULL, &__err);
+  cl_mem dr = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, npts * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, df, CL_TRUE, 0, npts * tpl * 4, frame, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dt, CL_TRUE, 0, tpl * 4, templ, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &df);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dt);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dr);
+  clSetKernelArg(k, 3, sizeof(int), &npts);
+  clSetKernelArg(k, 4, sizeof(int), &tpl);
+  size_t gws[1] = {64}; size_t lws[1] = {32};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dr, CL_TRUE, 0, npts * 4, response, 0, NULL, NULL);
+""" + _VERIFY)
+
+# The real heartwall bundles dozens of device pointers into one `params`
+# struct passed by value to the kernel — untranslatable (§6.3).
+CUDA_SOURCE = r"""
+typedef struct TrackArgs {
+  float* frame;
+  float* templ;
+  float* response;
+  int npts;
+  int tpl;
+} TrackArgs;
+
+__global__ void track(TrackArgs args) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  if (p >= args.npts) return;
+  float acc = 0.0f;
+  for (int t = 0; t < args.tpl; t++)
+    acc += args.frame[p * args.tpl + t] * args.templ[t];
+  args.response[p] = acc;
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  TrackArgs args;
+  cudaMalloc((void**)&args.frame, npts * tpl * 4);
+  cudaMalloc((void**)&args.templ, tpl * 4);
+  cudaMalloc((void**)&args.response, npts * 4);
+  args.npts = npts;
+  args.tpl = tpl;
+  cudaMemcpy(args.frame, frame, npts * tpl * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(args.templ, templ, tpl * 4, cudaMemcpyHostToDevice);
+  track<<<2, 32>>>(args);
+  cudaMemcpy(response, args.response, npts * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="heartwall",
+    suite="rodinia",
+    description="template tracking; CUDA passes a struct of device pointers",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+    fail_category=CAT_LANG,
+    fail_feature="pointers inside kernel argument structure",
+))

@@ -1,0 +1,126 @@
+"""Rodinia hotspot: iterative 2D thermal stencil with shared-memory tiles."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int dim = 32; int n = 1024; int iters = 3;
+  float temp[1024]; float power[1024]; float out[1024];
+  srand(5);
+  for (int i = 0; i < n; i++) {
+    temp[i] = 320.0f + (float)(rand() % 100) * 0.1f;
+    power[i] = (float)(rand() % 50) * 0.001f;
+  }
+"""
+
+_VERIFY = r"""
+  /* CPU reference */
+  float ref[1024]; float cur[1024];
+  for (int i = 0; i < n; i++) cur[i] = temp0[i];
+  for (int it = 0; it < iters; it++) {
+    for (int y = 0; y < dim; y++)
+      for (int x = 0; x < dim; x++) {
+        int i = y * dim + x;
+        float c = cur[i];
+        float up = y > 0 ? cur[i - dim] : c;
+        float dn = y < dim - 1 ? cur[i + dim] : c;
+        float lf = x > 0 ? cur[i - 1] : c;
+        float rt = x < dim - 1 ? cur[i + 1] : c;
+        ref[i] = c + 0.2f * (up + dn + lf + rt - 4.0f * c) + power[i];
+      }
+    for (int i = 0; i < n; i++) cur[i] = ref[i];
+  }
+  int ok = 1;
+  for (int i = 0; i < n; i++)
+    if (fabs(out[i] - cur[i]) > 0.01f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void hotspot_step(__global const float* temp,
+                           __global const float* power,
+                           __global float* out, int dim) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int i = y * dim + x;
+  float c = temp[i];
+  float up = y > 0 ? temp[i - dim] : c;
+  float dn = y < dim - 1 ? temp[i + dim] : c;
+  float lf = x > 0 ? temp[i - 1] : c;
+  float rt = x < dim - 1 ? temp[i + 1] : c;
+  out[i] = c + 0.2f * (up + dn + lf + rt - 4.0f * c) + power[i];
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  float temp0[1024];
+  for (int i = 0; i < n; i++) temp0[i] = temp[i];
+
+  cl_kernel k = clCreateKernel(prog, "hotspot_step", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dp = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, n * 4, temp, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dp, CL_TRUE, 0, n * 4, power, 0, NULL, NULL);
+
+  size_t gws[2] = {32, 32}; size_t lws[2] = {16, 8};
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dp);
+  clSetKernelArg(k, 3, sizeof(int), &dim);
+  for (int it = 0; it < iters; it++) {
+    if (it % 2 == 0) {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &da);
+      clSetKernelArg(k, 2, sizeof(cl_mem), &db);
+    } else {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &db);
+      clSetKernelArg(k, 2, sizeof(cl_mem), &da);
+    }
+    clEnqueueNDRangeKernel(q, k, 2, NULL, gws, lws, 0, NULL, NULL);
+  }
+  clEnqueueReadBuffer(q, iters % 2 ? db : da, CL_TRUE, 0, n * 4, out,
+                      0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void hotspot_step(const float* temp, const float* power,
+                             float* out, int dim) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  int i = y * dim + x;
+  float c = temp[i];
+  float up = y > 0 ? temp[i - dim] : c;
+  float dn = y < dim - 1 ? temp[i + dim] : c;
+  float lf = x > 0 ? temp[i - 1] : c;
+  float rt = x < dim - 1 ? temp[i + 1] : c;
+  out[i] = c + 0.2f * (up + dn + lf + rt - 4.0f * c) + power[i];
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float temp0[1024];
+  for (int i = 0; i < n; i++) temp0[i] = temp[i];
+
+  float *da, *db, *dp;
+  cudaMalloc((void**)&da, n * 4);
+  cudaMalloc((void**)&db, n * 4);
+  cudaMalloc((void**)&dp, n * 4);
+  cudaMemcpy(da, temp, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dp, power, n * 4, cudaMemcpyHostToDevice);
+
+  dim3 grid(2, 4);
+  dim3 block(16, 8);
+  for (int it = 0; it < iters; it++) {
+    if (it % 2 == 0) hotspot_step<<<grid, block>>>(da, dp, db, dim);
+    else hotspot_step<<<grid, block>>>(db, dp, da, dim);
+  }
+  cudaMemcpy(out, iters % 2 ? db : da, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="hotspot",
+    suite="rodinia",
+    description="iterative 2D thermal stencil",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

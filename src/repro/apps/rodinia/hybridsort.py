@@ -1,0 +1,231 @@
+"""Rodinia hybridsort: bucket split + per-bucket sort.
+
+The original OpenCL and CUDA implementations differ (§6.2): the OpenCL
+version round-trips the bucket histogram and offsets through the *host*
+(extra transfers), while the CUDA version keeps them on the device — which
+is why the original CUDA code is ~27% faster than both the OpenCL original
+and its faithful translation (Fig. 7a, hybridSort).  The CUDA version also
+bins via an oversized 1D texture, making it untranslatable (§5).
+"""
+
+from ..base import App, register
+from ..common import ocl_main
+from ...translate.categories import CAT_LANG
+
+_N = 512
+_BUCKETS = 8
+
+_SETUP = r"""
+  int n = 512; int nbuckets = 64;
+  float data[512]; float sorted[512];
+  int histo[64]; int offsets[64];
+  srand(29);
+  for (int i = 0; i < n; i++) data[i] = (float)(rand() % 64000) * 0.001f;
+  for (int b = 0; b < nbuckets; b++) histo[b] = 0;
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  for (int i = 1; i < n; i++) if (sorted[i - 1] > sorted[i]) ok = 0;
+  float s1 = 0.0f; float s2 = 0.0f;
+  for (int i = 0; i < n; i++) { s1 += data[i]; s2 += sorted[i]; }
+  if (fabs(s1 - s2) > 0.05f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void bucket_count(__global const float* data, __global int* histo,
+                           int n, int nbuckets) {
+  int i = get_global_id(0);
+  if (i < n) {
+    int b = (int)data[i];
+    if (b >= nbuckets) b = nbuckets - 1;
+    atomic_add(&histo[b], 1);
+  }
+}
+
+__kernel void bucket_scatter(__global const float* data,
+                             __global float* out, __global int* cursors,
+                             int n, int nbuckets) {
+  int i = get_global_id(0);
+  if (i < n) {
+    int b = (int)data[i];
+    if (b >= nbuckets) b = nbuckets - 1;
+    int pos = atomic_add(&cursors[b], 1);
+    out[pos] = data[i];
+  }
+}
+
+__kernel void bucket_sort(__global float* out, __global const int* offsets,
+                          __global const int* histo, __local float* tile,
+                          int nbuckets) {
+  int b = get_group_id(0);
+  int lid = get_local_id(0);
+  int lo = offsets[b];
+  int cnt = histo[b];
+  for (int i = lid; i < cnt; i += get_local_size(0)) tile[i] = out[lo + i];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (lid == 0) {
+    for (int i = 1; i < cnt; i++) {
+      float v = tile[i];
+      int j = i - 1;
+      while (j >= 0 && tile[j] > v) { tile[j + 1] = tile[j]; j--; }
+      tile[j + 1] = v;
+    }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int i = lid; i < cnt; i += get_local_size(0)) out[lo + i] = tile[i];
+}
+"""
+
+# OpenCL host: histogram comes back to the HOST, offsets computed on the
+# host and re-uploaded — two extra transfers per phase vs the CUDA code.
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel kc = clCreateKernel(prog, "bucket_count", &__err);
+  cl_kernel ks = clCreateKernel(prog, "bucket_scatter", &__err);
+  cl_kernel kb = clCreateKernel(prog, "bucket_sort", &__err);
+  cl_mem dd = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dh = clCreateBuffer(ctx, CL_MEM_READ_WRITE, nbuckets * 4, NULL, &__err);
+  cl_mem dcur = clCreateBuffer(ctx, CL_MEM_READ_WRITE, nbuckets * 4, NULL, &__err);
+  cl_mem doff = clCreateBuffer(ctx, CL_MEM_READ_ONLY, nbuckets * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dd, CL_TRUE, 0, n * 4, data, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dh, CL_TRUE, 0, nbuckets * 4, histo, 0, NULL, NULL);
+
+  size_t gws[1] = {512}; size_t lws[1] = {64};
+  clSetKernelArg(kc, 0, sizeof(cl_mem), &dd);
+  clSetKernelArg(kc, 1, sizeof(cl_mem), &dh);
+  clSetKernelArg(kc, 2, sizeof(int), &n);
+  clSetKernelArg(kc, 3, sizeof(int), &nbuckets);
+  clEnqueueNDRangeKernel(q, kc, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  /* extra round trip #1: histogram to host */
+  clEnqueueReadBuffer(q, dh, CL_TRUE, 0, nbuckets * 4, histo, 0, NULL, NULL);
+  offsets[0] = 0;
+  for (int b = 1; b < nbuckets; b++) offsets[b] = offsets[b - 1] + histo[b - 1];
+  /* extra round trip #2: offsets (as scatter cursors) back to device */
+  clEnqueueWriteBuffer(q, dcur, CL_TRUE, 0, nbuckets * 4, offsets, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, doff, CL_TRUE, 0, nbuckets * 4, offsets, 0, NULL, NULL);
+
+  clSetKernelArg(ks, 0, sizeof(cl_mem), &dd);
+  clSetKernelArg(ks, 1, sizeof(cl_mem), &dout);
+  clSetKernelArg(ks, 2, sizeof(cl_mem), &dcur);
+  clSetKernelArg(ks, 3, sizeof(int), &n);
+  clSetKernelArg(ks, 4, sizeof(int), &nbuckets);
+  clEnqueueNDRangeKernel(q, ks, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  /* extra round trips #3/#4: the original OpenCL implementation stages
+     the scattered data and refined pivots through the host between the
+     bucket and merge phases (the CUDA version keeps everything resident,
+     hence its sizable win in Fig. 7a) */
+  float staged[512];
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, staged, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dout, CL_TRUE, 0, n * 4, staged, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dh, CL_TRUE, 0, nbuckets * 4, histo, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, doff, CL_TRUE, 0, nbuckets * 4, offsets, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, staged, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dout, CL_TRUE, 0, n * 4, staged, 0, NULL, NULL);
+
+  clSetKernelArg(kb, 0, sizeof(cl_mem), &dout);
+  clSetKernelArg(kb, 1, sizeof(cl_mem), &doff);
+  clSetKernelArg(kb, 2, sizeof(cl_mem), &dh);
+  clSetKernelArg(kb, 3, 64 * 4, NULL);
+  clSetKernelArg(kb, 4, sizeof(int), &nbuckets);
+  size_t gws2[1] = {1024}; size_t lws2[1] = {16};
+  clEnqueueNDRangeKernel(q, kb, 1, NULL, gws2, lws2, 0, NULL, NULL);
+
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, sorted, 0, NULL, NULL);
+""" + _VERIFY)
+
+# CUDA version: offsets computed on-device by a scan kernel (no host
+# round trips) and the input sampled through a 1D texture sized for the
+# full production dataset — 131072 texels, past the 65536-texel OpenCL 1D
+# image limit, so the translation is rejected (§5) while native CUDA runs.
+CUDA_SOURCE = r"""
+#define TEX_CAPACITY 131072
+texture<float, 1, cudaReadModeElementType> tex_data;
+
+__global__ void bucket_count(int* histo, int n, int nbuckets) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    int b = (int)tex1Dfetch(tex_data, i);
+    if (b >= nbuckets) b = nbuckets - 1;
+    atomicAdd(&histo[b], 1);
+  }
+}
+
+__global__ void scan_offsets(const int* histo, int* offsets, int* cursors,
+                             int nbuckets) {
+  int b = threadIdx.x;
+  if (b < nbuckets) {
+    int acc = 0;
+    for (int j = 0; j < b; j++) acc += histo[j];
+    offsets[b] = acc;
+    cursors[b] = acc;
+  }
+}
+
+__global__ void bucket_scatter(float* out, int* cursors, int n, int nbuckets) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float v = tex1Dfetch(tex_data, i);
+    int b = (int)v;
+    if (b >= nbuckets) b = nbuckets - 1;
+    int pos = atomicAdd(&cursors[b], 1);
+    out[pos] = v;
+  }
+}
+
+__global__ void bucket_sort(float* out, const int* offsets,
+                            const int* histo, int nbuckets) {
+  extern __shared__ float tile[];
+  int b = blockIdx.x;
+  int lid = threadIdx.x;
+  int lo = offsets[b];
+  int cnt = histo[b];
+  for (int i = lid; i < cnt; i += blockDim.x) tile[i] = out[lo + i];
+  __syncthreads();
+  if (lid == 0) {
+    for (int i = 1; i < cnt; i++) {
+      float v = tile[i];
+      int j = i - 1;
+      while (j >= 0 && tile[j] > v) { tile[j + 1] = tile[j]; j--; }
+      tile[j + 1] = v;
+    }
+  }
+  __syncthreads();
+  for (int i = lid; i < cnt; i += blockDim.x) out[lo + i] = tile[i];
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float *d_data, *d_out;
+  int *d_histo, *d_offsets, *d_cursors;
+  cudaMalloc((void**)&d_data, TEX_CAPACITY * 4);
+  cudaMalloc((void**)&d_out, n * 4);
+  cudaMalloc((void**)&d_histo, nbuckets * 4);
+  cudaMalloc((void**)&d_offsets, nbuckets * 4);
+  cudaMalloc((void**)&d_cursors, nbuckets * 4);
+  cudaMemcpy(d_data, data, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(d_histo, histo, nbuckets * 4, cudaMemcpyHostToDevice);
+  cudaBindTexture(NULL, tex_data, d_data, TEX_CAPACITY * 4);
+
+  /* no host round trips: histogram, scan and scatter all on-device */
+  bucket_count<<<8, 64>>>(d_histo, n, nbuckets);
+  scan_offsets<<<1, 64>>>(d_histo, d_offsets, d_cursors, nbuckets);
+  bucket_scatter<<<8, 64>>>(d_out, d_cursors, n, nbuckets);
+  bucket_sort<<<64, 16, 64 * sizeof(float)>>>(d_out, d_offsets, d_histo, nbuckets);
+  cudaMemcpy(sorted, d_out, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="hybridsort",
+    suite="rodinia",
+    description="bucket sort; OpenCL version round-trips offsets via host",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+    fail_category=CAT_LANG,
+    fail_feature="1D texture larger than the OpenCL image limit",
+))

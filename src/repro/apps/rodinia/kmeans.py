@@ -1,0 +1,128 @@
+"""Rodinia kmeans: cluster assignment.
+
+The OpenCL version translates to CUDA (Fig. 7a); the CUDA version binds the
+feature array to a 1D texture *larger than the OpenCL 1D image limit*, the
+exact reason the paper reports kmeans as untranslatable (§5, §6.3).
+"""
+
+from ..base import App, register
+from ..common import ocl_main
+from ...translate.categories import CAT_LANG
+
+_SETUP = r"""
+  int npoints = 256; int nfeatures = 4; int nclusters = 3;
+  float features[1024]; float clusters[12]; int membership[256];
+  srand(17);
+  for (int i = 0; i < npoints * nfeatures; i++)
+    features[i] = (float)(rand() % 1000) * 0.01f;
+  for (int c = 0; c < nclusters * nfeatures; c++)
+    clusters[c] = (float)(rand() % 1000) * 0.01f;
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  for (int p = 0; p < npoints; p++) {
+    float best = 1e30f; int bi = 0;
+    for (int c = 0; c < nclusters; c++) {
+      float d = 0.0f;
+      for (int f = 0; f < nfeatures; f++) {
+        float diff = features[p * nfeatures + f] - clusters[c * nfeatures + f];
+        d += diff * diff;
+      }
+      if (d < best) { best = d; bi = c; }
+    }
+    if (membership[p] != bi) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void kmeans_assign(__global const float* features,
+                            __constant float* clusters,
+                            __global int* membership,
+                            int npoints, int nfeatures, int nclusters) {
+  int p = get_global_id(0);
+  if (p >= npoints) return;
+  float best = 1e30f; int bi = 0;
+  for (int c = 0; c < nclusters; c++) {
+    float d = 0.0f;
+    for (int f = 0; f < nfeatures; f++) {
+      float diff = features[p * nfeatures + f] - clusters[c * nfeatures + f];
+      d += diff * diff;
+    }
+    if (d < best) { best = d; bi = c; }
+  }
+  membership[p] = bi;
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "kmeans_assign", &__err);
+  cl_mem df = clCreateBuffer(ctx, CL_MEM_READ_ONLY, npoints * nfeatures * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_ONLY, nclusters * nfeatures * 4, NULL, &__err);
+  cl_mem dm = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, npoints * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, df, CL_TRUE, 0, npoints * nfeatures * 4, features, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dc, CL_TRUE, 0, nclusters * nfeatures * 4, clusters, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &df);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dc);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dm);
+  clSetKernelArg(k, 3, sizeof(int), &npoints);
+  clSetKernelArg(k, 4, sizeof(int), &nfeatures);
+  clSetKernelArg(k, 5, sizeof(int), &nclusters);
+  size_t gws[1] = {256}; size_t lws[1] = {64};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dm, CL_TRUE, 0, npoints * 4, membership, 0, NULL, NULL);
+""" + _VERIFY)
+
+# The real kmeans_cuda binds the whole feature array to a 1D texture sized
+# for production datasets (kdd_cup: 494020 points) — far past the OpenCL
+# 65536-texel 1D image width, so translation must fail (§5) while native
+# CUDA execution works.
+CUDA_SOURCE = r"""
+#define TEX_CAPACITY 131072
+texture<float, 1, cudaReadModeElementType> tex_features;
+__constant__ float c_clusters[12];
+
+__global__ void kmeans_assign(int* membership,
+                              int npoints, int nfeatures, int nclusters) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  if (p >= npoints) return;
+  float best = 1e30f; int bi = 0;
+  for (int c = 0; c < nclusters; c++) {
+    float d = 0.0f;
+    for (int f = 0; f < nfeatures; f++) {
+      float diff = tex1Dfetch(tex_features, p * nfeatures + f)
+                 - c_clusters[c * nfeatures + f];
+      d += diff * diff;
+    }
+    if (d < best) { best = d; bi = c; }
+  }
+  membership[p] = bi;
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float* d_features;
+  int* d_membership;
+  cudaMalloc((void**)&d_features, TEX_CAPACITY * 4);
+  cudaMalloc((void**)&d_membership, npoints * 4);
+  cudaMemcpy(d_features, features, npoints * nfeatures * 4,
+             cudaMemcpyHostToDevice);
+  cudaMemcpyToSymbol(c_clusters, clusters, nclusters * nfeatures * 4);
+  cudaBindTexture(NULL, tex_features, d_features, TEX_CAPACITY * 4);
+
+  kmeans_assign<<<4, 64>>>(d_membership, npoints, nfeatures, nclusters);
+  cudaMemcpy(membership, d_membership, npoints * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="kmeans",
+    suite="rodinia",
+    description="k-means cluster assignment",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+    fail_category=CAT_LANG,
+    fail_feature="1D texture larger than the OpenCL image limit",
+))

@@ -1,0 +1,137 @@
+"""Rodinia lavaMD: particle force accumulation within neighbor boxes."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int nboxes = 4; int per_box = 16; int n = 64;
+  float px[64]; float py[64]; float pz[64]; float charge[64]; float force[64];
+  srand(41);
+  for (int i = 0; i < n; i++) {
+    px[i] = (float)(rand() % 100) * 0.01f;
+    py[i] = (float)(rand() % 100) * 0.01f;
+    pz[i] = (float)(rand() % 100) * 0.01f;
+    charge[i] = (float)(rand() % 10) * 0.1f;
+  }
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    int box = i / per_box;
+    float acc = 0.0f;
+    for (int j = box * per_box; j < (box + 1) * per_box; j++) {
+      if (j != i) {
+        float dx = px[i] - px[j];
+        float dy = py[i] - py[j];
+        float dz = pz[i] - pz[j];
+        float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+        acc += charge[j] / r2;
+      }
+    }
+    if (fabs(force[i] - acc) > 0.001f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void md_force(__global const float* px, __global const float* py,
+                       __global const float* pz,
+                       __global const float* charge,
+                       __global float* force, __local float* cx,
+                       int per_box) {
+  int box = get_group_id(0);
+  int lid = get_local_id(0);
+  int i = box * per_box + lid;
+  cx[lid] = px[i];
+  cx[per_box + lid] = py[i];
+  cx[2 * per_box + lid] = pz[i];
+  cx[3 * per_box + lid] = charge[i];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float acc = 0.0f;
+  for (int j = 0; j < per_box; j++) {
+    if (j != lid) {
+      float dx = cx[lid] - cx[j];
+      float dy = cx[per_box + lid] - cx[per_box + j];
+      float dz = cx[2 * per_box + lid] - cx[2 * per_box + j];
+      float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+      acc += cx[3 * per_box + j] / r2;
+    }
+  }
+  force[i] = acc;
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "md_force", &__err);
+  cl_mem dx = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dy = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dz = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem df = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dx, CL_TRUE, 0, n * 4, px, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dy, CL_TRUE, 0, n * 4, py, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dz, CL_TRUE, 0, n * 4, pz, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dc, CL_TRUE, 0, n * 4, charge, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dx);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dy);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dz);
+  clSetKernelArg(k, 3, sizeof(cl_mem), &dc);
+  clSetKernelArg(k, 4, sizeof(cl_mem), &df);
+  clSetKernelArg(k, 5, 4 * per_box * 4, NULL);
+  clSetKernelArg(k, 6, sizeof(int), &per_box);
+  size_t gws[1] = {64}; size_t lws[1] = {16};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, df, CL_TRUE, 0, n * 4, force, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void md_force(const float* px, const float* py, const float* pz,
+                         const float* charge, float* force, int per_box) {
+  extern __shared__ float cx[];
+  int box = blockIdx.x;
+  int lid = threadIdx.x;
+  int i = box * per_box + lid;
+  cx[lid] = px[i];
+  cx[per_box + lid] = py[i];
+  cx[2 * per_box + lid] = pz[i];
+  cx[3 * per_box + lid] = charge[i];
+  __syncthreads();
+  float acc = 0.0f;
+  for (int j = 0; j < per_box; j++) {
+    if (j != lid) {
+      float dx = cx[lid] - cx[j];
+      float dy = cx[per_box + lid] - cx[per_box + j];
+      float dz = cx[2 * per_box + lid] - cx[2 * per_box + j];
+      float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+      acc += cx[3 * per_box + j] / r2;
+    }
+  }
+  force[i] = acc;
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float *dx, *dy, *dz, *dc, *df;
+  cudaMalloc((void**)&dx, n * 4);
+  cudaMalloc((void**)&dy, n * 4);
+  cudaMalloc((void**)&dz, n * 4);
+  cudaMalloc((void**)&dc, n * 4);
+  cudaMalloc((void**)&df, n * 4);
+  cudaMemcpy(dx, px, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dy, py, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dz, pz, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dc, charge, n * 4, cudaMemcpyHostToDevice);
+  md_force<<<4, 16, 4 * 16 * sizeof(float)>>>(dx, dy, dz, dc, df, per_box);
+  cudaMemcpy(force, df, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="lavaMD",
+    suite="rodinia",
+    description="particle forces within neighbor boxes (shared-memory tiles)",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

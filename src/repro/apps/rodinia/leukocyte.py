@@ -1,0 +1,108 @@
+"""Rodinia leukocyte: GICOV-style score over image cells.
+
+The CUDA version samples the full video frame through a 1D texture sized
+for production inputs — past the OpenCL 1D image limit, so translation is
+rejected (§5, §6.3).  The OpenCL version reads global memory directly.
+"""
+
+from ..base import App, register
+from ..common import ocl_main
+from ...translate.categories import CAT_LANG
+
+_SETUP = r"""
+  int dim = 16; int n = 256;
+  float frame[256]; float score[256];
+  srand(71);
+  for (int i = 0; i < n; i++) frame[i] = (float)(rand() % 256) / 255.0f;
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  for (int y = 0; y < dim; y++)
+    for (int x = 0; x < dim; x++) {
+      int i = y * dim + x;
+      float c = frame[i];
+      float up = y > 0 ? frame[i - dim] : c;
+      float dn = y < dim - 1 ? frame[i + dim] : c;
+      float lf = x > 0 ? frame[i - 1] : c;
+      float rt = x < dim - 1 ? frame[i + 1] : c;
+      float gx = rt - lf;
+      float gy = dn - up;
+      float want = gx * gx + gy * gy;
+      if (fabs(score[i] - want) > 1e-4f) ok = 0;
+    }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void gicov(__global const float* frame, __global float* score,
+                    int dim) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int i = y * dim + x;
+  float c = frame[i];
+  float up = y > 0 ? frame[i - dim] : c;
+  float dn = y < dim - 1 ? frame[i + dim] : c;
+  float lf = x > 0 ? frame[i - 1] : c;
+  float rt = x < dim - 1 ? frame[i + 1] : c;
+  float gx = rt - lf;
+  float gy = dn - up;
+  score[i] = gx * gx + gy * gy;
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "gicov", &__err);
+  cl_mem df = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem ds = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, df, CL_TRUE, 0, n * 4, frame, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &df);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &ds);
+  clSetKernelArg(k, 2, sizeof(int), &dim);
+  size_t gws[2] = {16, 16}; size_t lws[2] = {8, 8};
+  clEnqueueNDRangeKernel(q, k, 2, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, ds, CL_TRUE, 0, n * 4, score, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+#define TEX_CAPACITY 131072
+texture<float, 1, cudaReadModeElementType> tex_frame;
+
+__global__ void gicov(float* score, int dim) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  int i = y * dim + x;
+  float c = tex1Dfetch(tex_frame, i);
+  float up = y > 0 ? tex1Dfetch(tex_frame, i - dim) : c;
+  float dn = y < dim - 1 ? tex1Dfetch(tex_frame, i + dim) : c;
+  float lf = x > 0 ? tex1Dfetch(tex_frame, i - 1) : c;
+  float rt = x < dim - 1 ? tex1Dfetch(tex_frame, i + 1) : c;
+  float gx = rt - lf;
+  float gy = dn - up;
+  score[i] = gx * gx + gy * gy;
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float *d_frame, *d_score;
+  cudaMalloc((void**)&d_frame, TEX_CAPACITY * 4);
+  cudaMalloc((void**)&d_score, n * 4);
+  cudaMemcpy(d_frame, frame, n * 4, cudaMemcpyHostToDevice);
+  cudaBindTexture(NULL, tex_frame, d_frame, TEX_CAPACITY * 4);
+  dim3 grid(2, 2);
+  dim3 block(8, 8);
+  gicov<<<grid, block>>>(d_score, dim);
+  cudaMemcpy(score, d_score, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="leukocyte",
+    suite="rodinia",
+    description="cell-detection gradient score via texture fetches",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+    fail_category=CAT_LANG,
+    fail_feature="1D texture larger than the OpenCL image limit",
+))

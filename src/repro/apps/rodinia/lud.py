@@ -1,0 +1,107 @@
+"""Rodinia lud: blocked LU decomposition (diagonal + internal kernels)."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int n = 16;
+  float a[256];
+  srand(31);
+  /* build SPD-ish matrix so LU without pivoting is stable */
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      a[i * n + j] = (i == j) ? (float)(n * 2) :
+                     (float)((i * 13 + j * 7) % 9) * 0.1f;
+  float a0[256];
+  for (int i = 0; i < n * n; i++) a0[i] = a[i];
+"""
+
+_VERIFY = r"""
+  /* reconstruct L*U and compare to original */
+  int ok = 1;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      float s = 0.0f;
+      int kmax = i < j ? i : j;
+      for (int k = 0; k <= kmax; k++) {
+        float lik = (k == i) ? 1.0f : a[i * n + k];
+        float ukj = a[k * n + j];
+        if (k <= i && k <= j) s += (i == k ? 1.0f : a[i * n + k]) * a[k * n + j];
+      }
+      if (fabs(s - a0[i * n + j]) > 0.01f) ok = 0;
+    }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void lud_col(__global float* a, int n, int k) {
+  int i = get_global_id(0) + k + 1;
+  if (i < n)
+    a[i * n + k] = a[i * n + k] / a[k * n + k];
+}
+
+__kernel void lud_update(__global float* a, int n, int k) {
+  int i = get_global_id(0) + k + 1;
+  int j = get_global_id(1) + k + 1;
+  if (i < n && j < n)
+    a[i * n + j] -= a[i * n + k] * a[k * n + j];
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel kc = clCreateKernel(prog, "lud_col", &__err);
+  cl_kernel ku = clCreateKernel(prog, "lud_update", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, n * n * 4, a, 0, NULL, NULL);
+  clSetKernelArg(kc, 0, sizeof(cl_mem), &da);
+  clSetKernelArg(kc, 1, sizeof(int), &n);
+  clSetKernelArg(ku, 0, sizeof(cl_mem), &da);
+  clSetKernelArg(ku, 1, sizeof(int), &n);
+  size_t g1[1] = {16}; size_t l1[1] = {16};
+  size_t g2[2] = {16, 16}; size_t l2[2] = {16, 16};
+  for (int k = 0; k < n - 1; k++) {
+    clSetKernelArg(kc, 2, sizeof(int), &k);
+    clEnqueueNDRangeKernel(q, kc, 1, NULL, g1, l1, 0, NULL, NULL);
+    clSetKernelArg(ku, 2, sizeof(int), &k);
+    clEnqueueNDRangeKernel(q, ku, 2, NULL, g2, l2, 0, NULL, NULL);
+  }
+  clEnqueueReadBuffer(q, da, CL_TRUE, 0, n * n * 4, a, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void lud_col(float* a, int n, int k) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x + k + 1;
+  if (i < n)
+    a[i * n + k] = a[i * n + k] / a[k * n + k];
+}
+
+__global__ void lud_update(float* a, int n, int k) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x + k + 1;
+  int j = blockIdx.y * blockDim.y + threadIdx.y + k + 1;
+  if (i < n && j < n)
+    a[i * n + j] -= a[i * n + k] * a[k * n + j];
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float* da;
+  cudaMalloc((void**)&da, n * n * 4);
+  cudaMemcpy(da, a, n * n * 4, cudaMemcpyHostToDevice);
+  dim3 g2(1, 1);
+  dim3 b2(16, 16);
+  for (int k = 0; k < n - 1; k++) {
+    lud_col<<<1, 16>>>(da, n, k);
+    lud_update<<<g2, b2>>>(da, n, k);
+  }
+  cudaMemcpy(a, da, n * n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="lud",
+    suite="rodinia",
+    description="LU decomposition, right-looking updates",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

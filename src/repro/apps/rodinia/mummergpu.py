@@ -1,0 +1,78 @@
+"""Rodinia mummergpu: suffix-tree sequence matching (CUDA only).
+
+Rodinia 3.0 ships no OpenCL version of mummergpu, and the CUDA version
+sizes its reference pages from ``cudaMemGetInfo`` — a host API with no
+OpenCL counterpart (§3.7) — so it is untranslatable (§6.3).
+"""
+
+from ..base import App, register
+from ...translate.categories import CAT_NO_FUNC
+
+CUDA_SOURCE = r"""
+__global__ void match_kernel(const char* reference, const char* queries,
+                             int* matches, int ref_len, int qlen,
+                             int nqueries) {
+  int qi = blockIdx.x * blockDim.x + threadIdx.x;
+  if (qi >= nqueries) return;
+  int best = 0;
+  for (int start = 0; start + qlen <= ref_len; start++) {
+    int run = 0;
+    for (int j = 0; j < qlen; j++) {
+      if (reference[start + j] == queries[qi * qlen + j]) run++;
+      else break;
+    }
+    if (run > best) best = run;
+  }
+  matches[qi] = best;
+}
+
+int main(void) {
+  int ref_len = 256; int qlen = 8; int nqueries = 32;
+  char reference[256]; char queries[256]; int matches[32];
+  srand(73);
+  for (int i = 0; i < ref_len; i++) reference[i] = (char)('A' + rand() % 4);
+  for (int i = 0; i < nqueries * qlen; i++) queries[i] = (char)('A' + rand() % 4);
+
+  /* page the reference by available device memory (§3.7: cudaMemGetInfo
+     has no OpenCL counterpart) */
+  size_t freeMem, totalMem;
+  cudaMemGetInfo(&freeMem, &totalMem);
+  int page = freeMem > 1048576u ? ref_len : ref_len / 2;
+  if (page > ref_len) page = ref_len;
+
+  char *dref, *dq;
+  int* dm;
+  cudaMalloc((void**)&dref, ref_len);
+  cudaMalloc((void**)&dq, nqueries * qlen);
+  cudaMalloc((void**)&dm, nqueries * 4);
+  cudaMemcpy(dref, reference, ref_len, cudaMemcpyHostToDevice);
+  cudaMemcpy(dq, queries, nqueries * qlen, cudaMemcpyHostToDevice);
+  match_kernel<<<1, 32>>>(dref, dq, dm, page, qlen, nqueries);
+  cudaMemcpy(matches, dm, nqueries * 4, cudaMemcpyDeviceToHost);
+
+  int ok = 1;
+  for (int qi = 0; qi < nqueries; qi++) {
+    int best = 0;
+    for (int start = 0; start + qlen <= page; start++) {
+      int run = 0;
+      for (int j = 0; j < qlen; j++) {
+        if (reference[start + j] == queries[qi * qlen + j]) run++;
+        else break;
+      }
+      if (run > best) best = run;
+    }
+    if (matches[qi] != best) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""
+
+register(App(
+    name="mummergpu",
+    suite="rodinia",
+    description="sequence matching; CUDA-only, uses cudaMemGetInfo",
+    cuda_source=CUDA_SOURCE,
+    fail_category=CAT_NO_FUNC,
+    fail_feature="cudaMemGetInfo",
+))

@@ -1,0 +1,104 @@
+"""Rodinia myocyte: per-cell ODE integration (compute-heavy kernel)."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int n = 128; int steps = 8; float dt = 0.01f;
+  float v[128]; float w[128];
+  srand(43);
+  for (int i = 0; i < n; i++) {
+    v[i] = (float)(rand() % 100) * 0.01f;
+    w[i] = (float)(rand() % 100) * 0.01f;
+  }
+  float v0[128]; float w0[128];
+  for (int i = 0; i < n; i++) { v0[i] = v[i]; w0[i] = w[i]; }
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    float rv = v0[i]; float rw = w0[i];
+    for (int s = 0; s < steps; s++) {
+      float dv = rv - rv * rv * rv / 3.0f - rw + 0.5f;
+      float dw = 0.08f * (rv + 0.7f - 0.8f * rw);
+      rv += dt * dv;
+      rw += dt * dw;
+    }
+    if (fabs(v[i] - rv) > 0.001f || fabs(w[i] - rw) > 0.001f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void solve_ode(__global float* v, __global float* w,
+                        int n, int steps, float dt) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float rv = v[i];
+  float rw = w[i];
+  for (int s = 0; s < steps; s++) {
+    float dv = rv - rv * rv * rv / 3.0f - rw + 0.5f;
+    float dw = 0.08f * (rv + 0.7f - 0.8f * rw);
+    rv += dt * dv;
+    rw += dt * dw;
+  }
+  v[i] = rv;
+  w[i] = rw;
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "solve_ode", &__err);
+  cl_mem dv = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dw = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dv, CL_TRUE, 0, n * 4, v, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dw, CL_TRUE, 0, n * 4, w, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dv);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dw);
+  clSetKernelArg(k, 2, sizeof(int), &n);
+  clSetKernelArg(k, 3, sizeof(int), &steps);
+  clSetKernelArg(k, 4, sizeof(float), &dt);
+  size_t gws[1] = {128}; size_t lws[1] = {64};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dv, CL_TRUE, 0, n * 4, v, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dw, CL_TRUE, 0, n * 4, w, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void solve_ode(float* v, float* w, int n, int steps, float dt) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+  float rv = v[i];
+  float rw = w[i];
+  for (int s = 0; s < steps; s++) {
+    float dv = rv - rv * rv * rv / 3.0f - rw + 0.5f;
+    float dw = 0.08f * (rv + 0.7f - 0.8f * rw);
+    rv += dt * dv;
+    rw += dt * dw;
+  }
+  v[i] = rv;
+  w[i] = rw;
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float *dv, *dw;
+  cudaMalloc((void**)&dv, n * 4);
+  cudaMalloc((void**)&dw, n * 4);
+  cudaMemcpy(dv, v, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dw, w, n * 4, cudaMemcpyHostToDevice);
+  solve_ode<<<2, 64>>>(dv, dw, n, steps, dt);
+  cudaMemcpy(v, dv, n * 4, cudaMemcpyDeviceToHost);
+  cudaMemcpy(w, dw, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="myocyte",
+    suite="rodinia",
+    description="FitzHugh-Nagumo ODE integration per cell",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

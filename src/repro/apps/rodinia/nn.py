@@ -1,0 +1,106 @@
+"""Rodinia nn: nearest neighbors to a target (distance kernel + host top-k).
+
+The CUDA version sizes its batches with ``cudaMemGetInfo`` — a host API
+with no OpenCL counterpart (§3.7), which is exactly why the paper reports
+nn as untranslatable (§6.3).
+"""
+
+from ..base import App, register
+from ..common import ocl_main
+from ...translate.categories import CAT_NO_FUNC
+
+_SETUP = r"""
+  int n = 512; float lat0 = 30.0f; float lng0 = 90.0f;
+  float lat[512]; float lng[512]; float dist[512];
+  srand(23);
+  for (int i = 0; i < n; i++) {
+    lat[i] = (float)(rand() % 18000) * 0.01f - 90.0f;
+    lng[i] = (float)(rand() % 36000) * 0.01f - 180.0f;
+  }
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    float dla = lat[i] - lat0;
+    float dln = lng[i] - lng0;
+    float want = sqrt(dla * dla + dln * dln);
+    if (fabs(dist[i] - want) > 0.001f) ok = 0;
+  }
+  /* host-side top-1 like the original's nearest-record scan */
+  int best = 0;
+  for (int i = 1; i < n; i++) if (dist[i] < dist[best]) best = i;
+  if (best < 0 || best >= n) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void euclid(__global const float* lat, __global const float* lng,
+                     __global float* dist, int n, float lat0, float lng0) {
+  int i = get_global_id(0);
+  if (i < n) {
+    float dla = lat[i] - lat0;
+    float dln = lng[i] - lng0;
+    dist[i] = sqrt(dla * dla + dln * dln);
+  }
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "euclid", &__err);
+  cl_mem dlat = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dlng = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dd = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dlat, CL_TRUE, 0, n * 4, lat, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dlng, CL_TRUE, 0, n * 4, lng, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dlat);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dlng);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dd);
+  clSetKernelArg(k, 3, sizeof(int), &n);
+  clSetKernelArg(k, 4, sizeof(float), &lat0);
+  clSetKernelArg(k, 5, sizeof(float), &lng0);
+  size_t gws[1] = {512}; size_t lws[1] = {128};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dd, CL_TRUE, 0, n * 4, dist, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void euclid(const float* lat, const float* lng, float* dist,
+                       int n, float lat0, float lng0) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float dla = lat[i] - lat0;
+    float dln = lng[i] - lng0;
+    dist[i] = sqrtf(dla * dla + dln * dln);
+  }
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  /* batch sizing from free device memory — no OpenCL counterpart (§3.7) */
+  size_t freeMem, totalMem;
+  cudaMemGetInfo(&freeMem, &totalMem);
+  int batch = (int)(freeMem > 1048576u ? 512 : 128);
+  if (batch > n) batch = n;
+
+  float *dlat, *dlng, *dd;
+  cudaMalloc((void**)&dlat, n * 4);
+  cudaMalloc((void**)&dlng, n * 4);
+  cudaMalloc((void**)&dd, n * 4);
+  cudaMemcpy(dlat, lat, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dlng, lng, n * 4, cudaMemcpyHostToDevice);
+  euclid<<<4, 128>>>(dlat, dlng, dd, n, lat0, lng0);
+  cudaMemcpy(dist, dd, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="nn",
+    suite="rodinia",
+    description="nearest-neighbor distance computation",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+    fail_category=CAT_NO_FUNC,
+    fail_feature="cudaMemGetInfo",
+))

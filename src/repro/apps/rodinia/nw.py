@@ -1,0 +1,118 @@
+"""Rodinia nw: Needleman-Wunsch sequence alignment, anti-diagonal waves."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int dim = 48; int penalty = 2;
+  int score[2304]; int seq1[48]; int seq2[48];
+  srand(9);
+  for (int i = 0; i < dim; i++) { seq1[i] = rand() % 4; seq2[i] = rand() % 4; }
+  for (int i = 0; i < dim * dim; i++) score[i] = 0;
+  for (int i = 0; i < dim; i++) { score[i] = -i * penalty; score[i * dim] = -i * penalty; }
+"""
+
+_VERIFY = r"""
+  int ref[2304];
+  for (int i = 0; i < dim * dim; i++) ref[i] = 0;
+  for (int i = 0; i < dim; i++) { ref[i] = -i * penalty; ref[i * dim] = -i * penalty; }
+  for (int y = 1; y < dim; y++)
+    for (int x = 1; x < dim; x++) {
+      int match = seq1[x] == seq2[y] ? 3 : -1;
+      int diag = ref[(y - 1) * dim + x - 1] + match;
+      int up = ref[(y - 1) * dim + x] - penalty;
+      int lf = ref[y * dim + x - 1] - penalty;
+      int best = diag;
+      if (up > best) best = up;
+      if (lf > best) best = lf;
+      ref[y * dim + x] = best;
+    }
+  int ok = 1;
+  for (int i = 0; i < dim * dim; i++) if (score[i] != ref[i]) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void nw_wave(__global int* score, __global const int* seq1,
+                      __global const int* seq2, int dim, int wave,
+                      int penalty) {
+  int t = get_global_id(0);
+  int y = t + 1;
+  int x = wave - t - 1;
+  if (y >= 1 && y < dim && x >= 1 && x < dim) {
+    int match = seq1[x] == seq2[y] ? 3 : -1;
+    int diag = score[(y - 1) * dim + x - 1] + match;
+    int up = score[(y - 1) * dim + x] - penalty;
+    int lf = score[y * dim + x - 1] - penalty;
+    int best = diag;
+    if (up > best) best = up;
+    if (lf > best) best = lf;
+    score[y * dim + x] = best;
+  }
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "nw_wave", &__err);
+  cl_mem ds = clCreateBuffer(ctx, CL_MEM_READ_WRITE, dim * dim * 4, NULL, &__err);
+  cl_mem d1 = clCreateBuffer(ctx, CL_MEM_READ_ONLY, dim * 4, NULL, &__err);
+  cl_mem d2 = clCreateBuffer(ctx, CL_MEM_READ_ONLY, dim * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, ds, CL_TRUE, 0, dim * dim * 4, score, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, d1, CL_TRUE, 0, dim * 4, seq1, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, d2, CL_TRUE, 0, dim * 4, seq2, 0, NULL, NULL);
+
+  clSetKernelArg(k, 0, sizeof(cl_mem), &ds);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &d1);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &d2);
+  clSetKernelArg(k, 3, sizeof(int), &dim);
+  clSetKernelArg(k, 5, sizeof(int), &penalty);
+  size_t gws[1] = {48}; size_t lws[1] = {48};
+  for (int wave = 2; wave <= 2 * (dim - 1); wave++) {
+    clSetKernelArg(k, 4, sizeof(int), &wave);
+    clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  }
+  clEnqueueReadBuffer(q, ds, CL_TRUE, 0, dim * dim * 4, score, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void nw_wave(int* score, const int* seq1, const int* seq2,
+                        int dim, int wave, int penalty) {
+  int t = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = t + 1;
+  int x = wave - t - 1;
+  if (y >= 1 && y < dim && x >= 1 && x < dim) {
+    int match = seq1[x] == seq2[y] ? 3 : -1;
+    int diag = score[(y - 1) * dim + x - 1] + match;
+    int up = score[(y - 1) * dim + x] - penalty;
+    int lf = score[y * dim + x - 1] - penalty;
+    int best = diag;
+    if (up > best) best = up;
+    if (lf > best) best = lf;
+    score[y * dim + x] = best;
+  }
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  int *ds, *d1, *d2;
+  cudaMalloc((void**)&ds, dim * dim * 4);
+  cudaMalloc((void**)&d1, dim * 4);
+  cudaMalloc((void**)&d2, dim * 4);
+  cudaMemcpy(ds, score, dim * dim * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(d1, seq1, dim * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(d2, seq2, dim * 4, cudaMemcpyHostToDevice);
+
+  for (int wave = 2; wave <= 2 * (dim - 1); wave++)
+    nw_wave<<<1, 48>>>(ds, d1, d2, dim, wave, penalty);
+  cudaMemcpy(score, ds, dim * dim * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="nw",
+    suite="rodinia",
+    description="Needleman-Wunsch anti-diagonal dynamic programming",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

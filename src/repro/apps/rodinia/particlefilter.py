@@ -1,0 +1,165 @@
+"""Rodinia particlefilter: likelihood weighting + normalization kernels."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int n = 128;
+  float xs[128]; float ys[128]; float weights[128];
+  float ox = 5.0f; float oy = 5.0f;
+  srand(47);
+  for (int i = 0; i < n; i++) {
+    xs[i] = (float)(rand() % 1000) * 0.01f;
+    ys[i] = (float)(rand() % 1000) * 0.01f;
+  }
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  float rw[128]; float total = 0.0f;
+  for (int i = 0; i < n; i++) {
+    float dx = xs[i] - ox;
+    float dy = ys[i] - oy;
+    rw[i] = exp(-0.5f * (dx * dx + dy * dy));
+    total += rw[i];
+  }
+  float sum_check = 0.0f;
+  for (int i = 0; i < n; i++) {
+    float want = rw[i] / total;
+    sum_check += weights[i];
+    if (fabs(weights[i] - want) > 1e-4f) ok = 0;
+  }
+  if (fabs(sum_check - 1.0f) > 1e-3f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void likelihood(__global const float* xs, __global const float* ys,
+                         __global float* weights, int n, float ox, float oy) {
+  int i = get_global_id(0);
+  if (i < n) {
+    float dx = xs[i] - ox;
+    float dy = ys[i] - oy;
+    weights[i] = exp(-0.5f * (dx * dx + dy * dy));
+  }
+}
+
+__kernel void normalize_w(__global float* weights, __global float* total,
+                          __local float* tmp, int n) {
+  int lid = get_local_id(0);
+  int i = get_global_id(0);
+  tmp[lid] = i < n ? weights[i] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) atomic_xchg(&total[get_group_id(0)], tmp[0]);
+}
+
+__kernel void divide_w(__global float* weights, __global const float* total,
+                       int n, int ngroups) {
+  int i = get_global_id(0);
+  if (i < n) {
+    float t = 0.0f;
+    for (int g = 0; g < ngroups; g++) t += total[g];
+    weights[i] /= t;
+  }
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel kl = clCreateKernel(prog, "likelihood", &__err);
+  cl_kernel kn = clCreateKernel(prog, "normalize_w", &__err);
+  cl_kernel kd = clCreateKernel(prog, "divide_w", &__err);
+  cl_mem dx = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dy = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dwt = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dtot = clCreateBuffer(ctx, CL_MEM_READ_WRITE, 4 * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dx, CL_TRUE, 0, n * 4, xs, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dy, CL_TRUE, 0, n * 4, ys, 0, NULL, NULL);
+
+  size_t gws[1] = {128}; size_t lws[1] = {32};
+  clSetKernelArg(kl, 0, sizeof(cl_mem), &dx);
+  clSetKernelArg(kl, 1, sizeof(cl_mem), &dy);
+  clSetKernelArg(kl, 2, sizeof(cl_mem), &dwt);
+  clSetKernelArg(kl, 3, sizeof(int), &n);
+  clSetKernelArg(kl, 4, sizeof(float), &ox);
+  clSetKernelArg(kl, 5, sizeof(float), &oy);
+  clEnqueueNDRangeKernel(q, kl, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  clSetKernelArg(kn, 0, sizeof(cl_mem), &dwt);
+  clSetKernelArg(kn, 1, sizeof(cl_mem), &dtot);
+  clSetKernelArg(kn, 2, 32 * 4, NULL);
+  clSetKernelArg(kn, 3, sizeof(int), &n);
+  clEnqueueNDRangeKernel(q, kn, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  int ngroups = 4;
+  clSetKernelArg(kd, 0, sizeof(cl_mem), &dwt);
+  clSetKernelArg(kd, 1, sizeof(cl_mem), &dtot);
+  clSetKernelArg(kd, 2, sizeof(int), &n);
+  clSetKernelArg(kd, 3, sizeof(int), &ngroups);
+  clEnqueueNDRangeKernel(q, kd, 1, NULL, gws, lws, 0, NULL, NULL);
+
+  clEnqueueReadBuffer(q, dwt, CL_TRUE, 0, n * 4, weights, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void likelihood(const float* xs, const float* ys, float* weights,
+                           int n, float ox, float oy) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float dx = xs[i] - ox;
+    float dy = ys[i] - oy;
+    weights[i] = expf(-0.5f * (dx * dx + dy * dy));
+  }
+}
+
+__global__ void normalize_w(float* weights, float* total, int n) {
+  extern __shared__ float tmp[];
+  int lid = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  tmp[lid] = i < n ? weights[i] : 0.0f;
+  __syncthreads();
+  for (int s = blockDim.x / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    __syncthreads();
+  }
+  if (lid == 0) atomicExch(&total[blockIdx.x], tmp[0]);
+}
+
+__global__ void divide_w(float* weights, const float* total, int n,
+                         int ngroups) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float t = 0.0f;
+    for (int g = 0; g < ngroups; g++) t += total[g];
+    weights[i] /= t;
+  }
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float *dx, *dy, *dwt, *dtot;
+  cudaMalloc((void**)&dx, n * 4);
+  cudaMalloc((void**)&dy, n * 4);
+  cudaMalloc((void**)&dwt, n * 4);
+  cudaMalloc((void**)&dtot, 4 * 4);
+  cudaMemcpy(dx, xs, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dy, ys, n * 4, cudaMemcpyHostToDevice);
+
+  likelihood<<<4, 32>>>(dx, dy, dwt, n, ox, oy);
+  normalize_w<<<4, 32, 32 * sizeof(float)>>>(dwt, dtot, n);
+  divide_w<<<4, 32>>>(dwt, dtot, n, 4);
+  cudaMemcpy(weights, dwt, n * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="particlefilter",
+    suite="rodinia",
+    description="particle filter likelihood + weight normalization",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

@@ -1,0 +1,102 @@
+"""Rodinia pathfinder: dynamic programming over grid rows."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int cols = 256; int rows = 8;
+  int wall[2048]; int result[256];
+  srand(3);
+  for (int i = 0; i < rows * cols; i++) wall[i] = rand() % 10;
+"""
+
+_VERIFY = r"""
+  int ref[256]; int prev[256];
+  for (int x = 0; x < cols; x++) prev[x] = wall[x];
+  for (int y = 1; y < rows; y++) {
+    for (int x = 0; x < cols; x++) {
+      int best = prev[x];
+      if (x > 0 && prev[x - 1] < best) best = prev[x - 1];
+      if (x < cols - 1 && prev[x + 1] < best) best = prev[x + 1];
+      ref[x] = wall[y * cols + x] + best;
+    }
+    for (int x = 0; x < cols; x++) prev[x] = ref[x];
+  }
+  int ok = 1;
+  for (int x = 0; x < cols; x++) if (result[x] != prev[x]) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void dynproc(__global const int* wall, __global const int* src,
+                      __global int* dst, int cols, int row) {
+  int x = get_global_id(0);
+  int best = src[x];
+  if (x > 0 && src[x - 1] < best) best = src[x - 1];
+  if (x < cols - 1 && src[x + 1] < best) best = src[x + 1];
+  dst[x] = wall[row * cols + x] + best;
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "dynproc", &__err);
+  cl_mem dwall = clCreateBuffer(ctx, CL_MEM_READ_ONLY, rows * cols * 4, NULL, &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_WRITE, cols * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_WRITE, cols * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dwall, CL_TRUE, 0, rows * cols * 4, wall, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, cols * 4, wall, 0, NULL, NULL);
+
+  size_t gws[1] = {256}; size_t lws[1] = {64};
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dwall);
+  clSetKernelArg(k, 3, sizeof(int), &cols);
+  for (int row = 1; row < rows; row++) {
+    if (row % 2) {
+      clSetKernelArg(k, 1, sizeof(cl_mem), &da);
+      clSetKernelArg(k, 2, sizeof(cl_mem), &db);
+    } else {
+      clSetKernelArg(k, 1, sizeof(cl_mem), &db);
+      clSetKernelArg(k, 2, sizeof(cl_mem), &da);
+    }
+    clSetKernelArg(k, 4, sizeof(int), &row);
+    clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  }
+  clEnqueueReadBuffer(q, (rows - 1) % 2 ? db : da, CL_TRUE, 0, cols * 4,
+                      result, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__global__ void dynproc(const int* wall, const int* src, int* dst,
+                        int cols, int row) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int best = src[x];
+  if (x > 0 && src[x - 1] < best) best = src[x - 1];
+  if (x < cols - 1 && src[x + 1] < best) best = src[x + 1];
+  dst[x] = wall[row * cols + x] + best;
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  int *dwall, *da, *db;
+  cudaMalloc((void**)&dwall, rows * cols * 4);
+  cudaMalloc((void**)&da, cols * 4);
+  cudaMalloc((void**)&db, cols * 4);
+  cudaMemcpy(dwall, wall, rows * cols * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(da, wall, cols * 4, cudaMemcpyHostToDevice);
+
+  for (int row = 1; row < rows; row++) {
+    if (row % 2) dynproc<<<4, 64>>>(dwall, da, db, cols, row);
+    else dynproc<<<4, 64>>>(dwall, db, da, cols, row);
+  }
+  cudaMemcpy(result, (rows - 1) % 2 ? db : da, cols * 4,
+             cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="pathfinder",
+    suite="rodinia",
+    description="row-wise dynamic programming (shortest path through grid)",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

@@ -1,0 +1,203 @@
+"""Rodinia srad: speckle-reducing anisotropic diffusion (2 kernels/iter)."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int dim = 24; int n = 576; int iters = 2; float lambda = 0.5f;
+  float img[576]; float c[576]; float dN[576]; float dS[576];
+  float dW[576]; float dE[576];
+  srand(13);
+  for (int i = 0; i < n; i++) img[i] = 1.0f + (float)(rand() % 100) * 0.01f;
+"""
+
+_REF = r"""
+  /* CPU reference of the same two-phase update */
+  float rimg[576]; float rc[576];
+  for (int i = 0; i < n; i++) rimg[i] = img0[i];
+  for (int it = 0; it < iters; it++) {
+    float sum = 0.0f; float sum2 = 0.0f;
+    for (int i = 0; i < n; i++) { sum += rimg[i]; sum2 += rimg[i] * rimg[i]; }
+    float mean = sum / (float)n;
+    float var = sum2 / (float)n - mean * mean;
+    float q0 = var / (mean * mean);
+    for (int y = 0; y < dim; y++)
+      for (int x = 0; x < dim; x++) {
+        int i = y * dim + x;
+        float J = rimg[i];
+        float n_ = (y > 0 ? rimg[i - dim] : J) - J;
+        float s_ = (y < dim - 1 ? rimg[i + dim] : J) - J;
+        float w_ = (x > 0 ? rimg[i - 1] : J) - J;
+        float e_ = (x < dim - 1 ? rimg[i + 1] : J) - J;
+        float g2 = (n_ * n_ + s_ * s_ + w_ * w_ + e_ * e_) / (J * J);
+        float l = (n_ + s_ + w_ + e_) / J;
+        float num = 0.5f * g2 - 0.0625f * l * l;
+        float den = 1.0f + 0.25f * l;
+        float qsq = num / (den * den);
+        float cd = 1.0f / (1.0f + (qsq - q0) / (q0 * (1.0f + q0)));
+        if (cd < 0.0f) cd = 0.0f;
+        if (cd > 1.0f) cd = 1.0f;
+        rc[i] = cd;
+      }
+    for (int y = 0; y < dim; y++)
+      for (int x = 0; x < dim; x++) {
+        int i = y * dim + x;
+        float J = rimg[i];
+        float cN = rc[i];
+        float cS = y < dim - 1 ? rc[i + dim] : rc[i];
+        float cE = x < dim - 1 ? rc[i + 1] : rc[i];
+        float dn = (y > 0 ? rimg[i - dim] : J) - J;
+        float ds = (y < dim - 1 ? rimg[i + dim] : J) - J;
+        float dw = (x > 0 ? rimg[i - 1] : J) - J;
+        float de = (x < dim - 1 ? rimg[i + 1] : J) - J;
+        rimg[i] = J + 0.25f * lambda * (cN * (dn + dw) + cS * ds + cE * de);
+      }
+  }
+  int ok = 1;
+  for (int i = 0; i < n; i++)
+    if (fabs(img[i] - rimg[i]) > 0.001f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void srad1(__global const float* img, __global float* c,
+                    int dim, float q0) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int i = y * dim + x;
+  float J = img[i];
+  float n_ = (y > 0 ? img[i - dim] : J) - J;
+  float s_ = (y < dim - 1 ? img[i + dim] : J) - J;
+  float w_ = (x > 0 ? img[i - 1] : J) - J;
+  float e_ = (x < dim - 1 ? img[i + 1] : J) - J;
+  float g2 = (n_ * n_ + s_ * s_ + w_ * w_ + e_ * e_) / (J * J);
+  float l = (n_ + s_ + w_ + e_) / J;
+  float num = 0.5f * g2 - 0.0625f * l * l;
+  float den = 1.0f + 0.25f * l;
+  float qsq = num / (den * den);
+  float cd = 1.0f / (1.0f + (qsq - q0) / (q0 * (1.0f + q0)));
+  if (cd < 0.0f) cd = 0.0f;
+  if (cd > 1.0f) cd = 1.0f;
+  c[i] = cd;
+}
+
+__kernel void srad2(__global float* img, __global const float* c,
+                    int dim, float lambda) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int i = y * dim + x;
+  float J = img[i];
+  float cN = c[i];
+  float cS = y < dim - 1 ? c[i + dim] : c[i];
+  float cE = x < dim - 1 ? c[i + 1] : c[i];
+  float dn = (y > 0 ? img[i - dim] : J) - J;
+  float ds = (y < dim - 1 ? img[i + dim] : J) - J;
+  float dw = (x > 0 ? img[i - 1] : J) - J;
+  float de = (x < dim - 1 ? img[i + 1] : J) - J;
+  img[i] = J + 0.25f * lambda * (cN * (dn + dw) + cS * ds + cE * de);
+}
+"""
+
+_HOST_LOOP_OCL = r"""
+  for (int it = 0; it < iters; it++) {
+    /* statistics on the host, like the original */
+    clEnqueueReadBuffer(q, dimg, CL_TRUE, 0, n * 4, img, 0, NULL, NULL);
+    float sum = 0.0f; float sum2 = 0.0f;
+    for (int i = 0; i < n; i++) { sum += img[i]; sum2 += img[i] * img[i]; }
+    float mean = sum / (float)n;
+    float var = sum2 / (float)n - mean * mean;
+    float q0 = var / (mean * mean);
+    clSetKernelArg(k1, 3, sizeof(float), &q0);
+    clEnqueueNDRangeKernel(q, k1, 2, NULL, gws, lws, 0, NULL, NULL);
+    clEnqueueNDRangeKernel(q, k2, 2, NULL, gws, lws, 0, NULL, NULL);
+  }
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  float img0[576];
+  for (int i = 0; i < n; i++) img0[i] = img[i];
+  cl_kernel k1 = clCreateKernel(prog, "srad1", &__err);
+  cl_kernel k2 = clCreateKernel(prog, "srad2", &__err);
+  cl_mem dimg = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dimg, CL_TRUE, 0, n * 4, img, 0, NULL, NULL);
+  clSetKernelArg(k1, 0, sizeof(cl_mem), &dimg);
+  clSetKernelArg(k1, 1, sizeof(cl_mem), &dc);
+  clSetKernelArg(k1, 2, sizeof(int), &dim);
+  clSetKernelArg(k2, 0, sizeof(cl_mem), &dimg);
+  clSetKernelArg(k2, 1, sizeof(cl_mem), &dc);
+  clSetKernelArg(k2, 2, sizeof(int), &dim);
+  clSetKernelArg(k2, 3, sizeof(float), &lambda);
+  size_t gws[2] = {24, 24}; size_t lws[2] = {8, 8};
+""" + _HOST_LOOP_OCL + r"""
+  clEnqueueReadBuffer(q, dimg, CL_TRUE, 0, n * 4, img, 0, NULL, NULL);
+""" + _REF)
+
+CUDA_SOURCE = r"""
+__global__ void srad1(const float* img, float* c, int dim, float q0) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  int i = y * dim + x;
+  float J = img[i];
+  float n_ = (y > 0 ? img[i - dim] : J) - J;
+  float s_ = (y < dim - 1 ? img[i + dim] : J) - J;
+  float w_ = (x > 0 ? img[i - 1] : J) - J;
+  float e_ = (x < dim - 1 ? img[i + 1] : J) - J;
+  float g2 = (n_ * n_ + s_ * s_ + w_ * w_ + e_ * e_) / (J * J);
+  float l = (n_ + s_ + w_ + e_) / J;
+  float num = 0.5f * g2 - 0.0625f * l * l;
+  float den = 1.0f + 0.25f * l;
+  float qsq = num / (den * den);
+  float cd = 1.0f / (1.0f + (qsq - q0) / (q0 * (1.0f + q0)));
+  if (cd < 0.0f) cd = 0.0f;
+  if (cd > 1.0f) cd = 1.0f;
+  c[i] = cd;
+}
+
+__global__ void srad2(float* img, const float* c, int dim, float lambda) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  int i = y * dim + x;
+  float J = img[i];
+  float cN = c[i];
+  float cS = y < dim - 1 ? c[i + dim] : c[i];
+  float cE = x < dim - 1 ? c[i + 1] : c[i];
+  float dn = (y > 0 ? img[i - dim] : J) - J;
+  float ds = (y < dim - 1 ? img[i + dim] : J) - J;
+  float dw = (x > 0 ? img[i - 1] : J) - J;
+  float de = (x < dim - 1 ? img[i + 1] : J) - J;
+  img[i] = J + 0.25f * lambda * (cN * (dn + dw) + cS * ds + cE * de);
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float img0[576];
+  for (int i = 0; i < n; i++) img0[i] = img[i];
+  float *dimg, *dc;
+  cudaMalloc((void**)&dimg, n * 4);
+  cudaMalloc((void**)&dc, n * 4);
+  cudaMemcpy(dimg, img, n * 4, cudaMemcpyHostToDevice);
+  dim3 grid(3, 3);
+  dim3 block(8, 8);
+  for (int it = 0; it < iters; it++) {
+    cudaMemcpy(img, dimg, n * 4, cudaMemcpyDeviceToHost);
+    float sum = 0.0f; float sum2 = 0.0f;
+    for (int i = 0; i < n; i++) { sum += img[i]; sum2 += img[i] * img[i]; }
+    float mean = sum / (float)n;
+    float var = sum2 / (float)n - mean * mean;
+    float q0 = var / (mean * mean);
+    srad1<<<grid, block>>>(dimg, dc, dim, q0);
+    srad2<<<grid, block>>>(dimg, dc, dim, lambda);
+  }
+  cudaMemcpy(img, dimg, n * 4, cudaMemcpyDeviceToHost);
+""" + _REF + "\n}\n"
+
+register(App(
+    name="srad",
+    suite="rodinia",
+    description="speckle-reducing anisotropic diffusion stencil",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

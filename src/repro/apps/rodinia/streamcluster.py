@@ -1,0 +1,107 @@
+"""Rodinia streamcluster: assignment cost against candidate centers."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_SETUP = r"""
+  int npts = 128; int dims = 4; int ncenters = 4;
+  float pts[512]; float centers[16]; float cost[128];
+  srand(53);
+  for (int i = 0; i < npts * dims; i++)
+    pts[i] = (float)(rand() % 100) * 0.01f;
+  for (int i = 0; i < ncenters * dims; i++)
+    centers[i] = (float)(rand() % 100) * 0.01f;
+"""
+
+_VERIFY = r"""
+  int ok = 1;
+  for (int p = 0; p < npts; p++) {
+    float best = 1e30f;
+    for (int c = 0; c < ncenters; c++) {
+      float d = 0.0f;
+      for (int f = 0; f < dims; f++) {
+        float diff = pts[p * dims + f] - centers[c * dims + f];
+        d += diff * diff;
+      }
+      if (d < best) best = d;
+    }
+    if (fabs(cost[p] - best) > 1e-4f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+OCL_KERNELS = r"""
+__kernel void pgain(__global const float* pts, __constant float* centers,
+                    __global float* cost, int npts, int dims, int ncenters) {
+  int p = get_global_id(0);
+  if (p >= npts) return;
+  float best = 1e30f;
+  for (int c = 0; c < ncenters; c++) {
+    float d = 0.0f;
+    for (int f = 0; f < dims; f++) {
+      float diff = pts[p * dims + f] - centers[c * dims + f];
+      d += diff * diff;
+    }
+    if (d < best) best = d;
+  }
+  cost[p] = best;
+}
+"""
+
+OCL_HOST = ocl_main(_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "pgain", &__err);
+  cl_mem dp = clCreateBuffer(ctx, CL_MEM_READ_ONLY, npts * dims * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_ONLY, ncenters * dims * 4, NULL, &__err);
+  cl_mem dco = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, npts * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dp, CL_TRUE, 0, npts * dims * 4, pts, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dc, CL_TRUE, 0, ncenters * dims * 4, centers, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dp);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dc);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dco);
+  clSetKernelArg(k, 3, sizeof(int), &npts);
+  clSetKernelArg(k, 4, sizeof(int), &dims);
+  clSetKernelArg(k, 5, sizeof(int), &ncenters);
+  size_t gws[1] = {128}; size_t lws[1] = {32};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dco, CL_TRUE, 0, npts * 4, cost, 0, NULL, NULL);
+""" + _VERIFY)
+
+CUDA_SOURCE = r"""
+__constant__ float centers_c[16];
+
+__global__ void pgain(const float* pts, float* cost, int npts, int dims,
+                      int ncenters) {
+  int p = blockIdx.x * blockDim.x + threadIdx.x;
+  if (p >= npts) return;
+  float best = 1e30f;
+  for (int c = 0; c < ncenters; c++) {
+    float d = 0.0f;
+    for (int f = 0; f < dims; f++) {
+      float diff = pts[p * dims + f] - centers_c[c * dims + f];
+      d += diff * diff;
+    }
+    if (d < best) best = d;
+  }
+  cost[p] = best;
+}
+
+int main(void) {
+""" + _SETUP + r"""
+  float *dp, *dco;
+  cudaMalloc((void**)&dp, npts * dims * 4);
+  cudaMalloc((void**)&dco, npts * 4);
+  cudaMemcpy(dp, pts, npts * dims * 4, cudaMemcpyHostToDevice);
+  cudaMemcpyToSymbol(centers_c, centers, ncenters * dims * 4);
+  pgain<<<4, 32>>>(dp, dco, npts, dims, ncenters);
+  cudaMemcpy(cost, dco, npts * 4, cudaMemcpyDeviceToHost);
+""" + _VERIFY + "\n}\n"
+
+register(App(
+    name="streamcluster",
+    suite="rodinia",
+    description="stream clustering assignment cost (constant-memory centers)",
+    opencl_host=OCL_HOST,
+    opencl_kernels=OCL_KERNELS,
+    cuda_source=CUDA_SOURCE,
+))

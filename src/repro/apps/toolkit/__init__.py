@@ -1,0 +1,4 @@
+"""NVIDIA Toolkit 4.2 samples: 27 OpenCL apps, 81 CUDA apps (25 translatable)."""
+
+from . import (devicequery, failing, finance, images, linalg, misc,
+               random_gen, simple, sorting, transforms)

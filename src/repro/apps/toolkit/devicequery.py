@@ -1,0 +1,103 @@
+"""deviceQuery / deviceQueryDrv / oclDeviceQuery.
+
+The paper's wrapper-overhead outliers (§6.3): the translated versions
+implement ``cudaGetDeviceProperties`` / ``cuDeviceGetAttribute`` with many
+``clGetDeviceInfo`` calls, so these (kernel-free, API-bound) programs slow
+down markedly under translation while everything else is unaffected.
+"""
+
+from ..base import App, register
+from ..common import ocl_main
+
+register(App(
+    name="deviceQuery", suite="toolkit",
+    description="enumerate device properties via the runtime API",
+    cuda_source=r"""
+int main(void) {
+  int count = 0;
+  cudaGetDeviceCount(&count);
+  if (count < 1) { printf("FAILED: no device\n"); return 1; }
+  int ok = 1;
+  for (int d = 0; d < count; d++) {
+    cudaDeviceProp prop;
+    cudaGetDeviceProperties(&prop, d);
+    printf("Device %d: %s\n", d, prop.name);
+    printf("  SMs: %d  warp: %d  maxThreads/block: %d\n",
+           prop.multiProcessorCount, prop.warpSize, prop.maxThreadsPerBlock);
+    printf("  globalMem: %lu  constMem: %lu  sharedPerBlock: %lu\n",
+           (unsigned long)prop.totalGlobalMem,
+           (unsigned long)prop.totalConstMem,
+           (unsigned long)prop.sharedMemPerBlock);
+    printf("  capability %d.%d  clock %d kHz\n",
+           prop.major, prop.minor, prop.clockRate);
+    if (prop.multiProcessorCount < 1 || prop.warpSize < 1) ok = 0;
+    if (prop.maxThreadsPerBlock < 32) ok = 0;
+    if (prop.major < 1) ok = 0;
+  }
+  /* the real sample queries properties twice (driver + runtime paths) */
+  cudaDeviceProp prop2;
+  cudaGetDeviceProperties(&prop2, 0);
+  if (prop2.totalGlobalMem == 0u) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))
+
+register(App(
+    name="deviceQueryDrv", suite="toolkit",
+    description="enumerate device properties via the driver API",
+    cuda_source=r"""
+int main(void) {
+  cuInit(0);
+  int count = 0;
+  cuDeviceGetCount(&count);
+  if (count < 1) { printf("FAILED: no device\n"); return 1; }
+  int dev = 0;
+  cuDeviceGet(&dev, 0);
+  char name[256];
+  cuDeviceGetName(name, 256, dev);
+  printf("Device 0: %s\n", name);
+  int ok = 1;
+  int vals[5];
+  int attribs[5];
+  attribs[0] = 1;   /* MAX_THREADS_PER_BLOCK */
+  attribs[1] = 16;  /* MULTIPROCESSOR_COUNT */
+  attribs[2] = 10;  /* WARP_SIZE */
+  attribs[3] = 75;  /* CC_MAJOR */
+  attribs[4] = 76;  /* CC_MINOR */
+  for (int i = 0; i < 5; i++) {
+    cuDeviceGetAttribute(&vals[i], attribs[i], dev);
+    printf("  attribute %d = %d\n", attribs[i], vals[i]);
+  }
+  if (vals[0] < 32 || vals[1] < 1 || vals[2] < 1 || vals[3] < 1) ok = 0;
+  size_t total = 0;
+  cuDeviceTotalMem(&total, dev);
+  if (total == 0u) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))
+
+register(App(
+    name="oclDeviceQuery", suite="toolkit",
+    description="enumerate device properties via clGetDeviceInfo",
+    opencl_kernels="__kernel void noop(__global int* x) { }\n",
+    opencl_host=ocl_main(r"""
+  char name[256];
+  cl_uint cus; cl_uint freq; cl_ulong gmem; cl_ulong lmem;
+  size_t maxwg;
+  clGetDeviceInfo(__dev, CL_DEVICE_NAME, 256, name, NULL);
+  clGetDeviceInfo(__dev, CL_DEVICE_MAX_COMPUTE_UNITS, 4, &cus, NULL);
+  clGetDeviceInfo(__dev, CL_DEVICE_MAX_CLOCK_FREQUENCY, 4, &freq, NULL);
+  clGetDeviceInfo(__dev, CL_DEVICE_GLOBAL_MEM_SIZE, 8, &gmem, NULL);
+  clGetDeviceInfo(__dev, CL_DEVICE_LOCAL_MEM_SIZE, 8, &lmem, NULL);
+  clGetDeviceInfo(__dev, CL_DEVICE_MAX_WORK_GROUP_SIZE, 8, &maxwg, NULL);
+  printf("Device: %s\n", name);
+  printf("  CUs: %u  clock: %u MHz  maxWG: %lu\n", cus, freq,
+         (unsigned long)maxwg);
+  printf("  global: %lu  local: %lu\n", (unsigned long)gmem,
+         (unsigned long)lmem);
+  int ok = cus > 0u && freq > 0u && gmem > 0u && maxwg >= 32u;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))

@@ -1,0 +1,341 @@
+"""The 56 untranslatable CUDA Toolkit samples of paper Table 3.
+
+Each entry is a compact CUDA source exhibiting the *exact* feature class
+the paper attributes the failure to; the analyzer must categorize every one
+correctly (see ``harness.tables.table3``).  These programs are corpus
+material for the analyzer — the paper never executes them in translated
+form, so several are fragments rather than complete applications.
+"""
+
+from ..base import App, register
+from ...translate.categories import (CAT_LANG, CAT_LIBS, CAT_NO_FUNC,
+                                     CAT_OPENGL, CAT_PTX, CAT_UVA)
+
+_K = "__global__ void k(float* out) { out[threadIdx.x] = 1.0f; }\n"
+_MAIN = "int main(void) { return 0; }\n"
+
+
+# name -> (category, feature, source)
+_FAILING = {
+    # ---- No corresponding functions (6) --------------------------------
+    "clock": (CAT_NO_FUNC, "clock", r"""
+__global__ void timedReduction(const float* in, float* out, long long* timer) {
+  if (threadIdx.x == 0) timer[blockIdx.x] = clock64();
+  out[blockIdx.x] = in[blockIdx.x * blockDim.x + threadIdx.x];
+  if (threadIdx.x == 0) timer[gridDim.x + blockIdx.x] = clock64();
+}
+""" + _MAIN),
+    "concurrentKernels": (CAT_NO_FUNC, "clock", r"""
+__global__ void clock_block(long long* d_o, long long clock_count) {
+  long long start = clock64();
+  long long now = start;
+  while (now - start < clock_count) now = clock64();
+  d_o[0] = now - start;
+}
+""" + _MAIN),
+    "simpleAssert": (CAT_NO_FUNC, "assert", r"""
+__global__ void testKernel(int N) {
+  int gtid = blockIdx.x * blockDim.x + threadIdx.x;
+  assert(gtid < N);
+}
+""" + _MAIN),
+    "simpleAtomicIntrinsics": (CAT_NO_FUNC, "atomicInc", r"""
+__global__ void testKernel(unsigned int* g_odata) {
+  atomicInc(&g_odata[0], 17u);
+  atomicDec(&g_odata[1], 137u);
+}
+""" + _MAIN),
+    "simpleVoteIntrinsics": (CAT_NO_FUNC, "__any", r"""
+__global__ void VoteAnyKernel(const int* input, int* result) {
+  int tx = threadIdx.x;
+  result[tx] = __any(input[tx]);
+  result[tx] += __all(input[tx]);
+}
+""" + _MAIN),
+    "FDTD3d": (CAT_NO_FUNC, "clock", r"""
+__global__ void FiniteDifferencesKernel(float* output, const float* input,
+                                        long long* perf) {
+  if (threadIdx.x == 0) perf[blockIdx.x] = clock64();
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  output[i] = input[i] * 0.5f;
+}
+""" + _MAIN),
+
+    # ---- Unsupported libraries (5) ---------------------------------------
+    "convolutionFFT2D": (CAT_LIBS, "cuFFT",
+                         "#include <cufft.h>\n" + _K + _MAIN),
+    "lineOfSight": (CAT_LIBS, "Thrust",
+                    "#include <thrust/scan.h>\n" + _K + _MAIN),
+    "marchingCubes": (CAT_LIBS, "Thrust",
+                      "#include <thrust/device_vector.h>\n" + _K + _MAIN),
+    "particles": (CAT_LIBS, "Thrust + OpenGL",
+                  "#include <thrust/sort.h>\n#include <GL/glew.h>\n"
+                  + _K + _MAIN),
+    "radixSortThrust": (CAT_LIBS, "Thrust",
+                        "#include <thrust/sort.h>\n" + _K + _MAIN),
+
+    # ---- Unsupported language extensions (19) ------------------------------
+    "alignedTypes": (CAT_LANG, "alignment attributes", r"""
+class AlignedRGBA {
+ public:
+  unsigned char r, g, b, a;
+};
+__global__ void testKernel(AlignedRGBA* d_out) {}
+""" + _MAIN),
+    "convolutionTexture": (CAT_LANG, "oversized texture", r"""
+#define DATA_N 33554432
+texture<float, 1, cudaReadModeElementType> texData;
+__global__ void convolutionKernel(float* out, int n) {
+  out[threadIdx.x] = tex1Dfetch(texData, threadIdx.x);
+}
+int main(void) {
+  float* d;
+  cudaMalloc((void**)&d, DATA_N * 4);
+  cudaBindTexture(NULL, texData, d, DATA_N * 4);
+  return 0;
+}
+"""),
+    "dct8x8": (CAT_LANG, "C++ classes in device code", r"""
+class BlockView {
+ public:
+  float* base;
+  __device__ float at(int i) { return base[i]; }
+};
+__global__ void DCT8x8(BlockView view) {}
+""" + _MAIN),
+    "dxtc": (CAT_LANG, "device printf", r"""
+__global__ void compress(const unsigned int* image, unsigned int* result) {
+  if (threadIdx.x == 0) printf("block %d\n", blockIdx.x);
+}
+""" + _MAIN),
+    "eigenvalues": (CAT_LANG, "C++ templates with class parameters", r"""
+template <class T, class S>
+class BisectionStorage {
+ public:
+  T* intervals;
+  S count;
+};
+__global__ void bisectKernel(float* g_d) {}
+""" + _MAIN),
+    "Interval": (CAT_LANG, "C++ operator overloading", r"""
+class interval {
+ public:
+  float lo, hi;
+  __device__ interval operator+(const interval& b);
+};
+__global__ void testKernel(interval* out) {}
+""" + _MAIN),
+    "mergeSort": (CAT_LANG, "C++ templates on classes", r"""
+template <class T>
+class SortBuffer {
+ public:
+  T* keys;
+};
+__global__ void mergeSortShared(unsigned int* d_DstKey) {}
+""" + _MAIN),
+    "MonteCarlo": (CAT_LANG, "C++ classes in device code", r"""
+class OptionPath {
+ public:
+  float S, X, T;
+  __device__ float payoff(float v) { return v > X ? v - X : 0.0f; }
+};
+__global__ void MonteCarloKernel(OptionPath* paths) {}
+""" + _MAIN),
+    "MonteCarloMultiGPU": (CAT_LANG, "C++ classes in device code", r"""
+class TOptionData {
+ public:
+  float S, X, T, R, V;
+};
+__global__ void MonteCarloOneBlockPerOption(TOptionData* opts) {}
+""" + _MAIN),
+    "nbody": (CAT_LANG, "C++ classes + OpenGL", r"""
+/* renders through OpenGL via glutInit below; fails first on the C++
+   class hierarchy, as Table 3 records */
+template <typename T>
+class BodySystem {
+ public:
+  T* pos;
+  virtual void update(T dt);
+};
+__global__ void integrateBodies(float4* pos) {}
+int main(void) { glutInit(0, 0); return 0; }
+"""),
+    "FunctionPointers": (CAT_LANG, "function pointers", r"""
+__global__ void sobelKernel(float (*op)(float, float), float* out) {
+  out[threadIdx.x] = op(1.0f, 2.0f);
+}
+""" + _MAIN),
+    "transpose": (CAT_LANG, "device printf diagnostics", r"""
+__global__ void transposeDiagnostic(float* odata, const float* idata) {
+  if (threadIdx.x == 0 && blockIdx.x == 0)
+    printf("transpose variant %d\n", (int)gridDim.x);
+  odata[threadIdx.x] = idata[threadIdx.x];
+}
+""" + _MAIN),
+    "newdelete": (CAT_LANG, "device-side new/delete", r"""
+class Container {
+ public:
+  int* data;
+};
+__global__ void vectorCreate(Container** g_container) {
+  *g_container = new Container;
+}
+""" + _MAIN),
+    "reduction": (CAT_LANG, "templates + warpSize unrolling", r"""
+template <unsigned int blockSize>
+__global__ void reduce6(float* g_idata, float* g_odata) {
+  int lanes = warpSize;
+  g_odata[blockIdx.x] = g_idata[threadIdx.x] * (float)lanes;
+}
+""" + _MAIN),
+    "simplePrintf": (CAT_LANG, "device printf", r"""
+__global__ void testKernel(int val) {
+  printf("[%d, %d]: value is %d\n", blockIdx.x, threadIdx.x, val);
+}
+""" + _MAIN),
+    "simpleTemplates": (CAT_LANG, "template classes", r"""
+template <class T>
+class ArrayView {
+ public:
+  T* data;
+  int len;
+};
+__global__ void testKernel(ArrayView<float> view) {}
+""" + _MAIN),
+    "threadFenceReduction": (CAT_LANG, "templates + vote intrinsics", r"""
+template <unsigned int blockSize>
+__global__ void reduceSinglePass(const float* g_idata, float* g_odata) {
+  if (__all(threadIdx.x < blockSize)) g_odata[0] = g_idata[0];
+}
+""" + _MAIN),
+    "HSOpticalFlow": (CAT_LANG, "C++ classes in device code", r"""
+class FlowField {
+ public:
+  float* u;
+  float* v;
+  __device__ float mag(int i) { return u[i] * u[i] + v[i] * v[i]; }
+};
+__global__ void SolveForUpdate(FlowField field) {}
+""" + _MAIN),
+    "simpleCubemapTexture": (CAT_LANG, "cubemap textures", r"""
+class CubemapAccessor {
+ public:
+  int face;
+};
+__global__ void transformKernel(float* g_odata, CubemapAccessor acc) {}
+""" + _MAIN),
+
+    # ---- OpenGL binding (15) -----------------------------------------------
+    **{name: (CAT_OPENGL, "OpenGL interop", r"""
+#include <GL/glew.h>
+__global__ void k(float4* pixels) { pixels[threadIdx.x].x = 1.0f; }
+int main(void) {
+  glutInit(0, 0);
+  cudaGraphicsGLRegisterBuffer(0, 0, 0);
+  return 0;
+}
+""") for name in ("bilateralFilter", "boxFilter", "fluidsGL",
+                  "imageDenoising", "Mandelbrot", "oceanFFT",
+                  "postProcessGL", "recursiveGaussian", "simpleGL",
+                  "simpleTexture3D", "smokeParticles", "SobelFilter",
+                  "bicubicTexture", "volumeRender", "volumeFiltering")},
+
+    # ---- Use of PTX (7) -------------------------------------------------------
+    "matrixMulDrv": (CAT_PTX, "cuModuleLoad", r"""
+int main(void) {
+  cuInit(0);
+  cuModuleLoad(0, "matrixMul_kernel.ptx");
+  cuLaunchKernel(0, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0);
+  return 0;
+}
+"""),
+    "inlinePTX": (CAT_PTX, "inline PTX assembly", r"""
+__global__ void sequence_gpu(int* d_ptr, int length) {
+  int elemID = blockIdx.x * blockDim.x + threadIdx.x;
+  int laneid;
+  asm("mov.u32 %0, %%laneid;" : "=r"(laneid));
+  if (elemID < length) d_ptr[elemID] = laneid;
+}
+""" + _MAIN),
+    "ptxjit": (CAT_PTX, "PTX JIT compilation", r"""
+int main(void) {
+  cuInit(0);
+  cuModuleLoadData(0, "ptx source here");
+  return 0;
+}
+"""),
+    "matrixMulDynlinkJIT": (CAT_PTX, "PTX JIT compilation", r"""
+int main(void) {
+  cuInit(0);
+  cuModuleLoadData(0, "precompiled ptx image");
+  cuModuleGetFunction(0, 0, "matrixMul_kernel");
+  return 0;
+}
+"""),
+    "simpleTextureDrv": (CAT_PTX, "driver API module loading", r"""
+int main(void) {
+  cuInit(0);
+  cuModuleLoad(0, "simpleTexture_kernel.ptx");
+  return 0;
+}
+"""),
+    "threadMigration": (CAT_PTX, "driver API context migration", r"""
+int main(void) {
+  cuInit(0);
+  cuModuleLoad(0, "threadMigration_kernel.ptx");
+  cuLaunchKernel(0, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0);
+  return 0;
+}
+"""),
+    "vectorAddDrv": (CAT_PTX, "driver API module loading", r"""
+int main(void) {
+  cuInit(0);
+  cuModuleLoad(0, "vectorAdd_kernel.ptx");
+  cuLaunchKernel(0, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0);
+  return 0;
+}
+"""),
+
+    # ---- Use of unified virtual address space (4) --------------------------------
+    "simpleMultiCopy": (CAT_UVA, "mapped host memory", _K + r"""
+int main(void) {
+  float* h;
+  cudaHostAlloc((void**)&h, 1024, cudaHostAllocMapped);
+  return 0;
+}
+"""),
+    "simpleP2P": (CAT_UVA, "peer-to-peer access", _K + r"""
+int main(void) {
+  cudaDeviceEnablePeerAccess(1, 0);
+  cudaMemcpyPeer(0, 0, 0, 1, 1024);
+  return 0;
+}
+"""),
+    "simpleStreams": (CAT_UVA, "zero-copy host memory", _K + r"""
+int main(void) {
+  float* h;
+  cudaHostRegister(h, 1024, 0);
+  return 0;
+}
+"""),
+    "simpleZeroCopy": (CAT_UVA, "zero-copy device pointer", _K + r"""
+int main(void) {
+  float* h;
+  float* d;
+  cudaHostAlloc((void**)&h, 1024, cudaHostAllocMapped);
+  cudaHostGetDevicePointer((void**)&d, h, 0);
+  return 0;
+}
+"""),
+}
+
+for _name, (_cat, _feature, _src) in sorted(_FAILING.items()):
+    register(App(
+        name=_name,
+        suite="toolkit",
+        description=f"untranslatable sample ({_feature})",
+        cuda_source=_src,
+        fail_category=_cat,
+        fail_feature=_feature,
+        cuda_runs_natively=False,
+    ))

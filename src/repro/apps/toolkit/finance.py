@@ -1,0 +1,186 @@
+"""Toolkit finance samples: BlackScholes (+ OpenCL twin), binomialOptions."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+_BS_SETUP = r"""
+  int n = 256;
+  float price[256]; float strike[256]; float years[256];
+  float callv[256]; float putv[256];
+  srand(127);
+  for (int i = 0; i < n; i++) {
+    price[i] = 5.0f + (float)(rand() % 25);
+    strike[i] = 1.0f + (float)(rand() % 95);
+    years[i] = 0.25f + (float)(rand() % 9) * 0.1f;
+  }
+"""
+
+# polynomial CND approximation, identical in kernel and reference
+_BS_KERNEL_MATH = r"""
+  float sqrtT = sqrt(T);
+  float d1 = (log(S / X) + (R + 0.5f * V * V) * T) / (V * sqrtT);
+  float d2 = d1 - V * sqrtT;
+  float K1 = 1.0f / (1.0f + 0.2316419f * fabs(d1));
+  float cnd1 = 0.39894228f * exp(-0.5f * d1 * d1) *
+    (K1 * (0.31938153f + K1 * (-0.356563782f + K1 * 1.781477937f)));
+  if (d1 > 0.0f) cnd1 = 1.0f - cnd1;
+  float K2 = 1.0f / (1.0f + 0.2316419f * fabs(d2));
+  float cnd2 = 0.39894228f * exp(-0.5f * d2 * d2) *
+    (K2 * (0.31938153f + K2 * (-0.356563782f + K2 * 1.781477937f)));
+  if (d2 > 0.0f) cnd2 = 1.0f - cnd2;
+  float expRT = exp(-R * T);
+  float c = S * cnd1 - X * expRT * cnd2;
+  float p = X * expRT * (1.0f - cnd2) - S * (1.0f - cnd1);
+"""
+
+_BS_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    float S = price[i]; float X = strike[i]; float T = years[i];
+    float R = 0.02f; float V = 0.30f;
+""" + _BS_KERNEL_MATH.replace("sqrt(", "sqrtf(").replace("log(", "logf(").replace("exp(", "expf(").replace("fabs(", "fabsf(") + r"""
+    if (fabs(callv[i] - c) > 1e-3f) ok = 0;
+    if (fabs(putv[i] - p) > 1e-3f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="BlackScholes", suite="toolkit",
+    description="Black-Scholes option pricing",
+    cuda_source=r"""
+__global__ void BlackScholes(float* callv, float* putv, const float* price,
+                             const float* strike, const float* years,
+                             float R, float V, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+  float S = price[i]; float X = strike[i]; float T = years[i];
+""" + _BS_KERNEL_MATH.replace("sqrt(", "sqrtf(").replace("log(", "logf(").replace("exp(", "expf(").replace("fabs(", "fabsf(") + r"""
+  callv[i] = c;
+  putv[i] = p;
+}
+
+int main(void) {
+""" + _BS_SETUP + r"""
+  float *dc, *dp, *dpr, *dst, *dyr;
+  cudaMalloc((void**)&dc, n * 4);
+  cudaMalloc((void**)&dp, n * 4);
+  cudaMalloc((void**)&dpr, n * 4);
+  cudaMalloc((void**)&dst, n * 4);
+  cudaMalloc((void**)&dyr, n * 4);
+  cudaMemcpy(dpr, price, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dst, strike, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dyr, years, n * 4, cudaMemcpyHostToDevice);
+  BlackScholes<<<2, 128>>>(dc, dp, dpr, dst, dyr, 0.02f, 0.30f, n);
+  cudaMemcpy(callv, dc, n * 4, cudaMemcpyDeviceToHost);
+  cudaMemcpy(putv, dp, n * 4, cudaMemcpyDeviceToHost);
+""" + _BS_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclBlackScholes", suite="toolkit",
+    description="Black-Scholes option pricing (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void BlackScholes(__global float* callv, __global float* putv,
+                           __global const float* price,
+                           __global const float* strike,
+                           __global const float* years,
+                           float R, float V, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float S = price[i]; float X = strike[i]; float T = years[i];
+""" + _BS_KERNEL_MATH + r"""
+  callv[i] = c;
+  putv[i] = p;
+}
+""",
+    opencl_host=ocl_main(_BS_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "BlackScholes", &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  cl_mem dp = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  cl_mem dpr = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dst = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dyr = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dpr, CL_TRUE, 0, n * 4, price, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dst, CL_TRUE, 0, n * 4, strike, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dyr, CL_TRUE, 0, n * 4, years, 0, NULL, NULL);
+  float R = 0.02f; float V = 0.30f;
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dc);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dp);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dpr);
+  clSetKernelArg(k, 3, sizeof(cl_mem), &dst);
+  clSetKernelArg(k, 4, sizeof(cl_mem), &dyr);
+  clSetKernelArg(k, 5, sizeof(float), &R);
+  clSetKernelArg(k, 6, sizeof(float), &V);
+  clSetKernelArg(k, 7, sizeof(int), &n);
+  size_t gws[1] = {256}; size_t lws[1] = {128};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dc, CL_TRUE, 0, n * 4, callv, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dp, CL_TRUE, 0, n * 4, putv, 0, NULL, NULL);
+""" + _BS_VERIFY)))
+
+register(App(
+    name="binomialOptions", suite="toolkit",
+    description="binomial-tree option pricing in shared memory",
+    cuda_source=r"""
+__global__ void binomial(float* result, const float* price,
+                         const float* strike, int steps, int n) {
+  extern __shared__ float tree[];
+  int opt = blockIdx.x;
+  int lid = threadIdx.x;
+  if (opt >= n) return;
+  float S = price[opt]; float X = strike[opt];
+  float u = 1.1f; float d = 1.0f / 1.1f; float pu = 0.55f;
+  if (lid <= steps) {
+    float sv = S;
+    for (int j = 0; j < lid; j++) sv *= u;
+    for (int j = lid; j < steps; j++) sv *= d;
+    float payoff = sv - X;
+    tree[lid] = payoff > 0.0f ? payoff : 0.0f;
+  }
+  __syncthreads();
+  for (int level = steps; level > 0; level--) {
+    if (lid < level)
+      tree[lid] = 0.99f * (pu * tree[lid + 1] + (1.0f - pu) * tree[lid]);
+    __syncthreads();
+  }
+  if (lid == 0) result[opt] = tree[0];
+}
+
+int main(void) {
+  int n = 8; int steps = 15;
+  float price[8]; float strike[8]; float result[8];
+  srand(131);
+  for (int i = 0; i < n; i++) {
+    price[i] = 20.0f + (float)(rand() % 10);
+    strike[i] = 18.0f + (float)(rand() % 10);
+  }
+  float *dr, *dp, *ds;
+  cudaMalloc((void**)&dr, n * 4);
+  cudaMalloc((void**)&dp, n * 4);
+  cudaMalloc((void**)&ds, n * 4);
+  cudaMemcpy(dp, price, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(ds, strike, n * 4, cudaMemcpyHostToDevice);
+  binomial<<<8, 16, 16 * sizeof(float)>>>(dr, dp, ds, steps, n);
+  cudaMemcpy(result, dr, n * 4, cudaMemcpyDeviceToHost);
+
+  int ok = 1;
+  for (int opt = 0; opt < n; opt++) {
+    float tree[16];
+    float u = 1.1f; float d = 1.0f / 1.1f; float pu = 0.55f;
+    for (int lid = 0; lid <= steps; lid++) {
+      float sv = price[opt];
+      for (int j = 0; j < lid; j++) sv *= u;
+      for (int j = lid; j < steps; j++) sv *= d;
+      float payoff = sv - strike[opt];
+      tree[lid] = payoff > 0.0f ? payoff : 0.0f;
+    }
+    for (int level = steps; level > 0; level--)
+      for (int lid = 0; lid < level; lid++)
+        tree[lid] = 0.99f * (pu * tree[lid + 1] + (1.0f - pu) * tree[lid]);
+    if (fabs(result[opt] - tree[0]) > 0.01f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))

@@ -1,0 +1,348 @@
+"""Toolkit image samples: simpleTexture, simplePitchLinearTexture,
+convolutionSeparable (+ocl), oclMedianFilter, oclSobelFilter,
+oclDXTCompression — the §5 texture/image translation exercisers."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+# -- simpleTexture: 2D texture rotation-free copy+scale (CUDA) ---------------
+
+register(App(
+    name="simpleTexture", suite="toolkit",
+    description="2D texture sampling (translates to image2d_t + sampler, §5)",
+    cuda_source=r"""
+texture<float, 2, cudaReadModeElementType> tex2;
+
+__global__ void transformKernel(float* out, int width, int height) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x < width && y < height)
+    out[y * width + x] = tex2D(tex2, (float)x, (float)y) * 2.0f;
+}
+
+int main(void) {
+  int w = 16; int h = 8; int n = 128;
+  float img[128]; float out[128];
+  srand(223);
+  for (int i = 0; i < n; i++) img[i] = (float)(rand() % 100) * 0.01f;
+
+  cudaChannelFormatDesc desc = cudaCreateChannelDesc(32, 0, 0, 0,
+                                                     cudaChannelFormatKindFloat);
+  cudaArray_t arr;
+  cudaMallocArray(&arr, &desc, w, h);
+  cudaMemcpyToArray(arr, 0, 0, img, n * 4, cudaMemcpyHostToDevice);
+  tex2.filterMode = cudaFilterModePoint;
+  tex2.normalized = 0;
+  cudaBindTextureToArray(tex2, arr);
+
+  float* dout;
+  cudaMalloc((void**)&dout, n * 4);
+  dim3 grid(2, 1);
+  dim3 block(8, 8);
+  transformKernel<<<grid, block>>>(dout, w, h);
+  cudaMemcpy(out, dout, n * 4, cudaMemcpyDeviceToHost);
+
+  int ok = 1;
+  for (int i = 0; i < n; i++)
+    if (fabs(out[i] - img[i] * 2.0f) > 1e-4f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))
+
+register(App(
+    name="simplePitchLinearTexture", suite="toolkit",
+    description="2D texture bound to pitch-linear memory",
+    cuda_source=r"""
+texture<float, 2, cudaReadModeElementType> texPL;
+
+__global__ void shiftKernel(float* out, int width, int height) {
+  int x = blockIdx.x * blockDim.x + threadIdx.x;
+  int y = blockIdx.y * blockDim.y + threadIdx.y;
+  if (x < width && y < height)
+    out[y * width + x] = tex2D(texPL, (float)x, (float)y) + 1.0f;
+}
+
+int main(void) {
+  int w = 16; int h = 8; int n = 128;
+  float img[128]; float out[128];
+  srand(227);
+  for (int i = 0; i < n; i++) img[i] = (float)(rand() % 100) * 0.01f;
+
+  float* dimg;
+  cudaMalloc((void**)&dimg, n * 4);
+  cudaMemcpy(dimg, img, n * 4, cudaMemcpyHostToDevice);
+  cudaBindTexture2D(NULL, texPL, dimg, w, h, w * 4);
+
+  float* dout;
+  cudaMalloc((void**)&dout, n * 4);
+  dim3 grid(2, 1);
+  dim3 block(8, 8);
+  shiftKernel<<<grid, block>>>(dout, w, h);
+  cudaMemcpy(out, dout, n * 4, cudaMemcpyDeviceToHost);
+
+  int ok = 1;
+  for (int i = 0; i < n; i++)
+    if (fabs(out[i] - (img[i] + 1.0f)) > 1e-4f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))
+
+# -- convolutionSeparable / oclConvolutionSeparable ----------------------------
+
+_CONV_SETUP = r"""
+  int n = 256; int radius = 2;
+  float data[256]; float out[256]; float kern[5];
+  srand(229);
+  for (int i = 0; i < n; i++) data[i] = (float)(rand() % 100) * 0.01f;
+  for (int k = 0; k < 5; k++) kern[k] = 0.2f;
+"""
+_CONV_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    float acc = 0.0f;
+    for (int k = -radius; k <= radius; k++) {
+      int j = i + k;
+      if (j < 0) j = 0;
+      if (j >= n) j = n - 1;
+      acc += data[j] * kern[k + radius];
+    }
+    if (fabs(out[i] - acc) > 1e-4f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="convolutionSeparable", suite="toolkit",
+    description="1D separable convolution with constant-memory kernel",
+    cuda_source=r"""
+__constant__ float kern_c[5];
+
+__global__ void convRow(const float* in, float* out, int n, int radius) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+  float acc = 0.0f;
+  for (int k = -radius; k <= radius; k++) {
+    int j = i + k;
+    if (j < 0) j = 0;
+    if (j >= n) j = n - 1;
+    acc += in[j] * kern_c[k + radius];
+  }
+  out[i] = acc;
+}
+
+int main(void) {
+""" + _CONV_SETUP + r"""
+  float *di, *dout;
+  cudaMalloc((void**)&di, n * 4);
+  cudaMalloc((void**)&dout, n * 4);
+  cudaMemcpy(di, data, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpyToSymbol(kern_c, kern, 5 * 4);
+  convRow<<<2, 128>>>(di, dout, n, radius);
+  cudaMemcpy(out, dout, n * 4, cudaMemcpyDeviceToHost);
+""" + _CONV_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclConvolutionSeparable", suite="toolkit",
+    description="1D separable convolution (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void convRow(__global const float* in, __global float* out,
+                      __constant float* kern, int n, int radius) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float acc = 0.0f;
+  for (int k = -radius; k <= radius; k++) {
+    int j = i + k;
+    if (j < 0) j = 0;
+    if (j >= n) j = n - 1;
+    acc += in[j] * kern[k + radius];
+  }
+  out[i] = acc;
+}
+""",
+    opencl_host=ocl_main(_CONV_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "convRow", &__err);
+  cl_mem di = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  cl_mem dk = clCreateBuffer(ctx, CL_MEM_READ_ONLY, 5 * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, di, CL_TRUE, 0, n * 4, data, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dk, CL_TRUE, 0, 5 * 4, kern, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &di);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dout);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dk);
+  clSetKernelArg(k, 3, sizeof(int), &n);
+  clSetKernelArg(k, 4, sizeof(int), &radius);
+  size_t gws[1] = {256}; size_t lws[1] = {128};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, out, 0, NULL, NULL);
+""" + _CONV_VERIFY)))
+
+# -- oclMedianFilter: image2d_t + sampler (exercises §5 image translation) ------
+
+register(App(
+    name="oclMedianFilter", suite="toolkit",
+    description="3-tap median through image2d_t + sampler (§5 exerciser)",
+    opencl_kernels=r"""
+__kernel void median3(__read_only image2d_t src, sampler_t smp,
+                      __global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= w || y >= h) return;
+  float a = read_imagef(src, smp, (int2)(x - 1, y)).x;
+  float b = read_imagef(src, smp, (int2)(x, y)).x;
+  float c = read_imagef(src, smp, (int2)(x + 1, y)).x;
+  float lo = fmin(fmin(a, b), c);
+  float hi = fmax(fmax(a, b), c);
+  out[y * w + x] = a + b + c - lo - hi;
+}
+""",
+    opencl_host=ocl_main(r"""
+  int w = 16; int h = 8; int n = 128;
+  float img[128]; float out[128];
+  srand(233);
+  for (int i = 0; i < n; i++) img[i] = (float)(rand() % 100) * 0.01f;
+
+  cl_image_format fmt;
+  fmt.image_channel_order = CL_R;
+  fmt.image_channel_data_type = CL_FLOAT;
+  cl_mem dimg = clCreateImage2D(ctx, CL_MEM_READ_ONLY, &fmt, w, h, 0, img, &__err);
+  cl_sampler smp = clCreateSampler(ctx, CL_FALSE, CL_ADDRESS_CLAMP_TO_EDGE,
+                                   CL_FILTER_NEAREST, &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  cl_kernel k = clCreateKernel(prog, "median3", &__err);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dimg);
+  clSetKernelArg(k, 1, sizeof(cl_sampler), &smp);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dout);
+  clSetKernelArg(k, 3, sizeof(int), &w);
+  clSetKernelArg(k, 4, sizeof(int), &h);
+  size_t gws[2] = {16, 8}; size_t lws[2] = {8, 8};
+  clEnqueueNDRangeKernel(q, k, 2, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, out, 0, NULL, NULL);
+
+  int ok = 1;
+  for (int y = 0; y < h; y++)
+    for (int x = 0; x < w; x++) {
+      int xl = x > 0 ? x - 1 : 0;
+      int xr = x < w - 1 ? x + 1 : w - 1;
+      float a = img[y * w + xl];
+      float b = img[y * w + x];
+      float c = img[y * w + xr];
+      float lo = fminf(fminf(a, b), c);
+      float hi = fmaxf(fmaxf(a, b), c);
+      float want = a + b + c - lo - hi;
+      if (fabs(out[y * w + x] - want) > 1e-4f) ok = 0;
+    }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))
+
+register(App(
+    name="oclSobelFilter", suite="toolkit",
+    description="Sobel gradient magnitude through an image (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void sobel(__read_only image2d_t src, sampler_t smp,
+                    __global float* out, int w, int h) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  if (x >= w || y >= h) return;
+  float tl = read_imagef(src, smp, (int2)(x - 1, y - 1)).x;
+  float tc = read_imagef(src, smp, (int2)(x, y - 1)).x;
+  float tr = read_imagef(src, smp, (int2)(x + 1, y - 1)).x;
+  float ml = read_imagef(src, smp, (int2)(x - 1, y)).x;
+  float mr = read_imagef(src, smp, (int2)(x + 1, y)).x;
+  float bl = read_imagef(src, smp, (int2)(x - 1, y + 1)).x;
+  float bc = read_imagef(src, smp, (int2)(x, y + 1)).x;
+  float br = read_imagef(src, smp, (int2)(x + 1, y + 1)).x;
+  float gx = tr + 2.0f * mr + br - tl - 2.0f * ml - bl;
+  float gy = bl + 2.0f * bc + br - tl - 2.0f * tc - tr;
+  out[y * w + x] = sqrt(gx * gx + gy * gy);
+}
+""",
+    opencl_host=ocl_main(r"""
+  int w = 12; int h = 8; int n = 96;
+  float img[96]; float out[96];
+  srand(239);
+  for (int i = 0; i < n; i++) img[i] = (float)(rand() % 100) * 0.01f;
+  cl_image_format fmt;
+  fmt.image_channel_order = CL_R;
+  fmt.image_channel_data_type = CL_FLOAT;
+  cl_mem dimg = clCreateImage2D(ctx, CL_MEM_READ_ONLY, &fmt, w, h, 0, img, &__err);
+  cl_sampler smp = clCreateSampler(ctx, CL_FALSE, CL_ADDRESS_CLAMP_TO_EDGE,
+                                   CL_FILTER_NEAREST, &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  cl_kernel k = clCreateKernel(prog, "sobel", &__err);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dimg);
+  clSetKernelArg(k, 1, sizeof(cl_sampler), &smp);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dout);
+  clSetKernelArg(k, 3, sizeof(int), &w);
+  clSetKernelArg(k, 4, sizeof(int), &h);
+  size_t gws[2] = {12, 8}; size_t lws[2] = {4, 4};
+  clEnqueueNDRangeKernel(q, k, 2, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, out, 0, NULL, NULL);
+  int ok = 1;
+  for (int i = 0; i < n; i++)
+    if (out[i] < 0.0f || out[i] != out[i]) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))
+
+register(App(
+    name="oclDXTCompression", suite="toolkit",
+    description="block color-range compression (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void dxt_minmax(__global const float* pixels, __global float* mins,
+                         __global float* maxs, int block_size) {
+  int b = get_group_id(0);
+  int lid = get_local_id(0);
+  __local float lmin[16];
+  __local float lmax[16];
+  float v = pixels[b * block_size + lid];
+  lmin[lid] = v;
+  lmax[lid] = v;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 8; s > 0; s >>= 1) {
+    if (lid < s) {
+      lmin[lid] = fmin(lmin[lid], lmin[lid + s]);
+      lmax[lid] = fmax(lmax[lid], lmax[lid + s]);
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) {
+    mins[b] = lmin[0];
+    maxs[b] = lmax[0];
+  }
+}
+""",
+    opencl_host=ocl_main(r"""
+  int nblocks = 16; int bs = 16; int n = 256;
+  float pixels[256]; float mins[16]; float maxs[16];
+  srand(241);
+  for (int i = 0; i < n; i++) pixels[i] = (float)(rand() % 256);
+  cl_kernel k = clCreateKernel(prog, "dxt_minmax", &__err);
+  cl_mem dp = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dmin = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, nblocks * 4, NULL, &__err);
+  cl_mem dmax = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, nblocks * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dp, CL_TRUE, 0, n * 4, pixels, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dp);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dmin);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dmax);
+  clSetKernelArg(k, 3, sizeof(int), &bs);
+  size_t gws[1] = {256}; size_t lws[1] = {16};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dmin, CL_TRUE, 0, nblocks * 4, mins, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dmax, CL_TRUE, 0, nblocks * 4, maxs, 0, NULL, NULL);
+  int ok = 1;
+  for (int b = 0; b < nblocks; b++) {
+    float lo = 1e30f; float hi = -1e30f;
+    for (int i = 0; i < bs; i++) {
+      float v = pixels[b * bs + i];
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    if (mins[b] != lo || maxs[b] != hi) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))

@@ -1,0 +1,341 @@
+"""Toolkit linear algebra: matrixMul (+ocl), matVecMul (+ocl), oclTranspose,
+oclReduction, oclTridiagonal."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+# -- matrixMul / oclMatrixMul (shared-memory tiles) ---------------------------
+
+_MM_SETUP = r"""
+  int dim = 16; int tile = 8;
+  float A[256]; float B[256]; float C[256];
+  srand(137);
+  for (int i = 0; i < dim * dim; i++) {
+    A[i] = (float)(rand() % 10) * 0.1f;
+    B[i] = (float)(rand() % 10) * 0.1f;
+  }
+"""
+_MM_VERIFY = r"""
+  int ok = 1;
+  for (int y = 0; y < dim; y++)
+    for (int x = 0; x < dim; x++) {
+      float acc = 0.0f;
+      for (int t = 0; t < dim; t++) acc += A[y * dim + t] * B[t * dim + x];
+      if (fabs(C[y * dim + x] - acc) > 1e-3f) ok = 0;
+    }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="matrixMul", suite="toolkit",
+    description="tiled matrix multiply with static shared memory",
+    cuda_source=r"""
+#define TILE 8
+__global__ void matrixMul(float* C, const float* A, const float* B, int dim) {
+  __shared__ float As[64];
+  __shared__ float Bs[64];
+  int tx = threadIdx.x; int ty = threadIdx.y;
+  int col = blockIdx.x * TILE + tx;
+  int row = blockIdx.y * TILE + ty;
+  float acc = 0.0f;
+  for (int m = 0; m < dim / TILE; m++) {
+    As[ty * TILE + tx] = A[row * dim + m * TILE + tx];
+    Bs[ty * TILE + tx] = B[(m * TILE + ty) * dim + col];
+    __syncthreads();
+    for (int k = 0; k < TILE; k++)
+      acc += As[ty * TILE + k] * Bs[k * TILE + tx];
+    __syncthreads();
+  }
+  C[row * dim + col] = acc;
+}
+
+int main(void) {
+""" + _MM_SETUP + r"""
+  float *dA, *dB, *dC;
+  cudaMalloc((void**)&dA, dim * dim * 4);
+  cudaMalloc((void**)&dB, dim * dim * 4);
+  cudaMalloc((void**)&dC, dim * dim * 4);
+  cudaMemcpy(dA, A, dim * dim * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dB, B, dim * dim * 4, cudaMemcpyHostToDevice);
+  dim3 grid(2, 2);
+  dim3 block(8, 8);
+  matrixMul<<<grid, block>>>(dC, dA, dB, dim);
+  cudaMemcpy(C, dC, dim * dim * 4, cudaMemcpyDeviceToHost);
+""" + _MM_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclMatrixMul", suite="toolkit",
+    description="tiled matrix multiply (OpenCL sample)",
+    opencl_kernels=r"""
+#define TILE 8
+__kernel void matrixMul(__global float* C, __global const float* A,
+                        __global const float* B, int dim) {
+  __local float As[64];
+  __local float Bs[64];
+  int tx = get_local_id(0); int ty = get_local_id(1);
+  int col = get_group_id(0) * TILE + tx;
+  int row = get_group_id(1) * TILE + ty;
+  float acc = 0.0f;
+  for (int m = 0; m < dim / TILE; m++) {
+    As[ty * TILE + tx] = A[row * dim + m * TILE + tx];
+    Bs[ty * TILE + tx] = B[(m * TILE + ty) * dim + col];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < TILE; k++)
+      acc += As[ty * TILE + k] * Bs[k * TILE + tx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[row * dim + col] = acc;
+}
+""",
+    opencl_host=ocl_main(_MM_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "matrixMul", &__err);
+  cl_mem dA = clCreateBuffer(ctx, CL_MEM_READ_ONLY, dim * dim * 4, NULL, &__err);
+  cl_mem dB = clCreateBuffer(ctx, CL_MEM_READ_ONLY, dim * dim * 4, NULL, &__err);
+  cl_mem dC = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, dim * dim * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dA, CL_TRUE, 0, dim * dim * 4, A, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dB, CL_TRUE, 0, dim * dim * 4, B, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dC);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dA);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dB);
+  clSetKernelArg(k, 3, sizeof(int), &dim);
+  size_t gws[2] = {16, 16}; size_t lws[2] = {8, 8};
+  clEnqueueNDRangeKernel(q, k, 2, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dC, CL_TRUE, 0, dim * dim * 4, C, 0, NULL, NULL);
+""" + _MM_VERIFY)))
+
+# -- matVecMul / oclMatVecMul ---------------------------------------------------
+
+_MV_SETUP = r"""
+  int rows = 64; int cols = 32;
+  float M[2048]; float v[32]; float y[64];
+  srand(139);
+  for (int i = 0; i < rows * cols; i++) M[i] = (float)(rand() % 10) * 0.1f;
+  for (int i = 0; i < cols; i++) v[i] = (float)(rand() % 10) * 0.1f;
+"""
+_MV_VERIFY = r"""
+  int ok = 1;
+  for (int r = 0; r < rows; r++) {
+    float acc = 0.0f;
+    for (int c = 0; c < cols; c++) acc += M[r * cols + c] * v[c];
+    if (fabs(y[r] - acc) > 1e-3f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="matVecMul", suite="toolkit",
+    description="matrix-vector product, one row per thread",
+    cuda_source=r"""
+__global__ void matVecMul(float* y, const float* M, const float* v,
+                          int rows, int cols) {
+  int r = blockIdx.x * blockDim.x + threadIdx.x;
+  if (r >= rows) return;
+  float acc = 0.0f;
+  for (int c = 0; c < cols; c++) acc += M[r * cols + c] * v[c];
+  y[r] = acc;
+}
+
+int main(void) {
+""" + _MV_SETUP + r"""
+  float *dM, *dv, *dy;
+  cudaMalloc((void**)&dM, rows * cols * 4);
+  cudaMalloc((void**)&dv, cols * 4);
+  cudaMalloc((void**)&dy, rows * 4);
+  cudaMemcpy(dM, M, rows * cols * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(dv, v, cols * 4, cudaMemcpyHostToDevice);
+  matVecMul<<<2, 32>>>(dy, dM, dv, rows, cols);
+  cudaMemcpy(y, dy, rows * 4, cudaMemcpyDeviceToHost);
+""" + _MV_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclMatVecMul", suite="toolkit",
+    description="matrix-vector product (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void MatVecMul(__global float* y, __global const float* M,
+                        __global const float* v, int rows, int cols) {
+  int r = get_global_id(0);
+  if (r >= rows) return;
+  float acc = 0.0f;
+  for (int c = 0; c < cols; c++) acc += M[r * cols + c] * v[c];
+  y[r] = acc;
+}
+""",
+    opencl_host=ocl_main(_MV_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "MatVecMul", &__err);
+  cl_mem dM = clCreateBuffer(ctx, CL_MEM_READ_ONLY, rows * cols * 4, NULL, &__err);
+  cl_mem dv = clCreateBuffer(ctx, CL_MEM_READ_ONLY, cols * 4, NULL, &__err);
+  cl_mem dy = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, rows * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dM, CL_TRUE, 0, rows * cols * 4, M, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dv, CL_TRUE, 0, cols * 4, v, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dy);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dM);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dv);
+  clSetKernelArg(k, 3, sizeof(int), &rows);
+  clSetKernelArg(k, 4, sizeof(int), &cols);
+  size_t gws[1] = {64}; size_t lws[1] = {32};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dy, CL_TRUE, 0, rows * 4, y, 0, NULL, NULL);
+""" + _MV_VERIFY)))
+
+# -- oclTranspose -----------------------------------------------------------------
+
+register(App(
+    name="oclTranspose", suite="toolkit",
+    description="tiled matrix transpose through local memory",
+    opencl_kernels=r"""
+__kernel void transpose(__global float* out, __global const float* in,
+                        int dim, __local float* tile) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int lsz = get_local_size(0);
+  tile[ly * lsz + lx] = in[y * dim + x];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int ox = get_group_id(1) * lsz + lx;
+  int oy = get_group_id(0) * lsz + ly;
+  out[oy * dim + ox] = tile[lx * lsz + ly];
+}
+""",
+    opencl_host=ocl_main(r"""
+  int dim = 16;
+  float in[256]; float out[256];
+  srand(149);
+  for (int i = 0; i < dim * dim; i++) in[i] = (float)(rand() % 1000);
+  cl_kernel k = clCreateKernel(prog, "transpose", &__err);
+  cl_mem di = clCreateBuffer(ctx, CL_MEM_READ_ONLY, dim * dim * 4, NULL, &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, dim * dim * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, di, CL_TRUE, 0, dim * dim * 4, in, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dout);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &di);
+  clSetKernelArg(k, 2, sizeof(int), &dim);
+  clSetKernelArg(k, 3, 8 * 8 * 4, NULL);
+  size_t gws[2] = {16, 16}; size_t lws[2] = {8, 8};
+  clEnqueueNDRangeKernel(q, k, 2, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, dim * dim * 4, out, 0, NULL, NULL);
+  int ok = 1;
+  for (int y = 0; y < dim; y++)
+    for (int x = 0; x < dim; x++)
+      if (out[x * dim + y] != in[y * dim + x]) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))
+
+# -- oclReduction -------------------------------------------------------------------
+
+register(App(
+    name="oclReduction", suite="toolkit",
+    description="two-level parallel sum reduction",
+    opencl_kernels=r"""
+__kernel void reduce(__global const float* in, __global float* out,
+                     __local float* tmp, int n) {
+  int lid = get_local_id(0);
+  int i = get_global_id(0);
+  tmp[lid] = i < n ? in[i] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) out[get_group_id(0)] = tmp[0];
+}
+""",
+    opencl_host=ocl_main(r"""
+  int n = 1024; int groups = 8; int lsz = 128;
+  float data[1024];
+  srand(151);
+  for (int i = 0; i < n; i++) data[i] = (float)(rand() % 100) * 0.01f;
+  cl_kernel k = clCreateKernel(prog, "reduce", &__err);
+  cl_mem di = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dp = clCreateBuffer(ctx, CL_MEM_READ_WRITE, groups * 4, NULL, &__err);
+  cl_mem df = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, di, CL_TRUE, 0, n * 4, data, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &di);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dp);
+  clSetKernelArg(k, 2, lsz * 4, NULL);
+  clSetKernelArg(k, 3, sizeof(int), &n);
+  size_t gws[1] = {1024}; size_t lws[1] = {128};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  /* second level */
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dp);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &df);
+  clSetKernelArg(k, 2, 8 * 4, NULL);
+  clSetKernelArg(k, 3, sizeof(int), &groups);
+  size_t gws2[1] = {8}; size_t lws2[1] = {8};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws2, lws2, 0, NULL, NULL);
+  float got;
+  clEnqueueReadBuffer(q, df, CL_TRUE, 0, 4, &got, 0, NULL, NULL);
+  float want = 0.0f;
+  for (int i = 0; i < n; i++) want += data[i];
+  printf(fabs(got - want) < 0.05f ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))
+
+# -- oclTridiagonal ------------------------------------------------------------------
+
+register(App(
+    name="oclTridiagonal", suite="toolkit",
+    description="batched tridiagonal solves (Thomas per system)",
+    opencl_kernels=r"""
+__kernel void tridiag(__global float* b, __global float* d,
+                      __global const float* a, __global const float* c,
+                      __global float* x, int sys_size, int nsys) {
+  int s = get_global_id(0);
+  if (s >= nsys) return;
+  int base = s * sys_size;
+  for (int i = 1; i < sys_size; i++) {
+    float m = a[base + i] / b[base + i - 1];
+    b[base + i] -= m * c[base + i - 1];
+    d[base + i] -= m * d[base + i - 1];
+  }
+  x[base + sys_size - 1] = d[base + sys_size - 1] / b[base + sys_size - 1];
+  for (int i = sys_size - 2; i >= 0; i--)
+    x[base + i] = (d[base + i] - c[base + i] * x[base + i + 1]) / b[base + i];
+}
+""",
+    opencl_host=ocl_main(r"""
+  int sys = 8; int nsys = 16; int n = 128;
+  float a[128]; float b[128]; float c[128]; float d[128]; float x[128];
+  srand(157);
+  for (int i = 0; i < n; i++) {
+    a[i] = -1.0f; c[i] = -1.0f;
+    b[i] = 4.0f + (float)(rand() % 10) * 0.01f;
+    d[i] = (float)(rand() % 100) * 0.01f;
+  }
+  float a0[128]; float b0[128]; float c0[128]; float d0[128];
+  for (int i = 0; i < n; i++) { a0[i]=a[i]; b0[i]=b[i]; c0[i]=c[i]; d0[i]=d[i]; }
+  cl_kernel k = clCreateKernel(prog, "tridiag", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dd = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dx = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, n * 4, a, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, db, CL_TRUE, 0, n * 4, b, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dc, CL_TRUE, 0, n * 4, c, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dd, CL_TRUE, 0, n * 4, d, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &db);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dd);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &da);
+  clSetKernelArg(k, 3, sizeof(cl_mem), &dc);
+  clSetKernelArg(k, 4, sizeof(cl_mem), &dx);
+  clSetKernelArg(k, 5, sizeof(int), &sys);
+  clSetKernelArg(k, 6, sizeof(int), &nsys);
+  size_t gws[1] = {16}; size_t lws[1] = {16};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dx, CL_TRUE, 0, n * 4, x, 0, NULL, NULL);
+  int ok = 1;
+  for (int s = 0; s < nsys; s++) {
+    int base = s * sys;
+    for (int i = 0; i < sys; i++) {
+      float r = b0[base + i] * x[base + i] - d0[base + i];
+      if (i > 0) r += a0[base + i] * x[base + i - 1];
+      if (i < sys - 1) r += c0[base + i] * x[base + i + 1];
+      if (fabs(r) > 0.01f) ok = 0;
+    }
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))

@@ -1,0 +1,190 @@
+"""Remaining OpenCL toolkit samples: oclNbody, oclHiddenMarkovModel,
+oclSimpleMultiGPU."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+register(App(
+    name="oclNbody", suite="toolkit",
+    description="all-pairs gravitational step (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void integrateBodies(__global float4* pos, __global float4* vel,
+                              __local float4* cache, int n, float dt) {
+  int i = get_global_id(0);
+  int lid = get_local_id(0);
+  float4 p = pos[i];
+  float ax = 0.0f; float ay = 0.0f; float az = 0.0f;
+  for (int tile = 0; tile < n; tile += get_local_size(0)) {
+    cache[lid] = pos[tile + lid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int j = 0; j < get_local_size(0); j++) {
+      float4 o = cache[j];
+      float dx = o.x - p.x;
+      float dy = o.y - p.y;
+      float dz = o.z - p.z;
+      float inv = rsqrt(dx * dx + dy * dy + dz * dz + 0.1f);
+      float f = o.w * inv * inv * inv;
+      ax += dx * f; ay += dy * f; az += dz * f;
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  float4 v = vel[i];
+  v.x += ax * dt; v.y += ay * dt; v.z += az * dt;
+  vel[i] = v;
+}
+""",
+    opencl_host=ocl_main(r"""
+  int n = 64; float dt = 0.01f;
+  float pos[256]; float vel[256];
+  srand(251);
+  for (int i = 0; i < n * 4; i++) {
+    pos[i] = (float)(rand() % 100) * 0.01f;
+    vel[i] = 0.0f;
+  }
+  cl_kernel k = clCreateKernel(prog, "integrateBodies", &__err);
+  cl_mem dp = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 16, NULL, &__err);
+  cl_mem dv = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 16, NULL, &__err);
+  clEnqueueWriteBuffer(q, dp, CL_TRUE, 0, n * 16, pos, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dv, CL_TRUE, 0, n * 16, vel, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dp);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dv);
+  clSetKernelArg(k, 2, 16 * 16, NULL);
+  clSetKernelArg(k, 3, sizeof(int), &n);
+  clSetKernelArg(k, 4, sizeof(float), &dt);
+  size_t gws[1] = {64}; size_t lws[1] = {16};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dv, CL_TRUE, 0, n * 16, vel, 0, NULL, NULL);
+
+  /* CPU reference of the same tile traversal */
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    float ax = 0.0f; float ay = 0.0f; float az = 0.0f;
+    for (int j = 0; j < n; j++) {
+      float dx = pos[j * 4] - pos[i * 4];
+      float dy = pos[j * 4 + 1] - pos[i * 4 + 1];
+      float dz = pos[j * 4 + 2] - pos[i * 4 + 2];
+      float r2 = dx * dx + dy * dy + dz * dz + 0.1f;
+      float inv = 1.0f / sqrtf(r2);
+      float f = pos[j * 4 + 3] * inv * inv * inv;
+      ax += dx * f; ay += dy * f; az += dz * f;
+    }
+    if (fabs(vel[i * 4] - ax * dt) > 1e-3f) ok = 0;
+    if (fabs(vel[i * 4 + 1] - ay * dt) > 1e-3f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))
+
+register(App(
+    name="oclHiddenMarkovModel", suite="toolkit",
+    description="Viterbi forward step (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void viterbi_step(__global const float* prev,
+                           __global const float* trans,
+                           __global float* next_p, int nstates) {
+  int s = get_global_id(0);
+  if (s >= nstates) return;
+  float best = -1e30f;
+  for (int t = 0; t < nstates; t++) {
+    float v = prev[t] + trans[t * nstates + s];
+    if (v > best) best = v;
+  }
+  next_p[s] = best;
+}
+""",
+    opencl_host=ocl_main(r"""
+  int nstates = 32; int steps = 3;
+  float prev[32]; float trans[1024];
+  srand(257);
+  for (int i = 0; i < nstates; i++) prev[i] = -(float)(rand() % 100) * 0.01f;
+  for (int i = 0; i < nstates * nstates; i++)
+    trans[i] = -(float)(rand() % 100) * 0.01f;
+  float ref[32];
+  for (int i = 0; i < nstates; i++) ref[i] = prev[i];
+
+  cl_kernel k = clCreateKernel(prog, "viterbi_step", &__err);
+  cl_mem dprev = clCreateBuffer(ctx, CL_MEM_READ_WRITE, nstates * 4, NULL, &__err);
+  cl_mem dtrans = clCreateBuffer(ctx, CL_MEM_READ_ONLY, nstates * nstates * 4, NULL, &__err);
+  cl_mem dnext = clCreateBuffer(ctx, CL_MEM_READ_WRITE, nstates * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dprev, CL_TRUE, 0, nstates * 4, prev, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dtrans, CL_TRUE, 0, nstates * nstates * 4, trans, 0, NULL, NULL);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dtrans);
+  clSetKernelArg(k, 3, sizeof(int), &nstates);
+  size_t gws[1] = {32}; size_t lws[1] = {32};
+  for (int st = 0; st < steps; st++) {
+    if (st % 2 == 0) {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &dprev);
+      clSetKernelArg(k, 2, sizeof(cl_mem), &dnext);
+    } else {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &dnext);
+      clSetKernelArg(k, 2, sizeof(cl_mem), &dprev);
+    }
+    clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  }
+  float got[32];
+  clEnqueueReadBuffer(q, steps % 2 ? dnext : dprev, CL_TRUE, 0, nstates * 4,
+                      got, 0, NULL, NULL);
+  for (int st = 0; st < steps; st++) {
+    float nxt[32];
+    for (int s = 0; s < nstates; s++) {
+      float best = -1e30f;
+      for (int t = 0; t < nstates; t++) {
+        float v = ref[t] + trans[t * nstates + s];
+        if (v > best) best = v;
+      }
+      nxt[s] = best;
+    }
+    for (int s = 0; s < nstates; s++) ref[s] = nxt[s];
+  }
+  int ok = 1;
+  for (int s = 0; s < nstates; s++)
+    if (fabs(got[s] - ref[s]) > 1e-3f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))
+
+register(App(
+    name="oclSimpleMultiGPU", suite="toolkit",
+    description="work split across devices (single simulated device here)",
+    opencl_kernels=r"""
+__kernel void reduce_chunk(__global const float* data, __global float* sums,
+                           __local float* tmp, int offset, int len) {
+  int lid = get_local_id(0);
+  int i = offset + get_global_id(0);
+  tmp[lid] = get_global_id(0) < len ? data[i] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) sums[get_group_id(0)] = tmp[0];
+}
+""",
+    opencl_host=ocl_main(r"""
+  int n = 256; int half = 128;
+  float data[256];
+  srand(263);
+  for (int i = 0; i < n; i++) data[i] = (float)(rand() % 100) * 0.01f;
+  cl_kernel k = clCreateKernel(prog, "reduce_chunk", &__err);
+  cl_mem dd = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem ds = clCreateBuffer(ctx, CL_MEM_READ_WRITE, 4 * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dd, CL_TRUE, 0, n * 4, data, 0, NULL, NULL);
+  size_t gws[1] = {128}; size_t lws[1] = {64};
+  float total = 0.0f;
+  for (int chunk = 0; chunk < 2; chunk++) {
+    int offset = chunk * half;
+    clSetKernelArg(k, 0, sizeof(cl_mem), &dd);
+    clSetKernelArg(k, 1, sizeof(cl_mem), &ds);
+    clSetKernelArg(k, 2, 64 * 4, NULL);
+    clSetKernelArg(k, 3, sizeof(int), &offset);
+    clSetKernelArg(k, 4, sizeof(int), &half);
+    clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+    float sums[2];
+    clEnqueueReadBuffer(q, ds, CL_TRUE, 0, 2 * 4, sums, 0, NULL, NULL);
+    total += sums[0] + sums[1];
+  }
+  float want = 0.0f;
+  for (int i = 0; i < n; i++) want += data[i];
+  printf(fabs(total - want) < 0.05f ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))

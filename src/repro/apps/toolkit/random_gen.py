@@ -1,0 +1,219 @@
+"""Toolkit RNG samples: MersenneTwister, quasirandomGenerator, SobolQRNG
+and their OpenCL twins."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+# simplified tempering-style generator shared by both models
+_MT_SETUP = r"""
+  int n = 512;
+  unsigned int out[512];
+"""
+_MT_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    unsigned int s = (unsigned int)i * 1812433253u + 1u;
+    s ^= s >> 11;
+    s ^= (s << 7) & 2636928640u;
+    s ^= (s << 15) & 4022730752u;
+    s ^= s >> 18;
+    if (out[i] != s) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="MersenneTwister", suite="toolkit",
+    description="per-thread tempered pseudo-random generation",
+    cuda_source=r"""
+__global__ void mt_generate(unsigned int* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+  unsigned int s = (unsigned int)i * 1812433253u + 1u;
+  s ^= s >> 11;
+  s ^= (s << 7) & 2636928640u;
+  s ^= (s << 15) & 4022730752u;
+  s ^= s >> 18;
+  out[i] = s;
+}
+
+int main(void) {
+""" + _MT_SETUP + r"""
+  unsigned int* dout;
+  cudaMalloc((void**)&dout, n * 4);
+  mt_generate<<<4, 128>>>(dout, n);
+  cudaMemcpy(out, dout, n * 4, cudaMemcpyDeviceToHost);
+""" + _MT_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclMersenneTwister", suite="toolkit",
+    description="tempered pseudo-random generation (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void mt_generate(__global uint* out, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  uint s = (uint)i * 1812433253u + 1u;
+  s ^= s >> 11;
+  s ^= (s << 7) & 2636928640u;
+  s ^= (s << 15) & 4022730752u;
+  s ^= s >> 18;
+  out[i] = s;
+}
+""",
+    opencl_host=ocl_main(_MT_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "mt_generate", &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dout);
+  clSetKernelArg(k, 1, sizeof(int), &n);
+  size_t gws[1] = {512}; size_t lws[1] = {128};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, out, 0, NULL, NULL);
+""" + _MT_VERIFY)))
+
+# -- quasirandomGenerator: Halton-like radical inverse ---------------------------
+
+_QRNG_SETUP = r"""
+  int n = 256;
+  float out[256];
+"""
+_QRNG_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    float v = 0.0f; float base = 0.5f;
+    int idx = i + 1;
+    while (idx > 0) {
+      if (idx % 2) v += base;
+      idx /= 2;
+      base *= 0.5f;
+    }
+    if (fabs(out[i] - v) > 1e-5f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="quasirandomGenerator", suite="toolkit",
+    description="base-2 radical-inverse quasirandom sequence",
+    cuda_source=r"""
+__global__ void qrng(float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+  float v = 0.0f; float base = 0.5f;
+  int idx = i + 1;
+  while (idx > 0) {
+    if (idx % 2) v += base;
+    idx /= 2;
+    base *= 0.5f;
+  }
+  out[i] = v;
+}
+
+int main(void) {
+""" + _QRNG_SETUP + r"""
+  float* dout;
+  cudaMalloc((void**)&dout, n * 4);
+  qrng<<<2, 128>>>(dout, n);
+  cudaMemcpy(out, dout, n * 4, cudaMemcpyDeviceToHost);
+""" + _QRNG_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclQuasirandomGenerator", suite="toolkit",
+    description="radical-inverse quasirandom sequence (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void qrng(__global float* out, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  float v = 0.0f; float base = 0.5f;
+  int idx = i + 1;
+  while (idx > 0) {
+    if (idx % 2) v += base;
+    idx /= 2;
+    base *= 0.5f;
+  }
+  out[i] = v;
+}
+""",
+    opencl_host=ocl_main(_QRNG_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "qrng", &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dout);
+  clSetKernelArg(k, 1, sizeof(int), &n);
+  size_t gws[1] = {256}; size_t lws[1] = {128};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, out, 0, NULL, NULL);
+""" + _QRNG_VERIFY)))
+
+# -- SobolQRNG: XOR-fold of direction numbers -------------------------------------
+
+_SOBOL_SETUP = r"""
+  int n = 256;
+  unsigned int dirs[8];
+  unsigned int out[256];
+  for (int d = 0; d < 8; d++) dirs[d] = 1u << (31 - d);
+"""
+_SOBOL_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    unsigned int v = 0u;
+    int g = i ^ (i >> 1);
+    for (int d = 0; d < 8; d++)
+      if ((g >> d) & 1) v ^= dirs[d];
+    if (out[i] != v) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="SobolQRNG", suite="toolkit",
+    description="Sobol sequence from constant direction numbers",
+    cuda_source=r"""
+__constant__ unsigned int dirs_c[8];
+
+__global__ void sobol(unsigned int* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= n) return;
+  unsigned int v = 0u;
+  int g = i ^ (i >> 1);
+  for (int d = 0; d < 8; d++)
+    if ((g >> d) & 1) v ^= dirs_c[d];
+  out[i] = v;
+}
+
+int main(void) {
+""" + _SOBOL_SETUP + r"""
+  unsigned int* dout;
+  cudaMalloc((void**)&dout, n * 4);
+  cudaMemcpyToSymbol(dirs_c, dirs, 8 * 4);
+  sobol<<<2, 128>>>(dout, n);
+  cudaMemcpy(out, dout, n * 4, cudaMemcpyDeviceToHost);
+""" + _SOBOL_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclSobolQRNG", suite="toolkit",
+    description="Sobol sequence (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void sobol(__global uint* out, __constant uint* dirs, int n) {
+  int i = get_global_id(0);
+  if (i >= n) return;
+  uint v = 0u;
+  int g = i ^ (i >> 1);
+  for (int d = 0; d < 8; d++)
+    if ((g >> d) & 1) v ^= dirs[d];
+  out[i] = v;
+}
+""",
+    opencl_host=ocl_main(_SOBOL_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "sobol", &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  cl_mem dd = clCreateBuffer(ctx, CL_MEM_READ_ONLY, 8 * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dd, CL_TRUE, 0, 8 * 4, dirs, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dout);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dd);
+  clSetKernelArg(k, 2, sizeof(int), &n);
+  size_t gws[1] = {256}; size_t lws[1] = {128};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, out, 0, NULL, NULL);
+""" + _SOBOL_VERIFY)))

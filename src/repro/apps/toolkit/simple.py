@@ -1,0 +1,312 @@
+"""Toolkit basics: vectorAdd, scalarProd, asyncAPI, bandwidthTest, template
+and their OpenCL twins (oclVectorAdd, oclDotProduct, oclBandwidthTest,
+oclCopyComputeOverlap)."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+# -- vectorAdd / oclVectorAdd -------------------------------------------------
+
+_VADD_SETUP = r"""
+  int n = 1024;
+  float a[1024]; float b[1024]; float c[1024];
+  srand(107);
+  for (int i = 0; i < n; i++) {
+    a[i] = (float)(rand() % 100) * 0.01f;
+    b[i] = (float)(rand() % 100) * 0.01f;
+  }
+"""
+_VADD_VERIFY = r"""
+  int ok = 1;
+  for (int i = 0; i < n; i++)
+    if (fabs(c[i] - (a[i] + b[i])) > 1e-5f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="vectorAdd", suite="toolkit",
+    description="element-wise vector addition",
+    cuda_source=r"""
+__global__ void vectorAdd(const float* a, const float* b, float* c, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) c[i] = a[i] + b[i];
+}
+
+int main(void) {
+""" + _VADD_SETUP + r"""
+  float *da, *db, *dc;
+  cudaMalloc((void**)&da, n * 4);
+  cudaMalloc((void**)&db, n * 4);
+  cudaMalloc((void**)&dc, n * 4);
+  cudaMemcpy(da, a, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(db, b, n * 4, cudaMemcpyHostToDevice);
+  vectorAdd<<<4, 256>>>(da, db, dc, n);
+  cudaMemcpy(c, dc, n * 4, cudaMemcpyDeviceToHost);
+""" + _VADD_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclVectorAdd", suite="toolkit",
+    description="element-wise vector addition (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void VectorAdd(__global const float* a, __global const float* b,
+                        __global float* c, int n) {
+  int i = get_global_id(0);
+  if (i < n) c[i] = a[i] + b[i];
+}
+""",
+    opencl_host=ocl_main(_VADD_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "VectorAdd", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, n * 4, a, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, db, CL_TRUE, 0, n * 4, b, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &da);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &db);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dc);
+  clSetKernelArg(k, 3, sizeof(int), &n);
+  size_t gws[1] = {1024}; size_t lws[1] = {256};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dc, CL_TRUE, 0, n * 4, c, 0, NULL, NULL);
+""" + _VADD_VERIFY)))
+
+# -- scalarProd / oclDotProduct ------------------------------------------------
+
+_SPROD_SETUP = r"""
+  int n = 512; int groups = 4;
+  float a[512]; float b[512]; float partial[4];
+  srand(109);
+  for (int i = 0; i < n; i++) {
+    a[i] = (float)(rand() % 100) * 0.01f;
+    b[i] = (float)(rand() % 100) * 0.01f;
+  }
+"""
+_SPROD_VERIFY = r"""
+  float got = partial[0] + partial[1] + partial[2] + partial[3];
+  float want = 0.0f;
+  for (int i = 0; i < n; i++) want += a[i] * b[i];
+  printf(fabs(got - want) < 0.01f ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="scalarProd", suite="toolkit",
+    description="blocked dot product with shared-memory reduction",
+    cuda_source=r"""
+__global__ void scalarProd(const float* a, const float* b, float* partial,
+                           int n) {
+  extern __shared__ float tmp[];
+  int lid = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  tmp[lid] = i < n ? a[i] * b[i] : 0.0f;
+  __syncthreads();
+  for (int s = blockDim.x / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    __syncthreads();
+  }
+  if (lid == 0) partial[blockIdx.x] = tmp[0];
+}
+
+int main(void) {
+""" + _SPROD_SETUP + r"""
+  float *da, *db, *dp;
+  cudaMalloc((void**)&da, n * 4);
+  cudaMalloc((void**)&db, n * 4);
+  cudaMalloc((void**)&dp, groups * 4);
+  cudaMemcpy(da, a, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(db, b, n * 4, cudaMemcpyHostToDevice);
+  scalarProd<<<4, 128, 128 * sizeof(float)>>>(da, db, dp, n);
+  cudaMemcpy(partial, dp, groups * 4, cudaMemcpyDeviceToHost);
+""" + _SPROD_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclDotProduct", suite="toolkit",
+    description="blocked dot product (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void DotProduct(__global const float* a, __global const float* b,
+                         __global float* partial, __local float* tmp, int n) {
+  int lid = get_local_id(0);
+  int i = get_global_id(0);
+  tmp[lid] = i < n ? a[i] * b[i] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) partial[get_group_id(0)] = tmp[0];
+}
+""",
+    opencl_host=ocl_main(_SPROD_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "DotProduct", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dp = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, groups * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, n * 4, a, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, db, CL_TRUE, 0, n * 4, b, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &da);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &db);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dp);
+  clSetKernelArg(k, 3, 128 * 4, NULL);
+  clSetKernelArg(k, 4, sizeof(int), &n);
+  size_t gws[1] = {512}; size_t lws[1] = {128};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dp, CL_TRUE, 0, groups * 4, partial, 0, NULL, NULL);
+""" + _SPROD_VERIFY)))
+
+# -- asyncAPI (CUDA): streams + events, translated via wrappers ----------------
+
+register(App(
+    name="asyncAPI", suite="toolkit",
+    description="async memcpy + events (serialized faithfully)",
+    cuda_source=r"""
+__global__ void increment(int* data, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) data[i] += 1;
+}
+
+int main(void) {
+  int n = 512;
+  int data[512];
+  for (int i = 0; i < n; i++) data[i] = i;
+
+  int* ddata;
+  cudaMalloc((void**)&ddata, n * 4);
+  cudaStream_t stream;
+  cudaStreamCreate(&stream);
+  cudaEvent_t start, stop;
+  cudaEventCreate(&start);
+  cudaEventCreate(&stop);
+
+  cudaEventRecord(start, 0);
+  cudaMemcpyAsync(ddata, data, n * 4, cudaMemcpyHostToDevice, stream);
+  increment<<<2, 256>>>(ddata, n);
+  cudaMemcpyAsync(data, ddata, n * 4, cudaMemcpyDeviceToHost, stream);
+  cudaStreamSynchronize(stream);
+  cudaEventRecord(stop, 0);
+  cudaEventSynchronize(stop);
+  float ms;
+  cudaEventElapsedTime(&ms, start, stop);
+
+  int ok = ms >= 0.0f;
+  for (int i = 0; i < n; i++) if (data[i] != i + 1) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))
+
+# -- bandwidthTest / oclBandwidthTest --------------------------------------------
+
+_BW_VERIFY = r"""
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="bandwidthTest", suite="toolkit",
+    description="H2D/D2H/D2D copy bandwidth measurement",
+    cuda_source=r"""
+int main(void) {
+  int n = 4096;
+  float src[4096]; float dst[4096];
+  for (int i = 0; i < n; i++) src[i] = (float)i;
+  float *d1, *d2;
+  cudaMalloc((void**)&d1, n * 4);
+  cudaMalloc((void**)&d2, n * 4);
+  cudaMemcpy(d1, src, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(d2, d1, n * 4, cudaMemcpyDeviceToDevice);
+  cudaMemcpy(dst, d2, n * 4, cudaMemcpyDeviceToHost);
+  int ok = 1;
+  for (int i = 0; i < n; i++) if (dst[i] != src[i]) ok = 0;
+""" + _BW_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclBandwidthTest", suite="toolkit",
+    description="copy bandwidth measurement (OpenCL sample)",
+    opencl_kernels="__kernel void noop(__global float* x) { }\n",
+    opencl_host=ocl_main(r"""
+  int n = 4096;
+  float src[4096]; float dst[4096];
+  for (int i = 0; i < n; i++) src[i] = (float)i;
+  cl_mem d1 = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem d2 = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, d1, CL_TRUE, 0, n * 4, src, 0, NULL, NULL);
+  clEnqueueCopyBuffer(q, d1, d2, 0, 0, n * 4, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, d2, CL_TRUE, 0, n * 4, dst, 0, NULL, NULL);
+  int ok = 1;
+  for (int i = 0; i < n; i++) if (dst[i] != src[i]) ok = 0;
+""" + _BW_VERIFY)))
+
+# -- template (CUDA): simple function-template kernel helper --------------------
+
+register(App(
+    name="template", suite="toolkit",
+    description="simple template-function device code (translatable C++)",
+    cuda_source=r"""
+template <typename T>
+__device__ T scale_val(T v, T f) { return v * f; }
+
+__global__ void templ_kernel(float* data, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) data[i] = scale_val<float>(data[i], 2.0f);
+}
+
+int main(void) {
+  int n = 256;
+  float data[256];
+  for (int i = 0; i < n; i++) data[i] = (float)i;
+  float* dd;
+  cudaMalloc((void**)&dd, n * 4);
+  cudaMemcpy(dd, data, n * 4, cudaMemcpyHostToDevice);
+  templ_kernel<<<1, 256>>>(dd, n);
+  cudaMemcpy(data, dd, n * 4, cudaMemcpyDeviceToHost);
+  int ok = 1;
+  for (int i = 0; i < n; i++) if (data[i] != 2.0f * (float)i) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))
+
+# -- oclCopyComputeOverlap (OpenCL): interleaved copies and kernels -------------
+
+register(App(
+    name="oclCopyComputeOverlap", suite="toolkit",
+    description="alternating transfers and kernels (serialized queue)",
+    opencl_kernels=r"""
+__kernel void hypot_k(__global const float* a, __global const float* b,
+                      __global float* c, int n) {
+  int i = get_global_id(0);
+  if (i < n) c[i] = sqrt(a[i] * a[i] + b[i] * b[i]);
+}
+""",
+    opencl_host=ocl_main(r"""
+  int n = 256; int chunks = 2; int half = 128;
+  float a[256]; float b[256]; float c[256];
+  srand(113);
+  for (int i = 0; i < n; i++) {
+    a[i] = (float)(rand() % 100) * 0.01f;
+    b[i] = (float)(rand() % 100) * 0.01f;
+  }
+  cl_kernel k = clCreateKernel(prog, "hypot_k", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  size_t gws[1] = {256}; size_t lws[1] = {64};
+  for (int ch = 0; ch < chunks; ch++) {
+    clEnqueueWriteBuffer(q, da, CL_TRUE, ch * half * 4, half * 4, &a[ch * half], 0, NULL, NULL);
+    clEnqueueWriteBuffer(q, db, CL_TRUE, ch * half * 4, half * 4, &b[ch * half], 0, NULL, NULL);
+  }
+  clSetKernelArg(k, 0, sizeof(cl_mem), &da);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &db);
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dc);
+  clSetKernelArg(k, 3, sizeof(int), &n);
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dc, CL_TRUE, 0, n * 4, c, 0, NULL, NULL);
+  int ok = 1;
+  for (int i = 0; i < n; i++) {
+    float want = sqrt(a[i] * a[i] + b[i] * b[i]);
+    if (fabs(c[i] - want) > 1e-4f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))

@@ -1,0 +1,412 @@
+"""Toolkit sorting & scan samples: sortingNetworks (+ocl), radixSort (+ocl),
+bitonicSort, scan (+ocl), scanLargeArray, histogram (+ocl)."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+# -- sortingNetworks / oclSortingNetworks / bitonicSort: bitonic in shared ----
+
+_BITONIC_OCL_KERNEL = r"""
+__kernel void bitonicSort(__global int* data, __local int* tmp, int n) {
+  int lid = get_local_id(0);
+  int gbase = get_group_id(0) * get_local_size(0) * 2;
+  tmp[lid] = data[gbase + lid];
+  tmp[lid + get_local_size(0)] = data[gbase + lid + get_local_size(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int size = get_local_size(0) * 2;
+  for (int k = 2; k <= size; k <<= 1) {
+    for (int j = k >> 1; j > 0; j >>= 1) {
+      for (int t = lid; t < size; t += get_local_size(0)) {
+        int ixj = t ^ j;
+        if (ixj > t) {
+          int asc = (t & k) == 0;
+          int x = tmp[t]; int y = tmp[ixj];
+          if ((asc && x > y) || (!asc && x < y)) {
+            tmp[t] = y; tmp[ixj] = x;
+          }
+        }
+      }
+      barrier(CLK_LOCAL_MEM_FENCE);
+    }
+  }
+  data[gbase + lid] = tmp[lid];
+  data[gbase + lid + get_local_size(0)] = tmp[lid + get_local_size(0)];
+}
+"""
+
+_BITONIC_CUDA_KERNEL = r"""
+__global__ void bitonicSort(int* data, int n) {
+  extern __shared__ int tmp[];
+  int lid = threadIdx.x;
+  int gbase = blockIdx.x * blockDim.x * 2;
+  tmp[lid] = data[gbase + lid];
+  tmp[lid + blockDim.x] = data[gbase + lid + blockDim.x];
+  __syncthreads();
+  int size = blockDim.x * 2;
+  for (int k = 2; k <= size; k <<= 1) {
+    for (int j = k >> 1; j > 0; j >>= 1) {
+      for (int t = lid; t < size; t += blockDim.x) {
+        int ixj = t ^ j;
+        if (ixj > t) {
+          int asc = (t & k) == 0;
+          int x = tmp[t]; int y = tmp[ixj];
+          if ((asc && x > y) || (!asc && x < y)) {
+            tmp[t] = y; tmp[ixj] = x;
+          }
+        }
+      }
+      __syncthreads();
+    }
+  }
+  data[gbase + lid] = tmp[lid];
+  data[gbase + lid + blockDim.x] = tmp[lid + blockDim.x];
+}
+"""
+
+_SORT_SETUP = r"""
+  int n = 128; int lsz = 32; int seg = 64;
+  int data[128];
+  srand(163);
+  for (int i = 0; i < n; i++) data[i] = rand() % 1000;
+"""
+_SORT_VERIFY = r"""
+  int ok = 1;
+  for (int s = 0; s < n; s += seg)
+    for (int i = 1; i < seg; i++)
+      if (data[s + i - 1] > data[s + i]) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="sortingNetworks", suite="toolkit",
+    description="bitonic sorting network over shared-memory segments",
+    cuda_source=_BITONIC_CUDA_KERNEL + r"""
+int main(void) {
+""" + _SORT_SETUP + r"""
+  int* dd;
+  cudaMalloc((void**)&dd, n * 4);
+  cudaMemcpy(dd, data, n * 4, cudaMemcpyHostToDevice);
+  bitonicSort<<<2, 32, 64 * sizeof(int)>>>(dd, n);
+  cudaMemcpy(data, dd, n * 4, cudaMemcpyDeviceToHost);
+""" + _SORT_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclSortingNetworks", suite="toolkit",
+    description="bitonic sorting network (OpenCL sample)",
+    opencl_kernels=_BITONIC_OCL_KERNEL,
+    opencl_host=ocl_main(_SORT_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "bitonicSort", &__err);
+  cl_mem dd = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dd, CL_TRUE, 0, n * 4, data, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dd);
+  clSetKernelArg(k, 1, 64 * 4, NULL);
+  clSetKernelArg(k, 2, sizeof(int), &n);
+  size_t gws[1] = {64}; size_t lws[1] = {32};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dd, CL_TRUE, 0, n * 4, data, 0, NULL, NULL);
+""" + _SORT_VERIFY)))
+
+register(App(
+    name="bitonicSort", suite="toolkit",
+    description="single-segment bitonic sort (classic SDK sample)",
+    cuda_source=_BITONIC_CUDA_KERNEL + r"""
+int main(void) {
+  int n = 64; int seg = 64;
+  int data[64];
+  srand(167);
+  for (int i = 0; i < n; i++) data[i] = rand() % 1000;
+  int* dd;
+  cudaMalloc((void**)&dd, n * 4);
+  cudaMemcpy(dd, data, n * 4, cudaMemcpyHostToDevice);
+  bitonicSort<<<1, 32, 64 * sizeof(int)>>>(dd, n);
+  cudaMemcpy(data, dd, n * 4, cudaMemcpyDeviceToHost);
+""" + _SORT_VERIFY + "\n}\n"))
+
+# -- radixSort / oclRadixSort: LSB split per bit -------------------------------
+
+_RADIX_SETUP = r"""
+  int n = 128; int bits = 8;
+  int keys[128];
+  srand(173);
+  for (int i = 0; i < n; i++) keys[i] = rand() % 256;
+"""
+_RADIX_VERIFY = r"""
+  int ok = 1;
+  for (int i = 1; i < n; i++) if (keys[i - 1] > keys[i]) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+_RADIX_OCL = r"""
+__kernel void radix_split(__global const int* in, __global int* out,
+                          __global int* counters, int n, int bit) {
+  int i = get_global_id(0);
+  if (i == 0) {
+    /* single work-item stable split keeps the pass deterministic */
+    int zeros = 0;
+    for (int j = 0; j < n; j++)
+      if (((in[j] >> bit) & 1) == 0) zeros++;
+    int z = 0; int o = zeros;
+    for (int j = 0; j < n; j++) {
+      if (((in[j] >> bit) & 1) == 0) { out[z] = in[j]; z++; }
+      else { out[o] = in[j]; o++; }
+    }
+    counters[0] = zeros;
+  }
+}
+"""
+
+_RADIX_CUDA = r"""
+__global__ void radix_split(const int* in, int* out, int* counters,
+                            int n, int bit) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i == 0) {
+    int zeros = 0;
+    for (int j = 0; j < n; j++)
+      if (((in[j] >> bit) & 1) == 0) zeros++;
+    int z = 0; int o = zeros;
+    for (int j = 0; j < n; j++) {
+      if (((in[j] >> bit) & 1) == 0) { out[z] = in[j]; z++; }
+      else { out[o] = in[j]; o++; }
+    }
+    counters[0] = zeros;
+  }
+}
+"""
+
+register(App(
+    name="radixSort", suite="toolkit",
+    description="LSB radix sort, one split kernel per bit",
+    cuda_source=_RADIX_CUDA + r"""
+int main(void) {
+""" + _RADIX_SETUP + r"""
+  int *da, *db, *dc;
+  cudaMalloc((void**)&da, n * 4);
+  cudaMalloc((void**)&db, n * 4);
+  cudaMalloc((void**)&dc, 4);
+  cudaMemcpy(da, keys, n * 4, cudaMemcpyHostToDevice);
+  for (int bit = 0; bit < bits; bit++) {
+    if (bit % 2 == 0) radix_split<<<1, 32>>>(da, db, dc, n, bit);
+    else radix_split<<<1, 32>>>(db, da, dc, n, bit);
+  }
+  cudaMemcpy(keys, bits % 2 ? db : da, n * 4, cudaMemcpyDeviceToHost);
+""" + _RADIX_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclRadixSort", suite="toolkit",
+    description="LSB radix sort (OpenCL sample)",
+    opencl_kernels=_RADIX_OCL,
+    opencl_host=ocl_main(_RADIX_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "radix_split", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_WRITE, n * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_WRITE, 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, n * 4, keys, 0, NULL, NULL);
+  size_t gws[1] = {32}; size_t lws[1] = {32};
+  clSetKernelArg(k, 2, sizeof(cl_mem), &dc);
+  clSetKernelArg(k, 3, sizeof(int), &n);
+  for (int bit = 0; bit < bits; bit++) {
+    if (bit % 2 == 0) {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &da);
+      clSetKernelArg(k, 1, sizeof(cl_mem), &db);
+    } else {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &db);
+      clSetKernelArg(k, 1, sizeof(cl_mem), &da);
+    }
+    clSetKernelArg(k, 4, sizeof(int), &bit);
+    clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  }
+  clEnqueueReadBuffer(q, bits % 2 ? db : da, CL_TRUE, 0, n * 4, keys, 0, NULL, NULL);
+""" + _RADIX_VERIFY)))
+
+# -- scan / oclScan / scanLargeArray: Hillis-Steele in shared memory ------------
+
+_SCAN_OCL = r"""
+__kernel void scan_block(__global const float* in, __global float* out,
+                         __local float* tmp, int n) {
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  tmp[lid] = gid < n ? in[gid] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int off = 1; off < get_local_size(0); off <<= 1) {
+    float v = lid >= off ? tmp[lid - off] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    tmp[lid] += v;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (gid < n) out[gid] = tmp[lid];
+}
+"""
+
+_SCAN_CUDA = r"""
+__global__ void scan_block(const float* in, float* out, int n) {
+  extern __shared__ float tmp[];
+  int lid = threadIdx.x;
+  int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  tmp[lid] = gid < n ? in[gid] : 0.0f;
+  __syncthreads();
+  for (int off = 1; off < blockDim.x; off <<= 1) {
+    float v = lid >= off ? tmp[lid - off] : 0.0f;
+    __syncthreads();
+    tmp[lid] += v;
+    __syncthreads();
+  }
+  if (gid < n) out[gid] = tmp[lid];
+}
+"""
+
+_SCAN_SETUP = r"""
+  int n = 128; int lsz = 64;
+  float data[128]; float result[128];
+  srand(179);
+  for (int i = 0; i < n; i++) data[i] = (float)(rand() % 10);
+"""
+_SCAN_VERIFY = r"""
+  int ok = 1;
+  for (int blockstart = 0; blockstart < n; blockstart += lsz) {
+    float acc = 0.0f;
+    for (int i = 0; i < lsz; i++) {
+      acc += data[blockstart + i];
+      if (fabs(result[blockstart + i] - acc) > 1e-3f) ok = 0;
+    }
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="scan", suite="toolkit",
+    description="per-block inclusive prefix sum (Hillis-Steele)",
+    cuda_source=_SCAN_CUDA + r"""
+int main(void) {
+""" + _SCAN_SETUP + r"""
+  float *di, *dout;
+  cudaMalloc((void**)&di, n * 4);
+  cudaMalloc((void**)&dout, n * 4);
+  cudaMemcpy(di, data, n * 4, cudaMemcpyHostToDevice);
+  scan_block<<<2, 64, 64 * sizeof(float)>>>(di, dout, n);
+  cudaMemcpy(result, dout, n * 4, cudaMemcpyDeviceToHost);
+""" + _SCAN_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclScan", suite="toolkit",
+    description="per-block inclusive prefix sum (OpenCL sample)",
+    opencl_kernels=_SCAN_OCL,
+    opencl_host=ocl_main(_SCAN_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "scan_block", &__err);
+  cl_mem di = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, n * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, di, CL_TRUE, 0, n * 4, data, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &di);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dout);
+  clSetKernelArg(k, 2, 64 * 4, NULL);
+  clSetKernelArg(k, 3, sizeof(int), &n);
+  size_t gws[1] = {128}; size_t lws[1] = {64};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, n * 4, result, 0, NULL, NULL);
+""" + _SCAN_VERIFY)))
+
+register(App(
+    name="scanLargeArray", suite="toolkit",
+    description="multi-block scan with block-sum fix-up pass",
+    cuda_source=_SCAN_CUDA + r"""
+__global__ void add_offsets(float* data, const float* block_last, int lsz) {
+  int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  float add = 0.0f;
+  for (int b = 0; b < blockIdx.x; b++) add += block_last[b];
+  data[gid] += add;
+}
+
+__global__ void gather_last(const float* scanned, float* block_last,
+                            int lsz) {
+  int b = blockIdx.x * blockDim.x + threadIdx.x;
+  block_last[b] = scanned[b * lsz + lsz - 1];
+}
+
+int main(void) {
+  int n = 256; int lsz = 64; int blocks = 4;
+  float data[256]; float result[256];
+  srand(181);
+  for (int i = 0; i < n; i++) data[i] = (float)(rand() % 10);
+  float *di, *dout, *dlast;
+  cudaMalloc((void**)&di, n * 4);
+  cudaMalloc((void**)&dout, n * 4);
+  cudaMalloc((void**)&dlast, blocks * 4);
+  cudaMemcpy(di, data, n * 4, cudaMemcpyHostToDevice);
+  scan_block<<<4, 64, 64 * sizeof(float)>>>(di, dout, n);
+  gather_last<<<1, 4>>>(dout, dlast, lsz);
+  add_offsets<<<4, 64>>>(dout, dlast, lsz);
+  cudaMemcpy(result, dout, n * 4, cudaMemcpyDeviceToHost);
+  int ok = 1;
+  float acc = 0.0f;
+  for (int i = 0; i < n; i++) {
+    acc += data[i];
+    if (fabs(result[i] - acc) > 1e-3f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))
+
+# -- histogram / oclHistogram -----------------------------------------------------
+
+_HIST_SETUP = r"""
+  int n = 512; int nbins = 16;
+  int data[512]; int bins[16];
+  srand(191);
+  for (int i = 0; i < n; i++) data[i] = rand() % 256;
+  for (int b = 0; b < nbins; b++) bins[b] = 0;
+"""
+_HIST_VERIFY = r"""
+  int ok = 1;
+  int want[16];
+  for (int b = 0; b < nbins; b++) want[b] = 0;
+  for (int i = 0; i < n; i++) want[data[i] / 16] += 1;
+  for (int b = 0; b < nbins; b++) if (bins[b] != want[b]) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+"""
+
+register(App(
+    name="histogram", suite="toolkit",
+    description="256-bin histogram folded to 16 bins via atomics",
+    cuda_source=r"""
+__global__ void histo(const int* data, int* bins, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) atomicAdd(&bins[data[i] / 16], 1);
+}
+
+int main(void) {
+""" + _HIST_SETUP + r"""
+  int *dd, *db;
+  cudaMalloc((void**)&dd, n * 4);
+  cudaMalloc((void**)&db, nbins * 4);
+  cudaMemcpy(dd, data, n * 4, cudaMemcpyHostToDevice);
+  cudaMemcpy(db, bins, nbins * 4, cudaMemcpyHostToDevice);
+  histo<<<4, 128>>>(dd, db, n);
+  cudaMemcpy(bins, db, nbins * 4, cudaMemcpyDeviceToHost);
+""" + _HIST_VERIFY + "\n}\n"))
+
+register(App(
+    name="oclHistogram", suite="toolkit",
+    description="histogram via atomics (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void histo(__global const int* data, __global int* bins, int n) {
+  int i = get_global_id(0);
+  if (i < n) atomic_add(&bins[data[i] / 16], 1);
+}
+""",
+    opencl_host=ocl_main(_HIST_SETUP + r"""
+  cl_kernel k = clCreateKernel(prog, "histo", &__err);
+  cl_mem dd = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_WRITE, nbins * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, dd, CL_TRUE, 0, n * 4, data, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, db, CL_TRUE, 0, nbins * 4, bins, 0, NULL, NULL);
+  clSetKernelArg(k, 0, sizeof(cl_mem), &dd);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &db);
+  clSetKernelArg(k, 2, sizeof(int), &n);
+  size_t gws[1] = {512}; size_t lws[1] = {128};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, db, CL_TRUE, 0, nbins * 4, bins, 0, NULL, NULL);
+""" + _HIST_VERIFY)))

@@ -1,0 +1,188 @@
+"""Toolkit transforms: dwtHaar1D, fastWalshTransform, oclDCT8x8, oclFDTD3d."""
+
+from ..base import App, register
+from ..common import ocl_main
+
+register(App(
+    name="dwtHaar1D", suite="toolkit",
+    description="one-level 1D Haar wavelet",
+    cuda_source=r"""
+__global__ void haar1d(const float* in, float* out, int half) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i >= half) return;
+  float a = in[2 * i];
+  float b = in[2 * i + 1];
+  out[i] = 0.70710678f * (a + b);
+  out[half + i] = 0.70710678f * (a - b);
+}
+
+int main(void) {
+  int n = 512; int half = 256;
+  float data[512]; float out[512];
+  srand(193);
+  for (int i = 0; i < n; i++) data[i] = (float)(rand() % 100) * 0.01f;
+  float *di, *dout;
+  cudaMalloc((void**)&di, n * 4);
+  cudaMalloc((void**)&dout, n * 4);
+  cudaMemcpy(di, data, n * 4, cudaMemcpyHostToDevice);
+  haar1d<<<2, 128>>>(di, dout, half);
+  cudaMemcpy(out, dout, n * 4, cudaMemcpyDeviceToHost);
+  int ok = 1;
+  for (int i = 0; i < half; i++) {
+    float a = data[2 * i]; float b = data[2 * i + 1];
+    if (fabs(out[i] - 0.70710678f * (a + b)) > 1e-4f) ok = 0;
+    if (fabs(out[half + i] - 0.70710678f * (a - b)) > 1e-4f) ok = 0;
+  }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))
+
+register(App(
+    name="fastWalshTransform", suite="toolkit",
+    description="iterative Walsh-Hadamard butterflies",
+    cuda_source=r"""
+__global__ void fwt_pass(float* data, int stride, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int pos = (i / stride) * stride * 2 + (i % stride);
+  if (pos + stride < n) {
+    float a = data[pos];
+    float b = data[pos + stride];
+    data[pos] = a + b;
+    data[pos + stride] = a - b;
+  }
+}
+
+int main(void) {
+  int n = 256;
+  float data[256]; float ref[256];
+  srand(197);
+  for (int i = 0; i < n; i++) { data[i] = (float)(rand() % 10); ref[i] = data[i]; }
+  float* dd;
+  cudaMalloc((void**)&dd, n * 4);
+  cudaMemcpy(dd, data, n * 4, cudaMemcpyHostToDevice);
+  for (int stride = 1; stride < n; stride *= 2)
+    fwt_pass<<<1, 128>>>(dd, stride, n);
+  cudaMemcpy(data, dd, n * 4, cudaMemcpyDeviceToHost);
+  /* CPU reference */
+  for (int stride = 1; stride < n; stride *= 2)
+    for (int i = 0; i < n / 2; i++) {
+      int pos = (i / stride) * stride * 2 + (i % stride);
+      float a = ref[pos];
+      float b = ref[pos + stride];
+      ref[pos] = a + b;
+      ref[pos + stride] = a - b;
+    }
+  int ok = 1;
+  for (int i = 0; i < n; i++) if (fabs(data[i] - ref[i]) > 1e-3f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+}
+"""))
+
+register(App(
+    name="oclDCT8x8", suite="toolkit",
+    description="8x8 block DCT row pass (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void dct_rows(__global const float* in, __global float* out,
+                       __constant float* cosines, int dim) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  float acc = 0.0f;
+  for (int t = 0; t < 8; t++)
+    acc += in[y * dim + (x / 8) * 8 + t] * cosines[(x % 8) * 8 + t];
+  out[y * dim + x] = acc;
+}
+""",
+    opencl_host=ocl_main(r"""
+  int dim = 16;
+  float in[256]; float out[256]; float cosines[64];
+  srand(199);
+  for (int i = 0; i < dim * dim; i++) in[i] = (float)(rand() % 256);
+  for (int k = 0; k < 8; k++)
+    for (int t = 0; t < 8; t++)
+      cosines[k * 8 + t] = cos(3.14159265f * (float)k * ((float)t + 0.5f) / 8.0f);
+  cl_kernel kk = clCreateKernel(prog, "dct_rows", &__err);
+  cl_mem di = clCreateBuffer(ctx, CL_MEM_READ_ONLY, dim * dim * 4, NULL, &__err);
+  cl_mem dout = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, dim * dim * 4, NULL, &__err);
+  cl_mem dc = clCreateBuffer(ctx, CL_MEM_READ_ONLY, 64 * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, di, CL_TRUE, 0, dim * dim * 4, in, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dc, CL_TRUE, 0, 64 * 4, cosines, 0, NULL, NULL);
+  clSetKernelArg(kk, 0, sizeof(cl_mem), &di);
+  clSetKernelArg(kk, 1, sizeof(cl_mem), &dout);
+  clSetKernelArg(kk, 2, sizeof(cl_mem), &dc);
+  clSetKernelArg(kk, 3, sizeof(int), &dim);
+  size_t gws[2] = {16, 16}; size_t lws[2] = {8, 8};
+  clEnqueueNDRangeKernel(q, kk, 2, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dout, CL_TRUE, 0, dim * dim * 4, out, 0, NULL, NULL);
+  int ok = 1;
+  for (int y = 0; y < dim; y++)
+    for (int x = 0; x < dim; x++) {
+      float acc = 0.0f;
+      for (int t = 0; t < 8; t++)
+        acc += in[y * dim + (x / 8) * 8 + t] * cosines[(x % 8) * 8 + t];
+      if (fabs(out[y * dim + x] - acc) > 1e-2f) ok = 0;
+    }
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))
+
+register(App(
+    name="oclFDTD3d", suite="toolkit",
+    description="finite-difference time-domain stencil (OpenCL sample)",
+    opencl_kernels=r"""
+__kernel void fdtd_step(__global const float* in, __global float* out,
+                        int dim) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int i = y * dim + x;
+  float c = in[i];
+  float lf = x > 0 ? in[i - 1] : c;
+  float rt = x < dim - 1 ? in[i + 1] : c;
+  float up = y > 0 ? in[i - dim] : c;
+  float dn = y < dim - 1 ? in[i + dim] : c;
+  out[i] = 0.5f * c + 0.125f * (lf + rt + up + dn);
+}
+""",
+    opencl_host=ocl_main(r"""
+  int dim = 16; int iters = 3;
+  float grid[256]; float ref[256]; float tmp[256];
+  srand(211);
+  for (int i = 0; i < dim * dim; i++) { grid[i] = (float)(rand() % 100) * 0.01f; ref[i] = grid[i]; }
+  cl_kernel k = clCreateKernel(prog, "fdtd_step", &__err);
+  cl_mem da = clCreateBuffer(ctx, CL_MEM_READ_WRITE, dim * dim * 4, NULL, &__err);
+  cl_mem db = clCreateBuffer(ctx, CL_MEM_READ_WRITE, dim * dim * 4, NULL, &__err);
+  clEnqueueWriteBuffer(q, da, CL_TRUE, 0, dim * dim * 4, grid, 0, NULL, NULL);
+  size_t gws[2] = {16, 16}; size_t lws[2] = {8, 8};
+  clSetKernelArg(k, 2, sizeof(int), &dim);
+  for (int it = 0; it < iters; it++) {
+    if (it % 2 == 0) {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &da);
+      clSetKernelArg(k, 1, sizeof(cl_mem), &db);
+    } else {
+      clSetKernelArg(k, 0, sizeof(cl_mem), &db);
+      clSetKernelArg(k, 1, sizeof(cl_mem), &da);
+    }
+    clEnqueueNDRangeKernel(q, k, 2, NULL, gws, lws, 0, NULL, NULL);
+  }
+  clEnqueueReadBuffer(q, iters % 2 ? db : da, CL_TRUE, 0, dim * dim * 4,
+                      grid, 0, NULL, NULL);
+  for (int it = 0; it < iters; it++) {
+    for (int y = 0; y < dim; y++)
+      for (int x = 0; x < dim; x++) {
+        int i = y * dim + x;
+        float c = ref[i];
+        float lf = x > 0 ? ref[i - 1] : c;
+        float rt = x < dim - 1 ? ref[i + 1] : c;
+        float up = y > 0 ? ref[i - dim] : c;
+        float dn = y < dim - 1 ? ref[i + dim] : c;
+        tmp[i] = 0.5f * c + 0.125f * (lf + rt + up + dn);
+      }
+    for (int i = 0; i < dim * dim; i++) ref[i] = tmp[i];
+  }
+  int ok = 1;
+  for (int i = 0; i < dim * dim; i++)
+    if (fabs(grid[i] - ref[i]) > 1e-3f) ok = 0;
+  printf(ok ? "PASSED\n" : "FAILED\n");
+  return 0;
+""")))

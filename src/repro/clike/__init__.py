@@ -1,0 +1,21 @@
+"""C-like language frontend: lexer, parser, AST, types, printer, interpreter.
+
+This package is the substitute for the paper's clang 3.3 frontend: it parses
+OpenCL C kernels, CUDA translation units (host+device mixed, including
+``<<<...>>>`` launches and ``texture<...>`` references) and host C, into an
+AST that the translators in :mod:`repro.translate` rewrite and re-print.
+"""
+
+from . import ast, types
+from .dialect import CUDA, HOST_C, OPENCL_KERNEL, Dialect, get_dialect
+from .lexer import Lexer, Token, tokenize
+from .parser import Parser, parse
+from .printer import Printer, print_type, print_unit
+
+__all__ = [
+    "ast", "types",
+    "Dialect", "get_dialect", "OPENCL_KERNEL", "CUDA", "HOST_C",
+    "Lexer", "Token", "tokenize",
+    "Parser", "parse",
+    "Printer", "print_unit", "print_type",
+]

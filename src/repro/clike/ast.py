@@ -1,0 +1,491 @@
+"""Abstract syntax tree for the C-like dialects.
+
+Nodes are plain mutable classes (translation rewrites them in place or
+rebuilds subtrees).  ``Node.children()`` yields child nodes generically so
+analyses (the translatability analyzer, the register estimator) can walk any
+tree without per-node visitors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from .types import AddressSpace, Type
+
+__all__ = [
+    "Node", "TranslationUnit",
+    "FunctionDecl", "ParamDecl", "VarDecl", "StructDecl", "TypedefDecl",
+    "Compound", "ExprStmt", "DeclStmt", "If", "For", "While", "DoWhile",
+    "Return", "Break", "Continue", "Switch", "Case",
+    "IntLit", "FloatLit", "CharLit", "StringLit", "Ident",
+    "BinOp", "UnOp", "Assign", "Cond", "Call", "Index", "Member",
+    "Cast", "SizeOf", "InitList", "Comma", "KernelLaunch",
+    "walk",
+]
+
+
+class Node:
+    """Base AST node."""
+
+    __slots__ = ("loc",)
+    _fields: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.loc: Tuple[int, int] = (0, 0)
+
+    def children(self) -> Iterator["Node"]:
+        for f in self._fields:
+            v = getattr(self, f, None)
+            if isinstance(v, Node):
+                yield v
+            elif isinstance(v, (list, tuple)):
+                for item in v:
+                    if isinstance(item, Node):
+                        yield item
+
+    def __repr__(self) -> str:
+        parts = []
+        for f in self._fields:
+            v = getattr(self, f, None)
+            if isinstance(v, Node):
+                parts.append(f"{f}={type(v).__name__}")
+            elif isinstance(v, list):
+                parts.append(f"{f}=[{len(v)}]")
+            elif v is not None:
+                parts.append(f"{f}={v!r}")
+        return f"{type(self).__name__}({', '.join(parts)})"
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Pre-order traversal of ``node`` and all descendants."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+class TranslationUnit(Node):
+    __slots__ = ("decls", "dialect_name", "_sema_done")
+    _fields = ("decls",)
+
+    def __init__(self, decls: Optional[List[Node]] = None, dialect_name: str = "") -> None:
+        super().__init__()
+        self.decls: List[Node] = decls if decls is not None else []
+        self.dialect_name = dialect_name
+
+    def functions(self) -> List["FunctionDecl"]:
+        return [d for d in self.decls if isinstance(d, FunctionDecl)]
+
+    def find_function(self, name: str) -> Optional["FunctionDecl"]:
+        for d in self.decls:
+            if isinstance(d, FunctionDecl) and d.name == name:
+                return d
+        return None
+
+    def kernels(self) -> List["FunctionDecl"]:
+        return [f for f in self.functions() if f.is_kernel]
+
+
+class FunctionDecl(Node):
+    __slots__ = ("name", "ret_type", "params", "body", "qualifiers",
+                 "template_params", "is_kernel", "_memvars", "_compiled")
+    _fields = ("params", "body")
+
+    def __init__(self, name: str, ret_type: Type, params: List["ParamDecl"],
+                 body: Optional["Compound"], qualifiers: Optional[set] = None,
+                 template_params: Optional[List[str]] = None,
+                 is_kernel: bool = False) -> None:
+        super().__init__()
+        self.name = name
+        self.ret_type = ret_type
+        self.params = params
+        self.body = body
+        self.qualifiers: set = qualifiers or set()
+        self.template_params: List[str] = template_params or []
+        self.is_kernel = is_kernel
+
+
+class ParamDecl(Node):
+    __slots__ = ("name", "type", "space", "quals")
+    _fields = ()
+
+    def __init__(self, name: str, type_: Type,
+                 space: Optional[AddressSpace] = None,
+                 quals: Optional[set] = None) -> None:
+        super().__init__()
+        self.name = name
+        self.type = type_
+        self.space = space
+        self.quals: set = quals or set()
+
+
+class VarDecl(Node):
+    """A variable declaration, at file or block scope."""
+
+    __slots__ = ("name", "type", "space", "quals", "init")
+    _fields = ("init",)
+
+    def __init__(self, name: str, type_: Type,
+                 space: Optional[AddressSpace] = None,
+                 quals: Optional[set] = None,
+                 init: Optional[Node] = None) -> None:
+        super().__init__()
+        self.name = name
+        self.type = type_
+        self.space = space
+        self.quals: set = quals or set()  # 'static', 'extern', 'const', ...
+        self.init = init
+
+
+class StructDecl(Node):
+    __slots__ = ("name", "fields", "struct_type")
+    _fields = ()
+
+    def __init__(self, name: str, fields: List[Tuple[str, Type]], struct_type: Any) -> None:
+        super().__init__()
+        self.name = name
+        self.fields = fields
+        self.struct_type = struct_type
+
+
+class TypedefDecl(Node):
+    __slots__ = ("name", "type")
+    _fields = ()
+
+    def __init__(self, name: str, type_: Type) -> None:
+        super().__init__()
+        self.name = name
+        self.type = type_
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Compound(Node):
+    __slots__ = ("stmts",)
+    _fields = ("stmts",)
+
+    def __init__(self, stmts: Optional[List[Node]] = None) -> None:
+        super().__init__()
+        self.stmts: List[Node] = stmts if stmts is not None else []
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+    _fields = ("expr",)
+
+    def __init__(self, expr: Node) -> None:
+        super().__init__()
+        self.expr = expr
+
+
+class DeclStmt(Node):
+    __slots__ = ("decls",)
+    _fields = ("decls",)
+
+    def __init__(self, decls: List[VarDecl]) -> None:
+        super().__init__()
+        self.decls = decls
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "orelse")
+    _fields = ("cond", "then", "orelse")
+
+    def __init__(self, cond: Node, then: Node, orelse: Optional[Node] = None) -> None:
+        super().__init__()
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class For(Node):
+    __slots__ = ("init", "cond", "step", "body")
+    _fields = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional[Node], cond: Optional[Node],
+                 step: Optional[Node], body: Node) -> None:
+        super().__init__()
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+    _fields = ("cond", "body")
+
+    def __init__(self, cond: Node, body: Node) -> None:
+        super().__init__()
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    __slots__ = ("cond", "body")
+    _fields = ("body", "cond")
+
+    def __init__(self, body: Node, cond: Node) -> None:
+        super().__init__()
+        self.body = body
+        self.cond = cond
+
+
+class Return(Node):
+    __slots__ = ("value",)
+    _fields = ("value",)
+
+    def __init__(self, value: Optional[Node] = None) -> None:
+        super().__init__()
+        self.value = value
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class Switch(Node):
+    __slots__ = ("cond", "cases")
+    _fields = ("cond", "cases")
+
+    def __init__(self, cond: Node, cases: List["Case"]) -> None:
+        super().__init__()
+        self.cond = cond
+        self.cases = cases
+
+
+class Case(Node):
+    """One ``case value:`` (or ``default:`` when value is None) arm."""
+
+    __slots__ = ("value", "stmts")
+    _fields = ("value", "stmts")
+
+    def __init__(self, value: Optional[Node], stmts: List[Node]) -> None:
+        super().__init__()
+        self.value = value
+        self.stmts = stmts
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ("ctype",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ctype: Optional[Type] = None  # filled by sema
+
+
+class IntLit(Expr):
+    __slots__ = ("value", "unsigned", "long")
+    _fields = ()
+
+    def __init__(self, value: int, unsigned: bool = False, long: bool = False) -> None:
+        super().__init__()
+        self.value = value
+        self.unsigned = unsigned
+        self.long = long
+
+
+class FloatLit(Expr):
+    __slots__ = ("value", "f32")
+    _fields = ()
+
+    def __init__(self, value: float, f32: bool = False) -> None:
+        super().__init__()
+        self.value = value
+        self.f32 = f32
+
+
+class CharLit(Expr):
+    __slots__ = ("value",)
+    _fields = ()
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        self.value = value
+
+
+class StringLit(Expr):
+    __slots__ = ("value",)
+    _fields = ()
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        self.value = value
+
+
+class Ident(Expr):
+    __slots__ = ("name",)
+    _fields = ()
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+
+class BinOp(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+    _fields = ("lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Node, rhs: Node) -> None:
+        super().__init__()
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class UnOp(Expr):
+    """Unary op; ``op`` in {'-','+','!','~','*','&','++','--'};
+    ``postfix`` marks ``x++``/``x--``."""
+
+    __slots__ = ("op", "operand", "postfix")
+    _fields = ("operand",)
+
+    def __init__(self, op: str, operand: Node, postfix: bool = False) -> None:
+        super().__init__()
+        self.op = op
+        self.operand = operand
+        self.postfix = postfix
+
+
+class Assign(Expr):
+    """``target op= value``; op is '' for plain assignment."""
+
+    __slots__ = ("op", "target", "value")
+    _fields = ("target", "value")
+
+    def __init__(self, op: str, target: Node, value: Node) -> None:
+        super().__init__()
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Cond(Expr):
+    __slots__ = ("cond", "then", "orelse")
+    _fields = ("cond", "then", "orelse")
+
+    def __init__(self, cond: Node, then: Node, orelse: Node) -> None:
+        super().__init__()
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class Call(Expr):
+    __slots__ = ("func", "args", "template_args")
+    _fields = ("func", "args")
+
+    def __init__(self, func: Node, args: List[Node],
+                 template_args: Optional[List[Type]] = None) -> None:
+        super().__init__()
+        self.func = func
+        self.args = args
+        self.template_args = template_args
+
+    @property
+    def callee_name(self) -> Optional[str]:
+        return self.func.name if isinstance(self.func, Ident) else None
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+    _fields = ("base", "index")
+
+    def __init__(self, base: Node, index: Node) -> None:
+        super().__init__()
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.name`` or ``base->name``; also carries vector swizzles
+    (``v.xy``, ``v.lo``, ``v.s03``)."""
+
+    __slots__ = ("base", "name", "arrow")
+    _fields = ("base",)
+
+    def __init__(self, base: Node, name: str, arrow: bool = False) -> None:
+        super().__init__()
+        self.base = base
+        self.name = name
+        self.arrow = arrow
+
+
+class Cast(Expr):
+    """A cast; ``style`` in {'c', 'static', 'reinterpret', 'const',
+    'functional'} (the C++ styles appear in CUDA device code, §3.6)."""
+
+    __slots__ = ("type", "expr", "style")
+    _fields = ("expr",)
+
+    def __init__(self, type_: Type, expr: Node, style: str = "c") -> None:
+        super().__init__()
+        self.type = type_
+        self.expr = expr
+        self.style = style
+
+
+class SizeOf(Expr):
+    """``sizeof(type)`` or ``sizeof expr``; exactly one of the two is set."""
+
+    __slots__ = ("type", "expr")
+    _fields = ("expr",)
+
+    def __init__(self, type_: Optional[Type] = None, expr: Optional[Node] = None) -> None:
+        super().__init__()
+        self.type = type_
+        self.expr = expr
+
+
+class InitList(Expr):
+    __slots__ = ("items",)
+    _fields = ("items",)
+
+    def __init__(self, items: List[Node]) -> None:
+        super().__init__()
+        self.items = items
+
+
+class Comma(Expr):
+    __slots__ = ("exprs",)
+    _fields = ("exprs",)
+
+    def __init__(self, exprs: List[Node]) -> None:
+        super().__init__()
+        self.exprs = exprs
+
+
+class KernelLaunch(Expr):
+    """CUDA ``kernel<<<grid, block, shmem, stream>>>(args)`` (host code).
+
+    This is one of the paper's three statically-translated constructs —
+    :mod:`repro.translate.cuda2ocl.host` rewrites it into
+    ``clSetKernelArg`` + ``clEnqueueNDRangeKernel`` sequences.
+    """
+
+    __slots__ = ("kernel", "grid", "block", "shmem", "stream", "args")
+    _fields = ("kernel", "grid", "block", "shmem", "stream", "args")
+
+    def __init__(self, kernel: Node, grid: Node, block: Node,
+                 shmem: Optional[Node], stream: Optional[Node],
+                 args: List[Node]) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.grid = grid
+        self.block = block
+        self.shmem = shmem
+        self.stream = stream
+        self.args = args

@@ -1,0 +1,264 @@
+"""Dialect descriptions: what distinguishes OpenCL C, CUDA C, and host C.
+
+A :class:`Dialect` tells the parser which identifiers are type names, which
+keywords qualify address spaces and functions, which vector widths exist, and
+whether ``<<<...>>>`` kernel launches are legal.  The same tables drive the
+pretty-printer in the opposite direction, so a parse→print round trip stays
+inside one dialect.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from . import types as T
+
+__all__ = [
+    "Dialect", "OPENCL_KERNEL", "CUDA", "HOST_C",
+    "vector_type_from_name", "get_dialect",
+]
+
+# scalar names usable as vector bases
+_VECTOR_BASES = (
+    "char", "uchar", "short", "ushort", "int", "uint",
+    "long", "ulong", "longlong", "ulonglong", "float", "double",
+)
+_VEC_RE = re.compile(
+    r"^(" + "|".join(_VECTOR_BASES) + r")(1|2|3|4|8|16)$"
+)
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Static description of one source dialect."""
+
+    name: str
+    #: address-space keyword -> canonical space
+    space_keywords: Dict[str, T.AddressSpace]
+    #: keyword that marks a kernel ('__kernel' / '__global__')
+    kernel_keyword: str
+    #: other function qualifiers that are legal (and ignored semantically)
+    func_qualifiers: FrozenSet[str]
+    #: legal vector widths
+    vector_widths: Tuple[int, ...]
+    #: vector base scalars that are NOT allowed ('longlong' for OpenCL)
+    forbidden_vector_bases: FrozenSet[str]
+    #: extra typedef names -> types, seeded into the parser
+    typedefs: Dict[str, T.Type]
+    #: whether <<<...>>> launches are parsed
+    kernel_launch: bool = False
+    #: whether C++ features are allowed (templates, refs, C++ casts)
+    cplusplus: bool = False
+    #: canonical space -> printed keyword (inverse of space_keywords)
+    space_names: Dict[T.AddressSpace, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.space_names:
+            inv: Dict[T.AddressSpace, str] = {}
+            for kw, sp in self.space_keywords.items():
+                inv.setdefault(sp, kw)
+            object.__setattr__(self, "space_names", inv)
+
+    def is_type_name(self, name: str) -> bool:
+        if name in T.SCALAR_TYPES or name in T.SCALAR_ALIASES:
+            return True
+        if name in self.typedefs:
+            return True
+        vt = vector_type_from_name(name, self)
+        return vt is not None
+
+    def lookup_type(self, name: str) -> Optional[T.Type]:
+        if name in self.typedefs:
+            return self.typedefs[name]
+        if name in T.SCALAR_TYPES or name in T.SCALAR_ALIASES:
+            return T.scalar(name)
+        return vector_type_from_name(name, self)
+
+
+def vector_type_from_name(name: str, dialect: Optional[Dialect] = None
+                          ) -> Optional[T.VectorType]:
+    """Return the vector type named ``name`` (e.g. ``"float4"``), or None.
+
+    When a dialect is given, widths/bases outside the dialect are rejected —
+    this is exactly the OpenCL/CUDA mismatch of §3.6 (OpenCL: widths
+    2/3/4/8/16, no ``longlong``; CUDA: widths 1..4, ``longlong`` allowed).
+    """
+    m = _VEC_RE.match(name)
+    if not m:
+        return None
+    base, width = m.group(1), int(m.group(2))
+    if dialect is not None:
+        if width not in dialect.vector_widths:
+            return None
+        if base in dialect.forbidden_vector_bases:
+            return None
+    return T.vector(base, width)
+
+
+# ---------------------------------------------------------------------------
+# Shared host handle typedefs
+# ---------------------------------------------------------------------------
+
+def _opaque(*names: str) -> Dict[str, T.Type]:
+    return {n: T.OpaqueType(n) for n in names}
+
+
+_OCL_HOST_TYPES: Dict[str, T.Type] = {
+    **_opaque(
+        "cl_platform_id", "cl_device_id", "cl_context", "cl_command_queue",
+        "cl_program", "cl_kernel", "cl_mem", "cl_event", "cl_sampler",
+    ),
+    "cl_int": T.INT,
+    "cl_uint": T.UINT,
+    "cl_long": T.LONG,
+    "cl_ulong": T.ULONG,
+    "cl_float": T.FLOAT,
+    "cl_double": T.DOUBLE,
+    "cl_char": T.CHAR,
+    "cl_uchar": T.UCHAR,
+    "cl_short": T.SHORT,
+    "cl_ushort": T.USHORT,
+    "cl_bool": T.UINT,
+    "cl_bitfield": T.ULONG,
+    "cl_mem_flags": T.ULONG,
+    "cl_device_type": T.ULONG,
+    "cl_device_info": T.UINT,
+    "cl_image_format": T.StructType("cl_image_format", [
+        ("image_channel_order", T.UINT),
+        ("image_channel_data_type", T.UINT),
+    ]),
+    "cl_image_desc": T.StructType("cl_image_desc", [
+        ("image_type", T.UINT),
+        ("image_width", T.SIZE_T),
+        ("image_height", T.SIZE_T),
+        ("image_depth", T.SIZE_T),
+        ("image_array_size", T.SIZE_T),
+        ("image_row_pitch", T.SIZE_T),
+        ("image_slice_pitch", T.SIZE_T),
+    ]),
+}
+
+_DIM3 = T.StructType("dim3", [("x", T.UINT), ("y", T.UINT), ("z", T.UINT)])
+
+_CUDA_HOST_TYPES: Dict[str, T.Type] = {
+    **_opaque(
+        "cudaStream_t", "cudaEvent_t", "CUmodule", "CUfunction",
+        "CUdeviceptr", "CUcontext", "CUdevice", "cudaArray_t",
+        "cudaGraphicsResource_t",
+    ),
+    "cudaError_t": T.INT,
+    "CUresult": T.INT,
+    "dim3": _DIM3,
+    "cudaMemcpyKind": T.INT,
+    "cudaDeviceProp": T.StructType("cudaDeviceProp", [
+        ("name", T.ArrayType(T.CHAR, 256)),
+        ("totalGlobalMem", T.SIZE_T),
+        ("sharedMemPerBlock", T.SIZE_T),
+        ("regsPerBlock", T.INT),
+        ("warpSize", T.INT),
+        ("maxThreadsPerBlock", T.INT),
+        ("maxThreadsDim", T.ArrayType(T.INT, 3)),
+        ("maxGridSize", T.ArrayType(T.INT, 3)),
+        ("clockRate", T.INT),
+        ("totalConstMem", T.SIZE_T),
+        ("major", T.INT),
+        ("minor", T.INT),
+        ("multiProcessorCount", T.INT),
+        ("memoryClockRate", T.INT),
+        ("memoryBusWidth", T.INT),
+        ("l2CacheSize", T.INT),
+        ("maxThreadsPerMultiProcessor", T.INT),
+    ]),
+    "cudaChannelFormatDesc": T.StructType("cudaChannelFormatDesc", [
+        ("x", T.INT), ("y", T.INT), ("z", T.INT), ("w", T.INT), ("f", T.INT),
+    ]),
+}
+
+_HOST_COMMON_TYPES: Dict[str, T.Type] = {
+    "FILE": T.OpaqueType("FILE"),
+    "int8_t": T.CHAR, "uint8_t": T.UCHAR,
+    "int16_t": T.SHORT, "uint16_t": T.USHORT,
+    "int32_t": T.INT, "uint32_t": T.UINT,
+    "int64_t": T.LONG, "uint64_t": T.ULONG,
+    "ptrdiff_t": T.LONG, "intptr_t": T.LONG, "uintptr_t": T.ULONG,
+}
+
+_OCL_DEVICE_TYPES: Dict[str, T.Type] = {
+    "image1d_t": T.ImageType(1),
+    "image2d_t": T.ImageType(2),
+    "image3d_t": T.ImageType(3),
+    "image1d_buffer_t": T.ImageType(1, buffer=True),
+    "sampler_t": T.SamplerType(),
+    "event_t": T.OpaqueType("event_t"),
+}
+
+
+# ---------------------------------------------------------------------------
+# The three dialects
+# ---------------------------------------------------------------------------
+
+OPENCL_KERNEL = Dialect(
+    name="opencl",
+    space_keywords={
+        "__private": T.AddressSpace.PRIVATE, "private": T.AddressSpace.PRIVATE,
+        "__local": T.AddressSpace.LOCAL, "local": T.AddressSpace.LOCAL,
+        "__global": T.AddressSpace.GLOBAL, "global": T.AddressSpace.GLOBAL,
+        "__constant": T.AddressSpace.CONSTANT, "constant": T.AddressSpace.CONSTANT,
+    },
+    kernel_keyword="__kernel",
+    func_qualifiers=frozenset({"kernel", "inline", "static"}),
+    vector_widths=(2, 3, 4, 8, 16),
+    forbidden_vector_bases=frozenset({"longlong", "ulonglong"}),
+    typedefs=_OCL_DEVICE_TYPES,
+    kernel_launch=False,
+    cplusplus=False,
+)
+
+# CUDA translation units mix host and device code; the dialect therefore
+# includes the host typedefs, texture types and C++ features.
+CUDA = Dialect(
+    name="cuda",
+    space_keywords={
+        "__shared__": T.AddressSpace.LOCAL,
+        "__device__": T.AddressSpace.GLOBAL,
+        "__constant__": T.AddressSpace.CONSTANT,
+    },
+    kernel_keyword="__global__",
+    func_qualifiers=frozenset({
+        "__device__", "__host__", "__forceinline__", "__noinline__",
+        "inline", "static", "extern",
+    }),
+    vector_widths=(1, 2, 3, 4),
+    forbidden_vector_bases=frozenset(),
+    # _OCL_DEVICE_TYPES stand in for the OC2CU compatibility header the
+    # paper links into translated code (CLImage typedefs, Fig. 6)
+    typedefs={**_CUDA_HOST_TYPES, **_HOST_COMMON_TYPES, **_OCL_DEVICE_TYPES},
+    kernel_launch=True,
+    cplusplus=True,
+)
+
+# Host C with both API families visible: translated CUDA host code contains
+# cl_* types, and OpenCL host programs are plain C + cl_* types.
+HOST_C = Dialect(
+    name="host",
+    space_keywords={},
+    kernel_keyword="",
+    func_qualifiers=frozenset({"inline", "static", "extern"}),
+    vector_widths=(1, 2, 3, 4, 8, 16),
+    forbidden_vector_bases=frozenset(),
+    typedefs={**_OCL_HOST_TYPES, **_CUDA_HOST_TYPES, **_HOST_COMMON_TYPES},
+    kernel_launch=False,
+    cplusplus=False,
+)
+
+_DIALECTS = {d.name: d for d in (OPENCL_KERNEL, CUDA, HOST_C)}
+
+
+def get_dialect(name: str) -> Dialect:
+    """Look up a dialect by name ('opencl', 'cuda', 'host')."""
+    try:
+        return _DIALECTS[name]
+    except KeyError:
+        raise KeyError(f"unknown dialect {name!r}; choose from {sorted(_DIALECTS)}")

@@ -1,0 +1,301 @@
+"""Lexer for the C-like dialects.
+
+Produces a flat token stream.  A miniature preprocessor runs first: it strips
+``#include``/``#pragma`` lines, applies object-like ``#define`` substitutions
+and understands ``#ifdef/#ifndef/#else/#endif`` over macros defined in the
+same file or passed as build options (``-D`` handling mirrors
+``clBuildProgram`` options, which several corpus apps use).
+
+The CUDA dialect lexes ``<<<`` and ``>>>`` as single tokens (kernel launch
+delimiters); other dialects never see them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import LexError
+
+__all__ = ["Token", "Lexer", "tokenize", "preprocess"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'id', 'int', 'float', 'char', 'string', 'punct', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r}, {self.line}:{self.col})"
+
+
+# Longest-match-first punctuation table.  '<<<' / '>>>' are appended in CUDA
+# mode only.
+_PUNCTS = [
+    "...", "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+_CUDA_PUNCTS = ["<<<", ">>>"] + _PUNCTS
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_FLOAT_RE = re.compile(
+    r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fFlL]?"
+)
+_INT_RE = re.compile(r"(?:0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)(?:[uU]?[lL]{0,2}|[lL]{1,2}[uU]?)")
+_STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"')
+_CHAR_RE = re.compile(r"'(?:\\.|[^'\\])'")
+
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\s*(.*?)\s*$")
+_DEFINE_FN_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\(")
+_UNDEF_RE = re.compile(r"^\s*#\s*undef\s+([A-Za-z_][A-Za-z0-9_]*)")
+_IFDEF_RE = re.compile(r"^\s*#\s*ifdef\s+([A-Za-z_][A-Za-z0-9_]*)")
+_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+([A-Za-z_][A-Za-z0-9_]*)")
+_IF_RE = re.compile(r"^\s*#\s*if\b")
+_ELSE_RE = re.compile(r"^\s*#\s*else\b")
+_ENDIF_RE = re.compile(r"^\s*#\s*endif\b")
+_SKIP_RE = re.compile(r"^\s*#\s*(include|pragma|line)\b")
+
+
+def _strip_comments(src: str) -> str:
+    """Remove // and /* */ comments, preserving newlines for line numbers."""
+    out: List[str] = []
+    i, n = 0, len(src)
+    while i < n:
+        c = src[i]
+        if c == "/" and i + 1 < n and src[i + 1] == "/":
+            j = src.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and i + 1 < n and src[i + 1] == "*":
+            j = src.find("*/", i + 2)
+            if j < 0:
+                raise LexError("unterminated block comment")
+            out.append("\n" * src.count("\n", i, j + 2))
+            i = j + 2
+        elif c == '"':
+            m = _STRING_RE.match(src, i)
+            if not m:
+                raise LexError("unterminated string literal")
+            out.append(m.group(0))
+            i = m.end()
+        elif c == "'":
+            m = _CHAR_RE.match(src, i)
+            if not m:
+                # lone quote (e.g. in #error text) -- keep as-is
+                out.append(c)
+                i += 1
+            else:
+                out.append(m.group(0))
+                i = m.end()
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def preprocess(src: str, defines: Optional[Dict[str, str]] = None) -> str:
+    """Tiny preprocessor: handles #define (object-like), #undef,
+    #ifdef/#ifndef/#else/#endif, and strips #include/#pragma.
+
+    Function-like macros raise :class:`LexError` — the corpus does not use
+    them, and silently mis-expanding them would be worse than failing.
+    """
+    macros: Dict[str, str] = dict(defines or {})
+    # continuation lines
+    src = src.replace("\\\n", " \n")  # keep line count; defines stay one-line
+    src = _strip_comments(src)
+    out_lines: List[str] = []
+    # stack of booleans: is this branch active?
+    active_stack: List[bool] = []
+
+    def active() -> bool:
+        return all(active_stack)
+
+    for lineno, line in enumerate(src.split("\n"), start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("#"):
+            if _ENDIF_RE.match(line):
+                if not active_stack:
+                    raise LexError("#endif without #if", lineno)
+                active_stack.pop()
+            elif _ELSE_RE.match(line):
+                if not active_stack:
+                    raise LexError("#else without #if", lineno)
+                active_stack[-1] = not active_stack[-1]
+            elif (m := _IFDEF_RE.match(line)) is not None:
+                active_stack.append(m.group(1) in macros)
+            elif (m := _IFNDEF_RE.match(line)) is not None:
+                active_stack.append(m.group(1) not in macros)
+            elif _IF_RE.match(line):
+                # #if <expr>: we support only '#if 0' and '#if 1'
+                expr = line.split(None, 1)[1] if len(line.split(None, 1)) > 1 else ""
+                expr = expr.strip()
+                if expr == "0":
+                    active_stack.append(False)
+                elif expr == "1":
+                    active_stack.append(True)
+                else:
+                    raise LexError(f"unsupported #if expression: {expr!r}", lineno)
+            elif active():
+                if _DEFINE_FN_RE.match(line):
+                    raise LexError("function-like macros are not supported", lineno)
+                if (m := _DEFINE_RE.match(line)) is not None:
+                    macros[m.group(1)] = m.group(2)
+                elif (m := _UNDEF_RE.match(line)) is not None:
+                    macros.pop(m.group(1), None)
+                elif _SKIP_RE.match(line):
+                    pass
+                else:
+                    raise LexError(f"unsupported directive: {stripped.split()[0]}", lineno)
+            out_lines.append("")
+            continue
+        out_lines.append(line if active() else "")
+
+    if active_stack:
+        raise LexError("unterminated #if/#ifdef")
+
+    text = "\n".join(out_lines)
+    # Object-like macro substitution, repeated until fixpoint (macros may
+    # reference each other); token-boundary aware.
+    if macros:
+        pattern = re.compile(
+            r"\b(" + "|".join(re.escape(k) for k in sorted(macros, key=len, reverse=True)) + r")\b"
+        )
+        for _ in range(8):
+            new = pattern.sub(lambda m: macros[m.group(1)], text)
+            if new == text:
+                break
+            text = new
+    return text
+
+
+class Lexer:
+    """Tokenizer over preprocessed source text."""
+
+    def __init__(self, src: str, cuda: bool = False,
+                 defines: Optional[Dict[str, str]] = None) -> None:
+        self.src = preprocess(src, defines)
+        self.puncts = _CUDA_PUNCTS if cuda else _PUNCTS
+        self.tokens: List[Token] = []
+        self._lex()
+
+    def _lex(self) -> None:
+        src = self.src
+        i, n = 0, len(src)
+        line, line_start = 1, 0
+        toks = self.tokens
+        while i < n:
+            c = src[i]
+            if c == "\n":
+                line += 1
+                i += 1
+                line_start = i
+                continue
+            if c in " \t\r\f\v":
+                i += 1
+                continue
+            col = i - line_start + 1
+            if c.isalpha() or c == "_":
+                m = _ID_RE.match(src, i)
+                assert m is not None
+                toks.append(Token("id", m.group(0), line, col))
+                i = m.end()
+                continue
+            if c.isdigit() or (c == "." and i + 1 < n and src[i + 1].isdigit()):
+                m = _FLOAT_RE.match(src, i)
+                if m:
+                    toks.append(Token("float", m.group(0), line, col))
+                    i = m.end()
+                    continue
+                m = _INT_RE.match(src, i)
+                if m:
+                    toks.append(Token("int", m.group(0), line, col))
+                    i = m.end()
+                    continue
+                raise LexError(f"bad numeric literal at {src[i:i+12]!r}", line, col)
+            if c == '"':
+                m = _STRING_RE.match(src, i)
+                if not m:
+                    raise LexError("unterminated string", line, col)
+                toks.append(Token("string", m.group(0), line, col))
+                i = m.end()
+                continue
+            if c == "'":
+                m = _CHAR_RE.match(src, i)
+                if not m:
+                    raise LexError("bad character literal", line, col)
+                toks.append(Token("char", m.group(0), line, col))
+                i = m.end()
+                continue
+            for p in self.puncts:
+                if src.startswith(p, i):
+                    toks.append(Token("punct", p, line, col))
+                    i += len(p)
+                    break
+            else:
+                raise LexError(f"unexpected character {c!r}", line, col)
+        toks.append(Token("eof", "", line, 1))
+
+
+def tokenize(src: str, cuda: bool = False,
+             defines: Optional[Dict[str, str]] = None) -> List[Token]:
+    """Convenience: preprocess + lex ``src`` and return the token list."""
+    return Lexer(src, cuda=cuda, defines=defines).tokens
+
+
+def parse_int_literal(text: str) -> Tuple[int, bool, bool]:
+    """Parse an integer literal; returns (value, is_unsigned, is_long)."""
+    t = text.lower()
+    unsigned = "u" in t
+    long_ = "l" in t
+    t = t.rstrip("ul")
+    if t.startswith("0x"):
+        value = int(t, 16)
+    elif t.startswith("0b"):
+        value = int(t, 2)
+    elif t.startswith("0") and len(t) > 1:
+        value = int(t, 8)
+    else:
+        value = int(t, 10)
+    return value, unsigned, long_
+
+
+def parse_float_literal(text: str) -> Tuple[float, bool]:
+    """Parse a float literal; returns (value, is_float32)."""
+    is_f32 = text[-1] in "fF"
+    return float(text.rstrip("fFlL")), is_f32
+
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+}
+
+
+def unescape_string(text: str) -> str:
+    """Decode a quoted string/char literal body."""
+    body = text[1:-1]
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        c = body[i]
+        if c == "\\" and i + 1 < len(body):
+            nxt = body[i + 1]
+            if nxt == "x":
+                j = i + 2
+                while j < len(body) and body[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                out.append(chr(int(body[i + 2:j], 16)))
+                i = j
+                continue
+            out.append(_ESCAPES.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)

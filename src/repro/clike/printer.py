@@ -1,0 +1,339 @@
+"""Pretty-printer: AST back to compilable source text.
+
+The translators rewrite ASTs and then *print real source* in the target
+dialect, which the target framework re-parses and compiles — exactly like
+the paper's pipeline emits ``kernel.cl.cu`` / ``main.cu.cl`` files (Figs.
+2-3).  Printing is dialect-aware: address-space keywords, kernel qualifiers
+and vector literals all differ between OpenCL C and CUDA C.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast as A
+from . import types as T
+from .dialect import Dialect, get_dialect
+
+__all__ = ["Printer", "print_unit", "print_type"]
+
+_INDENT = "  "
+
+# printing precedence mirror of the parser table
+_PREC = {
+    "*": 13, "/": 13, "%": 13, "+": 12, "-": 12, "<<": 11, ">>": 11,
+    "<": 10, "<=": 10, ">": 10, ">=": 10, "==": 9, "!=": 9,
+    "&": 8, "^": 7, "|": 6, "&&": 5, "||": 4,
+}
+
+
+def _escape(s: str) -> str:
+    out = []
+    for ch in s:
+        if ch == "\\":
+            out.append("\\\\")
+        elif ch == '"':
+            out.append('\\"')
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ch == "\r":
+            out.append("\\r")
+        elif ch == "\0":
+            out.append("\\0")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+class Printer:
+    """Renders AST nodes as source text for one dialect."""
+
+    def __init__(self, dialect: "Dialect | str") -> None:
+        if isinstance(dialect, str):
+            dialect = get_dialect(dialect)
+        self.dialect = dialect
+
+    # -- types ---------------------------------------------------------------
+
+    def space_kw(self, space: Optional[T.AddressSpace]) -> str:
+        if space is None or space == T.AddressSpace.PRIVATE:
+            return ""
+        if space == T.AddressSpace.HOST:
+            return ""
+        kw = self.dialect.space_names.get(space, "")
+        return kw
+
+    def type_str(self, t: T.Type, name: str = "",
+                 space: Optional[T.AddressSpace] = None,
+                 quals: Optional[set] = None) -> str:
+        """Render a declaration of ``name`` with type ``t``."""
+        quals = quals or set()
+        prefix_parts: List[str] = []
+        for q in ("extern", "static"):
+            if q in quals:
+                prefix_parts.append(q)
+        # address space of a (non-pointer) variable
+        if space is not None and not isinstance(t, T.PointerType):
+            kw = self.space_kw(space)
+            if kw:
+                prefix_parts.append(kw)
+        if "const" in quals and not isinstance(t, T.PointerType):
+            prefix_parts.append("const")
+        core = self._declarator(t, name)
+        prefix = " ".join(prefix_parts)
+        return f"{prefix} {core}".strip()
+
+    def _declarator(self, t: T.Type, name: str) -> str:
+        if isinstance(t, T.ArrayType):
+            inner = self._declarator(t.elem, "")
+            n = "" if t.length is None else str(t.length)
+            return f"{inner} {name}[{n}]".replace("  ", " ")
+        if isinstance(t, T.PointerType):
+            if isinstance(t.pointee, T.FunctionType):
+                ft = t.pointee
+                ps = ", ".join(self._declarator(p, "") for p in ft.params)
+                return f"{self._declarator(ft.ret, '')} (*{name})({ps})"
+            pointee = self._declarator(t.pointee, "")
+            stars = "*"
+            const = " const" if t.const else ""
+            # OpenCL qualifies the pointee space; CUDA drops the qualifier
+            # on pointers (the paper's translator removes it, §3.6).
+            kw = ""
+            if self.dialect.name == "opencl":
+                kw = self.space_kw(t.space)
+            if kw:
+                return f"{kw} {pointee}{stars}{const} {name}".rstrip()
+            return f"{pointee}{stars}{const} {name}".rstrip()
+        return f"{self._base_type_str(t)} {name}".rstrip()
+
+    def _base_type_str(self, t: T.Type) -> str:
+        if isinstance(t, T.StructType):
+            # typedef'd structs print by name in our dialects
+            return t.name
+        if isinstance(t, (T.ScalarType, T.VectorType, T.OpaqueType,
+                          T.ImageType, T.SamplerType)):
+            return str(t)
+        if isinstance(t, T.TextureType):
+            return f"texture<{self._base_type_str(t.base)}, {t.dims}, {t.read_mode}>"
+        return str(t)
+
+    # -- top level -------------------------------------------------------------
+
+    def unit(self, unit: A.TranslationUnit) -> str:
+        parts = [self.decl(d) for d in unit.decls]
+        return "\n\n".join(p for p in parts if p) + "\n"
+
+    def decl(self, d: A.Node) -> str:
+        if isinstance(d, A.FunctionDecl):
+            return self.function(d)
+        if isinstance(d, A.VarDecl):
+            return self.vardecl(d) + ";"
+        if isinstance(d, A.StructDecl):
+            fields = "".join(
+                f"{_INDENT}{self.type_str(ft, fn)};\n" for fn, ft in d.fields
+            )
+            return f"typedef struct {d.name} {{\n{fields}}} {d.name};"
+        if isinstance(d, A.TypedefDecl):
+            if isinstance(d.type, T.StructType):
+                fields = "".join(
+                    f"{_INDENT}{self.type_str(ft, fn)};\n"
+                    for fn, ft in d.type.fields.items())
+                tag = d.type.name or d.name
+                return f"typedef struct {tag} {{\n{fields}}} {d.name};"
+            return f"typedef {self.type_str(d.type, d.name)};"
+        raise TypeError(f"cannot print top-level {type(d).__name__}")
+
+    def function(self, fn: A.FunctionDecl) -> str:
+        quals: List[str] = []
+        if fn.template_params:
+            quals.append("template <" +
+                         ", ".join(f"typename {p}" for p in fn.template_params) +
+                         "> ")
+        head = "".join(quals)
+        fq: List[str] = []
+        if fn.is_kernel and self.dialect.kernel_keyword:
+            fq.append(self.dialect.kernel_keyword)
+        for q in sorted(fn.qualifiers):
+            if q in ("__device__", "__host__", "static", "inline",
+                     "__forceinline__", "extern"):
+                if not (fn.is_kernel and q == "__device__"):
+                    fq.append(q)
+        sig = ", ".join(self.param(p) for p in fn.params) or "void"
+        ret = self._declarator(fn.ret_type, "")
+        proto = f"{head}{' '.join(fq + [ret])} {fn.name}({sig})".strip()
+        if fn.body is None:
+            return proto + ";"
+        return proto + " " + self.stmt(fn.body, 0).lstrip()
+
+    def param(self, p: A.ParamDecl) -> str:
+        quals = {q for q in p.quals if q == "const"}
+        s = self.type_str(p.type, p.name, space=p.space, quals=quals)
+        # parameter-level address spaces (OpenCL __local/__constant params)
+        if (self.dialect.name == "opencl" and p.space is not None
+                and isinstance(p.type, T.PointerType)):
+            # already handled through the pointer's own space
+            pass
+        if "reference" in p.quals and self.dialect.cplusplus:
+            # print T& name instead of T* name
+            assert isinstance(p.type, T.PointerType)
+            inner = self._declarator(p.type.pointee, "")
+            s = f"{inner}& {p.name}"
+        return s
+
+    def vardecl(self, d: A.VarDecl) -> str:
+        s = self.type_str(d.type, d.name, space=d.space, quals=d.quals)
+        if d.init is not None:
+            s += " = " + self.init(d.init)
+        return s
+
+    def init(self, node: A.Node) -> str:
+        if isinstance(node, A.InitList):
+            return "{" + ", ".join(self.init(i) for i in node.items) + "}"
+        return self.expr(node)
+
+    # -- statements --------------------------------------------------------------
+
+    def stmt(self, s: A.Node, depth: int) -> str:
+        ind = _INDENT * depth
+        if isinstance(s, A.Compound):
+            inner = "".join(self.stmt(c, depth + 1) for c in s.stmts)
+            return f"{ind}{{\n{inner}{ind}}}\n"
+        if isinstance(s, A.ExprStmt):
+            return f"{ind}{self.expr(s.expr)};\n"
+        if isinstance(s, A.DeclStmt):
+            return "".join(f"{ind}{self.vardecl(d)};\n" for d in s.decls)
+        if isinstance(s, A.If):
+            out = f"{ind}if ({self.expr(s.cond)})\n{self.stmt(s.then, depth + 1)}"
+            if s.orelse is not None:
+                out += f"{ind}else\n{self.stmt(s.orelse, depth + 1)}"
+            return out
+        if isinstance(s, A.For):
+            if s.init is None:
+                init = ""
+            elif isinstance(s.init, A.DeclStmt):
+                init = "; ".join(self.vardecl(d) for d in s.init.decls)
+            else:
+                assert isinstance(s.init, A.ExprStmt)
+                init = self.expr(s.init.expr)
+            cond = self.expr(s.cond) if s.cond is not None else ""
+            step = self.expr(s.step) if s.step is not None else ""
+            return (f"{ind}for ({init}; {cond}; {step})\n"
+                    f"{self.stmt(s.body, depth + 1)}")
+        if isinstance(s, A.While):
+            return f"{ind}while ({self.expr(s.cond)})\n{self.stmt(s.body, depth + 1)}"
+        if isinstance(s, A.DoWhile):
+            return (f"{ind}do\n{self.stmt(s.body, depth + 1)}"
+                    f"{ind}while ({self.expr(s.cond)});\n")
+        if isinstance(s, A.Return):
+            if s.value is None:
+                return f"{ind}return;\n"
+            return f"{ind}return {self.expr(s.value)};\n"
+        if isinstance(s, A.Break):
+            return f"{ind}break;\n"
+        if isinstance(s, A.Continue):
+            return f"{ind}continue;\n"
+        if isinstance(s, A.Switch):
+            out = f"{ind}switch ({self.expr(s.cond)}) {{\n"
+            for case in s.cases:
+                if case.value is None:
+                    out += f"{ind}{_INDENT}default:\n"
+                else:
+                    out += f"{ind}{_INDENT}case {self.expr(case.value)}:\n"
+                for st in case.stmts:
+                    out += self.stmt(st, depth + 2)
+            out += f"{ind}}}\n"
+            return out
+        raise TypeError(f"cannot print statement {type(s).__name__}")
+
+    # -- expressions ----------------------------------------------------------------
+
+    def expr(self, e: A.Node, parent_prec: int = 0) -> str:
+        s, prec = self._expr(e)
+        if prec < parent_prec:
+            return f"({s})"
+        return s
+
+    def _expr(self, e: A.Node):
+        if isinstance(e, A.IntLit):
+            suffix = ("u" if e.unsigned else "") + ("l" if e.long else "")
+            if e.value > 0x7FFFFFFF and not suffix:
+                suffix = "u" if e.value <= 0xFFFFFFFF else "ll"
+            return f"{e.value}{suffix}", 100
+        if isinstance(e, A.FloatLit):
+            txt = repr(float(e.value))
+            if "e" not in txt and "." not in txt and "inf" not in txt:
+                txt += ".0"
+            return (txt + ("f" if e.f32 else "")), 100
+        if isinstance(e, A.StringLit):
+            return f'"{_escape(e.value)}"', 100
+        if isinstance(e, A.CharLit):
+            return f"'{_escape(e.value)}'", 100
+        if isinstance(e, A.Ident):
+            return e.name, 100
+        if isinstance(e, A.BinOp):
+            prec = _PREC[e.op]
+            lhs = self.expr(e.lhs, prec)
+            rhs = self.expr(e.rhs, prec + 1)
+            return f"{lhs} {e.op} {rhs}", prec
+        if isinstance(e, A.UnOp):
+            if e.postfix:
+                return f"{self.expr(e.operand, 14)}{e.op}", 14
+            return f"{e.op}{self.expr(e.operand, 14)}", 14
+        if isinstance(e, A.Assign):
+            op = e.op + "="
+            return f"{self.expr(e.target, 3)} {op} {self.expr(e.value, 2)}", 2
+        if isinstance(e, A.Cond):
+            return (f"{self.expr(e.cond, 5)} ? {self.expr(e.then, 3)}"
+                    f" : {self.expr(e.orelse, 2)}"), 3
+        if isinstance(e, A.Call):
+            fn = self.expr(e.func, 14)
+            if e.template_args:
+                fn += "<" + ", ".join(self._declarator(t, "")
+                                      for t in e.template_args) + ">"
+            args = ", ".join(self.expr(a, 2) for a in e.args)
+            return f"{fn}({args})", 14
+        if isinstance(e, A.Index):
+            return f"{self.expr(e.base, 14)}[{self.expr(e.index)}]", 14
+        if isinstance(e, A.Member):
+            op = "->" if e.arrow else "."
+            return f"{self.expr(e.base, 14)}{op}{e.name}", 14
+        if isinstance(e, A.Cast):
+            if isinstance(e.expr, A.InitList) and isinstance(e.type, T.VectorType):
+                items = ", ".join(self.expr(i, 2) for i in e.expr.items)
+                if self.dialect.name == "cuda":
+                    # CUDA spells vector literals as make_<type>(...)
+                    return f"make_{e.type}({items})", 14
+                return f"({e.type})({items})", 14
+            if e.style in ("static", "reinterpret", "const") and self.dialect.cplusplus:
+                return (f"{e.style}_cast<{self._declarator(e.type, '')}>"
+                        f"({self.expr(e.expr)})"), 14
+            return f"({self._declarator(e.type, '')}){self.expr(e.expr, 14)}", 14
+        if isinstance(e, A.SizeOf):
+            if e.type is not None:
+                return f"sizeof({self._declarator(e.type, '')})", 14
+            return f"sizeof({self.expr(e.expr)})", 14
+        if isinstance(e, A.InitList):
+            return "{" + ", ".join(self.expr(i, 2) for i in e.items) + "}", 100
+        if isinstance(e, A.Comma):
+            return ", ".join(self.expr(x, 2) for x in e.exprs), 1
+        if isinstance(e, A.KernelLaunch):
+            cfg = f"{self.expr(e.grid, 2)}, {self.expr(e.block, 2)}"
+            if e.shmem is not None:
+                cfg += f", {self.expr(e.shmem, 2)}"
+                if e.stream is not None:
+                    cfg += f", {self.expr(e.stream, 2)}"
+            args = ", ".join(self.expr(a, 2) for a in e.args)
+            return f"{self.expr(e.kernel, 14)}<<<{cfg}>>>({args})", 14
+        raise TypeError(f"cannot print expression {type(e).__name__}")
+
+
+def print_unit(unit: A.TranslationUnit, dialect: "Dialect | str") -> str:
+    """Render a translation unit as source text in ``dialect``."""
+    return Printer(dialect).unit(unit)
+
+
+def print_type(t: T.Type, dialect: "Dialect | str", name: str = "") -> str:
+    """Render a type (optionally with a declared name) in ``dialect``."""
+    return Printer(dialect).type_str(t, name)

@@ -1,0 +1,369 @@
+"""Semantic analysis: scope tracking and expression type annotation.
+
+The translators need static types at rewrite points — a swizzle expansion
+must know the vector width (``v.lo`` on a ``float4`` becomes ``.x .y``), and
+the CUDA→OpenCL pointer-space inference must know which space a pointer
+value originates from (§3.6, §4).  :class:`Sema` walks each function and
+fills ``Expr.ctype`` in place.
+
+The analysis is deliberately permissive: unknown identifiers in host code
+(API constants like ``CL_MEM_READ_ONLY`` are plain enum macros) default to
+``int`` instead of failing, matching how the paper's clang-based tool sees
+already-preprocessed code.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..errors import SemaError
+from . import ast as A
+from . import types as T
+from .dialect import Dialect, get_dialect, vector_type_from_name
+from .stdlib import (CUDA_SPECIAL_VARS, OPENCL_SPECIAL_VARS, Signature,
+                     signatures_for, swizzle_indices)
+
+__all__ = ["Sema", "annotate_unit", "annotate_function"]
+
+_CONVERT_RE = re.compile(
+    r"^convert_([a-z]+(?:2|3|4|8|16)?)(_sat)?(_rt[ezpn])?$"
+)
+_AS_RE = re.compile(r"^as_([a-z]+(?:2|3|4|8|16)?)$")
+
+
+class _Scope:
+    """A lexical scope mapping names to types."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.vars: Dict[str, T.Type] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Optional[T.Type]:
+        s: Optional[_Scope] = self
+        while s is not None:
+            t = s.vars.get(name)
+            if t is not None:
+                return t
+            s = s.parent
+        return None
+
+    def declare(self, name: str, t: T.Type) -> None:
+        self.vars[name] = t
+
+
+class Sema:
+    """Annotates expression types for one translation unit."""
+
+    def __init__(self, unit: A.TranslationUnit,
+                 dialect: "Dialect | str | None" = None) -> None:
+        if dialect is None:
+            dialect = unit.dialect_name or "host"
+        if isinstance(dialect, str):
+            dialect = get_dialect(dialect)
+        self.unit = unit
+        self.dialect = dialect
+        self.sigs: Dict[str, Signature] = signatures_for(dialect.name)
+        self.special_vars: Dict[str, T.Type] = (
+            CUDA_SPECIAL_VARS if dialect.name == "cuda" else OPENCL_SPECIAL_VARS
+        )
+        self.globals = _Scope()
+        self.functions: Dict[str, A.FunctionDecl] = {}
+        for d in unit.decls:
+            if isinstance(d, A.VarDecl):
+                self.globals.declare(d.name, d.type)
+            elif isinstance(d, A.FunctionDecl):
+                self.functions[d.name] = d
+                self.sigs[d.name] = T.FunctionType(
+                    d.ret_type, tuple(p.type for p in d.params))
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> None:
+        """Annotate every function body in the unit."""
+        for fn in self.unit.functions():
+            if fn.body is not None:
+                self.annotate_function(fn)
+
+    def annotate_function(self, fn: A.FunctionDecl) -> None:
+        scope = _Scope(self.globals)
+        for p in fn.params:
+            t = p.type
+            scope.declare(p.name, t)
+        self._stmt(fn.body, scope)
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmt(self, s: Optional[A.Node], scope: _Scope) -> None:
+        if s is None:
+            return
+        if isinstance(s, A.Compound):
+            inner = _Scope(scope)
+            for st in s.stmts:
+                self._stmt(st, inner)
+        elif isinstance(s, A.ExprStmt):
+            self._expr(s.expr, scope)
+        elif isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                if d.init is not None:
+                    self._init(d.init, d.type, scope)
+                scope.declare(d.name, d.type)
+        elif isinstance(s, A.If):
+            self._expr(s.cond, scope)
+            self._stmt(s.then, scope)
+            self._stmt(s.orelse, scope)
+        elif isinstance(s, A.For):
+            inner = _Scope(scope)
+            self._stmt(s.init, inner)
+            if s.cond is not None:
+                self._expr(s.cond, inner)
+            if s.step is not None:
+                self._expr(s.step, inner)
+            self._stmt(s.body, inner)
+        elif isinstance(s, A.While):
+            self._expr(s.cond, scope)
+            self._stmt(s.body, scope)
+        elif isinstance(s, A.DoWhile):
+            self._stmt(s.body, scope)
+            self._expr(s.cond, scope)
+        elif isinstance(s, A.Return):
+            if s.value is not None:
+                self._expr(s.value, scope)
+        elif isinstance(s, A.Switch):
+            self._expr(s.cond, scope)
+            for case in s.cases:
+                if case.value is not None:
+                    self._expr(case.value, scope)
+                for st in case.stmts:
+                    self._stmt(st, scope)
+        elif isinstance(s, (A.Break, A.Continue)):
+            pass
+        else:
+            raise SemaError(f"unhandled statement {type(s).__name__}")
+
+    def _init(self, init: A.Node, target: T.Type, scope: _Scope) -> None:
+        if isinstance(init, A.InitList):
+            init.ctype = target
+            elem: Optional[T.Type] = None
+            if isinstance(target, T.ArrayType):
+                elem = target.elem
+            for i, item in enumerate(init.items):
+                if isinstance(target, T.StructType):
+                    fields = list(target.fields.values())
+                    elem = fields[i] if i < len(fields) else T.INT
+                self._init(item, elem or T.INT, scope)
+        else:
+            self._expr(init, scope)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expr(self, e: A.Node, scope: _Scope) -> T.Type:
+        t = self._infer(e, scope)
+        if isinstance(e, A.Expr):
+            e.ctype = t
+        return t
+
+    def _infer(self, e: A.Node, scope: _Scope) -> T.Type:
+        if isinstance(e, A.IntLit):
+            if e.long:
+                return T.ULONG if e.unsigned else T.LONG
+            return T.UINT if e.unsigned else T.INT
+        if isinstance(e, A.FloatLit):
+            return T.FLOAT if e.f32 else T.DOUBLE
+        if isinstance(e, A.CharLit):
+            return T.CHAR
+        if isinstance(e, A.StringLit):
+            return T.PointerType(T.CHAR, T.AddressSpace.HOST, const=True)
+        if isinstance(e, A.Ident):
+            t = scope.lookup(e.name)
+            if t is not None:
+                return t
+            t = self.special_vars.get(e.name)
+            if t is not None:
+                return t
+            if e.name in self.functions:
+                fn = self.functions[e.name]
+                return T.FunctionType(fn.ret_type,
+                                      tuple(p.type for p in fn.params))
+            # unknown identifier: API enum constant or macro -> int
+            return T.INT
+        if isinstance(e, A.BinOp):
+            lt = self._expr(e.lhs, scope)
+            rt = self._expr(e.rhs, scope)
+            if e.op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+                if isinstance(lt, T.VectorType) or isinstance(rt, T.VectorType):
+                    w = lt.count if isinstance(lt, T.VectorType) else rt.count  # type: ignore[union-attr]
+                    return T.vector("int", w)
+                return T.INT
+            # pointer arithmetic
+            if isinstance(lt, (T.PointerType, T.ArrayType)) and e.op in ("+", "-"):
+                if isinstance(rt, (T.PointerType, T.ArrayType)) and e.op == "-":
+                    return T.LONG
+                return _decay(lt)
+            if isinstance(rt, (T.PointerType, T.ArrayType)) and e.op == "+":
+                return _decay(rt)
+            try:
+                return T.common_type(lt, rt)
+            except TypeError:
+                return T.INT
+        if isinstance(e, A.UnOp):
+            ot = self._expr(e.operand, scope)
+            if e.op == "&":
+                return T.PointerType(ot, _space_of(ot))
+            if e.op == "*":
+                return _deref(ot)
+            if e.op == "!":
+                return T.INT
+            return ot
+        if isinstance(e, A.Assign):
+            tt = self._expr(e.target, scope)
+            self._expr(e.value, scope)
+            return tt
+        if isinstance(e, A.Cond):
+            self._expr(e.cond, scope)
+            tt = self._expr(e.then, scope)
+            et = self._expr(e.orelse, scope)
+            try:
+                return T.common_type(tt, et)
+            except TypeError:
+                return tt
+        if isinstance(e, A.Call):
+            return self._call(e, scope)
+        if isinstance(e, A.Index):
+            bt = self._expr(e.base, scope)
+            self._expr(e.index, scope)
+            return _deref(bt)
+        if isinstance(e, A.Member):
+            return self._member(e, scope)
+        if isinstance(e, A.Cast):
+            if isinstance(e.expr, A.InitList):
+                for item in e.expr.items:
+                    self._expr(item, scope)
+                e.expr.ctype = e.type
+            else:
+                self._expr(e.expr, scope)
+            return e.type
+        if isinstance(e, A.SizeOf):
+            if e.expr is not None:
+                self._expr(e.expr, scope)
+            return T.SIZE_T
+        if isinstance(e, A.InitList):
+            for item in e.items:
+                self._expr(item, scope)
+            return T.INT
+        if isinstance(e, A.Comma):
+            t = T.INT
+            for x in e.exprs:
+                t = self._expr(x, scope)
+            return t
+        if isinstance(e, A.KernelLaunch):
+            self._expr(e.grid, scope)
+            self._expr(e.block, scope)
+            if e.shmem is not None:
+                self._expr(e.shmem, scope)
+            if e.stream is not None:
+                self._expr(e.stream, scope)
+            for a in e.args:
+                self._expr(a, scope)
+            return T.VOID
+        raise SemaError(f"unhandled expression {type(e).__name__}")
+
+    def _call(self, e: A.Call, scope: _Scope) -> T.Type:
+        arg_types = [self._expr(a, scope) for a in e.args]
+        name = e.callee_name
+        if name is None:
+            ft = self._expr(e.func, scope)
+            if isinstance(ft, T.PointerType) and isinstance(ft.pointee, T.FunctionType):
+                return ft.pointee.ret
+            if isinstance(ft, T.FunctionType):
+                return ft.ret
+            return T.INT
+        # conversion builtins resolved by name pattern
+        conv = resolve_conversion(name, self.dialect)
+        if conv is not None:
+            return conv
+        sig = self.sigs.get(name)
+        if sig is None:
+            self._expr(e.func, scope)
+            return T.INT
+        if isinstance(e.func, A.Expr):
+            e.func.ctype = sig if isinstance(sig, T.FunctionType) else None
+        if isinstance(sig, T.FunctionType):
+            return sig.ret
+        return sig(arg_types)
+
+    def _member(self, e: A.Member, scope: _Scope) -> T.Type:
+        bt = self._expr(e.base, scope)
+        if e.arrow:
+            bt = _deref(bt)
+        if isinstance(bt, T.VectorType):
+            idx = swizzle_indices(e.name, bt.count)
+            if idx is None:
+                raise SemaError(f"bad vector component .{e.name} on {bt}",
+                                *e.loc)
+            if len(idx) == 1:
+                return bt.base
+            return T.VectorType(bt.base, len(idx))
+        if isinstance(bt, T.StructType):
+            ft = bt.fields.get(e.name)
+            if ft is None:
+                raise SemaError(f"no field {e.name!r} in {bt}", *e.loc)
+            return ft
+        # dim3 / uint3 style accesses on opaque or unknown types
+        if e.name in ("x", "y", "z", "w"):
+            return T.UINT
+        return T.INT
+
+
+def resolve_conversion(name: str, dialect: Dialect) -> Optional[T.Type]:
+    """Resolve OpenCL ``convert_T`` / ``as_T`` builtin names to the target
+    type, or None if ``name`` is not a conversion builtin."""
+    m = _CONVERT_RE.match(name) or _AS_RE.match(name)
+    if not m:
+        return None
+    tname = m.group(1)
+    t = vector_type_from_name(tname, None)
+    if t is not None:
+        return t
+    if tname in T.SCALAR_TYPES:
+        return T.SCALAR_TYPES[tname]
+    return None
+
+
+def _decay(t: T.Type) -> T.Type:
+    if isinstance(t, T.ArrayType):
+        return T.PointerType(t.elem, T.AddressSpace.PRIVATE)
+    return t
+
+
+def _deref(t: T.Type) -> T.Type:
+    if isinstance(t, T.PointerType):
+        return t.pointee
+    if isinstance(t, T.ArrayType):
+        return t.elem
+    return T.INT
+
+
+def _space_of(t: T.Type) -> T.AddressSpace:
+    return T.AddressSpace.PRIVATE
+
+
+def annotate_unit(unit: A.TranslationUnit,
+                  dialect: "Dialect | str | None" = None) -> Sema:
+    """Annotate all expressions in ``unit``; returns the Sema instance."""
+    sema = Sema(unit, dialect)
+    sema.run()
+    return sema
+
+
+def annotate_function(unit: A.TranslationUnit, name: str,
+                      dialect: "Dialect | str | None" = None) -> A.FunctionDecl:
+    """Annotate one function by name; returns the function declaration."""
+    sema = Sema(unit, dialect)
+    fn = unit.find_function(name)
+    if fn is None or fn.body is None:
+        raise SemaError(f"no function body for {name!r}")
+    sema.annotate_function(fn)
+    return fn

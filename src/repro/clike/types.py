@@ -1,0 +1,450 @@
+"""Type system for the C-like dialects (OpenCL C, CUDA C, host C).
+
+The type objects are immutable value objects; equality is structural.  Sizes
+and alignments follow the OpenCL 1.2 / CUDA CC 3.5 rules the paper assumes:
+``long`` is 8 bytes (LP64), 3-component vectors occupy 4 components, and
+``longlong`` is an alias width of ``long`` (this identity is what lets the
+CUDA→OpenCL translator substitute ``longN`` for ``longlongN``, §3.6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "AddressSpace",
+    "Type",
+    "ScalarType",
+    "VectorType",
+    "PointerType",
+    "ArrayType",
+    "StructType",
+    "FunctionType",
+    "ImageType",
+    "SamplerType",
+    "TextureType",
+    "OpaqueType",
+    "SCALAR_TYPES",
+    "VOID",
+    "BOOL",
+    "CHAR",
+    "UCHAR",
+    "SHORT",
+    "USHORT",
+    "INT",
+    "UINT",
+    "LONG",
+    "ULONG",
+    "LONGLONG",
+    "ULONGLONG",
+    "FLOAT",
+    "DOUBLE",
+    "SIZE_T",
+    "scalar",
+    "vector",
+    "is_integer",
+    "is_float",
+    "common_type",
+]
+
+
+class AddressSpace(enum.Enum):
+    """Canonical (model-independent) device address spaces.
+
+    OpenCL names them ``__private/__local/__global/__constant``; CUDA names
+    the non-private ones ``__shared__/__device__/__constant__``.  Host
+    pointers use ``HOST``.
+    """
+
+    PRIVATE = "private"
+    LOCAL = "local"
+    GLOBAL = "global"
+    CONSTANT = "constant"
+    HOST = "host"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AddressSpace.{self.name}"
+
+
+class Type:
+    """Base class of all types.
+
+    Every concrete subclass provides ``size`` (bytes; ``None`` for
+    incomplete types) and ``align`` as attributes or properties.
+    """
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(
+            (k, v) for k, v in self.__dict__.items()
+            if not isinstance(v, (dict, list))
+        ))))
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, ScalarType) and self.name == "void"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+@dataclass(frozen=True, eq=True)
+class ScalarType(Type):
+    """A C scalar type with a fixed width and a NumPy dtype mapping."""
+
+    name: str
+    size: int
+    signed: bool
+    floating: bool
+    rank: int  # usual-arithmetic-conversion rank
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return max(self.size, 1)
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return _NP_DTYPES[self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _mk(name: str, size: int, signed: bool, floating: bool, rank: int) -> ScalarType:
+    return ScalarType(name, size, signed, floating, rank)
+
+
+VOID = _mk("void", 0, False, False, 0)
+BOOL = _mk("bool", 1, False, False, 1)
+CHAR = _mk("char", 1, True, False, 2)
+UCHAR = _mk("uchar", 1, False, False, 2)
+SHORT = _mk("short", 2, True, False, 3)
+USHORT = _mk("ushort", 2, False, False, 3)
+INT = _mk("int", 4, True, False, 4)
+UINT = _mk("uint", 4, False, False, 4)
+LONG = _mk("long", 8, True, False, 5)
+ULONG = _mk("ulong", 8, False, False, 5)
+LONGLONG = _mk("longlong", 8, True, False, 6)
+ULONGLONG = _mk("ulonglong", 8, False, False, 6)
+HALF = _mk("half", 2, True, True, 7)
+FLOAT = _mk("float", 4, True, True, 8)
+DOUBLE = _mk("double", 8, True, True, 9)
+SIZE_T = _mk("size_t", 8, False, False, 5)
+
+#: All scalar types by canonical name.
+SCALAR_TYPES: Dict[str, ScalarType] = {
+    t.name: t
+    for t in (
+        VOID, BOOL, CHAR, UCHAR, SHORT, USHORT, INT, UINT,
+        LONG, ULONG, LONGLONG, ULONGLONG, HALF, FLOAT, DOUBLE, SIZE_T,
+    )
+}
+
+_NP_DTYPES: Dict[str, np.dtype] = {
+    "bool": np.dtype(np.uint8),
+    "char": np.dtype(np.int8),
+    "uchar": np.dtype(np.uint8),
+    "short": np.dtype(np.int16),
+    "ushort": np.dtype(np.uint16),
+    "int": np.dtype(np.int32),
+    "uint": np.dtype(np.uint32),
+    "long": np.dtype(np.int64),
+    "ulong": np.dtype(np.uint64),
+    "longlong": np.dtype(np.int64),
+    "ulonglong": np.dtype(np.uint64),
+    "half": np.dtype(np.float16),
+    "float": np.dtype(np.float32),
+    "double": np.dtype(np.float64),
+    "size_t": np.dtype(np.uint64),
+    "void": np.dtype(np.uint8),
+}
+
+#: Aliases accepted in source and their canonical names.  The dialects add
+#: model-specific aliases (``cl_int``, ``uint32_t`` ...) on top of these.
+SCALAR_ALIASES: Dict[str, str] = {
+    "unsigned": "uint",
+    "signed": "int",
+    "_Bool": "bool",
+    "unsigned char": "uchar",
+    "unsigned short": "ushort",
+    "unsigned int": "uint",
+    "unsigned long": "ulong",
+    "long long": "longlong",
+    "unsigned long long": "ulonglong",
+    "long int": "long",
+    "short int": "short",
+}
+
+
+def scalar(name: str) -> ScalarType:
+    """Look up a scalar type by canonical name or alias."""
+    name = SCALAR_ALIASES.get(name, name)
+    return SCALAR_TYPES[name]
+
+
+@dataclass(frozen=True, eq=True)
+class VectorType(Type):
+    """A built-in vector type such as ``float4`` or ``uchar16``.
+
+    3-component vectors are stored in 4 components, per OpenCL 1.2 §6.1.5
+    (CUDA's float3 is packed, but adopting the OpenCL layout uniformly keeps
+    translated buffers bit-compatible; the deviation is noted in DESIGN.md).
+    """
+
+    base: ScalarType
+    count: int
+
+    #: vector widths valid in each model (paper §3.6)
+    OPENCL_WIDTHS = (2, 3, 4, 8, 16)
+    CUDA_WIDTHS = (1, 2, 3, 4)
+
+    def __post_init__(self) -> None:
+        if self.count not in (1, 2, 3, 4, 8, 16):
+            raise ValueError(f"invalid vector width {self.count}")
+
+    @property
+    def storage_count(self) -> int:
+        """Number of components actually stored (3 -> 4)."""
+        return 4 if self.count == 3 else self.count
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.base.size * self.storage_count
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.size
+
+    def __str__(self) -> str:
+        return f"{self.base.name}{self.count}"
+
+
+def vector(base: "ScalarType | str", count: int) -> VectorType:
+    if isinstance(base, str):
+        base = scalar(base)
+    return VectorType(base, count)
+
+
+@dataclass(frozen=True, eq=True)
+class PointerType(Type):
+    """Pointer with an address space.
+
+    Following the paper (§3.6), the *meaning* of the space differs between
+    the models: OpenCL qualifies the pointee's space, CUDA qualifies the
+    pointer variable itself.  We store the pointee space here; the dialects
+    decide how to print/parse it.
+    """
+
+    pointee: Type
+    space: AddressSpace = AddressSpace.PRIVATE
+    const: bool = False
+
+    size = 8
+    align = 8
+
+    def __str__(self) -> str:
+        c = "const " if self.const else ""
+        return f"{c}{self.pointee} __{self.space.value}*"
+
+
+@dataclass(frozen=True, eq=True)
+class ArrayType(Type):
+    """A fixed-length (or incomplete ``[]``) array."""
+
+    elem: Type
+    length: Optional[int]
+
+    @property
+    def size(self) -> Optional[int]:  # type: ignore[override]
+        if self.length is None or self.elem.size is None:
+            return None
+        return self.elem.size * self.length
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.elem.align
+
+    def __str__(self) -> str:
+        n = "" if self.length is None else str(self.length)
+        return f"{self.elem}[{n}]"
+
+
+class StructType(Type):
+    """A struct with named, ordered fields and a C layout."""
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, Type]] = ()) -> None:
+        self.name = name
+        self.fields: Dict[str, Type] = {}
+        self.offsets: Dict[str, int] = {}
+        self._size = 0
+        self._align = 1
+        for fname, ftype in fields:
+            self.add_field(fname, ftype)
+
+    def add_field(self, fname: str, ftype: Type) -> None:
+        if fname in self.fields:
+            raise ValueError(f"duplicate field {fname} in struct {self.name}")
+        align = ftype.align
+        off = -(-self._size // align) * align  # round up
+        self.fields[fname] = ftype
+        self.offsets[fname] = off
+        self._size = off + (ftype.size or 0)
+        self._align = max(self._align, align)
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        if not self.fields:
+            return 0
+        return -(-self._size // self._align) * self._align
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self._align
+
+    def field_offset(self, fname: str) -> int:
+        return self.offsets[fname]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True, eq=True)
+class FunctionType(Type):
+    ret: Type
+    params: Tuple[Type, ...]
+    variadic: bool = False
+
+    size = 8
+    align = 8
+
+    def __str__(self) -> str:
+        ps = ", ".join(str(p) for p in self.params)
+        if self.variadic:
+            ps += ", ..."
+        return f"{self.ret}(*)({ps})"
+
+
+@dataclass(frozen=True, eq=True)
+class ImageType(Type):
+    """OpenCL image object type (``image1d_t``/``image2d_t``/...)."""
+
+    dims: int
+    buffer: bool = False  # image1d_buffer_t
+
+    size = 8
+    align = 8
+
+    def __str__(self) -> str:
+        if self.buffer:
+            return "image1d_buffer_t"
+        return f"image{self.dims}d_t"
+
+
+@dataclass(frozen=True, eq=True)
+class SamplerType(Type):
+    """OpenCL ``sampler_t``."""
+
+    size = 8
+    align = 8
+
+    def __str__(self) -> str:
+        return "sampler_t"
+
+
+@dataclass(frozen=True, eq=True)
+class TextureType(Type):
+    """CUDA ``texture<T, dim, readmode>`` reference type."""
+
+    base: Type
+    dims: int = 1
+    read_mode: str = "cudaReadModeElementType"
+
+    size = 8
+    align = 8
+
+    def __str__(self) -> str:
+        return f"texture<{self.base}, {self.dims}, {self.read_mode}>"
+
+
+@dataclass(frozen=True, eq=True)
+class OpaqueType(Type):
+    """An opaque host handle type (``cl_mem``, ``cudaStream_t``, ``FILE``...).
+
+    Represented at run time by an arbitrary Python object; the run-time cast
+    between ``cl_mem`` and ``void*`` that powers the wrapper approach (§2)
+    is a no-op on these.
+    """
+
+    name: str
+
+    size = 8
+    align = 8
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic conversions
+# ---------------------------------------------------------------------------
+
+def is_integer(t: Type) -> bool:
+    return isinstance(t, ScalarType) and not t.floating and t.name != "void"
+
+
+def is_float(t: Type) -> bool:
+    return isinstance(t, ScalarType) and t.floating
+
+
+def is_arithmetic(t: Type) -> bool:
+    return is_integer(t) or is_float(t)
+
+
+def common_type(a: Type, b: Type) -> Type:
+    """Usual arithmetic conversions, extended to vectors.
+
+    Vector op scalar yields the vector type (OpenCL 1.2 §6.4); for two
+    scalars the higher-rank type wins with unsigned preferred at equal rank.
+    """
+    if isinstance(a, VectorType) and isinstance(b, VectorType):
+        if a.count != b.count:
+            raise TypeError(f"vector width mismatch: {a} vs {b}")
+        base = common_type(a.base, b.base)
+        assert isinstance(base, ScalarType)
+        return VectorType(base, a.count)
+    if isinstance(a, VectorType):
+        return a
+    if isinstance(b, VectorType):
+        return b
+    if isinstance(a, PointerType) or isinstance(b, PointerType):
+        return a if isinstance(a, PointerType) else b
+    if not (isinstance(a, ScalarType) and isinstance(b, ScalarType)):
+        raise TypeError(f"no common type for {a} and {b}")
+    if a.floating or b.floating:
+        if not a.floating:
+            return b
+        if not b.floating:
+            return a
+        return a if a.rank >= b.rank else b
+    # both integers: promote to at least int
+    if a.rank < INT.rank:
+        a = INT
+    if b.rank < INT.rank:
+        b = INT
+    if a.rank != b.rank:
+        return a if a.rank > b.rank else b
+    if a.signed == b.signed:
+        return a
+    return a if not a.signed else b

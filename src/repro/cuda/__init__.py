@@ -1,0 +1,9 @@
+"""Simulated CUDA host frameworks: runtime API (cuda*) and driver API (cu*)."""
+
+from .driver import CudaDriver
+from .enums import CUDA_CONSTANTS, cuda_err_name
+from .runtime import CudaRuntime, dim3_tuple
+from .textures import TextureRef
+
+__all__ = ["CudaDriver", "CudaRuntime", "TextureRef", "CUDA_CONSTANTS",
+           "cuda_err_name", "dim3_tuple"]

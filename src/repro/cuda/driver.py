@@ -1,0 +1,197 @@
+"""CUDA driver API (cu*) over the simulated device.
+
+The driver API is Python-facing: the paper's OpenCL→CUDA wrapper library
+implements every cl* function *in terms of these* (Fig. 2) — e.g. the
+``clBuildProgram`` wrapper translates the kernel source, "compiles" it to a
+module and calls :meth:`CudaDriver.cuModuleLoadData`, and
+``clEnqueueNDRangeKernel`` becomes :meth:`CudaDriver.cuLaunchKernel` with
+the argument array collected by the ``clSetKernelArg`` wrapper (§3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from ..clike import ast as A
+from ..clike import parse
+from ..clike import types as T
+from ..device.engine import (Device, DeviceModule, KernelObject, LaunchResult,
+                             launch_kernel, load_module)
+from ..device.perf import SimClock
+from ..device.specs import GTX_TITAN
+from ..errors import CudaApiError
+from ..runtime.values import Ptr
+from .enums import CUDA_CONSTANTS
+
+__all__ = ["CudaDriver"]
+
+_K = CUDA_CONSTANTS
+
+
+class CudaDriver:
+    """One simulated CUDA driver context on one device."""
+
+    def __init__(self, device: Optional[Device] = None,
+                 clock: Optional[SimClock] = None) -> None:
+        self.device = device or Device(GTX_TITAN)
+        if not self.device.spec.supports_cuda:
+            raise CudaApiError(_K["cudaErrorNoDevice"],
+                               f"{self.device.spec.name} does not support CUDA")
+        self.clock = clock or SimClock()
+        self.modules: List[DeviceModule] = []
+        self.initialized = False
+        self.last_launch: Optional[LaunchResult] = None
+
+    def _api(self) -> None:
+        self.clock.charge_api(self.device.spec)
+
+    # -- init & device ------------------------------------------------------------
+
+    def cuInit(self, flags: int = 0) -> int:
+        self._api()
+        self.initialized = True
+        return _K["CUDA_SUCCESS"]
+
+    def cuDeviceGetCount(self) -> int:
+        self._api()
+        return 1
+
+    def cuDeviceGet(self, ordinal: int = 0) -> Device:
+        self._api()
+        return self.device
+
+    def cuCtxCreate(self, dev: Optional[Device] = None) -> "CudaDriver":
+        self._api()
+        return self
+
+    def cuCtxSynchronize(self) -> int:
+        self._api()
+        return _K["CUDA_SUCCESS"]
+
+    def cuDeviceGetAttribute(self, attrib: int, dev: Any = None) -> int:
+        self._api()
+        spec = self.device.spec
+        table = {
+            _K["CU_DEVICE_ATTRIBUTE_MAX_THREADS_PER_BLOCK"]:
+                spec.max_workgroup_size,
+            _K["CU_DEVICE_ATTRIBUTE_MULTIPROCESSOR_COUNT"]:
+                spec.compute_units,
+            _K["CU_DEVICE_ATTRIBUTE_WARP_SIZE"]: spec.warp_size,
+            _K["CU_DEVICE_ATTRIBUTE_COMPUTE_CAPABILITY_MAJOR"]: 3,
+            _K["CU_DEVICE_ATTRIBUTE_COMPUTE_CAPABILITY_MINOR"]: 5,
+        }
+        if attrib not in table:
+            raise CudaApiError(_K["CUDA_ERROR_INVALID_VALUE"],
+                               f"attribute {attrib}")
+        return table[attrib]
+
+    def cuDeviceTotalMem(self, dev: Any = None) -> int:
+        self._api()
+        return self.device.spec.global_mem
+
+    def cuMemGetInfo(self) -> Tuple[int, int]:
+        self._api()
+        return self.device.mem_info()
+
+    # -- modules ("PTX") ------------------------------------------------------------
+
+    def cuModuleLoadData(self, image: "str | A.TranslationUnit",
+                         dialect: str = "cuda") -> DeviceModule:
+        """Load device code: CUDA C source or a pre-parsed unit.
+
+        Mirrors loading nvcc-produced PTX: by this point the source must be
+        in the *CUDA* dialect (the OpenCL→CUDA translator has already run).
+        """
+        self._api()
+        if isinstance(image, str):
+            unit = parse(image, dialect)
+        else:
+            unit = image
+        mod = load_module(self.device, unit, dialect)
+        self.modules.append(mod)
+        # module load cost (PTX JIT)
+        self.clock.charge(80e-6, "build")
+        return mod
+
+    cuModuleLoad = cuModuleLoadData
+
+    def cuModuleGetFunction(self, module: DeviceModule,
+                            name: str) -> KernelObject:
+        self._api()
+        try:
+            return module.get_kernel(name)
+        except Exception:
+            raise CudaApiError(_K["CUDA_ERROR_NOT_FOUND"], name)
+
+    def cuModuleGetGlobal(self, module: DeviceModule,
+                          name: str) -> Tuple[Ptr, int]:
+        self._api()
+        ptr = module.symbol(name)
+        return ptr, ptr.ctype.size or 0
+
+    # -- memory ---------------------------------------------------------------------
+
+    def cuMemAlloc(self, size: int) -> Ptr:
+        self._api()
+        if size <= 0:
+            raise CudaApiError(_K["CUDA_ERROR_INVALID_VALUE"],
+                               f"size {size}")
+        return self.device.alloc_global(int(size))
+
+    def cuMemFree(self, ptr: Ptr) -> int:
+        self._api()
+        self.device.free_global(ptr)
+        return _K["CUDA_SUCCESS"]
+
+    def cuMemcpyHtoD(self, dst: Ptr, src: Ptr, nbytes: int) -> int:
+        self._api()
+        nbytes = int(nbytes)
+        data = src.mem.view(src.off, nbytes).copy()
+        dst.mem.view(dst.off, nbytes)[:] = data
+        self.clock.charge_transfer(nbytes, self.device.spec)
+        return _K["CUDA_SUCCESS"]
+
+    def cuMemcpyDtoH(self, dst: Ptr, src: Ptr, nbytes: int) -> int:
+        self._api()
+        nbytes = int(nbytes)
+        data = src.mem.view(src.off, nbytes).copy()
+        dst.mem.view(dst.off, nbytes)[:] = data
+        self.clock.charge_transfer(nbytes, self.device.spec)
+        return _K["CUDA_SUCCESS"]
+
+    def cuMemcpyDtoD(self, dst: Ptr, src: Ptr, nbytes: int) -> int:
+        self._api()
+        nbytes = int(nbytes)
+        data = src.mem.view(src.off, nbytes).copy()
+        dst.mem.view(dst.off, nbytes)[:] = data
+        self.clock.charge(nbytes / self.device.spec.dram_bw, "transfer")
+        return _K["CUDA_SUCCESS"]
+
+    def cuMemsetD8(self, ptr: Ptr, byte: int, n: int) -> int:
+        self._api()
+        ptr.mem.view(ptr.off, int(n))[:] = int(byte) & 0xFF
+        return _K["CUDA_SUCCESS"]
+
+    def cuMemsetD32(self, ptr: Ptr, value: int, n_words: int) -> int:
+        self._api()
+        view = ptr.mem.typed_view(ptr.off, T.UINT, int(n_words))
+        view[:] = value & 0xFFFFFFFF
+        return _K["CUDA_SUCCESS"]
+
+    # -- launch ------------------------------------------------------------------------
+
+    def cuLaunchKernel(self, func: KernelObject,
+                       gx: int, gy: int, gz: int,
+                       bx: int, by: int, bz: int,
+                       shared_bytes: int, stream: Any,
+                       params: Sequence[Any]) -> LaunchResult:
+        """Launch with an explicit argument array — the driver-API form the
+        paper uses for translated OpenCL kernel launches (Fig. 4 (d))."""
+        self._api()
+        result = launch_kernel(
+            self.device, func, (int(gx), int(gy), int(gz)),
+            (int(bx), int(by), int(bz)), list(params),
+            dynamic_shared=int(shared_bytes), framework="cuda")
+        self.clock.charge_kernel(result.time)
+        self.last_launch = result
+        return result

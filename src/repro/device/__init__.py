@@ -1,0 +1,26 @@
+"""Simulated GPU device: specs, memory, execution engine, performance model.
+
+This package is the substitute for the paper's physical GPUs (GTX Titan,
+HD7970) and the NVIDIA/AMD compiler backends: kernels parsed by
+:mod:`repro.clike` really execute over an NDRange/grid with correct barrier
+semantics, while counters feed an analytical performance model (roofline +
+shared-memory bank conflicts + occupancy).
+"""
+
+from .banks import conflict_degree, replay_cycles, warp_transactions
+from .engine import (Device, DeviceModule, KernelObject, LaunchResult,
+                     LocalArg, launch_kernel, load_module)
+from .images import ChannelFormat, DeviceImage, Sampler
+from .occupancy import Occupancy, calc_occupancy, estimate_registers
+from .perf import KernelTime, PerfCounters, SimClock, kernel_time, transfer_time
+from .specs import DEVICE_SPECS, GTX_TITAN, HD7970, DeviceSpec, get_device_spec
+
+__all__ = [
+    "Device", "DeviceModule", "KernelObject", "LaunchResult", "LocalArg",
+    "launch_kernel", "load_module",
+    "DeviceSpec", "GTX_TITAN", "HD7970", "DEVICE_SPECS", "get_device_spec",
+    "PerfCounters", "KernelTime", "SimClock", "kernel_time", "transfer_time",
+    "Occupancy", "calc_occupancy", "estimate_registers",
+    "ChannelFormat", "DeviceImage", "Sampler",
+    "warp_transactions", "conflict_degree", "replay_cycles",
+]

@@ -1,0 +1,485 @@
+"""Device built-in function implementations for both dialects.
+
+``make_builtins(env, dialect)`` returns the name→callable table a
+work-item's interpreter sees.  The tables realize the one-to-one
+correspondence of paper §3.3 (same semantics, different spellings) plus the
+deliberate mismatches of §3.7 — CUDA's ``atomicInc`` has *wrap-around*
+semantics unlike OpenCL's ``atomic_inc``, and hardware-specific intrinsics
+(``__shfl``, ``__ballot``, ...) exist here so native CUDA execution works,
+while the translator refuses them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, TYPE_CHECKING
+
+from ..clike import types as T
+from ..clike.hostlib import _HOST_MATH, c_format
+from ..errors import DeviceError, InterpError
+from ..runtime.values import Ptr, Vec, coerce
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import WorkItemEnv
+
+__all__ = ["make_builtins", "BARRIER_NAMES"]
+
+#: calls that synchronize a work-group (yield points in the interpreter)
+BARRIER_NAMES = {
+    "opencl": frozenset({"barrier"}),
+    "cuda": frozenset({"__syncthreads"}),
+}
+
+
+def _vectorize1(f: Callable[[float], float]) -> Callable[..., Any]:
+    def impl(a):
+        if isinstance(a, Vec):
+            return a.map(f)
+        return f(a)
+    return impl
+
+
+def _vectorize2(f: Callable[[float, float], float]) -> Callable[..., Any]:
+    def impl(a, b):
+        if isinstance(a, Vec):
+            return a.zip(b, f)
+        if isinstance(b, Vec):
+            return Vec(b.ctype, [f(a, y) for y in b.vals])
+        return f(a, b)
+    return impl
+
+
+def _vectorize3(f: Callable[[float, float, float], float]) -> Callable[..., Any]:
+    def impl(a, b, c):
+        if isinstance(a, Vec):
+            bs = b.vals if isinstance(b, Vec) else [b] * a.ctype.count
+            cs = c.vals if isinstance(c, Vec) else [c] * a.ctype.count
+            return Vec(a.ctype, [f(x, y, z)
+                                 for x, y, z in zip(a.vals, bs, cs)])
+        return f(a, b, c)
+    return impl
+
+
+def _sfu(env: "WorkItemEnv", f: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap a transcendental so each call counts as a special-function op."""
+    def impl(*args):
+        env.count_op("sfu")
+        return f(*args)
+    return impl
+
+
+_SFU_NAMES = frozenset({
+    "sqrt", "rsqrt", "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+    "sinh", "cosh", "tanh", "exp", "exp2", "exp10", "log", "log2", "log10",
+    "pow", "erf", "erfc", "cbrt", "log1p", "expm1", "hypot",
+})
+
+
+def _atomic(env: "WorkItemEnv", op: Callable[[Any, Any], Any]
+            ) -> Callable[..., Any]:
+    """Read-modify-write atomic returning the old value.
+
+    Work-items execute serialized between barriers, so plain RMW is atomic;
+    the counter feeds the serialization cost in the performance model.
+    """
+    def impl(ptr, *rest):
+        if not isinstance(ptr, Ptr):
+            raise InterpError("atomic on non-pointer")
+        env.count_atomic()
+        old = ptr.load()
+        ptr.store(coerce(op(old, rest[0] if rest else None), ptr.ctype))
+        return old
+    return impl
+
+
+def _cmpxchg(env: "WorkItemEnv") -> Callable[..., Any]:
+    def impl(ptr, cmp, val):
+        env.count_atomic()
+        old = ptr.load()
+        if old == cmp:
+            ptr.store(coerce(val, ptr.ctype))
+        return old
+    return impl
+
+
+def _cuda_atomic_inc(env: "WorkItemEnv") -> Callable[..., Any]:
+    """CUDA atomicInc(p, max): wraps to 0 above max (§3.7)."""
+    def impl(ptr, maxval):
+        env.count_atomic()
+        old = ptr.load()
+        ptr.store(0 if old >= maxval else old + 1)
+        return old
+    return impl
+
+
+def _cuda_atomic_dec(env: "WorkItemEnv") -> Callable[..., Any]:
+    def impl(ptr, maxval):
+        env.count_atomic()
+        old = ptr.load()
+        ptr.store(maxval if (old == 0 or old > maxval) else old - 1)
+        return old
+    return impl
+
+
+def _generic_min(a, b):
+    if isinstance(a, Vec) or isinstance(b, Vec):
+        return _vectorize2(min)(a, b)
+    return min(a, b)
+
+
+def _generic_max(a, b):
+    if isinstance(a, Vec) or isinstance(b, Vec):
+        return _vectorize2(max)(a, b)
+    return max(a, b)
+
+
+def _clampv(x, lo, hi):
+    return _vectorize3(lambda a, b, c: max(b, min(c, a)))(x, lo, hi)
+
+
+def _dot(a: Vec, b: Vec) -> float:
+    return sum(x * y for x, y in zip(a.vals, b.vals))
+
+
+def _length(a) -> float:
+    if isinstance(a, Vec):
+        return math.sqrt(sum(x * x for x in a.vals))
+    return abs(a)
+
+
+def _normalize(a: Vec):
+    n = _length(a)
+    if n == 0:
+        return a
+    return a.map(lambda v: v / n)
+
+
+def _cross(a: Vec, b: Vec) -> Vec:
+    ax, ay, az = a.vals[0], a.vals[1], a.vals[2]
+    bx, by, bz = b.vals[0], b.vals[1], b.vals[2]
+    out = [ay * bz - az * by, az * bx - ax * bz, ax * by - ay * bx]
+    if a.ctype.count == 4:
+        out.append(0.0)
+    return Vec(a.ctype, out)
+
+
+def _select(a, b, c):
+    # OpenCL select(a, b, c): component-wise c ? b : a
+    if isinstance(c, Vec):
+        av = a.vals if isinstance(a, Vec) else [a] * c.ctype.count
+        bv = b.vals if isinstance(b, Vec) else [b] * c.ctype.count
+        ref = a if isinstance(a, Vec) else b
+        return Vec(ref.ctype, [y if m else x
+                               for x, y, m in zip(av, bv, c.vals)])
+    return b if c else a
+
+
+def _step(edge, x):
+    return _vectorize2(lambda e, v: 0.0 if v < e else 1.0)(edge, x)
+
+
+def _mix(a, b, t):
+    return _vectorize3(lambda x, y, u: x + (y - x) * u)(a, b, t)
+
+
+def _sign(x):
+    return _vectorize1(lambda v: (v > 0) - (v < 0) + 0.0)(x)
+
+
+# ---------------------------------------------------------------------------
+
+
+def make_builtins(env: "WorkItemEnv", dialect: str) -> Dict[str, Callable[..., Any]]:
+    """Build the builtin table for one work-item environment."""
+    table: Dict[str, Callable[..., Any]] = {}
+
+    two_arg = {"pow", "atan2", "fmod", "fmin", "fmax", "hypot", "copysign"}
+    three_arg = {"fma", "mad", "clamp"}
+    # generic math, with SFU cost accounting
+    for name, f in _HOST_MATH.items():
+        if name in three_arg:
+            impl = _vectorize3(f)
+        elif name in two_arg:
+            impl = _vectorize2(f)
+        else:
+            impl = _vectorize1(f)
+        if name in _SFU_NAMES:
+            impl = _sfu(env, impl)
+        table[name] = impl
+        if dialect == "cuda":
+            table[name + "f"] = impl
+    # override a few with vector-aware versions
+    table.update({
+        "min": _generic_min, "max": _generic_max,
+        "abs": _vectorize1(abs), "fabs": _vectorize1(abs),
+        "clamp": _clampv, "mix": _mix, "step": _step, "sign": _sign,
+        "fma": _vectorize3(lambda a, b, c: a * b + c),
+        "mad": _vectorize3(lambda a, b, c: a * b + c),
+        "fmin": _generic_min, "fmax": _generic_max,
+        "dot": _dot, "length": _length, "fast_length": _length,
+        "normalize": _normalize, "cross": _cross, "select": _select,
+        "distance": lambda a, b: _length(a.zip(b, lambda x, y: x - y)),
+        "isnan": _vectorize1(lambda v: 1 if math.isnan(v) else 0),
+        "isinf": _vectorize1(lambda v: 1 if math.isinf(v) else 0),
+    })
+    if dialect == "cuda":
+        for nm in ("fminf", "fmaxf", "fabsf"):
+            table[nm] = table[nm[:-1]]
+
+    if dialect == "opencl":
+        _add_opencl(table, env)
+    else:
+        _add_cuda(table, env)
+    return table
+
+
+def _add_opencl(table: Dict[str, Callable[..., Any]],
+                env: "WorkItemEnv") -> None:
+    table.update({
+        "get_global_id": lambda d: env.global_id(int(d)),
+        "get_local_id": lambda d: env.local_id(int(d)),
+        "get_group_id": lambda d: env.group_id(int(d)),
+        "get_global_size": lambda d: env.global_size(int(d)),
+        "get_local_size": lambda d: env.local_size(int(d)),
+        "get_num_groups": lambda d: env.num_groups(int(d)),
+        "get_work_dim": lambda: env.launch.work_dim,
+        "get_global_offset": lambda d: 0,
+        "mem_fence": lambda flags: None,
+        "read_mem_fence": lambda flags: None,
+        "write_mem_fence": lambda flags: None,
+        # atomics (atom_* are the 1.0 spellings some apps still use)
+        "atomic_add": _atomic(env, lambda o, v: o + v),
+        "atomic_sub": _atomic(env, lambda o, v: o - v),
+        "atomic_inc": _atomic(env, lambda o, v: o + 1),
+        "atomic_dec": _atomic(env, lambda o, v: o - 1),
+        "atomic_xchg": _atomic(env, lambda o, v: v),
+        "atomic_min": _atomic(env, lambda o, v: min(o, v)),
+        "atomic_max": _atomic(env, lambda o, v: max(o, v)),
+        "atomic_and": _atomic(env, lambda o, v: int(o) & int(v)),
+        "atomic_or": _atomic(env, lambda o, v: int(o) | int(v)),
+        "atomic_xor": _atomic(env, lambda o, v: int(o) ^ int(v)),
+        "atomic_cmpxchg": _cmpxchg(env),
+        "mul24": lambda a, b: ((int(a) & 0xFFFFFF) * (int(b) & 0xFFFFFF)),
+        "mad24": lambda a, b, c: ((int(a) & 0xFFFFFF) * (int(b) & 0xFFFFFF)) + c,
+        "clz": lambda x: 32 - int(x).bit_length() if x >= 0 else 0,
+        "popcount": lambda x: bin(int(x) & 0xFFFFFFFF).count("1"),
+        "rotate": lambda v, n: ((int(v) << (int(n) & 31))
+                                | ((int(v) & 0xFFFFFFFF) >> (32 - (int(n) & 31)))) & 0xFFFFFFFF,
+        "printf": _device_printf(env),
+        # images
+        "read_imagef": _read_image(env, "f"),
+        "read_imagei": _read_image(env, "i"),
+        "read_imageui": _read_image(env, "ui"),
+        "write_imagef": _write_image(env),
+        "write_imagei": _write_image(env),
+        "write_imageui": _write_image(env),
+        "get_image_width": lambda img: img.width,
+        "get_image_height": lambda img: img.height,
+        "get_image_depth": lambda img: img.depth,
+    })
+    for alias, name in [("atom_add", "atomic_add"), ("atom_inc", "atomic_inc"),
+                        ("atom_xchg", "atomic_xchg"), ("atom_max", "atomic_max"),
+                        ("atom_min", "atomic_min"), ("atom_cmpxchg", "atomic_cmpxchg")]:
+        table[alias] = table[name]
+    # native_*/half_* map onto the precise versions
+    for nm in ("sin", "cos", "exp", "log", "sqrt", "rsqrt"):
+        table[f"native_{nm}"] = table[nm]
+        table[f"half_{nm}"] = table[nm]
+    table["native_divide"] = _vectorize2(lambda a, b: a / b if b else float("inf"))
+    table["native_recip"] = _vectorize1(lambda a: 1.0 / a if a else float("inf"))
+    table["native_powr"] = table["pow"]
+    # vloadN / vstoreN
+    for w in (2, 3, 4, 8, 16):
+        table[f"vload{w}"] = _vload(env, w)
+        table[f"vstore{w}"] = _vstore(env, w)
+
+
+def _add_cuda(table: Dict[str, Callable[..., Any]],
+              env: "WorkItemEnv") -> None:
+    table.update({
+        "__threadfence": lambda: None,
+        "__threadfence_block": lambda: None,
+        "atomicAdd": _atomic(env, lambda o, v: o + v),
+        "atomicSub": _atomic(env, lambda o, v: o - v),
+        "atomicExch": _atomic(env, lambda o, v: v),
+        "atomicMin": _atomic(env, lambda o, v: min(o, v)),
+        "atomicMax": _atomic(env, lambda o, v: max(o, v)),
+        "atomicAnd": _atomic(env, lambda o, v: int(o) & int(v)),
+        "atomicOr": _atomic(env, lambda o, v: int(o) | int(v)),
+        "atomicXor": _atomic(env, lambda o, v: int(o) ^ int(v)),
+        "atomicInc": _cuda_atomic_inc(env),
+        "atomicDec": _cuda_atomic_dec(env),
+        "atomicCAS": _cmpxchg(env),
+        "__mul24": lambda a, b: ((int(a) & 0xFFFFFF) * (int(b) & 0xFFFFFF)),
+        "__umul24": lambda a, b: ((int(a) & 0xFFFFFF) * (int(b) & 0xFFFFFF)),
+        "__popc": lambda x: bin(int(x) & 0xFFFFFFFF).count("1"),
+        "__clz": lambda x: 32 - int(x).bit_length() if x >= 0 else 0,
+        "__fdividef": _vectorize2(lambda a, b: a / b if b else float("inf")),
+        "__expf": _sfu(env, _vectorize1(math.exp)),
+        "__logf": _sfu(env, _vectorize1(lambda x: math.log(x) if x > 0 else float("-inf"))),
+        "__sinf": _sfu(env, _vectorize1(math.sin)),
+        "__cosf": _sfu(env, _vectorize1(math.cos)),
+        "__powf": _sfu(env, _vectorize2(math.pow)),
+        "__saturatef": _vectorize1(lambda x: max(0.0, min(1.0, x))),
+        "rsqrt": _sfu(env, _vectorize1(lambda x: 1.0 / math.sqrt(x) if x > 0 else float("inf"))),
+        "rsqrtf": _sfu(env, _vectorize1(lambda x: 1.0 / math.sqrt(x) if x > 0 else float("inf"))),
+        "__ldg": lambda p: p.load(),
+        "printf": _device_printf(env),
+        "assert": _cuda_assert,
+        "clock": env.clock,
+        "clock64": env.clock,
+        # OC2CU runtime wrappers: translated OpenCL kernels keep calling
+        # read_imageX/write_imageX; the paper implements these as CUDA
+        # device wrappers over CLImage (§5, Fig. 6)
+        "read_imagef": _read_image(env, "f"),
+        "read_imagei": _read_image(env, "i"),
+        "read_imageui": _read_image(env, "ui"),
+        "write_imagef": _write_image(env),
+        "write_imagei": _write_image(env),
+        "write_imageui": _write_image(env),
+        "get_image_width": lambda img: img.width,
+        "get_image_height": lambda img: img.height,
+        # textures
+        "tex1Dfetch": _tex_fetch(env, 1, integer_index=True),
+        "tex1D": _tex_fetch(env, 1),
+        "tex2D": _tex_fetch(env, 2),
+        "tex3D": _tex_fetch(env, 3),
+        # warp intrinsics: execute with our serialized-warp semantics
+        "__all": env.warp_all,
+        "__any": env.warp_any,
+        "__ballot": env.warp_ballot,
+        "__shfl": env.warp_shfl,
+        "__shfl_up": env.warp_shfl,
+        "__shfl_down": env.warp_shfl,
+        "__shfl_xor": env.warp_shfl,
+    })
+    # make_<type><n> constructors
+    for base in ("char", "uchar", "short", "ushort", "int", "uint",
+                 "long", "ulong", "longlong", "ulonglong", "float", "double"):
+        for w in (1, 2, 3, 4):
+            table[f"make_{base}{w}"] = _make_vec(base, w)
+
+
+def _make_vec(base: str, w: int) -> Callable[..., Any]:
+    if w == 1:
+        st = T.scalar(base)
+        return lambda *args: coerce(args[0] if args else 0, st)
+    vt = T.vector(base, w)
+
+    def ctor(*args):
+        vals: List[Any] = []
+        for a in args:
+            if isinstance(a, Vec):
+                vals.extend(a.vals)
+            else:
+                vals.append(a)
+        if len(vals) == 1:
+            vals = vals * w
+        return Vec(vt, vals)
+    return ctor
+
+
+def _device_printf(env: "WorkItemEnv") -> Callable[..., Any]:
+    def impl(fmt, *args):
+        def read_str(v):
+            if isinstance(v, Ptr):
+                return v.mem.read_cstring(v.off)
+            return str(v)
+        s = c_format(read_str(fmt), list(args), read_str)
+        env.launch.stdout.append(s)
+        return len(s)
+    return impl
+
+
+def _cuda_assert(cond):
+    if not cond:
+        raise DeviceError("device-side assert failed")
+    return None
+
+
+#: in-kernel sampler flag encodings (OpenCL CLK_* constants)
+_CLK_NORMALIZED = 0x01
+_CLK_ADDR_MASK = 0x0E
+_CLK_ADDR = {0x00: "none", 0x02: "clamp_to_edge", 0x04: "clamp",
+             0x06: "repeat"}
+_CLK_FILTER_LINEAR = 0x20
+
+
+def decode_sampler(value: Any):
+    """Turn an in-kernel CLK_* flag combination into a Sampler object."""
+    from .images import Sampler
+    if not isinstance(value, int):
+        return value  # already a Sampler
+    return Sampler(
+        normalized=bool(value & _CLK_NORMALIZED),
+        addressing=_CLK_ADDR.get(value & _CLK_ADDR_MASK, "clamp_to_edge"),
+        filtering="linear" if value & _CLK_FILTER_LINEAR else "nearest")
+
+
+def _read_image(env: "WorkItemEnv", suffix: str) -> Callable[..., Any]:
+    def impl(img, sampler, coord):
+        env.count_image_read(img)
+        if isinstance(coord, Vec):
+            coords = coord.vals
+        else:
+            coords = [coord]
+        return img.read(decode_sampler(sampler), coords)
+    return impl
+
+
+def _write_image(env: "WorkItemEnv") -> Callable[..., Any]:
+    def impl(img, coord, value):
+        env.count_image_write(img)
+        coords = coord.vals if isinstance(coord, Vec) else [coord]
+        img.write([int(c) for c in coords], value)
+        return None
+    return impl
+
+
+def _tex_fetch(env: "WorkItemEnv", dims: int,
+               integer_index: bool = False) -> Callable[..., Any]:
+    def impl(texref, *coords):
+        linear = getattr(texref, "linear", None)
+        if linear is not None:
+            # linear-memory texture: behaves like a (cached) global load,
+            # including coalescing — route through the normal counters
+            i = int(coords[0])
+            if texref.linear_elems:
+                i = min(max(i, 0), texref.linear_elems - 1)
+            ptr = linear.add(i)
+            env.on_load(ptr, ptr.ctype.size or 4, None)
+            return ptr.load()
+        env.count_image_read(texref)
+        return texref.fetch([float(c) for c in coords],
+                            integer_index=integer_index)
+    return impl
+
+
+def _vload(env: "WorkItemEnv", w: int) -> Callable[..., Any]:
+    def impl(offset, ptr):
+        if not isinstance(ptr, Ptr):
+            raise InterpError("vload on non-pointer")
+        base = ptr.ctype
+        assert isinstance(base, T.ScalarType)
+        vt = T.VectorType(base, w)
+        vp = Ptr(ptr.mem, ptr.off + int(offset) * base.size * w, vt)
+        env.on_load(vp, base.size * w, None)  # counted as one access
+        vals = [ptr.mem.read_scalar(vp.off + i * base.size, base)
+                for i in range(w)]
+        return Vec(vt, vals)
+    return impl
+
+
+def _vstore(env: "WorkItemEnv", w: int) -> Callable[..., Any]:
+    def impl(vec, offset, ptr):
+        if not isinstance(ptr, Ptr) or not isinstance(vec, Vec):
+            raise InterpError("vstore needs (vector, offset, pointer)")
+        base = ptr.ctype
+        assert isinstance(base, T.ScalarType)
+        off = ptr.off + int(offset) * base.size * w
+        env.on_store(Ptr(ptr.mem, off, T.VectorType(base, w)),
+                     base.size * w, None)
+        for i in range(w):
+            ptr.mem.write_scalar(off + i * base.size, base, vec.vals[i])
+        return None
+    return impl

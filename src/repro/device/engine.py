@@ -1,0 +1,660 @@
+"""Kernel execution engine: devices, modules, and NDRange/grid scheduling.
+
+A :class:`Device` owns the memory pools; :func:`load_module` turns a parsed
+translation unit into a :class:`DeviceModule` (our analogue of a PTX module:
+file-scope ``__constant__``/``__device__`` variables are allocated and
+initialized, kernels become launchable :class:`KernelObject` s).
+
+:func:`launch_kernel` runs a grid of work-groups.  Work-items of a group are
+Python generators advanced in barrier-delimited phases, which gives correct
+OpenCL/CUDA *relaxed* semantics: writes before a barrier are visible after
+it, and barrier divergence is detected and reported.  The first few groups
+are traced at memory-access granularity to feed the bank-conflict and
+coalescing models; the counts are scaled to the full grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..clike import ast as A
+from ..clike import types as T
+from ..clike.dialect import get_dialect
+from ..clike.interp import BARRIER, ExecEnv, Interp, Stack
+from ..clike.sema import annotate_unit
+from ..errors import DeviceError, InterpError
+from ..runtime.memory import Memory
+from ..runtime.values import Ptr, Vec, coerce
+from .banks import warp_transactions
+from .builtins import BARRIER_NAMES, make_builtins
+from .occupancy import Occupancy, calc_occupancy, estimate_registers
+from .perf import KernelTime, PerfCounters, kernel_time
+from .specs import DeviceSpec, GTX_TITAN
+
+__all__ = ["Device", "DeviceModule", "KernelObject", "LocalArg",
+           "load_module", "launch_kernel", "LaunchResult"]
+
+#: number of leading work-groups traced for bank-conflict / coalescing
+_SAMPLE_GROUPS = 2
+#: simulated global memory pool size (the *reported* capacity comes from the
+#: spec; allocating 6 GB of real RAM per device would be absurd)
+_GLOBAL_POOL = 96 * 1024 * 1024
+_PRIVATE_BYTES_PER_WI = 8 * 1024
+_DRAM_SEGMENT = 128
+
+
+class Device:
+    """A simulated accelerator instance."""
+
+    def __init__(self, spec: DeviceSpec = GTX_TITAN) -> None:
+        self.spec = spec
+        self.global_mem = Memory(f"{spec.name}/global", _GLOBAL_POOL,
+                                 T.AddressSpace.GLOBAL)
+        self.constant_mem = Memory(f"{spec.name}/constant", spec.constant_mem,
+                                   T.AddressSpace.CONSTANT)
+
+    def alloc_global(self, size: int) -> Ptr:
+        off = self.global_mem.alloc(size, 256)
+        return Ptr(self.global_mem, off, T.VOID)
+
+    def free_global(self, ptr: Ptr) -> None:
+        self.global_mem.free(ptr.off)
+
+    def mem_info(self) -> Tuple[int, int]:
+        """(free, total) global memory — scaled to the spec's capacity so
+        ``cudaMemGetInfo`` reports realistic numbers."""
+        assert self.global_mem.allocator is not None
+        used = self.global_mem.allocator.used_bytes()
+        total = self.spec.global_mem
+        return total - used, total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Device {self.spec.name}>"
+
+
+@dataclass
+class KernelObject:
+    """A launchable kernel within a loaded module."""
+
+    name: str
+    fn: A.FunctionDecl
+    module: "DeviceModule"
+
+    @property
+    def num_args(self) -> int:
+        return len(self.fn.params)
+
+    def static_shared_bytes(self) -> int:
+        """Bytes of statically declared __shared__/__local arrays."""
+        total = 0
+        if self.fn.body is not None:
+            for node in A.walk(self.fn.body):
+                if (isinstance(node, A.VarDecl)
+                        and node.space == T.AddressSpace.LOCAL
+                        and "extern" not in node.quals
+                        and node.type.size is not None):
+                    total += node.type.size
+        return total
+
+
+class DeviceModule:
+    """A loaded device-code module ("PTX image")."""
+
+    def __init__(self, device: Device, unit: A.TranslationUnit,
+                 dialect: str) -> None:
+        self.device = device
+        self.unit = unit
+        self.dialect = dialect
+        self.kernels: Dict[str, KernelObject] = {}
+        #: file-scope __constant__/__device__ symbols -> device pointers
+        self.symbols: Dict[str, Ptr] = {}
+        #: opaque file-scope objects (CUDA texture references)
+        self.globals_values: Dict[str, Any] = {}
+
+    def get_kernel(self, name: str) -> KernelObject:
+        try:
+            return self.kernels[name]
+        except KeyError:
+            raise DeviceError(f"no kernel {name!r} in module "
+                              f"(have {sorted(self.kernels)})")
+
+    def symbol(self, name: str) -> Ptr:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise DeviceError(f"no device symbol {name!r}")
+
+
+def load_module(device: Device, unit: A.TranslationUnit,
+                dialect: str) -> DeviceModule:
+    """Allocate module-level state and register kernels (cuModuleLoad)."""
+    annotate_unit(unit, dialect)
+    unit._sema_done = True  # type: ignore[attr-defined]
+    mod = DeviceModule(device, unit, dialect)
+
+    # allocate + initialize file-scope variables
+    init_interp = Interp(unit, ExecEnv(stack_size=4096), dialect,
+                         annotate=False)
+    for d in unit.decls:
+        if isinstance(d, A.VarDecl):
+            if isinstance(d.type, T.TextureType):
+                from ..cuda.textures import TextureRef
+                ref = TextureRef(name=d.name, ttype=d.type)
+                mod.globals_values[d.name] = ref
+                continue
+            if dialect == "cuda" and d.space is None:
+                # plain host globals in a .cu file belong to the host side
+                continue
+            if dialect == "opencl" and d.space == T.AddressSpace.GLOBAL:
+                # OpenCL 1.2 §6.5: program-scope variables must live in
+                # __constant — static global allocation is impossible
+                # (paper Table 1 / §4.3)
+                raise DeviceError(
+                    f"program-scope variable {d.name!r} in the global "
+                    "address space is not allowed in OpenCL 1.2")
+            space = d.space or T.AddressSpace.CONSTANT
+            mem = (device.constant_mem if space == T.AddressSpace.CONSTANT
+                   else device.global_mem)
+            size = d.type.size or 8
+            off = mem.alloc(size, max(d.type.align, 16))
+            ptr = Ptr(mem, off, d.type)
+            mod.symbols[d.name] = ptr
+            if d.init is not None:
+                init_interp._store_init(ptr, d.init)
+            else:
+                mem.write_bytes(off, b"\0" * size)
+    for fn in unit.functions():
+        if fn.is_kernel and fn.body is not None:
+            mod.kernels[fn.name] = KernelObject(fn.name, fn, mod)
+    return mod
+
+
+@dataclass(frozen=True)
+class LocalArg:
+    """Marker for a dynamically-sized local/shared argument
+    (``clSetKernelArg(k, i, size, NULL)``)."""
+
+    size: int
+
+
+@dataclass
+class LaunchResult:
+    counters: PerfCounters
+    time: KernelTime
+    occupancy: Occupancy
+    stdout: List[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# launch environment
+# ---------------------------------------------------------------------------
+
+class _LaunchEnv:
+    """State shared by all work-items of one launch."""
+
+    def __init__(self, device: Device, kernel: KernelObject,
+                 framework: str, grid: Tuple[int, int, int],
+                 block: Tuple[int, int, int]) -> None:
+        self.device = device
+        self.kernel = kernel
+        self.framework = framework
+        self.grid = grid
+        self.block = block
+        self.work_dim = 3 if block[2] > 1 or grid[2] > 1 else (
+            2 if block[1] > 1 or grid[1] > 1 else 1)
+        self.counters = PerfCounters()
+        self.stdout: List[str] = []
+        self.local_mem: Optional[Memory] = None
+        self.private_mem: Optional[Memory] = None
+        #: offsets in constant-space ranges inside the global pool (OpenCL
+        #: buffers bound to __constant parameters)
+        self.constant_ranges: List[Tuple[int, int]] = []
+        self.tracing = False
+        # per-group static-shared allocations: name -> Ptr
+        self.local_static: Dict[str, Ptr] = {}
+        self.local_bump = 0
+        #: offset of the CUDA dynamic-shared region in local_mem
+        self.dynamic_base = 0
+        self.dyn_shared_bytes = 0
+        # group-local traces: wi linear id -> site id -> list[(addr, size)]
+        self.local_traces: List[Dict[int, List[Tuple[int, int]]]] = []
+        self.global_traces: List[Dict[int, List[Tuple[int, int]]]] = []
+        self._clock = 0
+
+    def in_constant_range(self, ptr: Ptr) -> bool:
+        if ptr.mem is not self.device.global_mem:
+            return False
+        for lo, hi in self.constant_ranges:
+            if lo <= ptr.off < hi:
+                return True
+        return False
+
+
+class WorkItemEnv(ExecEnv):
+    """Per-work-item execution environment."""
+
+    __slots__ = ("launch", "lid", "gid", "group", "linear_lid", "_builtins",
+                 "stack", "_str_cache", "_str_top")
+
+    def __init__(self, launch: _LaunchEnv, stack: Stack,
+                 group: Tuple[int, int, int],
+                 lid: Tuple[int, int, int]) -> None:
+        # do not call super().__init__: stack is a shared-slice stack
+        self.stack = stack
+        self.launch = launch
+        self.group = group
+        self.lid = lid
+        block = launch.block
+        self.gid = (group[0] * block[0] + lid[0],
+                    group[1] * block[1] + lid[1],
+                    group[2] * block[2] + lid[2])
+        self.linear_lid = (lid[2] * block[1] + lid[1]) * block[0] + lid[0]
+        self._builtins = make_builtins(self, launch.kernel.module.dialect)
+
+    # -- ids ------------------------------------------------------------------
+
+    def global_id(self, d: int) -> int:
+        return self.gid[d]
+
+    def local_id(self, d: int) -> int:
+        return self.lid[d]
+
+    def group_id(self, d: int) -> int:
+        return self.group[d]
+
+    def global_size(self, d: int) -> int:
+        return self.launch.grid[d] * self.launch.block[d]
+
+    def local_size(self, d: int) -> int:
+        return self.launch.block[d]
+
+    def num_groups(self, d: int) -> int:
+        return self.launch.grid[d]
+
+    # -- ExecEnv hooks -----------------------------------------------------------
+
+    def builtin(self, name: str) -> Optional[Callable[..., Any]]:
+        return self._builtins.get(name)
+
+    def special_var(self, name: str) -> Any:
+        if self.launch.kernel.module.dialect == "cuda":
+            u3 = T.vector("uint", 3)
+            if name == "threadIdx":
+                return Vec(u3, list(self.lid))
+            if name == "blockIdx":
+                return Vec(u3, list(self.group))
+            if name == "blockDim":
+                return Vec(u3, list(self.launch.block))
+            if name == "gridDim":
+                return Vec(u3, list(self.launch.grid))
+            if name == "warpSize":
+                return self.launch.device.spec.warp_size
+        raise KeyError(name)
+
+    _CLK_CONSTANTS = {
+        "CLK_LOCAL_MEM_FENCE": 1, "CLK_GLOBAL_MEM_FENCE": 2,
+        "CLK_NORMALIZED_COORDS_FALSE": 0x00,
+        "CLK_NORMALIZED_COORDS_TRUE": 0x01,
+        "CLK_ADDRESS_NONE": 0x00, "CLK_ADDRESS_CLAMP_TO_EDGE": 0x02,
+        "CLK_ADDRESS_CLAMP": 0x04, "CLK_ADDRESS_REPEAT": 0x06,
+        "CLK_FILTER_NEAREST": 0x10, "CLK_FILTER_LINEAR": 0x20,
+    }
+
+    def constant(self, name: str) -> Any:
+        if name in self._CLK_CONSTANTS:
+            return self._CLK_CONSTANTS[name]
+        if name in ("CUDART_INF_F", "INFINITY", "HUGE_VALF"):
+            return float("inf")
+        if name == "NAN":
+            return float("nan")
+        if name in ("M_PI", "M_PI_F", "CUDART_PI_F"):
+            import math
+            return math.pi
+        if name in ("FLT_MAX", "MAXFLOAT"):
+            return 3.4028234663852886e38
+        if name == "FLT_MIN":
+            return 1.1754943508222875e-38
+        if name == "FLT_EPSILON":
+            return 1.1920929e-07
+        if name == "INT_MAX":
+            return 2**31 - 1
+        if name == "NULL":
+            return 0
+        raise KeyError(name)
+
+    def is_barrier(self, name: str) -> bool:
+        return name in BARRIER_NAMES[self.launch.kernel.module.dialect]
+
+    # -- shared (local) memory -----------------------------------------------------
+
+    def local_static_slot(self, name: str, ctype: T.Type) -> Ptr:
+        """Group-wide slot for a static __shared__/__local declaration."""
+        launch = self.launch
+        ptr = launch.local_static.get(name)
+        if ptr is None:
+            assert launch.local_mem is not None
+            size = ctype.size or 4
+            align = max(ctype.align, 4)
+            off = -(-launch.local_bump // align) * align
+            if off + size > launch.local_mem.size:
+                raise DeviceError(
+                    f"shared memory overflow: {off + size} bytes "
+                    f"> {launch.local_mem.size}")
+            launch.local_bump = off + size
+            ptr = Ptr(launch.local_mem, off, ctype)
+            launch.local_static[name] = ptr
+        return ptr
+
+    def dynamic_shared_slot(self, elem: T.Type) -> Ptr:
+        """CUDA ``extern __shared__ x[]`` — the pre-reserved dynamic region."""
+        launch = self.launch
+        assert launch.local_mem is not None
+        return Ptr(launch.local_mem, launch.dynamic_base,
+                   T.ArrayType(elem, None))
+
+    # -- instrumentation ----------------------------------------------------------
+
+    def on_load(self, ptr: Ptr, nbytes: int, node: Optional[A.Node]) -> None:
+        self._on_access(ptr, nbytes, node, load=True)
+
+    def on_store(self, ptr: Ptr, nbytes: int, node: Optional[A.Node]) -> None:
+        self._on_access(ptr, nbytes, node, load=False)
+
+    def _on_access(self, ptr: Ptr, nbytes: int, node: Optional[A.Node],
+                   load: bool) -> None:
+        launch = self.launch
+        space = ptr.mem.space
+        c = launch.counters
+        if space == T.AddressSpace.GLOBAL:
+            if launch.in_constant_range(ptr):
+                c.constant_read_bytes += nbytes
+                return
+            if load:
+                c.global_load_bytes += nbytes
+            else:
+                c.global_store_bytes += nbytes
+            if launch.tracing:
+                site = id(node) if node is not None else 0
+                launch.global_traces[self.linear_lid].setdefault(
+                    site, []).append((ptr.off, nbytes))
+        elif space == T.AddressSpace.LOCAL:
+            c.local_accesses += 1
+            c.local_bytes += nbytes
+            if launch.tracing:
+                site = id(node) if node is not None else 0
+                launch.local_traces[self.linear_lid].setdefault(
+                    site, []).append((ptr.off, nbytes))
+        elif space == T.AddressSpace.CONSTANT:
+            c.constant_read_bytes += nbytes
+        # private/host: free
+
+    def count_op(self, kind: str, n: int = 1) -> None:
+        c = self.launch.counters
+        if kind == "flop":
+            c.flops += n
+        elif kind == "sfu":
+            c.sfu_ops += n
+        else:
+            c.iops += n
+
+    def count_atomic(self) -> None:
+        self.launch.counters.atomics += 1
+
+    def count_image_read(self, img: Any) -> None:
+        # texture fetches stream through the texture cache at DRAM-order
+        # bandwidth; charging them as global reads keeps texture-heavy
+        # kernels comparable to their buffer-based twins
+        fmt = getattr(img, "fmt", None)
+        if fmt is not None:
+            nbytes = fmt.pixel_bytes
+        else:
+            # linear-memory texture reference: one element per fetch
+            elem = getattr(img, "elem_type", None)
+            nbytes = getattr(elem, "size", None) or 4
+        self.launch.counters.global_load_bytes += nbytes
+
+    def count_image_write(self, img: Any) -> None:
+        nbytes = getattr(getattr(img, "fmt", None), "pixel_bytes", 16)
+        self.launch.counters.global_store_bytes += nbytes
+
+    def clock(self) -> int:
+        self.launch._clock += 32
+        return self.launch._clock
+
+    # -- warp intrinsics (valid under serialized-warp execution for uniform
+    # arguments; the translator refuses these anyway) ------------------------
+
+    def warp_all(self, pred) -> int:
+        return 1 if pred else 0
+
+    def warp_any(self, pred) -> int:
+        return 1 if pred else 0
+
+    def warp_ballot(self, pred) -> int:
+        return ((1 << self.launch.device.spec.warp_size) - 1) if pred else 0
+
+    def warp_shfl(self, var, _lane, *rest) -> Any:
+        return var
+
+
+# ---------------------------------------------------------------------------
+# launch
+# ---------------------------------------------------------------------------
+
+def launch_kernel(device: Device, kernel: KernelObject,
+                  grid: Sequence[int], block: Sequence[int],
+                  args: Sequence[Any], dynamic_shared: int = 0,
+                  framework: Optional[str] = None) -> LaunchResult:
+    """Execute ``kernel`` over a grid of work-groups.
+
+    ``grid`` counts work-GROUPS per dimension (the CUDA convention; OpenCL's
+    global size is divided by the local size by the caller — the NDRange vs
+    grid difference of §3.1).  ``args`` match the kernel parameters;
+    :class:`LocalArg` entries allocate dynamic local memory per group.
+    """
+    framework = framework or kernel.module.dialect
+    spec = device.spec
+    grid3 = _pad3(grid)
+    block3 = _pad3(block)
+    threads_per_block = block3[0] * block3[1] * block3[2]
+    if threads_per_block <= 0 or any(g <= 0 for g in grid3):
+        raise DeviceError(f"bad launch configuration grid={grid3} block={block3}")
+    if threads_per_block > spec.max_workgroup_size:
+        raise DeviceError(
+            f"work-group size {threads_per_block} exceeds device maximum "
+            f"{spec.max_workgroup_size}")
+
+    launch = _LaunchEnv(device, kernel, framework, grid3, block3)
+    launch.dyn_shared_bytes = dynamic_shared
+
+    static_shared = kernel.static_shared_bytes()
+    dyn_local_args = sum(a.size for a in args if isinstance(a, LocalArg))
+    shared_per_block = static_shared + dynamic_shared + dyn_local_args
+    if shared_per_block > spec.shared_per_cu:
+        raise DeviceError(
+            f"shared memory request {shared_per_block} exceeds "
+            f"{spec.shared_per_cu} per CU")
+
+    local_pool = max(1024, shared_per_block + 256)
+    launch.local_mem = Memory("local", local_pool, T.AddressSpace.LOCAL)
+    launch.private_mem = Memory(
+        "private", _PRIVATE_BYTES_PER_WI * threads_per_block,
+        T.AddressSpace.PRIVATE)
+
+    # constant ranges for __constant pointer params over global buffers
+    for p, a in zip(kernel.fn.params, args):
+        if (isinstance(a, Ptr) and isinstance(p.type, T.PointerType)
+                and p.type.space == T.AddressSpace.CONSTANT
+                and a.mem is device.global_mem):
+            size = device.global_mem.allocator.allocated_size(a.off)
+            launch.constant_ranges.append(
+                (a.off, a.off + (size or 65536)))
+
+    total_groups = grid3[0] * grid3[1] * grid3[2]
+    launch.counters.work_items = total_groups * threads_per_block
+
+    mode_bits = spec.bank_mode(framework)
+    sampled = 0
+    group_index = 0
+    for gz in range(grid3[2]):
+        for gy in range(grid3[1]):
+            for gx in range(grid3[0]):
+                launch.tracing = group_index < _SAMPLE_GROUPS
+                if launch.tracing:
+                    launch.local_traces = [dict() for _ in range(threads_per_block)]
+                    launch.global_traces = [dict() for _ in range(threads_per_block)]
+                    sampled += 1
+                _run_group(launch, (gx, gy, gz), args)
+                if launch.tracing:
+                    _account_traces(launch, threads_per_block, mode_bits)
+                group_index += 1
+
+    # scale sampled transaction counts to the full grid
+    if sampled and total_groups > sampled:
+        scale = total_groups / sampled
+        launch.counters.local_transactions = int(
+            launch.counters.local_transactions * scale)
+        launch.counters.global_transactions = int(
+            launch.counters.global_transactions * scale)
+
+    compiler = "nvcc" if framework == "cuda" else spec.opencl_compiler
+    regs = estimate_registers(kernel.fn, compiler)
+    occ = calc_occupancy(spec, threads_per_block, regs, shared_per_block)
+    kt = kernel_time(launch.counters, spec, occ)
+    return LaunchResult(launch.counters, kt, occ, launch.stdout)
+
+
+def _pad3(v: Sequence[int]) -> Tuple[int, int, int]:
+    vals = [int(x) for x in v] + [1, 1, 1]
+    return (max(vals[0], 1), max(vals[1], 1), max(vals[2], 1))
+
+
+def _run_group(launch: _LaunchEnv, group: Tuple[int, int, int],
+               args: Sequence[Any]) -> None:
+    """Run all work-items of one group in barrier-delimited phases."""
+    kernel = launch.kernel
+    block = launch.block
+    threads = block[0] * block[1] * block[2]
+    launch.local_static.clear()
+    launch.local_bump = 0
+    assert launch.local_mem is not None and launch.private_mem is not None
+    launch.local_mem.buf[:] = 0
+
+    # pre-allocate dynamic local args (one region per LocalArg, shared by
+    # the whole group) so every work-item gets the same pointers; then
+    # reserve the CUDA dynamic-shared region; statics allocate lazily after.
+    dyn_ptrs: Dict[int, Ptr] = {}
+    bump = 0
+    for i, (p, a) in enumerate(zip(kernel.fn.params, args)):
+        if isinstance(a, LocalArg):
+            elem = (p.type.pointee if isinstance(p.type, T.PointerType)
+                    else T.CHAR)
+            off = -(-bump // 16) * 16
+            dyn_ptrs[i] = Ptr(launch.local_mem, off, elem)
+            bump = off + a.size
+    launch.dynamic_base = -(-bump // 16) * 16
+    bump = launch.dynamic_base + launch.dyn_shared_bytes
+    if bump > launch.local_mem.size:
+        raise DeviceError("dynamic local memory exceeds pool")
+    launch.local_bump = bump
+
+    gens = []
+    for lz in range(block[2]):
+        for ly in range(block[1]):
+            for lx in range(block[0]):
+                linear = (lz * block[1] + ly) * block[0] + lx
+                stack = Stack(launch.private_mem)
+                stack.sp = linear * _PRIVATE_BYTES_PER_WI
+                stack_limit = stack.sp + _PRIVATE_BYTES_PER_WI
+                env = WorkItemEnv(launch, stack, group, (lx, ly, lz))
+                interp = Interp(kernel.module.unit, env,
+                                kernel.module.dialect, annotate=False)
+                interp.global_slots = kernel.module.symbols
+                interp.global_values = kernel.module.globals_values
+                wi_args = [dyn_ptrs.get(i, a) for i, a in enumerate(args)]
+                wi_args = _bind_args(kernel.fn, wi_args, env)
+                gens.append(interp.call_gen(kernel.fn, wi_args))
+    _drive_group(launch, gens)
+
+
+def _bind_args(fn: A.FunctionDecl, args: Sequence[Any],
+               env: WorkItemEnv) -> List[Any]:
+    if len(args) != len(fn.params):
+        raise DeviceError(
+            f"kernel {fn.name} expects {len(fn.params)} args, got {len(args)}")
+    bound: List[Any] = []
+    for p, a in zip(fn.params, args):
+        t = p.type
+        if isinstance(t, T.PointerType) and isinstance(a, Ptr):
+            bound.append(a.retype(t.pointee))
+        elif isinstance(t, (T.ImageType, T.SamplerType, T.TextureType,
+                            T.OpaqueType)):
+            bound.append(a)
+        elif isinstance(t, T.PointerType) and a == 0:
+            bound.append(0)
+        else:
+            bound.append(coerce(a, t))
+    return bound
+
+
+def _drive_group(launch: _LaunchEnv, gens: List[Any]) -> None:
+    """Advance all work-item generators phase by phase."""
+    active = list(range(len(gens)))
+    barrier_rounds = 0
+    while active:
+        waiting: List[int] = []
+        done: List[int] = []
+        for i in active:
+            try:
+                tok = next(gens[i])
+            except StopIteration:
+                done.append(i)
+                continue
+            if tok != BARRIER:
+                raise DeviceError(f"unexpected yield token {tok!r}")
+            waiting.append(i)
+        if waiting and done:
+            raise DeviceError(
+                "barrier divergence: some work-items reached the barrier "
+                "while others returned — undefined behaviour in both models")
+        if waiting:
+            barrier_rounds += 1
+        active = waiting
+    warps = -(-len(gens) // launch.device.spec.warp_size)
+    launch.counters.barriers += barrier_rounds * warps
+
+
+def _account_traces(launch: _LaunchEnv, threads: int, mode_bits: int) -> None:
+    """Convert per-work-item access traces into warp transaction counts."""
+    warp = launch.device.spec.warp_size
+    banks = launch.device.spec.shared_banks
+    c = launch.counters
+    for w0 in range(0, threads, warp):
+        lanes = range(w0, min(w0 + warp, threads))
+        # shared memory: bank conflicts
+        sites = set()
+        for lane in lanes:
+            sites.update(launch.local_traces[lane].keys())
+        for site in sites:
+            seqs = [launch.local_traces[lane].get(site, ()) for lane in lanes]
+            depth = max((len(s) for s in seqs), default=0)
+            for k in range(depth):
+                accesses = [s[k] for s in seqs if len(s) > k]
+                c.local_transactions += warp_transactions(
+                    accesses, mode_bits, banks)
+        # global memory: 128-byte segment coalescing
+        gsites = set()
+        for lane in lanes:
+            gsites.update(launch.global_traces[lane].keys())
+        for site in gsites:
+            seqs = [launch.global_traces[lane].get(site, ()) for lane in lanes]
+            depth = max((len(s) for s in seqs), default=0)
+            for k in range(depth):
+                segs = set()
+                for s in seqs:
+                    if len(s) > k:
+                        addr, size = s[k]
+                        segs.add(addr // _DRAM_SEGMENT)
+                        segs.add((addr + max(size, 1) - 1) // _DRAM_SEGMENT)
+                c.global_transactions += len(segs)

@@ -1,0 +1,248 @@
+"""Image / texture storage and sampling machinery.
+
+Backs both OpenCL images (``image2d_t`` + ``sampler_t``) and CUDA texture
+references.  Addressing modes, filtering, normalized coordinates and channel
+formats follow OpenCL 1.2 §6.12.14 / CUDA's texture unit — the feature set
+the paper's §5 translation relies on.
+
+Image element data lives in a NumPy array.  Size limits are enforced
+against the device spec: the CUDA 1D linear-texture limit is 2^27 texels
+while an OpenCL 1D image buffer is bounded by the max 2D width — the very
+mismatch that makes kmeans/leukocyte/hybridsort untranslatable (§5, §6.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clike import types as T
+from ..errors import DeviceError
+from ..runtime.values import Vec
+
+__all__ = ["ChannelFormat", "Sampler", "DeviceImage",
+           "CHANNEL_ORDERS", "CHANNEL_TYPES",
+    ]
+
+# channel order -> component count
+CHANNEL_ORDERS = {"R": 1, "RG": 2, "RGB": 3, "RGBA": 4, "BGRA": 4,
+                  "INTENSITY": 1, "LUMINANCE": 1}
+
+# channel data type -> (numpy dtype, is_normalized, read type: f/i/ui)
+CHANNEL_TYPES = {
+    "FLOAT": (np.float32, False, "f"),
+    "HALF_FLOAT": (np.float16, False, "f"),
+    "SIGNED_INT8": (np.int8, False, "i"),
+    "SIGNED_INT16": (np.int16, False, "i"),
+    "SIGNED_INT32": (np.int32, False, "i"),
+    "UNSIGNED_INT8": (np.uint8, False, "ui"),
+    "UNSIGNED_INT16": (np.uint16, False, "ui"),
+    "UNSIGNED_INT32": (np.uint32, False, "ui"),
+    "UNORM_INT8": (np.uint8, True, "f"),
+    "UNORM_INT16": (np.uint16, True, "f"),
+    "SNORM_INT8": (np.int8, True, "f"),
+}
+
+
+@dataclass(frozen=True)
+class ChannelFormat:
+    """Image channel description (order + data type)."""
+
+    order: str = "RGBA"
+    dtype: str = "FLOAT"
+
+    def __post_init__(self) -> None:
+        if self.order not in CHANNEL_ORDERS:
+            raise DeviceError(f"unsupported channel order {self.order!r}")
+        if self.dtype not in CHANNEL_TYPES:
+            raise DeviceError(f"unsupported channel type {self.dtype!r}")
+
+    @property
+    def channels(self) -> int:
+        return CHANNEL_ORDERS[self.order]
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(CHANNEL_TYPES[self.dtype][0])
+
+    @property
+    def normalized(self) -> bool:
+        return CHANNEL_TYPES[self.dtype][1]
+
+    @property
+    def read_suffix(self) -> str:
+        """Which read_imageX suffix this format feeds ('f', 'i', 'ui')."""
+        return CHANNEL_TYPES[self.dtype][2]
+
+    @property
+    def pixel_bytes(self) -> int:
+        return self.channels * self.np_dtype.itemsize
+
+
+@dataclass(frozen=True)
+class Sampler:
+    """An OpenCL sampler / CUDA texture read configuration."""
+
+    normalized: bool = False
+    addressing: str = "clamp_to_edge"  # 'clamp_to_edge'|'clamp'|'repeat'|'none'
+    filtering: str = "nearest"         # 'nearest'|'linear'
+
+    def __post_init__(self) -> None:
+        if self.addressing not in ("clamp_to_edge", "clamp", "repeat", "none"):
+            raise DeviceError(f"bad addressing mode {self.addressing!r}")
+        if self.filtering not in ("nearest", "linear"):
+            raise DeviceError(f"bad filter mode {self.filtering!r}")
+
+
+class DeviceImage:
+    """A 1D/2D/3D image living on the simulated device."""
+
+    def __init__(self, dims: int, shape: Sequence[int],
+                 fmt: ChannelFormat, buffer_backed: bool = False,
+                 storage: Optional[np.ndarray] = None) -> None:
+        if dims not in (1, 2, 3):
+            raise DeviceError(f"bad image dimensionality {dims}")
+        shape = tuple(int(s) for s in shape)
+        if len(shape) != dims or any(s <= 0 for s in shape):
+            raise DeviceError(f"bad image shape {shape} for {dims}D image")
+        self.dims = dims
+        self.shape = shape  # (w,) | (w, h) | (w, h, d)
+        self.fmt = fmt
+        self.buffer_backed = buffer_backed
+        # storage indexed [d][h][w][c]; an externally provided array lets
+        # the OpenCL->CUDA wrappers back the image with device global
+        # memory (the paper's CLImage-over-cudaMalloc scheme, Fig. 6)
+        full_shape = tuple(reversed(shape)) + (fmt.channels,)
+        if storage is not None:
+            if storage.size != int(np.prod(full_shape)):
+                raise DeviceError("image storage size mismatch")
+            self.data = storage.reshape(full_shape)
+        else:
+            self.data = np.zeros(full_shape, dtype=fmt.np_dtype)
+
+    # -- host-side access ----------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.shape[0]
+
+    @property
+    def height(self) -> int:
+        return self.shape[1] if self.dims >= 2 else 1
+
+    @property
+    def depth(self) -> int:
+        return self.shape[2] if self.dims >= 3 else 1
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def upload(self, raw: bytes) -> None:
+        """Fill the image from packed host bytes (row-major)."""
+        flat = np.frombuffer(raw, dtype=self.fmt.np_dtype)
+        need = self.data.size
+        if flat.size < need:
+            raise DeviceError(
+                f"image upload too small: {flat.size} elems < {need}")
+        self.data[...] = flat[:need].reshape(self.data.shape)
+
+    def download(self) -> bytes:
+        return self.data.tobytes()
+
+    # -- device-side access ------------------------------------------------------
+
+    def _resolve(self, coord: float, extent: int, sampler: Sampler) -> int:
+        if sampler.normalized:
+            coord = coord * extent
+        i = int(math.floor(coord))
+        if sampler.addressing == "repeat":
+            return i % extent
+        # clamp / clamp_to_edge / none all clamp in our model
+        return min(max(i, 0), extent - 1)
+
+    def _texel(self, ix: int, iy: int, iz: int) -> np.ndarray:
+        return self.data[iz, iy, ix] if self.dims == 3 else (
+            self.data[iy, ix] if self.dims == 2 else self.data[ix])
+
+    def read(self, sampler: Sampler, coords: Sequence[float]) -> Vec:
+        """``read_imageX`` / ``texND``: returns a 4-component vector."""
+        cs = list(coords) + [0.0] * (3 - len(coords))
+        if sampler.filtering == "linear":
+            texel = self._read_linear(sampler, cs)
+        else:
+            ix = self._resolve(cs[0], self.width, sampler)
+            iy = self._resolve(cs[1], self.height, sampler) if self.dims >= 2 else 0
+            iz = self._resolve(cs[2], self.depth, sampler) if self.dims >= 3 else 0
+            texel = self._texel(ix, iy, iz).astype(np.float64)
+        return self._to_vec(texel)
+
+    def _read_linear(self, sampler: Sampler, cs: List[float]) -> np.ndarray:
+        """Bilinear (2D) / linear (1D) filtering; 3D falls back to nearest
+        in z for simplicity (documented deviation)."""
+        x = (cs[0] * self.width if sampler.normalized else cs[0]) - 0.5
+        x0 = int(math.floor(x))
+        fx = x - x0
+
+        def cx(i: int) -> int:
+            if sampler.addressing == "repeat":
+                return i % self.width
+            return min(max(i, 0), self.width - 1)
+
+        if self.dims == 1:
+            a = self._texel(cx(x0), 0, 0).astype(np.float64)
+            b = self._texel(cx(x0 + 1), 0, 0).astype(np.float64)
+            return a * (1 - fx) + b * fx
+        y = (cs[1] * self.height if sampler.normalized else cs[1]) - 0.5
+        y0 = int(math.floor(y))
+        fy = y - y0
+
+        def cy(i: int) -> int:
+            if sampler.addressing == "repeat":
+                return i % self.height
+            return min(max(i, 0), self.height - 1)
+
+        iz = self._resolve(cs[2], self.depth, sampler) if self.dims >= 3 else 0
+        p00 = self._texel(cx(x0), cy(y0), iz).astype(np.float64)
+        p10 = self._texel(cx(x0 + 1), cy(y0), iz).astype(np.float64)
+        p01 = self._texel(cx(x0), cy(y0 + 1), iz).astype(np.float64)
+        p11 = self._texel(cx(x0 + 1), cy(y0 + 1), iz).astype(np.float64)
+        return (p00 * (1 - fx) * (1 - fy) + p10 * fx * (1 - fy)
+                + p01 * (1 - fx) * fy + p11 * fx * fy)
+
+    def _to_vec(self, texel: np.ndarray) -> Vec:
+        vals = [float(v) for v in texel]
+        if self.fmt.normalized:
+            info = np.iinfo(self.fmt.np_dtype)
+            vals = [v / info.max for v in vals]
+        # missing channels read as (0, 0, 0, 1)
+        while len(vals) < 4:
+            vals.append(1.0 if len(vals) == 3 else 0.0)
+        suffix = self.fmt.read_suffix
+        if suffix == "f":
+            return Vec(T.vector("float", 4), vals)
+        base = "int" if suffix == "i" else "uint"
+        return Vec(T.vector(base, 4), [int(v) for v in vals])
+
+    def write(self, coords: Sequence[int], value: Vec) -> None:
+        """``write_imageX``: stores the leading channels of ``value``."""
+        ix = int(coords[0])
+        iy = int(coords[1]) if self.dims >= 2 else 0
+        iz = int(coords[2]) if self.dims >= 3 else 0
+        if not (0 <= ix < self.width and 0 <= iy < self.height
+                and 0 <= iz < self.depth):
+            return  # out-of-bounds image writes are dropped (per spec)
+        vals = value.vals[:self.fmt.channels]
+        if self.fmt.normalized:
+            info = np.iinfo(self.fmt.np_dtype)
+            vals = [min(max(v, 0.0), 1.0) * info.max for v in vals]
+        texel = np.array(vals).astype(self.fmt.np_dtype)
+        if self.dims == 3:
+            self.data[iz, iy, ix] = texel
+        elif self.dims == 2:
+            self.data[iy, ix] = texel
+        else:
+            self.data[ix] = texel

@@ -1,0 +1,156 @@
+"""Performance model: event counters → simulated time.
+
+The kernel interpreter produces a :class:`PerfCounters` per launch; the
+analytical model here turns it into seconds on a given
+:class:`~repro.device.specs.DeviceSpec`.  Kernel time is
+
+``launch_overhead + max(alu, sfu, dram, shared) / throughput_factor(occ)``
+
+— a classic roofline with occupancy-scaled throughput, plus shared-memory
+serialization from the bank-conflict model.  Host-side costs (API call
+overhead, PCIe transfers) are accumulated by the frameworks on the
+:class:`SimClock`.
+
+There are no per-application constants anywhere in this module; every
+asymmetry the paper reports (FT banks, cfd occupancy, deviceQuery wrapper
+storms, hybridSort transfers) emerges from counted events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .occupancy import Occupancy
+from .specs import DeviceSpec
+
+__all__ = ["PerfCounters", "KernelTime", "SimClock", "kernel_time",
+           "transfer_time"]
+
+
+@dataclass
+class PerfCounters:
+    """Event counts for one kernel launch (whole NDRange/grid)."""
+
+    work_items: int = 0
+    iops: int = 0                 # integer ALU ops
+    flops: int = 0                # floating ALU ops
+    sfu_ops: int = 0              # transcendental/special ops
+    global_load_bytes: int = 0
+    global_store_bytes: int = 0
+    global_transactions: int = 0  # 128B-segment transactions (sampled+scaled)
+    constant_read_bytes: int = 0
+    local_accesses: int = 0       # shared-memory instructions (per lane)
+    local_bytes: int = 0
+    local_transactions: int = 0   # incl. bank-conflict replays
+    barriers: int = 0
+    atomics: int = 0
+
+    def merge(self, other: "PerfCounters") -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+    @property
+    def global_bytes(self) -> int:
+        return self.global_load_bytes + self.global_store_bytes
+
+
+@dataclass
+class KernelTime:
+    """Kernel time decomposition (seconds)."""
+
+    total: float
+    alu: float
+    sfu: float
+    dram: float
+    shared: float
+    launch: float
+    occupancy: Optional[Occupancy] = None
+
+    @property
+    def bound(self) -> str:
+        parts = {"alu": self.alu, "sfu": self.sfu,
+                 "dram": self.dram, "shared": self.shared}
+        return max(parts, key=lambda k: parts[k])
+
+
+#: calibration of interpreter event counts to hardware instruction counts.
+#: The interpreter counts AST-level operations; real kernels execute several
+#: machine ops per AST op (addressing, predication).  One global constant —
+#: not per-app.
+_OPS_PER_AST_OP = 2.4
+#: minimum achievable DRAM efficiency (random access) and segment size
+_DRAM_SEGMENT = 128
+
+
+def kernel_time(counters: PerfCounters, spec: DeviceSpec,
+                occ: Optional[Occupancy] = None,
+                atomic_serialization: float = 12.0) -> KernelTime:
+    """Simulated execution time of one launch on ``spec``."""
+    factor = occ.throughput_factor(spec) if occ is not None else 1.0
+
+    alu_ops = (counters.iops + counters.flops) * _OPS_PER_AST_OP \
+        + counters.atomics * atomic_serialization
+    t_alu = alu_ops / (spec.alu_flops * factor) if alu_ops else 0.0
+    t_sfu = counters.sfu_ops / (spec.sfu_ops * factor) if counters.sfu_ops else 0.0
+
+    # DRAM: transaction-granular when coalescing info exists, else raw bytes
+    eff_bytes = max(counters.global_bytes,
+                    counters.global_transactions * _DRAM_SEGMENT)
+    # constant reads are cached and broadcast: charge 1/8 of DRAM cost
+    eff_bytes += counters.constant_read_bytes // 8
+    t_dram = eff_bytes / (spec.dram_bw * factor) if eff_bytes else 0.0
+
+    # shared memory: each transaction moves up to banks*4 bytes per cycle
+    # per CU; local_transactions already includes conflict replays.
+    t_shared = (counters.local_transactions * spec.shared_banks * 4
+                / (spec.shared_bw * factor)) if counters.local_transactions else 0.0
+
+    busy = max(t_alu, t_sfu, t_dram, t_shared)
+    total = spec.launch_overhead + busy
+    return KernelTime(total=total, alu=t_alu, sfu=t_sfu, dram=t_dram,
+                      shared=t_shared, launch=spec.launch_overhead,
+                      occupancy=occ)
+
+
+def transfer_time(nbytes: int, spec: DeviceSpec) -> float:
+    """Host<->device copy time over PCIe."""
+    return spec.pcie_lat + nbytes / spec.pcie_bw
+
+
+class SimClock:
+    """Simulated wall clock for one application run.
+
+    The frameworks charge API overhead, transfer time and kernel time here;
+    the harness reads ``elapsed`` as the app's execution time.  A breakdown
+    by category supports the wrapper-overhead ablation.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.by_category: Dict[str, float] = {}
+        self.api_call_count = 0
+        self.kernel_launches = 0
+
+    def charge(self, seconds: float, category: str) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.elapsed += seconds
+        self.by_category[category] = self.by_category.get(category, 0.0) + seconds
+
+    def charge_api(self, spec: DeviceSpec, n: int = 1) -> None:
+        self.api_call_count += n
+        self.charge(spec.api_overhead * n, "api")
+
+    def charge_transfer(self, nbytes: int, spec: DeviceSpec) -> None:
+        self.charge(transfer_time(nbytes, spec), "transfer")
+
+    def charge_kernel(self, kt: KernelTime) -> None:
+        self.kernel_launches += 1
+        self.charge(kt.total, "kernel")
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.by_category.clear()
+        self.api_call_count = 0
+        self.kernel_launches = 0

@@ -1,0 +1,184 @@
+"""Device specifications for the simulated GPUs.
+
+Two concrete devices mirror the paper's evaluation hardware (Table 2): an
+NVIDIA GeForce GTX Titan (GK110, CC 3.5) and an AMD Radeon HD7970 (Tahiti,
+GCN).  The numbers are the public datasheet values; the performance model in
+:mod:`repro.device.perf` turns event counts into simulated seconds using
+them.
+
+The paper's key framework asymmetry lives here too: on the Titan, the CUDA
+compiler selects the 64-bit shared-memory bank addressing mode while
+NVIDIA's OpenCL runtime uses the 32-bit mode (§6.2) — the source of the FT
+bank-conflict result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["DeviceSpec", "GTX_TITAN", "HD7970", "get_device_spec",
+           "DEVICE_SPECS"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one accelerator."""
+
+    name: str
+    vendor: str
+    #: compute units (SMs / CUs)
+    compute_units: int
+    #: core clock, Hz
+    clock_hz: float
+    #: SIMD width the scheduler issues in lock-step (warp / wavefront)
+    warp_size: int
+    #: maximum resident threads per compute unit
+    max_threads_per_cu: int
+    #: maximum work-group / block size
+    max_workgroup_size: int
+    #: 32-bit registers per compute unit
+    regs_per_cu: int
+    #: shared/local memory per compute unit, bytes
+    shared_per_cu: int
+    #: shared memory banks
+    shared_banks: int
+    #: global memory size, bytes
+    global_mem: int
+    #: constant memory size, bytes
+    constant_mem: int
+    #: DRAM bandwidth, bytes/s
+    dram_bw: float
+    #: single-precision ALU throughput, FLOP/s (FMA counted as 2)
+    alu_flops: float
+    #: special-function throughput, op/s
+    sfu_ops: float
+    #: host<->device transfer bandwidth, bytes/s (PCIe 3.0 x16 effective)
+    pcie_bw: float = 11.0e9
+    #: host<->device transfer latency per operation, s
+    pcie_lat: float = 9.0e-6
+    #: kernel launch overhead, s
+    launch_overhead: float = 6.0e-6
+    #: host API call overhead, s
+    api_overhead: float = 2.5e-6
+    #: shared-memory bank addressing mode per framework ('cuda'/'opencl'),
+    #: in bits (§6.2: Titan is 64-bit under CUDA, 32-bit under OpenCL)
+    shared_addr_mode: Dict[str, int] = field(
+        default_factory=lambda: {"cuda": 64, "opencl": 32})
+    #: occupancy below which throughput degrades (latency hiding knee)
+    occupancy_knee: float = 0.5
+    #: fraction of peak retained at occupancy -> 0
+    occupancy_floor: float = 0.35
+    #: identifier of the device's OpenCL compiler (register allocation
+    #: differs per compiler; see occupancy.estimate_registers)
+    opencl_compiler: str = "nvidia-opencl"
+    #: does the device support CUDA at all?
+    supports_cuda: bool = True
+    #: OpenCL image limits (max 2D width/height; 1D buffer max = width)
+    max_image2d: Tuple[int, int] = (65536, 65535)
+    #: CUDA 1D linear-memory texture limit, texels (2^27 for CC 3.5)
+    cuda_max_tex1d_linear: int = 1 << 27
+
+    def scaled(self, down: float) -> "DeviceSpec":
+        """A throughput-scaled copy of this spec (architecture unchanged).
+
+        The interpreter runs workloads ~100-1000x smaller than the paper's
+        real inputs; dividing every *rate* by the same factor keeps the
+        time composition (kernel vs transfer vs API) realistic while all
+        architectural ratios — bank modes, occupancy steps, bandwidth
+        ratios between devices — are untouched.  Normalized results (every
+        figure in the paper) are invariant under this scaling.
+        """
+        import dataclasses
+        # Corpus inputs shrink compute by ~`down` but transfered data and
+        # per-call overheads by less (real apps amortize fixed costs over
+        # far more work), so those scale by a gentler factor — keeping the
+        # kernel/transfer/API time composition representative.
+        soft = max(1.0, down / 12.0)
+        return dataclasses.replace(
+            self,
+            clock_hz=self.clock_hz / down,
+            dram_bw=self.dram_bw / down,
+            alu_flops=self.alu_flops / down,
+            sfu_ops=self.sfu_ops / down,
+            pcie_bw=self.pcie_bw / (down / 8.0),
+            pcie_lat=self.pcie_lat / soft,
+            launch_overhead=self.launch_overhead / soft,
+            api_overhead=self.api_overhead / soft,
+        )
+
+    @property
+    def max_warps_per_cu(self) -> int:
+        return self.max_threads_per_cu // self.warp_size
+
+    @property
+    def shared_bw(self) -> float:
+        """Aggregate shared-memory bandwidth, bytes/s (4B/bank/cycle)."""
+        return self.compute_units * self.shared_banks * 4 * self.clock_hz
+
+    def bank_mode(self, framework: str) -> int:
+        """Shared-memory addressing mode (32 or 64 bits) for a framework."""
+        return self.shared_addr_mode.get(framework, 32)
+
+
+#: NVIDIA GeForce GTX Titan — GK110, CC 3.5 (paper Table 2)
+GTX_TITAN = DeviceSpec(
+    name="GeForce GTX Titan",
+    vendor="NVIDIA Corporation",
+    compute_units=14,
+    clock_hz=837e6,
+    warp_size=32,
+    max_threads_per_cu=2048,
+    max_workgroup_size=1024,
+    regs_per_cu=65536,
+    shared_per_cu=48 * 1024,
+    shared_banks=32,
+    global_mem=6 * 1024**3,
+    constant_mem=64 * 1024,
+    dram_bw=288.4e9,
+    alu_flops=4.5e12,
+    sfu_ops=0.6e12,
+    shared_addr_mode={"cuda": 64, "opencl": 32},
+    opencl_compiler="nvidia-opencl",
+    supports_cuda=True,
+)
+
+#: AMD Radeon HD7970 — Tahiti, GCN 1.0 (paper Table 2).  No CUDA support;
+#: wavefront 64; LDS has no 64-bit addressing mode.
+HD7970 = DeviceSpec(
+    name="AMD Radeon HD7970",
+    vendor="Advanced Micro Devices, Inc.",
+    compute_units=32,
+    clock_hz=925e6,
+    warp_size=64,
+    max_threads_per_cu=2560,
+    max_workgroup_size=256,
+    regs_per_cu=65536,
+    shared_per_cu=64 * 1024,
+    shared_banks=32,
+    global_mem=3 * 1024**3,
+    constant_mem=64 * 1024,
+    dram_bw=264.0e9,
+    alu_flops=3.79e12,
+    sfu_ops=0.47e12,
+    shared_addr_mode={"opencl": 32},
+    opencl_compiler="amd-opencl",
+    supports_cuda=False,
+    launch_overhead=9.0e-6,
+    api_overhead=3.0e-6,
+)
+
+DEVICE_SPECS: Dict[str, DeviceSpec] = {
+    "titan": GTX_TITAN,
+    "gtx_titan": GTX_TITAN,
+    "hd7970": HD7970,
+}
+
+
+def get_device_spec(name: str) -> DeviceSpec:
+    """Look up a device spec by short name ('titan', 'hd7970')."""
+    try:
+        return DEVICE_SPECS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; choose from {sorted(set(DEVICE_SPECS))}")

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the framework derives from :class:`ReproError` so that
+callers can catch framework problems without swallowing programming errors.
+The hierarchy mirrors the major subsystems: the C-like frontend, the
+simulated device, the OpenCL/CUDA host frameworks, and the translator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+# ---------------------------------------------------------------------------
+# Frontend (lexer / parser / semantic analysis)
+# ---------------------------------------------------------------------------
+
+class FrontendError(ReproError):
+    """Base class for errors in the C-like frontend."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.line = line
+        self.col = col
+        if line:
+            message = f"{message} (at line {line}, col {col})"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Raised when the lexer encounters an invalid token."""
+
+
+class ParseError(FrontendError):
+    """Raised when the parser encounters invalid syntax."""
+
+
+class SemaError(FrontendError):
+    """Raised by semantic analysis (type errors, undefined names)."""
+
+
+# ---------------------------------------------------------------------------
+# Interpreter / simulated device
+# ---------------------------------------------------------------------------
+
+class InterpError(ReproError):
+    """Raised when interpreted C code performs an invalid operation."""
+
+
+class DeviceError(ReproError):
+    """Raised by the simulated device (bad launch config, OOM, ...)."""
+
+
+class MemoryFault(DeviceError):
+    """Out-of-bounds or misaligned access to a simulated memory pool."""
+
+
+# ---------------------------------------------------------------------------
+# Host frameworks
+# ---------------------------------------------------------------------------
+
+class OclError(ReproError):
+    """An OpenCL host API error; carries the CL error code."""
+
+    def __init__(self, code: int, message: str = "") -> None:
+        self.code = code
+        super().__init__(f"OpenCL error {code}: {message}")
+
+
+class CudaApiError(ReproError):
+    """A CUDA host API error; carries the cudaError/CUresult code."""
+
+    def __init__(self, code: int, message: str = "") -> None:
+        self.code = code
+        super().__init__(f"CUDA error {code}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# Translation
+# ---------------------------------------------------------------------------
+
+class TranslationError(ReproError):
+    """Base class for translation failures."""
+
+
+class TranslationNotSupported(TranslationError):
+    """A program uses a feature the other model cannot express.
+
+    ``category`` is one of the Table 3 failure categories (see
+    :mod:`repro.translate.analyzer`), ``feature`` names the specific
+    construct that triggered the failure.
+    """
+
+    def __init__(self, category: str, feature: str, detail: str = "") -> None:
+        self.category = category
+        self.feature = feature
+        self.detail = detail
+        msg = f"untranslatable [{category}]: {feature}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)

@@ -1,0 +1,7 @@
+"""Evaluation harness: application runners, figure/table regeneration."""
+
+from .runner import (RunResult, run_cuda_app, run_cuda_translated,
+                     run_opencl_app, run_opencl_translated)
+
+__all__ = ["RunResult", "run_opencl_app", "run_opencl_translated",
+           "run_cuda_app", "run_cuda_translated"]

@@ -1,0 +1,128 @@
+"""Regeneration of the paper's evaluation figures (Figs. 7 and 8).
+
+Every series reports *normalized* execution time, exactly like the paper:
+
+* :func:`figure7` — OpenCL→CUDA translation.  Per application: original
+  OpenCL on the Titan (the 1.0 baseline), the translated CUDA version, and
+  — for Rodinia, which ships both models — the original CUDA code (third
+  bar, Fig. 7a).
+* :func:`figure8` — CUDA→OpenCL translation.  Per translatable application:
+  original CUDA on the Titan (the 1.0 baseline), translated OpenCL on the
+  Titan, the original OpenCL code on the Titan where one exists, and the
+  translated OpenCL on the AMD HD7970 — the portability bar (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..apps.base import App, apps_in_suite
+from ..errors import ReproError
+from .runner import (RunResult, run_cuda_app, run_cuda_translated,
+                     run_opencl_app, run_opencl_translated)
+
+__all__ = ["FigureRow", "FigureData", "figure7", "figure8"]
+
+
+@dataclass
+class FigureRow:
+    """One application's bars; values are simulated seconds."""
+
+    app: str
+    bars: Dict[str, float] = field(default_factory=dict)
+    baseline: str = ""
+    ok: bool = True
+    note: str = ""
+
+    def normalized(self) -> Dict[str, float]:
+        base = self.bars.get(self.baseline)
+        if not base:
+            return {}
+        return {k: v / base for k, v in self.bars.items()}
+
+
+@dataclass
+class FigureData:
+    """One figure panel (e.g. Fig. 7a = figure 7, suite 'rodinia')."""
+
+    figure: str
+    suite: str
+    rows: List[FigureRow] = field(default_factory=list)
+
+    def average_diff(self, series: str) -> float:
+        """Mean |normalized(series) - 1| over apps that have the series —
+        the paper's 'performance difference is about N% on average'."""
+        diffs = []
+        for row in self.rows:
+            norm = row.normalized()
+            if series in norm:
+                diffs.append(abs(norm[series] - 1.0))
+        return sum(diffs) / len(diffs) if diffs else 0.0
+
+    def row(self, app: str) -> FigureRow:
+        for r in self.rows:
+            if r.app == app:
+                return r
+        raise KeyError(app)
+
+
+def figure7(suite: str, device: str = "titan",
+            apps: Optional[Sequence[App]] = None) -> FigureData:
+    """Fig. 7 panel for one suite: OpenCL→CUDA translation on the Titan."""
+    data = FigureData(figure="7", suite=suite)
+    for app in (apps if apps is not None else apps_in_suite(suite)):
+        if not app.has_opencl:
+            continue
+        row = FigureRow(app=app.name, baseline="opencl")
+        try:
+            native = run_opencl_app(app.name, app.opencl_host,
+                                    app.opencl_kernels, device)
+            translated = run_opencl_translated(app.name, app.opencl_host,
+                                               app.opencl_kernels, device)
+            row.ok = native.ok and translated.ok
+            row.bars["opencl"] = native.sim_time
+            row.bars["cuda_translated"] = translated.sim_time
+            if app.has_cuda and app.cuda_runs_natively and suite == "rodinia":
+                orig = run_cuda_app(app.name, app.cuda_source, device)
+                row.bars["cuda_original"] = orig.sim_time
+                row.ok = row.ok and orig.ok
+        except ReproError as e:
+            row.ok = False
+            row.note = f"{type(e).__name__}: {e}"
+        data.rows.append(row)
+    return data
+
+
+def figure8(suite: str, device: str = "titan",
+            second_device: Optional[str] = "hd7970",
+            apps: Optional[Sequence[App]] = None) -> FigureData:
+    """Fig. 8 panel for one suite: CUDA→OpenCL translation."""
+    data = FigureData(figure="8", suite=suite)
+    for app in (apps if apps is not None else apps_in_suite(suite)):
+        if not app.has_cuda or not app.cuda_translatable \
+                or not app.cuda_runs_natively:
+            continue
+        row = FigureRow(app=app.name, baseline="cuda")
+        try:
+            native = run_cuda_app(app.name, app.cuda_source, device)
+            translated = run_cuda_translated(app.name, app.cuda_source,
+                                             device)
+            row.ok = native.ok and translated.ok
+            row.bars["cuda"] = native.sim_time
+            row.bars["opencl_translated"] = translated.sim_time
+            if app.has_opencl:
+                orig_ocl = run_opencl_app(app.name, app.opencl_host,
+                                          app.opencl_kernels, device)
+                row.bars["opencl_original"] = orig_ocl.sim_time
+                row.ok = row.ok and orig_ocl.ok
+            if second_device is not None:
+                amd = run_cuda_translated(app.name, app.cuda_source,
+                                          second_device)
+                row.bars["opencl_translated_amd"] = amd.sim_time
+                row.ok = row.ok and amd.ok
+        except ReproError as e:
+            row.ok = False
+            row.note = f"{type(e).__name__}: {e}"
+        data.rows.append(row)
+    return data

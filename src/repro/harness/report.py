@@ -1,0 +1,82 @@
+"""Text rendering of regenerated figures and tables (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .figures import FigureData
+from .tables import PAPER_TABLE1, PAPER_TABLE3_COUNTS, Table1, Table3
+
+__all__ = ["render_figure", "render_table1", "render_table2",
+           "render_table3"]
+
+_SERIES_LABELS = {
+    "opencl": "orig OpenCL (Titan)",
+    "cuda_translated": "translated CUDA (Titan)",
+    "cuda_original": "orig CUDA (Titan)",
+    "cuda": "orig CUDA (Titan)",
+    "opencl_translated": "translated OpenCL (Titan)",
+    "opencl_original": "orig OpenCL (Titan)",
+    "opencl_translated_amd": "translated OpenCL (HD7970)",
+}
+
+
+def render_figure(data: FigureData) -> str:
+    """Normalized bars per application, like the paper's figure panels."""
+    series: List[str] = []
+    for row in data.rows:
+        for s in row.bars:
+            if s not in series:
+                series.append(s)
+    out = [f"Figure {data.figure} ({data.suite}): normalized execution time "
+           f"(baseline = {_SERIES_LABELS.get(data.rows[0].baseline, '?') if data.rows else '?'})"]
+    header = f"{'application':<22}" + "".join(
+        f"{_SERIES_LABELS.get(s, s):>28}" for s in series)
+    out.append(header)
+    out.append("-" * len(header))
+    for row in data.rows:
+        norm = row.normalized()
+        cells = "".join(
+            f"{norm[s]:>28.3f}" if s in norm else f"{'-':>28}"
+            for s in series)
+        status = "" if row.ok else f"   [FAILED: {row.note}]"
+        out.append(f"{row.app:<22}{cells}{status}")
+    for s in series:
+        if s != data.rows[0].baseline if data.rows else True:
+            avg = data.average_diff(s)
+            out.append(f"average |diff| vs baseline, "
+                       f"{_SERIES_LABELS.get(s, s)}: {avg * 100:.1f}%")
+    return "\n".join(out)
+
+
+def render_table1(t: Table1) -> str:
+    out = ["Table 1: device memory allocation (probed)",
+           f"{'memory':<12}{'mode':<10}{'OpenCL':>8}{'CUDA':>8}"
+           f"{'paper':>14}{'match':>8}"]
+    for (mem, mode), (ocl, cuda) in t.cells.items():
+        paper = PAPER_TABLE1[(mem, mode)]
+        match = "yes" if (ocl, cuda) == paper else "NO"
+        out.append(f"{mem:<12}{mode:<10}{ocl:>8}{cuda:>8}"
+                   f"{paper[0] + '/' + paper[1]:>14}{match:>8}")
+    return "\n".join(out)
+
+
+def render_table2(rows: Dict[str, str]) -> str:
+    out = ["Table 2: system configuration (simulated)"]
+    for k, v in rows.items():
+        out.append(f"  {k:<24}{v}")
+    return "\n".join(out)
+
+
+def render_table3(t: Table3) -> str:
+    out = ["Table 3: reasons of translation failures "
+           "(NVIDIA Toolkit, CUDA to OpenCL)",
+           f"{'category':<42}{'count':>6}{'paper':>7}  applications"]
+    for cat, apps in t.by_category.items():
+        paper = PAPER_TABLE3_COUNTS.get(cat, 0)
+        shown = ", ".join(apps[:6]) + (" ..." if len(apps) > 6 else "")
+        out.append(f"{cat:<42}{len(apps):>6}{paper:>7}  {shown}")
+    out.append(f"translated successfully: {len(t.translated)}/81")
+    if t.mismatches:
+        out.append("MISMATCHES: " + "; ".join(t.mismatches))
+    return "\n".join(out)

@@ -1,0 +1,12 @@
+"""Simulated OpenCL 1.2 host framework (platform, cl* API, objects)."""
+
+from .api import OpenCLFramework
+from .enums import CL_CONSTANTS, err_name
+from .objects import (CLBuffer, CLCommandQueue, CLContext, CLDevice, CLEvent,
+                      CLImage, CLKernel, CLPlatform, CLProgram, CLSampler)
+
+__all__ = [
+    "OpenCLFramework", "CL_CONSTANTS", "err_name",
+    "CLPlatform", "CLDevice", "CLContext", "CLCommandQueue", "CLProgram",
+    "CLKernel", "CLBuffer", "CLImage", "CLSampler", "CLEvent",
+]

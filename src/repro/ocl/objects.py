@@ -1,0 +1,204 @@
+"""OpenCL object model: platforms, devices, contexts, queues, programs,
+kernels, memory objects, samplers, events.
+
+These are the handles the cl* entry points in :mod:`repro.ocl.api` create
+and consume.  ``cl_mem`` et al. are opaque Python objects — which is exactly
+what lets wrapper libraries cast them through ``void*`` at run time (§2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..clike import ast as A
+from ..clike import types as T
+from ..device.engine import Device, DeviceModule, KernelObject, LocalArg
+from ..device.images import ChannelFormat, DeviceImage, Sampler
+from ..device.perf import SimClock
+from ..errors import OclError
+from ..runtime.values import Ptr
+from .enums import CL_CONSTANTS
+
+__all__ = ["CLPlatform", "CLDevice", "CLContext", "CLCommandQueue",
+           "CLProgram", "CLKernel", "CLBuffer", "CLImage", "CLSampler",
+           "CLEvent", "ArgValue"]
+
+_ids = itertools.count(1)
+
+
+class _Handle:
+    """Base for all CL objects: reference counting + identity."""
+
+    def __init__(self) -> None:
+        self.id = next(_ids)
+        self.refcount = 1
+        self.released = False
+
+    def retain(self) -> None:
+        self.refcount += 1
+
+    def release(self) -> None:
+        self.refcount -= 1
+        if self.refcount <= 0:
+            self.released = True
+            self._destroy()
+
+    def _destroy(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} #{self.id}>"
+
+
+class CLPlatform(_Handle):
+    def __init__(self, devices: List["CLDevice"]) -> None:
+        super().__init__()
+        self.name = "SNU OpenCL Platform (simulated)"
+        self.vendor = "Seoul National University"
+        self.version = "OpenCL 1.2 repro"
+        self.profile = "FULL_PROFILE"
+        self.devices = devices
+        for d in devices:
+            d.platform = self
+
+
+class CLDevice(_Handle):
+    def __init__(self, device: Device) -> None:
+        super().__init__()
+        self.device = device
+        self.platform: Optional[CLPlatform] = None
+
+    @property
+    def spec(self):
+        return self.device.spec
+
+
+class CLContext(_Handle):
+    def __init__(self, devices: List[CLDevice]) -> None:
+        super().__init__()
+        if not devices:
+            raise OclError(CL_CONSTANTS["CL_INVALID_DEVICE"], "no devices")
+        self.devices = devices
+
+
+class CLCommandQueue(_Handle):
+    def __init__(self, context: CLContext, device: CLDevice,
+                 properties: int = 0, clock: Optional[SimClock] = None) -> None:
+        super().__init__()
+        self.context = context
+        self.device = device
+        self.properties = properties
+        self.clock = clock or SimClock()
+
+
+class CLProgram(_Handle):
+    def __init__(self, context: CLContext, source: str) -> None:
+        super().__init__()
+        self.context = context
+        self.source = source
+        self.built = False
+        self.build_log = ""
+        self.build_options = ""
+        #: per-CLDevice loaded module
+        self.modules: Dict[int, DeviceModule] = {}
+
+    def module_for(self, device: CLDevice) -> DeviceModule:
+        mod = self.modules.get(device.id)
+        if mod is None:
+            raise OclError(CL_CONSTANTS["CL_INVALID_PROGRAM_EXECUTABLE"],
+                           "program not built for this device")
+        return mod
+
+
+@dataclass
+class ArgValue:
+    """One kernel argument as set by clSetKernelArg."""
+
+    value: Any  # CLBuffer | CLImage | CLSampler | scalar | Vec | LocalArg
+    is_set: bool = True
+
+
+class CLKernel(_Handle):
+    def __init__(self, program: CLProgram, name: str) -> None:
+        super().__init__()
+        self.program = program
+        self.name = name
+        # argument count from any built module (identical across devices)
+        mod = next(iter(program.modules.values()))
+        self.kobj_by_device: Dict[int, KernelObject] = {
+            did: m.get_kernel(name) for did, m in program.modules.items()}
+        kobj = next(iter(self.kobj_by_device.values()))
+        self.fn: A.FunctionDecl = kobj.fn
+        self.args: List[Optional[ArgValue]] = [None] * len(self.fn.params)
+
+    def kobj_for(self, device: CLDevice) -> KernelObject:
+        try:
+            return self.kobj_by_device[device.id]
+        except KeyError:
+            raise OclError(CL_CONSTANTS["CL_INVALID_PROGRAM_EXECUTABLE"],
+                           f"kernel {self.name!r} not built for device")
+
+    def bound_args(self) -> List[Any]:
+        vals: List[Any] = []
+        for i, a in enumerate(self.args):
+            if a is None:
+                raise OclError(CL_CONSTANTS["CL_INVALID_KERNEL_ARGS"],
+                               f"argument {i} of kernel {self.name!r} not set")
+            vals.append(a.value)
+        return vals
+
+
+class CLBuffer(_Handle):
+    """A cl_mem buffer object: a region of device global memory."""
+
+    def __init__(self, context: CLContext, flags: int, size: int) -> None:
+        super().__init__()
+        self.context = context
+        self.flags = flags
+        self.size = size
+        # single-device contexts in our corpus: allocate on each device so
+        # multi-device contexts still behave (copies stay coherent through
+        # the queue used)
+        self.ptrs: Dict[int, Ptr] = {
+            d.id: d.device.alloc_global(size) for d in context.devices}
+
+    def ptr_on(self, device: CLDevice) -> Ptr:
+        return self.ptrs[device.id]
+
+    def _destroy(self) -> None:
+        for d in self.context.devices:
+            p = self.ptrs.pop(d.id, None)
+            if p is not None:
+                d.device.free_global(p)
+
+
+class CLImage(_Handle):
+    """A cl_mem image object."""
+
+    def __init__(self, context: CLContext, flags: int, dims: int,
+                 shape: Tuple[int, ...], fmt: ChannelFormat,
+                 buffer_backed: bool = False) -> None:
+        super().__init__()
+        self.context = context
+        self.flags = flags
+        self.image = DeviceImage(dims, shape, fmt, buffer_backed)
+
+    @property
+    def size(self) -> int:
+        return self.image.nbytes
+
+
+class CLSampler(_Handle):
+    def __init__(self, sampler: Sampler) -> None:
+        super().__init__()
+        self.sampler = sampler
+
+
+class CLEvent(_Handle):
+    def __init__(self, queued: float = 0.0, start: float = 0.0,
+                 end: float = 0.0) -> None:
+        super().__init__()
+        self.times = {"queued": queued, "submit": queued,
+                      "start": start, "end": end}

@@ -1,0 +1,8 @@
+"""Low-level runtime substrate shared by the host interpreter and the
+simulated device: byte-addressable memory pools, pointers, vector values.
+"""
+
+from .memory import Allocator, Memory
+from .values import Ptr, StructRef, Vec, coerce, sizeof
+
+__all__ = ["Memory", "Allocator", "Ptr", "Vec", "StructRef", "coerce", "sizeof"]

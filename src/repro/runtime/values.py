@@ -1,0 +1,312 @@
+"""Runtime value representations for the interpreter.
+
+Scalars are plain Python ``int``/``float`` (coerced to their declared C type
+on assignment); vectors are :class:`Vec`; pointers are :class:`Ptr` into a
+:class:`~repro.runtime.memory.Memory` pool; structs held in memory are
+accessed through :class:`StructRef`.  Opaque host handles (``cl_mem``,
+``cudaStream_t`` ...) are arbitrary Python objects — the run-time
+``cl_mem`` ↔ ``void*`` cast at the heart of the wrapper approach (§2) is the
+identity on them.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Any, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..clike import types as T
+from ..errors import InterpError
+from .memory import Memory
+
+__all__ = ["Ptr", "Vec", "StructRef", "coerce", "sizeof", "NULL"]
+
+
+def sizeof(t: T.Type) -> int:
+    s = t.size
+    if s is None:
+        raise InterpError(f"sizeof incomplete type {t}")
+    return s
+
+
+class Ptr:
+    """A typed pointer: memory pool + byte offset + pointee type."""
+
+    __slots__ = ("mem", "off", "ctype")
+
+    def __init__(self, mem: Memory, off: int, ctype: T.Type) -> None:
+        self.mem = mem
+        self.off = off
+        self.ctype = ctype
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def add(self, n: int) -> "Ptr":
+        step = self.ctype.size or 1
+        return Ptr(self.mem, self.off + int(n) * step, self.ctype)
+
+    def byte_add(self, n: int) -> "Ptr":
+        return Ptr(self.mem, self.off + int(n), self.ctype)
+
+    def diff(self, other: "Ptr") -> int:
+        step = self.ctype.size or 1
+        return (self.off - other.off) // step
+
+    def retype(self, ctype: T.Type) -> "Ptr":
+        return Ptr(self.mem, self.off, ctype)
+
+    # -- access ---------------------------------------------------------------
+
+    def load(self):
+        t = self.ctype
+        if isinstance(t, T.ScalarType):
+            return self.mem.read_scalar(self.off, t)
+        if isinstance(t, T.VectorType):
+            vals = [self.mem.read_scalar(self.off + i * t.base.size, t.base)
+                    for i in range(t.count)]
+            return Vec(t, vals)
+        if isinstance(t, T.StructType):
+            return StructRef(self.mem, self.off, t)
+        if isinstance(t, T.PointerType):
+            # pointers stored in memory: encoded handle (see PtrTable)
+            handle = self.mem.read_scalar(self.off, T.ULONG)
+            return PTR_TABLE.decode(int(handle), t.pointee)
+        if isinstance(t, (T.OpaqueType, T.ImageType, T.SamplerType,
+                          T.TextureType, T.FunctionType)):
+            # opaque host handles stored in memory use the handle table too
+            handle = self.mem.read_scalar(self.off, T.ULONG)
+            return PTR_TABLE.decode(int(handle), T.VOID)
+        if isinstance(t, T.ArrayType):
+            return Ptr(self.mem, self.off, t.elem)
+        raise InterpError(f"cannot load value of type {t}")
+
+    def store(self, value) -> None:
+        t = self.ctype
+        if isinstance(t, T.ScalarType):
+            self.mem.write_scalar(self.off, t, value)
+        elif isinstance(t, T.VectorType):
+            if isinstance(value, (int, float)):
+                value = Vec(t, [value] * t.count)
+            assert isinstance(value, Vec)
+            for i in range(t.count):
+                self.mem.write_scalar(self.off + i * t.base.size, t.base,
+                                      value.vals[i])
+        elif isinstance(t, T.StructType):
+            if isinstance(value, StructRef):
+                self.mem.write_bytes(self.off,
+                                     value.mem.read_bytes(value.off, t.size))
+            else:
+                raise InterpError(f"cannot store {value!r} into struct {t.name}")
+        elif isinstance(t, (T.PointerType, T.OpaqueType, T.ImageType,
+                            T.SamplerType, T.TextureType, T.FunctionType)):
+            handle = PTR_TABLE.encode(value)
+            self.mem.write_scalar(self.off, T.ULONG, handle)
+        else:
+            raise InterpError(f"cannot store value of type {t}")
+
+    # -- comparisons -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if other is None or other == 0:
+            return False
+        if not isinstance(other, Ptr):
+            return NotImplemented
+        return self.mem is other.mem and self.off == other.off
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return hash((id(self.mem), self.off))
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Ptr {self.mem.name}+{self.off:#x} {self.ctype}>"
+
+
+class _PtrTable:
+    """Bidirectional encoding of pointers/objects as 64-bit integers so
+    they can live inside simulated memory (e.g. arrays of ``cl_mem``,
+    struct fields holding pointers, ``argv``-style tables).
+
+    Handle layout: index into a table, offset 1 (0 stays NULL).
+    """
+
+    def __init__(self) -> None:
+        self._objs: List[Any] = []
+
+    def encode(self, value: Any) -> int:
+        if value is None or (isinstance(value, int) and value == 0):
+            return 0
+        self._objs.append(value)
+        return len(self._objs)  # index + 1
+
+    def decode(self, handle: int, pointee: T.Type) -> Any:
+        if handle == 0:
+            return 0
+        try:
+            obj = self._objs[handle - 1]
+        except IndexError:
+            raise InterpError(f"bad pointer handle {handle:#x}")
+        if isinstance(obj, Ptr) and obj.ctype != pointee \
+                and not pointee.is_void:
+            return obj.retype(pointee)
+        return obj
+
+    def reset(self) -> None:
+        self._objs.clear()
+
+
+#: process-wide pointer handle table (reset per app run by the harness)
+PTR_TABLE = _PtrTable()
+
+NULL = 0
+
+
+class Vec:
+    """A vector value (``float4`` etc.); ``vals`` has ``ctype.count``
+    Python numbers."""
+
+    __slots__ = ("ctype", "vals")
+
+    def __init__(self, ctype: T.VectorType, vals: Sequence[Union[int, float]]) -> None:
+        if len(vals) != ctype.count:
+            raise InterpError(
+                f"vector literal arity {len(vals)} != {ctype.count} for {ctype}")
+        self.ctype = ctype
+        self.vals = [_coerce_scalar(v, ctype.base) for v in vals]
+
+    def get(self, indices: Sequence[int]):
+        if len(indices) == 1:
+            return self.vals[indices[0]]
+        return Vec(T.VectorType(self.ctype.base, len(indices)),
+                   [self.vals[i] for i in indices])
+
+    def with_set(self, indices: Sequence[int], value) -> "Vec":
+        vals = list(self.vals)
+        if len(indices) == 1 and isinstance(value, (int, float)):
+            vals[indices[0]] = value
+        else:
+            src = value.vals if isinstance(value, Vec) else [value] * len(indices)
+            for i, idx in enumerate(indices):
+                vals[idx] = src[i]
+        return Vec(self.ctype, vals)
+
+    def map(self, f) -> "Vec":
+        return Vec(self.ctype, [f(v) for v in self.vals])
+
+    def zip(self, other: "Vec | int | float", f,
+            ctype: Optional[T.VectorType] = None) -> "Vec":
+        if isinstance(other, Vec):
+            vals = [f(a, b) for a, b in zip(self.vals, other.vals)]
+        else:
+            vals = [f(a, other) for a in self.vals]
+        return Vec(ctype or self.ctype, vals)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Vec) and other.ctype == self.ctype
+                and other.vals == self.vals)
+
+    def __hash__(self) -> int:
+        return hash((self.ctype, tuple(self.vals)))
+
+    def __repr__(self) -> str:
+        return f"({self.ctype})({', '.join(str(v) for v in self.vals)})"
+
+
+class StructRef:
+    """A struct value living in memory; field access is typed."""
+
+    __slots__ = ("mem", "off", "ctype")
+
+    def __init__(self, mem: Memory, off: int, ctype: T.StructType) -> None:
+        self.mem = mem
+        self.off = off
+        self.ctype = ctype
+
+    def field_ptr(self, name: str) -> Ptr:
+        ft = self.ctype.fields.get(name)
+        if ft is None:
+            raise InterpError(f"struct {self.ctype.name} has no field {name!r}")
+        return Ptr(self.mem, self.off + self.ctype.field_offset(name), ft)
+
+    def get(self, name: str):
+        return self.field_ptr(name).load()
+
+    def set(self, name: str, value) -> None:
+        self.field_ptr(name).store(value)
+
+    def as_ptr(self) -> Ptr:
+        return Ptr(self.mem, self.off, self.ctype)
+
+    def __repr__(self) -> str:
+        return f"<StructRef {self.ctype.name}@{self.mem.name}+{self.off:#x}>"
+
+
+# ---------------------------------------------------------------------------
+# coercion
+# ---------------------------------------------------------------------------
+
+_F32 = _struct.Struct("<f")
+
+
+def _coerce_scalar(value, st: T.ScalarType):
+    if st.floating:
+        v = float(value)
+        if st.size == 4:
+            # round-trip through binary32 so float arithmetic matches the
+            # device's single precision closely enough for verification
+            v = _F32.unpack(_F32.pack(v))[0]
+        elif st.size == 2:
+            v = float(np.float16(v))
+        return v
+    iv = int(value)
+    bits = 8 * st.size
+    iv &= (1 << bits) - 1
+    if st.signed and iv >= (1 << (bits - 1)):
+        iv -= 1 << bits
+    return iv
+
+
+def coerce(value, t: T.Type):
+    """Coerce a runtime value to C type ``t`` (assignment / cast / argument
+    passing semantics)."""
+    if isinstance(t, T.ScalarType):
+        if t.name == "void":
+            return None
+        if isinstance(value, Vec):
+            raise InterpError(f"cannot convert vector {value.ctype} to scalar {t}")
+        if isinstance(value, Ptr):
+            # pointer -> integer: expose a stable-ish token (offset)
+            return _coerce_scalar(value.off, t)
+        if isinstance(value, bool):
+            value = int(value)
+        return _coerce_scalar(value, t)
+    if isinstance(t, T.VectorType):
+        if isinstance(value, Vec):
+            if value.ctype.count != t.count:
+                raise InterpError(f"vector width mismatch {value.ctype} -> {t}")
+            return Vec(t, value.vals)
+        return Vec(t, [value] * t.count)  # scalar splat
+    if isinstance(t, T.PointerType):
+        if isinstance(value, Ptr):
+            if t.pointee.is_void or t.pointee == value.ctype:
+                return value if t.pointee == value.ctype else value.retype(t.pointee)
+            return value.retype(t.pointee)
+        if isinstance(value, StructRef):
+            return Ptr(value.mem, value.off, value.ctype)
+        if isinstance(value, int) and value == 0:
+            return 0
+        # opaque handle cast (cl_mem <-> void*): identity
+        return value
+    if isinstance(t, (T.OpaqueType, T.ImageType, T.SamplerType, T.TextureType)):
+        return value
+    if isinstance(t, T.StructType):
+        return value
+    if isinstance(t, T.ArrayType):
+        return value
+    raise InterpError(f"cannot coerce {value!r} to {t}")

@@ -1,0 +1,25 @@
+"""The paper's contribution: hybrid bidirectional OpenCL <-> CUDA translation.
+
+Static source-to-source translation of device code (and of the three
+unwrappable CUDA host constructs) combined with wrapper libraries that
+implement each model's host API over the other at run time.
+"""
+
+from .analyzer import (Finding, analyze_cuda_source, analyze_opencl_source,
+                       check_cuda_translatable, check_opencl_translatable)
+from .api import (TranslatedCudaProgram, translate_cuda_program,
+                  translate_opencl_program)
+from .categories import (ALL_CATEGORIES, CAT_LANG, CAT_LIBS, CAT_NO_FUNC,
+                         CAT_OPENGL, CAT_PTX, CAT_UVA)
+from .cuda2ocl.wrappers import Cuda2OclRuntime
+from .ocl2cuda.wrappers import Ocl2CudaFramework
+
+__all__ = [
+    "translate_cuda_program", "translate_opencl_program",
+    "TranslatedCudaProgram",
+    "Finding", "analyze_cuda_source", "analyze_opencl_source",
+    "check_cuda_translatable", "check_opencl_translatable",
+    "Ocl2CudaFramework", "Cuda2OclRuntime",
+    "ALL_CATEGORIES", "CAT_NO_FUNC", "CAT_LIBS", "CAT_LANG", "CAT_OPENGL",
+    "CAT_PTX", "CAT_UVA",
+]

@@ -1,0 +1,84 @@
+"""Public entry points of the translation framework.
+
+* :func:`translate_opencl_program` — OpenCL→CUDA: kernel source becomes
+  CUDA source (Fig. 2); the host program is *untouched* and runs against
+  the :class:`~repro.translate.ocl2cuda.wrappers.Ocl2CudaFramework` wrapper
+  library.
+* :func:`translate_cuda_program` — CUDA→OpenCL: the mixed ``.cu`` source is
+  split into an OpenCL kernel file and a host file with the three special
+  constructs statically rewritten (Fig. 3); the result runs against the
+  :class:`~repro.translate.cuda2ocl.wrappers.Cuda2OclRuntime` wrapper
+  library on any OpenCL device.
+
+Both raise :class:`~repro.errors.TranslationNotSupported` with a Table-3
+category when the program uses model-specific features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..clike import ast as A
+from ..clike import parse
+from ..device.specs import GTX_TITAN, DeviceSpec
+from ..errors import TranslationNotSupported
+from .analyzer import (Finding, analyze_cuda_source, analyze_opencl_source,
+                       check_cuda_translatable, check_opencl_translatable)
+from .cuda2ocl.host import (Cuda2OclHostResult, find_runtime_init_symbols,
+                            translate_host_unit)
+from .cuda2ocl.kernel import Cuda2OclDeviceResult, translate_device_unit
+from .ocl2cuda.kernel import Ocl2CudaResult, translate_kernel_unit
+
+__all__ = ["TranslatedCudaProgram", "translate_cuda_program",
+           "translate_opencl_program"]
+
+
+@dataclass
+class TranslatedCudaProgram:
+    """Result of a full CUDA→OpenCL program translation."""
+
+    host_source: str
+    device_source: str
+    host_unit: A.TranslationUnit
+    device: Cuda2OclDeviceResult
+    host: Cuda2OclHostResult
+
+    @property
+    def launches_translated(self) -> int:
+        return self.host.launches_translated
+
+    @property
+    def symbol_copies_translated(self) -> int:
+        return self.host.symbol_copies_translated
+
+
+def translate_cuda_program(source: str,
+                           defines: Optional[Dict[str, str]] = None,
+                           spec: DeviceSpec = GTX_TITAN
+                           ) -> TranslatedCudaProgram:
+    """Translate one CUDA ``.cu`` program to OpenCL (Fig. 3 pipeline)."""
+    check_cuda_translatable(source, spec)
+    unit = parse(source, "cuda", defines=defines)
+    runtime_syms = find_runtime_init_symbols(unit)
+    device = translate_device_unit(unit, runtime_syms)
+    host = translate_host_unit(unit, device)
+    return TranslatedCudaProgram(
+        host_source=host.host_source,
+        device_source=device.opencl_source,
+        host_unit=host.unit,
+        device=device,
+        host=host,
+    )
+
+
+def translate_opencl_program(kernel_source: str, host_source: str = "",
+                             defines: Optional[Dict[str, str]] = None,
+                             spec: DeviceSpec = GTX_TITAN) -> Ocl2CudaResult:
+    """Translate OpenCL kernels to CUDA (Fig. 2 pipeline).
+
+    Host code needs no translation in this direction (§3.2) — pass it for
+    the translatability check only.
+    """
+    check_opencl_translatable(host_source, kernel_source, spec)
+    return translate_kernel_unit(kernel_source, defines=defines)

@@ -1,0 +1,156 @@
+"""One-to-one built-in correspondence tables (paper §3.3, §3.7).
+
+Most device built-ins map name-for-name between the models; the tables here
+drive both translation directions.  Names present in only one model and
+*not* in any table are what the analyzer reports as "No corresponding
+functions" (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+__all__ = [
+    "OCL_TO_CUDA_FUNCS", "CUDA_TO_OCL_FUNCS",
+    "OCL_WORKITEM_TO_CUDA", "CUDA_SPECIAL_TO_OCL",
+    "CUDA_UNTRANSLATABLE_BUILTINS", "OCL_UNTRANSLATABLE_FUNCS",
+    "CUDA_UNTRANSLATABLE_HOST_APIS",
+]
+
+# ---------------------------------------------------------------------------
+# OpenCL -> CUDA device built-ins
+# ---------------------------------------------------------------------------
+
+#: simple function renames OpenCL -> CUDA (identity omitted)
+OCL_TO_CUDA_FUNCS: Dict[str, str] = {
+    "barrier": "__syncthreads",
+    "mem_fence": "__threadfence_block",
+    "read_mem_fence": "__threadfence_block",
+    "write_mem_fence": "__threadfence_block",
+    # atomics (atomic_inc/dec become add/sub with constant 1 — CUDA's
+    # atomicInc has different wrap-around semantics, §3.7)
+    "atomic_add": "atomicAdd",
+    "atomic_sub": "atomicSub",
+    "atomic_xchg": "atomicExch",
+    "atomic_min": "atomicMin",
+    "atomic_max": "atomicMax",
+    "atomic_and": "atomicAnd",
+    "atomic_or": "atomicOr",
+    "atomic_xor": "atomicXor",
+    "atomic_cmpxchg": "atomicCAS",
+    "atom_add": "atomicAdd",
+    "atom_xchg": "atomicExch",
+    "atom_min": "atomicMin",
+    "atom_max": "atomicMax",
+    "atom_cmpxchg": "atomicCAS",
+    # fast-math variants
+    "native_sin": "__sinf",
+    "native_cos": "__cosf",
+    "native_exp": "__expf",
+    "native_log": "__logf",
+    "native_powr": "__powf",
+    "native_divide": "__fdividef",
+    "native_sqrt": "sqrtf",
+    "native_rsqrt": "rsqrtf",
+    "native_recip": "__frcp_rn",
+    "half_sqrt": "sqrtf",
+    "half_rsqrt": "rsqrtf",
+    "half_sin": "__sinf",
+    "half_cos": "__cosf",
+    "half_exp": "__expf",
+    "half_log": "__logf",
+    "mul24": "__mul24",
+    "mad24": "__umul24",  # + add handled by rewrite
+    "popcount": "__popc",
+    "clz": "__clz",
+}
+
+#: OpenCL work-item functions -> CUDA index expressions (by dimension);
+#: handled structurally by the kernel translator, listed here for the
+#: analyzer and for documentation.
+OCL_WORKITEM_TO_CUDA: Dict[str, str] = {
+    "get_global_id": "blockIdx*blockDim + threadIdx",
+    "get_local_id": "threadIdx",
+    "get_group_id": "blockIdx",
+    "get_local_size": "blockDim",
+    "get_num_groups": "gridDim",
+    "get_global_size": "gridDim*blockDim",
+    "get_work_dim": "(constant)",
+    "get_global_offset": "0",
+}
+
+#: OpenCL features with no CUDA counterpart (OpenCL->CUDA failures, §3.7)
+OCL_UNTRANSLATABLE_FUNCS: FrozenSet[str] = frozenset({
+    "clCreateSubDevices",       # subdevices (§3.7)
+    "clEnqueueNativeKernel",
+})
+
+# ---------------------------------------------------------------------------
+# CUDA -> OpenCL device built-ins
+# ---------------------------------------------------------------------------
+
+CUDA_TO_OCL_FUNCS: Dict[str, str] = {
+    "__syncthreads": "barrier",   # argument CLK_LOCAL_MEM_FENCE inserted
+    "__threadfence": "mem_fence",
+    "__threadfence_block": "mem_fence",
+    "atomicAdd": "atomic_add",
+    "atomicSub": "atomic_sub",
+    "atomicExch": "atomic_xchg",
+    "atomicMin": "atomic_min",
+    "atomicMax": "atomic_max",
+    "atomicAnd": "atomic_and",
+    "atomicOr": "atomic_or",
+    "atomicXor": "atomic_xor",
+    "atomicCAS": "atomic_cmpxchg",
+    "__sinf": "native_sin",
+    "__cosf": "native_cos",
+    "__expf": "native_exp",
+    "__logf": "native_log",
+    "__powf": "native_powr",
+    "__fdividef": "native_divide",
+    "__saturatef": "__oc_saturate",  # emitted helper: clamp(x, 0, 1)
+    "__mul24": "mul24",
+    "__umul24": "mul24",
+    "__popc": "popcount",
+    "__clz": "clz",
+    "__ldg": "__c2o_deref",          # emitted helper: *(p)
+    "fminf": "fmin", "fmaxf": "fmax", "fabsf": "fabs",
+    "sqrtf": "sqrt", "rsqrtf": "rsqrt", "rsqrt": "rsqrt",
+    "sinf": "sin", "cosf": "cos", "tanf": "tan",
+    "asinf": "asin", "acosf": "acos", "atanf": "atan", "atan2f": "atan2",
+    "expf": "exp", "exp2f": "exp2", "logf": "log", "log2f": "log2",
+    "log10f": "log10", "powf": "pow", "fmodf": "fmod",
+    "floorf": "floor", "ceilf": "ceil", "truncf": "trunc",
+    "roundf": "round", "fmaf": "fma", "hypotf": "hypot",
+    "erff": "erf", "erfcf": "erfc", "cbrtf": "cbrt",
+    "copysignf": "copysign",
+}
+
+#: CUDA special variables -> OpenCL work-item functions (by component)
+CUDA_SPECIAL_TO_OCL: Dict[str, str] = {
+    "threadIdx": "get_local_id",
+    "blockIdx": "get_group_id",
+    "blockDim": "get_local_size",
+    "gridDim": "get_num_groups",
+}
+
+#: CUDA built-ins with NO OpenCL counterpart: their presence makes a
+#: program untranslatable under "No corresponding functions" (Table 3).
+#: atomicInc/atomicDec are here because of the semantic mismatch of §3.7.
+CUDA_UNTRANSLATABLE_BUILTINS: FrozenSet[str] = frozenset({
+    "__shfl", "__shfl_up", "__shfl_down", "__shfl_xor",
+    "__all", "__any", "__ballot",
+    "clock", "clock64", "assert", "printf",
+    "atomicInc", "atomicDec",
+    "__trap", "__brkpt", "__prof_trigger",
+    "warpSize",  # identifier, checked the same way
+})
+
+#: CUDA host API functions that cannot be wrapped over OpenCL (§3.7, Table 3)
+CUDA_UNTRANSLATABLE_HOST_APIS: FrozenSet[str] = frozenset({
+    "cudaMemGetInfo",            # no OpenCL counterpart (nn, mummergpu)
+    "cudaHostGetDevicePointer",  # unified virtual address space
+    "cudaDeviceEnablePeerAccess",
+    "cudaMemcpyPeer",
+    "cudaPointerGetAttributes",
+})

@@ -1,0 +1,23 @@
+"""Translation-failure categories (paper Table 3)."""
+
+from __future__ import annotations
+
+__all__ = ["CAT_NO_FUNC", "CAT_LIBS", "CAT_LANG", "CAT_OPENGL", "CAT_PTX",
+           "CAT_UVA", "ALL_CATEGORIES"]
+
+#: CUDA built-ins / host APIs with no OpenCL counterpart
+CAT_NO_FUNC = "No corresponding functions"
+#: Thrust / cuFFT / cuRAND / NPP and friends
+CAT_LIBS = "Unsupported libraries"
+#: C++ classes, function pointers, device printf, templates beyond
+#: function specialization, oversized 1D textures, alignment attributes...
+CAT_LANG = "Unsupported language extensions"
+#: OpenGL interop
+CAT_OPENGL = "OpenGL binding"
+#: inline PTX / driver-API PTX loading
+CAT_PTX = "Use of PTX"
+#: UVA / zero-copy / peer-to-peer
+CAT_UVA = "Use of unified virtual address space"
+
+ALL_CATEGORIES = (CAT_NO_FUNC, CAT_LIBS, CAT_LANG, CAT_OPENGL, CAT_PTX,
+                  CAT_UVA)

@@ -1,0 +1,187 @@
+"""Shared AST rewriting utilities for both translation directions."""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..clike import ast as A
+from ..clike import types as T
+
+__all__ = ["clone", "rewrite_exprs", "rewrite_stmts", "map_statements",
+           "substitute_type", "ident", "call", "intlit", "expr_stmt",
+           "gather"]
+
+
+def clone(node: A.Node) -> A.Node:
+    """Deep-copy an AST subtree (translators never mutate their input)."""
+    return copy.deepcopy(node)
+
+
+def ident(name: str) -> A.Ident:
+    return A.Ident(name)
+
+
+def intlit(v: int) -> A.IntLit:
+    return A.IntLit(v)
+
+
+def call(name: str, *args: A.Node) -> A.Call:
+    return A.Call(A.Ident(name), list(args))
+
+
+def expr_stmt(e: A.Node) -> A.ExprStmt:
+    return A.ExprStmt(e)
+
+
+def rewrite_exprs(node: A.Node,
+                  fn: Callable[[A.Node], Optional[A.Node]]) -> A.Node:
+    """Bottom-up expression rewriting.
+
+    ``fn`` receives each expression node (after its children were
+    processed) and returns a replacement or None to keep it.  Statements
+    are traversed in place.
+    """
+
+    def walk_expr(e: A.Node) -> A.Node:
+        for field in e._fields:
+            v = getattr(e, field, None)
+            if isinstance(v, A.Node):
+                setattr(e, field, walk_expr(v))
+            elif isinstance(v, list):
+                setattr(e, field, [walk_expr(x) if isinstance(x, A.Node)
+                                   else x for x in v])
+        out = fn(e)
+        return out if out is not None else e
+
+    def walk_stmt(s: A.Node) -> None:
+        if isinstance(s, (A.Compound,)):
+            for st in s.stmts:
+                walk_stmt(st)
+        elif isinstance(s, A.ExprStmt):
+            s.expr = walk_expr(s.expr)
+        elif isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                if d.init is not None:
+                    d.init = walk_expr(d.init)
+        elif isinstance(s, A.If):
+            s.cond = walk_expr(s.cond)
+            walk_stmt(s.then)
+            if s.orelse is not None:
+                walk_stmt(s.orelse)
+        elif isinstance(s, A.For):
+            if s.init is not None:
+                walk_stmt(s.init)
+            if s.cond is not None:
+                s.cond = walk_expr(s.cond)
+            if s.step is not None:
+                s.step = walk_expr(s.step)
+            walk_stmt(s.body)
+        elif isinstance(s, A.While):
+            s.cond = walk_expr(s.cond)
+            walk_stmt(s.body)
+        elif isinstance(s, A.DoWhile):
+            walk_stmt(s.body)
+            s.cond = walk_expr(s.cond)
+        elif isinstance(s, A.Return):
+            if s.value is not None:
+                s.value = walk_expr(s.value)
+        elif isinstance(s, A.Switch):
+            s.cond = walk_expr(s.cond)
+            for case in s.cases:
+                if case.value is not None:
+                    case.value = walk_expr(case.value)
+                for st in case.stmts:
+                    walk_stmt(st)
+        elif isinstance(s, (A.Break, A.Continue)):
+            pass
+        elif isinstance(s, A.VarDecl):
+            if s.init is not None:
+                s.init = walk_expr(s.init)
+
+    if isinstance(s := node, (A.Compound, A.ExprStmt, A.DeclStmt, A.If,
+                              A.For, A.While, A.DoWhile, A.Return, A.Switch,
+                              A.Break, A.Continue, A.VarDecl)):
+        walk_stmt(s)
+        return node
+    return walk_expr(node)
+
+
+def map_statements(body: A.Compound,
+                   fn: Callable[[A.Node], "Optional[List[A.Node]]"]) -> None:
+    """Rewrite every statement list in ``body`` in place.
+
+    ``fn`` receives a statement and returns a replacement list of
+    statements, or None to keep the original.  Applied recursively to
+    nested blocks *after* the statement itself, so replacements are not
+    re-processed.
+    """
+
+    def handle_list(stmts: List[A.Node]) -> List[A.Node]:
+        out: List[A.Node] = []
+        for s in stmts:
+            repl = fn(s)
+            if repl is None:
+                recurse(s)
+                out.append(s)
+            else:
+                out.extend(repl)
+        return out
+
+    def handle_one(s: A.Node) -> A.Node:
+        """A single-statement position (brace-less if/loop body): a
+        multi-statement replacement is wrapped in a compound."""
+        repl = fn(s)
+        if repl is None:
+            recurse(s)
+            return s
+        if len(repl) == 1:
+            return repl[0]
+        return A.Compound(repl)
+
+    def recurse(s: A.Node) -> None:
+        if isinstance(s, A.Compound):
+            s.stmts = handle_list(s.stmts)
+        elif isinstance(s, A.If):
+            s.then = handle_one(s.then)
+            if s.orelse is not None:
+                s.orelse = handle_one(s.orelse)
+        elif isinstance(s, (A.For, A.While, A.DoWhile)):
+            s.body = handle_one(s.body)
+        elif isinstance(s, A.Switch):
+            for case in s.cases:
+                case.stmts = handle_list(case.stmts)
+
+    body.stmts = handle_list(body.stmts)
+
+
+# backwards-friendly alias used by the direction modules
+rewrite_stmts = map_statements
+
+
+def substitute_type(t: T.Type, mapping: Dict[T.Type, T.Type]) -> T.Type:
+    """Structurally replace types (longlongN -> longN, T -> concrete...)."""
+    direct = mapping.get(t)
+    if direct is not None:
+        return direct
+    if isinstance(t, T.PointerType):
+        inner = substitute_type(t.pointee, mapping)
+        if inner is not t.pointee:
+            return T.PointerType(inner, t.space, t.const)
+        return t
+    if isinstance(t, T.ArrayType):
+        inner = substitute_type(t.elem, mapping)
+        if inner is not t.elem:
+            return T.ArrayType(inner, t.length)
+        return t
+    if isinstance(t, T.VectorType):
+        base = mapping.get(t.base)
+        if isinstance(base, T.ScalarType):
+            return T.VectorType(base, t.count)
+        return t
+    return t
+
+
+def gather(node: A.Node, pred: Callable[[A.Node], bool]) -> List[A.Node]:
+    """All descendants (including node) matching ``pred``."""
+    return [n for n in A.walk(node) if pred(n)]

@@ -1,0 +1,602 @@
+"""CUDA→OpenCL device-code translation (paper §3.5-3.6, §4, §5).
+
+``translate_device_unit`` extracts the device code from a mixed ``.cu``
+translation unit (main.cu → main.cu.cl, Fig. 3) and rewrites it to OpenCL C:
+
+* ``threadIdx/blockIdx/blockDim/gridDim`` members become work-item
+  functions; ``__syncthreads()`` becomes ``barrier(CLK_LOCAL_MEM_FENCE)``;
+* ``extern __shared__ x[]`` turns into a ``__local`` kernel parameter whose
+  size the host sets with ``clSetKernelArg`` (§4.1);
+* runtime-initialized ``__constant__`` data and all ``__device__`` globals
+  become appended kernel parameters backed by buffers (§4.2-4.3, the
+  ``static_constant_runtime_init``/``static_global`` example of Fig. 4);
+* texture references become image + sampler parameter pairs, and
+  ``texND()`` fetches become ``read_imageX()`` (§5);
+* C++ features are lowered: template functions are specialized, reference
+  parameters become pointers, C++ casts become C casts (§3.6);
+* CUDA-only vector types are narrowed (``longlongN``→``longN``, ``T1``→T)
+  and ``make_*`` constructors become OpenCL vector literals;
+* pointer address spaces are inferred and written back (§3.6), duplicating
+  helper functions used with conflicting spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...clike import ast as A
+from ...clike import print_unit
+from ...clike import types as T
+from ...clike.sema import annotate_unit
+from ...errors import TranslationError, TranslationNotSupported
+from ..builtins_map import (CUDA_SPECIAL_TO_OCL, CUDA_TO_OCL_FUNCS,
+                            CUDA_UNTRANSLATABLE_BUILTINS)
+from ..categories import CAT_LANG, CAT_NO_FUNC
+from ..common import call, clone, ident, intlit, map_statements, rewrite_exprs
+from ..qualifiers import apply_spaces, infer_spaces
+from ..vectors import narrow_cuda_only_types, rewrite_make_calls
+
+__all__ = ["CudaKernelMeta", "Cuda2OclDeviceResult", "translate_device_unit"]
+
+AS = T.AddressSpace
+
+_DIM_INDEX = {"x": 0, "y": 1, "z": 2}
+
+
+@dataclass
+class SymbolInfo:
+    """One device symbol that became a buffer-backed kernel parameter."""
+
+    name: str
+    space: AS                  # CONSTANT or GLOBAL
+    ctype: T.Type              # declared type (array or scalar)
+    init_bytes: Optional[bytes] = None  # static initializer contents
+
+    @property
+    def elem_type(self) -> T.Type:
+        return self.ctype.elem if isinstance(self.ctype, T.ArrayType) \
+            else self.ctype
+
+    @property
+    def nbytes(self) -> int:
+        return self.ctype.size or 8
+
+
+@dataclass
+class CudaKernelMeta:
+    """Host-side launch info for one translated kernel (used by the static
+    host translator and by the wrapper runtime)."""
+
+    name: str
+    orig_params: List[Tuple[str, T.Type]]
+    #: (param name, element type) when the kernel used extern __shared__
+    dyn_shared: Optional[Tuple[str, T.Type]] = None
+    #: appended symbol parameters, in order
+    symbol_params: List[SymbolInfo] = field(default_factory=list)
+    #: appended texture parameter names (each is an image+sampler pair)
+    texture_params: List[str] = field(default_factory=list)
+
+    @property
+    def num_args_total(self) -> int:
+        n = len(self.orig_params)
+        if self.dyn_shared is not None:
+            n += 1
+        n += len(self.symbol_params)
+        n += 2 * len(self.texture_params)
+        return n
+
+    def dyn_shared_index(self) -> int:
+        assert self.dyn_shared is not None
+        return len(self.orig_params)
+
+    def symbol_index(self, i: int) -> int:
+        return len(self.orig_params) \
+            + (1 if self.dyn_shared is not None else 0) + i
+
+    def texture_index(self, i: int) -> int:
+        return len(self.orig_params) \
+            + (1 if self.dyn_shared is not None else 0) \
+            + len(self.symbol_params) + 2 * i
+
+
+@dataclass
+class Cuda2OclDeviceResult:
+    opencl_source: str
+    unit: A.TranslationUnit
+    kernels: Dict[str, CudaKernelMeta]
+    #: all buffer-backed symbols (for wrapper buffer creation)
+    symbols: List[SymbolInfo]
+    #: texture reference names
+    textures: List[str]
+    #: texture reference declared types
+    texture_types: Dict[str, T.TextureType] = field(default_factory=dict)
+
+
+def translate_device_unit(unit: A.TranslationUnit,
+                          runtime_init_symbols: Set[str]
+                          ) -> Cuda2OclDeviceResult:
+    """Translate the device half of an annotated ``.cu`` unit.
+
+    ``runtime_init_symbols`` names the symbols the host touches with
+    ``cudaMemcpyToSymbol``/``FromSymbol`` (found by the host translator);
+    those and all ``__device__`` globals become buffer parameters.
+    """
+    annotate_unit(unit, "cuda")
+
+    kernels_src = [f for f in unit.functions() if f.is_kernel and f.body]
+    helpers_src = [
+        f for f in unit.functions()
+        if not f.is_kernel and f.body is not None
+        and ("__device__" in f.qualifiers or f.template_params)]
+
+    # --- file-scope state ---------------------------------------------------
+    static_consts: List[A.VarDecl] = []
+    symbols: List[SymbolInfo] = []
+    textures: List[str] = []
+    texture_types: Dict[str, T.TextureType] = {}
+    for d in unit.decls:
+        if isinstance(d, A.VarDecl):
+            if isinstance(d.type, T.TextureType):
+                textures.append(d.name)
+                texture_types[d.name] = d.type
+            elif d.space == AS.CONSTANT:
+                if d.name in runtime_init_symbols:
+                    symbols.append(SymbolInfo(d.name, AS.CONSTANT, d.type,
+                                              _initial_bytes(d)))
+                else:
+                    static_consts.append(d)
+            elif d.space == AS.GLOBAL:
+                symbols.append(SymbolInfo(d.name, AS.GLOBAL, d.type,
+                                          _initial_bytes(d)))
+    sym_by_name = {s.name: s for s in symbols}
+
+    # --- template specialization (§3.6) --------------------------------------
+    specialized: List[A.FunctionDecl] = []
+    template_names = {f.name for f in helpers_src if f.template_params}
+    spec_map: Dict[Tuple[str, Tuple[str, ...]], str] = {}
+
+    def specialize_calls(node: A.Node) -> None:
+        def fix(e: A.Node) -> Optional[A.Node]:
+            if isinstance(e, A.Call) and e.template_args \
+                    and e.callee_name in template_names:
+                key = (e.callee_name,
+                       tuple(str(t) for t in e.template_args))
+                new_name = spec_map.get(key)
+                if new_name is None:
+                    tmpl = next(f for f in helpers_src
+                                if f.name == e.callee_name)
+                    inst = _instantiate_template(tmpl, e.template_args)
+                    specialized.append(inst)
+                    new_name = inst.name
+                    spec_map[key] = new_name
+                e.func = A.Ident(new_name)
+                e.template_args = None
+            return None
+        rewrite_exprs(node, fix)
+
+    out_kernels = [clone(f) for f in kernels_src]
+    out_helpers = [clone(f) for f in helpers_src if not f.template_params]
+    for fn in out_kernels + out_helpers:
+        specialize_calls(fn.body)
+    for fn in specialized:
+        specialize_calls(fn.body)
+    out_helpers.extend(specialized)
+
+    # --- reference parameters -> pointers (§3.6) -------------------------------
+    ref_positions: Dict[str, Set[int]] = {}
+    for fn in out_helpers:
+        refs = {i for i, p in enumerate(fn.params) if "reference" in p.quals}
+        if refs:
+            ref_positions[fn.name] = refs
+            _lower_reference_params(fn)
+    if ref_positions:
+        for fn in out_kernels + out_helpers:
+            _rewrite_reference_call_sites(fn, ref_positions)
+
+    # --- per-function body rewriting ---------------------------------------------
+    metas: Dict[str, CudaKernelMeta] = {}
+    for fn in out_kernels + out_helpers:
+        _check_untranslatable(fn)
+        dyn = _extract_dynamic_shared(fn)
+        _rewrite_device_body(fn, texture_types)
+        _narrow_types(fn)
+        if fn.is_kernel:
+            referenced = _referenced_names(fn)
+            used_syms = referenced & set(sym_by_name)
+            # texture fetches were already rewritten to <name>__img idents
+            used_texs = [t for t in textures if f"{t}__img" in referenced]
+            meta = CudaKernelMeta(
+                fn.name,
+                orig_params=[(p.name, p.type) for p in fn.params],
+                dyn_shared=dyn,
+                symbol_params=[sym_by_name[n] for n in sorted(used_syms)],
+                texture_params=used_texs)
+            metas[fn.name] = meta
+            _append_kernel_params(fn, meta, texture_types)
+        else:
+            if dyn is not None:
+                raise TranslationNotSupported(
+                    CAT_LANG,
+                    "extern __shared__ in a __device__ helper function")
+            refs = _referenced_names(fn) & set(sym_by_name)
+            if refs:
+                raise TranslationNotSupported(
+                    CAT_LANG,
+                    f"device symbol {sorted(refs)[0]!r} referenced from a "
+                    "helper function",
+                    "symbol-to-parameter rewriting is kernel-scoped")
+            fn.qualifiers.discard("__device__")
+            fn.qualifiers.discard("__forceinline__")
+            fn.template_params = []
+
+    # --- static __constant data keeps its initializer (§4.2 static case) --------
+    out_decls: List[A.Node] = []
+    for d in unit.decls:
+        if isinstance(d, A.StructDecl) or isinstance(d, A.TypedefDecl):
+            out_decls.append(clone(d))
+    for d in static_consts:
+        nd = clone(d)
+        nd.quals.discard("__constant__")
+        nd.space = AS.CONSTANT
+        nd.type = narrow_cuda_only_types(nd.type)
+        out_decls.append(nd)
+    out_decls.extend(out_helpers)
+    out_decls.extend(out_kernels)
+
+    ocl_unit = A.TranslationUnit(out_decls, dialect_name="opencl")
+
+    # --- address-space inference (§3.6) ------------------------------------------
+    global_spaces = {d.name: AS.CONSTANT for d in static_consts}
+    annotate_unit(ocl_unit, "opencl")
+    inference = infer_spaces(ocl_unit, list(metas), global_spaces)
+    new_decls: List[A.Node] = []
+    for d in ocl_unit.decls:
+        if isinstance(d, A.FunctionDecl) and d.body is not None:
+            if d.name in inference.specializations:
+                for suffix, mapping in inference.specializations[d.name]:
+                    inst = clone(d)
+                    inst.name = d.name + suffix
+                    apply_spaces(inst, mapping,
+                                 inference.var_spaces.get(d.name, {}))
+                    new_decls.append(inst)
+                continue
+            apply_spaces(d, inference.param_spaces.get(d.name, {}),
+                         inference.var_spaces.get(d.name, {}))
+        new_decls.append(d)
+    ocl_unit.decls = new_decls
+    if inference.specializations:
+        _rewrite_specialized_calls(ocl_unit, inference, metas)
+
+    header = ("/* generated by the CUDA->OpenCL translator (main.cu -> "
+              "main.cu.cl, Fig. 3) */\n\n")
+    source = header + print_unit(ocl_unit, "opencl")
+    return Cuda2OclDeviceResult(source, ocl_unit, metas, symbols,
+                                textures, texture_types)
+
+
+def _initial_bytes(d: A.VarDecl) -> Optional[bytes]:
+    """Evaluate a symbol's static initializer into raw bytes (the wrapper
+    runtime preloads the replacement buffer with them)."""
+    if d.init is None:
+        return None
+    from ...clike.interp import ExecEnv, Interp
+    from ...runtime.memory import Memory
+    from ...runtime.values import Ptr
+    size = d.type.size or 8
+    scratch = Memory("init", max(size, 16))
+    interp = Interp(A.TranslationUnit([], dialect_name="host"),
+                    ExecEnv(stack_size=1024), "host", annotate=False)
+    interp._frame()
+    interp._store_init(Ptr(scratch, 0, d.type), d.init)
+    return scratch.read_bytes(0, size)
+
+
+# ---------------------------------------------------------------------------
+# template instantiation
+# ---------------------------------------------------------------------------
+
+def _instantiate_template(tmpl: A.FunctionDecl,
+                          targs: Sequence[T.Type]) -> A.FunctionDecl:
+    inst = clone(tmpl)
+    mapping: Dict[T.Type, T.Type] = {}
+    for pname, targ in zip(tmpl.template_params, targs):
+        mapping[T.OpaqueType(pname)] = targ
+    suffix = "_".join(str(t).replace(" ", "_").replace("*", "p")
+                      for t in targs)
+    inst.name = f"{tmpl.name}__{suffix}"
+    inst.template_params = []
+    inst.ret_type = _subst(inst.ret_type, mapping)
+    for p in inst.params:
+        p.type = _subst(p.type, mapping)
+    if inst.body is not None:
+        for node in A.walk(inst.body):
+            if isinstance(node, A.VarDecl):
+                node.type = _subst(node.type, mapping)
+            elif isinstance(node, A.Cast):
+                node.type = _subst(node.type, mapping)
+            elif isinstance(node, A.SizeOf) and node.type is not None:
+                node.type = _subst(node.type, mapping)
+    return inst
+
+
+def _subst(t: T.Type, mapping: Dict[T.Type, T.Type]) -> T.Type:
+    from ..common import substitute_type
+    return substitute_type(t, mapping)
+
+
+# ---------------------------------------------------------------------------
+# reference parameters
+# ---------------------------------------------------------------------------
+
+def _lower_reference_params(fn: A.FunctionDecl) -> None:
+    """``T& x`` → ``T* x`` with ``x`` read/written through ``*x``."""
+    ref_names = set()
+    for p in fn.params:
+        if "reference" in p.quals:
+            ref_names.add(p.name)
+            p.quals.discard("reference")
+            # type is already PointerType from the parser
+
+    def fix(e: A.Node) -> Optional[A.Node]:
+        if isinstance(e, A.Ident) and e.name in ref_names:
+            out = A.UnOp("*", e)
+            out.ctype = e.ctype
+            return out
+        return None
+
+    if fn.body is not None:
+        rewrite_exprs(fn.body, fix)
+
+
+def _rewrite_reference_call_sites(fn: A.FunctionDecl,
+                                  ref_positions: Dict[str, Set[int]]) -> None:
+    """Arguments feeding (former) reference parameters are passed by
+    address: ``f(x)`` → ``f(&x)``."""
+    if fn.body is None:
+        return
+
+    def fix(e: A.Node) -> Optional[A.Node]:
+        if isinstance(e, A.Call) and e.callee_name in ref_positions:
+            for i in ref_positions[e.callee_name]:
+                if i < len(e.args):
+                    arg = e.args[i]
+                    if not (isinstance(arg, A.UnOp) and arg.op == "&"):
+                        e.args[i] = A.UnOp("&", arg)
+        return None
+
+    rewrite_exprs(fn.body, fix)
+
+
+# ---------------------------------------------------------------------------
+# body rewriting
+# ---------------------------------------------------------------------------
+
+def _check_untranslatable(fn: A.FunctionDecl) -> None:
+    assert fn.body is not None
+    for node in A.walk(fn.body):
+        if isinstance(node, A.Call):
+            name = node.callee_name
+            if name in CUDA_UNTRANSLATABLE_BUILTINS:
+                raise TranslationNotSupported(
+                    CAT_NO_FUNC, name,
+                    f"used in kernel {fn.name!r} (§3.7)")
+        if isinstance(node, A.Ident) and node.name == "warpSize":
+            raise TranslationNotSupported(
+                CAT_NO_FUNC, "warpSize",
+                f"used in kernel {fn.name!r}")
+
+
+def _extract_dynamic_shared(fn: A.FunctionDecl
+                            ) -> Optional[Tuple[str, T.Type]]:
+    """Remove ``extern __shared__ T name[];`` declarations; the name becomes
+    a ``__local T*`` parameter (paper §4.1)."""
+    found: List[Tuple[str, T.Type]] = []
+
+    def scan(stmt: A.Node) -> Optional[List[A.Node]]:
+        if isinstance(stmt, A.DeclStmt):
+            keep = []
+            for d in stmt.decls:
+                if d.space == AS.LOCAL and "extern" in d.quals:
+                    elem = d.type.elem if isinstance(d.type, T.ArrayType) \
+                        else d.type
+                    found.append((d.name, narrow_cuda_only_types(elem)))
+                else:
+                    keep.append(d)
+            if len(keep) != len(stmt.decls):
+                stmt.decls = keep
+                return [stmt] if keep else []
+        return None
+
+    assert fn.body is not None
+    map_statements(fn.body, scan)
+    if not found:
+        return None
+    if len(found) > 1:
+        raise TranslationError(
+            f"multiple extern __shared__ arrays in {fn.name!r} "
+            "(CUDA itself only supports one)")
+    return found[0]
+
+
+def _rewrite_device_body(fn: A.FunctionDecl,
+                         texture_types: Dict[str, T.TextureType]) -> None:
+    assert fn.body is not None
+
+    def fix(e: A.Node) -> Optional[A.Node]:
+        # threadIdx.x -> get_local_id(0) etc.
+        if isinstance(e, A.Member) and isinstance(e.base, A.Ident):
+            mapped = CUDA_SPECIAL_TO_OCL.get(e.base.name)
+            if mapped is not None and e.name in _DIM_INDEX:
+                out = call(mapped, intlit(_DIM_INDEX[e.name]))
+                out.ctype = T.SIZE_T
+                return out
+        if isinstance(e, A.Call):
+            name = e.callee_name
+            if name is None:
+                return None
+            if name == "__syncthreads":
+                return call("barrier", ident("CLK_LOCAL_MEM_FENCE"))
+            if name in ("__threadfence", "__threadfence_block"):
+                return call("mem_fence", ident("CLK_LOCAL_MEM_FENCE"))
+            if name in ("tex1Dfetch", "tex1D", "tex2D", "tex3D"):
+                return _rewrite_tex_fetch(e, name, texture_types)
+            if name == "__ldg":
+                out = A.UnOp("*", e.args[0])
+                out.ctype = e.ctype
+                return out
+            if name == "__saturatef":
+                out = call("clamp", e.args[0], A.FloatLit(0.0, f32=True),
+                           A.FloatLit(1.0, f32=True))
+                out.ctype = T.FLOAT
+                return out
+            mapped = CUDA_TO_OCL_FUNCS.get(name)
+            if mapped is not None and not mapped.startswith("__"):
+                e.func = A.Ident(mapped)
+                return e
+        if isinstance(e, A.Cast) and e.style in ("static", "reinterpret",
+                                                 "const"):
+            e.style = "c"
+            return e
+        return None
+
+    rewrite_exprs(fn.body, fix)
+    rewrite_make_calls(fn.body)
+
+
+def _rewrite_tex_fetch(e: A.Call, name: str,
+                       texture_types: Dict[str, T.TextureType]) -> A.Node:
+    """texND(tex, coords...) -> read_imageX(tex__img, tex__smp, coords).x"""
+    tex_arg = e.args[0]
+    if not isinstance(tex_arg, A.Ident) or tex_arg.name not in texture_types:
+        raise TranslationNotSupported(
+            CAT_LANG,
+            f"{name} on a non-file-scope texture reference")
+    tname = tex_arg.name
+    ttype = texture_types[tname]
+    base = ttype.base
+    scalar = base.base if isinstance(base, T.VectorType) else base
+    suffix = "f"
+    if isinstance(scalar, T.ScalarType) and not scalar.floating:
+        suffix = "ui" if not scalar.signed else "i"
+    coords = e.args[1:]
+    if len(coords) == 1:
+        coord: A.Node = coords[0]
+        if name == "tex1Dfetch":
+            coord = A.Cast(T.INT, coord)
+    else:
+        vt = T.vector("float", len(coords))
+        coord = A.Cast(vt, A.InitList(list(coords)))
+        coord.ctype = vt
+    read = call(f"read_image{suffix}", ident(f"{tname}__img"),
+                ident(f"{tname}__smp"), coord)
+    read.ctype = T.vector("float" if suffix == "f"
+                          else ("uint" if suffix == "ui" else "int"), 4)
+    if isinstance(base, T.VectorType):
+        idx = {1: "x", 2: "xy", 3: "xyz", 4: "xyzw"}[base.count]
+        out = A.Member(read, idx) if base.count > 1 else A.Member(read, "x")
+        out.ctype = base if base.count > 1 else scalar
+        return out
+    out = A.Member(read, "x")
+    out.ctype = scalar
+    return out
+
+
+def _narrow_types(fn: A.FunctionDecl) -> None:
+    fn.ret_type = narrow_cuda_only_types(fn.ret_type)
+    for p in fn.params:
+        p.type = narrow_cuda_only_types(p.type)
+    if fn.body is None:
+        return
+    for node in A.walk(fn.body):
+        if isinstance(node, A.VarDecl):
+            node.type = narrow_cuda_only_types(node.type)
+        elif isinstance(node, A.Cast):
+            node.type = narrow_cuda_only_types(node.type)
+        elif isinstance(node, A.SizeOf) and node.type is not None:
+            node.type = narrow_cuda_only_types(node.type)
+
+
+def _referenced_names(fn: A.FunctionDecl) -> Set[str]:
+    assert fn.body is not None
+    return {n.name for n in A.walk(fn.body) if isinstance(n, A.Ident)}
+
+
+def _append_kernel_params(fn: A.FunctionDecl, meta: CudaKernelMeta,
+                          texture_types: Dict[str, T.TextureType]) -> None:
+    """Append the translated-in parameters in meta order (§4.1-4.3, §5)."""
+    if meta.dyn_shared is not None:
+        name, elem = meta.dyn_shared
+        fn.params.append(A.ParamDecl(
+            name, T.PointerType(elem, AS.LOCAL), space=AS.LOCAL))
+    for sym in meta.symbol_params:
+        elem = narrow_cuda_only_types(sym.elem_type)
+        fn.params.append(A.ParamDecl(
+            sym.name, T.PointerType(elem, sym.space), space=sym.space))
+        _rewrite_scalar_symbol_use(fn, sym)
+    for tname in meta.texture_params:
+        fn.params.append(A.ParamDecl(f"{tname}__img",
+                                     _image_type_for(texture_types[tname])))
+        fn.params.append(A.ParamDecl(f"{tname}__smp", T.SamplerType()))
+
+
+def _rewrite_scalar_symbol_use(fn: A.FunctionDecl, sym: SymbolInfo) -> None:
+    """A scalar symbol became a pointer param: ``s`` -> ``s[0]``."""
+    if isinstance(sym.ctype, T.ArrayType):
+        return  # arrays decay; indexing is unchanged
+
+    def fix(e: A.Node) -> Optional[A.Node]:
+        if isinstance(e, A.Ident) and e.name == sym.name:
+            out = A.Index(e, intlit(0))
+            out.ctype = sym.elem_type
+            return out
+        return None
+
+    assert fn.body is not None
+    rewrite_exprs(fn.body, fix)
+
+
+def _image_type_for(ttype: T.TextureType) -> T.ImageType:
+    return T.ImageType(max(1, min(ttype.dims, 3)))
+
+
+def _rewrite_specialized_calls(unit: A.TranslationUnit, inference,
+                               metas: Dict[str, CudaKernelMeta]) -> None:
+    """Point call sites at the right space-specialized helper clone."""
+    spec = inference.specializations
+
+    def pick(callee: str, arg_spaces: List[Optional[AS]]) -> str:
+        for suffix, mapping in spec[callee]:
+            wanted = list(mapping.values())
+            got = [s for s in arg_spaces if s is not None]
+            if got == wanted[:len(got)]:
+                return callee + suffix
+        # fall back to the first clone
+        return callee + spec[callee][0][0]
+
+    for fn in unit.functions():
+        if fn.body is None:
+            continue
+        spaces_env = inference.param_spaces.get(fn.name, {})
+        var_env = inference.var_spaces.get(fn.name, {})
+
+        def space_of(a: A.Node) -> Optional[AS]:
+            if isinstance(a, A.Ident):
+                return spaces_env.get(a.name) or var_env.get(a.name)
+            if isinstance(a, A.BinOp):
+                return space_of(a.lhs) or space_of(a.rhs)
+            if isinstance(a, A.UnOp) and a.op == "&" \
+                    and isinstance(a.operand, A.Index):
+                return space_of(a.operand.base)
+            return None
+
+        def fix(e: A.Node):
+            if isinstance(e, A.Call) and e.callee_name in spec:
+                arg_spaces = [space_of(a) if isinstance(a, A.Expr)
+                              and isinstance(a.ctype, (T.PointerType,
+                                                       T.ArrayType))
+                              else None for a in e.args]
+                e.func = A.Ident(pick(e.callee_name, arg_spaces))
+            return None
+
+        rewrite_exprs(fn.body, fix)

@@ -1,0 +1,311 @@
+"""Address-space qualifier inference for CUDA→OpenCL translation (§3.6).
+
+CUDA pointers are unqualified; OpenCL pointers must name the space of their
+pointee.  The translator therefore *infers* spaces from type information:
+
+* kernel pointer parameters come from global buffers → ``__global``
+  (appended parameters carry their space explicitly);
+* local pointer variables take the space of what they are assigned from
+  (``float* p = tile + k;`` with ``tile`` in shared memory → ``__local``);
+* ``__device__`` helper functions take their pointer-parameter spaces from
+  call sites; when different call sites disagree, the function is
+  *specialized per space signature* — the paper's "generates a new pointer
+  variable for each address space" resolution, lifted to functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..clike import ast as A
+from ..clike import types as T
+from ..errors import TranslationError
+from .common import clone
+
+__all__ = ["SpaceInference", "infer_spaces", "apply_spaces"]
+
+AS = T.AddressSpace
+
+
+@dataclass
+class SpaceInference:
+    """Result of the inference over one translation unit."""
+
+    #: function name -> param name -> space (pointers only)
+    param_spaces: Dict[str, Dict[str, AS]] = field(default_factory=dict)
+    #: function name -> local var name -> space
+    var_spaces: Dict[str, Dict[str, AS]] = field(default_factory=dict)
+    #: helper functions that needed specialization:
+    #: original name -> list of (suffix, {param: space})
+    specializations: Dict[str, List[Tuple[str, Dict[str, AS]]]] = \
+        field(default_factory=dict)
+
+
+def _is_pointerish(t: Optional[T.Type]) -> bool:
+    return isinstance(t, (T.PointerType, T.ArrayType))
+
+
+class _FunctionPass:
+    """Infers spaces of pointer-valued names within one function."""
+
+    def __init__(self, fn: A.FunctionDecl,
+                 seed: Dict[str, AS],
+                 global_spaces: Dict[str, AS],
+                 helper_returns: Dict[str, AS]) -> None:
+        self.fn = fn
+        self.env: Dict[str, AS] = dict(seed)
+        self.global_spaces = global_spaces
+        self.helper_returns = helper_returns
+        #: pointer-arg spaces observed at helper call sites:
+        #: callee -> param index -> set of spaces
+        self.call_obs: Dict[str, Dict[int, Set[AS]]] = {}
+        self.conflicts: Dict[str, Set[AS]] = {}
+
+    def run(self) -> None:
+        # iterate to a fixpoint: assignments can flow spaces forward
+        for _ in range(4):
+            before = dict(self.env)
+            self._stmt(self.fn.body)
+            if self.env == before:
+                break
+
+    # -- space of a pointer-valued expression -------------------------------
+
+    def space_of(self, e: Optional[A.Node]) -> Optional[AS]:
+        if e is None:
+            return None
+        if isinstance(e, A.Ident):
+            sp = self.env.get(e.name)
+            if sp is not None:
+                return sp
+            return self.global_spaces.get(e.name)
+        if isinstance(e, A.BinOp) and e.op in ("+", "-"):
+            return self.space_of(e.lhs) or self.space_of(e.rhs)
+        if isinstance(e, A.Cast):
+            return self.space_of(e.expr)
+        if isinstance(e, A.UnOp) and e.op == "&":
+            return self._lvalue_space(e.operand)
+        if isinstance(e, A.Cond):
+            a = self.space_of(e.then)
+            b = self.space_of(e.orelse)
+            if a and b and a != b:
+                raise TranslationError(
+                    "conditional pointer with two address spaces "
+                    f"in {self.fn.name} (line {e.loc[0]})")
+            return a or b
+        if isinstance(e, A.Call):
+            name = e.callee_name
+            if name is not None:
+                return self.helper_returns.get(name)
+        if isinstance(e, A.Index):
+            # &-of-index handled above; a bare index of T** is rare
+            return self.space_of(e.base)
+        if isinstance(e, A.Member):
+            return None
+        return None
+
+    def _lvalue_space(self, e: A.Node) -> Optional[AS]:
+        if isinstance(e, A.Index):
+            return self.space_of(e.base)
+        if isinstance(e, A.UnOp) and e.op == "*":
+            return self.space_of(e.operand)
+        if isinstance(e, A.Ident):
+            t = e.ctype
+            if _is_pointerish(t):
+                return self.space_of(e)
+            # address of a plain local scalar -> private
+            return AS.PRIVATE
+        return None
+
+    # -- traversal -----------------------------------------------------------
+
+    def _note(self, name: str, space: Optional[AS]) -> None:
+        if space is None:
+            return
+        cur = self.env.get(name)
+        if cur is None:
+            self.env[name] = space
+        elif cur != space:
+            self.conflicts.setdefault(name, set()).update({cur, space})
+
+    def _stmt(self, s: Optional[A.Node]) -> None:
+        if s is None:
+            return
+        if isinstance(s, A.Compound):
+            for st in s.stmts:
+                self._stmt(st)
+        elif isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                if d.space == AS.LOCAL:
+                    self.env[d.name] = AS.LOCAL
+                elif isinstance(d.type, T.ArrayType):
+                    self.env.setdefault(d.name, AS.PRIVATE)
+                elif isinstance(d.type, T.PointerType) and d.init is not None:
+                    self._note(d.name, self.space_of(d.init))
+                if d.init is not None:
+                    self._expr(d.init)
+        elif isinstance(s, A.ExprStmt):
+            self._expr(s.expr)
+        elif isinstance(s, A.If):
+            self._expr(s.cond)
+            self._stmt(s.then)
+            self._stmt(s.orelse)
+        elif isinstance(s, A.For):
+            self._stmt(s.init)
+            if s.cond is not None:
+                self._expr(s.cond)
+            if s.step is not None:
+                self._expr(s.step)
+            self._stmt(s.body)
+        elif isinstance(s, (A.While, A.DoWhile)):
+            self._expr(s.cond)
+            self._stmt(s.body)
+        elif isinstance(s, A.Return):
+            if s.value is not None:
+                self._expr(s.value)
+        elif isinstance(s, A.Switch):
+            self._expr(s.cond)
+            for case in s.cases:
+                for st in case.stmts:
+                    self._stmt(st)
+
+    def _expr(self, e: A.Node) -> None:
+        if isinstance(e, A.Assign):
+            self._expr(e.value)
+            if isinstance(e.target, A.Ident) and _is_pointerish(e.target.ctype):
+                self._note(e.target.name, self.space_of(e.value))
+            else:
+                self._expr(e.target)
+            return
+        if isinstance(e, A.Call):
+            name = e.callee_name
+            for i, a in enumerate(e.args):
+                self._expr(a)
+                at = a.ctype if isinstance(a, A.Expr) else None
+                if name and _is_pointerish(at):
+                    sp = self.space_of(a)
+                    if sp is not None:
+                        self.call_obs.setdefault(name, {}) \
+                            .setdefault(i, set()).add(sp)
+            return
+        for child in e.children():
+            self._expr(child)
+
+
+def infer_spaces(unit: A.TranslationUnit,
+                 kernel_names: Sequence[str],
+                 global_spaces: Dict[str, AS],
+                 default_param_space: AS = AS.GLOBAL) -> SpaceInference:
+    """Infer pointer address spaces for every function in ``unit``.
+
+    ``global_spaces`` maps file-scope symbol names (``__device__`` /
+    ``__constant__`` variables) to their spaces.  Kernel pointer parameters
+    default to ``__global`` (they are fed from buffers); helper-function
+    parameter spaces are solved from call sites, specializing the helper
+    when call sites disagree.
+    """
+    result = SpaceInference()
+    kernels = [f for f in unit.functions()
+               if f.name in kernel_names and f.body is not None]
+    helpers = [f for f in unit.functions()
+               if f.name not in kernel_names and f.body is not None]
+    helper_by_name = {f.name: f for f in helpers}
+
+    helper_returns: Dict[str, AS] = {}
+    helper_param_obs: Dict[str, Dict[int, Set[AS]]] = {}
+
+    def seed_for(fn: A.FunctionDecl, kernel: bool) -> Dict[str, AS]:
+        seed: Dict[str, AS] = {}
+        for p in fn.params:
+            if isinstance(p.type, T.PointerType):
+                if kernel:
+                    seed[p.name] = p.type.space \
+                        if p.type.space != AS.PRIVATE else default_param_space
+                else:
+                    known = helper_param_obs.get(fn.name, {})
+                    idx = fn.params.index(p)
+                    spaces = known.get(idx, set())
+                    if len(spaces) == 1:
+                        seed[p.name] = next(iter(spaces))
+        return seed
+
+    # two rounds: kernels first (observing helper call sites), then helpers
+    passes: List[_FunctionPass] = []
+    for fn in kernels:
+        fp = _FunctionPass(fn, seed_for(fn, True), global_spaces,
+                           helper_returns)
+        fp.run()
+        passes.append(fp)
+        result.param_spaces[fn.name] = {
+            p.name: fp.env[p.name] for p in fn.params
+            if isinstance(p.type, T.PointerType) and p.name in fp.env}
+        result.var_spaces[fn.name] = {
+            n: sp for n, sp in fp.env.items()
+            if n not in {p.name for p in fn.params}}
+        for callee, obs in fp.call_obs.items():
+            tgt = helper_param_obs.setdefault(callee, {})
+            for i, spaces in obs.items():
+                tgt.setdefault(i, set()).update(spaces)
+
+    for fn in helpers:
+        obs = helper_param_obs.get(fn.name, {})
+        # detect multi-space parameters -> specialization needed
+        multi = {i for i, spaces in obs.items() if len(spaces) > 1}
+        if multi:
+            result.specializations[fn.name] = _make_specializations(fn, obs)
+            continue
+        fp = _FunctionPass(fn, seed_for(fn, False), global_spaces,
+                           helper_returns)
+        fp.run()
+        result.param_spaces[fn.name] = {
+            p.name: fp.env[p.name] for p in fn.params
+            if isinstance(p.type, T.PointerType) and p.name in fp.env}
+        result.var_spaces[fn.name] = {
+            n: sp for n, sp in fp.env.items()
+            if n not in {p.name for p in fn.params}}
+        if isinstance(fn.ret_type, T.PointerType):
+            for s in fn.body.stmts if fn.body else []:
+                if isinstance(s, A.Return) and s.value is not None:
+                    rs = fp.space_of(s.value)
+                    if rs is not None:
+                        helper_returns[fn.name] = rs
+    return result
+
+
+def _make_specializations(fn: A.FunctionDecl,
+                          obs: Dict[int, Set[AS]]
+                          ) -> List[Tuple[str, Dict[str, AS]]]:
+    """Cartesian expansion of observed spaces per multi-space parameter."""
+    import itertools
+    pointer_params = [i for i, p in enumerate(fn.params)
+                      if isinstance(p.type, T.PointerType)]
+    choices: List[List[Tuple[int, AS]]] = []
+    for i in pointer_params:
+        spaces = sorted(obs.get(i, {AS.GLOBAL}), key=lambda s: s.value)
+        choices.append([(i, s) for s in spaces])
+    out: List[Tuple[str, Dict[str, AS]]] = []
+    for combo in itertools.product(*choices):
+        mapping = {fn.params[i].name: s for i, s in combo}
+        suffix = "_".join(s.value[:1] for _, s in combo)
+        out.append((f"__{suffix}", mapping))
+    return out
+
+
+def apply_spaces(fn: A.FunctionDecl, param_spaces: Dict[str, AS],
+                 var_spaces: Dict[str, AS]) -> None:
+    """Write inferred spaces into the function's parameter and local
+    declaration types (pointees), so the OpenCL printer emits them."""
+    for p in fn.params:
+        if isinstance(p.type, T.PointerType):
+            sp = param_spaces.get(p.name, AS.GLOBAL)
+            p.type = T.PointerType(p.type.pointee, sp, p.type.const)
+            p.space = sp
+    if fn.body is None:
+        return
+    for node in A.walk(fn.body):
+        if isinstance(node, A.VarDecl) and isinstance(node.type, T.PointerType):
+            sp = var_spaces.get(node.name)
+            if sp is not None and sp != AS.PRIVATE:
+                node.type = T.PointerType(node.type.pointee, sp,
+                                          node.type.const)

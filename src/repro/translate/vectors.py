@@ -1,0 +1,254 @@
+"""Vector-type translation (paper §3.6).
+
+OpenCL→CUDA problems solved here:
+
+* OpenCL's rich component selectors (``lo/hi/even/odd/sN``, multi-component
+  swizzles) vs CUDA's plain ``.x .y .z .w``: swizzle *assignments* expand to
+  one statement per component (``v1.lo = v2.lo`` → ``v1.x = v2.x; v1.y =
+  v2.y;``), swizzle *reads* become ``make_<type>`` constructions.
+* 8/16-component vectors do not exist in CUDA: they are emitted as C structs
+  with ``s0..sN`` members plus generated element-wise helper functions for
+  whole-vector arithmetic.
+
+CUDA→OpenCL problems:
+
+* one-component vectors (``float1``) are replaced by scalars;
+* ``longlongN`` becomes ``longN`` (identical width, §3.6);
+* ``make_<type>N(...)`` constructor calls become OpenCL vector literals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..clike import ast as A
+from ..clike import types as T
+from ..clike.stdlib import swizzle_indices
+from ..errors import TranslationError
+from .common import rewrite_exprs
+
+__all__ = ["expand_swizzle_assignments", "rewrite_swizzle_reads",
+           "wide_vector_struct_decls", "rewrite_make_calls",
+           "CUDA_COMPONENTS", "narrow_cuda_only_types"]
+
+#: component names CUDA accepts directly
+CUDA_COMPONENTS = ("x", "y", "z", "w")
+
+
+def _is_multi_swizzle(member: A.Member) -> Optional[List[int]]:
+    """Indices if ``member`` is a vector swizzle CUDA cannot express."""
+    base_t = member.base.ctype if isinstance(member.base, A.Expr) else None
+    if not isinstance(base_t, T.VectorType):
+        return None
+    idx = swizzle_indices(member.name, base_t.count)
+    if idx is None:
+        return None
+    if len(idx) == 1 and member.name in CUDA_COMPONENTS:
+        return None  # CUDA-legal already
+    return idx
+
+
+def _component_expr(base: A.Node, index: int, width: int) -> A.Node:
+    """``base`` component ``index`` in CUDA terms."""
+    if width <= 4:
+        return A.Member(base, CUDA_COMPONENTS[index])
+    return A.Member(base, f"s{index:x}")
+
+
+def expand_swizzle_assignments(body: A.Compound) -> None:
+    """Statement-level expansion: ``v1.lo = v2.hi;`` → per-component
+    assignments (paper's exact example, §3.6)."""
+    from .common import map_statements, clone
+
+    def expand(stmt: A.Node) -> Optional[List[A.Node]]:
+        if not isinstance(stmt, A.ExprStmt) or not isinstance(stmt.expr, A.Assign):
+            return None
+        asg = stmt.expr
+        if asg.op or not isinstance(asg.target, A.Member):
+            return None
+        idx = _is_multi_swizzle(asg.target)
+        if idx is None:
+            return None
+        tgt_t = asg.target.base.ctype
+        assert isinstance(tgt_t, T.VectorType)
+        out: List[A.Node] = []
+        value = asg.value
+        val_t = value.ctype if isinstance(value, A.Expr) else None
+        for k, i in enumerate(idx):
+            lhs = _component_expr(clone(asg.target.base), i, tgt_t.count)
+            if isinstance(value, A.Member) and isinstance(val_t, T.VectorType):
+                src_idx = _is_multi_swizzle(value)
+                if src_idx is None:
+                    src_idx = swizzle_indices(value.name,
+                                              value.base.ctype.count)
+                src_w = value.base.ctype.count
+                rhs: A.Node = _component_expr(clone(value.base),
+                                              src_idx[k], src_w)
+            elif isinstance(val_t, T.VectorType):
+                rhs = _component_expr(clone(value), k, val_t.count)
+            else:
+                rhs = clone(value)
+            a = A.Assign("", lhs, rhs)
+            out.append(A.ExprStmt(a))
+        return out
+
+    map_statements(body, expand)
+
+
+def rewrite_swizzle_reads(node: A.Node) -> None:
+    """Expression-level rewriting of remaining multi-component swizzles into
+    ``make_<type>`` constructions (reads only; assignments were expanded)."""
+
+    def fix(e: A.Node) -> Optional[A.Node]:
+        if not isinstance(e, A.Member):
+            return None
+        idx = _is_multi_swizzle(e)
+        if idx is None:
+            return None
+        base_t = e.base.ctype
+        assert isinstance(base_t, T.VectorType)
+        if len(idx) == 1:
+            # sN single selector or x on wide vector
+            return _component_expr(e.base, idx[0], base_t.count)
+        new_t = T.VectorType(base_t.base, len(idx))
+        from .common import clone
+        args = [_component_expr(clone(e.base), i, base_t.count) for i in idx]
+        out = A.Call(A.Ident(f"make_{new_t}"), args)
+        out.ctype = new_t
+        return out
+
+    rewrite_exprs(node, fix)
+
+
+# ---------------------------------------------------------------------------
+# 8/16-wide vectors as C structs (OpenCL -> CUDA)
+# ---------------------------------------------------------------------------
+
+def wide_vector_struct_decls(widths_used: Set[T.VectorType]) -> str:
+    """CUDA source defining struct replacements for 8/16-wide vectors.
+
+    The structs keep the OpenCL component names (``s0..sf``) so translated
+    swizzle accesses remain valid member accesses.
+    """
+    chunks: List[str] = []
+    for vt in sorted(widths_used, key=str):
+        if vt.count <= 4:
+            continue
+        fields = " ".join(f"{vt.base.name} s{i:x};" for i in range(vt.count))
+        chunks.append(f"typedef struct __oc2cu_{vt} {{ {fields} }} {vt};")
+        # element-wise arithmetic helpers for whole-vector expressions
+        for op_name, op in (("add", "+"), ("sub", "-"), ("mul", "*"),
+                            ("div", "/")):
+            body = " ".join(
+                f"r.s{i:x} = a.s{i:x} {op} b.s{i:x};" for i in range(vt.count))
+            chunks.append(
+                f"__device__ {vt} __oc2cu_{op_name}_{vt}({vt} a, {vt} b) "
+                f"{{ {vt} r; {body} return r; }}")
+    return "\n".join(chunks)
+
+
+_WIDE_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+
+
+def rewrite_wide_vector_ops(node: A.Node) -> None:
+    """Binary arithmetic on 8/16-wide vectors → generated helper calls."""
+
+    def fix(e: A.Node) -> Optional[A.Node]:
+        if isinstance(e, A.BinOp) and e.op in _WIDE_OPS:
+            t = e.ctype
+            if isinstance(t, T.VectorType) and t.count > 4:
+                out = A.Call(A.Ident(f"__oc2cu_{_WIDE_OPS[e.op]}_{t}"),
+                             [e.lhs, e.rhs])
+                out.ctype = t
+                return out
+        return None
+
+    rewrite_exprs(node, fix)
+
+
+def collect_wide_vectors(unit: A.TranslationUnit) -> Set[T.VectorType]:
+    """All 8/16-wide vector types appearing in declarations/expressions."""
+    found: Set[T.VectorType] = set()
+
+    def check_type(t: Optional[T.Type]) -> None:
+        while isinstance(t, (T.PointerType, T.ArrayType)):
+            t = t.pointee if isinstance(t, T.PointerType) else t.elem
+        if isinstance(t, T.VectorType) and t.count > 4:
+            found.add(t)
+
+    for n in A.walk(unit):
+        if isinstance(n, (A.VarDecl, A.ParamDecl)):
+            check_type(n.type)
+        elif isinstance(n, A.FunctionDecl):
+            check_type(n.ret_type)
+        elif isinstance(n, A.Expr):
+            check_type(n.ctype)
+        elif isinstance(n, A.Cast):
+            check_type(n.type)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# CUDA -> OpenCL direction
+# ---------------------------------------------------------------------------
+
+def narrow_cuda_only_types(t: T.Type) -> T.Type:
+    """Map CUDA-only vector types to OpenCL equivalents (§3.6):
+    one-component vectors → scalars; longlongN → longN."""
+    if isinstance(t, T.VectorType):
+        base = t.base
+        if base.name == "longlong":
+            base = T.LONG
+        elif base.name == "ulonglong":
+            base = T.ULONG
+        if t.count == 1:
+            return base
+        if base is not t.base:
+            return T.VectorType(base, t.count)
+        return t
+    if isinstance(t, T.ScalarType):
+        if t.name == "longlong":
+            return T.LONG
+        if t.name == "ulonglong":
+            return T.ULONG
+        return t
+    if isinstance(t, T.PointerType):
+        inner = narrow_cuda_only_types(t.pointee)
+        if inner is not t.pointee:
+            return T.PointerType(inner, t.space, t.const)
+        return t
+    if isinstance(t, T.ArrayType):
+        inner = narrow_cuda_only_types(t.elem)
+        if inner is not t.elem:
+            return T.ArrayType(inner, t.length)
+        return t
+    return t
+
+
+_MAKE_PREFIX = "make_"
+
+
+def rewrite_make_calls(node: A.Node) -> None:
+    """``make_float4(a,b,c,d)`` → ``(float4)(a,b,c,d)``;
+    ``make_float1(a)`` → ``(float)(a)`` (scalar, §3.6)."""
+    from ..clike.dialect import vector_type_from_name
+
+    def fix(e: A.Node) -> Optional[A.Node]:
+        if not isinstance(e, A.Call):
+            return None
+        name = e.callee_name
+        if not name or not name.startswith(_MAKE_PREFIX):
+            return None
+        tname = name[len(_MAKE_PREFIX):]
+        vt = vector_type_from_name(tname, None)
+        if vt is None:
+            return None
+        vt2 = narrow_cuda_only_types(vt)
+        if isinstance(vt2, T.ScalarType):
+            out: A.Node = A.Cast(vt2, e.args[0])
+        else:
+            out = A.Cast(vt2, A.InitList(list(e.args)))
+        out.ctype = vt2
+        return out
+
+    rewrite_exprs(node, fix)

@@ -1,0 +1,137 @@
+"""Corpus invariants: suite composition, parseability, analyzer agreement.
+
+The paper's evaluation counts are structural facts of the corpus (§6.1):
+Rodinia 21/20, SNU NPB 7, Toolkit 27 OpenCL + 81 CUDA with 25 translatable.
+"""
+
+import pytest
+
+from repro.apps.base import all_apps, apps_in_suite, get_app
+from repro.clike import parse
+from repro.errors import FrontendError
+from repro.translate import analyze_cuda_source, analyze_opencl_source
+
+
+class TestSuiteComposition:
+    def test_rodinia_counts(self):
+        apps = apps_in_suite("rodinia")
+        assert len(apps) == 21
+        assert sum(a.has_opencl for a in apps) == 20  # no OpenCL mummergpu
+        assert sum(a.has_cuda for a in apps) == 21
+
+    def test_rodinia_untranslatable_set(self):
+        # §6.3: "all but seven applications are successfully translated"
+        failing = {a.name for a in apps_in_suite("rodinia")
+                   if a.fail_category is not None}
+        assert failing == {"heartwall", "nn", "mummergpu", "dwt2d",
+                           "kmeans", "leukocyte", "hybridsort"}
+
+    def test_npb_counts(self):
+        apps = apps_in_suite("npb")
+        assert len(apps) == 7
+        assert all(a.has_opencl for a in apps)
+        assert not any(a.has_cuda for a in apps)  # "SNU NPB does not have
+        # CUDA version" (§6.1)
+
+    def test_toolkit_counts(self):
+        apps = apps_in_suite("toolkit")
+        assert sum(a.has_opencl for a in apps) == 27
+        cuda = [a for a in apps if a.has_cuda]
+        assert len(cuda) == 81
+        assert sum(a.cuda_translatable for a in cuda) == 25
+        assert sum(a.fail_category is not None for a in cuda) == 56
+
+    def test_unique_names_per_suite(self):
+        seen = set()
+        for a in all_apps():
+            key = (a.suite, a.name)
+            assert key not in seen
+            seen.add(key)
+
+    def test_every_app_has_some_source(self):
+        for a in all_apps():
+            assert a.has_opencl or a.has_cuda, a
+
+
+class TestSourcesParse:
+    @pytest.mark.parametrize("app", [a for a in all_apps() if a.has_opencl],
+                             ids=lambda a: f"{a.suite}-{a.name}")
+    def test_opencl_sources_parse(self, app):
+        unit = parse(app.opencl_kernels, "opencl")
+        assert unit.kernels(), f"{app.name}: no kernels"
+        parse(app.opencl_host, "host")
+
+    @pytest.mark.parametrize(
+        "app",
+        [a for a in all_apps() if a.has_cuda and a.fail_category is None],
+        ids=lambda a: f"{a.suite}-{a.name}")
+    def test_translatable_cuda_sources_parse(self, app):
+        unit = parse(app.cuda_source, "cuda")
+        assert unit.find_function("main") is not None
+
+
+class TestAnalyzerAgreement:
+    @pytest.mark.parametrize(
+        "app", [a for a in all_apps() if a.has_cuda],
+        ids=lambda a: f"{a.suite}-{a.name}")
+    def test_cuda_analysis_matches_expectation(self, app):
+        findings = analyze_cuda_source(app.cuda_source)
+        if app.fail_category is None:
+            assert findings == [], (app.name, findings[:1])
+        else:
+            assert findings, f"{app.name}: expected a finding"
+            assert findings[0].category == app.fail_category, \
+                (app.name, findings[0])
+
+    @pytest.mark.parametrize(
+        "app", [a for a in all_apps() if a.has_opencl],
+        ids=lambda a: f"{a.suite}-{a.name}")
+    def test_all_opencl_apps_translatable(self, app):
+        # Fig. 7: every OpenCL app in all three suites translates
+        assert analyze_opencl_source(app.opencl_host,
+                                     app.opencl_kernels) == []
+
+
+class TestSelfVerification:
+    """Every app must actually verify its results (no vacuous PASSED)."""
+
+    @pytest.mark.parametrize(
+        "app",
+        [a for a in all_apps()
+         if a.has_opencl or (a.has_cuda and a.cuda_runs_natively
+                             and a.fail_category is None)],
+        ids=lambda a: f"{a.suite}-{a.name}")
+    def test_prints_verdict(self, app):
+        src = app.opencl_host or app.cuda_source
+        assert "PASSED" in src and "FAILED" in src, app.name
+
+
+class TestKeyAppProperties:
+    def test_ft_uses_doubles_in_local_memory(self):
+        ft = get_app("npb", "FT")
+        assert "__local double" in ft.opencl_kernels
+
+    def test_cfd_block_size_192(self):
+        cfd = get_app("rodinia", "cfd")
+        assert "192" in cfd.cuda_source and "192" in cfd.opencl_host
+
+    def test_hybridsort_transfer_asymmetry(self):
+        hs = get_app("rodinia", "hybridsort")
+        # the OpenCL host round-trips through the host...
+        assert hs.opencl_host.count("clEnqueueReadBuffer") >= 4
+        # ...while the CUDA version scans offsets on the device
+        assert "scan_offsets" in hs.cuda_source
+        assert hs.cuda_source.count("cudaMemcpy(") <= 4
+
+    def test_oversized_textures_exceed_image_limit(self):
+        from repro.device.specs import GTX_TITAN
+        for name in ("kmeans", "leukocyte", "hybridsort"):
+            app = get_app("rodinia", name)
+            assert "131072" in app.cuda_source
+            assert 131072 > GTX_TITAN.max_image2d[0]
+            assert 131072 < GTX_TITAN.cuda_max_tex1d_linear  # runs natively
+
+    def test_streamcluster_uses_constant_symbol(self):
+        sc = get_app("rodinia", "streamcluster")
+        assert "__constant__" in sc.cuda_source
+        assert "cudaMemcpyToSymbol" in sc.cuda_source

@@ -1,0 +1,429 @@
+"""Tests for the C interpreter over the host environment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clike import parse
+from repro.clike.hostlib import HostEnv
+from repro.clike.interp import Interp
+from repro.errors import InterpError
+
+
+def run_main(src, dialect="host", env=None):
+    env = env or HostEnv()
+    unit = parse(src, dialect)
+    interp = Interp(unit, env, dialect)
+    interp.init_globals()
+    ret = interp.call("main", [])
+    return ret, env
+
+
+def result_of(expr_src, pre="", dialect="host"):
+    src = f"{pre}\nint main(void) {{ return {expr_src}; }}"
+    ret, _ = run_main(src, dialect)
+    return ret
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert result_of("2 + 3 * 4") == 14
+        assert result_of("(2 + 3) * 4") == 20
+        assert result_of("17 % 5") == 2
+        assert result_of("1 << 10") == 1024
+
+    def test_c_division_truncates_toward_zero(self):
+        assert result_of("-7 / 2") == -3
+        assert result_of("7 / -2") == -3
+        assert result_of("-7 % 2") == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            result_of("1 / 0")
+
+    def test_comparisons_and_logic(self):
+        assert result_of("3 < 5 && 5 < 3") == 0
+        assert result_of("3 < 5 || 5 < 3") == 1
+        assert result_of("!(1 == 1)") == 0
+
+    def test_short_circuit(self):
+        # RHS would divide by zero if evaluated
+        assert result_of("0 && (1 / 0)") == 0
+        assert result_of("1 || (1 / 0)") == 1
+
+    def test_ternary(self):
+        assert result_of("5 > 3 ? 10 : 20") == 10
+
+    def test_float_to_int_truncation(self):
+        assert result_of("(int)3.9") == 3
+        assert result_of("(int)-3.9") == -3
+
+    def test_char_literal(self):
+        assert result_of("'A'") == 65
+
+    def test_unsigned_wraparound_on_assignment(self):
+        src = """
+        int main(void) {
+          unsigned int x = 4294967295u;
+          x = x + 1u;
+          return x == 0u;
+        }"""
+        assert run_main(src)[0] == 1
+
+    def test_signed_char_wraps(self):
+        src = "int main(void) { char c = 127; c = c + 1; return c; }"
+        assert run_main(src)[0] == -128
+
+    def test_sizeof(self):
+        assert result_of("sizeof(int)") == 4
+        assert result_of("sizeof(double)") == 8
+        assert result_of("sizeof(float) * 4") == 16
+
+
+class TestControlFlow:
+    def test_for_loop_sum(self):
+        src = """
+        int main(void) {
+          int s = 0;
+          for (int i = 1; i <= 10; i++) s += i;
+          return s;
+        }"""
+        assert run_main(src)[0] == 55
+
+    def test_while_break_continue(self):
+        src = """
+        int main(void) {
+          int i = 0, s = 0;
+          while (1) {
+            i++;
+            if (i > 10) break;
+            if (i % 2) continue;
+            s += i;
+          }
+          return s;
+        }"""
+        assert run_main(src)[0] == 30
+
+    def test_do_while(self):
+        src = "int main(void) { int i = 0; do { i++; } while (i < 5); return i; }"
+        assert run_main(src)[0] == 5
+
+    def test_nested_loops(self):
+        src = """
+        int main(void) {
+          int c = 0;
+          for (int i = 0; i < 4; i++)
+            for (int j = 0; j < 4; j++)
+              if (i != j) c++;
+          return c;
+        }"""
+        assert run_main(src)[0] == 12
+
+    def test_switch_fallthrough_and_default(self):
+        src = """
+        int classify(int x) {
+          switch (x) {
+            case 0:
+            case 1: return 10;
+            case 2: return 20;
+            default: return -1;
+          }
+        }
+        int main(void) {
+          return classify(0) + classify(1) + classify(2) + classify(9);
+        }"""
+        assert run_main(src)[0] == 10 + 10 + 20 - 1
+
+    def test_switch_break(self):
+        src = """
+        int main(void) {
+          int r = 0;
+          switch (2) {
+            case 1: r += 1; break;
+            case 2: r += 2;
+            case 3: r += 4; break;
+            case 4: r += 8; break;
+          }
+          return r;
+        }"""
+        assert run_main(src)[0] == 6
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = """
+        int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+        int main(void) { return fib(12); }"""
+        assert run_main(src)[0] == 144
+
+    def test_mutual_recursion(self):
+        src = """
+        int is_odd(int n);
+        int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+        int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+        int main(void) { return is_even(10) * 2 + is_odd(7); }"""
+        assert run_main(src)[0] == 3
+
+    def test_pointer_out_param(self):
+        src = """
+        void divmod(int a, int b, int* q, int* r) { *q = a / b; *r = a % b; }
+        int main(void) {
+          int q, r;
+          divmod(17, 5, &q, &r);
+          return q * 10 + r;
+        }"""
+        assert run_main(src)[0] == 32
+
+    def test_array_argument_decay(self):
+        src = """
+        int sum(int* a, int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }
+        int main(void) { int a[4] = {1, 2, 3, 4}; return sum(a, 4); }"""
+        assert run_main(src)[0] == 10
+
+
+class TestPointersAndArrays:
+    def test_array_init_and_zero_fill(self):
+        src = """
+        int main(void) {
+          int a[6] = {5, 6};
+          return a[0] + a[1] + a[2] + a[5];
+        }"""
+        assert run_main(src)[0] == 11
+
+    def test_pointer_arithmetic(self):
+        src = """
+        int main(void) {
+          int a[5] = {10, 20, 30, 40, 50};
+          int* p = a + 1;
+          p++;
+          return *p + p[1] - (p - a);
+        }"""
+        assert run_main(src)[0] == 30 + 40 - 2
+
+    def test_pointer_difference(self):
+        src = """
+        int main(void) {
+          double d[8];
+          double* p = &d[6];
+          double* q = &d[2];
+          return p - q;
+        }"""
+        assert run_main(src)[0] == 4
+
+    def test_2d_style_indexing(self):
+        src = """
+        int main(void) {
+          int m[12];
+          for (int i = 0; i < 3; i++)
+            for (int j = 0; j < 4; j++)
+              m[i * 4 + j] = i * 10 + j;
+          return m[2 * 4 + 3];
+        }"""
+        assert run_main(src)[0] == 23
+
+    def test_malloc_free_memcpy(self):
+        src = """
+        int main(void) {
+          int* a = (int*)malloc(4 * sizeof(int));
+          int* b = (int*)malloc(4 * sizeof(int));
+          for (int i = 0; i < 4; i++) a[i] = i * i;
+          memcpy(b, a, 4 * sizeof(int));
+          int s = b[0] + b[1] + b[2] + b[3];
+          free(a); free(b);
+          return s;
+        }"""
+        assert run_main(src)[0] == 14
+
+    def test_memset(self):
+        src = """
+        int main(void) {
+          unsigned char buf[8];
+          memset(buf, 0xAB, 8);
+          return buf[0] == 0xAB && buf[7] == 0xAB;
+        }"""
+        assert run_main(src)[0] == 1
+
+    def test_void_pointer_cast(self):
+        src = """
+        int main(void) {
+          float x = 2.5f;
+          void* vp = &x;
+          float* fp = (float*)vp;
+          return (int)(*fp * 2.0f);
+        }"""
+        assert run_main(src)[0] == 5
+
+    def test_null_comparison(self):
+        src = """
+        int main(void) {
+          int* p = NULL;
+          int x = 7;
+          if (p == NULL) p = &x;
+          return p != NULL ? *p : 0;
+        }"""
+        assert run_main(src)[0] == 7
+
+
+class TestStructs:
+    def test_struct_fields(self):
+        src = """
+        typedef struct Point { float x; float y; } Point;
+        int main(void) {
+          Point p;
+          p.x = 3.0f; p.y = 4.0f;
+          return (int)sqrtf(p.x * p.x + p.y * p.y);
+        }"""
+        assert run_main(src)[0] == 5
+
+    def test_struct_pointer_arrow(self):
+        src = """
+        typedef struct Node { int value; int next; } Node;
+        int main(void) {
+          Node nodes[3];
+          for (int i = 0; i < 3; i++) { nodes[i].value = i * 5; nodes[i].next = i + 1; }
+          Node* n = &nodes[1];
+          return n->value + n->next;
+        }"""
+        assert run_main(src)[0] == 7
+
+    def test_struct_assignment_copies(self):
+        src = """
+        typedef struct P { int a; int b; } P;
+        int main(void) {
+          P x; x.a = 1; x.b = 2;
+          P y; y = x;
+          y.a = 99;
+          return x.a;
+        }"""
+        assert run_main(src)[0] == 1
+
+    def test_struct_in_array_init(self):
+        src = """
+        typedef struct KV { int k; float v; } KV;
+        int main(void) {
+          KV t[2] = {{1, 0.5f}, {2, 1.5f}};
+          return t[0].k + t[1].k + (int)(t[1].v * 2.0f);
+        }"""
+        assert run_main(src)[0] == 6
+
+
+class TestGlobals:
+    def test_global_scalar_and_array(self):
+        src = """
+        int counter = 5;
+        int table[4] = {1, 2, 3, 4};
+        int main(void) {
+          counter += table[3];
+          return counter;
+        }"""
+        assert run_main(src)[0] == 9
+
+    def test_global_modified_across_calls(self):
+        src = """
+        int total = 0;
+        void add(int x) { total += x; }
+        int main(void) { add(3); add(4); return total; }"""
+        assert run_main(src)[0] == 7
+
+
+class TestLibc:
+    def test_printf_formats(self):
+        src = r"""
+        int main(void) {
+          printf("i=%d u=%u x=%x f=%.2f s=%s c=%c\n", -3, 7u, 255, 1.5, "ok", 65);
+          return 0;
+        }"""
+        _, env = run_main(src)
+        assert env.printed() == "i=-3 u=7 x=ff f=1.50 s=ok c=A\n"
+
+    def test_printf_width(self):
+        src = r'int main(void) { printf("[%5d][%-5d]", 42, 42); return 0; }'
+        _, env = run_main(src)
+        assert env.printed() == "[   42][42   ]"
+
+    def test_rand_deterministic(self):
+        src = """
+        int main(void) { srand(42); return rand() % 1000; }"""
+        r1, _ = run_main(src)
+        r2, _ = run_main(src)
+        assert r1 == r2
+
+    def test_strcmp_strlen(self):
+        assert result_of('strcmp("abc", "abc")') == 0
+        assert result_of('strlen("hello")') == 5
+
+    def test_exit(self):
+        from repro.clike.hostlib import _ExitSignal
+        with pytest.raises(_ExitSignal):
+            run_main("int main(void) { exit(3); return 0; }")
+
+    def test_math(self):
+        assert result_of("(int)pow(2.0, 10.0)") == 1024
+        assert result_of("(int)(fabs(-2.5) * 2.0)") == 5
+        assert result_of("(int)fmax(3.0, 7.0)") == 7
+
+
+class TestFloat32Semantics:
+    def test_float_assignment_rounds_to_binary32(self):
+        src = """
+        int main(void) {
+          float f = 0.1f;
+          double d = f;
+          return d == 0.1 ? 1 : 0;
+        }"""
+        # 0.1f != 0.1 in binary
+        assert run_main(src)[0] == 0
+
+    def test_float_accumulation(self):
+        src = """
+        int main(void) {
+          float s = 0.0f;
+          for (int i = 0; i < 100; i++) s += 0.5f;
+          return (int)s;
+        }"""
+        assert run_main(src)[0] == 50
+
+
+class TestIncrementDecrement:
+    def test_pre_post(self):
+        src = """
+        int main(void) {
+          int i = 5;
+          int a = i++;
+          int b = ++i;
+          return a * 100 + b * 10 + i;
+        }"""
+        assert run_main(src)[0] == 5 * 100 + 7 * 10 + 7
+
+    def test_pointer_increment(self):
+        src = """
+        int main(void) {
+          int a[3] = {1, 2, 3};
+          int* p = a;
+          int s = *p++;
+          s += *p;
+          return s;
+        }"""
+        assert run_main(src)[0] == 3
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+@settings(max_examples=50, deadline=None)
+def test_interp_matches_python_arithmetic(a, b):
+    got = result_of(f"({a}) + ({b}) * 2")
+    assert got == _wrap32(a + b * 2)
+
+
+@given(st.integers(-100, 100), st.integers(1, 50))
+@settings(max_examples=50, deadline=None)
+def test_interp_c_division_property(a, b):
+    q = result_of(f"({a}) / ({b})")
+    r = result_of(f"({a}) % ({b})")
+    assert q * b + r == a           # C invariant
+    assert abs(r) < b               # remainder bound
+    assert r == 0 or (r < 0) == (a < 0)  # sign follows dividend
+
+
+def _wrap32(v):
+    v &= 0xFFFFFFFF
+    return v - (1 << 32) if v >= (1 << 31) else v

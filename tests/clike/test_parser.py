@@ -1,0 +1,270 @@
+"""Tests for the C-like parser across the three dialects."""
+
+import pytest
+
+from repro.clike import ast as A
+from repro.clike import parse
+from repro.clike import types as T
+from repro.errors import ParseError
+
+
+def parse_ocl(src):
+    return parse(src, "opencl")
+
+
+def parse_cuda(src):
+    return parse(src, "cuda")
+
+
+def first_fn(unit):
+    fns = unit.functions()
+    assert fns, "no functions parsed"
+    return fns[0]
+
+
+class TestDeclarations:
+    def test_global_constant_array(self):
+        u = parse_ocl("__constant int tbl[4] = {1,2,3,4};")
+        d = u.decls[0]
+        assert isinstance(d, A.VarDecl)
+        assert d.space == T.AddressSpace.CONSTANT
+        assert isinstance(d.type, T.ArrayType) and d.type.length == 4
+        assert isinstance(d.init, A.InitList) and len(d.init.items) == 4
+
+    def test_multi_declarator(self):
+        u = parse("int a = 1, *p, arr[3];", "host")
+        assert len(u.decls) == 3
+        assert isinstance(u.decls[1].type, T.PointerType)
+        assert isinstance(u.decls[2].type, T.ArrayType)
+
+    def test_typedef_struct(self):
+        u = parse("typedef struct Pt { float x; float y; } Pt;\n"
+                  "Pt origin;", "host")
+        td = u.decls[0]
+        assert isinstance(td, A.TypedefDecl)
+        assert isinstance(u.decls[1].type, T.StructType)
+        assert u.decls[1].type.fields["y"] == T.FLOAT
+
+    def test_unsigned_multiword(self):
+        u = parse("unsigned long long x; unsigned int y; long double z;", "host")
+        assert u.decls[0].type == T.ULONGLONG
+        assert u.decls[1].type == T.UINT
+
+    def test_array_bound_constant_folding(self):
+        u = parse("#define N 8\nint a[N*2+1];", "host")
+        assert u.decls[0].type.length == 17
+
+    def test_sizeof_in_array_bound(self):
+        u = parse("char buf[4 * sizeof(int)];", "host")
+        assert u.decls[0].type.length == 16
+
+    def test_function_prototype(self):
+        u = parse("float hypot2(float a, float b);", "host")
+        fn = u.decls[0]
+        assert isinstance(fn, A.FunctionDecl) and fn.body is None
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+
+class TestOpenCLKernels:
+    SRC = """
+    __kernel void k(int n, __global float* out, __local float* tmp,
+                    __constant float* coef) {
+      int gid = get_global_id(0);
+      out[gid] = tmp[0] + coef[0] + n;
+    }
+    """
+
+    def test_kernel_flag_and_param_spaces(self):
+        fn = first_fn(parse_ocl(self.SRC))
+        assert fn.is_kernel
+        spaces = [p.type.space for p in fn.params[1:]]
+        assert spaces == [T.AddressSpace.GLOBAL, T.AddressSpace.LOCAL,
+                          T.AddressSpace.CONSTANT]
+
+    def test_vector_literal(self):
+        u = parse_ocl("__kernel void k(__global float4* o) {"
+                      " o[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f); }")
+        stmt = first_fn(u).body.stmts[0]
+        cast = stmt.expr.value
+        assert isinstance(cast, A.Cast)
+        assert cast.type == T.vector("float", 4)
+        assert isinstance(cast.expr, A.InitList)
+
+    def test_wide_vectors_allowed(self):
+        u = parse_ocl("__kernel void k() { float8 a; int16 b; }")
+        decls = first_fn(u).body.stmts
+        assert decls[0].decls[0].type.count == 8
+        assert decls[1].decls[0].type.count == 16
+
+    def test_longlong_vector_rejected_in_opencl(self):
+        with pytest.raises(ParseError):
+            parse_ocl("__kernel void k() { longlong2 a; }")
+
+    def test_swizzle_member(self):
+        u = parse_ocl("__kernel void k() { float4 v; v.lo = v.hi; v.s01 = v.xy; }")
+        stmts = first_fn(u).body.stmts
+        assert isinstance(stmts[1].expr.target, A.Member)
+        assert stmts[1].expr.target.name == "lo"
+        assert stmts[2].expr.value.name == "xy"
+
+
+class TestCudaConstructs:
+    def test_kernel_launch_full_config(self):
+        u = parse_cuda("""
+        __global__ void k(int* p) {}
+        void host() { k<<<dim3(2,2), 64, 128, 0>>>(0); }
+        """)
+        launch = u.find_function("host").body.stmts[0].expr
+        assert isinstance(launch, A.KernelLaunch)
+        assert launch.shmem is not None and launch.stream is not None
+        assert len(launch.args) == 1
+
+    def test_kernel_launch_minimal(self):
+        u = parse_cuda("__global__ void k() {}\n"
+                       "void host() { k<<<4, 32>>>(); }")
+        launch = u.find_function("host").body.stmts[0].expr
+        assert launch.shmem is None and launch.stream is None
+
+    def test_extern_shared(self):
+        u = parse_cuda("__global__ void k() { extern __shared__ float s[]; }")
+        d = first_fn(u).body.stmts[0].decls[0]
+        assert "extern" in d.quals
+        assert d.space == T.AddressSpace.LOCAL
+        assert isinstance(d.type, T.ArrayType) and d.type.length is None
+
+    def test_texture_reference(self):
+        u = parse_cuda("texture<float, 2, cudaReadModeElementType> tx;")
+        d = u.decls[0]
+        assert isinstance(d.type, T.TextureType)
+        assert d.type.dims == 2
+
+    def test_template_function_and_instantiation(self):
+        u = parse_cuda("""
+        template <typename T> __device__ T twice(T a) { return a + a; }
+        __global__ void k(int* p) { p[0] = twice<int>(21); }
+        """)
+        fn = u.find_function("twice")
+        assert fn.template_params == ["T"]
+        call = u.find_function("k").body.stmts[0].expr.value
+        assert isinstance(call, A.Call) and call.template_args == [T.INT]
+
+    def test_template_less_than_not_confused(self):
+        u = parse_cuda("""
+        template <typename T> __device__ T ident(T a) { return a; }
+        __global__ void k(int* p, int n) { if (ident < p) p[0] = n; }
+        """)
+        cond = u.find_function("k").body.stmts[0].cond
+        assert isinstance(cond, A.BinOp) and cond.op == "<"
+
+    def test_static_cast(self):
+        u = parse_cuda("__device__ int f(float x) { return static_cast<int>(x); }")
+        ret = first_fn(u).body.stmts[0].value
+        assert isinstance(ret, A.Cast) and ret.style == "static"
+
+    def test_reference_parameter(self):
+        u = parse_cuda("__device__ void inc(int& x) { x = x + 1; }")
+        p = first_fn(u).params[0]
+        assert "reference" in p.quals
+        assert isinstance(p.type, T.PointerType)
+
+    def test_dim3_constructor_style_decl(self):
+        u = parse_cuda("void host() { dim3 grid(4, 4); dim3 one; }")
+        d = u.find_function("host").body.stmts[0].decls[0]
+        assert isinstance(d.init, A.InitList) and len(d.init.items) == 2
+
+    def test_device_var_space(self):
+        u = parse_cuda("__device__ int g[64];")
+        assert u.decls[0].space == T.AddressSpace.GLOBAL
+
+    def test_constant_var_space(self):
+        u = parse_cuda("__constant__ float c[16];")
+        assert u.decls[0].space == T.AddressSpace.CONSTANT
+
+
+class TestStatements:
+    def test_for_with_decl(self):
+        u = parse("void f() { for (int i = 0; i < 4; i++) {} }", "host")
+        loop = first_fn(u).body.stmts[0]
+        assert isinstance(loop, A.For)
+        assert isinstance(loop.init, A.DeclStmt)
+
+    def test_do_while(self):
+        u = parse("void f() { int i = 0; do { i++; } while (i < 3); }", "host")
+        assert isinstance(first_fn(u).body.stmts[1], A.DoWhile)
+
+    def test_switch(self):
+        u = parse("""
+        int f(int x) {
+          switch (x) {
+            case 1: return 10;
+            case 2: case 3: return 20;
+            default: return 0;
+          }
+        }""", "host")
+        sw = first_fn(u).body.stmts[0]
+        assert isinstance(sw, A.Switch)
+        assert len(sw.cases) == 4
+        assert sw.cases[3].value is None
+
+    def test_ternary_and_comma(self):
+        u = parse("int f(int a) { int b = a ? 1 : 2; return (a++, b); }", "host")
+        decl = first_fn(u).body.stmts[0].decls[0]
+        assert isinstance(decl.init, A.Cond)
+
+    def test_nested_index_and_member(self):
+        u = parse("""
+        typedef struct S { int v[4]; } S;
+        int f(S* s, int i) { return s->v[i] + (*s).v[0]; }
+        """, "host")
+        expr = first_fn(u).body.stmts[0].value
+        assert isinstance(expr, A.BinOp)
+
+
+class TestPrecedence:
+    def test_mul_over_add(self):
+        u = parse("int x = 1 + 2 * 3;", "host")
+        init = u.decls[0].init
+        assert init.op == "+" and init.rhs.op == "*"
+
+    def test_shift_vs_compare(self):
+        u = parse("int x = 1 << 2 < 3;", "host")
+        assert u.decls[0].init.op == "<"
+
+    def test_assignment_right_assoc(self):
+        u = parse("void f() { int a, b, c; a = b = c = 1; }", "host")
+        expr = first_fn(u).body.stmts[1].expr
+        assert isinstance(expr.value, A.Assign)
+
+    def test_unary_binds_tighter(self):
+        u = parse("int x = -1 * 2;", "host")
+        assert u.decls[0].init.op == "*"
+        assert isinstance(u.decls[0].init.lhs, A.UnOp)
+
+    def test_cast_of_call(self):
+        u = parse("float f() { return (float)rand(); }", "host")
+        ret = first_fn(u).body.stmts[0].value
+        assert isinstance(ret, A.Cast)
+        assert isinstance(ret.expr, A.Call)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int a = 1 int b;", "host")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse("flaot x;", "host")
+
+    def test_launch_not_allowed_in_host_dialect(self):
+        with pytest.raises(ParseError):
+            parse("void f() { k<<<1, 2>>>(); }", "host")
+
+    def test_reference_rejected_in_c(self):
+        with pytest.raises(ParseError):
+            parse("void f(int& x) {}", "host")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as ei:
+            parse("int a;\nint b = ;", "host")
+        assert ei.value.line == 2

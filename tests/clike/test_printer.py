@@ -1,0 +1,162 @@
+"""Printer tests: parse -> print -> re-parse fixpoint (round-trip)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clike import parse, print_unit
+
+OCL_SAMPLES = [
+    "__kernel void k(__global float* o) { o[get_global_id(0)] = 1.0f; }",
+    """__constant int tbl[4] = {1, 2, 3, 4};
+    __kernel void k(int n, __local int* l, __constant int* c, __global int* g) {
+      __local int s[32];
+      int gid = get_global_id(0);
+      for (int i = 0; i < n; i++) s[gid % 32] += c[i];
+      barrier(1);
+      g[gid] = s[gid % 32] + l[0];
+    }""",
+    """__kernel void v(__global float4* a, __global float4* b) {
+      int i = get_global_id(0);
+      float4 t = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+      a[i].lo = b[i].hi;
+      a[i] = a[i] * t + b[i];
+    }""",
+    """float16 widen(float8 a, float8 b);
+    __kernel void w(__global float16* o, __global float8* p) {
+      o[0] = widen(p[0], p[1]);
+    }""",
+]
+
+CUDA_SAMPLES = [
+    "__global__ void k(float* o) { o[threadIdx.x] = 1.0f; }",
+    """__constant__ int tbl[4] = {1, 2, 3, 4};
+    __device__ int gdata[64];
+    __global__ void k(int n, int* g) {
+      __shared__ int s[32];
+      extern __shared__ int dyn[];
+      int tid = blockIdx.x * blockDim.x + threadIdx.x;
+      if (tid < n) g[tid] = s[tid % 32] + dyn[0] + tbl[tid % 4];
+      __syncthreads();
+    }""",
+    """texture<float, 2, cudaReadModeElementType> tx;
+    __global__ void t(float* o, int w) {
+      int x = threadIdx.x; int y = blockIdx.x;
+      o[y * w + x] = tex2D(tx, (float)x, (float)y);
+    }""",
+    """template <typename T> __device__ T mymax(T a, T b) { return a > b ? a : b; }
+    __global__ void k(int* o) { o[0] = mymax<int>(1, 2); }""",
+    """__global__ void k(int* p) {}
+    int main(void) {
+      int* d;
+      cudaMalloc((void**)&d, 256);
+      dim3 g = {4, 4, 1};
+      k<<<g, 64, 32, 0>>>(d);
+      cudaMemcpyToSymbol(d, d, 4);
+      return 0;
+    }""",
+]
+
+HOST_SAMPLES = [
+    """int main(void) {
+      cl_mem buf;
+      size_t gws[3] = {64, 1, 1};
+      float* h = (float*)malloc(64 * sizeof(float));
+      for (int i = 0; i < 64; i++) h[i] = (float)i * 0.5f;
+      free(h);
+      return 0;
+    }""",
+    """typedef struct Rec { int id; float val; } Rec;
+    void f(Rec* r, int n) {
+      for (int i = 0; i < n; i++) {
+        r[i].id = i;
+        r[i].val = i > 10 ? 1.0f : -1.0f;
+      }
+    }""",
+]
+
+
+def roundtrip(src, dialect):
+    u1 = parse(src, dialect)
+    s1 = print_unit(u1, dialect)
+    u2 = parse(s1, dialect)
+    s2 = print_unit(u2, dialect)
+    return s1, s2
+
+
+@pytest.mark.parametrize("src", OCL_SAMPLES)
+def test_opencl_roundtrip_fixpoint(src):
+    s1, s2 = roundtrip(src, "opencl")
+    assert s1 == s2
+
+
+@pytest.mark.parametrize("src", CUDA_SAMPLES)
+def test_cuda_roundtrip_fixpoint(src):
+    s1, s2 = roundtrip(src, "cuda")
+    assert s1 == s2
+
+
+@pytest.mark.parametrize("src", HOST_SAMPLES)
+def test_host_roundtrip_fixpoint(src):
+    s1, s2 = roundtrip(src, "host")
+    assert s1 == s2
+
+
+def test_opencl_spaces_survive_roundtrip():
+    src = "__kernel void k(__global float* g, __local int* l) {}"
+    s1, _ = roundtrip(src, "opencl")
+    assert "__global float*" in s1
+    assert "__local int*" in s1
+
+
+def test_cuda_launch_printed():
+    src = "__global__ void k() {}\nvoid h() { k<<<2, 32>>>(); }"
+    s1, _ = roundtrip(src, "cuda")
+    assert "<<<2, 32>>>" in s1
+
+
+def test_vector_literal_styles():
+    u = parse("__kernel void k(__global float4* o) {"
+              " o[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f); }", "opencl")
+    assert "(float4)(" in print_unit(u, "opencl")
+    # the same AST printed as CUDA uses make_float4
+    assert "make_float4(" in print_unit(u, "cuda")
+
+
+# -- property-based expression round-trip ------------------------------------
+
+_leaf = st.sampled_from(["a", "b", "c", "1", "2", "3.5f", "7u"])
+_binop = st.sampled_from(["+", "-", "*", "/", "%", "<<", ">>", "<", ">",
+                          "==", "!=", "&", "|", "^", "&&", "||"])
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth > 4 or draw(st.booleans()):
+        return draw(_leaf)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return (f"({draw(exprs(depth + 1))} {draw(_binop)} "
+                f"{draw(exprs(depth + 1))})")
+    if kind == 1:
+        return f"(-{draw(exprs(depth + 1))})"
+    if kind == 2:
+        return (f"({draw(exprs(depth + 1))} ? {draw(exprs(depth + 1))} "
+                f": {draw(exprs(depth + 1))})")
+    return f"f({draw(exprs(depth + 1))})"
+
+
+@given(exprs())
+@settings(max_examples=120, deadline=None)
+def test_random_expression_roundtrip(expr):
+    """print(parse(e)) must be a parse fixpoint AND preserve structure.
+
+    We compare the second and third printings: the first may normalize
+    redundant parens, after which printing must be stable.
+    """
+    src = f"int f(int x);\nvoid g(int a, int b, int c) {{ int r = {expr}; }}"
+    u1 = parse(src, "host")
+    s1 = print_unit(u1, "host")
+    u2 = parse(s1, "host")
+    s2 = print_unit(u2, "host")
+    assert s1 == s2

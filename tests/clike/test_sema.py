@@ -1,0 +1,169 @@
+"""Tests for semantic analysis / expression type annotation."""
+
+import pytest
+
+from repro.clike import ast as A
+from repro.clike import parse
+from repro.clike import types as T
+from repro.clike.sema import Sema, annotate_unit, resolve_conversion
+from repro.clike.dialect import get_dialect
+from repro.errors import SemaError
+
+
+def annotated(src, dialect):
+    u = parse(src, dialect)
+    annotate_unit(u, dialect)
+    return u
+
+
+def body_stmts(u, name=None):
+    fn = u.find_function(name) if name else u.functions()[0]
+    return fn.body.stmts
+
+
+class TestLiteralsAndIdents:
+    def test_literals(self):
+        u = annotated("void f() { int a = 1; float b = 2.5f; double c = 2.5; }",
+                      "host")
+        decls = [s.decls[0] for s in body_stmts(u)]
+        assert decls[0].init.ctype == T.INT
+        assert decls[1].init.ctype == T.FLOAT
+        assert decls[2].init.ctype == T.DOUBLE
+
+    def test_param_lookup(self):
+        u = annotated("float f(float x) { return x; }", "host")
+        assert body_stmts(u)[0].value.ctype == T.FLOAT
+
+    def test_global_lookup(self):
+        u = annotated("__constant float c[4] = {0};\n"
+                      "__kernel void k(__global float* o) { o[0] = c[1]; }",
+                      "opencl")
+        assign = body_stmts(u, "k")[0].expr
+        assert assign.value.ctype == T.FLOAT
+
+    def test_unknown_ident_defaults_to_int(self):
+        u = annotated("void f() { int x = CL_MEM_READ_ONLY; }", "host")
+        assert body_stmts(u)[0].decls[0].init.ctype == T.INT
+
+
+class TestArithmetic:
+    def test_promotion(self):
+        u = annotated("void f(int i, float x) { double d = i + x; }", "host")
+        assert body_stmts(u)[0].decls[0].init.ctype == T.FLOAT
+
+    def test_comparison_is_int(self):
+        u = annotated("void f(float x) { int b = x < 1.0f; }", "host")
+        assert body_stmts(u)[0].decls[0].init.ctype == T.INT
+
+    def test_pointer_arithmetic(self):
+        u = annotated("void f(float* p) { float* q = p + 3; }", "host")
+        q = body_stmts(u)[0].decls[0]
+        assert isinstance(q.init.ctype, T.PointerType)
+        assert q.init.ctype.pointee == T.FLOAT
+
+    def test_vector_op_scalar(self):
+        u = annotated("__kernel void k(__global float4* a) {"
+                      " float4 v = a[0] * 2.0f; }", "opencl")
+        assert body_stmts(u)[0].decls[0].init.ctype == T.vector("float", 4)
+
+    def test_vector_comparison_yields_int_vector(self):
+        u = annotated("__kernel void k() { float4 a; float4 b;"
+                      " int4 m = a < b; }", "opencl")
+        assert body_stmts(u)[2].decls[0].init.ctype == T.vector("int", 4)
+
+
+class TestMembers:
+    def test_struct_field(self):
+        u = annotated("typedef struct P { float x; int n; } P;\n"
+                      "void f(P* p) { float v = p->x; int m = p->n; }", "host")
+        stmts = body_stmts(u)
+        assert stmts[0].decls[0].init.ctype == T.FLOAT
+        assert stmts[1].decls[0].init.ctype == T.INT
+
+    def test_swizzle_scalar_and_vector(self):
+        u = annotated("__kernel void k() { float4 v;"
+                      " float a = v.x; float2 b = v.lo; }", "opencl")
+        stmts = body_stmts(u)
+        assert stmts[1].decls[0].init.ctype == T.FLOAT
+        assert stmts[2].decls[0].init.ctype == T.vector("float", 2)
+
+    def test_bad_swizzle_raises(self):
+        u = parse("__kernel void k() { float2 v; v.z = 1.0f; }", "opencl")
+        with pytest.raises(SemaError):
+            annotate_unit(u, "opencl")
+
+    def test_cuda_threadidx_member(self):
+        u = annotated("__global__ void k(int* o) { o[0] = threadIdx.x; }",
+                      "cuda")
+        assign = body_stmts(u)[0].expr
+        assert assign.value.ctype == T.UINT
+
+
+class TestCalls:
+    def test_workitem_fn(self):
+        u = annotated("__kernel void k(__global int* o) {"
+                      " o[0] = get_global_id(0); }", "opencl")
+        assert body_stmts(u)[0].expr.value.ctype == T.SIZE_T
+
+    def test_generic_math_vector(self):
+        u = annotated("__kernel void k() { float4 v; float4 r = sqrt(v); }",
+                      "opencl")
+        assert body_stmts(u)[1].decls[0].init.ctype == T.vector("float", 4)
+
+    def test_dot_returns_scalar(self):
+        u = annotated("__kernel void k() { float4 a; float4 b;"
+                      " float d = dot(a, b); }", "opencl")
+        assert body_stmts(u)[2].decls[0].init.ctype == T.FLOAT
+
+    def test_user_function_return_type(self):
+        u = annotated("float g(int a) { return (float)a; }\n"
+                      "void f() { float x = g(3); }", "host")
+        assert body_stmts(u, "f")[0].decls[0].init.ctype == T.FLOAT
+
+    def test_atomic_returns_pointee(self):
+        u = annotated("__kernel void k(__global int* c) { atomic_add(c, 1); }",
+                      "opencl")
+        assert body_stmts(u)[0].expr.ctype == T.INT
+
+    def test_make_vector_cuda(self):
+        u = annotated("__global__ void k(float4* o) {"
+                      " o[0] = make_float4(0.0f, 0.0f, 0.0f, 0.0f); }", "cuda")
+        assert body_stmts(u)[0].expr.value.ctype == T.vector("float", 4)
+
+
+class TestConversions:
+    def test_convert_builtin(self):
+        d = get_dialect("opencl")
+        assert resolve_conversion("convert_int4", d) == T.vector("int", 4)
+        assert resolve_conversion("convert_float", d) == T.FLOAT
+        assert resolve_conversion("convert_uchar4_sat", d) == T.vector("uchar", 4)
+        assert resolve_conversion("convert_int_rte", d) == T.INT
+
+    def test_as_builtin(self):
+        d = get_dialect("opencl")
+        assert resolve_conversion("as_uint", d) == T.UINT
+        assert resolve_conversion("as_float4", d) == T.vector("float", 4)
+
+    def test_not_a_conversion(self):
+        d = get_dialect("opencl")
+        assert resolve_conversion("convert", d) is None
+        assert resolve_conversion("sqrt", d) is None
+
+
+class TestAddressOfAndDeref:
+    def test_address_of(self):
+        u = annotated("void f() { int x; int* p = &x; }", "host")
+        p = body_stmts(u)[1].decls[0]
+        assert isinstance(p.init.ctype, T.PointerType)
+
+    def test_deref(self):
+        u = annotated("void f(float* p) { float v = *p; }", "host")
+        assert body_stmts(u)[0].decls[0].init.ctype == T.FLOAT
+
+    def test_index_of_array(self):
+        u = annotated("void f() { int a[4]; int v = a[0]; }", "host")
+        assert body_stmts(u)[1].decls[0].init.ctype == T.INT
+
+    def test_sizeof_is_size_t(self):
+        u = annotated("void f() { size_t s = sizeof(double); }", "host")
+        assert body_stmts(u)[0].decls[0].init.ctype == T.SIZE_T

@@ -1,0 +1,153 @@
+"""Tests for the type system: sizes, layouts, conversions, swizzles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clike import types as T
+from repro.clike.stdlib import swizzle_indices
+
+
+class TestScalarSizes:
+    @pytest.mark.parametrize("name,size", [
+        ("char", 1), ("uchar", 1), ("short", 2), ("ushort", 2),
+        ("int", 4), ("uint", 4), ("long", 8), ("ulong", 8),
+        ("longlong", 8), ("float", 4), ("double", 8), ("size_t", 8),
+    ])
+    def test_sizes(self, name, size):
+        assert T.scalar(name).size == size
+
+    def test_long_equals_longlong_width(self):
+        # the identity the CUDA->OpenCL translator exploits (§3.6)
+        assert T.LONG.size == T.LONGLONG.size == 8
+
+    def test_aliases(self):
+        assert T.scalar("unsigned") == T.UINT
+        assert T.scalar("long long") == T.LONGLONG
+
+    def test_np_dtype_widths_match(self):
+        for t in T.SCALAR_TYPES.values():
+            if t.name != "void":
+                assert t.np_dtype.itemsize == t.size
+
+
+class TestVectors:
+    def test_three_wide_padded_to_four(self):
+        assert T.vector("float", 3).size == 16
+        assert T.vector("float", 3).storage_count == 4
+
+    def test_sizes(self):
+        assert T.vector("float", 4).size == 16
+        assert T.vector("uchar", 16).size == 16
+        assert T.vector("double", 8).size == 64
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            T.vector("int", 5)
+
+
+class TestStructLayout:
+    def test_padding_and_alignment(self):
+        s = T.StructType("S", [("a", T.CHAR), ("b", T.INT), ("c", T.CHAR)])
+        assert s.offsets == {"a": 0, "b": 4, "c": 8}
+        assert s.size == 12  # padded to int alignment
+
+    def test_nested_array_field(self):
+        s = T.StructType("S", [("v", T.ArrayType(T.FLOAT, 4)), ("n", T.INT)])
+        assert s.field_offset("n") == 16
+        assert s.size == 20
+
+    def test_duplicate_field_rejected(self):
+        s = T.StructType("S", [("a", T.INT)])
+        with pytest.raises(ValueError):
+            s.add_field("a", T.FLOAT)
+
+    def test_struct_equality_by_name(self):
+        assert T.StructType("S", [("a", T.INT)]) == T.StructType("S")
+
+
+class TestCommonType:
+    @pytest.mark.parametrize("a,b,expect", [
+        (T.INT, T.FLOAT, T.FLOAT),
+        (T.FLOAT, T.DOUBLE, T.DOUBLE),
+        (T.CHAR, T.CHAR, T.INT),       # integer promotion
+        (T.INT, T.UINT, T.UINT),       # unsigned wins at equal rank
+        (T.INT, T.LONG, T.LONG),
+        (T.UINT, T.LONG, T.LONG),
+    ])
+    def test_scalar_pairs(self, a, b, expect):
+        assert T.common_type(a, b) == expect
+
+    def test_vector_scalar(self):
+        v = T.vector("float", 4)
+        assert T.common_type(v, T.FLOAT) == v
+        assert T.common_type(T.INT, v) == v
+
+    def test_vector_vector_width_mismatch(self):
+        with pytest.raises(TypeError):
+            T.common_type(T.vector("float", 4), T.vector("float", 2))
+
+    @given(st.sampled_from(list(T.SCALAR_TYPES.values())[1:]),
+           st.sampled_from(list(T.SCALAR_TYPES.values())[1:]))
+    def test_commutative_up_to_representation(self, a, b):
+        if a.name == "void" or b.name == "void":
+            return
+        x = T.common_type(a, b)
+        y = T.common_type(b, a)
+        # aliases of equal rank (ulong vs size_t) may differ in name but
+        # must agree in representation
+        assert (x.size, x.signed, x.floating) == (y.size, y.signed, y.floating)
+
+
+class TestSwizzles:
+    def test_xyzw(self):
+        assert swizzle_indices("x", 4) == [0]
+        assert swizzle_indices("w", 4) == [3]
+        assert swizzle_indices("xy", 4) == [0, 1]
+        assert swizzle_indices("xx", 2) == [0, 0]
+
+    def test_named_halves(self):
+        assert swizzle_indices("lo", 4) == [0, 1]
+        assert swizzle_indices("hi", 4) == [2, 3]
+        assert swizzle_indices("even", 8) == [0, 2, 4, 6]
+        assert swizzle_indices("odd", 4) == [1, 3]
+
+    def test_numeric(self):
+        assert swizzle_indices("s0", 4) == [0]
+        assert swizzle_indices("s37", 8) == [3, 7]
+        assert swizzle_indices("sF", 16) == [15]
+
+    def test_out_of_range(self):
+        assert swizzle_indices("z", 2) is None
+        assert swizzle_indices("s4", 4) is None
+
+    def test_not_a_swizzle(self):
+        assert swizzle_indices("foo", 4) is None
+        assert swizzle_indices("", 4) is None
+
+    @given(st.sampled_from([2, 3, 4, 8, 16]))
+    def test_lo_hi_partition(self, width):
+        lo = swizzle_indices("lo", width)
+        hi = swizzle_indices("hi", width)
+        # lo/hi cover the first 2*(width//2) components exactly once
+        assert sorted(lo + hi) == list(range(2 * (width // 2)))
+
+    @given(st.sampled_from([2, 4, 8, 16]))
+    def test_even_odd_partition(self, width):
+        even = swizzle_indices("even", width)
+        odd = swizzle_indices("odd", width)
+        assert sorted(even + odd) == list(range(width))
+
+
+class TestPointerAndArray:
+    def test_pointer_size(self):
+        assert T.PointerType(T.DOUBLE).size == 8
+
+    def test_array_size(self):
+        assert T.ArrayType(T.vector("float", 2), 10).size == 80
+        assert T.ArrayType(T.INT, None).size is None
+
+    def test_texture_and_image_str(self):
+        assert str(T.ImageType(2)) == "image2d_t"
+        assert str(T.ImageType(1, buffer=True)) == "image1d_buffer_t"
+        assert "texture<float, 2" in str(T.TextureType(T.FLOAT, 2))

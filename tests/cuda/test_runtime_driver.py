@@ -1,0 +1,201 @@
+"""Direct tests of the simulated CUDA runtime and driver APIs."""
+
+import pytest
+
+from repro.clike import parse
+from repro.clike import types as T
+from repro.clike.hostlib import HostEnv
+from repro.clike.interp import Interp
+from repro.cuda import (CUDA_CONSTANTS, CudaDriver, CudaRuntime, TextureRef,
+                        cuda_err_name, dim3_tuple)
+from repro.device.engine import Device
+from repro.device.specs import GTX_TITAN, HD7970
+from repro.errors import CudaApiError
+from repro.runtime.memory import Memory
+from repro.runtime.values import Ptr, StructRef, Vec
+
+_K = CUDA_CONSTANTS
+
+
+def run_cu(src, runtime=None):
+    env = HostEnv()
+    rt = runtime or CudaRuntime()
+    unit = parse(src, "cuda")
+    rt.load_unit(unit)
+    interp = Interp(unit, env, "cuda")
+    interp.init_globals()
+    rt.attach(interp, env)
+    return interp.call("main", []), env, rt
+
+
+class TestDriver:
+    def test_rejects_amd(self):
+        with pytest.raises(CudaApiError):
+            CudaDriver(device=Device(HD7970))
+
+    def test_mem_alloc_free(self):
+        drv = CudaDriver()
+        p = drv.cuMemAlloc(1024)
+        used = drv.device.global_mem.allocator.used_bytes()
+        drv.cuMemFree(p)
+        assert drv.device.global_mem.allocator.used_bytes() < used
+
+    def test_invalid_alloc(self):
+        with pytest.raises(CudaApiError):
+            CudaDriver().cuMemAlloc(0)
+
+    def test_module_load_and_launch(self):
+        drv = CudaDriver()
+        mod = drv.cuModuleLoadData(
+            "__global__ void twice(int* p) { p[threadIdx.x] *= 2; }")
+        f = drv.cuModuleGetFunction(mod, "twice")
+        p = drv.cuMemAlloc(16 * 4)
+        view = drv.device.global_mem.typed_view(p.off, T.INT, 16)
+        view[:] = range(16)
+        drv.cuLaunchKernel(f, 1, 1, 1, 16, 1, 1, 0, 0,
+                           [p.retype(T.INT)])
+        assert list(view) == [2 * i for i in range(16)]
+
+    def test_module_get_global(self):
+        drv = CudaDriver()
+        mod = drv.cuModuleLoadData(
+            "__constant__ float c[4] = {1, 2, 3, 4};\n"
+            "__global__ void k(float* o) { o[0] = c[0]; }")
+        ptr, size = drv.cuModuleGetGlobal(mod, "c")
+        assert size == 16
+        assert ptr.mem.read_scalar(ptr.off + 4, T.FLOAT) == 2.0
+
+    def test_unknown_function(self):
+        drv = CudaDriver()
+        mod = drv.cuModuleLoadData("__global__ void k(int* p) {}")
+        with pytest.raises(CudaApiError):
+            drv.cuModuleGetFunction(mod, "nope")
+
+    def test_memcpy_roundtrip(self):
+        drv = CudaDriver()
+        host = Memory("h", 256)
+        host.write_scalar(0, T.INT, 1234)
+        d = drv.cuMemAlloc(64)
+        drv.cuMemcpyHtoD(d, Ptr(host, 0, T.VOID), 4)
+        drv.cuMemcpyDtoH(Ptr(host, 64, T.VOID), d, 4)
+        assert host.read_scalar(64, T.INT) == 1234
+
+    def test_memset(self):
+        drv = CudaDriver()
+        d = drv.cuMemAlloc(64)
+        drv.cuMemsetD32(d, 7, 4)
+        assert list(drv.device.global_mem.typed_view(d.off, T.UINT, 4)) \
+            == [7] * 4
+
+
+class TestDim3:
+    def test_int(self):
+        assert dim3_tuple(5) == (5, 1, 1)
+
+    def test_vec(self):
+        assert dim3_tuple(Vec(T.vector("uint", 3), [2, 3, 4])) == (2, 3, 4)
+
+    def test_struct(self):
+        from repro.clike.dialect import CUDA
+        mem = Memory("t", 64)
+        ref = StructRef(mem, 0, CUDA.typedefs["dim3"])
+        ref.set("x", 7)
+        ref.set("y", 2)
+        ref.set("z", 1)
+        assert dim3_tuple(ref) == (7, 2, 1)
+
+    def test_invalid(self):
+        with pytest.raises(CudaApiError):
+            dim3_tuple("nope")
+
+
+class TestRuntimeFromC:
+    def test_events_and_streams(self):
+        ret, env, _ = run_cu(r"""
+        __global__ void k(int* p) { p[threadIdx.x] = 1; }
+        int main(void) {
+          cudaEvent_t a, b;
+          cudaEventCreate(&a);
+          cudaEventCreate(&b);
+          cudaEventRecord(a, 0);
+          int* d;
+          cudaMalloc((void**)&d, 256);
+          k<<<1, 64>>>(d);
+          cudaEventRecord(b, 0);
+          cudaEventSynchronize(b);
+          float ms;
+          cudaEventElapsedTime(&ms, a, b);
+          printf(ms >= 0.0f ? "PASSED %f\n" : "FAILED\n", ms);
+          return 0;
+        }""")
+        assert ret == 0 and "PASSED" in env.printed()
+
+    def test_get_last_error_clears(self):
+        ret, env, _ = run_cu(r"""
+        int main(void) {
+          int e1 = cudaGetLastError();
+          printf("%d\n", e1);
+          return e1;
+        }""")
+        assert ret == 0
+
+    def test_mem_get_info(self):
+        ret, env, rt = run_cu(r"""
+        int main(void) {
+          size_t freeb, totalb;
+          cudaMemGetInfo(&freeb, &totalb);
+          printf(totalb > freeb ? "FAILED\n" : "used none yet\n");
+          printf(totalb > 0u && freeb > 0u ? "PASSED\n" : "FAILED\n");
+          return 0;
+        }""")
+        assert "PASSED" in env.printed()
+
+    def test_device_properties_struct(self):
+        ret, env, _ = run_cu(r"""
+        int main(void) {
+          cudaDeviceProp prop;
+          cudaGetDeviceProperties(&prop, 0);
+          printf("%s %d %d\n", prop.name, prop.warpSize,
+                 prop.multiProcessorCount);
+          int ok = prop.warpSize == 32 && prop.multiProcessorCount == 14
+                && prop.major == 3 && prop.minor == 5;
+          printf(ok ? "PASSED\n" : "FAILED\n");
+          return 0;
+        }""")
+        assert "PASSED" in env.printed()
+        assert "Titan" in env.printed()
+
+    def test_texture_attributes_from_c(self):
+        ret, env, rt = run_cu(r"""
+        texture<float, 1, cudaReadModeElementType> tx;
+        __global__ void k(float* o) { o[0] = tex1Dfetch(tx, 0); }
+        int main(void) {
+          tx.filterMode = cudaFilterModeLinear;
+          tx.addressMode[0] = cudaAddressModeWrap;
+          tx.normalized = 1;
+          float* d;
+          cudaMalloc((void**)&d, 64);
+          cudaBindTexture(NULL, tx, d, 64);
+          return 0;
+        }""")
+        ref = rt.module.globals_values["tx"]
+        assert ref.filterMode == 1
+        assert ref.addressMode[0] == 0
+        assert ref.normalized == 1
+        assert ref.sampler.filtering == "linear"
+        assert ref.sampler.normalized
+
+    def test_oversized_linear_texture_rejected_natively(self):
+        # the CC 3.5 limit is 2^27 texels — allocating past it must fail
+        drv = CudaDriver()
+        ref = TextureRef("t", T.TextureType(T.FLOAT, 1))
+        p = drv.cuMemAlloc(1024)
+        with pytest.raises(CudaApiError):
+            ref.bind_linear(p, (1 << 28) * 4, GTX_TITAN.cuda_max_tex1d_linear)
+
+
+class TestErrName:
+    def test_names(self):
+        assert cuda_err_name(0) == "cudaSuccess"
+        assert cuda_err_name(2) == "cudaErrorMemoryAllocation"
+        assert "cudaError_" in cuda_err_name(12345)

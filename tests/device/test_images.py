@@ -1,0 +1,137 @@
+"""Tests for image/texture storage and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.clike import types as T
+from repro.device.images import ChannelFormat, DeviceImage, Sampler
+from repro.errors import DeviceError
+
+
+def make_gradient_2d(w=8, h=4):
+    fmt = ChannelFormat("R", "FLOAT")
+    img = DeviceImage(2, (w, h), fmt)
+    data = np.arange(w * h, dtype=np.float32)
+    img.upload(data.tobytes())
+    return img, data.reshape(h, w)
+
+
+class TestChannelFormat:
+    def test_pixel_bytes(self):
+        assert ChannelFormat("RGBA", "FLOAT").pixel_bytes == 16
+        assert ChannelFormat("R", "UNSIGNED_INT8").pixel_bytes == 1
+        assert ChannelFormat("RG", "SIGNED_INT16").pixel_bytes == 4
+
+    def test_read_suffix(self):
+        assert ChannelFormat("R", "FLOAT").read_suffix == "f"
+        assert ChannelFormat("R", "SIGNED_INT32").read_suffix == "i"
+        assert ChannelFormat("R", "UNSIGNED_INT32").read_suffix == "ui"
+        assert ChannelFormat("R", "UNORM_INT8").read_suffix == "f"
+
+    def test_invalid(self):
+        with pytest.raises(DeviceError):
+            ChannelFormat("XYZW", "FLOAT")
+        with pytest.raises(DeviceError):
+            ChannelFormat("R", "FLOAT128")
+
+
+class TestSampling:
+    def test_nearest_read(self):
+        img, ref = make_gradient_2d()
+        s = Sampler(filtering="nearest")
+        v = img.read(s, [3.0, 2.0])
+        assert v.vals[0] == ref[2, 3]
+
+    def test_missing_channels_fill_0001(self):
+        img, _ = make_gradient_2d()
+        v = img.read(Sampler(), [0.0, 0.0])
+        assert v.vals[1:] == [0.0, 0.0, 1.0]
+
+    def test_clamp_addressing(self):
+        img, ref = make_gradient_2d()
+        s = Sampler(addressing="clamp_to_edge")
+        assert img.read(s, [-5.0, 0.0]).vals[0] == ref[0, 0]
+        assert img.read(s, [100.0, 100.0]).vals[0] == ref[-1, -1]
+
+    def test_repeat_addressing(self):
+        img, ref = make_gradient_2d()
+        s = Sampler(addressing="repeat")
+        assert img.read(s, [8.0, 0.0]).vals[0] == ref[0, 0]
+
+    def test_normalized_coords(self):
+        img, ref = make_gradient_2d(8, 4)
+        s = Sampler(normalized=True)
+        assert img.read(s, [0.5 + 0.01, 0.0]).vals[0] == ref[0, 4]
+
+    def test_linear_filtering_midpoint(self):
+        fmt = ChannelFormat("R", "FLOAT")
+        img = DeviceImage(1, (4,), fmt)
+        img.upload(np.array([0, 10, 20, 30], np.float32).tobytes())
+        s = Sampler(filtering="linear")
+        # sample halfway between texel 0 and 1 (texel centers at +0.5)
+        v = img.read(s, [1.0])
+        assert v.vals[0] == pytest.approx(5.0)
+
+    def test_bilinear_2d(self):
+        fmt = ChannelFormat("R", "FLOAT")
+        img = DeviceImage(2, (2, 2), fmt)
+        img.upload(np.array([0, 10, 20, 30], np.float32).tobytes())
+        s = Sampler(filtering="linear")
+        v = img.read(s, [1.0, 1.0])  # center of the 4 texels
+        assert v.vals[0] == pytest.approx(15.0)
+
+    def test_unorm8_scales(self):
+        fmt = ChannelFormat("R", "UNORM_INT8")
+        img = DeviceImage(1, (2,), fmt)
+        img.upload(np.array([0, 255], np.uint8).tobytes())
+        v = img.read(Sampler(), [1.0])
+        assert v.vals[0] == pytest.approx(1.0)
+
+    def test_integer_image_reads_int_vector(self):
+        fmt = ChannelFormat("R", "SIGNED_INT32")
+        img = DeviceImage(1, (2,), fmt)
+        img.upload(np.array([-5, 9], np.int32).tobytes())
+        v = img.read(Sampler(), [0.0])
+        assert v.vals[0] == -5
+        assert v.ctype == T.vector("int", 4)
+
+
+class TestWrites:
+    def test_write_and_read_back(self):
+        from repro.runtime.values import Vec
+        img, _ = make_gradient_2d()
+        img.write([1, 1], Vec(T.vector("float", 4), [99.0, 0, 0, 0]))
+        assert img.read(Sampler(), [1.0, 1.0]).vals[0] == 99.0
+
+    def test_out_of_bounds_write_dropped(self):
+        from repro.runtime.values import Vec
+        img, ref = make_gradient_2d()
+        img.write([100, 100], Vec(T.vector("float", 4), [1, 1, 1, 1]))
+        assert img.read(Sampler(), [7.0, 3.0]).vals[0] == ref[3, 7]
+
+    def test_3d_image(self):
+        fmt = ChannelFormat("R", "FLOAT")
+        img = DeviceImage(3, (2, 2, 2), fmt)
+        img.upload(np.arange(8, dtype=np.float32).tobytes())
+        v = img.read(Sampler(), [1.0, 1.0, 1.0])
+        assert v.vals[0] == 7.0
+
+
+class TestValidation:
+    def test_bad_dims(self):
+        with pytest.raises(DeviceError):
+            DeviceImage(4, (2, 2, 2, 2), ChannelFormat())
+
+    def test_bad_shape(self):
+        with pytest.raises(DeviceError):
+            DeviceImage(2, (0, 4), ChannelFormat())
+
+    def test_upload_too_small(self):
+        img = DeviceImage(1, (8,), ChannelFormat("R", "FLOAT"))
+        with pytest.raises(DeviceError):
+            img.upload(b"\0" * 4)
+
+    def test_download_roundtrip(self):
+        img, ref = make_gradient_2d()
+        back = np.frombuffer(img.download(), np.float32).reshape(ref.shape)
+        assert np.array_equal(back, ref)

@@ -1,0 +1,202 @@
+"""Tests for memory pools, the allocator, pointers and values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clike import types as T
+from repro.errors import MemoryFault
+from repro.runtime.memory import Allocator, Memory
+from repro.runtime.values import Ptr, StructRef, Vec, coerce
+
+
+class TestAllocator:
+    def test_alloc_and_free(self):
+        a = Allocator(1024)
+        x = a.alloc(100)
+        y = a.alloc(100)
+        assert x != y
+        a.free(x)
+        a.free(y)
+        assert a.free_bytes() == 1024
+
+    def test_alignment(self):
+        a = Allocator(1024)
+        a.alloc(3, align=1)
+        y = a.alloc(16, align=64)
+        assert y % 64 == 0
+
+    def test_coalescing_allows_big_realloc(self):
+        a = Allocator(1000)
+        blocks = [a.alloc(100, align=1) for _ in range(10)]
+        for b in blocks:
+            a.free(b)
+        # after coalescing, a full-size block must fit again
+        big = a.alloc(1000, align=1)
+        assert big == 0
+
+    def test_oom(self):
+        a = Allocator(128)
+        a.alloc(100)
+        with pytest.raises(MemoryFault):
+            a.alloc(100)
+
+    def test_double_free(self):
+        a = Allocator(128)
+        x = a.alloc(16)
+        a.free(x)
+        with pytest.raises(MemoryFault):
+            a.free(x)
+
+    def test_first_fit_reuses_hole(self):
+        a = Allocator(1024)
+        x = a.alloc(128, align=1)
+        a.alloc(128, align=1)
+        a.free(x)
+        z = a.alloc(64, align=1)
+        assert z == x  # hole reused
+
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_invariant(self, sizes):
+        a = Allocator(8192)
+        offs = [a.alloc(s) for s in sizes]
+        # no overlaps
+        spans = sorted((o, o + s) for o, s in zip(offs, sizes))
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        for o in offs:
+            a.free(o)
+        assert a.free_bytes() == 8192
+        assert a.live_blocks() == 0
+
+
+class TestMemory:
+    def test_scalar_roundtrip_all_types(self):
+        m = Memory("t", 256)
+        cases = [("char", -5), ("uchar", 250), ("short", -3000),
+                 ("int", -123456), ("uint", 4_000_000_000),
+                 ("long", -(2**40)), ("ulong", 2**50),
+                 ("float", 1.5), ("double", 3.14159)]
+        for name, val in cases:
+            st_ = T.scalar(name)
+            m.write_scalar(0, st_, val)
+            got = m.read_scalar(0, st_)
+            if st_.floating:
+                assert got == pytest.approx(val)
+            else:
+                assert got == val
+
+    def test_scalar_wraps_on_write(self):
+        m = Memory("t", 16)
+        m.write_scalar(0, T.CHAR, 200)
+        assert m.read_scalar(0, T.CHAR) == 200 - 256
+
+    def test_bounds_check(self):
+        m = Memory("t", 16)
+        with pytest.raises(MemoryFault):
+            m.read_scalar(14, T.INT)
+        with pytest.raises(MemoryFault):
+            m.write_bytes(-1, b"x")
+
+    def test_typed_view_shares_storage(self):
+        m = Memory("t", 64)
+        v = m.typed_view(0, T.FLOAT, 4)
+        v[:] = [1, 2, 3, 4]
+        assert m.read_scalar(4, T.FLOAT) == 2.0
+
+    def test_cstring(self):
+        m = Memory("t", 64)
+        m.write_cstring(8, "hello")
+        assert m.read_cstring(8) == "hello"
+
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(0, 60))
+    @settings(max_examples=50, deadline=None)
+    def test_int_roundtrip_anywhere(self, val, off):
+        m = Memory("t", 64)
+        m.write_scalar(off, T.INT, val)
+        assert m.read_scalar(off, T.INT) == val
+
+
+class TestPtr:
+    def make(self):
+        m = Memory("t", 256)
+        return m, Ptr(m, 0, T.INT)
+
+    def test_add_scales_by_elem_size(self):
+        _, p = self.make()
+        assert p.add(3).off == 12
+        assert p.retype(T.DOUBLE).add(2).off == 16
+
+    def test_load_store(self):
+        _, p = self.make()
+        p.store(42)
+        assert p.load() == 42
+        p.add(1).store(-7)
+        assert p.add(1).load() == -7
+
+    def test_diff(self):
+        _, p = self.make()
+        assert p.add(5).diff(p) == 5
+
+    def test_vector_load_store(self):
+        m = Memory("t", 256)
+        vt = T.vector("float", 4)
+        p = Ptr(m, 16, vt)
+        p.store(Vec(vt, [1, 2, 3, 4]))
+        assert p.load().vals == [1.0, 2.0, 3.0, 4.0]
+
+    def test_pointer_stored_in_memory(self):
+        m = Memory("t", 256)
+        target = Ptr(m, 128, T.FLOAT)
+        target.store(9.5)
+        slot = Ptr(m, 0, T.PointerType(T.FLOAT))
+        slot.store(target)
+        back = slot.load()
+        assert isinstance(back, Ptr)
+        assert back.load() == 9.5
+
+    def test_struct_ref(self):
+        m = Memory("t", 256)
+        stt = T.StructType("P", [("x", T.FLOAT), ("n", T.INT)])
+        ref = StructRef(m, 32, stt)
+        ref.set("x", 2.5)
+        ref.set("n", 7)
+        assert ref.get("x") == 2.5
+        assert ref.get("n") == 7
+
+    def test_equality(self):
+        m = Memory("t", 64)
+        assert Ptr(m, 8, T.INT) == Ptr(m, 8, T.FLOAT)
+        assert Ptr(m, 8, T.INT) != Ptr(m, 12, T.INT)
+
+
+class TestCoerce:
+    def test_int_narrowing(self):
+        assert coerce(300, T.CHAR) == 300 - 256
+        assert coerce(-1, T.UCHAR) == 255
+        assert coerce(2**35, T.INT) == 0
+
+    def test_float32_rounding(self):
+        v = coerce(0.1, T.FLOAT)
+        assert v != 0.1  # binary32 rounding applied
+        assert v == pytest.approx(0.1, rel=1e-6)
+
+    def test_scalar_to_vector_splat(self):
+        v = coerce(2, T.vector("int", 4))
+        assert v.vals == [2, 2, 2, 2]
+
+    def test_float_to_int_truncates(self):
+        assert coerce(3.99, T.INT) == 3
+
+    def test_bool_to_int(self):
+        assert coerce(True, T.INT) == 1
+
+    @given(st.integers(-(2**62), 2**62))
+    @settings(max_examples=60, deadline=None)
+    def test_coerce_idempotent(self, v):
+        for name in ("char", "short", "int", "long", "uint"):
+            t = T.scalar(name)
+            once = coerce(v, t)
+            assert coerce(once, t) == once

@@ -1,0 +1,203 @@
+"""Tests for occupancy calculation, register estimation and the time model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clike import parse
+from repro.device.occupancy import calc_occupancy, estimate_registers
+from repro.device.perf import (KernelTime, PerfCounters, SimClock,
+                               kernel_time, transfer_time)
+from repro.device.specs import GTX_TITAN, HD7970, get_device_spec
+
+
+class TestOccupancy:
+    def test_full_occupancy_small_kernel(self):
+        occ = calc_occupancy(GTX_TITAN, 256, regs_per_thread=16,
+                             shared_per_block=0)
+        assert occ.occupancy == 1.0
+
+    def test_register_limited(self):
+        lo = calc_occupancy(GTX_TITAN, 192, 72, 0)
+        hi = calc_occupancy(GTX_TITAN, 192, 62, 0)
+        assert lo.limiter == "registers"
+        assert lo.occupancy < hi.occupancy
+        # the cfd scenario: 72 regs -> 4 blocks of 192 = 0.375,
+        # 62 regs -> 5 blocks = 0.469 (paper §6.3)
+        assert lo.occupancy == pytest.approx(0.375, abs=0.01)
+        assert hi.occupancy == pytest.approx(0.469, abs=0.01)
+
+    def test_shared_limited(self):
+        occ = calc_occupancy(GTX_TITAN, 64, 16, 24 * 1024)
+        assert occ.limiter == "shared"
+        assert occ.blocks_per_cu == 2
+
+    def test_block_size_granularity(self):
+        occ = calc_occupancy(GTX_TITAN, 1024, 16, 0)
+        assert occ.blocks_per_cu == 2
+        assert occ.occupancy == 1.0
+
+    def test_zero_blocks_impossible_config(self):
+        occ = calc_occupancy(GTX_TITAN, 1024, 255, 0)
+        assert occ.occupancy < 0.5
+
+    def test_throughput_factor_saturates(self):
+        occ_hi = calc_occupancy(GTX_TITAN, 256, 16, 0)
+        assert occ_hi.throughput_factor(GTX_TITAN) == 1.0
+
+    def test_throughput_factor_degrades(self):
+        lo = calc_occupancy(GTX_TITAN, 192, 72, 0)
+        hi = calc_occupancy(GTX_TITAN, 192, 62, 0)
+        flo = lo.throughput_factor(GTX_TITAN)
+        fhi = hi.throughput_factor(GTX_TITAN)
+        assert flo < fhi <= 1.0
+        # ratio in the 10-20% band (cfd shows 14%)
+        assert 1.05 < fhi / flo < 1.25
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            calc_occupancy(GTX_TITAN, 0, 16, 0)
+
+    @given(st.integers(32, 1024), st.integers(10, 128), st.integers(0, 32768))
+    @settings(max_examples=80, deadline=None)
+    def test_occupancy_bounds(self, tpb, regs, smem):
+        occ = calc_occupancy(GTX_TITAN, tpb, regs, smem)
+        assert 0.0 <= occ.occupancy <= 1.0
+
+    @given(st.integers(16, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_more_registers_never_helps(self, regs):
+        a = calc_occupancy(GTX_TITAN, 128, regs, 0)
+        b = calc_occupancy(GTX_TITAN, 128, regs + 8, 0)
+        assert b.occupancy <= a.occupancy
+
+
+class TestRegisterEstimation:
+    KSRC = """
+    __kernel void k(__global float* a, __global float* b, int n) {
+      int i = get_global_id(0);
+      float x = a[i]; float y = b[i];
+      float z = x * y + x / (y + 1.0f);
+      a[i] = z * z - x;
+    }"""
+
+    def _fn(self):
+        return parse(self.KSRC, "opencl").kernels()[0]
+
+    def test_deterministic(self):
+        fn = self._fn()
+        assert estimate_registers(fn, "nvcc") == estimate_registers(fn, "nvcc")
+
+    def test_nvcc_hungrier_than_nv_opencl(self):
+        fn = self._fn()
+        assert estimate_registers(fn, "nvcc") > \
+            estimate_registers(fn, "nvidia-opencl")
+
+    def test_bigger_kernel_more_registers(self):
+        small = parse("__kernel void k(__global float* a) { a[0] = 1.0f; }",
+                      "opencl").kernels()[0]
+        big = self._fn()
+        assert estimate_registers(big, "nvcc") > estimate_registers(small, "nvcc")
+
+    def test_bounds(self):
+        fn = self._fn()
+        for compiler in ("nvcc", "nvidia-opencl", "amd-opencl", "unknown"):
+            r = estimate_registers(fn, compiler)
+            assert 10 <= r <= 255
+
+
+class TestTimeModel:
+    def test_memory_bound_kernel(self):
+        c = PerfCounters(flops=1000, global_load_bytes=10**8)
+        kt = kernel_time(c, GTX_TITAN)
+        assert kt.bound == "dram"
+        assert kt.total >= 10**8 / GTX_TITAN.dram_bw
+
+    def test_compute_bound_kernel(self):
+        c = PerfCounters(flops=10**9, global_load_bytes=100)
+        kt = kernel_time(c, GTX_TITAN)
+        assert kt.bound == "alu"
+
+    def test_shared_bound_kernel(self):
+        c = PerfCounters(local_transactions=10**7, flops=10)
+        kt = kernel_time(c, GTX_TITAN)
+        assert kt.bound == "shared"
+
+    def test_launch_overhead_floor(self):
+        kt = kernel_time(PerfCounters(), GTX_TITAN)
+        assert kt.total == GTX_TITAN.launch_overhead
+
+    def test_occupancy_slows_kernel(self):
+        c = PerfCounters(flops=10**8)
+        lo = calc_occupancy(GTX_TITAN, 192, 72, 0)
+        hi = calc_occupancy(GTX_TITAN, 192, 62, 0)
+        assert kernel_time(c, GTX_TITAN, lo).total > \
+            kernel_time(c, GTX_TITAN, hi).total
+
+    def test_coalescing_increases_time(self):
+        good = PerfCounters(global_load_bytes=2**20, global_transactions=2**13)
+        bad = PerfCounters(global_load_bytes=2**20, global_transactions=2**18)
+        assert kernel_time(bad, GTX_TITAN).total > \
+            kernel_time(good, GTX_TITAN).total
+
+    def test_merge(self):
+        a = PerfCounters(flops=10, iops=5)
+        b = PerfCounters(flops=1, barriers=2)
+        a.merge(b)
+        assert a.flops == 11 and a.iops == 5 and a.barriers == 2
+
+    def test_transfer_time_has_latency_floor(self):
+        assert transfer_time(0, GTX_TITAN) == GTX_TITAN.pcie_lat
+        assert transfer_time(10**9, GTX_TITAN) > 0.08
+
+    @given(st.integers(0, 10**9), st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_time_monotone_in_work(self, f1, f2):
+        t1 = kernel_time(PerfCounters(flops=f1), GTX_TITAN).total
+        t2 = kernel_time(PerfCounters(flops=f1 + f2), GTX_TITAN).total
+        assert t2 >= t1
+
+
+class TestSimClock:
+    def test_charge_categories(self):
+        clk = SimClock()
+        clk.charge_api(GTX_TITAN, 3)
+        clk.charge_transfer(1 << 20, GTX_TITAN)
+        kt = kernel_time(PerfCounters(flops=1000), GTX_TITAN)
+        clk.charge_kernel(kt)
+        assert clk.api_call_count == 3
+        assert clk.kernel_launches == 1
+        assert clk.elapsed == pytest.approx(
+            sum(clk.by_category.values()))
+        assert set(clk.by_category) == {"api", "transfer", "kernel"}
+
+    def test_negative_charge_rejected(self):
+        clk = SimClock()
+        with pytest.raises(ValueError):
+            clk.charge(-1.0, "api")
+
+    def test_reset(self):
+        clk = SimClock()
+        clk.charge_api(GTX_TITAN)
+        clk.reset()
+        assert clk.elapsed == 0 and not clk.by_category
+
+
+class TestSpecs:
+    def test_lookup(self):
+        assert get_device_spec("titan") is GTX_TITAN
+        assert get_device_spec("HD7970") is HD7970
+        with pytest.raises(KeyError):
+            get_device_spec("voodoo2")
+
+    def test_bank_modes_match_paper(self):
+        # §6.2: Titan is 64-bit under CUDA, 32-bit under NVIDIA OpenCL
+        assert GTX_TITAN.bank_mode("cuda") == 64
+        assert GTX_TITAN.bank_mode("opencl") == 32
+        assert HD7970.bank_mode("opencl") == 32
+
+    def test_titan_numbers(self):
+        assert GTX_TITAN.compute_units == 14
+        assert GTX_TITAN.warp_size == 32
+        assert GTX_TITAN.max_warps_per_cu == 64
+        assert GTX_TITAN.cuda_max_tex1d_linear == 1 << 27

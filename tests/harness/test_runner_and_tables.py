@@ -1,0 +1,132 @@
+"""Harness tests: runners, figure data structures, table regeneration."""
+
+import pytest
+
+from repro.apps.base import get_app
+from repro.errors import CudaApiError
+from repro.harness import (run_cuda_app, run_cuda_translated, run_opencl_app,
+                           run_opencl_translated)
+from repro.harness.figures import FigureData, FigureRow, figure7, figure8
+from repro.harness.report import (render_figure, render_table1,
+                                  render_table2, render_table3)
+from repro.harness.tables import (PAPER_TABLE1, PAPER_TABLE3_COUNTS, table1,
+                                  table2, table3)
+
+
+@pytest.fixture(scope="module")
+def backprop():
+    return get_app("rodinia", "backprop")
+
+
+class TestRunners:
+    def test_four_modes_agree_numerically(self, backprop):
+        runs = [
+            run_opencl_app(backprop.name, backprop.opencl_host,
+                           backprop.opencl_kernels),
+            run_opencl_translated(backprop.name, backprop.opencl_host,
+                                  backprop.opencl_kernels),
+            run_cuda_app(backprop.name, backprop.cuda_source),
+            run_cuda_translated(backprop.name, backprop.cuda_source),
+        ]
+        assert all(r.ok for r in runs), [r.stdout for r in runs]
+        assert {r.mode for r in runs} == {"ocl-native", "ocl->cuda",
+                                          "cuda-native", "cuda->ocl"}
+
+    def test_build_time_excluded_from_sim_time(self, backprop):
+        r = run_opencl_app(backprop.name, backprop.opencl_host,
+                           backprop.opencl_kernels)
+        assert r.sim_time == pytest.approx(
+            sum(v for k, v in r.breakdown.items() if k != "build"))
+
+    def test_cuda_native_rejected_on_amd(self, backprop):
+        with pytest.raises(CudaApiError):
+            run_cuda_app(backprop.name, backprop.cuda_source,
+                         device="hd7970")
+
+    def test_translated_runs_on_amd(self, backprop):
+        r = run_cuda_translated(backprop.name, backprop.cuda_source,
+                                device="hd7970")
+        assert r.ok and "7970" in r.device
+
+    def test_deterministic_sim_times(self, backprop):
+        a = run_opencl_app(backprop.name, backprop.opencl_host,
+                           backprop.opencl_kernels)
+        b = run_opencl_app(backprop.name, backprop.opencl_host,
+                           backprop.opencl_kernels)
+        assert a.sim_time == b.sim_time
+        assert a.stdout == b.stdout
+
+    def test_run_result_counts(self, backprop):
+        r = run_cuda_app(backprop.name, backprop.cuda_source)
+        assert r.kernel_launches == 2
+        assert r.api_calls > 5
+
+
+class TestFigureData:
+    def test_normalization(self):
+        row = FigureRow(app="x", baseline="a",
+                        bars={"a": 2.0, "b": 3.0})
+        assert row.normalized() == {"a": 1.0, "b": 1.5}
+
+    def test_average_diff(self):
+        data = FigureData("7", "s", rows=[
+            FigureRow(app="x", baseline="a", bars={"a": 1.0, "b": 1.1}),
+            FigureRow(app="y", baseline="a", bars={"a": 2.0, "b": 1.8}),
+        ])
+        assert data.average_diff("b") == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_figure7_single_app(self, backprop):
+        data = figure7("rodinia", apps=[backprop])
+        assert len(data.rows) == 1
+        row = data.rows[0]
+        assert row.ok
+        assert set(row.bars) == {"opencl", "cuda_translated",
+                                 "cuda_original"}
+        assert render_figure(data)  # renders without error
+
+    def test_figure8_single_app(self, backprop):
+        data = figure8("rodinia", apps=[backprop])
+        row = data.rows[0]
+        assert row.ok
+        assert set(row.bars) == {"cuda", "opencl_translated",
+                                 "opencl_original", "opencl_translated_amd"}
+
+    def test_figure8_skips_untranslatable(self):
+        data = figure8("rodinia", apps=[get_app("rodinia", "kmeans")],
+                       second_device=None)
+        assert data.rows == []
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        t = table1()
+        assert t.cells == PAPER_TABLE1
+        assert t.matches_paper()
+        out = render_table1(t)
+        assert "NO" not in out.replace("NO match", "")
+
+    def test_table2_contents(self):
+        rows = table2()
+        assert "Titan" in rows["GPUs used"]
+        assert render_table2(rows).startswith("Table 2")
+
+    def test_table3_matches_paper(self):
+        t = table3()
+        assert t.counts == PAPER_TABLE3_COUNTS
+        assert len(t.translated) == 25
+        assert not t.mismatches
+        out = render_table3(t)
+        assert "translated successfully: 25/81" in out
+
+    def test_table3_category_membership(self):
+        t = table3()
+        assert "simpleAssert" in t.by_category["No corresponding functions"]
+        assert "radixSortThrust" in t.by_category["Unsupported libraries"]
+        assert "simpleGL" in t.by_category["OpenGL binding"]
+        assert "inlinePTX" in t.by_category["Use of PTX"]
+        assert "simpleZeroCopy" in t.by_category[
+            "Use of unified virtual address space"]
+        assert "simpleTemplates" in t.by_category[
+            "Unsupported language extensions"]
+        assert "vectorAdd" in t.translated
+        assert "deviceQuery" in t.translated

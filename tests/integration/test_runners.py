@@ -1,0 +1,181 @@
+"""Integration tests: full applications through all four runner modes.
+
+This is the paper's whole pipeline in miniature — the same computation
+written once in OpenCL and once in CUDA, executed natively and translated,
+on the Titan and (for translated OpenCL) on the HD7970.
+"""
+
+import pytest
+
+from repro.harness import (run_cuda_app, run_cuda_translated, run_opencl_app,
+                           run_opencl_translated)
+
+# A reduction with shared memory, dynamic local memory, constants and
+# self-verification — the same workload in both source models.
+
+OCL_KERNELS = r"""
+__kernel void wsum(__global const float* in, __global float* partial,
+                   __local float* tmp, __constant float* w, int n) {
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  tmp[lid] = gid < n ? in[gid] * w[gid % 4] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) partial[get_group_id(0)] = tmp[0];
+}
+"""
+
+OCL_HOST = r"""
+int main(void) {
+  cl_platform_id platform; cl_device_id device; cl_int err;
+  clGetPlatformIDs(1, &platform, NULL);
+  clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU, 1, &device, NULL);
+  cl_context ctx = clCreateContext(NULL, 1, &device, NULL, NULL, &err);
+  cl_command_queue q = clCreateCommandQueue(ctx, device, 0, &err);
+  const char* src = KERNEL_SOURCE;
+  cl_program prog = clCreateProgramWithSource(ctx, 1, &src, NULL, &err);
+  err = clBuildProgram(prog, 1, &device, NULL, NULL, NULL);
+  if (err != CL_SUCCESS) { printf("FAILED build\n"); return 2; }
+  cl_kernel k = clCreateKernel(prog, "wsum", &err);
+
+  int n = 256; int groups = 4; int lsz = 64;
+  float in[256]; float w[4] = {0.5f, 1.0f, 1.5f, 2.0f};
+  float partial[4];
+  srand(7);
+  for (int i = 0; i < n; i++) in[i] = (float)(rand() % 100) * 0.01f;
+
+  cl_mem din = clCreateBuffer(ctx, CL_MEM_READ_ONLY, n*4, NULL, &err);
+  cl_mem dw = clCreateBuffer(ctx, CL_MEM_READ_ONLY, 4*4, NULL, &err);
+  cl_mem dpart = clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, groups*4, NULL, &err);
+  clEnqueueWriteBuffer(q, din, CL_TRUE, 0, n*4, in, 0, NULL, NULL);
+  clEnqueueWriteBuffer(q, dw, CL_TRUE, 0, 4*4, w, 0, NULL, NULL);
+
+  clSetKernelArg(k, 0, sizeof(cl_mem), &din);
+  clSetKernelArg(k, 1, sizeof(cl_mem), &dpart);
+  clSetKernelArg(k, 2, lsz * sizeof(float), NULL);
+  clSetKernelArg(k, 3, sizeof(cl_mem), &dw);
+  clSetKernelArg(k, 4, sizeof(int), &n);
+  size_t gws[1] = {256}; size_t lws[1] = {64};
+  clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+  clEnqueueReadBuffer(q, dpart, CL_TRUE, 0, groups*4, partial, 0, NULL, NULL);
+
+  float got = 0.0f; float want = 0.0f;
+  for (int g = 0; g < groups; g++) got += partial[g];
+  for (int i = 0; i < n; i++) want += in[i] * w[i % 4];
+  float diff = got - want; if (diff < 0.0f) diff = -diff;
+  printf(diff < 0.01f ? "PASSED %f\n" : "FAILED %f vs %f\n", got, want);
+  return 0;
+}
+"""
+
+CUDA_SOURCE = r"""
+__constant__ float w[4] = {0.5f, 1.0f, 1.5f, 2.0f};
+
+__global__ void wsum(const float* in, float* partial, int n) {
+  extern __shared__ float tmp[];
+  int lid = threadIdx.x;
+  int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  tmp[lid] = gid < n ? in[gid] * w[gid % 4] : 0.0f;
+  __syncthreads();
+  for (int s = blockDim.x / 2; s > 0; s >>= 1) {
+    if (lid < s) tmp[lid] += tmp[lid + s];
+    __syncthreads();
+  }
+  if (lid == 0) partial[blockIdx.x] = tmp[0];
+}
+
+int main(void) {
+  int n = 256; int groups = 4; int lsz = 64;
+  float in[256]; float partial[4];
+  srand(7);
+  for (int i = 0; i < n; i++) in[i] = (float)(rand() % 100) * 0.01f;
+
+  float *din, *dpart;
+  cudaMalloc((void**)&din, n * 4);
+  cudaMalloc((void**)&dpart, groups * 4);
+  cudaMemcpy(din, in, n * 4, cudaMemcpyHostToDevice);
+
+  wsum<<<groups, lsz, lsz * sizeof(float)>>>(din, dpart, n);
+  cudaDeviceSynchronize();
+  cudaMemcpy(partial, dpart, groups * 4, cudaMemcpyDeviceToHost);
+
+  float got = 0.0f; float want = 0.0f;
+  for (int g = 0; g < groups; g++) got += partial[g];
+  float wv[4] = {0.5f, 1.0f, 1.5f, 2.0f};
+  for (int i = 0; i < n; i++) want += in[i] * wv[i % 4];
+  float diff = got - want; if (diff < 0.0f) diff = -diff;
+  printf(diff < 0.01f ? "PASSED %f\n" : "FAILED %f vs %f\n", got, want);
+  return 0;
+}
+"""
+
+
+class TestFourModes:
+    def test_opencl_native(self):
+        r = run_opencl_app("wsum", OCL_HOST, OCL_KERNELS)
+        assert r.ok, r.stdout
+        assert r.kernel_launches == 1
+        assert r.sim_time > 0
+
+    def test_opencl_translated_to_cuda(self):
+        r = run_opencl_translated("wsum", OCL_HOST, OCL_KERNELS)
+        assert r.ok, r.stdout
+        assert "__global__" in r.extra["cuda_source"]
+
+    def test_cuda_native(self):
+        r = run_cuda_app("wsum", CUDA_SOURCE)
+        assert r.ok, r.stdout
+        assert r.kernel_launches == 1
+
+    def test_cuda_translated_to_opencl_titan(self):
+        r = run_cuda_translated("wsum", CUDA_SOURCE, device="titan")
+        assert r.ok, r.stdout
+        assert "__kernel" in r.extra["opencl_source"]
+        assert r.extra["launches_translated"] == 1
+
+    def test_cuda_translated_runs_on_amd(self):
+        # the portability claim (§6.3): HD7970 does not support CUDA, yet
+        # the translated program runs there
+        r = run_cuda_translated("wsum", CUDA_SOURCE, device="hd7970")
+        assert r.ok, r.stdout
+        assert "7970" in r.device
+
+    def test_cuda_native_rejected_on_amd(self):
+        from repro.errors import CudaApiError
+        with pytest.raises(CudaApiError):
+            run_cuda_app("wsum", CUDA_SOURCE, device="hd7970")
+
+
+class TestNumericalAgreement:
+    def test_native_and_translated_opencl_agree(self):
+        a = run_opencl_app("wsum", OCL_HOST, OCL_KERNELS)
+        b = run_opencl_translated("wsum", OCL_HOST, OCL_KERNELS)
+        # identical deterministic workload -> identical printed sum
+        assert a.stdout == b.stdout
+
+    def test_native_and_translated_cuda_agree(self):
+        a = run_cuda_app("wsum", CUDA_SOURCE)
+        b = run_cuda_translated("wsum", CUDA_SOURCE)
+        assert a.stdout == b.stdout
+
+
+class TestTimingSanity:
+    def test_translated_time_comparable(self):
+        # the headline claim: source and target achieve comparable
+        # performance (within tens of percent for a kernel-bound app)
+        a = run_opencl_app("wsum", OCL_HOST, OCL_KERNELS)
+        b = run_opencl_translated("wsum", OCL_HOST, OCL_KERNELS)
+        assert 0.5 < b.sim_time / a.sim_time < 2.0
+
+    def test_build_time_excluded(self):
+        r = run_opencl_app("wsum", OCL_HOST, OCL_KERNELS)
+        assert "build" in r.breakdown
+        assert r.sim_time < sum(r.breakdown.values())
+
+    def test_breakdown_has_kernel_and_transfer(self):
+        r = run_cuda_app("wsum", CUDA_SOURCE)
+        assert r.breakdown.get("kernel", 0) > 0
+        assert r.breakdown.get("transfer", 0) > 0

@@ -1,0 +1,179 @@
+"""Direct tests of the simulated OpenCL host API (Python-level calls)."""
+
+import pytest
+
+from repro.clike import parse
+from repro.clike import types as T
+from repro.clike.hostlib import HostEnv
+from repro.clike.interp import Interp
+from repro.device.engine import Device
+from repro.device.specs import GTX_TITAN
+from repro.ocl import CL_CONSTANTS, OpenCLFramework, err_name
+from repro.ocl.objects import CLBuffer, CLContext, CLKernel, CLProgram
+from repro.runtime.memory import Memory
+from repro.runtime.values import Ptr
+
+_C = CL_CONSTANTS
+
+
+@pytest.fixture
+def fw():
+    return OpenCLFramework()
+
+
+@pytest.fixture
+def cl(fw):
+    return fw.api_table()
+
+
+def host_run(fw, src):
+    env = HostEnv()
+    fw.install(env)
+    unit = parse(src, "host")
+    interp = Interp(unit, env, "host")
+    interp.init_globals()
+    return interp.call("main", []), env
+
+
+class TestDiscovery:
+    def test_platform_and_device(self, fw, cl):
+        mem = Memory("t", 64)
+        plats = Ptr(mem, 0, T.PointerType(T.VOID))
+        nump = Ptr(mem, 16, T.UINT)
+        assert cl["clGetPlatformIDs"](1, plats, nump) == _C["CL_SUCCESS"]
+        assert mem.read_scalar(16, T.UINT) == 1
+        platform = plats.load()
+        devs = Ptr(mem, 24, T.PointerType(T.VOID))
+        cl["clGetDeviceIDs"](platform, _C["CL_DEVICE_TYPE_GPU"], 1, devs, 0)
+        assert devs.load() is fw.cl_devices[0]
+
+    def test_device_info_strings_and_scalars(self, fw, cl):
+        mem = Memory("t", 512)
+        dev = fw.cl_devices[0]
+        cl["clGetDeviceInfo"](dev, _C["CL_DEVICE_NAME"], 256,
+                              Ptr(mem, 0, T.CHAR), 0)
+        assert "Titan" in mem.read_cstring(0)
+        out = Ptr(mem, 256, T.UINT)
+        cl["clGetDeviceInfo"](dev, _C["CL_DEVICE_MAX_COMPUTE_UNITS"], 4,
+                              out, 0)
+        assert mem.read_scalar(256, T.UINT) == GTX_TITAN.compute_units
+
+    def test_unknown_info_param(self, fw, cl):
+        assert cl["clGetDeviceInfo"](fw.cl_devices[0], 0x9999, 4, 0, 0) \
+            == _C["CL_INVALID_VALUE"]
+
+    def test_api_charges_clock(self, fw, cl):
+        before = fw.clock.api_call_count
+        cl["clFinish"](None)
+        assert fw.clock.api_call_count == before + 1
+
+
+class TestProgramAndKernel:
+    def test_build_failure_sets_log(self, fw):
+        ctx = CLContext(list(fw.cl_devices))
+        prog = CLProgram(ctx, "__kernel void k( {")
+        err = fw.api_table()["clBuildProgram"](prog, 0, None, None, None,
+                                               None)
+        assert err == _C["CL_BUILD_PROGRAM_FAILURE"]
+        assert prog.build_log
+
+    def test_build_options_defines(self, fw):
+        ctx = CLContext(list(fw.cl_devices))
+        prog = CLProgram(ctx, "__kernel void k(__global int* o) "
+                              "{ o[0] = WIDTH; }")
+        err = fw.api_table()["clBuildProgram"](prog, 0, None, "-DWIDTH=7",
+                                               None, None)
+        assert err == _C["CL_SUCCESS"]
+
+    def test_kernel_requires_built_program(self, fw):
+        from repro.errors import OclError
+        ctx = CLContext(list(fw.cl_devices))
+        prog = CLProgram(ctx, "__kernel void k() {}")
+        with pytest.raises(OclError):
+            fw.api_table()["clCreateKernel"](prog, "k", 0)
+
+    def test_unset_arg_rejected_at_launch(self, fw):
+        from repro.errors import OclError
+        ctx = CLContext(list(fw.cl_devices))
+        prog = CLProgram(ctx, "__kernel void k(__global int* o, int n) {}")
+        fw.api_table()["clBuildProgram"](prog, 0, None, None, None, None)
+        k = CLKernel(prog, "k")
+        with pytest.raises(OclError, match="not set"):
+            k.bound_args()
+
+
+class TestBuffers:
+    def test_release_frees_device_memory(self, fw):
+        ctx = CLContext(list(fw.cl_devices))
+        dev = fw.cl_devices[0].device
+        used0 = dev.global_mem.allocator.used_bytes()
+        buf = CLBuffer(ctx, 0, 4096)
+        assert dev.global_mem.allocator.used_bytes() >= used0 + 4096
+        buf.release()
+        assert dev.global_mem.allocator.used_bytes() == used0
+
+    def test_refcounting(self, fw):
+        ctx = CLContext(list(fw.cl_devices))
+        buf = CLBuffer(ctx, 0, 64)
+        buf.retain()
+        buf.release()
+        assert not buf.released
+        buf.release()
+        assert buf.released
+
+    def test_zero_size_rejected(self, fw):
+        from repro.errors import OclError
+        ctx = CLContext(list(fw.cl_devices))
+        with pytest.raises(OclError):
+            fw.api_table()["clCreateBuffer"](ctx, 0, 0, 0, 0)
+
+
+class TestLaunchValidation:
+    SRC = r"""
+    int main(void) {
+      cl_platform_id p; cl_device_id d; cl_int err;
+      clGetPlatformIDs(1, &p, NULL);
+      clGetDeviceIDs(p, CL_DEVICE_TYPE_GPU, 1, &d, NULL);
+      cl_context ctx = clCreateContext(NULL, 1, &d, NULL, NULL, &err);
+      cl_command_queue q = clCreateCommandQueue(ctx, d, 0, &err);
+      const char* s = KERNEL_SOURCE;
+      cl_program prog = clCreateProgramWithSource(ctx, 1, &s, NULL, &err);
+      clBuildProgram(prog, 1, &d, NULL, NULL, NULL);
+      cl_kernel k = clCreateKernel(prog, "k", &err);
+      cl_mem buf = clCreateBuffer(ctx, CL_MEM_READ_WRITE, 64, NULL, &err);
+      clSetKernelArg(k, 0, sizeof(cl_mem), &buf);
+      size_t gws[1] = {10};
+      size_t lws[1] = {3};
+      clEnqueueNDRangeKernel(q, k, 1, NULL, gws, lws, 0, NULL, NULL);
+      return 0;
+    }
+    """
+
+    def test_indivisible_work_group_rejected(self, fw):
+        from repro.errors import OclError
+        env = HostEnv()
+        fw.install(env)
+        env.define_constant("KERNEL_SOURCE", env.intern_string(
+            "__kernel void k(__global int* o) { o[0] = 1; }"))
+        unit = parse(self.SRC, "host")
+        interp = Interp(unit, env, "host")
+        interp.init_globals()
+        with pytest.raises(OclError, match="divisible"):
+            interp.call("main", [])
+
+    def test_default_local_size_chosen(self, fw):
+        src = self.SRC.replace("size_t lws[1] = {3};", "") \
+                      .replace("gws, lws, 0", "gws, NULL, 0") \
+                      .replace("size_t gws[1] = {10};",
+                               "size_t gws[1] = {128};")
+        ret, _ = host_run(fw, src.replace("KERNEL_SOURCE",
+                                          '"__kernel void k(__global int* o)'
+                                          ' { o[0] = 1; }"'))
+        assert ret == 0
+
+
+class TestErrName:
+    def test_names(self):
+        assert err_name(0) == "CL_SUCCESS"
+        assert err_name(-54) == "CL_INVALID_WORK_GROUP_SIZE"
+        assert "CL_ERROR_" in err_name(-999)

@@ -1,0 +1,263 @@
+"""Tests for CUDA→OpenCL device-code translation (§3.5-3.6, §4, §5)."""
+
+import pytest
+
+from repro.clike import parse
+from repro.clike import types as T
+from repro.errors import TranslationNotSupported
+from repro.translate.cuda2ocl.host import find_runtime_init_symbols
+from repro.translate.cuda2ocl.kernel import translate_device_unit
+
+
+def translate(src, runtime_syms=None):
+    unit = parse(src, "cuda")
+    if runtime_syms is None:
+        runtime_syms = find_runtime_init_symbols(unit)
+    return translate_device_unit(unit, runtime_syms)
+
+
+class TestSpecialVariables:
+    def test_thread_indexing(self):
+        r = translate("""__global__ void k(int* o) {
+            o[blockIdx.x * blockDim.x + threadIdx.x] = threadIdx.y + gridDim.z;
+        }""")
+        s = r.opencl_source
+        assert "get_group_id(0) * get_local_size(0) + get_local_id(0)" in s
+        assert "get_local_id(1)" in s
+        assert "get_num_groups(2)" in s
+
+    def test_syncthreads(self):
+        r = translate("__global__ void k() { __syncthreads(); }")
+        assert "barrier(CLK_LOCAL_MEM_FENCE)" in r.opencl_source
+
+    def test_kernel_qualifier(self):
+        r = translate("__global__ void k(float* o) { o[0] = 1.0f; }")
+        assert "__kernel void k(" in r.opencl_source
+
+
+class TestPointerSpaces:
+    def test_kernel_params_get_global(self):
+        r = translate("__global__ void k(float* a, const int* b) {"
+                      " a[0] = (float)b[0]; }")
+        s = r.opencl_source
+        assert "__global float* a" in s
+        assert "__global int" in s
+
+    def test_local_pointer_inferred(self):
+        r = translate("""__global__ void k(float* g) {
+            __shared__ float tile[64];
+            float* p = tile + threadIdx.x;
+            g[0] = *p;
+        }""")
+        assert "__local float* p" in r.opencl_source
+
+    def test_helper_param_space_from_call_site(self):
+        r = translate("""
+        __device__ float first(float* p) { return p[0]; }
+        __global__ void k(float* g) {
+            __shared__ float tile[32];
+            tile[0] = 1.0f;
+            g[0] = first(tile) + 0.0f;
+        }""")
+        assert "first(__local float* p)" in r.opencl_source
+
+    def test_two_space_helper_specialized(self):
+        r = translate("""
+        __device__ float first(float* p) { return p[0]; }
+        __global__ void k(float* g) {
+            __shared__ float tile[32];
+            tile[0] = g[0];
+            g[0] = first(tile) + first(g);
+        }""")
+        s = r.opencl_source
+        # the paper's two-space resolution: one clone per space
+        assert "first__l" in s
+        assert "first__g" in s
+
+
+class TestSharedMemory:
+    def test_static_shared(self):
+        r = translate("""__global__ void k(int* g) {
+            __shared__ int tile[32];
+            tile[threadIdx.x] = g[0];
+            __syncthreads();
+            g[0] = tile[0];
+        }""")
+        assert "__local int tile[32]" in r.opencl_source
+
+    def test_extern_shared_becomes_param(self):
+        r = translate("""__global__ void k(int* g) {
+            extern __shared__ float dyn[];
+            dyn[threadIdx.x] = 1.0f;
+            g[0] = (int)dyn[0];
+        }""")
+        s = r.opencl_source
+        assert "extern" not in s
+        assert "__local float* dyn" in s
+        meta = r.kernels["k"]
+        assert meta.dyn_shared == ("dyn", T.FLOAT)
+        assert meta.dyn_shared_index() == 1
+
+
+class TestSymbols:
+    SRC = """
+    __constant__ float coef[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+    __constant__ float rt_coef[4];
+    __device__ int acc[8];
+    __global__ void k(float* o) {
+      int i = threadIdx.x;
+      o[i] = coef[i % 4] * rt_coef[i % 4];
+      atomicAdd(&acc[i % 8], 1);
+    }
+    void host() {
+      float h[4];
+      cudaMemcpyToSymbol(rt_coef, h, 16);
+    }
+    """
+
+    def test_static_constant_stays(self):
+        r = translate(self.SRC)
+        assert "__constant float coef[4] = {1.0f, 2.0f, 3.0f, 4.0f}" \
+            in r.opencl_source
+
+    def test_runtime_symbols_become_params(self):
+        r = translate(self.SRC)
+        meta = r.kernels["k"]
+        names = [s.name for s in meta.symbol_params]
+        assert "rt_coef" in names and "acc" in names
+        spaces = {s.name: s.space for s in meta.symbol_params}
+        assert spaces["rt_coef"] == T.AddressSpace.CONSTANT
+        assert spaces["acc"] == T.AddressSpace.GLOBAL
+        s = r.opencl_source
+        assert "__constant float* rt_coef" in s
+        assert "__global int* acc" in s
+
+    def test_initializer_bytes_carried(self):
+        r = translate("""
+        __device__ float seeds[2] = {1.5f, 2.5f};
+        __global__ void k(float* o) { o[0] = seeds[0]; }
+        """)
+        import struct
+        sym = next(s for s in r.symbols if s.name == "seeds")
+        assert struct.unpack("<2f", sym.init_bytes) == (1.5, 2.5)
+
+
+class TestTextures:
+    SRC = """
+    texture<float, 1, cudaReadModeElementType> tex1;
+    texture<float, 2, cudaReadModeElementType> tex2;
+    __global__ void k(float* o, int w) {
+      int i = threadIdx.x;
+      o[i] = tex1Dfetch(tex1, i) + tex2D(tex2, (float)i, 0.5f);
+    }
+    """
+
+    def test_image_sampler_params(self):
+        r = translate(self.SRC)
+        s = r.opencl_source
+        assert "image1d_t tex1__img" in s
+        assert "sampler_t tex1__smp" in s
+        assert "image2d_t tex2__img" in s
+        meta = r.kernels["k"]
+        assert meta.texture_params == ["tex1", "tex2"]
+
+    def test_fetches_become_read_image(self):
+        r = translate(self.SRC)
+        s = r.opencl_source
+        assert "read_imagef(tex1__img, tex1__smp, (int)i).x" in s
+        assert "read_imagef(tex2__img, tex2__smp, (float2)((float)i, 0.5f)).x" in s
+
+    def test_texture_types_recorded(self):
+        r = translate(self.SRC)
+        assert r.texture_types["tex2"].dims == 2
+
+
+class TestCxxFeatures:
+    def test_template_specialization(self):
+        r = translate("""
+        template <typename T> __device__ T twice(T v) { return v + v; }
+        __global__ void k(int* o, float* f) {
+            o[0] = twice<int>(21);
+            f[0] = twice<float>(1.5f);
+        }""")
+        s = r.opencl_source
+        assert "twice__int" in s
+        assert "twice__float" in s
+        assert "template" not in s
+
+    def test_reference_to_pointer(self):
+        r = translate("""
+        __device__ void bump(int& x) { x = x + 1; }
+        __global__ void k(int* o) {
+            int v = o[0];
+            bump(v);
+            o[0] = v;
+        }""")
+        s = r.opencl_source
+        assert "bump(int* x)" in s
+        assert "*x = *x + 1" in s
+        assert "bump(&v)" in s
+
+    def test_static_cast_to_c_cast(self):
+        r = translate("__global__ void k(int* o, float x) {"
+                      " o[0] = static_cast<int>(x); }")
+        assert "static_cast" not in r.opencl_source
+        assert "(int)x" in r.opencl_source
+
+
+class TestVectorNarrowing:
+    def test_longlong_vector(self):
+        r = translate("__global__ void k(longlong2* o) {"
+                      " o[0] = make_longlong2(1, 2); }")
+        s = r.opencl_source
+        assert "longlong" not in s
+        assert "long2" in s
+        assert "(long2)(1, 2)" in s
+
+    def test_one_component_vector(self):
+        r = translate("__global__ void k(float1* o, float x) {"
+                      " o[0] = make_float1(x); }")
+        s = r.opencl_source
+        assert "float1" not in s
+        assert "(float)x" in s or "(float)(x)" in s
+
+    def test_make_to_literal(self):
+        r = translate("__global__ void k(float4* o) {"
+                      " o[0] = make_float4(1.0f, 2.0f, 3.0f, 4.0f); }")
+        assert "(float4)(1.0f, 2.0f, 3.0f, 4.0f)" in r.opencl_source
+
+
+class TestUntranslatables:
+    @pytest.mark.parametrize("body,feature", [
+        ("__shfl(1, 0);", "__shfl"),
+        ("__all(1);", "__all"),
+        ("clock();", "clock"),
+        ("atomicInc((unsigned int*)0, 10u);", "atomicInc"),
+    ])
+    def test_hw_builtins_rejected(self, body, feature):
+        with pytest.raises(TranslationNotSupported) as ei:
+            translate(f"__global__ void k(int* o) {{ {body} }}")
+        assert ei.value.feature == feature
+
+    def test_warp_size_rejected(self):
+        with pytest.raises(TranslationNotSupported):
+            translate("__global__ void k(int* o) { o[0] = warpSize; }")
+
+
+class TestOutputIsRealOpenCLSource:
+    def test_reparses_in_opencl_dialect(self):
+        r = translate("""
+        __constant__ float w[4] = {1, 2, 3, 4};
+        __device__ float mix2(float a, float b) { return a * 0.5f + b * 0.5f; }
+        __global__ void k(float* o, const float* in, int n) {
+            __shared__ float t[64];
+            extern __shared__ float d[];
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            t[threadIdx.x] = in[i] * w[i % 4];
+            d[threadIdx.x] = t[threadIdx.x];
+            __syncthreads();
+            if (i < n) o[i] = mix2(t[threadIdx.x], d[0]);
+        }""")
+        unit = parse(r.opencl_source, "opencl")
+        fn = unit.find_function("k")
+        assert fn is not None and fn.is_kernel

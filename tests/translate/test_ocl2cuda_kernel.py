@@ -1,0 +1,231 @@
+"""Tests for OpenCL→CUDA device-code translation (§3.5-3.6, §4, Fig. 5)."""
+
+import pytest
+
+from repro.clike import parse
+from repro.clike import types as T
+from repro.errors import TranslationNotSupported
+from repro.translate.ocl2cuda.kernel import (ArgKind, translate_kernel_unit,
+                                             MAX_CONST_SIZE)
+
+
+def translate(src, **kw):
+    return translate_kernel_unit(src, **kw)
+
+
+class TestWorkItemFunctions:
+    def test_global_id(self):
+        r = translate("__kernel void k(__global int* o) {"
+                      " o[get_global_id(0)] = 1; }")
+        assert "blockIdx.x * blockDim.x + threadIdx.x" in r.cuda_source
+
+    def test_all_dims(self):
+        r = translate("""__kernel void k(__global int* o) {
+            o[0] = get_local_id(1) + get_group_id(2) + get_local_size(0)
+                 + get_num_groups(1) + get_global_size(2);
+        }""")
+        s = r.cuda_source
+        assert "threadIdx.y" in s
+        assert "blockIdx.z" in s
+        assert "blockDim.x" in s
+        assert "gridDim.y" in s
+        assert "gridDim.z * blockDim.z" in s
+
+    def test_non_constant_dim_rejected(self):
+        with pytest.raises(TranslationNotSupported):
+            translate("__kernel void k(__global int* o, int d) {"
+                      " o[get_global_id(d)] = 1; }")
+
+    def test_barrier(self):
+        r = translate("__kernel void k() { barrier(CLK_LOCAL_MEM_FENCE); }")
+        assert "__syncthreads()" in r.cuda_source
+
+
+class TestBuiltinRenames:
+    def test_atomics(self):
+        r = translate("""__kernel void k(__global int* c) {
+            atomic_add(c, 2); atomic_inc(c); atomic_dec(c);
+            atomic_cmpxchg(c, 0, 1);
+        }""")
+        s = r.cuda_source
+        assert "atomicAdd(c, 2)" in s
+        # §3.7: atomic_inc has no wrap-around; lowered to atomicAdd(p, 1)
+        assert "atomicAdd(c, 1)" in s
+        assert "atomicSub(c, 1)" in s
+        assert "atomicCAS(c, 0, 1)" in s
+
+    def test_native_math(self):
+        r = translate("__kernel void k(__global float* o) {"
+                      " o[0] = native_sin(o[0]) + native_divide(o[0], 2.0f); }")
+        assert "__sinf" in r.cuda_source
+        assert "__fdividef" in r.cuda_source
+
+    def test_mad24(self):
+        r = translate("__kernel void k(__global int* o) {"
+                      " o[0] = mad24(o[0], 3, 4); }")
+        assert "__mul24(o[0], 3) + 4" in r.cuda_source
+
+
+class TestVectors:
+    def test_vector_literal_to_make(self):
+        r = translate("__kernel void k(__global float4* o) {"
+                      " o[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f); }")
+        assert "make_float4(1.0f, 2.0f, 3.0f, 4.0f)" in r.cuda_source
+
+    def test_swizzle_assignment_expanded(self):
+        # the paper's own example: v1.lo = v2.lo -> v1.x=v2.x; v1.y=v2.y
+        r = translate("""__kernel void k(__global float4* a) {
+            float4 v1; float4 v2;
+            v1.lo = v2.lo;
+            a[0] = v1;
+        }""")
+        s = r.cuda_source
+        assert "v1.x = v2.x" in s
+        assert "v1.y = v2.y" in s
+
+    def test_hi_swizzle_read(self):
+        r = translate("""__kernel void k(__global float2* o) {
+            float4 v;
+            o[0] = v.hi;
+        }""")
+        assert "make_float2(v.z, v.w)" in r.cuda_source
+
+    def test_wide_vector_struct_emitted(self):
+        r = translate("""__kernel void k(__global float8* a, __global float8* b) {
+            a[0] = a[0] + b[0];
+        }""")
+        s = r.cuda_source
+        assert "typedef struct __oc2cu_float8" in s
+        assert "float s0;" in s and "float s7;" in s
+        assert "__oc2cu_add_float8" in s
+
+    def test_wide_vector_runs(self):
+        # the emitted struct + helper source must itself parse as CUDA
+        r = translate("""__kernel void k(__global float8* a, __global float8* b) {
+            a[0] = a[0] * b[0];
+        }""")
+        unit = parse(r.cuda_source, "cuda")
+        assert unit.find_function("k") is not None
+
+    def test_convert_builtin(self):
+        r = translate("__kernel void k(__global int* o, float x) {"
+                      " o[0] = convert_int(x); }")
+        assert "(int)x" in r.cuda_source
+
+    def test_convert_vector(self):
+        r = translate("""__kernel void k(__global int4* o) {
+            float4 v;
+            o[0] = convert_int4(v);
+        }""")
+        assert "make_int4((int)v.x, (int)v.y, (int)v.z, (int)v.w)" \
+            in r.cuda_source
+
+    def test_as_type_helper(self):
+        r = translate("__kernel void k(__global uint* o, float x) {"
+                      " o[0] = as_uint(x); }")
+        assert "__oc2cu_as_uint_from_float" in r.cuda_source
+        assert "*(uint*)&x" in r.cuda_source
+
+    def test_vload_vstore(self):
+        r = translate("""__kernel void k(__global float* p) {
+            float4 v = vload4(0, p);
+            vstore4(v, 1, p);
+        }""")
+        s = r.cuda_source
+        assert "make_float4(p[" in s
+        assert "p[1 * 4 + 0] = v.x" in s
+
+
+class TestParamTransforms:
+    SRC = """
+    __kernel void k(int n, __local int* sh1, __local int* sh2,
+                    __constant int* c1, __global int* g) {
+      int lid = get_local_id(0);
+      sh1[lid] = g[lid]; sh2[lid] = c1[lid % 4];
+      barrier(CLK_LOCAL_MEM_FENCE);
+      g[lid] = sh1[lid] + sh2[lid];
+    }"""
+
+    def test_fig5_structure(self):
+        r = translate(self.SRC)
+        s = r.cuda_source
+        # size_t parameters replace local/constant pointers (Fig. 5)
+        assert "size_t sh1_size" in s
+        assert "size_t sh2_size" in s
+        assert "size_t c1_size" in s
+        # single shared region, carved with cumulative offsets
+        assert "extern __shared__ char __OC2CU_shared_mem[]" in s
+        assert "(int*)__OC2CU_shared_mem;" in s
+        assert "(int*)(__OC2CU_shared_mem + sh1_size)" in s
+        # constant region at module scope
+        assert f"__constant__ char __OC2CU_const_mem[{MAX_CONST_SIZE}]" in s
+        assert "(int*)__OC2CU_const_mem" in s
+
+    def test_meta_kinds(self):
+        r = translate(self.SRC)
+        meta = r.kernels["k"]
+        kinds = [p.kind for p in meta.params]
+        assert kinds == [ArgKind.SCALAR, ArgKind.LOCAL, ArgKind.LOCAL,
+                         ArgKind.CONSTANT, ArgKind.GLOBAL]
+        assert meta.local_params == [1, 2]
+        assert meta.constant_params == [3]
+
+    def test_global_param_unqualified(self):
+        r = translate("__kernel void k(__global float* g) { g[0] = 1.0f; }")
+        # the OpenCL address-space qualifier is dropped from pointers (§3.6)
+        assert "__global float" not in r.cuda_source
+        assert "__global__ void k(float* g)" in r.cuda_source
+
+    def test_static_local_becomes_shared(self):
+        r = translate("""__kernel void k(__global int* g) {
+            __local int tile[32];
+            tile[get_local_id(0)] = g[0];
+            barrier(CLK_LOCAL_MEM_FENCE);
+            g[0] = tile[0];
+        }""")
+        assert "__shared__ int tile[32]" in r.cuda_source
+
+    def test_program_scope_constant(self):
+        r = translate("__constant int tbl[4] = {1, 2, 3, 4};\n"
+                      "__kernel void k(__global int* o) { o[0] = tbl[0]; }")
+        assert "__constant__ int tbl[4] = {1, 2, 3, 4}" in r.cuda_source
+
+    def test_helper_function_marked_device(self):
+        r = translate("""
+        float square(float x) { return x * x; }
+        __kernel void k(__global float* o) { o[0] = square(o[0]); }
+        """)
+        assert "__device__" in r.cuda_source
+
+    def test_image_params_kept(self):
+        r = translate("""__kernel void k(__global float4* o,
+                          image2d_t img, sampler_t smp) {
+            int2 c = (int2)(get_global_id(0), get_global_id(1));
+            o[0] = read_imagef(img, smp, c);
+        }""")
+        meta = r.kernels["k"]
+        assert meta.params[1].kind == ArgKind.IMAGE
+        assert meta.params[2].kind == ArgKind.SAMPLER
+        assert "image2d_t img" in r.cuda_source
+
+
+class TestOutputIsRealCudaSource:
+    def test_reparses_in_cuda_dialect(self):
+        r = translate(self.__class__.COMPLEX)
+        unit = parse(r.cuda_source, "cuda")
+        assert unit.find_function("big") is not None
+
+    COMPLEX = """
+    __constant float weights[8] = {1,2,3,4,5,6,7,8};
+    float helper(float a, float b) { return a * b + 1.0f; }
+    __kernel void big(int n, __global float* out, __global const float* in,
+                      __local float* tile, __constant float* coef) {
+      int lid = get_local_id(0);
+      int gid = get_global_id(0);
+      tile[lid] = in[gid] * weights[lid % 8];
+      barrier(CLK_LOCAL_MEM_FENCE);
+      float4 v = (float4)(tile[lid], coef[0], 1.0f, 2.0f);
+      v.lo = v.hi;
+      out[gid] = helper(v.x, v.y) + dot(v, v);
+    }
+    """

@@ -1,0 +1,169 @@
+"""Unit tests for the vector-translation and address-space-inference
+utilities (§3.6) plus the shared rewriting machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clike import ast as A
+from repro.clike import parse
+from repro.clike import types as T
+from repro.clike.sema import annotate_unit
+from repro.translate.common import clone, map_statements, rewrite_exprs
+from repro.translate.qualifiers import infer_spaces
+from repro.translate.vectors import (collect_wide_vectors,
+                                     narrow_cuda_only_types,
+                                     wide_vector_struct_decls)
+
+AS = T.AddressSpace
+
+
+class TestNarrowing:
+    @pytest.mark.parametrize("src,expect", [
+        (T.vector("longlong", 2), T.vector("long", 2)),
+        (T.vector("ulonglong", 4), T.vector("ulong", 4)),
+        (T.vector("float", 1), T.FLOAT),
+        (T.vector("int", 1), T.INT),
+        (T.LONGLONG, T.LONG),
+        (T.vector("float", 4), T.vector("float", 4)),  # unchanged
+        (T.FLOAT, T.FLOAT),
+    ])
+    def test_scalar_and_vector(self, src, expect):
+        assert narrow_cuda_only_types(src) == expect
+
+    def test_pointer_and_array_recurse(self):
+        p = T.PointerType(T.vector("longlong", 2), AS.GLOBAL)
+        out = narrow_cuda_only_types(p)
+        assert out.pointee == T.vector("long", 2)
+        assert out.space == AS.GLOBAL
+        a = T.ArrayType(T.vector("float", 1), 8)
+        assert narrow_cuda_only_types(a) == T.ArrayType(T.FLOAT, 8)
+
+
+class TestWideVectors:
+    def test_collect(self):
+        unit = parse("""__kernel void k(__global float8* a) {
+            int16 big; float4 small;
+            a[0] = a[1];
+        }""", "opencl")
+        annotate_unit(unit, "opencl")
+        wide = collect_wide_vectors(unit)
+        assert T.vector("float", 8) in wide
+        assert T.vector("int", 16) in wide
+        assert T.vector("float", 4) not in wide
+
+    def test_struct_decls_parse_as_cuda(self):
+        src = wide_vector_struct_decls({T.vector("float", 8)})
+        unit = parse(src, "cuda")
+        # the typedef makes float8 a usable type in CUDA code
+        unit2 = parse(src + "\n__global__ void k(float8* p) { p[0] = "
+                      "__oc2cu_add_float8(p[0], p[1]); }", "cuda")
+        assert unit2.find_function("k") is not None
+
+    def test_all_components_present(self):
+        src = wide_vector_struct_decls({T.vector("int", 16)})
+        for i in range(16):
+            assert f"s{i:x};" in src
+
+
+class TestSpaceInference:
+    def _infer(self, src, kernels=("k",), global_spaces=None):
+        unit = parse(src, "opencl")
+        annotate_unit(unit, "opencl")
+        return infer_spaces(unit, list(kernels), global_spaces or {})
+
+    def test_kernel_params_default_global(self):
+        inf = self._infer("__kernel void k(float* a, int n) { a[0] = 1.0f; }")
+        assert inf.param_spaces["k"]["a"] == AS.GLOBAL
+
+    def test_local_array_flows_to_pointer(self):
+        inf = self._infer("""__kernel void k(float* g) {
+            __local float tile[16];
+            float* p = tile;
+            g[0] = p[0];
+        }""")
+        assert inf.var_spaces["k"]["p"] == AS.LOCAL
+
+    def test_pointer_arithmetic_keeps_space(self):
+        inf = self._infer("""__kernel void k(float* g, int n) {
+            float* p = g + n;
+            p[0] = 1.0f;
+        }""")
+        assert inf.var_spaces["k"]["p"] == AS.GLOBAL
+
+    def test_helper_single_space(self):
+        inf = self._infer("""
+        float head(float* p) { return p[0]; }
+        __kernel void k(float* g) { g[0] = head(g); }
+        """)
+        assert inf.param_spaces["head"]["p"] == AS.GLOBAL
+        assert "head" not in inf.specializations
+
+    def test_helper_conflicting_spaces_specialized(self):
+        inf = self._infer("""
+        float head(float* p) { return p[0]; }
+        __kernel void k(float* g) {
+            __local float t[8];
+            t[0] = 0.0f;
+            g[0] = head(g) + head(t);
+        }
+        """)
+        assert "head" in inf.specializations
+        suffixes = {s for s, _ in inf.specializations["head"]}
+        assert len(suffixes) == 2
+
+
+class TestRewriteMachinery:
+    def test_rewrite_exprs_bottom_up(self):
+        unit = parse("void f(int a) { int b = a + 1; }", "host")
+        body = unit.functions()[0].body
+
+        def fix(e):
+            if isinstance(e, A.IntLit) and e.value == 1:
+                return A.IntLit(42)
+            return None
+
+        rewrite_exprs(body, fix)
+        decl = body.stmts[0].decls[0]
+        assert decl.init.rhs.value == 42
+
+    def test_map_statements_replaces_in_lists(self):
+        unit = parse("void f() { int a; int b; }", "host")
+        body = unit.functions()[0].body
+
+        def dup(stmt):
+            if isinstance(stmt, A.DeclStmt):
+                return [stmt, A.ExprStmt(A.IntLit(0))]
+            return None
+
+        map_statements(body, dup)
+        assert len(body.stmts) == 4
+
+    def test_map_statements_wraps_braceless_if(self):
+        unit = parse("void f(int c) { if (c) c = 1; }", "host")
+        body = unit.functions()[0].body
+
+        def split(stmt):
+            if isinstance(stmt, A.ExprStmt):
+                return [stmt, A.ExprStmt(A.IntLit(0))]
+            return None
+
+        map_statements(body, split)
+        then = body.stmts[0].then
+        assert isinstance(then, A.Compound) and len(then.stmts) == 2
+
+    def test_clone_is_deep(self):
+        unit = parse("void f() { int a = 1; }", "host")
+        fn = unit.functions()[0]
+        copy = clone(fn)
+        copy.body.stmts[0].decls[0].init.value = 99
+        assert fn.body.stmts[0].decls[0].init.value == 1
+
+    @given(st.integers(-100, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_rewrite_identity_preserves_print(self, v):
+        from repro.clike import print_unit
+        unit = parse(f"void f() {{ int a = {v}; }}", "host")
+        before = print_unit(unit, "host")
+        rewrite_exprs(unit.functions()[0].body, lambda e: None)
+        assert print_unit(unit, "host") == before
