@@ -9,13 +9,15 @@ the 64-bit shared-memory addressing mode while NVIDIA's OpenCL uses the
 from conftest import regen
 
 from repro.harness.figures import figure7
-from repro.harness.report import render_figure
+from repro.harness.report import render_cache_stats, render_figure
+from repro.harness.runner import SHARED_TRANSLATION_CACHE
 
 
 def bench_figure7_npb(benchmark):
     data = regen(benchmark, lambda: figure7("npb"))
     print()
     print(render_figure(data))
+    print(render_cache_stats(SHARED_TRANSLATION_CACHE))
 
     assert len(data.rows) == 7, "SNU NPB has 7 OpenCL applications"
     assert all(r.ok for r in data.rows)

@@ -10,13 +10,15 @@ code slower than both OpenCL versions.
 from conftest import regen
 
 from repro.harness.figures import figure7
-from repro.harness.report import render_figure
+from repro.harness.report import render_cache_stats, render_figure
+from repro.harness.runner import SHARED_TRANSLATION_CACHE
 
 
 def bench_figure7_rodinia(benchmark):
     data = regen(benchmark, lambda: figure7("rodinia"))
     print()
     print(render_figure(data))
+    print(render_cache_stats(SHARED_TRANSLATION_CACHE))
 
     # -- paper-shape assertions ------------------------------------------
     assert len(data.rows) == 20, "Rodinia has 20 OpenCL applications"

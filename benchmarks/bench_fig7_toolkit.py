@@ -6,13 +6,15 @@ Paper shape: all 27 translate successfully with ~3% average difference.
 from conftest import regen
 
 from repro.harness.figures import figure7
-from repro.harness.report import render_figure
+from repro.harness.report import render_cache_stats, render_figure
+from repro.harness.runner import SHARED_TRANSLATION_CACHE
 
 
 def bench_figure7_toolkit(benchmark):
     data = regen(benchmark, lambda: figure7("toolkit"))
     print()
     print(render_figure(data))
+    print(render_cache_stats(SHARED_TRANSLATION_CACHE))
 
     assert len(data.rows) == 27, "Toolkit 4.2 ships 27 OpenCL samples"
     assert all(r.ok for r in data.rows), \

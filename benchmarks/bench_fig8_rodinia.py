@@ -9,13 +9,21 @@ program also runs on the AMD HD7970, which does not support CUDA at all.
 from conftest import regen
 
 from repro.harness.figures import figure8
-from repro.harness.report import render_figure
+from repro.harness.report import render_cache_stats, render_figure
+from repro.harness.runner import SHARED_TRANSLATION_CACHE
 
 
 def bench_figure8_rodinia(benchmark):
+    hits_before = SHARED_TRANSLATION_CACHE.stats.hits
     data = regen(benchmark, lambda: figure8("rodinia"))
     print()
     print(render_figure(data))
+    print(render_cache_stats(SHARED_TRANSLATION_CACHE))
+
+    # the HD7970 portability bar reuses the Titan bar's translation: at
+    # least one shared-cache hit per row
+    assert SHARED_TRANSLATION_CACHE.stats.hits - hits_before >= \
+        len(data.rows)
 
     # 21 CUDA apps - 7 untranslatable (heartwall, nn, mummergpu, dwt2d,
     # kmeans, leukocyte, hybridsort) = 14

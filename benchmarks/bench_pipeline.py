@@ -1,0 +1,78 @@
+"""Translation pipeline throughput: cold vs warm-cache corpus passes.
+
+The acceptance bar for the cache subsystem: a warm-cache pass over the
+whole corpus (both translation directions) must be at least 5x faster
+than the cold pass, while emitting byte-identical sources.  The parallel
+path must match the serial path bit-for-bit as well.
+"""
+
+import time
+
+from conftest import regen
+
+from repro.apps.base import all_apps
+from repro.harness.report import render_cache_stats
+from repro.pipeline import TranslationCache, TranslationJob, translate_many
+
+
+def corpus_jobs():
+    jobs = [TranslationJob(name=f"{a.suite}/{a.name}", direction="cuda2ocl",
+                           source=a.cuda_source)
+            for a in all_apps() if a.cuda_translatable]
+    jobs += [TranslationJob(name=f"{a.suite}/{a.name}", direction="ocl2cuda",
+                            source=a.opencl_kernels,
+                            host_source=a.opencl_host or "")
+             for a in all_apps() if a.has_opencl]
+    return jobs
+
+
+def _sources(results):
+    return [(r.job.name, r.host_source, r.device_source) for r in results]
+
+
+def bench_pipeline_cold_vs_warm(benchmark):
+    jobs = corpus_jobs()
+    cache = TranslationCache(capacity=len(jobs) + 8)
+
+    t0 = time.perf_counter()
+    cold = translate_many(jobs, cache=cache, parallel=False)
+    cold_s = time.perf_counter() - t0
+    assert all(r.ok for r in cold), [r.job.name for r in cold if not r.ok]
+
+    warm = regen(benchmark, lambda: translate_many(jobs, cache=cache))
+    t0 = time.perf_counter()
+    warm = translate_many(jobs, cache=cache)
+    warm_s = time.perf_counter() - t0
+
+    assert all(r.cached for r in warm)
+    assert _sources(warm) == _sources(cold), \
+        "warm-cache outputs deviate from cold outputs"
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print()
+    print(f"corpus translation: {len(jobs)} jobs; "
+          f"cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.2f} ms, "
+          f"speedup {speedup:.0f}x")
+    print(render_cache_stats(cache))
+    assert speedup >= 5.0, \
+        f"warm-cache pass only {speedup:.1f}x faster than cold (need >= 5x)"
+
+
+def bench_pipeline_parallel_matches_serial(benchmark):
+    jobs = corpus_jobs()
+    serial = translate_many(jobs, parallel=False)
+    parallel = regen(benchmark,
+                     lambda: translate_many(jobs, parallel=True))
+    assert _sources(parallel) == _sources(serial), \
+        "process-pool outputs deviate from serial outputs"
+
+
+def bench_pipeline_disk_tier(benchmark, tmp_path):
+    """A fresh process hitting a persisted cache dir skips the frontend."""
+    jobs = corpus_jobs()[:20]
+    translate_many(jobs, cache=TranslationCache(cache_dir=tmp_path),
+                   parallel=False)
+    cache2 = TranslationCache(cache_dir=tmp_path)   # cold memory tier
+    results = regen(benchmark, lambda: translate_many(jobs, cache=cache2))
+    assert all(r.cached for r in results)
+    assert cache2.stats.disk_hits == len(jobs)

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Translate the whole corpus twice — serial and parallel — and diff.
+
+The determinism gate for the translation pipeline: every corpus app is
+translated in both applicable directions, once serially in-process and
+once fanned out over the process pool, and the emitted
+``host_source``/``device_source`` must match byte-for-byte.  With
+``--runs N`` each mode additionally repeats N times to catch run-to-run
+nondeterminism (hash ordering, id() leakage, ...).
+
+Exit status 0 on success, 1 on any divergence.  Run from the repo root::
+
+    PYTHONPATH=src python scripts/check_determinism.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+import time
+
+
+def corpus_jobs():
+    from repro.apps.base import all_apps
+    from repro.pipeline import TranslationJob
+    jobs = [TranslationJob(name=f"{a.suite}/{a.name}", direction="cuda2ocl",
+                           source=a.cuda_source)
+            for a in all_apps() if a.cuda_translatable]
+    jobs += [TranslationJob(name=f"{a.suite}/{a.name}", direction="ocl2cuda",
+                            source=a.opencl_kernels,
+                            host_source=a.opencl_host or "")
+             for a in all_apps() if a.has_opencl]
+    return jobs
+
+
+def snapshot(results):
+    out = {}
+    for r in results:
+        out[(r.job.name, r.job.direction)] = (
+            r.ok, r.error_category, r.host_source, r.device_source)
+    return out
+
+
+def diff_snapshots(label_a, snap_a, label_b, snap_b) -> int:
+    problems = 0
+    for key in sorted(set(snap_a) | set(snap_b)):
+        a, b = snap_a.get(key), snap_b.get(key)
+        if a == b:
+            continue
+        problems += 1
+        name, direction = key
+        print(f"DIVERGENCE {name} [{direction}] between {label_a} "
+              f"and {label_b}:")
+        if a is None or b is None:
+            print(f"  present only in {label_a if b is None else label_b}")
+            continue
+        for part, av, bv in (("ok", a[0], b[0]), ("category", a[1], b[1])):
+            if av != bv:
+                print(f"  {part}: {av!r} vs {bv!r}")
+        for part, av, bv in (("host_source", a[2], b[2]),
+                             ("device_source", a[3], b[3])):
+            if av != bv:
+                udiff = difflib.unified_diff(
+                    (av or "").splitlines(), (bv or "").splitlines(),
+                    lineterm="", n=1)
+                shown = list(udiff)[:12]
+                print(f"  {part} differs:")
+                for line in shown:
+                    print(f"    {line}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serial-vs-parallel translation determinism check")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="extra repetitions per mode (default 1)")
+    args = parser.parse_args(argv)
+
+    from repro.pipeline import translate_many
+
+    jobs = corpus_jobs()
+    print(f"corpus: {len(jobs)} translation jobs")
+
+    t0 = time.perf_counter()
+    serial = snapshot(translate_many(jobs, parallel=False))
+    print(f"serial pass: {time.perf_counter() - t0:.2f}s")
+
+    t0 = time.perf_counter()
+    parallel = snapshot(translate_many(jobs, parallel=True))
+    print(f"parallel pass: {time.perf_counter() - t0:.2f}s")
+
+    problems = diff_snapshots("serial", serial, "parallel", parallel)
+    for i in range(args.runs - 1):
+        rerun = snapshot(translate_many(jobs, parallel=False))
+        problems += diff_snapshots("serial", serial,
+                                   f"serial-rerun-{i + 2}", rerun)
+
+    ok = sum(1 for v in serial.values() if v[0])
+    print(f"{ok}/{len(jobs)} jobs translate; "
+          f"{len(jobs) - ok} expected Table-3 failures")
+    if problems:
+        print(f"FAILED: {problems} divergence(s)")
+        return 1
+    print("OK: serial and parallel outputs are byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 """Evaluation harness: application runners, figure/table regeneration."""
 
-from .runner import (RunResult, run_cuda_app, run_cuda_translated,
-                     run_opencl_app, run_opencl_translated)
+from .runner import (SHARED_TRANSLATION_CACHE, RunResult, run_cuda_app,
+                     run_cuda_translated, run_opencl_app,
+                     run_opencl_translated, shared_translation_cache)
 
 __all__ = ["RunResult", "run_opencl_app", "run_opencl_translated",
-           "run_cuda_app", "run_cuda_translated"]
+           "run_cuda_app", "run_cuda_translated",
+           "SHARED_TRANSLATION_CACHE", "shared_translation_cache"]

@@ -19,8 +19,9 @@ from typing import Dict, List, Optional, Sequence
 
 from ..apps.base import App, apps_in_suite
 from ..errors import ReproError
-from .runner import (RunResult, run_cuda_app, run_cuda_translated,
-                     run_opencl_app, run_opencl_translated)
+from .runner import (RunResult, CacheArg, _SHARED, run_cuda_app,
+                     run_cuda_translated, run_opencl_app,
+                     run_opencl_translated)
 
 __all__ = ["FigureRow", "FigureData", "figure7", "figure8"]
 
@@ -68,8 +69,14 @@ class FigureData:
 
 
 def figure7(suite: str, device: str = "titan",
-            apps: Optional[Sequence[App]] = None) -> FigureData:
-    """Fig. 7 panel for one suite: OpenCL→CUDA translation on the Titan."""
+            apps: Optional[Sequence[App]] = None,
+            cache: CacheArg = _SHARED) -> FigureData:
+    """Fig. 7 panel for one suite: OpenCL→CUDA translation on the Titan.
+
+    ``cache`` (default: the process-wide shared translation cache) is
+    handed to the translated runner so re-running a panel skips the
+    frontend for every already-seen app.
+    """
     data = FigureData(figure="7", suite=suite)
     for app in (apps if apps is not None else apps_in_suite(suite)):
         if not app.has_opencl:
@@ -79,7 +86,8 @@ def figure7(suite: str, device: str = "titan",
             native = run_opencl_app(app.name, app.opencl_host,
                                     app.opencl_kernels, device)
             translated = run_opencl_translated(app.name, app.opencl_host,
-                                               app.opencl_kernels, device)
+                                               app.opencl_kernels, device,
+                                               cache=cache)
             row.ok = native.ok and translated.ok
             row.bars["opencl"] = native.sim_time
             row.bars["cuda_translated"] = translated.sim_time
@@ -96,8 +104,13 @@ def figure7(suite: str, device: str = "titan",
 
 def figure8(suite: str, device: str = "titan",
             second_device: Optional[str] = "hd7970",
-            apps: Optional[Sequence[App]] = None) -> FigureData:
-    """Fig. 8 panel for one suite: CUDA→OpenCL translation."""
+            apps: Optional[Sequence[App]] = None,
+            cache: CacheArg = _SHARED) -> FigureData:
+    """Fig. 8 panel for one suite: CUDA→OpenCL translation.
+
+    With the default shared ``cache``, the second-device (HD7970) bar
+    reuses the Titan bar's translation instead of re-running the frontend.
+    """
     data = FigureData(figure="8", suite=suite)
     for app in (apps if apps is not None else apps_in_suite(suite)):
         if not app.has_cuda or not app.cuda_translatable \
@@ -107,7 +120,7 @@ def figure8(suite: str, device: str = "titan",
         try:
             native = run_cuda_app(app.name, app.cuda_source, device)
             translated = run_cuda_translated(app.name, app.cuda_source,
-                                             device)
+                                             device, cache=cache)
             row.ok = native.ok and translated.ok
             row.bars["cuda"] = native.sim_time
             row.bars["opencl_translated"] = translated.sim_time
@@ -118,7 +131,7 @@ def figure8(suite: str, device: str = "titan",
                 row.ok = row.ok and orig_ocl.ok
             if second_device is not None:
                 amd = run_cuda_translated(app.name, app.cuda_source,
-                                          second_device)
+                                          second_device, cache=cache)
                 row.bars["opencl_translated_amd"] = amd.sim_time
                 row.ok = row.ok and amd.ok
         except ReproError as e:

@@ -4,11 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..pipeline.cache import TranslationCache
 from .figures import FigureData
 from .tables import PAPER_TABLE1, PAPER_TABLE3_COUNTS, Table1, Table3
 
 __all__ = ["render_figure", "render_table1", "render_table2",
-           "render_table3"]
+           "render_table3", "render_cache_stats"]
 
 _SERIES_LABELS = {
     "opencl": "orig OpenCL (Titan)",
@@ -65,6 +66,21 @@ def render_table2(rows: Dict[str, str]) -> str:
     out = ["Table 2: system configuration (simulated)"]
     for k, v in rows.items():
         out.append(f"  {k:<24}{v}")
+    return "\n".join(out)
+
+
+def render_cache_stats(cache: TranslationCache,
+                       title: str = "translation cache") -> str:
+    """One-line-per-counter summary of a translation cache's activity."""
+    s = cache.stats
+    out = [f"{title}: {len(cache)}/{cache.capacity} entries"
+           + (f", disk tier at {cache.cache_dir}" if cache.cache_dir
+              else ", in-memory only")]
+    out.append(f"  lookups {s.lookups}  hits {s.hits}  misses {s.misses}  "
+               f"hit rate {s.hit_rate * 100:.1f}%")
+    out.append(f"  puts {s.puts}  evictions {s.evictions}  "
+               f"invalidations {s.invalidations}  "
+               f"disk hits {s.disk_hits}  disk writes {s.disk_writes}")
     return "\n".join(out)
 
 

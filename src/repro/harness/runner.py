@@ -22,8 +22,9 @@ like the NVIDIA samples do, and ``RunResult.ok`` reflects that.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from ..clike import parse
 from ..clike.hostlib import HostEnv, _ExitSignal
@@ -34,13 +35,15 @@ from ..device.perf import SimClock
 from ..device.specs import DeviceSpec, get_device_spec
 from ..errors import CudaApiError, ReproError
 from ..ocl.api import OpenCLFramework
+from ..pipeline.cache import TranslationCache
 from ..runtime.values import PTR_TABLE
 from ..translate.api import translate_cuda_program
 from ..translate.cuda2ocl.wrappers import Cuda2OclRuntime
 from ..translate.ocl2cuda.wrappers import Ocl2CudaFramework
 
 __all__ = ["RunResult", "run_opencl_app", "run_opencl_translated",
-           "run_cuda_app", "run_cuda_translated"]
+           "run_cuda_app", "run_cuda_translated",
+           "SHARED_TRANSLATION_CACHE", "shared_translation_cache"]
 
 #: env-constant name under which the kernel source is handed to OpenCL
 #: host programs (stands in for reading kernel.cl from disk)
@@ -51,6 +54,36 @@ KERNEL_SOURCE_CONST = "KERNEL_SOURCE"
 #: divided by the same factor (see DeviceSpec.scaled) — normalized results
 #: are invariant
 SIM_SCALE = 400.0
+
+#: process-wide translation cache shared by the translated runners and the
+#: figure benchmarks: repeated runs of the same app skip the frontend.
+#: Set REPRO_TRANSLATION_CACHE_DIR to add an on-disk tier that persists
+#: across processes.  Simulated time is unaffected (the SimClock build
+#: charge is applied on hits and misses alike); only real wall-clock drops.
+SHARED_TRANSLATION_CACHE = TranslationCache(
+    capacity=512,
+    cache_dir=os.environ.get("REPRO_TRANSLATION_CACHE_DIR") or None)
+
+#: sentinel: runner ``cache=`` default meaning "use the shared cache";
+#: pass ``None`` for a cold, cache-free run or a TranslationCache instance
+#: for an isolated one
+_SHARED = "shared"
+
+CacheArg = Union[TranslationCache, None, str]
+
+
+def shared_translation_cache() -> TranslationCache:
+    """The process-wide cache used by the runners by default."""
+    return SHARED_TRANSLATION_CACHE
+
+
+def _resolve_cache(cache: CacheArg) -> Optional[TranslationCache]:
+    if cache == _SHARED:
+        return SHARED_TRANSLATION_CACHE
+    if cache is None or isinstance(cache, TranslationCache):
+        return cache
+    raise TypeError(f"cache= must be a TranslationCache, None, or "
+                    f"{_SHARED!r}; got {cache!r}")
 
 
 @dataclass
@@ -127,7 +160,8 @@ def run_opencl_app(name: str, host_source: str, kernel_source: str,
 
 
 def run_opencl_translated(name: str, host_source: str, kernel_source: str,
-                          device: "str | DeviceSpec" = "titan") -> RunResult:
+                          device: "str | DeviceSpec" = "titan",
+                          cache: CacheArg = _SHARED) -> RunResult:
     """The untouched OpenCL host program over the OpenCL→CUDA wrapper
     library (Fig. 2); requires a CUDA-capable device."""
     spec = _resolve_device(device)
@@ -135,7 +169,7 @@ def run_opencl_translated(name: str, host_source: str, kernel_source: str,
         raise CudaApiError(38, f"{spec.name} does not support CUDA")
     PTR_TABLE.reset()
     env = HostEnv()
-    fw = Ocl2CudaFramework(Device(spec))
+    fw = Ocl2CudaFramework(Device(spec), cache=_resolve_cache(cache))
     fw.install(env)
     env.define_constant(KERNEL_SOURCE_CONST,
                         env.intern_string(kernel_source))
@@ -165,12 +199,13 @@ def run_cuda_app(name: str, cu_source: str,
 
 
 def run_cuda_translated(name: str, cu_source: str,
-                        device: "str | DeviceSpec" = "titan") -> RunResult:
+                        device: "str | DeviceSpec" = "titan",
+                        cache: CacheArg = _SHARED) -> RunResult:
     """The CUDA program translated to OpenCL (static host rewriting +
     wrapper runtime), on any OpenCL device (Fig. 3)."""
     spec = _resolve_device(device)
     PTR_TABLE.reset()
-    prog = translate_cuda_program(cu_source)
+    prog = translate_cuda_program(cu_source, cache=_resolve_cache(cache))
     env = HostEnv()
     rt = Cuda2OclRuntime(prog.device, device=Device(spec))
     rt.install(env)

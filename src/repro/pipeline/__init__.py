@@ -1,0 +1,15 @@
+"""Translation pipeline: content-addressed caching + parallel batching.
+
+The scale layer over :mod:`repro.translate`: translate once, reuse
+everywhere (:class:`TranslationCache`), and fan whole-corpus translation
+out over worker processes (:func:`translate_many`).  Cached, uncached,
+serial, and parallel paths are bit-for-bit identical — see
+``tests/translate/test_golden_corpus.py`` and
+``tests/integration/test_cache_equivalence.py``.
+"""
+
+from .batch import JobResult, TranslationJob, translate_many
+from .cache import CacheStats, TranslationCache, cache_key, result_sources
+
+__all__ = ["TranslationCache", "CacheStats", "cache_key", "result_sources",
+           "TranslationJob", "JobResult", "translate_many"]

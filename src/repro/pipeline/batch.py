@@ -1,0 +1,176 @@
+"""Batch translation: fan a list of jobs out over a process pool.
+
+``translate_many`` is the corpus-scale entry point: Table 3 analyses every
+NVIDIA Toolkit sample, the figure benchmarks translate whole suites, and
+both re-run the frontend per app.  Jobs are independent source-to-source
+translations, so they parallelize perfectly; a per-job failure (a Table-3
+``TranslationNotSupported``, or any other framework error) is reported in
+that job's :class:`JobResult` without aborting the rest of the batch.
+
+Determinism contract (enforced by ``scripts/check_determinism.py`` and the
+differential tests): results are returned in job order and the translated
+sources are byte-identical whether a job ran serially, in a worker
+process, or was served from the cache.
+
+The pool degrades gracefully: if worker processes cannot be spawned (e.g.
+a sandbox without semaphores) or results cannot be pickled, the batch
+silently falls back to serial execution in-process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cache import TranslationCache, cache_key
+
+__all__ = ["TranslationJob", "JobResult", "translate_many"]
+
+#: translation directions understood by :func:`translate_many`
+DIRECTIONS = ("cuda2ocl", "ocl2cuda")
+
+
+@dataclass(frozen=True)
+class TranslationJob:
+    """One unit of batch work.
+
+    ``source`` is the ``.cu`` text for ``cuda2ocl`` jobs and the kernel
+    file text for ``ocl2cuda`` jobs (whose untouched host program, if any,
+    goes in ``host_source`` — it feeds the translatability check only).
+    """
+
+    name: str
+    direction: str                      # 'cuda2ocl' | 'ocl2cuda'
+    source: str
+    host_source: str = ""
+    defines: Optional[Tuple[Tuple[str, str], ...]] = None
+    device: str = "titan"               # short spec name ('titan', 'hd7970')
+
+    def defines_dict(self) -> Optional[Dict[str, str]]:
+        return dict(self.defines) if self.defines is not None else None
+
+    def key(self) -> str:
+        """Content-address of this job (see :func:`cache_key`)."""
+        from ..device.specs import get_device_spec
+        spec = get_device_spec(self.device)
+        if self.direction == "cuda2ocl":
+            return cache_key(self.source, "cuda", self.defines_dict(),
+                             spec.name)
+        return cache_key(self.source + "\x00" + self.host_source, "opencl",
+                         self.defines_dict(), spec.name)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a result object or a structured error."""
+
+    job: TranslationJob
+    ok: bool
+    result: Any = None                  # TranslatedCudaProgram | Ocl2CudaResult
+    cached: bool = False
+    error_type: Optional[str] = None    # exception class name
+    error_category: Optional[str] = None  # Table-3 category, when applicable
+    error_feature: Optional[str] = None
+    error_message: Optional[str] = None
+
+    @property
+    def host_source(self) -> Optional[str]:
+        from .cache import result_sources
+        return result_sources(self.result)[0] if self.ok else None
+
+    @property
+    def device_source(self) -> Optional[str]:
+        from .cache import result_sources
+        return result_sources(self.result)[1] if self.ok else None
+
+
+def _translate_job(job: TranslationJob) -> JobResult:
+    """Run one job, capturing framework errors as structured fields.
+
+    Must stay module-level (pickled by the process pool); errors are
+    captured rather than raised because the repro exception hierarchy uses
+    multi-argument constructors that do not survive unpickling.
+    """
+    from ..device.specs import get_device_spec
+    from ..errors import ReproError, TranslationNotSupported
+    from ..translate.api import (translate_cuda_program,
+                                 translate_opencl_program)
+
+    if job.direction not in DIRECTIONS:
+        raise ValueError(f"unknown direction {job.direction!r}; "
+                         f"expected one of {DIRECTIONS}")
+    spec = get_device_spec(job.device)
+    try:
+        if job.direction == "cuda2ocl":
+            result: Any = translate_cuda_program(
+                job.source, defines=job.defines_dict(), spec=spec)
+        else:
+            result = translate_opencl_program(
+                job.source, job.host_source, defines=job.defines_dict(),
+                spec=spec)
+        return JobResult(job=job, ok=True, result=result)
+    except TranslationNotSupported as e:
+        return JobResult(job=job, ok=False, error_type=type(e).__name__,
+                         error_category=e.category, error_feature=e.feature,
+                         error_message=str(e))
+    except ReproError as e:
+        return JobResult(job=job, ok=False, error_type=type(e).__name__,
+                         error_message=str(e))
+
+
+def translate_many(jobs: Sequence[TranslationJob], *,
+                   cache: Optional[TranslationCache] = None,
+                   parallel: bool = True,
+                   max_workers: Optional[int] = None) -> List[JobResult]:
+    """Translate every job, returning per-job results in job order.
+
+    Cache hits are served immediately (``cached=True``); the remaining
+    jobs fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    (or run serially when ``parallel=False``, for single-job batches, or
+    when the pool is unavailable).  Successful results are written back to
+    the cache.  The batch never aborts on a per-job failure.
+    """
+    for job in jobs:
+        if job.direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {job.direction!r}; "
+                             f"expected one of {DIRECTIONS}")
+
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    pending: List[int] = []
+    for i, job in enumerate(jobs):
+        hit = cache.get(job.key()) if cache is not None else None
+        if hit is not None:
+            results[i] = JobResult(job=job, ok=True, result=hit, cached=True)
+        else:
+            pending.append(i)
+
+    if pending:
+        worked = _run_pending([jobs[i] for i in pending], parallel,
+                              max_workers)
+        for i, res in zip(pending, worked):
+            results[i] = res
+            if cache is not None and res.ok:
+                cache.put(jobs[i].key(), res.result,
+                          meta={"name": jobs[i].name,
+                                "direction": jobs[i].direction,
+                                "device": jobs[i].device})
+
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def _run_pending(jobs: List[TranslationJob], parallel: bool,
+                 max_workers: Optional[int]) -> List[JobResult]:
+    workers = max_workers or min(len(jobs), os.cpu_count() or 1, 8)
+    if not parallel or len(jobs) < 2 or workers < 2:
+        return [_translate_job(j) for j in jobs]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_translate_job, jobs, chunksize=4))
+    except (OSError, PermissionError, ImportError, AttributeError,
+            BrokenPipeError):
+        # no subprocess/semaphore support here — serial fallback keeps the
+        # batch deterministic, just slower
+        return [_translate_job(j) for j in jobs]

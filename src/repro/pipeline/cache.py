@@ -1,0 +1,259 @@
+"""Content-addressed translation cache (in-memory LRU + optional disk tier).
+
+The paper's framework translates a program once and reuses the result for
+every subsequent run; this module gives the reproduction the same property.
+Entries are keyed by ``sha256`` over the *content* that determines the
+translation output — source text, dialect, preprocessor defines, and the
+device spec the translatability check ran against — so a cache hit is
+byte-for-byte equivalent to re-running the frontend (the golden and
+differential test layers enforce this).
+
+Two tiers:
+
+* an in-memory LRU (:class:`TranslationCache`) holding the full result
+  objects (:class:`~repro.translate.api.TranslatedCudaProgram` /
+  :class:`~repro.translate.ocl2cuda.kernel.Ocl2CudaResult`), shared by the
+  harness runners and the figure benchmarks within one process;
+* an optional on-disk tier (``cache_dir=``): one JSON artifact per entry
+  carrying human-readable metadata, the translated ``host_source`` /
+  ``device_source`` texts, and a compressed payload from which the full
+  result object is restored.  Artifacts whose payload does not reproduce
+  the recorded sources are discarded (stale-artifact protection).
+
+Simulated time is *not* affected by the cache: the
+:class:`~repro.device.perf.SimClock` build charge models the paper's
+machine and is applied identically on hits and misses.  The cache saves
+real wall-clock only.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = ["cache_key", "result_sources", "CacheStats", "TranslationCache"]
+
+#: on-disk artifact format version; bump to invalidate old artifacts
+ARTIFACT_VERSION = 1
+
+
+def cache_key(source: str, dialect: str,
+              defines: Optional[Dict[str, str]] = None,
+              spec_name: str = "") -> str:
+    """Content hash identifying one translation job.
+
+    ``sha256(source, dialect, defines, spec_name)``: every input that can
+    change the translator's output (or its accept/reject decision) is part
+    of the key, and nothing else is.
+    """
+    payload = json.dumps(
+        [source, dialect, sorted((defines or {}).items()), spec_name],
+        ensure_ascii=False, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def result_sources(result: Any) -> Tuple[str, str]:
+    """``(host_source, device_source)`` of any translation result object.
+
+    ``TranslatedCudaProgram`` carries both; ``Ocl2CudaResult`` has no host
+    half (the OpenCL host program is untouched in that direction, §3.2).
+    """
+    if hasattr(result, "host_source") and hasattr(result, "device_source"):
+        return result.host_source, result.device_source
+    if hasattr(result, "cuda_source"):
+        return "", result.cuda_source
+    return "", ""
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters; rendered by ``render_cache_stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+    invalidations: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "puts": self.puts,
+                "invalidations": self.invalidations,
+                "disk_hits": self.disk_hits, "disk_writes": self.disk_writes,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+class TranslationCache:
+    """Content-addressed LRU cache for translation results.
+
+    Thread-safe; the process-pool batch path only touches it from the
+    parent process, but the harness may be driven from worker threads.
+    """
+
+    def __init__(self, capacity: int = 256,
+                 cache_dir: "str | Path | None" = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._mem: "OrderedDict[str, Any]" = OrderedDict()
+
+    # -- lookup / store -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached result for ``key``, or None.  Checks the in-memory
+        tier first, then the disk tier (promoting disk hits to memory)."""
+        with self._lock:
+            if key in self._mem:
+                self._mem.move_to_end(key)
+                self.stats.hits += 1
+                return self._mem[key]
+            result = self._disk_load(key)
+            if result is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._mem_store(key, result)
+                return result
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, result: Any,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        """Store ``result`` under ``key``; persists an artifact when a
+        ``cache_dir`` is configured."""
+        with self._lock:
+            self.stats.puts += 1
+            self._mem_store(key, result)
+            if self.cache_dir is not None:
+                self._disk_store(key, result, meta or {})
+
+    def get_or_translate(self, key: str, translate: Callable[[], Any],
+                         meta: Optional[Dict[str, Any]] = None) -> Any:
+        """``get(key)``, running ``translate()`` and caching on a miss."""
+        hit = self.get(key)
+        if hit is not None:
+            return hit
+        result = translate()
+        self.put(key, result, meta)
+        return result
+
+    # -- invalidation -------------------------------------------------------
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry from both tiers; True if anything was removed."""
+        with self._lock:
+            removed = self._mem.pop(key, None) is not None
+            path = self._artifact_path(key)
+            if path is not None and path.exists():
+                path.unlink()
+                removed = True
+            if removed:
+                self.stats.invalidations += 1
+            return removed
+
+    def clear(self, disk: bool = False) -> None:
+        """Empty the in-memory tier (and the disk tier when ``disk``)."""
+        with self._lock:
+            self._mem.clear()
+            if disk and self.cache_dir is not None and self.cache_dir.exists():
+                for p in self.cache_dir.glob("*/*.json"):
+                    p.unlink()
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._mem
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._mem))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        disk = f" dir={self.cache_dir}" if self.cache_dir else ""
+        return (f"<TranslationCache {len(self._mem)}/{self.capacity}{disk} "
+                f"hits={self.stats.hits} misses={self.stats.misses}>")
+
+    # -- in-memory LRU ------------------------------------------------------
+
+    def _mem_store(self, key: str, result: Any) -> None:
+        self._mem[key] = result
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.capacity:
+            self._mem.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk tier ----------------------------------------------------------
+
+    def _artifact_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _disk_store(self, key: str, result: Any,
+                    meta: Dict[str, Any]) -> None:
+        path = self._artifact_path(key)
+        assert path is not None
+        host_src, device_src = result_sources(result)
+        artifact = {
+            "version": ARTIFACT_VERSION,
+            "key": key,
+            "meta": meta,
+            "host_source": host_src,
+            "device_source": device_src,
+            "payload": base64.b64encode(
+                zlib.compress(pickle.dumps(result))).decode("ascii"),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(artifact, indent=1), encoding="utf-8")
+        tmp.replace(path)
+        self.stats.disk_writes += 1
+
+    def _disk_load(self, key: str) -> Optional[Any]:
+        path = self._artifact_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            artifact = json.loads(path.read_text(encoding="utf-8"))
+            if artifact.get("version") != ARTIFACT_VERSION \
+                    or artifact.get("key") != key:
+                raise ValueError("artifact version/key mismatch")
+            result = pickle.loads(
+                zlib.decompress(base64.b64decode(artifact["payload"])))
+            # stale-artifact protection: the payload must reproduce the
+            # recorded sources exactly, or the entry is untrustworthy
+            host_src, device_src = result_sources(result)
+            if (host_src, device_src) != (artifact["host_source"],
+                                          artifact["device_source"]):
+                raise ValueError("artifact payload/source mismatch")
+            return result
+        except Exception:
+            # corrupted or stale: behave as a miss and drop the artifact
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None

@@ -23,6 +23,7 @@ from ..clike import ast as A
 from ..clike import parse
 from ..device.specs import GTX_TITAN, DeviceSpec
 from ..errors import TranslationNotSupported
+from ..pipeline.cache import TranslationCache, cache_key
 from .analyzer import (Finding, analyze_cuda_source, analyze_opencl_source,
                        check_cuda_translatable, check_opencl_translatable)
 from .cuda2ocl.host import (Cuda2OclHostResult, find_runtime_init_symbols,
@@ -55,30 +56,61 @@ class TranslatedCudaProgram:
 
 def translate_cuda_program(source: str,
                            defines: Optional[Dict[str, str]] = None,
-                           spec: DeviceSpec = GTX_TITAN
+                           spec: DeviceSpec = GTX_TITAN,
+                           cache: Optional[TranslationCache] = None
                            ) -> TranslatedCudaProgram:
-    """Translate one CUDA ``.cu`` program to OpenCL (Fig. 3 pipeline)."""
+    """Translate one CUDA ``.cu`` program to OpenCL (Fig. 3 pipeline).
+
+    With ``cache=``, a prior translation of the same (source, defines,
+    spec) is returned as-is — the result object is immutable by contract,
+    and the cached sources are byte-identical to a fresh run.
+    """
+    key = None
+    if cache is not None:
+        key = cache_key(source, "cuda", defines, spec.name)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     check_cuda_translatable(source, spec)
     unit = parse(source, "cuda", defines=defines)
     runtime_syms = find_runtime_init_symbols(unit)
     device = translate_device_unit(unit, runtime_syms)
     host = translate_host_unit(unit, device)
-    return TranslatedCudaProgram(
+    prog = TranslatedCudaProgram(
         host_source=host.host_source,
         device_source=device.opencl_source,
         host_unit=host.unit,
         device=device,
         host=host,
     )
+    if cache is not None and key is not None:
+        cache.put(key, prog, meta={"direction": "cuda2ocl",
+                                   "spec": spec.name})
+    return prog
 
 
 def translate_opencl_program(kernel_source: str, host_source: str = "",
                              defines: Optional[Dict[str, str]] = None,
-                             spec: DeviceSpec = GTX_TITAN) -> Ocl2CudaResult:
+                             spec: DeviceSpec = GTX_TITAN,
+                             cache: Optional[TranslationCache] = None
+                             ) -> Ocl2CudaResult:
     """Translate OpenCL kernels to CUDA (Fig. 2 pipeline).
 
     Host code needs no translation in this direction (§3.2) — pass it for
-    the translatability check only.
+    the translatability check only.  ``cache=`` behaves exactly as in
+    :func:`translate_cuda_program`; the host source participates in the
+    key because it feeds the translatability check.
     """
+    key = None
+    if cache is not None:
+        key = cache_key(kernel_source + "\x00" + host_source, "opencl",
+                        defines, spec.name)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     check_opencl_translatable(host_source, kernel_source, spec)
-    return translate_kernel_unit(kernel_source, defines=defines)
+    result = translate_kernel_unit(kernel_source, defines=defines)
+    if cache is not None and key is not None:
+        cache.put(key, result, meta={"direction": "ocl2cuda",
+                                     "spec": spec.name})
+    return result

@@ -19,9 +19,13 @@ untouched (§3.2) — but every operation is realized with CUDA driver calls:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...pipeline.cache import TranslationCache
 
 from ...clike import types as T
 from ...cuda.driver import CudaDriver
@@ -76,13 +80,17 @@ class Ocl2CudaFramework(OpenCLFramework):
     """cl* entry points realized as wrappers over the CUDA driver API."""
 
     def __init__(self, device: Optional[Device] = None,
-                 clock: Optional[SimClock] = None) -> None:
+                 clock: Optional[SimClock] = None,
+                 cache: Optional["TranslationCache"] = None) -> None:
         device = device or Device(GTX_TITAN)
         clock = clock or SimClock()
         self.driver = CudaDriver(device=device, clock=clock)
         super().__init__([device], clock=clock)
         self.platform.name = "SNU OpenCL-on-CUDA (translated)"
         self.build_hook = self._build_via_translation
+        #: optional content-addressed translation cache: repeated
+        #: clBuildProgram calls on the same source skip the frontend
+        self.cache = cache
         #: per-program translated-kernel metadata
         self._meta: Dict[int, Dict[str, OclKernelMeta]] = {}
         #: last translated CUDA source (for tests/inspection)
@@ -94,7 +102,18 @@ class Ocl2CudaFramework(OpenCLFramework):
                                device: CLDevice) -> DeviceModule:
         from ...ocl.api import _parse_build_defines
         defines = _parse_build_defines(program.build_options)
-        result = translate_kernel_unit(program.source, defines=defines)
+        if self.cache is not None:
+            from ...pipeline.cache import cache_key
+            key = cache_key(program.source, "opencl", defines,
+                            self.driver.device.spec.name)
+            result = self.cache.get_or_translate(
+                key,
+                lambda: translate_kernel_unit(program.source,
+                                              defines=defines),
+                meta={"direction": "ocl2cuda",
+                      "spec": self.driver.device.spec.name})
+        else:
+            result = translate_kernel_unit(program.source, defines=defines)
         self.last_cuda_source = result.cuda_source
         # source-to-source translation cost + nvcc compile cost; both are
         # part of the (excluded-from-comparison) build phase

@@ -1,0 +1,10 @@
+"""Shared pytest configuration for the test tree."""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="regenerate the checked-in golden translation snapshots under "
+             "tests/translate/golden/ instead of comparing against them")

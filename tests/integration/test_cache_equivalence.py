@@ -1,0 +1,154 @@
+"""Differential tests: the cache must never change what a program does.
+
+Three layers of evidence, from cheap/broad to expensive/deep:
+
+* artifact equality over the *whole corpus*: cold serial translation,
+  warm-cache translation, and process-pool batch translation emit
+  byte-identical ``host_source``/``device_source`` for every app;
+* execution equality on a cross-suite sample: ``run_*_translated``
+  through a warm cache produces the same :class:`RunResult` — ok flag,
+  exit code, stdout, simulated time, per-category breakdown, API-call and
+  launch counts — as a cold, cache-free run;
+* the process-pool path feeds the same runs: a cache primed by
+  ``translate_many(parallel=True)`` yields runs identical to cache-free
+  ones, on the Titan and on the HD7970.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import all_apps
+from repro.harness.runner import (RunResult, run_cuda_translated,
+                                  run_opencl_translated)
+from repro.pipeline import TranslationCache, TranslationJob, translate_many
+from repro.translate.api import (translate_cuda_program,
+                                 translate_opencl_program)
+
+
+def _cuda_apps():
+    return [a for a in all_apps() if a.cuda_translatable]
+
+
+def _opencl_apps():
+    return [a for a in all_apps() if a.has_opencl]
+
+
+def _jobs():
+    jobs = [TranslationJob(name=f"{a.suite}/{a.name}", direction="cuda2ocl",
+                           source=a.cuda_source) for a in _cuda_apps()]
+    jobs += [TranslationJob(name=f"{a.suite}/{a.name}", direction="ocl2cuda",
+                            source=a.opencl_kernels,
+                            host_source=a.opencl_host or "")
+             for a in _opencl_apps()]
+    return jobs
+
+
+def _sources(results):
+    return [(r.job.name, r.host_source, r.device_source) for r in results]
+
+
+# -- layer 1: whole-corpus artifact equality --------------------------------
+
+def test_corpus_artifacts_identical_cold_warm_parallel():
+    jobs = _jobs()
+    cold = translate_many(jobs, parallel=False)
+    assert all(r.ok for r in cold), [r.job.name for r in cold if not r.ok]
+
+    cache = TranslationCache(capacity=len(jobs) + 8)
+    parallel = translate_many(jobs, cache=cache, parallel=True)
+    assert _sources(parallel) == _sources(cold)
+
+    warm = translate_many(jobs, cache=cache)
+    assert all(r.cached for r in warm)
+    assert _sources(warm) == _sources(cold)
+
+
+def test_corpus_artifacts_identical_through_disk_tier(tmp_path):
+    jobs = _jobs()[:12]
+    first = translate_many(jobs, cache=TranslationCache(
+        cache_dir=tmp_path / "tc"), parallel=False)
+    # a fresh process-equivalent cache over the same dir: memory is empty,
+    # every hit comes off disk
+    cache2 = TranslationCache(cache_dir=tmp_path / "tc")
+    second = translate_many(jobs, cache=cache2)
+    assert all(r.cached for r in second)
+    assert cache2.stats.disk_hits == len(jobs)
+    assert _sources(second) == _sources(first)
+
+
+# -- layer 2: execution equality on a cross-suite sample --------------------
+
+def _run_fields(r: RunResult):
+    return (r.name, r.mode, r.device, r.ok, r.exit_code, r.stdout,
+            r.sim_time, r.breakdown, r.api_calls, r.kernel_launches)
+
+
+def _sample(apps, k):
+    """Deterministic cross-suite sample: the k smallest sources, which are
+    also the fastest to simulate."""
+    return sorted(apps, key=lambda a: (len(a.cuda_source or "")
+                                       + len(a.opencl_kernels or ""),
+                                       a.name))[:k]
+
+
+CUDA_SAMPLE = [a for a in _sample(
+    [a for a in _cuda_apps() if a.cuda_runs_natively], 5)]
+OCL_SAMPLE = [a for a in _sample(_opencl_apps(), 3)]
+
+
+@pytest.mark.parametrize("app", CUDA_SAMPLE, ids=lambda a: a.name)
+def test_cuda_translated_warm_equals_cold(app):
+    cold = run_cuda_translated(app.name, app.cuda_source, cache=None)
+    cache = TranslationCache()
+    # prime, then run through the warm cache
+    translate_cuda_program(app.cuda_source, cache=cache)
+    warm = run_cuda_translated(app.name, app.cuda_source, cache=cache)
+    assert cache.stats.hits >= 1
+    assert _run_fields(warm) == _run_fields(cold)
+    assert warm.extra == cold.extra
+
+
+@pytest.mark.parametrize("app", OCL_SAMPLE, ids=lambda a: a.name)
+def test_opencl_translated_warm_equals_cold(app):
+    cold = run_opencl_translated(app.name, app.opencl_host,
+                                 app.opencl_kernels, cache=None)
+    cache = TranslationCache()
+    warm1 = run_opencl_translated(app.name, app.opencl_host,
+                                  app.opencl_kernels, cache=cache)
+    warm2 = run_opencl_translated(app.name, app.opencl_host,
+                                  app.opencl_kernels, cache=cache)
+    assert cache.stats.hits >= 1, "second run must hit the cache"
+    assert _run_fields(warm1) == _run_fields(cold)
+    assert _run_fields(warm2) == _run_fields(cold)
+    assert warm2.extra == cold.extra
+
+
+# -- layer 3: the process-pool path feeds identical runs --------------------
+
+def test_pool_translated_cache_feeds_identical_runs():
+    apps = CUDA_SAMPLE[:2]
+    cache = TranslationCache()
+    results = translate_many(
+        [TranslationJob(name=a.name, direction="cuda2ocl",
+                        source=a.cuda_source) for a in apps],
+        cache=cache, parallel=True)
+    assert all(r.ok for r in results)
+    for app in apps:
+        cold = run_cuda_translated(app.name, app.cuda_source, cache=None)
+        warm = run_cuda_translated(app.name, app.cuda_source, cache=cache)
+        assert _run_fields(warm) == _run_fields(cold)
+
+
+def test_pool_cache_equivalence_on_second_device():
+    """Fig. 8's HD7970 bar reuses the Titan translation via the cache."""
+    app = CUDA_SAMPLE[0]
+    cold = run_cuda_translated(app.name, app.cuda_source, device="hd7970",
+                               cache=None)
+    cache = TranslationCache()
+    run_cuda_translated(app.name, app.cuda_source, device="titan",
+                        cache=cache)
+    warm = run_cuda_translated(app.name, app.cuda_source, device="hd7970",
+                               cache=cache)
+    assert cache.stats.hits >= 1
+    assert _run_fields(warm) == _run_fields(cold)

@@ -1,0 +1,103 @@
+"""Unit tests for the parallel batch translation pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import all_apps, get_app
+from repro.pipeline import (TranslationCache, TranslationJob, cache_key,
+                            translate_many)
+from repro.translate.categories import ALL_CATEGORIES
+
+BAD_CUDA = "int main() { asm(\"mov.b32 r0, r1;\"); return 0; }"
+
+
+def _job(app, direction="cuda2ocl"):
+    if direction == "cuda2ocl":
+        return TranslationJob(name=app.name, direction="cuda2ocl",
+                              source=app.cuda_source)
+    return TranslationJob(name=app.name, direction="ocl2cuda",
+                          source=app.opencl_kernels,
+                          host_source=app.opencl_host or "")
+
+
+def test_serial_and_parallel_agree_byte_for_byte():
+    apps = [a for a in all_apps() if a.cuda_translatable][:6]
+    jobs = [_job(a) for a in apps]
+    serial = translate_many(jobs, parallel=False)
+    parallel = translate_many(jobs, parallel=True)
+    assert [r.ok for r in serial] == [r.ok for r in parallel] == [True] * 6
+    for s, p in zip(serial, parallel):
+        assert s.job is not None and s.job.name == p.job.name
+        assert (s.host_source, s.device_source) == \
+            (p.host_source, p.device_source)
+
+
+def test_results_preserve_job_order():
+    apps = [a for a in all_apps() if a.cuda_translatable][:5]
+    jobs = [_job(a) for a in reversed(apps)]
+    results = translate_many(jobs, parallel=True)
+    assert [r.job.name for r in results] == [a.name for a in reversed(apps)]
+
+
+def test_failed_job_does_not_abort_batch():
+    good = get_app("rodinia", "bfs")
+    jobs = [_job(good),
+            TranslationJob(name="bad", direction="cuda2ocl",
+                           source=BAD_CUDA),
+            _job(good, "ocl2cuda")]
+    results = translate_many(jobs, parallel=True)
+    assert [r.ok for r in results] == [True, False, True]
+    bad = results[1]
+    assert bad.error_type == "TranslationNotSupported"
+    assert bad.error_category in ALL_CATEGORIES
+    assert bad.result is None and bad.host_source is None
+
+
+def test_cache_hits_are_marked_and_reused():
+    app = get_app("rodinia", "bfs")
+    cache = TranslationCache()
+    jobs = [_job(app), _job(app, "ocl2cuda")]
+    cold = translate_many(jobs, cache=cache)
+    assert [r.cached for r in cold] == [False, False]
+    warm = translate_many(jobs, cache=cache)
+    assert [r.cached for r in warm] == [True, True]
+    for c, w in zip(cold, warm):
+        assert w.result is c.result
+
+
+def test_duplicate_jobs_share_one_cache_entry():
+    app = get_app("rodinia", "bfs")
+    cache = TranslationCache()
+    jobs = [_job(app)] * 3
+    translate_many(jobs, cache=cache, parallel=False)
+    assert len(cache) == 1
+
+
+def test_failures_are_not_cached():
+    cache = TranslationCache()
+    jobs = [TranslationJob(name="bad", direction="cuda2ocl",
+                           source=BAD_CUDA)]
+    translate_many(jobs, cache=cache)
+    assert len(cache) == 0
+    again = translate_many(jobs, cache=cache)
+    assert again[0].cached is False and again[0].ok is False
+
+
+def test_unknown_direction_rejected_up_front():
+    with pytest.raises(ValueError, match="unknown direction"):
+        translate_many([TranslationJob(name="x", direction="sideways",
+                                       source="")])
+
+
+def test_job_key_matches_cache_key_contract():
+    app = get_app("rodinia", "bfs")
+    job = _job(app)
+    from repro.device.specs import get_device_spec
+    expected = cache_key(app.cuda_source, "cuda", None,
+                         get_device_spec("titan").name)
+    assert job.key() == expected
+
+
+def test_empty_batch():
+    assert translate_many([]) == []

@@ -1,0 +1,195 @@
+"""Unit tests for the content-addressed translation cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.base import get_app
+from repro.device.specs import GTX_TITAN, HD7970
+from repro.pipeline.cache import (CacheStats, TranslationCache, cache_key,
+                                  result_sources)
+from repro.translate.api import (translate_cuda_program,
+                                 translate_opencl_program)
+
+SRC = "__global__ void k(float* a) { a[threadIdx.x] = 1.0f; }"
+
+
+# -- keying -----------------------------------------------------------------
+
+def test_key_is_stable_and_content_addressed():
+    k1 = cache_key(SRC, "cuda", {"N": "4"}, "GeForce GTX Titan")
+    k2 = cache_key(SRC, "cuda", {"N": "4"}, "GeForce GTX Titan")
+    assert k1 == k2 and len(k1) == 64
+
+
+@pytest.mark.parametrize("other", [
+    cache_key(SRC + " ", "cuda", {"N": "4"}, "GeForce GTX Titan"),
+    cache_key(SRC, "opencl", {"N": "4"}, "GeForce GTX Titan"),
+    cache_key(SRC, "cuda", {"N": "8"}, "GeForce GTX Titan"),
+    cache_key(SRC, "cuda", None, "GeForce GTX Titan"),
+    cache_key(SRC, "cuda", {"N": "4"}, "AMD Radeon HD7970"),
+], ids=["source", "dialect", "define-value", "defines-absent", "spec"])
+def test_key_sensitive_to_every_component(other):
+    assert other != cache_key(SRC, "cuda", {"N": "4"}, "GeForce GTX Titan")
+
+
+def test_key_ignores_define_ordering():
+    a = cache_key(SRC, "cuda", {"A": "1", "B": "2"}, "t")
+    b = cache_key(SRC, "cuda", {"B": "2", "A": "1"}, "t")
+    assert a == b
+
+
+# -- LRU + counters ---------------------------------------------------------
+
+def test_lru_eviction_and_counters():
+    c = TranslationCache(capacity=2)
+    c.put("k1", "r1")
+    c.put("k2", "r2")
+    assert c.get("k1") == "r1"       # k1 becomes most-recent
+    c.put("k3", "r3")                # evicts k2
+    assert c.get("k2") is None
+    assert c.get("k1") == "r1" and c.get("k3") == "r3"
+    assert c.stats.evictions == 1
+    assert c.stats.hits == 3 and c.stats.misses == 1
+    assert c.stats.puts == 3
+    assert 0.0 < c.stats.hit_rate < 1.0
+
+
+def test_invalidate_and_clear():
+    c = TranslationCache()
+    c.put("k", "r")
+    assert "k" in c and len(c) == 1
+    assert c.invalidate("k") is True
+    assert c.invalidate("k") is False
+    assert c.get("k") is None
+    c.put("k2", "r2")
+    c.clear()
+    assert len(c) == 0
+
+
+def test_get_or_translate_runs_thunk_once():
+    c = TranslationCache()
+    calls = []
+
+    def thunk():
+        calls.append(1)
+        return "result"
+
+    assert c.get_or_translate("k", thunk) == "result"
+    assert c.get_or_translate("k", thunk) == "result"
+    assert len(calls) == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TranslationCache(capacity=0)
+
+
+# -- disk tier --------------------------------------------------------------
+
+def test_disk_roundtrip_and_promotion(tmp_path):
+    app = get_app("rodinia", "bfs")
+    prog = translate_cuda_program(app.cuda_source)
+    key = cache_key(app.cuda_source, "cuda", None, GTX_TITAN.name)
+
+    c1 = TranslationCache(cache_dir=tmp_path)
+    c1.put(key, prog, meta={"name": "bfs"})
+    assert c1.stats.disk_writes == 1
+
+    c2 = TranslationCache(cache_dir=tmp_path)   # fresh memory tier
+    restored = c2.get(key)
+    assert restored is not None
+    assert c2.stats.disk_hits == 1
+    assert restored.host_source == prog.host_source
+    assert restored.device_source == prog.device_source
+    # promoted to memory: second get is a pure memory hit
+    c2.get(key)
+    assert c2.stats.disk_hits == 1 and c2.stats.hits == 2
+
+
+def test_disk_artifact_is_readable_json_with_sources(tmp_path):
+    app = get_app("rodinia", "bfs")
+    prog = translate_cuda_program(app.cuda_source)
+    key = cache_key(app.cuda_source, "cuda", None, GTX_TITAN.name)
+    TranslationCache(cache_dir=tmp_path).put(key, prog, meta={"name": "bfs"})
+    (artifact_path,) = tmp_path.glob("*/*.json")
+    artifact = json.loads(artifact_path.read_text())
+    assert artifact["key"] == key
+    assert artifact["meta"] == {"name": "bfs"}
+    assert artifact["host_source"] == prog.host_source
+    assert artifact["device_source"] == prog.device_source
+
+
+def test_corrupted_artifact_is_a_miss_and_removed(tmp_path):
+    c = TranslationCache(cache_dir=tmp_path)
+    c.put("deadbeef", "payload")
+    (path,) = tmp_path.glob("*/*.json")
+    path.write_text("{not json")
+    c2 = TranslationCache(cache_dir=tmp_path)
+    assert c2.get("deadbeef") is None
+    assert not path.exists()
+
+
+def test_tampered_payload_is_rejected(tmp_path):
+    c = TranslationCache(cache_dir=tmp_path)
+    app = get_app("rodinia", "bfs")
+    prog = translate_cuda_program(app.cuda_source)
+    c.put("cafebabe", prog)
+    (path,) = tmp_path.glob("*/*.json")
+    artifact = json.loads(path.read_text())
+    artifact["device_source"] = "tampered"   # payload no longer matches
+    path.write_text(json.dumps(artifact))
+    c2 = TranslationCache(cache_dir=tmp_path)
+    assert c2.get("cafebabe") is None
+
+
+def test_invalidate_removes_disk_artifact(tmp_path):
+    c = TranslationCache(cache_dir=tmp_path)
+    c.put("k", "r")
+    assert list(tmp_path.glob("*/*.json"))
+    assert c.invalidate("k") is True
+    assert not list(tmp_path.glob("*/*.json"))
+
+
+# -- api-level integration --------------------------------------------------
+
+def test_translate_cuda_program_uses_cache():
+    app = get_app("rodinia", "bfs")
+    c = TranslationCache()
+    p1 = translate_cuda_program(app.cuda_source, cache=c)
+    p2 = translate_cuda_program(app.cuda_source, cache=c)
+    assert p2 is p1                      # served from cache
+    assert c.stats.hits == 1 and c.stats.misses == 1
+    p3 = translate_cuda_program(app.cuda_source)
+    assert p3 is not p1
+    assert (p3.host_source, p3.device_source) == \
+        (p1.host_source, p1.device_source)
+
+
+def test_translate_opencl_program_uses_cache():
+    app = get_app("rodinia", "bfs")
+    c = TranslationCache()
+    r1 = translate_opencl_program(app.opencl_kernels, app.opencl_host,
+                                  cache=c)
+    r2 = translate_opencl_program(app.opencl_kernels, app.opencl_host,
+                                  cache=c)
+    assert r2 is r1
+    assert result_sources(r1) == ("", r1.cuda_source)
+
+
+def test_spec_partitions_cache_entries():
+    app = get_app("rodinia", "bfs")
+    c = TranslationCache()
+    translate_opencl_program(app.opencl_kernels, app.opencl_host,
+                             spec=GTX_TITAN, cache=c)
+    translate_opencl_program(app.opencl_kernels, app.opencl_host,
+                             spec=HD7970, cache=c)
+    assert len(c) == 2 and c.stats.misses == 2
+
+
+def test_stats_as_dict():
+    s = CacheStats(hits=3, misses=1)
+    d = s.as_dict()
+    assert d["hits"] == 3 and d["hit_rate"] == 0.75

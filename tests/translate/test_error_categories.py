@@ -1,0 +1,81 @@
+"""Error-path coverage: every Table-3 failure category, plus batch
+reporting.
+
+Two sources of evidence per category: a minimal handcrafted program that
+uses exactly one offending construct, and the corpus apps whose
+``fail_category`` documents the same expectation.  The batch pipeline
+must report each failure on its own job while completing the rest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import all_apps, get_app
+from repro.errors import TranslationNotSupported
+from repro.pipeline import TranslationJob, translate_many
+from repro.translate.api import translate_cuda_program
+from repro.translate.categories import (ALL_CATEGORIES, CAT_LANG, CAT_LIBS,
+                                        CAT_NO_FUNC, CAT_OPENGL, CAT_PTX,
+                                        CAT_UVA)
+
+#: one minimal untranslatable program per Table-3 category
+MINIMAL_BY_CATEGORY = {
+    CAT_LANG: "class Foo { int x; };\nint main() { return 0; }",
+    CAT_PTX: 'int main() { asm("mov.b32 r0, r1;"); return 0; }',
+    CAT_OPENGL: "int main() { glutInit(0, 0); return 0; }",
+    CAT_UVA: "int main() { cudaHostGetDevicePointer(0, 0, 0); return 0; }",
+    CAT_LIBS: "#include <cufft.h>\nint main() { return 0; }",
+    CAT_NO_FUNC: ("__global__ void k(int* a) { a[0] = warpSize; }\n"
+                  "int main() { return 0; }"),
+}
+
+
+def test_every_category_has_a_minimal_program():
+    assert sorted(MINIMAL_BY_CATEGORY) == sorted(ALL_CATEGORIES)
+
+
+@pytest.mark.parametrize("category", ALL_CATEGORIES)
+def test_minimal_program_raises_with_category(category):
+    with pytest.raises(TranslationNotSupported) as exc:
+        translate_cuda_program(MINIMAL_BY_CATEGORY[category])
+    assert exc.value.category == category
+    assert exc.value.feature          # names the offending construct
+
+
+@pytest.mark.parametrize("category", ALL_CATEGORIES)
+def test_corpus_covers_category(category):
+    """Each category is also exercised by at least one real corpus app,
+    and the analyzer agrees with the app's documented expectation."""
+    apps = [a for a in all_apps() if a.fail_category == category]
+    assert apps, f"no corpus app documents {category!r}"
+    app = apps[0]
+    with pytest.raises(TranslationNotSupported) as exc:
+        translate_cuda_program(app.cuda_source)
+    assert exc.value.category == category
+
+
+def test_translate_many_reports_every_category_and_finishes_batch():
+    """One failing job per category interleaved with good jobs: each
+    failure lands on its own JobResult with the right category, and all
+    good jobs still complete."""
+    good = get_app("rodinia", "bfs")
+    jobs, expect = [], []
+    for i, (category, src) in enumerate(sorted(MINIMAL_BY_CATEGORY.items())):
+        jobs.append(TranslationJob(name=good.name, direction="cuda2ocl",
+                                   source=good.cuda_source))
+        expect.append(None)
+        jobs.append(TranslationJob(name=f"bad-{i}", direction="cuda2ocl",
+                                   source=src))
+        expect.append(category)
+    results = translate_many(jobs, parallel=True)
+    assert len(results) == len(jobs)
+    for res, category in zip(results, expect):
+        if category is None:
+            assert res.ok, res.error_message
+            assert res.device_source
+        else:
+            assert not res.ok
+            assert res.error_type == "TranslationNotSupported"
+            assert res.error_category == category
+            assert res.error_feature and res.error_message

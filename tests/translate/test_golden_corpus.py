@@ -1,0 +1,99 @@
+"""Golden snapshot tests: the translator's output over the whole corpus.
+
+Every corpus app is translated in both applicable directions and the
+emitted ``host_source`` / ``device_source`` are compared byte-for-byte
+against checked-in golden files.  This is the lockdown that makes the
+translation cache safe: any frontend change that alters output — wanted
+or not — shows up as a golden diff, and a cache serving stale artifacts
+can never silently pass.
+
+Regenerate intentionally with::
+
+    pytest tests/translate/test_golden_corpus.py --regen-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.apps.base import apps_in_suite
+from repro.translate.api import (translate_cuda_program,
+                                 translate_opencl_program)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: (suite, direction) panels with at least one translatable app each
+PANELS = [
+    ("rodinia", "ocl2cuda"),
+    ("rodinia", "cuda2ocl"),
+    ("npb", "ocl2cuda"),
+    ("toolkit", "ocl2cuda"),
+    ("toolkit", "cuda2ocl"),
+]
+
+
+def translate_panel(suite: str, direction: str) -> Dict[str, Dict[str, str]]:
+    """app name -> {host_source, device_source} for one (suite, direction)."""
+    out: Dict[str, Dict[str, str]] = {}
+    for app in apps_in_suite(suite):
+        if direction == "ocl2cuda":
+            if not app.has_opencl:
+                continue
+            result = translate_opencl_program(app.opencl_kernels,
+                                              app.opencl_host or "")
+            out[app.name] = {"host_source": "",
+                             "device_source": result.cuda_source}
+        else:
+            if not app.cuda_translatable:
+                continue
+            prog = translate_cuda_program(app.cuda_source)
+            out[app.name] = {"host_source": prog.host_source,
+                             "device_source": prog.device_source}
+    return out
+
+
+def golden_path(suite: str, direction: str) -> Path:
+    return GOLDEN_DIR / f"{suite}_{direction}.json"
+
+
+@pytest.mark.parametrize("suite,direction", PANELS,
+                         ids=[f"{s}-{d}" for s, d in PANELS])
+def test_golden_corpus(suite, direction, request):
+    path = golden_path(suite, direction)
+    actual = translate_panel(suite, direction)
+
+    if request.config.getoption("--regen-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1, sort_keys=True),
+                        encoding="utf-8")
+        pytest.skip(f"regenerated {path.name} ({len(actual)} apps)")
+
+    assert path.exists(), \
+        f"missing golden file {path}; run pytest --regen-golden to create it"
+    golden = json.loads(path.read_text(encoding="utf-8"))
+
+    assert sorted(actual) == sorted(golden), \
+        "corpus drift: app set differs from golden snapshot"
+    for name in sorted(actual):
+        for part in ("host_source", "device_source"):
+            assert actual[name][part] == golden[name][part], \
+                (f"{suite}/{name} [{direction}] {part} deviates from "
+                 f"golden; if intentional, rerun with --regen-golden")
+
+
+def test_translation_is_deterministic_run_to_run():
+    """Back-to-back frontend runs emit identical bytes (the property the
+    golden layer assumes)."""
+    app = apps_in_suite("rodinia")[0]
+    for a in apps_in_suite("rodinia"):
+        if a.cuda_translatable:
+            app = a
+            break
+    p1 = translate_cuda_program(app.cuda_source)
+    p2 = translate_cuda_program(app.cuda_source)
+    assert p1.host_source == p2.host_source
+    assert p1.device_source == p2.device_source
