@@ -11,8 +11,9 @@ import time
 from conftest import regen
 
 from repro.apps.base import all_apps
-from repro.harness.report import render_cache_stats
+from repro.harness.report import render_cache_stats, render_pass_stats
 from repro.pipeline import TranslationCache, TranslationJob, translate_many
+from repro.translate.passes import aggregate_stats
 
 
 def corpus_jobs():
@@ -54,6 +55,10 @@ def bench_pipeline_cold_vs_warm(benchmark):
           f"cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.2f} ms, "
           f"speedup {speedup:.0f}x")
     print(render_cache_stats(cache))
+    print(render_pass_stats(
+        aggregate_stats([getattr(r.result, "pass_stats", None)
+                         for r in cold], pipeline="corpus-cold"),
+        title="per-pass timing (cold pass)"))
     assert speedup >= 5.0, \
         f"warm-cache pass only {speedup:.1f}x faster than cold (need >= 5x)"
 

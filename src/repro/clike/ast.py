@@ -20,7 +20,7 @@ __all__ = [
     "IntLit", "FloatLit", "CharLit", "StringLit", "Ident",
     "BinOp", "UnOp", "Assign", "Cond", "Call", "Index", "Member",
     "Cast", "SizeOf", "InitList", "Comma", "KernelLaunch",
-    "walk",
+    "walk", "best_loc", "has_loc",
 ]
 
 
@@ -61,6 +61,29 @@ def walk(node: Node) -> Iterator[Node]:
     yield node
     for child in node.children():
         yield from walk(child)
+
+
+def has_loc(node: Node) -> bool:
+    """Whether ``node`` carries a real source location (synthesized nodes
+    keep the ``(0, 0)`` sentinel)."""
+    return node.loc != (0, 0)
+
+
+def best_loc(node: Optional[Node]) -> Tuple[int, int]:
+    """``node``'s source location, falling back to the first located
+    descendant.
+
+    Translation rewrites synthesize many nodes without locations; when a
+    diagnostic points at a subtree, the first located node in pre-order is
+    the closest thing to where the construct appeared in the source.
+    Returns ``(0, 0)`` when nothing in the subtree is located.
+    """
+    if node is None:
+        return (0, 0)
+    for n in walk(node):
+        if n.loc != (0, 0):
+            return n.loc
+    return (0, 0)
 
 
 # ---------------------------------------------------------------------------

@@ -81,7 +81,23 @@ class CudaApiError(ReproError):
 # ---------------------------------------------------------------------------
 
 class TranslationError(ReproError):
-    """Base class for translation failures."""
+    """Base class for translation failures.
+
+    ``diagnostic`` (when present) is a
+    :class:`repro.translate.diagnostics.Diagnostic` carrying the severity,
+    Table-3 category, and source span of the failing construct; ``line`` /
+    ``col`` mirror its span (0 when unlocated) so callers need not import
+    the diagnostics module.
+    """
+
+    def __init__(self, message: str, diagnostic=None) -> None:
+        self.diagnostic = diagnostic
+        span = getattr(diagnostic, "span", None)
+        self.line: int = getattr(span, "line", 0)
+        self.col: int = getattr(span, "col", 0)
+        if self.line:
+            message = f"{message} (at line {self.line}, col {self.col})"
+        super().__init__(message)
 
 
 class TranslationNotSupported(TranslationError):
@@ -92,11 +108,17 @@ class TranslationNotSupported(TranslationError):
     construct that triggered the failure.
     """
 
-    def __init__(self, category: str, feature: str, detail: str = "") -> None:
+    def __init__(self, category: str, feature: str, detail: str = "",
+                 diagnostic=None) -> None:
         self.category = category
         self.feature = feature
         self.detail = detail
         msg = f"untranslatable [{category}]: {feature}"
         if detail:
             msg += f" ({detail})"
-        super().__init__(msg)
+        super().__init__(msg, diagnostic)
+
+
+class PassOrderError(ReproError):
+    """A translation pass was registered before one it depends on (or
+    twice); raised by :class:`repro.translate.passes.PassManager`."""

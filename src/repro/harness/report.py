@@ -5,11 +5,12 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..pipeline.cache import TranslationCache
+from ..translate.passes import PipelineStats
 from .figures import FigureData
 from .tables import PAPER_TABLE1, PAPER_TABLE3_COUNTS, Table1, Table3
 
 __all__ = ["render_figure", "render_table1", "render_table2",
-           "render_table3", "render_cache_stats"]
+           "render_table3", "render_cache_stats", "render_pass_stats"]
 
 _SERIES_LABELS = {
     "opencl": "orig OpenCL (Titan)",
@@ -81,6 +82,27 @@ def render_cache_stats(cache: TranslationCache,
     out.append(f"  puts {s.puts}  evictions {s.evictions}  "
                f"invalidations {s.invalidations}  "
                f"disk hits {s.disk_hits}  disk writes {s.disk_writes}")
+    return "\n".join(out)
+
+
+def render_pass_stats(stats: PipelineStats,
+                      title: str = "translation passes") -> str:
+    """Per-pass timing table (rendered next to the cache stats).
+
+    One row per pass in execution order: wall time, share of the total,
+    node visits, rewrites, diagnostics, and how many runs were folded in
+    (>1 for aggregated records).
+    """
+    total = stats.total_s
+    out = [f"{title} [{stats.pipeline}]: "
+           f"{len(stats.passes)} passes, {total * 1e3:.2f} ms total",
+           f"  {'pass':<24}{'wall ms':>10}{'share':>8}{'visits':>10}"
+           f"{'rewrites':>10}{'diags':>7}{'runs':>6}"]
+    for p in stats.passes:
+        share = p.wall_s / total if total else 0.0
+        out.append(f"  {p.name:<24}{p.wall_s * 1e3:>10.3f}"
+                   f"{share * 100:>7.1f}%{p.visits:>10}{p.rewrites:>10}"
+                   f"{p.diagnostics:>7}{p.calls:>6}")
     return "\n".join(out)
 
 

@@ -74,6 +74,8 @@ class JobResult:
     error_category: Optional[str] = None  # Table-3 category, when applicable
     error_feature: Optional[str] = None
     error_message: Optional[str] = None
+    error_line: int = 0                 # 1-based source span (0 = unlocated)
+    error_col: int = 0
 
     @property
     def host_source(self) -> Optional[str]:
@@ -114,10 +116,14 @@ def _translate_job(job: TranslationJob) -> JobResult:
     except TranslationNotSupported as e:
         return JobResult(job=job, ok=False, error_type=type(e).__name__,
                          error_category=e.category, error_feature=e.feature,
-                         error_message=str(e))
+                         error_message=str(e),
+                         error_line=getattr(e, "line", 0),
+                         error_col=getattr(e, "col", 0))
     except ReproError as e:
         return JobResult(job=job, ok=False, error_type=type(e).__name__,
-                         error_message=str(e))
+                         error_message=str(e),
+                         error_line=getattr(e, "line", 0),
+                         error_col=getattr(e, "col", 0))
 
 
 def translate_many(jobs: Sequence[TranslationJob], *,

@@ -216,6 +216,12 @@ class TranslationCache:
                     meta: Dict[str, Any]) -> None:
         path = self._artifact_path(key)
         assert path is not None
+        stats = getattr(result, "pass_stats", None)
+        if stats is not None and "pass_stats" not in meta:
+            # per-pass timing travels with the artifact so cold-cache reports
+            # can still show where the original translation spent its time
+            meta = dict(meta)
+            meta["pass_stats"] = stats.as_dict()
         host_src, device_src = result_sources(result)
         artifact = {
             "version": ARTIFACT_VERSION,

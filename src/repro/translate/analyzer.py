@@ -34,6 +34,7 @@ from .builtins_map import (CUDA_UNTRANSLATABLE_BUILTINS,
                            OCL_UNTRANSLATABLE_FUNCS)
 from .categories import (CAT_LANG, CAT_LIBS, CAT_NO_FUNC, CAT_OPENGL,
                          CAT_PTX, CAT_UVA)
+from .diagnostics import SEV_ERROR, Diagnostic, SourceSpan, line_col_at
 
 __all__ = ["Finding", "analyze_cuda_source", "analyze_opencl_source",
            "check_cuda_translatable", "check_opencl_translatable"]
@@ -44,10 +45,24 @@ class Finding:
     category: str
     feature: str
     detail: str = ""
+    #: 1-based source position of the offending construct (0 = unknown)
+    line: int = 0
+    col: int = 0
+
+    @property
+    def span(self) -> SourceSpan:
+        return SourceSpan(self.line, self.col)
+
+    def to_diagnostic(self, pass_name: str = "analyze") -> Diagnostic:
+        """The finding as a located, category-tagged diagnostic."""
+        return Diagnostic(
+            SEV_ERROR, self.feature, category=self.category, span=self.span,
+            pass_name=pass_name, detail=self.detail)
 
     def raise_(self) -> None:
         raise TranslationNotSupported(self.category, self.feature,
-                                      self.detail)
+                                      self.detail,
+                                      diagnostic=self.to_diagnostic())
 
 
 # ---------------------------------------------------------------------------
@@ -100,14 +115,21 @@ def _lexical_findings(source: str) -> List[Finding]:
     found: List[Finding] = []
     for m in _INCLUDE_RE.finditer(source):
         header = m.group(1)
+        line, col = line_col_at(source, m.start())
         if any(h in header for h in _LIB_HEADERS):
-            found.append(Finding(CAT_LIBS, f"#include <{header}>"))
+            found.append(Finding(CAT_LIBS, f"#include <{header}>",
+                                 line=line, col=col))
         elif any(h in header for h in _GL_HEADERS):
-            found.append(Finding(CAT_OPENGL, f"#include <{header}>"))
-    words = set(_WORD_RE.findall(source))
+            found.append(Finding(CAT_OPENGL, f"#include <{header}>",
+                                 line=line, col=col))
+    word_pos: Dict[str, int] = {}
+    for m in _WORD_RE.finditer(source):
+        word_pos.setdefault(m.group(0), m.start())
     for word, cat, feature in _LEXICAL_MARKERS:
-        if word in words:
-            found.append(Finding(cat, feature, f"token {word!r}"))
+        if word in word_pos:
+            line, col = line_col_at(source, word_pos[word])
+            found.append(Finding(cat, feature, f"token {word!r}",
+                                 line=line, col=col))
     return found
 
 
@@ -154,30 +176,40 @@ def _parse_findings(unit: A.TranslationUnit,
                 name = node.callee_name
                 cat = _BUILTIN_CATEGORY.get(name or "")
                 if cat is not None:
+                    line, col = A.best_loc(node)
                     found.append(Finding(
-                        cat, name or "?", f"in device function {fn.name!r}"))
+                        cat, name or "?", f"in device function {fn.name!r}",
+                        line=line, col=col))
             elif isinstance(node, A.Ident) and node.name == "warpSize":
+                line, col = A.best_loc(node)
                 found.append(Finding(CAT_NO_FUNC, "warpSize",
-                                     f"in device function {fn.name!r}"))
+                                     f"in device function {fn.name!r}",
+                                     line=line, col=col))
         # function pointers / structs holding pointers as kernel args
         if fn.is_kernel:
             for p in fn.params:
                 pt = p.type
+                line, col = A.best_loc(p)
+                if line == 0:
+                    line, col = A.best_loc(fn)
                 if isinstance(pt, T.PointerType) \
                         and isinstance(pt.pointee, T.FunctionType):
                     found.append(Finding(CAT_LANG, "function pointers",
-                                         f"kernel {fn.name!r}"))
+                                         f"kernel {fn.name!r}",
+                                         line=line, col=col))
                 if isinstance(pt, T.StructType) and _has_pointer_field(pt):
                     found.append(Finding(
                         CAT_LANG, "pointers inside kernel argument structure",
                         f"kernel {fn.name!r} parameter {p.name!r} "
-                        "(the heartwall failure, §6.3)"))
+                        "(the heartwall failure, §6.3)",
+                        line=line, col=col))
                 if isinstance(pt, T.PointerType) \
                         and isinstance(pt.pointee, T.StructType) \
                         and _has_pointer_field(pt.pointee):
                     found.append(Finding(
                         CAT_LANG, "pointers inside kernel argument structure",
-                        f"kernel {fn.name!r} parameter {p.name!r}"))
+                        f"kernel {fn.name!r} parameter {p.name!r}",
+                        line=line, col=col))
 
     max_texels = spec.max_image2d[0]
     for fn in host_fns:
@@ -186,9 +218,11 @@ def _parse_findings(unit: A.TranslationUnit,
                 continue
             name = node.callee_name
             cat = _HOST_API_CATEGORY.get(name or "")
+            line, col = A.best_loc(node)
             if cat is not None:
                 found.append(Finding(cat, name or "?",
-                                     f"in host function {fn.name!r}"))
+                                     f"in host function {fn.name!r}",
+                                     line=line, col=col))
             if name == "cudaBindTexture" and len(node.args) >= 4:
                 size = _const_eval(node.args[-1])
                 texname = node.args[1].name \
@@ -198,7 +232,8 @@ def _parse_findings(unit: A.TranslationUnit,
                     found.append(Finding(
                         CAT_LANG,
                         "1D texture larger than the OpenCL image limit",
-                        f"{size // elem} texels > {max_texels} (§5)"))
+                        f"{size // elem} texels > {max_texels} (§5)",
+                        line=line, col=col))
     return found
 
 
@@ -220,7 +255,8 @@ def analyze_cuda_source(source: str,
             unit = parse(source, "cuda")
         except FrontendError as e:
             findings.append(Finding(
-                CAT_LANG, "unparseable C++ construct", str(e)))
+                CAT_LANG, "unparseable C++ construct", str(e),
+                line=getattr(e, "line", 0), col=getattr(e, "col", 0)))
         else:
             findings.extend(_parse_findings(unit, spec))
     # deduplicate, preserving order
@@ -246,21 +282,33 @@ def analyze_opencl_source(host_source: str, kernel_source: str,
                           spec: DeviceSpec = GTX_TITAN) -> List[Finding]:
     """OpenCL→CUDA direction: far fewer blockers exist (§3.7)."""
     findings: List[Finding] = []
-    words = set(_WORD_RE.findall(host_source))
-    for name in sorted(OCL_UNTRANSLATABLE_FUNCS & words):
+    word_pos: Dict[str, int] = {}
+    for m in _WORD_RE.finditer(host_source):
+        word_pos.setdefault(m.group(0), m.start())
+    for name in sorted(OCL_UNTRANSLATABLE_FUNCS & set(word_pos)):
         feature = ("device fission (clCreateSubDevices)"
                    if name == "clCreateSubDevices" else name)
+        line, col = line_col_at(host_source, word_pos[name])
         findings.append(Finding(CAT_NO_FUNC, feature,
-                                "no CUDA counterpart (§3.7)"))
+                                "no CUDA counterpart (§3.7)",
+                                line=line, col=col))
     for name in ("clSVMAlloc", "clEnqueueSVMMap"):
-        if name in words:
+        if name in word_pos:
+            line, col = line_col_at(host_source, word_pos[name])
             findings.append(Finding(
                 CAT_NO_FUNC, name,
-                "OpenCL 2.0 SVM; the translator targets OpenCL 1.2"))
-    kwords = set(_WORD_RE.findall(kernel_source))
-    if "pipe" in kwords or "work_group_barrier" in kwords:
-        findings.append(Finding(CAT_LANG, "OpenCL 2.0 kernel feature",
-                                "the translator targets OpenCL 1.2"))
+                "OpenCL 2.0 SVM; the translator targets OpenCL 1.2",
+                line=line, col=col))
+    kword_pos: Dict[str, int] = {}
+    for m in _WORD_RE.finditer(kernel_source):
+        kword_pos.setdefault(m.group(0), m.start())
+    for name in ("pipe", "work_group_barrier"):
+        if name in kword_pos:
+            line, col = line_col_at(kernel_source, kword_pos[name])
+            findings.append(Finding(CAT_LANG, "OpenCL 2.0 kernel feature",
+                                    "the translator targets OpenCL 1.2",
+                                    line=line, col=col))
+            break
     return findings
 
 

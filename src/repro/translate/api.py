@@ -10,8 +10,14 @@
   :class:`~repro.translate.cuda2ocl.wrappers.Cuda2OclRuntime` wrapper
   library on any OpenCL device.
 
-Both raise :class:`~repro.errors.TranslationNotSupported` with a Table-3
-category when the program uses model-specific features.
+Both run the Table-3 translatability analysis as the first pass of their
+pipeline, so analyzer findings land in the same diagnostic stream as the
+translator's own located errors, and both raise
+:class:`~repro.errors.TranslationNotSupported` with a Table-3 category
+(and a located diagnostic) when the program uses model-specific features.
+The returned result objects carry a ``pass_stats``
+:class:`~repro.translate.passes.PipelineStats` covering every pass that
+ran — the harness renders these next to the cache statistics.
 """
 
 from __future__ import annotations
@@ -20,7 +26,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..clike import ast as A
-from ..clike import parse
 from ..device.specs import GTX_TITAN, DeviceSpec
 from ..errors import TranslationNotSupported
 from ..pipeline.cache import TranslationCache, cache_key
@@ -30,9 +35,12 @@ from .cuda2ocl.host import (Cuda2OclHostResult, find_runtime_init_symbols,
                             translate_host_unit)
 from .cuda2ocl.kernel import Cuda2OclDeviceResult, translate_device_unit
 from .ocl2cuda.kernel import Ocl2CudaResult, translate_kernel_unit
+from .passes import (ParsePass, Pass, PassContext, PassManager,
+                     PipelineStats)
 
 __all__ = ["TranslatedCudaProgram", "translate_cuda_program",
-           "translate_opencl_program"]
+           "translate_opencl_program", "CudaTranslatabilityCheckPass",
+           "OclTranslatabilityCheckPass"]
 
 
 @dataclass
@@ -44,6 +52,9 @@ class TranslatedCudaProgram:
     host_unit: A.TranslationUnit
     device: Cuda2OclDeviceResult
     host: Cuda2OclHostResult
+    #: per-pass instrumentation across the whole pipeline (check + parse +
+    #: device + host)
+    pass_stats: Optional[PipelineStats] = None
 
     @property
     def launches_translated(self) -> int:
@@ -52,6 +63,53 @@ class TranslatedCudaProgram:
     @property
     def symbol_copies_translated(self) -> int:
         return self.host.symbol_copies_translated
+
+
+class CudaTranslatabilityCheckPass(Pass):
+    """Run the Table-3 analysis (§3.7); every finding becomes a located,
+    category-tagged diagnostic in the shared stream, and the first one
+    aborts the pipeline."""
+
+    name = "translatability-check"
+    paper = "§3.7, Table 3"
+
+    def run(self, ctx: PassContext) -> None:
+        spec: DeviceSpec = ctx.state["spec"]
+        findings = analyze_cuda_source(ctx.source, spec)
+        diags = [f.to_diagnostic(self.name) for f in findings]
+        ctx.diagnostics.extend(diags)
+        if findings:
+            f = findings[0]
+            raise TranslationNotSupported(f.category, f.feature, f.detail,
+                                          diagnostic=diags[0])
+
+
+class OclTranslatabilityCheckPass(Pass):
+    """OpenCL→CUDA direction of the Table-3 analysis (§3.7)."""
+
+    name = "translatability-check"
+    paper = "§3.7, Table 3"
+
+    def run(self, ctx: PassContext) -> None:
+        spec: DeviceSpec = ctx.state["spec"]
+        findings = analyze_opencl_source(ctx.state.get("host_source", ""),
+                                         ctx.source, spec)
+        diags = [f.to_diagnostic(self.name) for f in findings]
+        ctx.diagnostics.extend(diags)
+        if findings:
+            f = findings[0]
+            raise TranslationNotSupported(f.category, f.feature, f.detail,
+                                          diagnostic=diags[0])
+
+
+def _concat_stats(pipeline: str,
+                  *runs: Optional[PipelineStats]) -> PipelineStats:
+    """Stitch sub-pipeline stats into one ordered record."""
+    out = PipelineStats(pipeline)
+    for run in runs:
+        if run is not None:
+            out.passes.extend(run.passes)
+    return out
 
 
 def translate_cuda_program(source: str,
@@ -71,8 +129,14 @@ def translate_cuda_program(source: str,
         hit = cache.get(key)
         if hit is not None:
             return hit
-    check_cuda_translatable(source, spec)
-    unit = parse(source, "cuda", defines=defines)
+    ctx = PassContext(source=source, dialect="cuda", defines=defines)
+    ctx.state["spec"] = spec
+    frontend = PassManager("cuda2ocl-frontend", [
+        CudaTranslatabilityCheckPass(),
+        ParsePass(requires=("translatability-check",)),
+    ])
+    frontend_stats = frontend.run(ctx)
+    unit = ctx.unit
     runtime_syms = find_runtime_init_symbols(unit)
     device = translate_device_unit(unit, runtime_syms)
     host = translate_host_unit(unit, device)
@@ -82,6 +146,8 @@ def translate_cuda_program(source: str,
         host_unit=host.unit,
         device=device,
         host=host,
+        pass_stats=_concat_stats("cuda2ocl-program", frontend_stats,
+                                 device.pass_stats, host.pass_stats),
     )
     if cache is not None and key is not None:
         cache.put(key, prog, meta={"direction": "cuda2ocl",
@@ -108,8 +174,16 @@ def translate_opencl_program(kernel_source: str, host_source: str = "",
         hit = cache.get(key)
         if hit is not None:
             return hit
-    check_opencl_translatable(host_source, kernel_source, spec)
+    ctx = PassContext(source=kernel_source, dialect="opencl",
+                      defines=defines)
+    ctx.state["spec"] = spec
+    ctx.state["host_source"] = host_source
+    frontend = PassManager("ocl2cuda-frontend",
+                           [OclTranslatabilityCheckPass()])
+    frontend_stats = frontend.run(ctx)
     result = translate_kernel_unit(kernel_source, defines=defines)
+    result.pass_stats = _concat_stats("ocl2cuda-program", frontend_stats,
+                                      result.pass_stats)
     if cache is not None and key is not None:
         cache.put(key, result, meta={"direction": "ocl2cuda",
                                      "spec": spec.name})

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import copy
+import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..clike import ast as A
@@ -11,6 +12,23 @@ from ..clike import types as T
 __all__ = ["clone", "rewrite_exprs", "rewrite_stmts", "map_statements",
            "substitute_type", "ident", "call", "intlit", "expr_stmt",
            "gather"]
+
+
+class _Instrumentation(threading.local):
+    """Per-thread hook through which the pass manager observes rewriting.
+
+    While a :class:`repro.translate.passes.PassManager` runs a pass, it
+    points ``ctx`` at the active pass context; the traversal helpers below
+    then bump its ``visits`` / ``rewrites`` counters so every pass gets
+    node-visit and rewrite counts for free.  ``None`` (the default) makes
+    the hooks no-ops.
+    """
+
+    def __init__(self) -> None:
+        self.ctx: Optional[Any] = None
+
+
+_INSTR = _Instrumentation()
 
 
 def clone(node: A.Node) -> A.Node:
@@ -42,6 +60,7 @@ def rewrite_exprs(node: A.Node,
     processed) and returns a replacement or None to keep it.  Statements
     are traversed in place.
     """
+    instr = _INSTR.ctx
 
     def walk_expr(e: A.Node) -> A.Node:
         for field in e._fields:
@@ -52,6 +71,10 @@ def rewrite_exprs(node: A.Node,
                 setattr(e, field, [walk_expr(x) if isinstance(x, A.Node)
                                    else x for x in v])
         out = fn(e)
+        if instr is not None:
+            instr.visits += 1
+            if out is not None:
+                instr.rewrites += 1
         return out if out is not None else e
 
     def walk_stmt(s: A.Node) -> None:
@@ -116,11 +139,20 @@ def map_statements(body: A.Compound,
     nested blocks *after* the statement itself, so replacements are not
     re-processed.
     """
+    instr = _INSTR.ctx
+
+    def apply(s: A.Node) -> Optional[List[A.Node]]:
+        repl = fn(s)
+        if instr is not None:
+            instr.visits += 1
+            if repl is not None:
+                instr.rewrites += 1
+        return repl
 
     def handle_list(stmts: List[A.Node]) -> List[A.Node]:
         out: List[A.Node] = []
         for s in stmts:
-            repl = fn(s)
+            repl = apply(s)
             if repl is None:
                 recurse(s)
                 out.append(s)
@@ -131,7 +163,7 @@ def map_statements(body: A.Compound,
     def handle_one(s: A.Node) -> A.Node:
         """A single-statement position (brace-less if/loop body): a
         multi-statement replacement is wrapped in a compound."""
-        repl = fn(s)
+        repl = apply(s)
         if repl is None:
             recurse(s)
             return s

@@ -1,23 +1,42 @@
 """CUDA→OpenCL device-code translation (paper §3.5-3.6, §4, §5).
 
 ``translate_device_unit`` extracts the device code from a mixed ``.cu``
-translation unit (main.cu → main.cu.cl, Fig. 3) and rewrites it to OpenCL C:
+translation unit (main.cu → main.cu.cl, Fig. 3) and rewrites it to OpenCL
+C.  The work is organized as a registered pass pipeline on the shared
+:class:`~repro.translate.passes.PassManager` (see
+:func:`build_cuda2ocl_device_passes`):
 
-* ``threadIdx/blockIdx/blockDim/gridDim`` members become work-item
-  functions; ``__syncthreads()`` becomes ``barrier(CLK_LOCAL_MEM_FENCE)``;
-* ``extern __shared__ x[]`` turns into a ``__local`` kernel parameter whose
-  size the host sets with ``clSetKernelArg`` (§4.1);
-* runtime-initialized ``__constant__`` data and all ``__device__`` globals
-  become appended kernel parameters backed by buffers (§4.2-4.3, the
+* ``symbol-scan`` — file-scope inventory: texture references,
+  runtime-initialized ``__constant__`` data and ``__device__`` globals that
+  must become buffer-backed kernel parameters (§4.2-4.3, the
   ``static_constant_runtime_init``/``static_global`` example of Fig. 4);
-* texture references become image + sampler parameter pairs, and
-  ``texND()`` fetches become ``read_imageX()`` (§5);
-* C++ features are lowered: template functions are specialized, reference
+* ``template-specialize`` / ``reference-lower`` / ``cxx-cast-lower`` —
+  C++ features are lowered: template functions are specialized, reference
   parameters become pointers, C++ casts become C casts (§3.6);
-* CUDA-only vector types are narrowed (``longlongN``→``longN``, ``T1``→T)
-  and ``make_*`` constructors become OpenCL vector literals;
-* pointer address spaces are inferred and written back (§3.6), duplicating
-  helper functions used with conflicting spaces.
+* ``untranslatable-check`` — Table-3 rejections (``warpSize``, warp vote
+  functions, ...) with located diagnostics (§3.7);
+* ``dyn-shared-extract`` — ``extern __shared__ x[]`` turns into a
+  ``__local`` kernel parameter whose size the host sets with
+  ``clSetKernelArg`` (§4.1);
+* ``builtin-rename`` — ``threadIdx/blockIdx/blockDim/gridDim`` members
+  become work-item functions; ``__syncthreads()`` becomes
+  ``barrier(CLK_LOCAL_MEM_FENCE)`` (§3.5);
+* ``texture-image`` — texture references become image + sampler parameter
+  pairs, and ``texND()`` fetches become ``read_imageX()`` (§5);
+* ``vector-narrow`` — CUDA-only vector types are narrowed
+  (``longlongN``→``longN``, ``T1``→T) and ``make_*`` constructors become
+  OpenCL vector literals;
+* ``kernel-params`` — the translated-in parameters (dynamic local,
+  symbols, image/sampler pairs) are appended and recorded in
+  :class:`CudaKernelMeta`;
+* ``rebuild-unit`` / ``address-space-infer`` / ``emit-opencl`` — the
+  OpenCL unit is assembled, pointer address spaces are inferred and
+  written back (§3.6, duplicating helper functions used with conflicting
+  spaces), and the final source is printed.
+
+Untranslatable constructs raise located
+:class:`~repro.errors.TranslationNotSupported` errors through the pass
+context, carrying a category-tagged diagnostic with the source span.
 """
 
 from __future__ import annotations
@@ -34,14 +53,19 @@ from ..builtins_map import (CUDA_SPECIAL_TO_OCL, CUDA_TO_OCL_FUNCS,
                             CUDA_UNTRANSLATABLE_BUILTINS)
 from ..categories import CAT_LANG, CAT_NO_FUNC
 from ..common import call, clone, ident, intlit, map_statements, rewrite_exprs
+from ..passes import (AnnotatePass, Pass, PassContext, PassManager,
+                      PipelineStats)
 from ..qualifiers import apply_spaces, infer_spaces
 from ..vectors import narrow_cuda_only_types, rewrite_make_calls
 
-__all__ = ["CudaKernelMeta", "Cuda2OclDeviceResult", "translate_device_unit"]
+__all__ = ["CudaKernelMeta", "Cuda2OclDeviceResult", "translate_device_unit",
+           "build_cuda2ocl_device_passes", "CUDA2OCL_PIPELINE"]
 
 AS = T.AddressSpace
 
 _DIM_INDEX = {"x": 0, "y": 1, "z": 2}
+
+CUDA2OCL_PIPELINE = "cuda2ocl"
 
 
 @dataclass
@@ -111,6 +135,363 @@ class Cuda2OclDeviceResult:
     textures: List[str]
     #: texture reference declared types
     texture_types: Dict[str, T.TextureType] = field(default_factory=dict)
+    #: per-pass instrumentation of the run that produced this result
+    pass_stats: Optional[PipelineStats] = None
+
+
+# ---------------------------------------------------------------------------
+# the pass pipeline
+# ---------------------------------------------------------------------------
+
+class SymbolScanPass(Pass):
+    """File-scope inventory: textures, static ``__constant__`` data,
+    buffer-backed device symbols; select the device functions (§4.2-4.3)."""
+
+    name = "symbol-scan"
+    requires = ("annotate",)
+    paper = "§4.2-4.3"
+
+    def run(self, ctx: PassContext) -> None:
+        unit = ctx.unit
+        assert unit is not None
+        runtime_init: Set[str] = ctx.state["runtime_init_symbols"]
+
+        ctx.state["kernels_src"] = [
+            f for f in unit.functions() if f.is_kernel and f.body]
+        ctx.state["helpers_src"] = [
+            f for f in unit.functions()
+            if not f.is_kernel and f.body is not None
+            and ("__device__" in f.qualifiers or f.template_params)]
+
+        static_consts: List[A.VarDecl] = []
+        symbols: List[SymbolInfo] = []
+        textures: List[str] = []
+        texture_types: Dict[str, T.TextureType] = {}
+        for d in unit.decls:
+            if isinstance(d, A.VarDecl):
+                if isinstance(d.type, T.TextureType):
+                    textures.append(d.name)
+                    texture_types[d.name] = d.type
+                elif d.space == AS.CONSTANT:
+                    if d.name in runtime_init:
+                        symbols.append(SymbolInfo(d.name, AS.CONSTANT, d.type,
+                                                  _initial_bytes(d)))
+                    else:
+                        static_consts.append(d)
+                elif d.space == AS.GLOBAL:
+                    symbols.append(SymbolInfo(d.name, AS.GLOBAL, d.type,
+                                              _initial_bytes(d)))
+        ctx.state["static_consts"] = static_consts
+        ctx.state["symbols"] = symbols
+        ctx.state["textures"] = textures
+        ctx.state["texture_types"] = texture_types
+        ctx.state["sym_by_name"] = {s.name: s for s in symbols}
+
+
+class TemplateSpecializePass(Pass):
+    """Clone the device functions and instantiate every ``f<T>(...)`` call
+    as a concrete specialization (§3.6)."""
+
+    name = "template-specialize"
+    requires = ("symbol-scan",)
+    paper = "§3.6"
+
+    def run(self, ctx: PassContext) -> None:
+        helpers_src = ctx.state["helpers_src"]
+        specialized: List[A.FunctionDecl] = []
+        template_names = {f.name for f in helpers_src if f.template_params}
+        spec_map: Dict[Tuple[str, Tuple[str, ...]], str] = {}
+
+        def specialize_calls(node: A.Node) -> None:
+            def fix(e: A.Node) -> Optional[A.Node]:
+                if isinstance(e, A.Call) and e.template_args \
+                        and e.callee_name in template_names:
+                    key = (e.callee_name,
+                           tuple(str(t) for t in e.template_args))
+                    new_name = spec_map.get(key)
+                    if new_name is None:
+                        tmpl = next(f for f in helpers_src
+                                    if f.name == e.callee_name)
+                        inst = _instantiate_template(tmpl, e.template_args)
+                        specialized.append(inst)
+                        new_name = inst.name
+                        spec_map[key] = new_name
+                    e.func = A.Ident(new_name)
+                    e.template_args = None
+                return None
+            rewrite_exprs(node, fix)
+
+        out_kernels = [clone(f) for f in ctx.state["kernels_src"]]
+        out_helpers = [clone(f) for f in helpers_src
+                       if not f.template_params]
+        for fn in out_kernels + out_helpers:
+            specialize_calls(fn.body)
+        for fn in specialized:
+            specialize_calls(fn.body)
+        out_helpers.extend(specialized)
+        ctx.state["out_kernels"] = out_kernels
+        ctx.state["out_helpers"] = out_helpers
+
+
+class ReferenceLowerPass(Pass):
+    """``T& x`` parameters become ``T* x``; call sites pass addresses
+    (§3.6)."""
+
+    name = "reference-lower"
+    requires = ("template-specialize",)
+    paper = "§3.6"
+
+    def run(self, ctx: PassContext) -> None:
+        out_kernels = ctx.state["out_kernels"]
+        out_helpers = ctx.state["out_helpers"]
+        ref_positions: Dict[str, Set[int]] = {}
+        for fn in out_helpers:
+            refs = {i for i, p in enumerate(fn.params)
+                    if "reference" in p.quals}
+            if refs:
+                ref_positions[fn.name] = refs
+                _lower_reference_params(fn)
+        if ref_positions:
+            for fn in out_kernels + out_helpers:
+                _rewrite_reference_call_sites(fn, ref_positions)
+
+
+class UntranslatableCheckPass(Pass):
+    """Reject Table-3 constructs with located, category-tagged
+    diagnostics (§3.7)."""
+
+    name = "untranslatable-check"
+    requires = ("reference-lower",)
+    paper = "§3.7, Table 3"
+
+    def run(self, ctx: PassContext) -> None:
+        for fn in ctx.state["out_kernels"] + ctx.state["out_helpers"]:
+            _check_untranslatable(fn, ctx)
+
+
+class DynSharedExtractPass(Pass):
+    """``extern __shared__ T name[];`` declarations are removed; the name
+    becomes a ``__local T*`` parameter appended later (§4.1)."""
+
+    name = "dyn-shared-extract"
+    requires = ("untranslatable-check",)
+    paper = "§4.1"
+
+    def run(self, ctx: PassContext) -> None:
+        dyn: Dict[str, Optional[Tuple[str, T.Type]]] = {}
+        for fn in ctx.state["out_kernels"] + ctx.state["out_helpers"]:
+            dyn[fn.name] = _extract_dynamic_shared(fn, ctx)
+        ctx.state["dyn_shared"] = dyn
+
+
+class BuiltinRenamePass(Pass):
+    """``threadIdx.x`` → ``get_local_id(0)``, ``__syncthreads`` →
+    ``barrier``, one-to-one built-in renames (§3.5)."""
+
+    name = "builtin-rename"
+    requires = ("dyn-shared-extract",)
+    paper = "§3.5"
+
+    def run(self, ctx: PassContext) -> None:
+        for fn in ctx.state["out_kernels"] + ctx.state["out_helpers"]:
+            _rewrite_builtins(fn)
+
+
+class TextureImagePass(Pass):
+    """``texND(tex, ...)`` fetches become ``read_imageX(tex__img,
+    tex__smp, ...)`` over image + sampler parameter pairs (§5)."""
+
+    name = "texture-image"
+    requires = ("builtin-rename",)
+    paper = "§5"
+
+    def run(self, ctx: PassContext) -> None:
+        texture_types = ctx.state["texture_types"]
+        for fn in ctx.state["out_kernels"] + ctx.state["out_helpers"]:
+            _rewrite_textures(fn, texture_types, ctx)
+
+
+class CxxCastLowerPass(Pass):
+    """``static_cast<T>(x)`` / ``reinterpret_cast`` / ``const_cast``
+    become C casts (§3.6)."""
+
+    name = "cxx-cast-lower"
+    requires = ("template-specialize",)
+    paper = "§3.6"
+
+    def run(self, ctx: PassContext) -> None:
+        for fn in ctx.state["out_kernels"] + ctx.state["out_helpers"]:
+            _lower_cxx_casts(fn)
+
+
+class VectorNarrowPass(Pass):
+    """CUDA-only vector types are narrowed and ``make_*`` constructors
+    become OpenCL vector literals."""
+
+    name = "vector-narrow"
+    requires = ("cxx-cast-lower",)
+    paper = "§3.3"
+
+    def run(self, ctx: PassContext) -> None:
+        for fn in ctx.state["out_kernels"] + ctx.state["out_helpers"]:
+            assert fn.body is not None
+            rewrite_make_calls(fn.body)
+            _narrow_types(fn)
+
+
+class KernelParamsPass(Pass):
+    """Append the translated-in parameters (dynamic local, buffer-backed
+    symbols, image/sampler pairs) and record launch metadata
+    (§4.1-4.3, §5)."""
+
+    name = "kernel-params"
+    requires = ("dyn-shared-extract", "builtin-rename", "texture-image",
+                "vector-narrow")
+    paper = "§4, §5"
+
+    def run(self, ctx: PassContext) -> None:
+        sym_by_name = ctx.state["sym_by_name"]
+        textures = ctx.state["textures"]
+        texture_types = ctx.state["texture_types"]
+        dyn_shared = ctx.state["dyn_shared"]
+        metas: Dict[str, CudaKernelMeta] = {}
+        for fn in ctx.state["out_kernels"] + ctx.state["out_helpers"]:
+            dyn = dyn_shared[fn.name]
+            if fn.is_kernel:
+                referenced = _referenced_names(fn)
+                used_syms = referenced & set(sym_by_name)
+                # texture fetches were already rewritten to <name>__img idents
+                used_texs = [t for t in textures
+                             if f"{t}__img" in referenced]
+                meta = CudaKernelMeta(
+                    fn.name,
+                    orig_params=[(p.name, p.type) for p in fn.params],
+                    dyn_shared=dyn,
+                    symbol_params=[sym_by_name[n] for n in sorted(used_syms)],
+                    texture_params=used_texs)
+                metas[fn.name] = meta
+                _append_kernel_params(fn, meta, texture_types)
+            else:
+                if dyn is not None:
+                    ctx.not_supported(
+                        CAT_LANG,
+                        "extern __shared__ in a __device__ helper function",
+                        node=fn)
+                refs = _referenced_names(fn) & set(sym_by_name)
+                if refs:
+                    ctx.not_supported(
+                        CAT_LANG,
+                        f"device symbol {sorted(refs)[0]!r} referenced from a "
+                        "helper function",
+                        "symbol-to-parameter rewriting is kernel-scoped",
+                        node=fn)
+                fn.qualifiers.discard("__device__")
+                fn.qualifiers.discard("__forceinline__")
+                fn.template_params = []
+        ctx.state["metas"] = metas
+
+
+class RebuildUnitPass(Pass):
+    """Assemble the OpenCL unit: structs/typedefs, static ``__constant``
+    data (which keeps its initializer, §4.2 static case), helpers,
+    kernels."""
+
+    name = "rebuild-unit"
+    requires = ("kernel-params",)
+
+    def run(self, ctx: PassContext) -> None:
+        assert ctx.unit is not None
+        out_decls: List[A.Node] = []
+        for d in ctx.unit.decls:
+            if isinstance(d, A.StructDecl) or isinstance(d, A.TypedefDecl):
+                out_decls.append(clone(d))
+        for d in ctx.state["static_consts"]:
+            nd = clone(d)
+            nd.quals.discard("__constant__")
+            nd.space = AS.CONSTANT
+            nd.type = narrow_cuda_only_types(nd.type)
+            out_decls.append(nd)
+        out_decls.extend(ctx.state["out_helpers"])
+        out_decls.extend(ctx.state["out_kernels"])
+        ocl_unit = A.TranslationUnit(out_decls, dialect_name="opencl")
+        annotate_unit(ocl_unit, "opencl")
+        ctx.unit = ocl_unit
+
+
+class AddressSpaceInferPass(Pass):
+    """Infer pointer address spaces and write them back, duplicating
+    helper functions used with conflicting spaces (§3.6)."""
+
+    name = "address-space-infer"
+    requires = ("rebuild-unit",)
+    paper = "§3.6"
+
+    def run(self, ctx: PassContext) -> None:
+        ocl_unit = ctx.unit
+        metas = ctx.state["metas"]
+        global_spaces = {d.name: AS.CONSTANT
+                         for d in ctx.state["static_consts"]}
+        inference = infer_spaces(ocl_unit, list(metas), global_spaces)
+        new_decls: List[A.Node] = []
+        for d in ocl_unit.decls:
+            if isinstance(d, A.FunctionDecl) and d.body is not None:
+                if d.name in inference.specializations:
+                    for suffix, mapping in inference.specializations[d.name]:
+                        inst = clone(d)
+                        inst.name = d.name + suffix
+                        apply_spaces(inst, mapping,
+                                     inference.var_spaces.get(d.name, {}))
+                        new_decls.append(inst)
+                    continue
+                apply_spaces(d, inference.param_spaces.get(d.name, {}),
+                             inference.var_spaces.get(d.name, {}))
+            new_decls.append(d)
+        ocl_unit.decls = new_decls
+        if inference.specializations:
+            _rewrite_specialized_calls(ocl_unit, inference, metas)
+
+
+class EmitOpenclPass(Pass):
+    """Print the assembled OpenCL unit with the generator header."""
+
+    name = "emit-opencl"
+    requires = ("address-space-infer",)
+
+    def run(self, ctx: PassContext) -> None:
+        header = ("/* generated by the CUDA->OpenCL translator (main.cu -> "
+                  "main.cu.cl, Fig. 3) */\n\n")
+        ctx.state["opencl_source"] = header + print_unit(ctx.unit, "opencl")
+
+
+def build_cuda2ocl_device_passes() -> List[Pass]:
+    """Fresh instances of the CUDA→OpenCL device pipeline, in registration
+    order (passes are stateless; all shared data lives in the context)."""
+    return [
+        AnnotatePass(),
+        SymbolScanPass(),
+        TemplateSpecializePass(),
+        ReferenceLowerPass(),
+        UntranslatableCheckPass(),
+        DynSharedExtractPass(),
+        BuiltinRenamePass(),
+        TextureImagePass(),
+        CxxCastLowerPass(),
+        VectorNarrowPass(),
+        KernelParamsPass(),
+        RebuildUnitPass(),
+        AddressSpaceInferPass(),
+        EmitOpenclPass(),
+    ]
+
+
+def result_from_context(ctx: PassContext,
+                        stats: Optional[PipelineStats] = None
+                        ) -> Cuda2OclDeviceResult:
+    """Assemble the public result object after the pipeline ran."""
+    return Cuda2OclDeviceResult(
+        ctx.state["opencl_source"], ctx.unit, ctx.state["metas"],
+        ctx.state["symbols"], ctx.state["textures"],
+        ctx.state["texture_types"], pass_stats=stats)
 
 
 def translate_device_unit(unit: A.TranslationUnit,
@@ -122,157 +503,11 @@ def translate_device_unit(unit: A.TranslationUnit,
     ``cudaMemcpyToSymbol``/``FromSymbol`` (found by the host translator);
     those and all ``__device__`` globals become buffer parameters.
     """
-    annotate_unit(unit, "cuda")
-
-    kernels_src = [f for f in unit.functions() if f.is_kernel and f.body]
-    helpers_src = [
-        f for f in unit.functions()
-        if not f.is_kernel and f.body is not None
-        and ("__device__" in f.qualifiers or f.template_params)]
-
-    # --- file-scope state ---------------------------------------------------
-    static_consts: List[A.VarDecl] = []
-    symbols: List[SymbolInfo] = []
-    textures: List[str] = []
-    texture_types: Dict[str, T.TextureType] = {}
-    for d in unit.decls:
-        if isinstance(d, A.VarDecl):
-            if isinstance(d.type, T.TextureType):
-                textures.append(d.name)
-                texture_types[d.name] = d.type
-            elif d.space == AS.CONSTANT:
-                if d.name in runtime_init_symbols:
-                    symbols.append(SymbolInfo(d.name, AS.CONSTANT, d.type,
-                                              _initial_bytes(d)))
-                else:
-                    static_consts.append(d)
-            elif d.space == AS.GLOBAL:
-                symbols.append(SymbolInfo(d.name, AS.GLOBAL, d.type,
-                                          _initial_bytes(d)))
-    sym_by_name = {s.name: s for s in symbols}
-
-    # --- template specialization (§3.6) --------------------------------------
-    specialized: List[A.FunctionDecl] = []
-    template_names = {f.name for f in helpers_src if f.template_params}
-    spec_map: Dict[Tuple[str, Tuple[str, ...]], str] = {}
-
-    def specialize_calls(node: A.Node) -> None:
-        def fix(e: A.Node) -> Optional[A.Node]:
-            if isinstance(e, A.Call) and e.template_args \
-                    and e.callee_name in template_names:
-                key = (e.callee_name,
-                       tuple(str(t) for t in e.template_args))
-                new_name = spec_map.get(key)
-                if new_name is None:
-                    tmpl = next(f for f in helpers_src
-                                if f.name == e.callee_name)
-                    inst = _instantiate_template(tmpl, e.template_args)
-                    specialized.append(inst)
-                    new_name = inst.name
-                    spec_map[key] = new_name
-                e.func = A.Ident(new_name)
-                e.template_args = None
-            return None
-        rewrite_exprs(node, fix)
-
-    out_kernels = [clone(f) for f in kernels_src]
-    out_helpers = [clone(f) for f in helpers_src if not f.template_params]
-    for fn in out_kernels + out_helpers:
-        specialize_calls(fn.body)
-    for fn in specialized:
-        specialize_calls(fn.body)
-    out_helpers.extend(specialized)
-
-    # --- reference parameters -> pointers (§3.6) -------------------------------
-    ref_positions: Dict[str, Set[int]] = {}
-    for fn in out_helpers:
-        refs = {i for i, p in enumerate(fn.params) if "reference" in p.quals}
-        if refs:
-            ref_positions[fn.name] = refs
-            _lower_reference_params(fn)
-    if ref_positions:
-        for fn in out_kernels + out_helpers:
-            _rewrite_reference_call_sites(fn, ref_positions)
-
-    # --- per-function body rewriting ---------------------------------------------
-    metas: Dict[str, CudaKernelMeta] = {}
-    for fn in out_kernels + out_helpers:
-        _check_untranslatable(fn)
-        dyn = _extract_dynamic_shared(fn)
-        _rewrite_device_body(fn, texture_types)
-        _narrow_types(fn)
-        if fn.is_kernel:
-            referenced = _referenced_names(fn)
-            used_syms = referenced & set(sym_by_name)
-            # texture fetches were already rewritten to <name>__img idents
-            used_texs = [t for t in textures if f"{t}__img" in referenced]
-            meta = CudaKernelMeta(
-                fn.name,
-                orig_params=[(p.name, p.type) for p in fn.params],
-                dyn_shared=dyn,
-                symbol_params=[sym_by_name[n] for n in sorted(used_syms)],
-                texture_params=used_texs)
-            metas[fn.name] = meta
-            _append_kernel_params(fn, meta, texture_types)
-        else:
-            if dyn is not None:
-                raise TranslationNotSupported(
-                    CAT_LANG,
-                    "extern __shared__ in a __device__ helper function")
-            refs = _referenced_names(fn) & set(sym_by_name)
-            if refs:
-                raise TranslationNotSupported(
-                    CAT_LANG,
-                    f"device symbol {sorted(refs)[0]!r} referenced from a "
-                    "helper function",
-                    "symbol-to-parameter rewriting is kernel-scoped")
-            fn.qualifiers.discard("__device__")
-            fn.qualifiers.discard("__forceinline__")
-            fn.template_params = []
-
-    # --- static __constant data keeps its initializer (§4.2 static case) --------
-    out_decls: List[A.Node] = []
-    for d in unit.decls:
-        if isinstance(d, A.StructDecl) or isinstance(d, A.TypedefDecl):
-            out_decls.append(clone(d))
-    for d in static_consts:
-        nd = clone(d)
-        nd.quals.discard("__constant__")
-        nd.space = AS.CONSTANT
-        nd.type = narrow_cuda_only_types(nd.type)
-        out_decls.append(nd)
-    out_decls.extend(out_helpers)
-    out_decls.extend(out_kernels)
-
-    ocl_unit = A.TranslationUnit(out_decls, dialect_name="opencl")
-
-    # --- address-space inference (§3.6) ------------------------------------------
-    global_spaces = {d.name: AS.CONSTANT for d in static_consts}
-    annotate_unit(ocl_unit, "opencl")
-    inference = infer_spaces(ocl_unit, list(metas), global_spaces)
-    new_decls: List[A.Node] = []
-    for d in ocl_unit.decls:
-        if isinstance(d, A.FunctionDecl) and d.body is not None:
-            if d.name in inference.specializations:
-                for suffix, mapping in inference.specializations[d.name]:
-                    inst = clone(d)
-                    inst.name = d.name + suffix
-                    apply_spaces(inst, mapping,
-                                 inference.var_spaces.get(d.name, {}))
-                    new_decls.append(inst)
-                continue
-            apply_spaces(d, inference.param_spaces.get(d.name, {}),
-                         inference.var_spaces.get(d.name, {}))
-        new_decls.append(d)
-    ocl_unit.decls = new_decls
-    if inference.specializations:
-        _rewrite_specialized_calls(ocl_unit, inference, metas)
-
-    header = ("/* generated by the CUDA->OpenCL translator (main.cu -> "
-              "main.cu.cl, Fig. 3) */\n\n")
-    source = header + print_unit(ocl_unit, "opencl")
-    return Cuda2OclDeviceResult(source, ocl_unit, metas, symbols,
-                                textures, texture_types)
+    ctx = PassContext(dialect="cuda", unit=unit)
+    ctx.state["runtime_init_symbols"] = set(runtime_init_symbols)
+    manager = PassManager(CUDA2OCL_PIPELINE, build_cuda2ocl_device_passes())
+    stats = manager.run(ctx)
+    return result_from_context(ctx, stats)
 
 
 def _initial_bytes(d: A.VarDecl) -> Optional[bytes]:
@@ -372,22 +607,24 @@ def _rewrite_reference_call_sites(fn: A.FunctionDecl,
 # body rewriting
 # ---------------------------------------------------------------------------
 
-def _check_untranslatable(fn: A.FunctionDecl) -> None:
+def _check_untranslatable(fn: A.FunctionDecl, ctx: PassContext) -> None:
     assert fn.body is not None
     for node in A.walk(fn.body):
         if isinstance(node, A.Call):
             name = node.callee_name
             if name in CUDA_UNTRANSLATABLE_BUILTINS:
-                raise TranslationNotSupported(
+                ctx.not_supported(
                     CAT_NO_FUNC, name,
-                    f"used in kernel {fn.name!r} (§3.7)")
+                    f"used in kernel {fn.name!r} (§3.7)",
+                    node=node)
         if isinstance(node, A.Ident) and node.name == "warpSize":
-            raise TranslationNotSupported(
+            ctx.not_supported(
                 CAT_NO_FUNC, "warpSize",
-                f"used in kernel {fn.name!r}")
+                f"used in kernel {fn.name!r}",
+                node=node)
 
 
-def _extract_dynamic_shared(fn: A.FunctionDecl
+def _extract_dynamic_shared(fn: A.FunctionDecl, ctx: PassContext
                             ) -> Optional[Tuple[str, T.Type]]:
     """Remove ``extern __shared__ T name[];`` declarations; the name becomes
     a ``__local T*`` parameter (paper §4.1)."""
@@ -413,14 +650,14 @@ def _extract_dynamic_shared(fn: A.FunctionDecl
     if not found:
         return None
     if len(found) > 1:
-        raise TranslationError(
+        ctx.error(
             f"multiple extern __shared__ arrays in {fn.name!r} "
-            "(CUDA itself only supports one)")
+            "(CUDA itself only supports one)",
+            node=fn)
     return found[0]
 
 
-def _rewrite_device_body(fn: A.FunctionDecl,
-                         texture_types: Dict[str, T.TextureType]) -> None:
+def _rewrite_builtins(fn: A.FunctionDecl) -> None:
     assert fn.body is not None
 
     def fix(e: A.Node) -> Optional[A.Node]:
@@ -439,8 +676,6 @@ def _rewrite_device_body(fn: A.FunctionDecl,
                 return call("barrier", ident("CLK_LOCAL_MEM_FENCE"))
             if name in ("__threadfence", "__threadfence_block"):
                 return call("mem_fence", ident("CLK_LOCAL_MEM_FENCE"))
-            if name in ("tex1Dfetch", "tex1D", "tex2D", "tex3D"):
-                return _rewrite_tex_fetch(e, name, texture_types)
             if name == "__ldg":
                 out = A.UnOp("*", e.args[0])
                 out.ctype = e.ctype
@@ -454,6 +689,29 @@ def _rewrite_device_body(fn: A.FunctionDecl,
             if mapped is not None and not mapped.startswith("__"):
                 e.func = A.Ident(mapped)
                 return e
+        return None
+
+    rewrite_exprs(fn.body, fix)
+
+
+def _rewrite_textures(fn: A.FunctionDecl,
+                      texture_types: Dict[str, T.TextureType],
+                      ctx: PassContext) -> None:
+    assert fn.body is not None
+
+    def fix(e: A.Node) -> Optional[A.Node]:
+        if isinstance(e, A.Call) and e.callee_name in (
+                "tex1Dfetch", "tex1D", "tex2D", "tex3D"):
+            return _rewrite_tex_fetch(e, e.callee_name, texture_types, ctx)
+        return None
+
+    rewrite_exprs(fn.body, fix)
+
+
+def _lower_cxx_casts(fn: A.FunctionDecl) -> None:
+    assert fn.body is not None
+
+    def fix(e: A.Node) -> Optional[A.Node]:
         if isinstance(e, A.Cast) and e.style in ("static", "reinterpret",
                                                  "const"):
             e.style = "c"
@@ -461,17 +719,18 @@ def _rewrite_device_body(fn: A.FunctionDecl,
         return None
 
     rewrite_exprs(fn.body, fix)
-    rewrite_make_calls(fn.body)
 
 
 def _rewrite_tex_fetch(e: A.Call, name: str,
-                       texture_types: Dict[str, T.TextureType]) -> A.Node:
+                       texture_types: Dict[str, T.TextureType],
+                       ctx: PassContext) -> A.Node:
     """texND(tex, coords...) -> read_imageX(tex__img, tex__smp, coords).x"""
     tex_arg = e.args[0]
     if not isinstance(tex_arg, A.Ident) or tex_arg.name not in texture_types:
-        raise TranslationNotSupported(
+        ctx.not_supported(
             CAT_LANG,
-            f"{name} on a non-file-scope texture reference")
+            f"{name} on a non-file-scope texture reference",
+            node=e)
     tname = tex_arg.name
     ttype = texture_types[tname]
     base = ttype.base

@@ -1,0 +1,127 @@
+"""Located diagnostics for the translation pipelines.
+
+Every translation failure and analyzer finding is expressed as a
+:class:`Diagnostic`: a severity, an optional Table-3 category (see
+:mod:`repro.translate.categories`), a message, the name of the pass that
+produced it, and a :class:`SourceSpan` taken from the ``Node.loc``
+line/column information the lexer tracks.  Diagnostics render clang-style
+caret snippets when the original source text is available::
+
+    error: untranslatable [No corresponding functions]: warpSize
+      --> line 1, col 36 [pass untranslatable-check]
+       1 | __global__ void k(int* a) { a[0] = warpSize; }
+         |                                    ^
+
+The exception types in :mod:`repro.errors` carry the diagnostic that
+triggered them (``exc.diagnostic``), so callers — the batch pipeline, the
+harness, tests — get structured, located error data instead of parsing
+strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..clike import ast as A
+
+__all__ = ["SEV_ERROR", "SEV_WARNING", "SEV_NOTE",
+           "SourceSpan", "Diagnostic", "span_of", "line_col_at",
+           "render_snippet"]
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+SEV_NOTE = "note"
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A 1-based source position (optionally a range) in the input text."""
+
+    line: int = 0
+    col: int = 0
+    end_line: int = 0
+    end_col: int = 0
+
+    @property
+    def known(self) -> bool:
+        return self.line > 0
+
+    def __str__(self) -> str:
+        if not self.known:
+            return "?:?"
+        return f"{self.line}:{self.col}"
+
+
+def span_of(node: Optional[A.Node]) -> SourceSpan:
+    """The span of an AST subtree (via :func:`repro.clike.ast.best_loc`)."""
+    line, col = A.best_loc(node)
+    return SourceSpan(line, col)
+
+
+def line_col_at(source: str, pos: int) -> Tuple[int, int]:
+    """1-based ``(line, col)`` of character offset ``pos`` in ``source``."""
+    if pos < 0:
+        return (0, 0)
+    pos = min(pos, len(source))
+    line = source.count("\n", 0, pos) + 1
+    last_nl = source.rfind("\n", 0, pos)
+    return (line, pos - last_nl)
+
+
+def render_snippet(source: str, span: SourceSpan) -> str:
+    """The source line the span points at, with a caret underneath."""
+    if not span.known or not source:
+        return ""
+    lines = source.splitlines()
+    if span.line > len(lines):
+        return ""
+    text = lines[span.line - 1]
+    gutter = f"{span.line:>4} | "
+    caret_pad = " " * (len(f"{span.line:>4}")) + " | " \
+        + " " * max(0, span.col - 1)
+    width = 1
+    if span.end_line == span.line and span.end_col > span.col:
+        width = span.end_col - span.col
+    return f"{gutter}{text}\n{caret_pad}{'^' * width}"
+
+
+@dataclass
+class Diagnostic:
+    """One located, categorized message from a translation pass."""
+
+    severity: str
+    message: str
+    category: Optional[str] = None      # Table-3 category, when applicable
+    span: SourceSpan = field(default_factory=SourceSpan)
+    pass_name: str = ""
+    detail: str = ""
+
+    def location(self) -> str:
+        """``"line L, col C"``, or ``""`` when the span is unknown."""
+        if not self.span.known:
+            return ""
+        return f"line {self.span.line}, col {self.span.col}"
+
+    def header(self) -> str:
+        cat = f" [{self.category}]" if self.category else ""
+        return f"{self.severity}{cat}: {self.message}"
+
+    def render(self, source: str = "") -> str:
+        """Multi-line clang-style rendering, with a caret snippet when the
+        original source text is supplied."""
+        out: List[str] = [self.header()]
+        where = self.location()
+        origin = f" [pass {self.pass_name}]" if self.pass_name else ""
+        if where or origin:
+            out.append(f"  --> {where or '<unknown location>'}{origin}")
+        snippet = render_snippet(source, self.span)
+        if snippet:
+            out.append(snippet)
+        if self.detail:
+            out.append(f"  note: {self.detail}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        where = self.location()
+        return self.header() + (f" (at {where})" if where else "")

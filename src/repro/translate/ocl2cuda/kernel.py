@@ -1,20 +1,35 @@
 """OpenCL→CUDA device-code translation (paper §3.5-3.6, §4, §5, Fig. 5).
 
 ``translate_kernel_unit`` turns an OpenCL C translation unit into CUDA C
-source plus per-kernel metadata the wrapper library needs at launch time:
+source plus per-kernel metadata the wrapper library needs at launch time.
+The work is organized as a registered pass pipeline on the shared
+:class:`~repro.translate.passes.PassManager` (see
+:func:`build_ocl2cuda_passes`):
 
-* work-item functions become index expressions over
+* ``parse`` / ``annotate`` — frontend over the OpenCL dialect;
+* ``clone-unit`` — the translator never mutates its input;
+* ``wide-vector-scan`` — find 8/16-wide vectors that need C structs with
+  generated helpers (§3.3);
+* ``vector-swizzle`` — rich swizzles are expanded, ``vstoreN`` becomes
+  per-component stores, wide-vector ops are rewritten (§3.3-3.4);
+* ``builtin-rename`` — work-item functions become index expressions over
   ``threadIdx/blockIdx/blockDim/gridDim`` (the NDRange→grid conversion of
   §3.1 happens in the wrapper, which divides the global size by the local
-  size);
-* dynamically-sized ``__local`` pointer parameters become ``size_t`` size
-  parameters with pointers carved out of a single
-  ``extern __shared__ char __OC2CU_shared_mem[]`` region (Fig. 5);
-* ``__constant`` pointer parameters likewise index into a module-scope
+  size); built-ins are renamed one-to-one (§3.5);
+* ``qualifier-map`` — helper functions gain ``__device__``, OpenCL address
+  spaces are dropped from their pointer params, program-scope variables
+  map to ``__constant__`` (§3.6, §4.2 static case);
+* ``shared-constant-pack`` — dynamically-sized ``__local`` pointer
+  parameters become ``size_t`` size parameters with pointers carved out of
+  a single ``extern __shared__ char __OC2CU_shared_mem[]`` region (Fig. 5);
+  ``__constant`` pointer parameters likewise index into a module-scope
   ``__constant__ char __OC2CU_const_mem[]`` that the wrapper fills before
   launch (§4.2);
-* rich swizzles are expanded, 8/16-wide vectors become C structs with
-  generated helpers, built-ins are renamed one-to-one (§3.3).
+* ``emit-cuda`` — prelude assembly and printing.
+
+Untranslatable constructs raise located
+:class:`~repro.errors.TranslationNotSupported` errors through the pass
+context, carrying a category-tagged diagnostic with the source span.
 """
 
 from __future__ import annotations
@@ -31,12 +46,15 @@ from ..builtins_map import OCL_TO_CUDA_FUNCS
 from ..categories import CAT_LANG
 from ..common import call, clone, expr_stmt, ident, intlit, map_statements, \
     rewrite_exprs
+from ..passes import (AnnotatePass, ParsePass, Pass, PassContext, PassManager,
+                      PipelineStats)
 from ..vectors import (collect_wide_vectors, expand_swizzle_assignments,
                        rewrite_make_calls, rewrite_swizzle_reads,
                        rewrite_wide_vector_ops, wide_vector_struct_decls)
 
 __all__ = ["ArgKind", "KernelParamInfo", "OclKernelMeta",
-           "translate_kernel_unit", "Ocl2CudaResult"]
+           "translate_kernel_unit", "Ocl2CudaResult",
+           "build_ocl2cuda_passes", "OCL2CUDA_PIPELINE"]
 
 #: maximum bytes of dynamically-allocated constant memory (Fig. 5's
 #: MAX_CONST_SIZE); must leave room for static __constant data in the 64 KB
@@ -47,6 +65,8 @@ _SHARED_MEM = "__OC2CU_shared_mem"
 _CONST_MEM = "__OC2CU_const_mem"
 
 _DIM_FIELDS = ("x", "y", "z")
+
+OCL2CUDA_PIPELINE = "ocl2cuda"
 
 
 class ArgKind:
@@ -90,6 +110,166 @@ class Ocl2CudaResult:
     cuda_source: str
     unit: A.TranslationUnit
     kernels: Dict[str, OclKernelMeta]
+    #: per-pass instrumentation of the run that produced this result
+    pass_stats: Optional[PipelineStats] = None
+
+
+# ---------------------------------------------------------------------------
+# the pass pipeline
+# ---------------------------------------------------------------------------
+
+class CloneUnitPass(Pass):
+    """Deep-copy the parsed unit; rewrites never touch the input tree."""
+
+    name = "clone-unit"
+    requires = ("annotate",)
+
+    def run(self, ctx: PassContext) -> None:
+        assert ctx.unit is not None
+        ctx.unit = A.TranslationUnit(
+            [clone(d) for d in ctx.unit.decls],
+            dialect_name=ctx.unit.dialect_name)
+
+
+class WideVectorScanPass(Pass):
+    """Collect 8/16-wide vector types needing generated C structs (§3.3)."""
+
+    name = "wide-vector-scan"
+    requires = ("clone-unit",)
+    paper = "§3.3"
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.state["wide"] = collect_wide_vectors(ctx.unit)
+
+
+class VectorSwizzlePass(Pass):
+    """Swizzle expansion, ``vstoreN`` stores, wide-vector ops (§3.3-3.4)."""
+
+    name = "vector-swizzle"
+    requires = ("wide-vector-scan",)
+    paper = "§3.3-3.4"
+
+    def run(self, ctx: PassContext) -> None:
+        for fn in ctx.unit.functions():
+            if fn.body is None:
+                continue
+            expand_swizzle_assignments(fn.body)
+            _expand_vstores(fn.body)
+            rewrite_swizzle_reads(fn.body)
+            rewrite_wide_vector_ops(fn.body)
+
+
+class BuiltinRenamePass(Pass):
+    """Work-item functions → index expressions; built-in renames (§3.5)."""
+
+    name = "builtin-rename"
+    requires = ("vector-swizzle",)
+    paper = "§3.5"
+
+    def run(self, ctx: PassContext) -> None:
+        as_helpers = ctx.state.setdefault("as_helpers", set())
+        for fn in ctx.unit.functions():
+            if fn.body is not None:
+                _rewrite_calls(fn.body, as_helpers, ctx)
+
+
+class QualifierMapPass(Pass):
+    """Helper functions gain ``__device__`` and lose OpenCL address
+    spaces; program-scope variables map to ``__constant__`` (§3.6)."""
+
+    name = "qualifier-map"
+    requires = ("builtin-rename",)
+    paper = "§3.6, §4.2"
+
+    def run(self, ctx: PassContext) -> None:
+        for d in ctx.unit.decls:
+            if isinstance(d, A.FunctionDecl):
+                if not d.is_kernel:
+                    d.qualifiers.add("__device__")
+                    _strip_param_spaces(d)
+                    ctx.rewrites += 1
+            elif isinstance(d, A.VarDecl):
+                # program-scope variables are __constant in OpenCL 1.2 and
+                # map straight to __constant__ (§4.2 static case)
+                d.space = T.AddressSpace.CONSTANT
+                d.quals = {q for q in d.quals
+                           if q not in ("__constant", "constant")}
+                ctx.rewrites += 1
+
+
+class SharedConstantPackPass(Pass):
+    """Kernel parameter transformation: dynamic ``__local``/``__constant``
+    pointers become size parameters carved from pooled regions (Fig. 5)."""
+
+    name = "shared-constant-pack"
+    requires = ("builtin-rename",)
+    paper = "§4, Fig. 5"
+
+    def run(self, ctx: PassContext) -> None:
+        kernels: Dict[str, OclKernelMeta] = {}
+        needs_shared = needs_const = False
+        for d in ctx.unit.decls:
+            if isinstance(d, A.FunctionDecl) and d.is_kernel:
+                meta, used_shared, used_const = _transform_kernel_params(d)
+                kernels[d.name] = meta
+                needs_shared |= used_shared
+                needs_const |= used_const
+        ctx.state["kernels"] = kernels
+        ctx.state["needs_shared_mem"] = needs_shared
+        ctx.state["needs_const_mem"] = needs_const
+
+
+class EmitCudaPass(Pass):
+    """Prelude assembly (wide-vector structs, constant pool, ``as_``
+    helpers) and CUDA source printing."""
+
+    name = "emit-cuda"
+    requires = ("qualifier-map", "shared-constant-pack", "wide-vector-scan")
+
+    def run(self, ctx: PassContext) -> None:
+        new_unit = A.TranslationUnit(list(ctx.unit.decls),
+                                     dialect_name="cuda")
+        prelude_parts: List[str] = [
+            "/* generated by the OpenCL->CUDA translator; links against the",
+            "   OC2CU runtime (CLImage wrappers for image built-ins, Fig. 6) */",
+        ]
+        wide_src = wide_vector_struct_decls(ctx.state["wide"])
+        if wide_src:
+            prelude_parts.append(wide_src)
+        if ctx.state["needs_const_mem"]:
+            prelude_parts.append(
+                f"__constant__ char {_CONST_MEM}[{MAX_CONST_SIZE}];")
+        for helper in sorted(_render_as_helpers(
+                ctx.state.get("as_helpers", set()))):
+            prelude_parts.append(helper)
+
+        body_src = print_unit(new_unit, "cuda")
+        ctx.state["cuda_source"] = "\n".join(prelude_parts) + "\n\n" + body_src
+        ctx.state["out_unit"] = new_unit
+
+
+def build_ocl2cuda_passes() -> List[Pass]:
+    """Fresh instances of the OpenCL→CUDA pipeline, in registration
+    order (passes are stateless; all shared data lives in the context)."""
+    return [
+        ParsePass(),
+        AnnotatePass(requires=("parse",)),
+        CloneUnitPass(),
+        WideVectorScanPass(),
+        VectorSwizzlePass(),
+        BuiltinRenamePass(),
+        QualifierMapPass(),
+        SharedConstantPackPass(),
+        EmitCudaPass(),
+    ]
+
+
+def result_from_context(ctx: PassContext,
+                        stats: Optional[PipelineStats] = None
+                        ) -> Ocl2CudaResult:
+    """Assemble the public result object after the pipeline ran."""
+    return Ocl2CudaResult(ctx.state["cuda_source"], ctx.state["out_unit"],
+                          ctx.state["kernels"], pass_stats=stats)
 
 
 def translate_kernel_unit(source: str,
@@ -97,59 +277,10 @@ def translate_kernel_unit(source: str,
                           ) -> Ocl2CudaResult:
     """Translate OpenCL C device source to CUDA C source (kernel.cl →
     kernel.cl.cu, Fig. 2)."""
-    unit = parse(source, "opencl", defines=defines)
-    annotate_unit(unit, "opencl")
-
-    kernels: Dict[str, OclKernelMeta] = {}
-    wide = collect_wide_vectors(unit)
-    needs_shared_mem = False
-    needs_const_mem = False
-    as_helpers: Set[Tuple[str, str]] = set()
-
-    out_decls: List[A.Node] = []
-    for d in unit.decls:
-        if isinstance(d, A.FunctionDecl):
-            fn = clone(d)
-            if fn.body is not None:
-                _translate_body(fn, as_helpers)
-            if fn.is_kernel:
-                meta, used_shared, used_const = _transform_kernel_params(fn)
-                kernels[fn.name] = meta
-                needs_shared_mem |= used_shared
-                needs_const_mem |= used_const
-            else:
-                fn.qualifiers.add("__device__")
-                _strip_param_spaces(fn)
-            out_decls.append(fn)
-        elif isinstance(d, A.VarDecl):
-            # program-scope variables are __constant in OpenCL 1.2 and map
-            # straight to __constant__ (§4.2 static case)
-            nd = clone(d)
-            nd.space = T.AddressSpace.CONSTANT
-            nd.quals = {q for q in nd.quals
-                        if q not in ("__constant", "constant")}
-            out_decls.append(nd)
-        else:
-            out_decls.append(clone(d))
-
-    new_unit = A.TranslationUnit(out_decls, dialect_name="cuda")
-
-    prelude_parts: List[str] = [
-        "/* generated by the OpenCL->CUDA translator; links against the",
-        "   OC2CU runtime (CLImage wrappers for image built-ins, Fig. 6) */",
-    ]
-    wide_src = wide_vector_struct_decls(wide)
-    if wide_src:
-        prelude_parts.append(wide_src)
-    if needs_const_mem:
-        prelude_parts.append(
-            f"__constant__ char {_CONST_MEM}[{MAX_CONST_SIZE}];")
-    for helper in sorted(_render_as_helpers(as_helpers)):
-        prelude_parts.append(helper)
-
-    body_src = print_unit(new_unit, "cuda")
-    cuda_source = "\n".join(prelude_parts) + "\n\n" + body_src
-    return Ocl2CudaResult(cuda_source, new_unit, kernels)
+    ctx = PassContext(source=source, dialect="opencl", defines=defines)
+    manager = PassManager(OCL2CUDA_PIPELINE, build_ocl2cuda_passes())
+    stats = manager.run(ctx)
+    return result_from_context(ctx, stats)
 
 
 # ---------------------------------------------------------------------------
@@ -160,25 +291,18 @@ def _dim_member(var: str, dim: int) -> A.Member:
     return A.Member(A.Ident(var), _DIM_FIELDS[dim])
 
 
-def _const_dim(e: A.Node, where: str) -> int:
+def _const_dim(e: A.Node, where: str, ctx: PassContext, at: A.Node) -> int:
     if isinstance(e, A.IntLit) and 0 <= e.value <= 2:
         return e.value
-    raise TranslationNotSupported(
+    ctx.not_supported(
         CAT_LANG,
         f"non-constant dimension argument to {where}",
-        "work-item functions must take literal dimensions 0..2")
+        "work-item functions must take literal dimensions 0..2",
+        node=at)
 
 
-def _translate_body(fn: A.FunctionDecl, as_helpers: Set[Tuple[str, str]]) -> None:
-    assert fn.body is not None
-    expand_swizzle_assignments(fn.body)
-    _expand_vstores(fn.body)
-    rewrite_swizzle_reads(fn.body)
-    rewrite_wide_vector_ops(fn.body)
-    _rewrite_calls(fn.body, as_helpers)
-
-
-def _rewrite_calls(body: A.Compound, as_helpers: Set[Tuple[str, str]]) -> None:
+def _rewrite_calls(body: A.Compound, as_helpers: Set[Tuple[str, str]],
+                   ctx: PassContext) -> None:
     from ...clike.sema import resolve_conversion
     from ...clike.dialect import OPENCL_KERNEL
 
@@ -190,7 +314,7 @@ def _rewrite_calls(body: A.Compound, as_helpers: Set[Tuple[str, str]]) -> None:
             return None
         # work-item functions -> index expressions (§3.5 table)
         if name == "get_global_id":
-            d = _const_dim(e.args[0], name)
+            d = _const_dim(e.args[0], name, ctx, e)
             out: A.Node = A.BinOp(
                 "+", A.BinOp("*", _dim_member("blockIdx", d),
                              _dim_member("blockDim", d)),
@@ -198,15 +322,15 @@ def _rewrite_calls(body: A.Compound, as_helpers: Set[Tuple[str, str]]) -> None:
             out.ctype = T.INT
             return out
         if name == "get_local_id":
-            return _dim_member("threadIdx", _const_dim(e.args[0], name))
+            return _dim_member("threadIdx", _const_dim(e.args[0], name, ctx, e))
         if name == "get_group_id":
-            return _dim_member("blockIdx", _const_dim(e.args[0], name))
+            return _dim_member("blockIdx", _const_dim(e.args[0], name, ctx, e))
         if name == "get_local_size":
-            return _dim_member("blockDim", _const_dim(e.args[0], name))
+            return _dim_member("blockDim", _const_dim(e.args[0], name, ctx, e))
         if name == "get_num_groups":
-            return _dim_member("gridDim", _const_dim(e.args[0], name))
+            return _dim_member("gridDim", _const_dim(e.args[0], name, ctx, e))
         if name == "get_global_size":
-            d = _const_dim(e.args[0], name)
+            d = _const_dim(e.args[0], name, ctx, e)
             out = A.BinOp("*", _dim_member("gridDim", d),
                           _dim_member("blockDim", d))
             out.ctype = T.INT
@@ -237,7 +361,7 @@ def _rewrite_calls(body: A.Compound, as_helpers: Set[Tuple[str, str]]) -> None:
         conv = resolve_conversion(name, OPENCL_KERNEL)
         if conv is not None:
             if name.startswith("as_"):
-                return _as_reinterpret(e, conv, as_helpers)
+                return _as_reinterpret(e, conv, as_helpers, ctx)
             return _expand_convert(e, conv)
         return None
 
@@ -310,14 +434,16 @@ def _expand_convert(e: A.Call, target: T.Type) -> A.Node:
 
 
 def _as_reinterpret(e: A.Call, target: T.Type,
-                    as_helpers: Set[Tuple[str, str]]) -> A.Node:
+                    as_helpers: Set[Tuple[str, str]],
+                    ctx: PassContext) -> A.Node:
     """``as_T(x)`` → call to a generated bit-cast helper."""
     src_t = e.args[0].ctype if isinstance(e.args[0], A.Expr) else T.UINT
     if not isinstance(target, T.ScalarType) or not isinstance(src_t, T.ScalarType):
-        raise TranslationNotSupported(
+        ctx.not_supported(
             CAT_LANG,
             "vector as_<type> reinterpretation",
-            "only scalar as_T() is supported by the translator")
+            "only scalar as_T() is supported by the translator",
+            node=e)
     as_helpers.add((target.name, src_t.name))
     out = A.Call(A.Ident(f"__oc2cu_as_{target.name}_from_{src_t.name}"),
                  [e.args[0]])

@@ -117,7 +117,13 @@ def test_disk_artifact_is_readable_json_with_sources(tmp_path):
     (artifact_path,) = tmp_path.glob("*/*.json")
     artifact = json.loads(artifact_path.read_text())
     assert artifact["key"] == key
-    assert artifact["meta"] == {"name": "bfs"}
+    assert artifact["meta"]["name"] == "bfs"
+    # per-pass timings travel with the artifact (see TranslationCache.put)
+    stats = artifact["meta"]["pass_stats"]
+    assert stats["pipeline"] == "cuda2ocl-program"
+    assert [p["name"] for p in stats["passes"]][:2] == [
+        "translatability-check", "parse"]
+    assert all(p["wall_s"] >= 0 for p in stats["passes"])
     assert artifact["host_source"] == prog.host_source
     assert artifact["device_source"] == prog.device_source
 

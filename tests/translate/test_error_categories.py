@@ -18,6 +18,7 @@ from repro.translate.api import translate_cuda_program
 from repro.translate.categories import (ALL_CATEGORIES, CAT_LANG, CAT_LIBS,
                                         CAT_NO_FUNC, CAT_OPENGL, CAT_PTX,
                                         CAT_UVA)
+from repro.translate.diagnostics import SEV_ERROR
 
 #: one minimal untranslatable program per Table-3 category
 MINIMAL_BY_CATEGORY = {
@@ -41,6 +42,43 @@ def test_minimal_program_raises_with_category(category):
         translate_cuda_program(MINIMAL_BY_CATEGORY[category])
     assert exc.value.category == category
     assert exc.value.feature          # names the offending construct
+
+
+@pytest.mark.parametrize("category", ALL_CATEGORIES)
+def test_minimal_program_failure_is_located(category):
+    """The exception carries a category-tagged diagnostic whose span
+    points into the offending source (line:col also land on the
+    exception itself and in its message)."""
+    src = MINIMAL_BY_CATEGORY[category]
+    with pytest.raises(TranslationNotSupported) as exc:
+        translate_cuda_program(src)
+    e = exc.value
+    d = e.diagnostic
+    assert d is not None
+    assert d.severity == SEV_ERROR
+    assert d.category == category
+    assert d.span.known
+    assert e.line == d.span.line > 0
+    assert e.col == d.span.col > 0
+    assert e.line <= src.count("\n") + 1
+    assert f"(at line {e.line}, col {e.col})" in str(e)
+
+
+def test_located_diagnostic_points_at_offending_token():
+    """Golden location check: the caret lands exactly on ``warpSize``."""
+    src = MINIMAL_BY_CATEGORY[CAT_NO_FUNC]
+    with pytest.raises(TranslationNotSupported) as exc:
+        translate_cuda_program(src)
+    e = exc.value
+    line = src.splitlines()[e.line - 1]
+    assert line[e.col - 1:].startswith("warpSize")
+    rendered = e.diagnostic.render(src)
+    assert f"--> line {e.line}, col {e.col}" in rendered
+    # caret sits under the token in the snippet gutter
+    snippet_line, caret_line = [
+        ln for ln in rendered.splitlines() if " | " in ln]
+    pos = snippet_line.index("warpSize")
+    assert caret_line[pos] == "^"
 
 
 @pytest.mark.parametrize("category", ALL_CATEGORIES)
@@ -79,3 +117,7 @@ def test_translate_many_reports_every_category_and_finishes_batch():
             assert res.error_type == "TranslationNotSupported"
             assert res.error_category == category
             assert res.error_feature and res.error_message
+            # locations survive the (possibly cross-process) batch path
+            assert res.error_line > 0 and res.error_col > 0
+            assert (f"(at line {res.error_line}, col {res.error_col})"
+                    in res.error_message)

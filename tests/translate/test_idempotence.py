@@ -1,0 +1,53 @@
+"""Parse→print→parse idempotence over the golden corpus.
+
+Printing must be a fixpoint after one round trip for every translated
+source the golden layer locks down: re-parsing a printed unit and
+printing it again yields byte-identical text.  This is the invariant the
+translation cache and the golden diffs rely on — if the printer ever
+drifted under its own output, cached artifacts and fresh translations
+could disagree without any semantic change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.clike import parse, print_unit
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: dialect of each panel, per translation direction
+_PANEL_DIALECTS = {
+    "cuda2ocl": {"device_source": "opencl", "host_source": "host"},
+    "ocl2cuda": {"device_source": "cuda", "host_source": None},
+}
+
+
+def _panels():
+    for path in sorted(GOLDEN_DIR.glob("*.json")):
+        direction = "cuda2ocl" if "cuda2ocl" in path.name else "ocl2cuda"
+        golden = json.loads(path.read_text(encoding="utf-8"))
+        for app, entry in sorted(golden.items()):
+            for part, dialect in _PANEL_DIALECTS[direction].items():
+                source = entry.get(part) or ""
+                if source and dialect:
+                    yield pytest.param(source, dialect,
+                                       id=f"{path.stem}-{app}-{part}")
+
+
+PANELS = list(_panels())
+
+
+def test_golden_corpus_is_present():
+    assert len(PANELS) >= 100, \
+        f"golden corpus shrank to {len(PANELS)} panels"
+
+
+@pytest.mark.parametrize("source,dialect", PANELS)
+def test_print_is_a_fixpoint_after_one_round_trip(source, dialect):
+    once = print_unit(parse(source, dialect), dialect)
+    twice = print_unit(parse(once, dialect), dialect)
+    assert once == twice

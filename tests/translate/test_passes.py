@@ -1,0 +1,233 @@
+"""Pass-manager behaviour: pass independence, ordering enforcement, and
+per-pass instrumentation.
+
+Independence: every registered pass is a plain object whose only coupling
+is the shared :class:`PassContext` — each one runs standalone via
+``p.run(ctx)`` on a minimal fixture, with no manager involved, and the
+standalone sequence reproduces the managed pipeline byte-for-byte.
+
+Ordering: the manager enforces the declared ``requires`` ordering at
+registration time.  Shuffled registrations must raise
+:class:`PassOrderError` exactly when the shuffle violates a declared
+dependency.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clike import parse
+from repro.errors import PassOrderError, TranslationNotSupported
+from repro.translate.cuda2ocl.host import (CUDA2OCL_HOST_PIPELINE,
+                                           build_cuda2ocl_host_passes,
+                                           translate_host_unit)
+from repro.translate.cuda2ocl.kernel import (CUDA2OCL_PIPELINE,
+                                             build_cuda2ocl_device_passes,
+                                             translate_device_unit)
+from repro.translate.ocl2cuda.kernel import (OCL2CUDA_PIPELINE,
+                                             build_ocl2cuda_passes,
+                                             translate_kernel_unit)
+from repro.translate.passes import (Pass, PassContext, PassManager,
+                                    aggregate_stats)
+
+MINIMAL_OCL = (
+    "__kernel void scale(__global float4* a, __local float* tmp,\n"
+    "                    __constant float* c) {\n"
+    "  int i = get_global_id(0);\n"
+    "  tmp[get_local_id(0)] = c[0];\n"
+    "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+    "  a[i].xy = a[i].yx * tmp[0];\n"
+    "}\n")
+
+MINIMAL_CUDA = (
+    "__constant__ float coeff[4];\n"
+    "__device__ float twice(float x) { return 2.0f * x; }\n"
+    "__global__ void scale(float* a) {\n"
+    "  __shared__ float tmp[64];\n"
+    "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+    "  tmp[threadIdx.x] = coeff[0];\n"
+    "  __syncthreads();\n"
+    "  a[i] = twice(tmp[0]);\n"
+    "}\n"
+    "int main() { scale<<<1, 64>>>(0); return 0; }\n")
+
+
+def _ocl2cuda_ctx() -> PassContext:
+    return PassContext(source=MINIMAL_OCL, dialect="opencl")
+
+
+def _cuda2ocl_ctx() -> PassContext:
+    ctx = PassContext(source=MINIMAL_CUDA, dialect="cuda",
+                      unit=parse(MINIMAL_CUDA, "cuda"))
+    ctx.state["runtime_init_symbols"] = set()
+    return ctx
+
+
+# -- independence: every pass runs standalone, no manager -------------------
+
+def test_ocl2cuda_passes_run_standalone():
+    ctx = _ocl2cuda_ctx()
+    for p in build_ocl2cuda_passes():
+        p.run(ctx)                       # direct call, no PassManager
+        if p.name == "parse":
+            assert ctx.unit is not None
+    assert "__global__" in ctx.state["cuda_source"]
+    assert list(ctx.state["kernels"]) == ["scale"]
+
+
+def test_cuda2ocl_device_passes_run_standalone():
+    ctx = _cuda2ocl_ctx()
+    for p in build_cuda2ocl_device_passes():
+        p.run(ctx)
+        if p.name == "symbol-scan":
+            assert [f.name for f in ctx.state["kernels_src"]] == ["scale"]
+    assert "__kernel" in ctx.state["opencl_source"]
+    assert "barrier" in ctx.state["opencl_source"]
+
+
+def test_cuda2ocl_host_passes_run_standalone():
+    unit = parse(MINIMAL_CUDA, "cuda")
+    device = translate_device_unit(unit, set())
+    ctx = PassContext(source=MINIMAL_CUDA, dialect="cuda", unit=unit)
+    ctx.state["device"] = device
+    for p in build_cuda2ocl_host_passes():
+        p.run(ctx)
+    assert "clEnqueueNDRangeKernel" in ctx.state["host_source"]
+    assert ctx.state["launches"] == 1
+
+
+def test_standalone_sequence_matches_managed_pipeline():
+    """The manager adds instrumentation, not semantics: running the pass
+    list by hand yields byte-identical output."""
+    by_hand = _ocl2cuda_ctx()
+    for p in build_ocl2cuda_passes():
+        p.run(by_hand)
+    managed = translate_kernel_unit(MINIMAL_OCL)
+    assert managed.cuda_source == by_hand.state["cuda_source"]
+
+    by_hand2 = _cuda2ocl_ctx()
+    for p in build_cuda2ocl_device_passes():
+        p.run(by_hand2)
+    managed2 = translate_device_unit(parse(MINIMAL_CUDA, "cuda"), set())
+    assert managed2.opencl_source == by_hand2.state["opencl_source"]
+
+
+# -- ordering enforcement ----------------------------------------------------
+
+ALL_BUILDERS = [
+    (OCL2CUDA_PIPELINE, build_ocl2cuda_passes),
+    (CUDA2OCL_PIPELINE, build_cuda2ocl_device_passes),
+    (CUDA2OCL_HOST_PIPELINE, build_cuda2ocl_host_passes),
+]
+
+
+def _order_is_valid(passes) -> bool:
+    seen = set()
+    for p in passes:
+        if any(r not in seen for r in p.requires):
+            return False
+        seen.add(p.name)
+    return True
+
+
+@pytest.mark.parametrize("pipeline,builder",
+                         ALL_BUILDERS, ids=[n for n, _ in ALL_BUILDERS])
+def test_declared_order_registers_cleanly(pipeline, builder):
+    manager = PassManager(pipeline, builder())
+    assert manager.pass_names() == [p.name for p in builder()]
+
+
+@pytest.mark.parametrize("pipeline,builder",
+                         ALL_BUILDERS, ids=[n for n, _ in ALL_BUILDERS])
+def test_shuffled_registration_is_rejected_iff_invalid(pipeline, builder):
+    """Seeded shuffles: the manager accepts exactly the permutations that
+    respect every pass's declared ``requires``."""
+    saw_invalid = False
+    for seed in range(24):
+        passes = builder()
+        random.Random(seed).shuffle(passes)
+        if _order_is_valid(passes):
+            assert PassManager(pipeline, passes).pass_names() == \
+                [p.name for p in passes]
+        else:
+            saw_invalid = True
+            with pytest.raises(PassOrderError):
+                PassManager(pipeline, passes)
+    assert saw_invalid, "no shuffle violated the declared ordering"
+
+
+@pytest.mark.parametrize("pipeline,builder",
+                         [b for b in ALL_BUILDERS if len(b[1]()) > 2],
+                         ids=[n for n, b in ALL_BUILDERS if len(b()) > 2])
+def test_every_adjacent_dependent_swap_is_rejected(pipeline, builder):
+    """Swapping any pass in front of a direct prerequisite must fail."""
+    n = len(builder())
+    swaps_checked = 0
+    for i in range(n - 1):
+        passes = builder()
+        if passes[i].name not in passes[i + 1].requires:
+            continue
+        passes[i], passes[i + 1] = passes[i + 1], passes[i]
+        swaps_checked += 1
+        with pytest.raises(PassOrderError):
+            PassManager(pipeline, passes)
+    assert swaps_checked > 0
+
+
+def test_duplicate_registration_is_rejected():
+    passes = build_cuda2ocl_host_passes()
+    with pytest.raises(PassOrderError, match="twice"):
+        PassManager("dup", passes + [type(passes[0])()])
+
+
+def test_requires_overridable_per_instance():
+    class P(Pass):
+        name = "p"
+        requires = ("missing",)
+
+        def run(self, ctx):
+            pass
+
+    with pytest.raises(PassOrderError):
+        PassManager("t", [P()])
+    assert PassManager("t", [P(requires=())]).pass_names() == ["p"]
+
+
+# -- instrumentation ---------------------------------------------------------
+
+def test_run_records_stats_for_every_pass():
+    result = translate_kernel_unit(MINIMAL_OCL)
+    stats = result.pass_stats
+    assert stats is not None and stats.pipeline == OCL2CUDA_PIPELINE
+    assert [p.name for p in stats.passes] == \
+        [p.name for p in build_ocl2cuda_passes()]
+    assert all(p.wall_s >= 0 for p in stats.passes)
+    assert stats.total_s == sum(p.wall_s for p in stats.passes)
+    assert sum(p.visits for p in stats.passes) > 0
+    assert sum(p.rewrites for p in stats.passes) > 0
+    swizzle = stats.by_name("vector-swizzle")
+    assert swizzle is not None and swizzle.rewrites > 0
+
+
+def test_failed_run_attaches_partial_stats():
+    bad = "__kernel void k(__global int* a, int d) { a[get_global_id(d)] = 1; }"
+    with pytest.raises(TranslationNotSupported) as exc:
+        translate_kernel_unit(bad)
+    stats = exc.value.pass_stats
+    assert stats is not None
+    names = [p.name for p in stats.passes]
+    full = [p.name for p in build_ocl2cuda_passes()]
+    assert names == full[:len(names)]    # a prefix ending at the failer
+    assert len(names) < len(full)        # emit never ran
+
+
+def test_aggregate_stats_folds_runs_by_name():
+    runs = [translate_kernel_unit(MINIMAL_OCL).pass_stats for _ in range(3)]
+    agg = aggregate_stats(runs + [None], pipeline="agg")
+    assert agg.pipeline == "agg"
+    assert [p.name for p in agg.passes] == [p.name for p in runs[0].passes]
+    assert all(p.calls == 3 for p in agg.passes)
+    one = runs[0].by_name("vector-swizzle").rewrites
+    assert agg.by_name("vector-swizzle").rewrites == 3 * one
