@@ -4,13 +4,24 @@
 The determinism gate for the translation pipeline: every corpus app is
 translated in both applicable directions, once serially in-process and
 once fanned out over the process pool, and the emitted
-``host_source``/``device_source`` must match byte-for-byte.  With
-``--runs N`` each mode additionally repeats N times to catch run-to-run
-nondeterminism (hash ordering, id() leakage, ...).
+``host_source``/``device_source`` — plus every structured ``error_*``
+field — must match byte-for-byte.  With ``--runs N`` each mode
+additionally repeats N times to catch run-to-run nondeterminism (hash
+ordering, id() leakage, ...).
+
+``--fault-plan`` adds a third, fault-injected pooled pass: either an
+explicit :mod:`repro.pipeline.faults` spec string or the literal
+``smoke``, which targets four direction-unique corpus jobs with one
+injected exception, one hang (tripping the per-job ``--timeout``), one
+worker crash, and one unpicklable result.  Jobs a fault was aimed at may
+fail with the matching structured class; every *other* job must still be
+byte-identical to the fault-free serial pass — that is the isolation
+contract of ``translate_many``.
 
 Exit status 0 on success, 1 on any divergence.  Run from the repo root::
 
     PYTHONPATH=src python scripts/check_determinism.py
+    PYTHONPATH=src python scripts/check_determinism.py --fault-plan smoke
 """
 
 from __future__ import annotations
@@ -19,32 +30,29 @@ import argparse
 import difflib
 import sys
 import time
+from collections import Counter
 
+#: structured fields compared per job, in print order
+FIELDS = ("ok", "error_type", "error_class", "error_category",
+          "error_message", "error_traceback", "host_source", "device_source")
 
-def corpus_jobs():
-    from repro.apps.base import all_apps
-    from repro.pipeline import TranslationJob
-    jobs = [TranslationJob(name=f"{a.suite}/{a.name}", direction="cuda2ocl",
-                           source=a.cuda_source)
-            for a in all_apps() if a.cuda_translatable]
-    jobs += [TranslationJob(name=f"{a.suite}/{a.name}", direction="ocl2cuda",
-                            source=a.opencl_kernels,
-                            host_source=a.opencl_host or "")
-             for a in all_apps() if a.has_opencl]
-    return jobs
+#: faulted jobs may land in one of these classes instead of succeeding
+FAULT_CLASSES = ("internal", "timeout", "crash")
 
 
 def snapshot(results):
     out = {}
     for r in results:
-        out[(r.job.name, r.job.direction)] = (
-            r.ok, r.error_category, r.host_source, r.device_source)
+        out[(r.job.name, r.job.direction)] = tuple(
+            getattr(r, f) for f in FIELDS)
     return out
 
 
-def diff_snapshots(label_a, snap_a, label_b, snap_b) -> int:
+def diff_snapshots(label_a, snap_a, label_b, snap_b, ignore=()) -> int:
     problems = 0
     for key in sorted(set(snap_a) | set(snap_b)):
+        if key in ignore:
+            continue
         a, b = snap_a.get(key), snap_b.get(key)
         if a == b:
             continue
@@ -55,19 +63,58 @@ def diff_snapshots(label_a, snap_a, label_b, snap_b) -> int:
         if a is None or b is None:
             print(f"  present only in {label_a if b is None else label_b}")
             continue
-        for part, av, bv in (("ok", a[0], b[0]), ("category", a[1], b[1])):
-            if av != bv:
-                print(f"  {part}: {av!r} vs {bv!r}")
-        for part, av, bv in (("host_source", a[2], b[2]),
-                             ("device_source", a[3], b[3])):
-            if av != bv:
+        for part, av, bv in zip(FIELDS, a, b):
+            if av == bv:
+                continue
+            if part in ("host_source", "device_source"):
                 udiff = difflib.unified_diff(
                     (av or "").splitlines(), (bv or "").splitlines(),
                     lineterm="", n=1)
-                shown = list(udiff)[:12]
                 print(f"  {part} differs:")
-                for line in shown:
+                for line in list(udiff)[:12]:
                     print(f"    {line}")
+            else:
+                print(f"  {part}: {av!r} vs {bv!r}")
+    return problems
+
+
+def build_plan(spec, jobs):
+    from repro.pipeline import FaultPlan
+    if spec != "smoke":
+        return FaultPlan.parse(spec)
+    # fault targets are fnmatch patterns over the job *name*, so the smoke
+    # plan must aim at names carrying exactly one job (one direction)
+    counts = Counter(j.name for j in jobs)
+    unique = [j.name for j in jobs if counts[j.name] == 1]
+    return FaultPlan.smoke(unique)
+
+
+def check_fault_pass(serial, faulted, plan) -> int:
+    """The isolation contract: only jobs a fault was aimed at may deviate
+    from the fault-free serial snapshot, and then only into a structured
+    failure class — never into different translated sources."""
+    targeted = lambda name: any(a.matches(name) for a in plan.actions)
+    impacted, problems = [], 0
+    for key in sorted(serial):
+        name, _ = key
+        a, b = serial[key], faulted.get(key)
+        if a == b:
+            continue
+        ok_idx, cls_idx = FIELDS.index("ok"), FIELDS.index("error_class")
+        if targeted(name) and b is not None and not b[ok_idx] \
+                and b[cls_idx] in FAULT_CLASSES:
+            impacted.append((name, b[cls_idx]))
+            continue
+        problems += diff_snapshots("serial", {key: a},
+                                   "fault-injected", {key: b})
+    shown = ", ".join(f"{n} [{c}]" for n, c in impacted) or "none"
+    print(f"fault-impacted jobs (expected): {shown}")
+    if not any(a.kind == "fail" for a in plan.actions):
+        return problems
+    if not any(cls == "internal" for _, cls in impacted):
+        print("FAILED: the injected 'fail' fault left no trace — "
+              "injection did not run")
+        problems += 1
     return problems
 
 
@@ -76,8 +123,23 @@ def main(argv=None) -> int:
         description="serial-vs-parallel translation determinism check")
     parser.add_argument("--runs", type=int, default=1,
                         help="extra repetitions per mode (default 1)")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="add a fault-injected pooled pass: a "
+                             "repro.pipeline.faults spec, or 'smoke'")
+    parser.add_argument("--timeout", type=float, default=2.0,
+                        help="per-job timeout of the fault-injected pass "
+                             "(default 2.0s)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="transient retries of the fault-injected "
+                             "pass (default 2)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool width of the parallel passes (default "
+                             "4 — explicit so single-CPU containers still "
+                             "exercise the real pool)")
     args = parser.parse_args(argv)
 
+    from repro.harness.report import render_batch_stats
+    from repro.harness.runner import corpus_jobs
     from repro.pipeline import translate_many
 
     jobs = corpus_jobs()
@@ -88,7 +150,8 @@ def main(argv=None) -> int:
     print(f"serial pass: {time.perf_counter() - t0:.2f}s")
 
     t0 = time.perf_counter()
-    parallel = snapshot(translate_many(jobs, parallel=True))
+    parallel = snapshot(translate_many(jobs, parallel=True,
+                                       max_workers=args.workers))
     print(f"parallel pass: {time.perf_counter() - t0:.2f}s")
 
     problems = diff_snapshots("serial", serial, "parallel", parallel)
@@ -97,13 +160,25 @@ def main(argv=None) -> int:
         problems += diff_snapshots("serial", serial,
                                    f"serial-rerun-{i + 2}", rerun)
 
+    if args.fault_plan:
+        plan = build_plan(args.fault_plan, jobs)
+        print(f"fault plan: {plan.spec}")
+        t0 = time.perf_counter()
+        faulted_results = translate_many(
+            jobs, parallel=True, max_workers=args.workers,
+            timeout=args.timeout, retries=args.retries, fault_plan=plan)
+        print(f"fault-injected pass: {time.perf_counter() - t0:.2f}s")
+        print(render_batch_stats(faulted_results))
+        problems += check_fault_pass(serial, snapshot(faulted_results), plan)
+
     ok = sum(1 for v in serial.values() if v[0])
     print(f"{ok}/{len(jobs)} jobs translate; "
           f"{len(jobs) - ok} expected Table-3 failures")
     if problems:
         print(f"FAILED: {problems} divergence(s)")
         return 1
-    print("OK: serial and parallel outputs are byte-identical")
+    print("OK: all passes agree byte-for-byte "
+          "(outside injected fault targets)")
     return 0
 
 

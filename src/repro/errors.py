@@ -122,3 +122,35 @@ class TranslationNotSupported(TranslationError):
 class PassOrderError(ReproError):
     """A translation pass was registered before one it depends on (or
     twice); raised by :class:`repro.translate.passes.PassManager`."""
+
+
+# ---------------------------------------------------------------------------
+# Batch pipeline
+# ---------------------------------------------------------------------------
+
+class BatchError(ReproError):
+    """Base class for batch-pipeline infrastructure failures.
+
+    These describe the *execution* of a job (the worker died, the job ran
+    out of wall-clock), never the translation itself; ``translate_many``
+    reports them as structured :class:`~repro.pipeline.batch.JobResult`
+    fields instead of raising, so one bad job cannot abort a corpus run.
+    """
+
+
+class JobTimeout(BatchError):
+    """A batch job exceeded its per-job wall-clock timeout."""
+
+    def __init__(self, job_name: str, seconds: float) -> None:
+        self.job_name = job_name
+        self.seconds = seconds
+        super().__init__(f"job {job_name!r} exceeded the per-job "
+                         f"timeout of {seconds:g}s")
+
+
+class WorkerCrash(BatchError):
+    """The worker process running a batch job died unexpectedly.
+
+    Also raised (in-process) by the fault-injection ``crash`` action when
+    the batch runs serially, where killing a real worker is impossible.
+    """

@@ -1,9 +1,11 @@
 """Evaluation harness: application runners, figure/table regeneration."""
 
-from .runner import (SHARED_TRANSLATION_CACHE, RunResult, run_cuda_app,
-                     run_cuda_translated, run_opencl_app,
-                     run_opencl_translated, shared_translation_cache)
+from .runner import (SHARED_TRANSLATION_CACHE, RunResult, corpus_jobs,
+                     run_cuda_app, run_cuda_translated, run_opencl_app,
+                     run_opencl_translated, shared_translation_cache,
+                     translate_corpus)
 
 __all__ = ["RunResult", "run_opencl_app", "run_opencl_translated",
            "run_cuda_app", "run_cuda_translated",
-           "SHARED_TRANSLATION_CACHE", "shared_translation_cache"]
+           "SHARED_TRANSLATION_CACHE", "shared_translation_cache",
+           "corpus_jobs", "translate_corpus"]

@@ -4,13 +4,17 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from typing import Sequence, Union
+
+from ..pipeline.batch import BatchStats, JobResult
 from ..pipeline.cache import TranslationCache
 from ..translate.passes import PipelineStats
 from .figures import FigureData
 from .tables import PAPER_TABLE1, PAPER_TABLE3_COUNTS, Table1, Table3
 
 __all__ = ["render_figure", "render_table1", "render_table2",
-           "render_table3", "render_cache_stats", "render_pass_stats"]
+           "render_table3", "render_cache_stats", "render_pass_stats",
+           "render_batch_stats"]
 
 _SERIES_LABELS = {
     "opencl": "orig OpenCL (Titan)",
@@ -82,6 +86,25 @@ def render_cache_stats(cache: TranslationCache,
     out.append(f"  puts {s.puts}  evictions {s.evictions}  "
                f"invalidations {s.invalidations}  "
                f"disk hits {s.disk_hits}  disk writes {s.disk_writes}")
+    return "\n".join(out)
+
+
+def render_batch_stats(results: "Union[BatchStats, Sequence[JobResult]]",
+                       title: str = "batch translation") -> str:
+    """Fault-isolation counters of one batch, next to the cache stats.
+
+    Accepts either a finished ``translate_many`` result list or a
+    pre-aggregated :class:`~repro.pipeline.batch.BatchStats`.
+    """
+    s = results if isinstance(results, BatchStats) \
+        else BatchStats.from_results(results)
+    out = [f"{title}: {s.total} jobs  {s.ok} ok ({s.cached} cached)  "
+           f"{s.failed} failed"]
+    out.append(f"  retries {s.retries}  timeouts {s.timeouts}  "
+               f"worker crashes {s.crashes}")
+    if s.by_class:
+        shown = ", ".join(f"{k} {v}" for k, v in sorted(s.by_class.items()))
+        out.append(f"  failures by class: {shown}")
     return "\n".join(out)
 
 

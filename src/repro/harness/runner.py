@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..clike import parse
 from ..clike.hostlib import HostEnv, _ExitSignal
@@ -43,7 +43,8 @@ from ..translate.ocl2cuda.wrappers import Ocl2CudaFramework
 
 __all__ = ["RunResult", "run_opencl_app", "run_opencl_translated",
            "run_cuda_app", "run_cuda_translated",
-           "SHARED_TRANSLATION_CACHE", "shared_translation_cache"]
+           "SHARED_TRANSLATION_CACHE", "shared_translation_cache",
+           "corpus_jobs", "translate_corpus"]
 
 #: env-constant name under which the kernel source is handed to OpenCL
 #: host programs (stands in for reading kernel.cl from disk)
@@ -142,6 +143,42 @@ def _run_host(unit, env: HostEnv, dialect: str,
     except _ExitSignal as e:
         return e.code
     return int(ret) if ret is not None else 0
+
+
+def corpus_jobs(apps: Optional[Sequence[Any]] = None) -> List[Any]:
+    """One :class:`~repro.pipeline.batch.TranslationJob` per applicable
+    (app, direction) over the corpus — the job list behind every Table-3
+    analysis and figure run, shared with ``scripts/check_determinism.py``.
+    """
+    from ..apps.base import all_apps
+    from ..pipeline.batch import TranslationJob
+    selected = list(apps) if apps is not None else list(all_apps())
+    jobs = [TranslationJob(name=f"{a.suite}/{a.name}", direction="cuda2ocl",
+                           source=a.cuda_source)
+            for a in selected if a.cuda_translatable]
+    jobs += [TranslationJob(name=f"{a.suite}/{a.name}", direction="ocl2cuda",
+                            source=a.opencl_kernels,
+                            host_source=a.opencl_host or "")
+             for a in selected if a.has_opencl]
+    return jobs
+
+
+def translate_corpus(apps: Optional[Sequence[Any]] = None, *,
+                     cache: CacheArg = _SHARED, parallel: bool = True,
+                     timeout: Optional[float] = None,
+                     retries: Optional[int] = None,
+                     fault_plan: Any = None) -> List[Any]:
+    """Fan the whole corpus through the fault-isolated batch pipeline.
+
+    Serves results from the shared translation cache by default; pass the
+    fault-isolation knobs through to
+    :func:`~repro.pipeline.batch.translate_many`.  Render the outcome with
+    ``repro.harness.report.render_batch_stats``.
+    """
+    from ..pipeline.batch import translate_many
+    return translate_many(corpus_jobs(apps), cache=_resolve_cache(cache),
+                          parallel=parallel, timeout=timeout,
+                          retries=retries, fault_plan=fault_plan)
 
 
 def run_opencl_app(name: str, host_source: str, kernel_source: str,

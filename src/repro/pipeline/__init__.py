@@ -2,14 +2,20 @@
 
 The scale layer over :mod:`repro.translate`: translate once, reuse
 everywhere (:class:`TranslationCache`), and fan whole-corpus translation
-out over worker processes (:func:`translate_many`).  Cached, uncached,
-serial, and parallel paths are bit-for-bit identical — see
-``tests/translate/test_golden_corpus.py`` and
-``tests/integration/test_cache_equivalence.py``.
+out over worker processes (:func:`translate_many`) with full fault
+isolation — per-job failure capture, wall-clock timeouts, and bounded
+retries (:mod:`repro.pipeline.batch`), provable via deterministic fault
+injection (:class:`FaultPlan`).  Cached, uncached, serial, parallel, and
+retried paths are bit-for-bit identical — see
+``tests/translate/test_golden_corpus.py``,
+``tests/integration/test_cache_equivalence.py``, and
+``tests/pipeline/test_faults.py``.
 """
 
-from .batch import JobResult, TranslationJob, translate_many
+from .batch import BatchStats, JobResult, TranslationJob, translate_many
 from .cache import CacheStats, TranslationCache, cache_key, result_sources
+from .faults import FaultAction, FaultPlan
 
 __all__ = ["TranslationCache", "CacheStats", "cache_key", "result_sources",
-           "TranslationJob", "JobResult", "translate_many"]
+           "TranslationJob", "JobResult", "BatchStats", "translate_many",
+           "FaultAction", "FaultPlan"]

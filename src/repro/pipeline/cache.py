@@ -172,12 +172,17 @@ class TranslationCache:
             return removed
 
     def clear(self, disk: bool = False) -> None:
-        """Empty the in-memory tier (and the disk tier when ``disk``)."""
+        """Empty the in-memory tier (and the disk tier when ``disk``).
+
+        Clearing the disk tier also reaps orphaned ``.tmp`` files left
+        behind by ``_disk_store`` writes interrupted mid-flight.
+        """
         with self._lock:
             self._mem.clear()
             if disk and self.cache_dir is not None and self.cache_dir.exists():
-                for p in self.cache_dir.glob("*/*.json"):
-                    p.unlink()
+                for pattern in ("*/*.json", "*/*.tmp"):
+                    for p in self.cache_dir.glob(pattern):
+                        p.unlink()
 
     # -- introspection ------------------------------------------------------
 
@@ -185,7 +190,17 @@ class TranslationCache:
         return len(self._mem)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._mem
+        """True when ``key`` is resident in either tier.
+
+        Pure existence check: neither the LRU order nor the hit/miss
+        counters move, and the disk artifact is not loaded (a corrupt
+        artifact still counts as present until a ``get`` discards it).
+        """
+        with self._lock:
+            if key in self._mem:
+                return True
+            path = self._artifact_path(key)
+            return path is not None and path.exists()
 
     def keys(self) -> Iterator[str]:
         with self._lock:
@@ -206,6 +221,14 @@ class TranslationCache:
             self.stats.evictions += 1
 
     # -- disk tier ----------------------------------------------------------
+
+    def artifact_path(self, key: str) -> Optional[Path]:
+        """Where ``key``'s disk artifact lives (None without a disk tier).
+
+        The file need not exist; used by introspection and by the
+        fault-injection layer to target artifacts.
+        """
+        return self._artifact_path(key)
 
     def _artifact_path(self, key: str) -> Optional[Path]:
         if self.cache_dir is None:

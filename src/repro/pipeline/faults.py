@@ -1,0 +1,247 @@
+"""Deterministic fault injection for the batch pipeline.
+
+``translate_many`` must keep the paper's corpus sweeps (Rodinia, SNU NPB,
+the Toolkit samples — §6) alive through any single misbehaving job.  That
+guarantee is only worth something if it is *tested*, and testing it needs
+reproducible pathologies: a job that raises an arbitrary exception, a job
+that hangs past the timeout, a worker that dies mid-batch, a cache
+artifact that gets corrupted on disk.  A :class:`FaultPlan` injects
+exactly those, deterministically, at named points:
+
+* ``fail:<target>[:count][:ExcName]`` — raise ``ExcName`` (a builtin
+  exception, default ``RuntimeError``) inside the job;
+* ``hang:<target>[:count][:seconds]`` — sleep ``seconds`` (default 30)
+  inside a pooled job, tripping the per-job timeout (serial runs sleep a
+  nominal 10 ms instead — there is nothing to time out in-process);
+* ``crash:<target>[:count]`` — ``os._exit`` the worker process (serial
+  runs raise :class:`~repro.errors.WorkerCrash` in-process instead);
+* ``badresult:<target>[:count]`` — make the job's result unpicklable, so
+  returning it across the process boundary fails (pooled runs only);
+* ``corrupt:<target>[:count][:payload|tmp]`` — after the result is
+  written to the disk cache tier, corrupt the artifact: ``payload``
+  (default) rewrites the compressed payload with garbage, ``tmp``
+  simulates a crash mid-write (a half-written ``.tmp`` file and no final
+  artifact).
+
+``target`` is an ``fnmatch`` pattern over the job *name*; ``count`` is how
+many times the action fires (default 1, ``0`` = every attempt).  Items are
+``;``-separated.  The plan can come from the ``REPRO_FAULT_PLAN``
+environment variable — picked up by every ``translate_many`` call — or be
+passed explicitly (``translate_many(..., fault_plan=...)``).
+
+"Fires ``count`` times" is enforced across worker processes and retries
+through marker files in ``state_dir`` (claimed with ``O_CREAT|O_EXCL``, so
+exactly one attempt wins each marker regardless of scheduling);
+``translate_many`` provisions a fresh state dir per batch when the plan
+does not carry one, giving per-batch once-semantics.
+"""
+
+from __future__ import annotations
+
+import base64
+import builtins
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, replace
+from fnmatch import fnmatchcase
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import WorkerCrash
+
+__all__ = ["FAULT_PLAN_ENV", "FaultAction", "FaultPlan", "UnpicklableResult"]
+
+#: environment variable holding a fault-plan spec string
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: recognised action kinds (see module docstring for semantics)
+KINDS = ("fail", "hang", "crash", "badresult", "corrupt")
+
+#: default sleep of a ``hang`` action without an explicit duration
+DEFAULT_HANG_S = 30.0
+
+#: nominal delay a ``hang`` action inserts in serial (in-process) runs
+SERIAL_HANG_S = 0.01
+
+
+class UnpicklableResult:
+    """Wrapper whose pickling always fails (``badresult`` injection)."""
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+
+    def __reduce__(self):
+        import pickle
+        raise pickle.PicklingError("injected unpicklable job result")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One injection: ``kind:target[:count][:arg]`` (see module docstring)."""
+
+    kind: str
+    target: str                 # fnmatch pattern over the job name
+    count: int = 1              # how many times it fires; 0 = every attempt
+    arg: str = ""               # exception name / seconds / corrupt mode
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {KINDS}")
+        if not self.target:
+            raise ValueError(f"fault action {self.kind!r} needs a target")
+
+    @property
+    def spec(self) -> str:
+        item = f"{self.kind}:{self.target}:{self.count}"
+        return f"{item}:{self.arg}" if self.arg else item
+
+    def matches(self, name: str) -> bool:
+        return fnmatchcase(name, self.target)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`FaultAction`\\ s plus once-only state.
+
+    Immutable and picklable: the batch pipeline ships the plan to worker
+    processes as a plain submit argument, so it works under any
+    multiprocessing start method.
+    """
+
+    actions: Tuple[FaultAction, ...] = ()
+    state_dir: Optional[str] = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``;``-separated spec string (see module docstring)."""
+        actions: List[FaultAction] = []
+        for item in spec.split(";"):
+            item = item.strip()
+            if not item:
+                continue
+            parts = item.split(":")
+            if len(parts) < 2 or len(parts) > 4:
+                raise ValueError(f"malformed fault item {item!r}; expected "
+                                 f"kind:target[:count][:arg]")
+            kind, target = parts[0].strip(), parts[1].strip()
+            count = int(parts[2]) if len(parts) > 2 and parts[2] != "" else 1
+            arg = parts[3].strip() if len(parts) > 3 else ""
+            actions.append(FaultAction(kind, target, count, arg))
+        return cls(actions=tuple(actions))
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan from ``$REPRO_FAULT_PLAN``, or None when unset/empty."""
+        spec = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        return cls.parse(spec) if spec else None
+
+    @classmethod
+    def smoke(cls, names: Sequence[str]) -> "FaultPlan":
+        """The standard smoke plan over four distinct job names: one
+        injected failure, one hang, one worker crash, one unpicklable
+        result.  ``names`` must each identify exactly one job."""
+        picks = list(dict.fromkeys(names))[:4]
+        if len(picks) < 4:
+            raise ValueError("smoke plan needs at least four distinct "
+                             f"job names; got {picks!r}")
+        return cls.parse(
+            f"fail:{picks[0]}:1:RecursionError;"
+            f"hang:{picks[1]}:1:{DEFAULT_HANG_S:g};"
+            f"crash:{picks[2]}:1;"
+            f"badresult:{picks[3]}:1")
+
+    def with_state_dir(self, state_dir: str) -> "FaultPlan":
+        return replace(self, state_dir=state_dir)
+
+    @property
+    def spec(self) -> str:
+        return ";".join(a.spec for a in self.actions)
+
+    # -- application --------------------------------------------------------
+
+    def apply(self, name: str, attempt: int, in_pool: bool) -> Tuple[str, ...]:
+        """Fire every matching job-side action for ``name``.
+
+        Called at the top of ``_translate_job``.  ``fail`` and (serial)
+        ``crash`` raise; ``hang`` sleeps; the returned tuple carries
+        deferred effects the caller must honour (``"badresult"``).
+        """
+        effects: List[str] = []
+        for idx, action in enumerate(self.actions):
+            if action.kind == "corrupt" or not action.matches(name):
+                continue
+            if action.kind == "badresult" and not in_pool:
+                continue            # pickling never happens in-process
+            if not self._claim(idx, name, attempt, action.count):
+                continue
+            if action.kind == "fail":
+                raise self._exception(action, name)
+            if action.kind == "crash":
+                if in_pool:
+                    os._exit(99)
+                raise WorkerCrash(f"injected worker crash for job {name!r}")
+            if action.kind == "hang":
+                seconds = float(action.arg) if action.arg else DEFAULT_HANG_S
+                time.sleep(seconds if in_pool else SERIAL_HANG_S)
+            elif action.kind == "badresult":
+                effects.append("badresult")
+        return tuple(effects)
+
+    def corrupt_artifact(self, cache: Any, key: str, name: str) -> bool:
+        """Fire matching ``corrupt`` actions against ``name``'s artifact.
+
+        Called by ``translate_many`` right after a successful result is
+        written to ``cache``; True if an artifact was damaged.
+        """
+        corrupted = False
+        for idx, action in enumerate(self.actions):
+            if action.kind != "corrupt" or not action.matches(name):
+                continue
+            path = cache.artifact_path(key)
+            if path is None or not path.exists():
+                continue
+            if not self._claim(idx, name, 1, action.count):
+                continue
+            text = path.read_text(encoding="utf-8")
+            if (action.arg or "payload") == "tmp":
+                # crash mid-write: a half-written temp file, no artifact
+                path.with_suffix(".tmp").write_text(text[: len(text) // 2],
+                                                    encoding="utf-8")
+                path.unlink()
+            else:
+                artifact = json.loads(text)
+                artifact["payload"] = base64.b64encode(
+                    b"injected corruption").decode("ascii")
+                path.write_text(json.dumps(artifact), encoding="utf-8")
+            corrupted = True
+        return corrupted
+
+    # -- internals ----------------------------------------------------------
+
+    def _claim(self, idx: int, name: str, attempt: int, count: int) -> bool:
+        if count <= 0:
+            return True
+        if self.state_dir:
+            safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+            for k in range(count):
+                marker = os.path.join(self.state_dir, f"{idx}-{safe}-{k}")
+                try:
+                    fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    continue
+                os.close(fd)
+                return True
+            return False
+        return attempt <= count
+
+    @staticmethod
+    def _exception(action: FaultAction, name: str) -> Exception:
+        exc_type = getattr(builtins, action.arg or "RuntimeError", None)
+        if not (isinstance(exc_type, type)
+                and issubclass(exc_type, Exception)):
+            exc_type = RuntimeError
+        return exc_type(f"injected fault [{action.spec}] in job {name!r}")

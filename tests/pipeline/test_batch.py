@@ -101,3 +101,39 @@ def test_job_key_matches_cache_key_contract():
 
 def test_empty_batch():
     assert translate_many([]) == []
+
+
+# -- regression: failures that used to crash the whole batch ----------------
+
+def test_stdlib_exception_is_captured_as_structured_job_result(monkeypatch):
+    # _translate_job used to catch only ReproError subclasses, so a plain
+    # ValueError out of the frontend aborted every sibling job
+    import repro.translate.api as api
+
+    def boom(*args, **kwargs):
+        raise ValueError("frontend exploded")
+
+    monkeypatch.setattr(api, "translate_cuda_program", boom)
+    good = get_app("rodinia", "bfs")
+    jobs = [_job(good), _job(good, "ocl2cuda")]
+    results = translate_many(jobs, parallel=False)
+    assert [r.ok for r in results] == [False, True]
+    bad = results[0]
+    assert bad.error_class == "internal" and bad.error_type == "ValueError"
+    assert bad.error_message == "frontend exploded"
+    assert bad.error_traceback and "boom" in bad.error_traceback
+
+
+def test_unpicklable_result_does_not_crash_the_batch():
+    # _run_pending's except tuple was missing PicklingError, so one
+    # unpicklable job result used to take down the entire pooled batch
+    from repro.pipeline import FaultPlan
+    apps = [a for a in all_apps() if a.cuda_translatable][:4]
+    jobs = [_job(a) for a in apps]
+    plan = FaultPlan.parse(f"badresult:{jobs[2].name}:1")
+    results = translate_many(jobs, max_workers=2, fault_plan=plan)
+    assert all(r.ok for r in results)
+    serial = translate_many(jobs, parallel=False)
+    for s, p in zip(serial, results):
+        assert (s.host_source, s.device_source) == \
+            (p.host_source, p.device_source)

@@ -151,6 +151,44 @@ def test_tampered_payload_is_rejected(tmp_path):
     assert c2.get("cafebabe") is None
 
 
+def test_contains_sees_disk_tier_without_touching_lru_or_stats(tmp_path):
+    # __contains__ used to read only the memory tier (unlocked): a key
+    # resident on disk looked absent, and probing it perturbed nothing
+    # observable — keep it a pure existence check over both tiers
+    c1 = TranslationCache(cache_dir=tmp_path)
+    c1.put("deadbeef", "payload")
+
+    c2 = TranslationCache(cache_dir=tmp_path)   # cold memory tier
+    assert "deadbeef" in c2
+    assert "feedface" not in c2
+    assert c2.stats.lookups == 0 and c2.stats.hits == 0
+    assert len(c2) == 0                          # not promoted to memory
+
+
+def test_contains_does_not_disturb_lru_order():
+    c = TranslationCache(capacity=2)
+    c.put("k1", "r1")
+    c.put("k2", "r2")
+    assert "k1" in c                 # must NOT refresh k1's recency
+    c.put("k3", "r3")                # so k1 is still the eviction victim
+    assert c.get("k1") is None and c.get("k2") == "r2"
+
+
+def test_clear_disk_reaps_orphaned_tmp_files(tmp_path):
+    # a crash between the .tmp write and the atomic rename leaves debris
+    # that clear(disk=True) used to miss
+    c = TranslationCache(cache_dir=tmp_path)
+    c.put("deadbeef", "payload")
+    stray = tmp_path / "de" / "deadbeef.tmp"
+    stray.write_text("{half-written", encoding="utf-8")
+    assert c.get("deadbeef") == "payload"        # .tmp never shadows .json
+    c.clear(disk=True)
+    assert not stray.exists()
+    assert not list(tmp_path.glob("*/*.json"))
+    c2 = TranslationCache(cache_dir=tmp_path)
+    assert c2.get("deadbeef") is None
+
+
 def test_invalidate_removes_disk_artifact(tmp_path):
     c = TranslationCache(cache_dir=tmp_path)
     c.put("k", "r")

@@ -1,0 +1,362 @@
+"""Fault-isolation tests for the batch pipeline.
+
+Every pathology ``translate_many`` promises to survive is injected here
+deterministically via :class:`repro.pipeline.faults.FaultPlan` — arbitrary
+exceptions inside a job, hung jobs tripping the per-job timeout, worker
+processes dying mid-batch, unpicklable results, and corrupted disk-cache
+artifacts — and the batch must come back with exactly the targeted jobs
+failed (or retried) and every other result byte-identical to a fault-free
+serial run.
+
+The container may report a single CPU, which makes the default worker
+count collapse to the serial path; pooled tests therefore always pass
+``max_workers=`` explicitly.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.apps.base import all_apps, get_app
+from repro.errors import BatchError, JobTimeout, ReproError, WorkerCrash
+from repro.harness.report import render_batch_stats
+from repro.harness.runner import corpus_jobs
+from repro.pipeline import (BatchStats, FaultAction, FaultPlan,
+                            TranslationCache, TranslationJob, translate_many)
+from repro.pipeline.faults import FAULT_PLAN_ENV, UnpicklableResult
+
+#: per-job wall-clock limit used by the timeout tests: far above a real
+#: translation (~15 ms) and far below the injected hangs (20-30 s)
+TIMEOUT_S = 1.5
+
+#: nesting deep enough to exhaust the recursive-descent parser's stack
+DEEP_NESTING = 6000
+
+
+def _job(app, direction="cuda2ocl"):
+    if direction == "cuda2ocl":
+        return TranslationJob(name=app.name, direction="cuda2ocl",
+                              source=app.cuda_source)
+    return TranslationJob(name=app.name, direction="ocl2cuda",
+                          source=app.opencl_kernels,
+                          host_source=app.opencl_host or "")
+
+
+def _sources(result):
+    return (result.host_source, result.device_source)
+
+
+def _some_jobs(n):
+    apps = [a for a in all_apps() if a.cuda_translatable][:n]
+    assert len(apps) == n
+    return [_job(a) for a in apps]
+
+
+# -- FaultPlan parsing / construction ----------------------------------------
+
+def test_parse_roundtrip_and_defaults():
+    plan = FaultPlan.parse("fail:a/b;hang:x*:0:5;crash:c:2;"
+                           "badresult:d;corrupt:e:1:tmp")
+    kinds = [a.kind for a in plan.actions]
+    assert kinds == ["fail", "hang", "crash", "badresult", "corrupt"]
+    assert plan.actions[0].count == 1 and plan.actions[0].arg == ""
+    assert plan.actions[1].count == 0 and plan.actions[1].arg == "5"
+    assert plan.actions[2].count == 2
+    assert FaultPlan.parse(plan.spec).actions == plan.actions
+
+
+def test_parse_rejects_unknown_kind_and_malformed_items():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.parse("explode:x")
+    with pytest.raises(ValueError, match="malformed fault item"):
+        FaultPlan.parse("fail")
+    with pytest.raises(ValueError, match="needs a target"):
+        FaultAction("fail", "")
+
+
+def test_plan_from_env(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    assert FaultPlan.from_env() is None
+    monkeypatch.setenv(FAULT_PLAN_ENV, "fail:rodinia/*:1:ValueError")
+    plan = FaultPlan.from_env()
+    assert plan is not None and plan.actions[0].matches("rodinia/bfs")
+    assert not plan.actions[0].matches("npb/ep")
+
+
+def test_smoke_plan_covers_all_transient_kinds():
+    plan = FaultPlan.smoke(["a", "b", "c", "d", "e"])
+    assert sorted(a.kind for a in plan.actions) == \
+        ["badresult", "crash", "fail", "hang"]
+    with pytest.raises(ValueError, match="four distinct"):
+        FaultPlan.smoke(["a", "b", "a", "b"])
+
+
+def test_plan_is_picklable_for_pool_submission(tmp_path):
+    plan = FaultPlan.parse("crash:x:1").with_state_dir(str(tmp_path))
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.actions == plan.actions and clone.state_dir == str(tmp_path)
+
+
+def test_unpicklable_result_really_is():
+    with pytest.raises(pickle.PicklingError):
+        pickle.dumps(UnpicklableResult("x"))
+
+
+def test_batch_error_hierarchy():
+    assert issubclass(JobTimeout, BatchError)
+    assert issubclass(WorkerCrash, BatchError)
+    assert issubclass(BatchError, ReproError)
+    assert "0.5" in str(JobTimeout("j", 0.5))
+
+
+# -- exception capture (the crash-the-batch bugs) ----------------------------
+
+def test_injected_stdlib_exception_is_captured_not_raised():
+    jobs = _some_jobs(3)
+    plan = FaultPlan.parse(f"fail:{jobs[1].name}:1:ValueError")
+    results = translate_many(jobs, parallel=False, fault_plan=plan)
+    assert [r.ok for r in results] == [True, False, True]
+    bad = results[1]
+    assert bad.error_class == "internal" and bad.error_type == "ValueError"
+    assert "injected fault" in bad.error_message
+    assert bad.error_traceback and "faults.py" in bad.error_traceback
+
+
+def test_natural_recursion_error_does_not_abort_pool():
+    good = get_app("rodinia", "bfs")
+    deep = ("int main() { int x = " + "(" * DEEP_NESTING + "1"
+            + ")" * DEEP_NESTING + "; return 0; }")
+    jobs = [_job(good),
+            TranslationJob(name="evil", direction="cuda2ocl", source=deep),
+            _job(good, "ocl2cuda")]
+    results = translate_many(jobs, max_workers=2)
+    assert [r.ok for r in results] == [True, False, True]
+    evil = results[1]
+    assert evil.error_class == "internal"
+    assert evil.error_type == "RecursionError"
+    assert evil.error_traceback and ":" in evil.error_traceback
+
+
+# -- worker crashes ----------------------------------------------------------
+
+def test_worker_crash_is_retried_and_survivors_kept():
+    jobs = _some_jobs(6)
+    clean = translate_many(jobs, parallel=False, retries=0)
+    plan = FaultPlan.parse(f"crash:{jobs[2].name}:1")
+    results = translate_many(jobs, retries=1, max_workers=3,
+                             fault_plan=plan)
+    assert all(r.ok for r in results)
+    crashed = results[2]
+    assert crashed.attempts == 2 and "crash" in crashed.error_history
+    for c, r in zip(clean, results):
+        assert _sources(r) == _sources(c)
+
+
+def test_persistent_crasher_is_quarantined_and_innocents_exonerated():
+    jobs = _some_jobs(6)
+    clean = translate_many(jobs, parallel=False, retries=0)
+    plan = FaultPlan.parse(f"crash:{jobs[1].name}:0")
+    results = translate_many(jobs, retries=1, max_workers=3,
+                             fault_plan=plan)
+    culprit = results[1]
+    assert not culprit.ok and culprit.error_class == "crash"
+    assert culprit.error_type == "WorkerCrash"
+    assert culprit.attempts >= 2
+    for i, r in enumerate(results):
+        if i != 1:
+            assert r.ok, (i, r.error_class, r.error_message)
+            assert _sources(r) == _sources(clean[i])
+
+
+def test_serial_mode_degrades_crash_to_in_process_retry():
+    jobs = _some_jobs(3)
+    plan = FaultPlan.parse(f"crash:{jobs[1].name}:1")
+    results = translate_many(jobs, parallel=False, retries=1,
+                             fault_plan=plan)
+    assert all(r.ok for r in results)
+    assert results[1].attempts == 2
+    assert results[1].error_history == ("crash",)
+
+
+def test_serial_crash_with_no_retries_is_a_structured_failure():
+    jobs = _some_jobs(2)
+    plan = FaultPlan.parse(f"crash:{jobs[0].name}:0")
+    results = translate_many(jobs, parallel=False, retries=0,
+                             fault_plan=plan)
+    assert not results[0].ok and results[0].error_class == "crash"
+    assert results[1].ok
+
+
+# -- timeouts ----------------------------------------------------------------
+
+def test_hung_job_times_out_then_succeeds_on_retry():
+    jobs = _some_jobs(6)
+    clean = translate_many(jobs, parallel=False, retries=0)
+    plan = FaultPlan.parse(f"hang:{jobs[3].name}:1:30")
+    results = translate_many(jobs, timeout=TIMEOUT_S, retries=1,
+                             max_workers=3, fault_plan=plan)
+    assert all(r.ok for r in results)
+    hung = results[3]
+    assert hung.attempts == 2 and hung.error_history == ("timeout",)
+    for c, r in zip(clean, results):
+        assert _sources(r) == _sources(c)
+
+
+def test_hung_job_exhausts_retries_without_stalling_siblings():
+    jobs = _some_jobs(6)
+    plan = FaultPlan.parse(f"hang:{jobs[2].name}:0:30")
+    results = translate_many(jobs, timeout=TIMEOUT_S, retries=1,
+                             max_workers=3, fault_plan=plan)
+    hung = results[2]
+    assert not hung.ok and hung.error_class == "timeout"
+    assert hung.error_type == "JobTimeout"
+    assert hung.attempts == 2 and hung.error_history == ("timeout",)
+    assert all(r.ok for i, r in enumerate(results) if i != 2)
+
+
+def test_fully_starved_pool_recycles_queued_jobs():
+    # both workers hang; the queued jobs must neither inherit the hang's
+    # timeout nor be lost when the stuck pool is recycled
+    jobs = _some_jobs(6)
+    plan = FaultPlan.parse(f"hang:{jobs[0].name}:0:30;"
+                           f"hang:{jobs[1].name}:0:30")
+    results = translate_many(jobs, timeout=TIMEOUT_S, retries=0,
+                             max_workers=2, fault_plan=plan)
+    assert [r.error_class for r in results[:2]] == ["timeout", "timeout"]
+    for r in results[2:]:
+        assert r.ok and r.attempts == 1 and r.error_history == ()
+
+
+# -- unpicklable results -----------------------------------------------------
+
+def test_unpicklable_result_is_recovered_in_process():
+    jobs = _some_jobs(4)
+    clean = translate_many(jobs, parallel=False, retries=0)
+    plan = FaultPlan.parse(f"badresult:{jobs[1].name}:1")
+    results = translate_many(jobs, max_workers=2, fault_plan=plan)
+    assert all(r.ok for r in results)
+    # the in-process re-run returns the real result, not the wrapper
+    assert not isinstance(results[1].result, UnpicklableResult)
+    for c, r in zip(clean, results):
+        assert _sources(r) == _sources(c)
+
+
+# -- cache corruption --------------------------------------------------------
+
+def test_corrupt_payload_artifact_is_a_miss_and_reaped(tmp_path):
+    app = get_app("rodinia", "bfs")
+    job = _job(app)
+    cache = TranslationCache(cache_dir=tmp_path)
+    plan = FaultPlan.parse(f"corrupt:{job.name}:1:payload")
+    (first,) = translate_many([job], cache=cache, fault_plan=plan)
+    assert first.ok and not first.cached
+    path = cache.artifact_path(job.key())
+    assert path.exists()
+
+    fresh = TranslationCache(cache_dir=tmp_path)   # cold memory tier
+    assert fresh.get(job.key()) is None            # corrupt -> miss
+    assert not path.exists()                       # ... and reaped
+    (again,) = translate_many([job], cache=fresh)
+    assert again.ok and not again.cached
+    assert _sources(again) == _sources(first)
+
+
+def test_mid_write_crash_leaves_no_visible_entry(tmp_path):
+    app = get_app("rodinia", "bfs")
+    job = _job(app)
+    cache = TranslationCache(cache_dir=tmp_path)
+    plan = FaultPlan.parse(f"corrupt:{job.name}:1:tmp")
+    (first,) = translate_many([job], cache=cache, fault_plan=plan)
+    assert first.ok
+    assert not list(tmp_path.glob("*/*.json"))     # artifact never landed
+    (tmp_file,) = tmp_path.glob("*/*.tmp")         # half-written leftover
+
+    fresh = TranslationCache(cache_dir=tmp_path)
+    assert job.key() not in fresh
+    assert fresh.get(job.key()) is None
+    fresh.clear(disk=True)
+    assert not tmp_file.exists()                   # clear reaps the debris
+
+
+# -- env-driven plans --------------------------------------------------------
+
+def test_plan_and_policy_resolve_from_environment(monkeypatch):
+    jobs = _some_jobs(3)
+    monkeypatch.setenv(FAULT_PLAN_ENV, f"crash:{jobs[0].name}:0")
+    monkeypatch.setenv("REPRO_JOB_RETRIES", "0")
+    results = translate_many(jobs, parallel=False)
+    assert not results[0].ok and results[0].error_class == "crash"
+    assert all(r.ok for r in results[1:])
+
+
+def test_explicit_plan_overrides_environment(monkeypatch):
+    jobs = _some_jobs(2)
+    monkeypatch.setenv(FAULT_PLAN_ENV, f"fail:{jobs[0].name}:0")
+    results = translate_many(jobs, parallel=False,
+                             fault_plan=FaultPlan.parse(f"fail:no-such:1"))
+    assert all(r.ok for r in results)
+
+
+# -- reporting ---------------------------------------------------------------
+
+def test_batch_stats_and_rendering():
+    jobs = _some_jobs(5)
+    plan = FaultPlan.parse(f"fail:{jobs[0].name}:1:ValueError;"
+                           f"crash:{jobs[2].name}:1")
+    results = translate_many(jobs, retries=1, max_workers=2,
+                             fault_plan=plan)
+    stats = BatchStats.from_results(results)
+    assert stats.total == 5 and stats.failed == 1
+    assert stats.by_class == {"internal": 1}
+    assert stats.crashes >= 1 and stats.retries >= 1
+    assert stats.as_dict()["failed"] == 1
+    text = render_batch_stats(results)
+    assert "5 jobs" in text and "1 failed" in text
+    assert "internal 1" in text
+    assert render_batch_stats(stats).splitlines()[0] in text
+
+
+# -- the acceptance scenario -------------------------------------------------
+
+def test_fifty_job_batch_survives_recursion_hang_and_crash():
+    """ISSUE acceptance: 50 golden-corpus jobs with an injected
+    RecursionError, one hung job, and one worker crash complete with
+    exactly those jobs failed/retried; everything else is byte-identical
+    to a fault-free serial run."""
+    base = corpus_jobs()
+    assert len(base) >= 50
+    # direction-suffixed names so every fault targets exactly one job
+    jobs = [TranslationJob(name=f"{j.name}@{j.direction}",
+                           direction=j.direction, source=j.source,
+                           host_source=j.host_source)
+            for j in base[:50]]
+    crash_target = jobs[2].name    # first dispatch window (4 workers)
+    recursion_target = jobs[7].name
+    hang_target = jobs[30].name    # dispatched well after the crash fired
+
+    clean = translate_many(jobs, parallel=False, retries=0)
+    assert all(r.ok for r in clean)
+
+    plan = FaultPlan.parse(f"fail:{recursion_target}:1:RecursionError;"
+                           f"hang:{hang_target}:1:30;"
+                           f"crash:{crash_target}:1")
+    results = translate_many(jobs, timeout=2.0, retries=2, max_workers=4,
+                             fault_plan=plan)
+
+    failed = [r.job.name for r in results if not r.ok]
+    assert failed == [recursion_target]
+    assert results[7].error_class == "internal"
+    assert results[7].error_type == "RecursionError"
+
+    assert results[2].ok and "crash" in results[2].error_history
+    assert results[30].ok and "timeout" in results[30].error_history
+
+    for c, r in zip(clean, results):
+        if r.ok:
+            assert _sources(r) == _sources(c), r.job.name
+
+    stats = BatchStats.from_results(results)
+    assert stats.failed == 1 and stats.by_class == {"internal": 1}
+    assert stats.crashes >= 1 and stats.timeouts >= 1
