@@ -1,0 +1,140 @@
+"""Tracing overhead gate: the disabled tracer must be (near) free.
+
+The observability layer threads ``get_tracer().span(...)`` through every
+hot path — passes, cache lookups, batch jobs, kernel launches — on the
+promise that the *disabled* path (the :class:`~repro.observability.trace.
+NullTracer` singleton) costs one attribute lookup and one reused context
+manager.  This bench holds that promise to ≤``MAX_OVERHEAD`` (5%) of
+corpus translation time, measured robustly for CI:
+
+* ``T_off`` — wall time of an untraced serial corpus translation;
+* ``N`` — the number of instrumentation calls that run actually makes,
+  counted by a null-shaped tracer with counters (``enabled`` stays
+  False, so sites guarded by ``tracer.enabled`` are skipped exactly as
+  in a real disabled run);
+* ``c`` — the per-call cost of the disabled path, microbenchmarked over
+  a tight ``get_tracer()``+``span()`` loop.
+
+The gate is ``N x c <= MAX_OVERHEAD x T_off``: a model, not a
+difference of two noisy end-to-end timings, so it doesn't flake on
+shared runners while still catching a disabled path that starts
+allocating.  The enabled-tracer run time is reported for context (it
+may legitimately cost more; only the disabled path is gated).
+
+CI::
+
+    PYTHONPATH=src python benchmarks/bench_tracing.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Optional
+
+from repro.harness.runner import corpus_jobs
+from repro.observability import Tracer, get_tracer
+from repro.observability.trace import NullTracer
+from repro.pipeline.batch import translate_many
+
+#: the disabled tracer may cost at most this fraction of translation time
+MAX_OVERHEAD = 0.05
+
+#: iterations of the per-call microbenchmark loop
+MICRO_ITERS = 200_000
+
+
+class CountingNullTracer(NullTracer):
+    """Null-shaped tracer that counts instrumentation calls.
+
+    ``enabled`` stays False so every ``if tracer.enabled:`` guard skips
+    its block — the counted call mix is exactly the disabled run's.
+    """
+
+    def __init__(self) -> None:
+        self.spans = 0
+        self.events = 0
+
+    def span(self, name: str, **attrs: Any):
+        self.spans += 1
+        return super().span(name, **attrs)
+
+    def begin(self, name: str, parent_id: Optional[str] = None,
+              **attrs: Any):
+        self.spans += 1
+        return super().begin(name, parent_id, **attrs)
+
+    def event(self, name: str, span: Any = None, **attrs: Any) -> None:
+        self.events += 1
+        return None
+
+
+def _run_corpus(trace=None) -> float:
+    jobs = corpus_jobs()
+    t0 = time.perf_counter()
+    translate_many(jobs, cache=None, parallel=False, trace=trace)
+    return time.perf_counter() - t0
+
+
+def measure():
+    """Returns ``(T_off, T_on, calls, per_call_s)``."""
+    t_off = _run_corpus()
+    counter = CountingNullTracer()
+    _run_corpus(trace=counter)
+    t_on = _run_corpus(trace=Tracer("bench"))
+
+    # per-call cost of the real disabled path: resolve + span + enter/exit
+    g = get_tracer
+    t0 = time.perf_counter()
+    for _ in range(MICRO_ITERS):
+        with g().span("bench:null"):
+            pass
+    per_call = (time.perf_counter() - t0) / MICRO_ITERS
+    return t_off, t_on, counter.spans + counter.events, per_call
+
+
+def report_and_gate(t_off, t_on, calls, per_call) -> int:
+    modeled = calls * per_call
+    budget = MAX_OVERHEAD * t_off
+    print(f"untraced corpus translation:  {t_off * 1e3:9.1f} ms")
+    print(f"traced corpus translation:    {t_on * 1e3:9.1f} ms "
+          f"({t_on / t_off:.2f}x, informational)")
+    print(f"instrumentation calls:        {calls:9d}")
+    print(f"disabled per-call cost:       {per_call * 1e9:9.0f} ns")
+    print(f"modeled disabled overhead:    {modeled * 1e3:9.3f} ms "
+          f"({modeled / t_off * 100:.3f}% of untraced time)")
+    print(f"budget ({MAX_OVERHEAD:.0%}):                {budget * 1e3:9.1f} ms")
+    if modeled > budget:
+        print("\ntracing overhead gate FAILED: the disabled path costs "
+              f"{modeled / t_off:.1%} > {MAX_OVERHEAD:.0%}")
+        return 1
+    print("\ntracing overhead gate passed")
+    return 0
+
+
+# -- pytest entry ------------------------------------------------------------
+
+def bench_disabled_tracer_overhead(benchmark):
+    from conftest import regen
+    t_off, t_on, calls, per_call = regen(benchmark, measure)
+    print()
+    assert report_and_gate(t_off, t_on, calls, per_call) == 0
+    # the corpus really is instrumented end to end
+    assert calls > 1000
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="run the gate (non-zero exit over budget); the "
+                         "default does the same — the flag matches the "
+                         "other benches' CLI")
+    ap.parse_args(argv)
+    return report_and_gate(*measure())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,17 @@ fail with the matching structured class; every *other* job must still be
 byte-identical to the fault-free serial pass — that is the isolation
 contract of ``translate_many``.
 
+``--trace`` records the parallel (and fault-injected) passes with a
+:class:`repro.observability.Tracer` — the determinism contract extends to
+observability: a traced run must emit byte-identical translations.  The
+trace itself is *not* part of the diff (spans carry timestamps and are
+never deterministic); the flag instead proves tracing has no effect on
+results while the span stream stays well-formed.
+
 Exit status 0 on success, 1 on any divergence.  Run from the repo root::
 
     PYTHONPATH=src python scripts/check_determinism.py
-    PYTHONPATH=src python scripts/check_determinism.py --fault-plan smoke
+    PYTHONPATH=src python scripts/check_determinism.py --fault-plan smoke --trace
 """
 
 from __future__ import annotations
@@ -136,14 +143,24 @@ def main(argv=None) -> int:
                         help="pool width of the parallel passes (default "
                              "4 — explicit so single-CPU containers still "
                              "exercise the real pool)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record the parallel passes with a tracer; "
+                             "results must stay byte-identical to the "
+                             "untraced serial pass")
     args = parser.parse_args(argv)
 
     from repro.harness.report import render_batch_stats
     from repro.harness.runner import corpus_jobs
     from repro.pipeline import translate_many
 
+    tracer = None
+    if args.trace:
+        from repro.observability import Tracer
+        tracer = Tracer("determinism-check")
+
     jobs = corpus_jobs()
-    print(f"corpus: {len(jobs)} translation jobs")
+    print(f"corpus: {len(jobs)} translation jobs"
+          + (" [parallel passes traced]" if tracer else ""))
 
     t0 = time.perf_counter()
     serial = snapshot(translate_many(jobs, parallel=False))
@@ -151,7 +168,8 @@ def main(argv=None) -> int:
 
     t0 = time.perf_counter()
     parallel = snapshot(translate_many(jobs, parallel=True,
-                                       max_workers=args.workers))
+                                       max_workers=args.workers,
+                                       trace=tracer))
     print(f"parallel pass: {time.perf_counter() - t0:.2f}s")
 
     problems = diff_snapshots("serial", serial, "parallel", parallel)
@@ -166,10 +184,21 @@ def main(argv=None) -> int:
         t0 = time.perf_counter()
         faulted_results = translate_many(
             jobs, parallel=True, max_workers=args.workers,
-            timeout=args.timeout, retries=args.retries, fault_plan=plan)
+            timeout=args.timeout, retries=args.retries, fault_plan=plan,
+            trace=tracer)
         print(f"fault-injected pass: {time.perf_counter() - t0:.2f}s")
         print(render_batch_stats(faulted_results))
         problems += check_fault_pass(serial, snapshot(faulted_results), plan)
+
+    if tracer is not None:
+        spans = tracer.export_spans()
+        bad = sum(1 for s in spans
+                  if s["end_ns"] is not None and s["end_ns"] < s["start_ns"])
+        print(f"trace: {len(spans)} spans recorded, "
+              f"{bad} with inverted timestamps")
+        if not spans or bad:
+            print("FAILED: traced pass produced a malformed span stream")
+            problems += 1
 
     ok = sum(1 for v in serial.values() if v[0])
     print(f"{ok}/{len(jobs)} jobs translate; "

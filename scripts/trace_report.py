@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Summarize a recorded trace file from the command line.
+
+Reads the JSONL span log (``trace.jsonl``) or the Chrome trace-event JSON
+(``trace.json``) written by :class:`repro.observability.Tracer` and
+prints the per-category time breakdown, the slowest individual spans,
+error spans, and event counts — the quick look before opening the Chrome
+file in Perfetto (https://ui.perfetto.dev).  Run from the repo root::
+
+    PYTHONPATH=src python scripts/trace_report.py traces/trace-1234.jsonl
+    PYTHONPATH=src python scripts/trace_report.py traces/trace-1234.json --top 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+
+def load_spans(path: Path):
+    """Span dicts from a ``.jsonl`` span log or a ``.json`` Chrome trace."""
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".jsonl":
+        return [json.loads(line) for line in text.splitlines() if line]
+    data = json.loads(text)
+    spans = []
+    for ev in data.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue            # instants/metadata carry no duration
+        args = ev.get("args", {})
+        spans.append({
+            "name": ev["name"],
+            "span_id": args.get("span_id", ""),
+            "parent_id": args.get("parent_id"),
+            "start_ns": int(ev["ts"] * 1e3),
+            "end_ns": int((ev["ts"] + ev.get("dur", 0.0)) * 1e3),
+            "pid": ev["pid"], "tid": ev["tid"],
+            "status": args.get("status", "ok"),
+            "attrs": args, "events": [],
+        })
+    return spans
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="summarize a repro trace file (JSONL or Chrome JSON)")
+    ap.add_argument("trace", type=Path,
+                    help="trace.jsonl or trace.json written by the tracer")
+    ap.add_argument("--top", type=int, default=10, metavar="N",
+                    help="slowest individual spans to list (default 10)")
+    args = ap.parse_args(argv)
+
+    from repro.harness.report import render_trace_summary
+
+    if not args.trace.exists():
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    spans = load_spans(args.trace)
+    if not spans:
+        print(f"{args.trace}: no spans")
+        return 1
+
+    pids = {s["pid"] for s in spans}
+    print(f"{args.trace}: {len(spans)} spans across "
+          f"{len(pids)} process(es)")
+    print()
+    print(render_trace_summary(spans, title="by category"))
+
+    def dur(s):
+        return (s["end_ns"] or s["start_ns"]) - s["start_ns"]
+
+    print(f"\nslowest {args.top} spans:")
+    for s in sorted(spans, key=dur, reverse=True)[: args.top]:
+        mark = "  [error]" if s.get("status") == "error" else ""
+        print(f"  {dur(s) / 1e6:10.3f} ms  {s['name']}{mark}")
+
+    errors = [s for s in spans if s.get("status") == "error"]
+    if errors:
+        print(f"\n{len(errors)} error span(s):")
+        for s in errors[:20]:
+            why = s.get("attrs", {}).get("error_type") \
+                or s.get("attrs", {}).get("error_class") or ""
+            print(f"  {s['name']}  {why}")
+
+    events = Counter(e["name"] for s in spans
+                     for e in s.get("events") or ())
+    if events:
+        shown = ", ".join(f"{name} x{n}"
+                          for name, n in sorted(events.items()))
+        print(f"\nevents: {shown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ from ..clike.dialect import get_dialect
 from ..clike.interp import BARRIER, ExecEnv, Interp, Stack
 from ..clike.sema import annotate_unit
 from ..errors import DeviceError, InterpError
+from ..observability import get_metrics, get_tracer
 from ..runtime.memory import Memory
 from ..runtime.values import Ptr, Vec, coerce
 from .banks import warp_transactions
@@ -452,7 +453,27 @@ def launch_kernel(device: Device, kernel: KernelObject,
     global size is divided by the local size by the caller — the NDRange vs
     grid difference of §3.1).  ``args`` match the kernel parameters;
     :class:`LocalArg` entries allocate dynamic local memory per group.
+
+    Each launch is one ``kernel:`` span (real wall time of the simulated
+    execution) carrying the launch geometry and the simulated kernel time
+    as attributes, so corpus traces attribute device-engine cost per
+    kernel next to the translator's ``pass:`` spans.
     """
+    with get_tracer().span(f"kernel:{kernel.name}",
+                           device=device.spec.name,
+                           grid=list(grid), block=list(block)) as span:
+        result = _launch_kernel_impl(device, kernel, grid, block, args,
+                                     dynamic_shared, framework)
+        span.set(work_items=result.counters.work_items,
+                 sim_time_s=result.time.total)
+    get_metrics().counter("kernel.launches").inc()
+    return result
+
+
+def _launch_kernel_impl(device: Device, kernel: KernelObject,
+                        grid: Sequence[int], block: Sequence[int],
+                        args: Sequence[Any], dynamic_shared: int = 0,
+                        framework: Optional[str] = None) -> LaunchResult:
     framework = framework or kernel.module.dialect
     spec = device.spec
     grid3 = _pad3(grid)

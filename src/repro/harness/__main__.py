@@ -1,0 +1,103 @@
+"""``python -m repro.harness`` — translate the corpus and print a report.
+
+The observability quickstart entry point::
+
+    REPRO_TRACE=1 python -m repro.harness --limit 50
+
+translates the corpus through the fault-isolated batch pipeline and
+prints the batch / cache / pass statistics, the metrics registry, and a
+per-category trace summary.  With ``REPRO_TRACE=1`` the ambient tracer
+(installed by ``repro.observability.configure_from_env``) records every
+span; ``--trace-out DIR`` flushes it explicitly and prints the paths of
+the Chrome trace (load ``trace.json`` at https://ui.perfetto.dev) and the
+JSONL span log — otherwise the atexit hook writes them to
+``$REPRO_TRACE_DIR`` (default ``traces/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..observability import installed_tracer
+from ..translate.passes import aggregate_stats
+from .report import (render_batch_stats, render_cache_stats,
+                     render_metrics, render_pass_stats,
+                     render_trace_summary)
+from .runner import corpus_jobs, shared_translation_cache, translate_corpus
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Translate the app corpus and print batch/cache/pass "
+                    "statistics (trace with REPRO_TRACE=1).")
+    ap.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="translate only the first N corpus jobs")
+    ap.add_argument("--serial", action="store_true",
+                    help="run jobs in-process instead of the worker pool")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="skip the shared translation cache (cold run)")
+    ap.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="per-job timeout in seconds (pooled runs)")
+    ap.add_argument("--retries", type=int, default=None, metavar="N",
+                    help="extra dispatches for transient failures")
+    ap.add_argument("--fault-plan", default=None, metavar="SPEC",
+                    help="inject faults (see repro.pipeline.faults)")
+    ap.add_argument("--trace-out", default=None, metavar="DIR",
+                    help="flush the ambient tracer to DIR and print the "
+                         "trace paths (requires REPRO_TRACE=1)")
+    args = ap.parse_args(argv)
+
+    from ..pipeline.faults import FaultPlan
+    plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+
+    jobs = corpus_jobs()
+    if args.limit is not None:
+        jobs = jobs[: args.limit]
+    cache = None if args.no_cache else shared_translation_cache()
+
+    from ..pipeline.batch import translate_many
+    results = translate_many(jobs, cache=cache,
+                             parallel=not args.serial,
+                             timeout=args.timeout, retries=args.retries,
+                             fault_plan=plan)
+
+    print(render_batch_stats(results))
+    if cache is not None:
+        print()
+        print(render_cache_stats(cache))
+    ran = [r.result.pass_stats for r in results
+           if r.ok and not r.cached and getattr(r.result, "pass_stats", None)]
+    if ran:
+        print()
+        print(render_pass_stats(aggregate_stats(ran, "corpus"),
+                                title="translation passes (fresh runs)"))
+    print()
+    print(render_metrics())
+
+    tracer = installed_tracer()
+    if tracer is not None and tracer.enabled:
+        print()
+        print(render_trace_summary(tracer, title="trace summary"))
+        if args.trace_out:
+            chrome, jsonl = tracer.write(args.trace_out)
+            print(f"\ntrace written: {chrome} (open at "
+                  f"https://ui.perfetto.dev) and {jsonl}")
+        else:
+            print("\ntrace will be flushed at exit "
+                  "(REPRO_TRACE_DIR, default traces/)")
+    elif args.trace_out:
+        print("\n--trace-out ignored: tracing is disabled "
+              "(set REPRO_TRACE=1)", file=sys.stderr)
+
+    # Table-3 'unsupported' failures are the expected corpus outcome, not
+    # a pipeline problem; only infrastructure failure classes fail the run
+    bad = [r for r in results
+           if not r.ok and r.error_class != "unsupported"]
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

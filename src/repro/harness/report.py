@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from typing import Sequence, Union
 
+from ..observability import MetricsRegistry, Tracer, get_metrics
+from ..observability.summary import summarize_spans
 from ..pipeline.batch import BatchStats, JobResult
 from ..pipeline.cache import TranslationCache
 from ..translate.passes import PipelineStats
@@ -14,7 +16,7 @@ from .tables import PAPER_TABLE1, PAPER_TABLE3_COUNTS, Table1, Table3
 
 __all__ = ["render_figure", "render_table1", "render_table2",
            "render_table3", "render_cache_stats", "render_pass_stats",
-           "render_batch_stats"]
+           "render_batch_stats", "render_metrics", "render_trace_summary"]
 
 _SERIES_LABELS = {
     "opencl": "orig OpenCL (Titan)",
@@ -126,6 +128,35 @@ def render_pass_stats(stats: PipelineStats,
         out.append(f"  {p.name:<24}{p.wall_s * 1e3:>10.3f}"
                    f"{share * 100:>7.1f}%{p.visits:>10}{p.rewrites:>10}"
                    f"{p.diagnostics:>7}{p.calls:>6}")
+    return "\n".join(out)
+
+
+def render_metrics(registry: Optional[MetricsRegistry] = None,
+                   title: str = "metrics") -> str:
+    """The process-wide (or a given) metrics registry, one instrument per
+    line — counters/gauges as values, histograms as count/mean/p95."""
+    reg = registry if registry is not None else get_metrics()
+    return reg.render(title=title)
+
+
+def render_trace_summary(trace: "Union[Tracer, Sequence[Any]]",
+                         title: str = "trace summary",
+                         top: Optional[int] = None) -> str:
+    """Per-category span totals of a tracer (or an exported span list).
+
+    Self time excludes child spans, so rows attribute wall time to the
+    stage that actually spent it — ``batch`` spans enclose everything
+    else and would otherwise dominate.
+    """
+    spans = trace.export_spans() if isinstance(trace, Tracer) else list(trace)
+    rows = summarize_spans(spans, top=top)
+    out = [f"{title}: {len(spans)} spans",
+           f"  {'category':<12}{'count':>7}{'total ms':>11}{'self ms':>10}"
+           f"{'errors':>8}{'events':>8}"]
+    for r in rows:
+        out.append(f"  {r.category:<12}{r.count:>7}"
+                   f"{r.total_ns / 1e6:>11.3f}{r.self_ns / 1e6:>10.3f}"
+                   f"{r.errors:>8}{r.events:>8}")
     return "\n".join(out)
 
 

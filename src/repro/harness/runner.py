@@ -34,6 +34,7 @@ from ..device.engine import Device
 from ..device.perf import SimClock
 from ..device.specs import DeviceSpec, get_device_spec
 from ..errors import CudaApiError, ReproError
+from ..observability import Tracer, get_metrics, get_tracer
 from ..ocl.api import OpenCLFramework
 from ..pipeline.cache import TranslationCache
 from ..runtime.values import PTR_TABLE
@@ -121,6 +122,8 @@ def _finish(name: str, mode: str, spec: DeviceSpec, env: HostEnv,
     out = env.printed()
     ok = (exit_code == 0) and ("FAILED" not in out)
     build = clock.by_category.get("build", 0.0)
+    get_metrics().counter("harness.runs", mode=mode,
+                          outcome="ok" if ok else "failed").inc()
     return RunResult(
         name=name, mode=mode, device=spec.name, ok=ok,
         exit_code=exit_code, stdout=out,
@@ -167,33 +170,38 @@ def translate_corpus(apps: Optional[Sequence[Any]] = None, *,
                      cache: CacheArg = _SHARED, parallel: bool = True,
                      timeout: Optional[float] = None,
                      retries: Optional[int] = None,
-                     fault_plan: Any = None) -> List[Any]:
+                     fault_plan: Any = None,
+                     trace: Optional[Tracer] = None) -> List[Any]:
     """Fan the whole corpus through the fault-isolated batch pipeline.
 
     Serves results from the shared translation cache by default; pass the
     fault-isolation knobs through to
     :func:`~repro.pipeline.batch.translate_many`.  Render the outcome with
-    ``repro.harness.report.render_batch_stats``.
+    ``repro.harness.report.render_batch_stats``; ``trace=`` records the
+    sweep into a :class:`~repro.observability.Tracer` (or set
+    ``REPRO_TRACE=1`` to trace ambiently).
     """
     from ..pipeline.batch import translate_many
     return translate_many(corpus_jobs(apps), cache=_resolve_cache(cache),
                           parallel=parallel, timeout=timeout,
-                          retries=retries, fault_plan=fault_plan)
+                          retries=retries, fault_plan=fault_plan,
+                          trace=trace)
 
 
 def run_opencl_app(name: str, host_source: str, kernel_source: str,
                    device: "str | DeviceSpec" = "titan") -> RunResult:
     """Original OpenCL program on the native simulated OpenCL framework."""
     spec = _resolve_device(device)
-    PTR_TABLE.reset()
-    env = HostEnv()
-    fw = OpenCLFramework([Device(spec)])
-    fw.install(env)
-    env.define_constant(KERNEL_SOURCE_CONST,
-                        env.intern_string(kernel_source))
-    unit = parse(host_source, "host")
-    code = _run_host(unit, env, "host")
-    return _finish(name, "ocl-native", spec, env, fw.clock, code)
+    with get_tracer().span(f"run:ocl-native:{name}", device=spec.name):
+        PTR_TABLE.reset()
+        env = HostEnv()
+        fw = OpenCLFramework([Device(spec)])
+        fw.install(env)
+        env.define_constant(KERNEL_SOURCE_CONST,
+                            env.intern_string(kernel_source))
+        unit = parse(host_source, "host")
+        code = _run_host(unit, env, "host")
+        return _finish(name, "ocl-native", spec, env, fw.clock, code)
 
 
 def run_opencl_translated(name: str, host_source: str, kernel_source: str,
@@ -204,16 +212,17 @@ def run_opencl_translated(name: str, host_source: str, kernel_source: str,
     spec = _resolve_device(device)
     if not spec.supports_cuda:
         raise CudaApiError(38, f"{spec.name} does not support CUDA")
-    PTR_TABLE.reset()
-    env = HostEnv()
-    fw = Ocl2CudaFramework(Device(spec), cache=_resolve_cache(cache))
-    fw.install(env)
-    env.define_constant(KERNEL_SOURCE_CONST,
-                        env.intern_string(kernel_source))
-    unit = parse(host_source, "host")
-    code = _run_host(unit, env, "host")
-    extra = {"cuda_source": fw.last_cuda_source}
-    return _finish(name, "ocl->cuda", spec, env, fw.clock, code, extra)
+    with get_tracer().span(f"run:ocl->cuda:{name}", device=spec.name):
+        PTR_TABLE.reset()
+        env = HostEnv()
+        fw = Ocl2CudaFramework(Device(spec), cache=_resolve_cache(cache))
+        fw.install(env)
+        env.define_constant(KERNEL_SOURCE_CONST,
+                            env.intern_string(kernel_source))
+        unit = parse(host_source, "host")
+        code = _run_host(unit, env, "host")
+        extra = {"cuda_source": fw.last_cuda_source}
+        return _finish(name, "ocl->cuda", spec, env, fw.clock, code, extra)
 
 
 def run_cuda_app(name: str, cu_source: str,
@@ -222,17 +231,18 @@ def run_cuda_app(name: str, cu_source: str,
     spec = _resolve_device(device)
     if not spec.supports_cuda:
         raise CudaApiError(38, f"{spec.name} does not support CUDA")
-    PTR_TABLE.reset()
-    env = HostEnv()
-    rt = CudaRuntime(device=Device(spec))
-    unit = parse(cu_source, "cuda")
-    rt.load_unit(unit)
+    with get_tracer().span(f"run:cuda-native:{name}", device=spec.name):
+        PTR_TABLE.reset()
+        env = HostEnv()
+        rt = CudaRuntime(device=Device(spec))
+        unit = parse(cu_source, "cuda")
+        rt.load_unit(unit)
 
-    def attach(interp: Interp) -> None:
-        rt.attach(interp, env)
+        def attach(interp: Interp) -> None:
+            rt.attach(interp, env)
 
-    code = _run_host(unit, env, "cuda", attach)
-    return _finish(name, "cuda-native", spec, env, rt.clock, code)
+        code = _run_host(unit, env, "cuda", attach)
+        return _finish(name, "cuda-native", spec, env, rt.clock, code)
 
 
 def run_cuda_translated(name: str, cu_source: str,
@@ -241,17 +251,18 @@ def run_cuda_translated(name: str, cu_source: str,
     """The CUDA program translated to OpenCL (static host rewriting +
     wrapper runtime), on any OpenCL device (Fig. 3)."""
     spec = _resolve_device(device)
-    PTR_TABLE.reset()
-    prog = translate_cuda_program(cu_source, cache=_resolve_cache(cache))
-    env = HostEnv()
-    rt = Cuda2OclRuntime(prog.device, device=Device(spec))
-    rt.install(env)
-    unit = parse(prog.host_source, "host")
-    code = _run_host(unit, env, "host")
-    extra = {
-        "opencl_source": prog.device_source,
-        "host_source": prog.host_source,
-        "launches_translated": prog.launches_translated,
-        "symbol_copies_translated": prog.symbol_copies_translated,
-    }
-    return _finish(name, "cuda->ocl", spec, env, rt.clock, code, extra)
+    with get_tracer().span(f"run:cuda->ocl:{name}", device=spec.name):
+        PTR_TABLE.reset()
+        prog = translate_cuda_program(cu_source, cache=_resolve_cache(cache))
+        env = HostEnv()
+        rt = Cuda2OclRuntime(prog.device, device=Device(spec))
+        rt.install(env)
+        unit = parse(prog.host_source, "host")
+        code = _run_host(unit, env, "host")
+        extra = {
+            "opencl_source": prog.device_source,
+            "host_source": prog.host_source,
+            "launches_translated": prog.launches_translated,
+            "symbol_copies_translated": prog.symbol_copies_translated,
+        }
+        return _finish(name, "cuda->ocl", spec, env, rt.clock, code, extra)

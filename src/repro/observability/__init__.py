@@ -1,0 +1,25 @@
+"""Observability layer: hierarchical span tracing + a metrics registry.
+
+See :mod:`repro.observability.trace` and
+:mod:`repro.observability.metrics`; DESIGN.md §8 maps the span and metric
+names onto the paper's §6 evaluation breakdown.  Importing this package
+honours ``$REPRO_TRACE`` (a truthy value installs a process-wide tracer
+whose output lands in ``$REPRO_TRACE_DIR`` at exit).
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      get_metrics)
+from .summary import CategoryRow, span_forest, summarize_spans
+from .trace import (NULL_TRACER, TRACE_DIR_ENV, TRACE_ENV, NullTracer,
+                    Span, SpanEvent, Tracer, activate, configure_from_env,
+                    get_tracer, install_tracer, installed_tracer,
+                    tracing_enabled_from_env)
+
+__all__ = ["Span", "SpanEvent", "Tracer", "NullTracer", "NULL_TRACER",
+           "get_tracer", "install_tracer", "installed_tracer", "activate",
+           "tracing_enabled_from_env", "configure_from_env", "TRACE_ENV",
+           "TRACE_DIR_ENV", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "get_metrics", "CategoryRow", "span_forest",
+           "summarize_spans"]
+
+configure_from_env()

@@ -1,0 +1,213 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Complements the span tracer (:mod:`repro.observability.trace`): spans
+answer *where did this run spend its time*, metrics answer *how often* —
+cache hits per tier, evictions, retries, kernel launches, per-job wall
+time distributions.  Instruments are cheap enough to stay on even when
+tracing is off (an ``inc()`` is one attribute add), and call sites bind
+their instrument once (``m = get_metrics().counter(...)``) so the hot
+path never re-resolves names.
+
+Labelled instruments: ``counter("cache.hits", tier="mem")`` and
+``counter("cache.hits", tier="disk")`` are distinct time series sharing a
+name, mirroring the Prometheus data model at toy scale.  The registry
+renders as text (``render()``) and snapshots to plain dicts for the
+harness reports and the JSON exporters.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "get_metrics", "DEFAULT_TIME_BUCKETS"]
+
+#: histogram bucket upper bounds for wall-clock seconds (geometric; the
+#: translator's per-pass times span ~1e-5s to ~1s on the corpus)
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0,
+    10.0)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (pool width, queue depth)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Bucketed distribution with count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; observations beyond the last
+    bound land in the implicit overflow bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...],
+                 buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the ``q``-th observation; the recorded max beyond)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target and c:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                break
+        return self.max or 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"count": self.count, "sum": round(self.sum, 9),
+                "min": self.min, "max": self.max, "mean": self.mean,
+                "p50": self.quantile(0.5), "p95": self.quantile(0.95),
+                "buckets": {str(b): c for b, c in
+                            zip(self.buckets + ("+inf",), self.counts)}}
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                                Any] = {}
+
+    def _get(self, cls: type, name: str, labels: Dict[str, Any],
+             **kwargs: Any) -> Any:
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(name, key[1], **kwargs)
+                self._instruments[key] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r}{dict(key[1])!r} already registered "
+                    f"as {inst.kind}, requested {cls.__name__.lower()}")
+            return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def instruments(self) -> List[Any]:
+        with self._lock:
+            return sorted(self._instruments.values(),
+                          key=lambda i: (i.name, i.labels))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """``{"name{k=v,...}": {kind, ...values}}`` over every instrument."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for inst in self.instruments():
+            shown = inst.name
+            if inst.labels:
+                shown += "{" + ",".join(f"{k}={v}"
+                                        for k, v in inst.labels) + "}"
+            out[shown] = dict(inst.as_dict(), kind=inst.kind)
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; a fresh process state)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def render(self, title: str = "metrics") -> str:
+        """Human-readable one-line-per-instrument dump."""
+        out = [f"{title}:"]
+        for shown, values in self.snapshot().items():
+            kind = values.pop("kind")
+            if kind == "histogram":
+                values.pop("buckets")
+                body = (f"count {values['count']}  sum {values['sum']:.6f}  "
+                        f"mean {values['mean']:.6f}  p95 {values['p95']:g}")
+            else:
+                body = f"{values['value']:g}"
+            out.append(f"  {shown:<44}{kind:<11}{body}")
+        return "\n".join(out)
+
+
+#: the process-wide registry every subsystem binds instruments from
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY

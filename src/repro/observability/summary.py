@@ -1,0 +1,94 @@
+"""Aggregation of finished spans into report rows.
+
+Shared by ``repro.harness.report.render_trace_summary`` (in-memory
+tracers) and ``scripts/trace_report.py`` (trace files on disk): both
+reduce a span list to per-category totals with *self time* (wall time not
+covered by child spans — the number that actually attributes cost to a
+stage, since ``batch`` spans enclose everything else).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["CategoryRow", "summarize_spans", "span_forest"]
+
+
+class CategoryRow:
+    """Aggregate of every span sharing one category."""
+
+    __slots__ = ("category", "count", "total_ns", "self_ns", "errors",
+                 "events")
+
+    def __init__(self, category: str) -> None:
+        self.category = category
+        self.count = 0
+        self.total_ns = 0
+        self.self_ns = 0
+        self.errors = 0
+        self.events = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"category": self.category, "count": self.count,
+                "total_ns": self.total_ns, "self_ns": self.self_ns,
+                "errors": self.errors, "events": self.events}
+
+
+def _category(name: str) -> str:
+    return name.split(":", 1)[0]
+
+
+def span_forest(spans: Iterable[Dict[str, Any]]
+                ) -> Tuple[List[Dict[str, Any]],
+                           Dict[str, List[Dict[str, Any]]]]:
+    """``(roots, children_by_parent_id)`` over span dicts.
+
+    A span whose ``parent_id`` is absent from the set is a root (its
+    parent may live in another trace file or have been dropped).
+    """
+    by_id = {s["span_id"]: s for s in spans}
+    roots: List[Dict[str, Any]] = []
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    for s in by_id.values():
+        parent = s.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: s["start_ns"])
+    roots.sort(key=lambda s: s["start_ns"])
+    return roots, children
+
+
+def _duration(span: Dict[str, Any]) -> int:
+    end = span.get("end_ns")
+    return (end - span["start_ns"]) if end is not None else 0
+
+
+def summarize_spans(spans: Iterable[Dict[str, Any]],
+                    top: Optional[int] = None) -> List[CategoryRow]:
+    """Per-category rows sorted by total time (desc).
+
+    Self time subtracts only *direct* children, so a category's self_ns
+    is exactly the wall time its own code ran while no child span was
+    open (assuming children nest sequentially, which the schema tests
+    enforce).
+    """
+    span_list = list(spans)
+    _, children = span_forest(span_list)
+    rows: Dict[str, CategoryRow] = {}
+    for s in span_list:
+        row = rows.get(_category(s["name"]))
+        if row is None:
+            row = rows[_category(s["name"])] = CategoryRow(
+                _category(s["name"]))
+        dur = _duration(s)
+        child_ns = sum(_duration(c) for c in children.get(s["span_id"], ()))
+        row.count += 1
+        row.total_ns += dur
+        row.self_ns += max(dur - child_ns, 0)
+        row.errors += 1 if s.get("status") == "error" else 0
+        row.events += len(s.get("events") or ())
+    ordered = sorted(rows.values(), key=lambda r: -r.total_ns)
+    return ordered[:top] if top is not None else ordered

@@ -1,0 +1,500 @@
+"""Hierarchical span tracing for the translation stack.
+
+The paper's evaluation (§6) breaks end-to-end cost into stages — rewrite
+passes, host-wrapper overheads, kernel launches — and the reproduction
+needs the same visibility at corpus scale: where does a 2000-job sweep
+spend its time across cache tiers, pool workers, retries, and device
+launches?  This module provides it:
+
+* a :class:`Span` is one timed region with a name, structured attributes,
+  point :class:`SpanEvent` s, and a parent id — spans nest, forming the
+  per-job call tree (translate → passes → cache → launches);
+* a :class:`Tracer` records spans on a monotonic clock shared across
+  processes (workers inherit the parent's epoch through a serialized
+  :func:`Tracer.context`, so a worker span lands *inside* its dispatch
+  span on the common timeline) and exports the result as JSONL or Chrome
+  trace-event JSON (loadable in Perfetto / ``chrome://tracing``);
+* a :class:`NullTracer` singleton stands in when tracing is off: every
+  operation is a no-op and ``span()`` hands back one reusable null
+  context manager, so the disabled hot path costs one attribute lookup —
+  ``benchmarks/bench_tracing.py`` gates this at ≤5% of translation time.
+
+Enablement: ``REPRO_TRACE=1`` installs a process-wide tracer at import
+time and writes ``trace.json``/``trace.jsonl`` into ``REPRO_TRACE_DIR``
+(default ``traces/``) at interpreter exit; library code can instead pass
+``trace=`` to the batch/corpus entry points or use
+:func:`install_tracer` / :func:`activate` directly.
+
+Tracing never changes translation *output* — the determinism suite
+(``tests/observability/test_determinism_traced.py`` and
+``scripts/check_determinism.py --trace``) holds traced runs byte-identical
+to untraced ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "SpanEvent", "Tracer", "NullTracer", "NULL_TRACER",
+           "get_tracer", "install_tracer", "installed_tracer", "activate",
+           "tracing_enabled_from_env", "configure_from_env",
+           "TRACE_ENV", "TRACE_DIR_ENV"]
+
+#: truthy values of ``REPRO_TRACE`` turn the process-wide tracer on
+TRACE_ENV = "REPRO_TRACE"
+
+#: where the atexit exporter writes trace files (default ``traces/``)
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def tracing_enabled_from_env() -> bool:
+    """True when ``$REPRO_TRACE`` holds a truthy value."""
+    return os.environ.get(TRACE_ENV, "").strip().lower() not in _FALSY
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time marker on a span (retry, timeout, fault, ...)."""
+
+    name: str
+    ts_ns: int                          # relative to the tracer epoch
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "ts_ns": self.ts_ns,
+                "attrs": dict(self.attrs)}
+
+
+@dataclass
+class Span:
+    """One timed region of the pipeline.
+
+    Timestamps are nanoseconds on the tracer's monotonic clock, relative
+    to the tracer *epoch* — workers created from a serialized context
+    share the parent's epoch, so spans from every process lie on one
+    timeline (``CLOCK_MONOTONIC`` is machine-wide).
+    """
+
+    name: str
+    span_id: str
+    trace_id: str
+    parent_id: Optional[str] = None
+    start_ns: int = 0
+    end_ns: Optional[int] = None
+    pid: int = 0
+    tid: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+    status: str = "ok"                  # 'ok' | 'error'
+
+    @property
+    def duration_ns(self) -> int:
+        return (self.end_ns or self.start_ns) - self.start_ns
+
+    @property
+    def category(self) -> str:
+        """Coarse grouping: the ``kind`` prefix of ``kind:detail`` names
+        (``pass:emit-cuda`` → ``pass``), or the whole name."""
+        return self.name.split(":", 1)[0]
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "span_id": self.span_id,
+                "trace_id": self.trace_id, "parent_id": self.parent_id,
+                "start_ns": self.start_ns, "end_ns": self.end_ns,
+                "pid": self.pid, "tid": self.tid, "status": self.status,
+                "attrs": dict(self.attrs),
+                "events": [e.as_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Span":
+        return cls(name=d["name"], span_id=d["span_id"],
+                   trace_id=d["trace_id"], parent_id=d.get("parent_id"),
+                   start_ns=d["start_ns"], end_ns=d.get("end_ns"),
+                   pid=d.get("pid", 0), tid=d.get("tid", 0),
+                   status=d.get("status", "ok"),
+                   attrs=dict(d.get("attrs") or {}),
+                   events=[SpanEvent(e["name"], e["ts_ns"],
+                                     dict(e.get("attrs") or {}))
+                           for e in d.get("events") or []])
+
+
+class _ActiveSpan:
+    """Context manager produced by :meth:`Tracer.span`: pushes the span on
+    the thread's stack, records exceptions as ``status='error'``."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.status = "error"
+            self.span.attrs.setdefault("error_type", exc_type.__name__)
+        self._tracer._pop(self.span)
+        return None
+
+
+class Tracer:
+    """Collects spans on a per-process monotonic clock.
+
+    Thread-safe: each thread keeps its own active-span stack (nesting is
+    per-thread), finished spans land in one shared list.
+    """
+
+    enabled = True
+
+    def __init__(self, service: str = "repro",
+                 epoch_ns: Optional[int] = None,
+                 trace_id: Optional[str] = None,
+                 root_parent_id: Optional[str] = None) -> None:
+        self.service = service
+        self.epoch_ns = time.monotonic_ns() if epoch_ns is None else epoch_ns
+        self.trace_id = trace_id or f"{os.getpid():x}-{id(self):x}"
+        #: default parent of top-of-stack spans (a serialized remote
+        #: parent when this tracer runs inside a pool worker)
+        self.root_parent_id = root_parent_id
+        self.finished: List[Span] = []
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._seq = itertools.count(1)
+
+    # -- clock / ids ---------------------------------------------------------
+
+    def now_ns(self) -> int:
+        """Nanoseconds since the tracer epoch (monotonic)."""
+        return time.monotonic_ns() - self.epoch_ns
+
+    def _new_id(self) -> str:
+        return f"{os.getpid():x}.{next(self._seq):x}"
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Context manager: a child of the thread's current span (or of
+        ``root_parent_id`` at the top level)."""
+        return _ActiveSpan(self, self.begin(name, **attrs))
+
+    def begin(self, name: str, parent_id: Optional[str] = None,
+              **attrs: Any) -> Span:
+        """Start a span *without* making it the thread's current span
+        (for async regions like pooled dispatches); finish it with
+        :meth:`end`."""
+        if parent_id is None:
+            stack = self._stack()
+            parent_id = stack[-1].span_id if stack else self.root_parent_id
+        return Span(name=name, span_id=self._new_id(),
+                    trace_id=self.trace_id, parent_id=parent_id,
+                    start_ns=self.now_ns(), pid=os.getpid(),
+                    tid=threading.get_ident() & 0xFFFF, attrs=dict(attrs))
+
+    def end(self, span: Span, status: Optional[str] = None) -> Span:
+        """Close ``span`` and move it to :attr:`finished`."""
+        span.end_ns = self.now_ns()
+        if status is not None:
+            span.status = status
+        with self._lock:
+            self.finished.append(span)
+        return span
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self.end(span)
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def event(self, name: str, span: Optional[Span] = None,
+              **attrs: Any) -> SpanEvent:
+        """Attach a point event to ``span`` (default: the current span; a
+        synthetic zero-length span is recorded when none is active, so
+        events are never dropped)."""
+        ev = SpanEvent(name, self.now_ns(), dict(attrs))
+        target = span if span is not None else self.current()
+        if target is None:
+            target = self.begin(f"event:{name}")
+            target.events.append(ev)
+            self.end(target)
+        else:
+            target.events.append(ev)
+        return ev
+
+    # -- cross-process stitching --------------------------------------------
+
+    def context(self, span: Optional[Span] = None) -> Dict[str, Any]:
+        """Serializable link for a worker process: carries the trace id,
+        the parent span id, and the epoch so the worker's tracer shares
+        this one's timeline."""
+        if span is None:
+            span = self.current()
+        return {"trace_id": self.trace_id,
+                "span_id": span.span_id if span else self.root_parent_id,
+                "epoch_ns": self.epoch_ns}
+
+    @classmethod
+    def from_context(cls, ctx: Dict[str, Any],
+                     service: str = "repro-worker") -> "Tracer":
+        """A worker-side tracer whose spans nest under the serialized
+        parent and share its clock."""
+        return cls(service=service, epoch_ns=ctx["epoch_ns"],
+                   trace_id=ctx["trace_id"],
+                   root_parent_id=ctx.get("span_id"))
+
+    def export_spans(self) -> List[Dict[str, Any]]:
+        """Finished spans as plain dicts (picklable across the pool)."""
+        with self._lock:
+            return [s.as_dict() for s in self.finished]
+
+    def ingest(self, spans: Iterable[Dict[str, Any]]) -> int:
+        """Adopt spans exported by a worker tracer; returns the count."""
+        added = [Span.from_dict(d) for d in spans]
+        with self._lock:
+            self.finished.extend(added)
+        return len(added)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> List[Span]:
+        with self._lock:
+            return list(self.finished)
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """One JSON object per finished span, in completion order."""
+        for span in self.snapshot():
+            yield json.dumps(span.as_dict(), sort_keys=True)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome trace-event representation (Perfetto-loadable).
+
+        Spans become ``ph='X'`` complete events (``ts``/``dur`` in µs);
+        span events become ``ph='i'`` instants; one ``process_name``
+        metadata record is emitted per participating pid.
+        """
+        events: List[Dict[str, Any]] = []
+        pids: Dict[int, str] = {}
+        for span in self.snapshot():
+            pids.setdefault(span.pid,
+                            self.service if span.pid == os.getpid()
+                            else f"{self.service}-worker")
+            args = dict(span.attrs)
+            args["span_id"] = span.span_id
+            if span.parent_id:
+                args["parent_id"] = span.parent_id
+            if span.status != "ok":
+                args["status"] = span.status
+            events.append({"name": span.name, "cat": span.category,
+                           "ph": "X", "ts": span.start_ns / 1e3,
+                           "dur": span.duration_ns / 1e3,
+                           "pid": span.pid, "tid": span.tid, "args": args})
+            for ev in span.events:
+                events.append({"name": ev.name, "cat": "event", "ph": "i",
+                               "ts": ev.ts_ns / 1e3, "pid": span.pid,
+                               "tid": span.tid, "s": "t",
+                               "args": dict(ev.attrs,
+                                            span_id=span.span_id)})
+        for pid, label in sorted(pids.items()):
+            events.append({"name": "process_name", "ph": "M", "ts": 0.0,
+                           "pid": pid, "tid": 0,
+                           "args": {"name": label}})
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, directory: "str | Path | None" = None,
+              basename: str = "trace") -> Tuple[Path, Path]:
+        """Write ``<basename>.json`` (Chrome) and ``<basename>.jsonl``
+        under ``directory`` (default ``$REPRO_TRACE_DIR`` or ``traces/``);
+        returns both paths."""
+        if directory is None:
+            directory = os.environ.get(TRACE_DIR_ENV) or "traces"
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        chrome = directory / f"{basename}.json"
+        chrome.write_text(json.dumps(self.chrome_trace(), indent=1),
+                          encoding="utf-8")
+        jsonl = directory / f"{basename}.jsonl"
+        jsonl.write_text("".join(line + "\n"
+                                 for line in self.jsonl_lines()),
+                         encoding="utf-8")
+        return chrome, jsonl
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Tracer {self.service} trace_id={self.trace_id} "
+                f"{len(self.finished)} spans>")
+
+
+# ---------------------------------------------------------------------------
+# the disabled path
+# ---------------------------------------------------------------------------
+
+class _NullSpan:
+    """Inert span handed out by the null tracer; accepts the full Span
+    surface and discards everything."""
+
+    __slots__ = ()
+
+    name = "null"
+    span_id = ""
+    parent_id = None
+    attrs: Dict[str, Any] = {}
+    events: List[SpanEvent] = []
+    status = "ok"
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # call sites write span.status / span attributes exactly as they
+        # would on a real Span; the shared singleton swallows them
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op stand-in used when tracing is disabled.
+
+    Every method returns immediately; ``span()`` hands back one shared
+    inert context manager, so the disabled hot path allocates nothing.
+    """
+
+    enabled = False
+    finished: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def begin(self, name: str, parent_id: Optional[str] = None,
+              **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end(self, span: Any, status: Optional[str] = None) -> Any:
+        return span
+
+    def event(self, name: str, span: Any = None, **attrs: Any) -> None:
+        return None
+
+    def current(self) -> None:
+        return None
+
+    def context(self, span: Any = None) -> None:
+        return None
+
+    def export_spans(self) -> List[Dict[str, Any]]:
+        return []
+
+    def ingest(self, spans: Iterable[Dict[str, Any]]) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<NullTracer>"
+
+
+#: the process-wide disabled tracer (singleton)
+NULL_TRACER = NullTracer()
+
+# ---------------------------------------------------------------------------
+# process-wide wiring
+# ---------------------------------------------------------------------------
+
+_installed: "Tracer | NullTracer" = NULL_TRACER
+_tls = threading.local()
+
+
+def install_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Set (or with ``None`` clear) the process-wide tracer; returns the
+    previously installed one."""
+    global _installed
+    prev = _installed
+    _installed = tracer if tracer is not None else NULL_TRACER
+    return prev
+
+
+def installed_tracer() -> "Tracer | NullTracer":
+    """The process-wide tracer (never the thread-local activation)."""
+    return _installed
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The active tracer: the innermost :func:`activate` on this thread,
+    else the installed process-wide tracer, else the null tracer."""
+    override = getattr(_tls, "stack", None)
+    if override:
+        return override[-1]
+    return _installed
+
+
+class activate:
+    """Context manager making ``tracer`` the active tracer on this thread
+    (used by pool workers and the ``trace=`` entry-point parameters)."""
+
+    def __init__(self, tracer: "Tracer | NullTracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> "Tracer | NullTracer":
+        stack = getattr(_tls, "stack", None)
+        if stack is None:
+            stack = _tls.stack = []
+        stack.append(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _tls.stack.pop()
+        return None
+
+
+def configure_from_env() -> "Tracer | NullTracer":
+    """Honour ``$REPRO_TRACE``: install a process-wide tracer (once) and
+    register an atexit exporter writing into ``$REPRO_TRACE_DIR``.
+
+    Called at package import; returns the installed tracer (the null
+    tracer when the env knob is off or a tracer is already installed).
+    """
+    if not tracing_enabled_from_env() or _installed is not NULL_TRACER:
+        return _installed
+    tracer = Tracer()
+    install_tracer(tracer)
+
+    import atexit
+
+    def _flush() -> None:  # pragma: no cover - runs at interpreter exit
+        if tracer.finished:
+            tracer.write(basename=f"trace-{os.getpid()}")
+
+    atexit.register(_flush)
+    return tracer

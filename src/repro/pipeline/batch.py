@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from pickle import PicklingError
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..observability import Tracer, activate, get_metrics, get_tracer
 from .cache import TranslationCache, cache_key
 from .faults import FaultPlan, UnpicklableResult
 
@@ -131,6 +132,11 @@ class JobResult:
     #: transient failure classes of the attempts that preceded the final
     #: one (e.g. ``('timeout',)`` for a job that hung once, then passed)
     error_history: Tuple[str, ...] = ()
+    #: spans recorded by a pool worker while running this job (plain
+    #: dicts, see ``Tracer.export_spans``); the parent ingests and clears
+    #: them at harvest, so they are only populated transiently — and only
+    #: when the batch ran with tracing enabled
+    spans: Tuple[Dict[str, Any], ...] = ()
 
     @property
     def host_source(self) -> Optional[str]:
@@ -201,23 +207,51 @@ def _traceback_summary(exc: BaseException, limit: int = 3) -> str:
 
 
 def _translate_job(job: TranslationJob, plan: Optional[FaultPlan] = None,
-                   attempt: int = 1, in_pool: bool = False) -> JobResult:
+                   attempt: int = 1, in_pool: bool = False,
+                   trace_ctx: Optional[Dict[str, Any]] = None) -> JobResult:
     """Run one job, capturing *any* failure as structured fields.
 
     Must stay module-level (pickled by the process pool); errors are
     captured rather than raised because the repro exception hierarchy uses
     multi-argument constructors that do not survive unpickling — and
     because nothing a single job does may abort the batch.
+
+    ``trace_ctx`` (pooled runs only) is a serialized
+    :meth:`~repro.observability.Tracer.context`: the worker builds a local
+    tracer nesting under the parent's dispatch span on the shared
+    monotonic timeline and ships its spans back on ``JobResult.spans``.
     """
+    if trace_ctx is not None:
+        tracer = Tracer.from_context(trace_ctx)
+        with activate(tracer):
+            res = _translate_job(job, plan, attempt, in_pool)
+        res.spans = tuple(tracer.export_spans())
+        return res
+
     from ..device.specs import get_device_spec
-    from ..errors import ReproError, TranslationNotSupported, WorkerCrash
-    from ..translate.api import (translate_cuda_program,
-                                 translate_opencl_program)
 
     if job.direction not in DIRECTIONS:
         raise ValueError(f"unknown direction {job.direction!r}; "
                          f"expected one of {DIRECTIONS}")
     spec = get_device_spec(job.device)
+    tr = get_tracer()
+    with tr.span(f"job:{job.name}", direction=job.direction,
+                 attempt=attempt, pooled=in_pool) as span:
+        res = _translate_job_guarded(job, plan, attempt, in_pool, spec)
+        span.set(ok=res.ok)
+        if res.error_class:
+            span.set(error_class=res.error_class)
+            span.status = "error"
+    return res
+
+
+def _translate_job_guarded(job: TranslationJob, plan: Optional[FaultPlan],
+                           attempt: int, in_pool: bool,
+                           spec: Any) -> JobResult:
+    """The failure-taxonomy core of :func:`_translate_job`."""
+    from ..errors import ReproError, TranslationNotSupported, WorkerCrash
+    from ..translate.api import (translate_cuda_program,
+                                 translate_opencl_program)
     try:
         effects: Tuple[str, ...] = ()
         if plan is not None:
@@ -283,7 +317,8 @@ def translate_many(jobs: Sequence[TranslationJob], *,
                    timeout: Optional[float] = None,
                    retries: Optional[int] = None,
                    backoff: Optional[float] = None,
-                   fault_plan: Optional[FaultPlan] = None) -> List[JobResult]:
+                   fault_plan: Optional[FaultPlan] = None,
+                   trace: Optional[Tracer] = None) -> List[JobResult]:
     """Translate every job, returning per-job results in job order.
 
     Cache hits are served immediately (``cached=True``); the remaining
@@ -299,12 +334,45 @@ def translate_many(jobs: Sequence[TranslationJob], *,
     1); ``backoff`` is the base of the exponential retry delay (default
     ``$REPRO_JOB_BACKOFF`` or 0.05s).  ``fault_plan`` injects
     deterministic faults (default: parsed from ``$REPRO_FAULT_PLAN``).
+
+    ``trace`` overrides the ambient tracer for this batch (default: the
+    active :func:`~repro.observability.get_tracer`, i.e. whatever
+    ``$REPRO_TRACE`` / :func:`~repro.observability.install_tracer` set
+    up).  Tracing records one ``batch`` root span, a ``dispatch`` span
+    per pooled attempt with the worker's ``job``/``pass`` spans stitched
+    underneath, and ``retry``/``timeout``/``crash``/``quarantine``
+    events; it never changes the translated bytes.
     """
     for job in jobs:
         if job.direction not in DIRECTIONS:
             raise ValueError(f"unknown direction {job.direction!r}; "
                              f"expected one of {DIRECTIONS}")
 
+    tracer = trace if trace is not None else get_tracer()
+    with activate(tracer), \
+            tracer.span("batch:translate_many", jobs=len(jobs),
+                        parallel=parallel) as root:
+        results = _translate_many_traced(jobs, cache, parallel, max_workers,
+                                         timeout, retries, backoff,
+                                         fault_plan, tracer)
+        ok = sum(1 for r in results if r.ok)
+        cached = sum(1 for r in results if r.cached)
+        root.set(ok=ok, cached=cached)
+        m = get_metrics()
+        m.counter("batch.jobs", outcome="ok").inc(ok)
+        m.counter("batch.jobs", outcome="failed").inc(len(results) - ok)
+        m.counter("batch.cache_hits").inc(cached)
+    return results
+
+
+def _translate_many_traced(jobs: Sequence[TranslationJob],
+                           cache: Optional[TranslationCache],
+                           parallel: bool, max_workers: Optional[int],
+                           timeout: Optional[float], retries: Optional[int],
+                           backoff: Optional[float],
+                           fault_plan: Optional[FaultPlan],
+                           tracer: Any) -> List[JobResult]:
+    """The body of :func:`translate_many`, run under its root span."""
     if timeout is None:
         timeout = _env_float(TIMEOUT_ENV)
     if retries is None:
@@ -370,6 +438,7 @@ def _run_serial_one(job: TranslationJob, plan: Optional[FaultPlan],
     the pooled path (timeouts cannot occur in-process)."""
     attempt = 1
     history: List[str] = []
+    tracer = get_tracer()
     while True:
         res = _translate_job(job, plan, attempt, in_pool=False)
         if res.ok or res.error_class not in RETRYABLE_CLASSES \
@@ -378,6 +447,10 @@ def _run_serial_one(job: TranslationJob, plan: Optional[FaultPlan],
             res.error_history = tuple(history)
             return res
         history.append(res.error_class)  # type: ignore[arg-type]
+        if tracer.enabled:
+            tracer.event("retry", job=job.name, cls=res.error_class,
+                         attempt=attempt)
+        get_metrics().counter("batch.retries").inc()
         attempt += 1
         if backoff:
             time.sleep(min(backoff * 2 ** (len(history) - 1), 1.0))
@@ -433,6 +506,7 @@ def _run_pooled(jobs: List[TranslationJob], workers: int,
     pending = list(range(n))
     quarantine: List[int] = []
     round_no = 0
+    tracer = get_tracer()
 
     while pending:
         if round_no and backoff:
@@ -459,6 +533,7 @@ def _run_pooled(jobs: List[TranslationJob], workers: int,
         futs: Dict[Future, int] = {}
         not_done: Set[Future] = set()
         started: Dict[Future, float] = {}
+        dspans: Dict[Future, Any] = {}   # per-dispatch parent spans
         abandoned: Set[Future] = set()   # hung futures; worker still burned
         broken = False
 
@@ -468,17 +543,28 @@ def _run_pooled(jobs: List[TranslationJob], workers: int,
                         and len(not_done) + len(abandoned) < workers:
                     i = queue.pop(0)
                     dispatches[i] += 1
+                    dsp = trace_ctx = None
+                    if tracer.enabled:
+                        dsp = tracer.begin(f"dispatch:{jobs[i].name}",
+                                           attempt=dispatches[i],
+                                           round=round_no)
+                        trace_ctx = tracer.context(dsp)
                     try:
                         fut = pool.submit(_translate_job, jobs[i], plan,
-                                          dispatches[i], True)
+                                          dispatches[i], True, trace_ctx)
                     except Exception:
                         dispatches[i] -= 1
                         queue.insert(0, i)
                         broken = True
+                        if dsp is not None:
+                            tracer.end(dsp.set(submit_failed=True),
+                                       status="error")
                         break
                     futs[fut] = i
                     not_done.add(fut)
                     started[fut] = time.monotonic()
+                    if dsp is not None:
+                        dspans[fut] = dsp
                 if not not_done:
                     break   # every worker is hung: recycle into a new pool
                 done, not_done = wait(
@@ -486,13 +572,24 @@ def _run_pooled(jobs: List[TranslationJob], workers: int,
                 now = time.monotonic()
                 for fut in done:
                     i = futs[fut]
+                    dsp = dspans.pop(fut, None)
                     try:
                         res = fut.result()
                     except BrokenProcessPool:
                         broken = True
                         history[i].append("crash")
+                        get_metrics().counter("batch.crashes").inc()
+                        if dsp is not None:
+                            tracer.event("crash", span=dsp,
+                                         job=jobs[i].name,
+                                         attempt=dispatches[i])
+                            tracer.end(dsp, status="error")
                         if history[i].count("crash") <= retries:
                             retry_next.append(i)
+                            if tracer.enabled:
+                                tracer.event("retry", job=jobs[i].name,
+                                             cls="crash",
+                                             attempt=dispatches[i])
                         else:
                             quarantine.append(i)
                     except Exception:
@@ -500,6 +597,8 @@ def _run_pooled(jobs: List[TranslationJob], workers: int,
                         # — e.g. an unpicklable result; re-running this
                         # one job in-process is deterministic and keeps
                         # the batch alive
+                        if dsp is not None:
+                            tracer.end(dsp.set(result_unpicklable=True))
                         res = _translate_job(jobs[i], plan, dispatches[i],
                                              in_pool=False)
                         res.error_history = tuple(history[i])
@@ -508,6 +607,11 @@ def _run_pooled(jobs: List[TranslationJob], workers: int,
                         res.attempts = dispatches[i]
                         res.error_history = tuple(history[i])
                         results[i] = res
+                        if res.spans:
+                            tracer.ingest(res.spans)
+                            res.spans = ()
+                        if dsp is not None:
+                            tracer.end(dsp)
                 if timeout and not_done:
                     for fut in list(not_done):
                         if now - started[fut] < timeout:
@@ -515,9 +619,21 @@ def _run_pooled(jobs: List[TranslationJob], workers: int,
                         not_done.discard(fut)
                         abandoned.add(fut)
                         i = futs[fut]
+                        get_metrics().counter("batch.timeouts").inc()
+                        dsp = dspans.pop(fut, None)
+                        if dsp is not None:
+                            tracer.event("timeout", span=dsp,
+                                         job=jobs[i].name,
+                                         attempt=dispatches[i],
+                                         limit_s=timeout)
+                            tracer.end(dsp, status="error")
                         if dispatches[i] <= retries:
                             history[i].append("timeout")
                             queue.append(i)
+                            if tracer.enabled:
+                                tracer.event("retry", job=jobs[i].name,
+                                             cls="timeout",
+                                             attempt=dispatches[i])
                         else:
                             results[i] = _infra_failure(
                                 jobs[i], "timeout", dispatches[i],
@@ -542,7 +658,11 @@ def _run_pooled(jobs: List[TranslationJob], workers: int,
 
     for i in quarantine:
         dispatches[i] += 1
-        res = _isolated_dispatch(jobs[i], plan, dispatches[i], timeout)
+        with tracer.span(f"quarantine:{jobs[i].name}",
+                         attempt=dispatches[i]) as qsp:
+            res = _isolated_dispatch(jobs[i], plan, dispatches[i], timeout)
+            qsp.set(verdict="convicted" if res.error_class
+                    in RETRYABLE_CLASSES else "exonerated")
         res.attempts = dispatches[i]
         res.error_history = tuple(history[i])
         results[i] = res
@@ -557,17 +677,24 @@ def _isolated_dispatch(job: TranslationJob, plan: Optional[FaultPlan],
     pool: a break here can only be this job's doing, so crash/timeout are
     terminal rather than retried."""
     hung = False
+    tracer = get_tracer()
+    trace_ctx = tracer.context() if tracer.enabled else None
     try:
         pool = ProcessPoolExecutor(max_workers=1)
     except POOL_ENV_ERRORS:
         return _translate_job(job, plan, attempt, in_pool=False)
     try:
         try:
-            fut = pool.submit(_translate_job, job, plan, attempt, True)
+            fut = pool.submit(_translate_job, job, plan, attempt, True,
+                              trace_ctx)
         except Exception:
             return _translate_job(job, plan, attempt, in_pool=False)
         try:
-            return fut.result(timeout=timeout)
+            res = fut.result(timeout=timeout)
+            if res.spans:
+                tracer.ingest(res.spans)
+                res.spans = ()
+            return res
         except BrokenProcessPool:
             return _infra_failure(job, "crash", attempt, [], timeout)
         except TimeoutError:

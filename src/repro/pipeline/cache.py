@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
+from ..observability import get_metrics, get_tracer
+
 __all__ = ["cache_key", "result_sources", "CacheStats", "TranslationCache"]
 
 #: on-disk artifact format version; bump to invalidate old artifacts
@@ -117,35 +119,56 @@ class TranslationCache:
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._mem: "OrderedDict[str, Any]" = OrderedDict()
+        # process-wide metrics, bound once so the hot path never
+        # re-resolves instrument names (every cache instance feeds the
+        # same aggregate series, one per tier/outcome)
+        m = get_metrics()
+        self._m_hits_mem = m.counter("cache.hits", tier="mem")
+        self._m_hits_disk = m.counter("cache.hits", tier="disk")
+        self._m_misses = m.counter("cache.misses")
+        self._m_puts = m.counter("cache.puts")
+        self._m_evictions = m.counter("cache.evictions")
+        self._m_invalidations = m.counter("cache.invalidations")
+        self._m_disk_writes = m.counter("cache.disk_writes")
 
     # -- lookup / store -----------------------------------------------------
 
     def get(self, key: str) -> Optional[Any]:
         """The cached result for ``key``, or None.  Checks the in-memory
         tier first, then the disk tier (promoting disk hits to memory)."""
-        with self._lock:
-            if key in self._mem:
-                self._mem.move_to_end(key)
-                self.stats.hits += 1
-                return self._mem[key]
-            result = self._disk_load(key)
-            if result is not None:
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
-                self._mem_store(key, result)
-                return result
-            self.stats.misses += 1
-            return None
+        with get_tracer().span("cache:get") as span:
+            with self._lock:
+                if key in self._mem:
+                    self._mem.move_to_end(key)
+                    self.stats.hits += 1
+                    self._m_hits_mem.inc()
+                    span.set(outcome="hit", tier="mem")
+                    return self._mem[key]
+                result = self._disk_load(key)
+                if result is not None:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    self._m_hits_disk.inc()
+                    self._mem_store(key, result)
+                    span.set(outcome="hit", tier="disk")
+                    return result
+                self.stats.misses += 1
+                self._m_misses.inc()
+                span.set(outcome="miss")
+                return None
 
     def put(self, key: str, result: Any,
             meta: Optional[Dict[str, Any]] = None) -> None:
         """Store ``result`` under ``key``; persists an artifact when a
         ``cache_dir`` is configured."""
-        with self._lock:
-            self.stats.puts += 1
-            self._mem_store(key, result)
-            if self.cache_dir is not None:
-                self._disk_store(key, result, meta or {})
+        with get_tracer().span("cache:put",
+                               disk=self.cache_dir is not None):
+            with self._lock:
+                self.stats.puts += 1
+                self._m_puts.inc()
+                self._mem_store(key, result)
+                if self.cache_dir is not None:
+                    self._disk_store(key, result, meta or {})
 
     def get_or_translate(self, key: str, translate: Callable[[], Any],
                          meta: Optional[Dict[str, Any]] = None) -> Any:
@@ -169,6 +192,7 @@ class TranslationCache:
                 removed = True
             if removed:
                 self.stats.invalidations += 1
+                self._m_invalidations.inc()
             return removed
 
     def clear(self, disk: bool = False) -> None:
@@ -219,6 +243,7 @@ class TranslationCache:
         while len(self._mem) > self.capacity:
             self._mem.popitem(last=False)
             self.stats.evictions += 1
+            self._m_evictions.inc()
 
     # -- disk tier ----------------------------------------------------------
 
@@ -260,11 +285,17 @@ class TranslationCache:
         tmp.write_text(json.dumps(artifact, indent=1), encoding="utf-8")
         tmp.replace(path)
         self.stats.disk_writes += 1
+        self._m_disk_writes.inc()
 
     def _disk_load(self, key: str) -> Optional[Any]:
         path = self._artifact_path(key)
         if path is None or not path.exists():
             return None
+        with get_tracer().span("cache:disk-load") as span:
+            return self._disk_load_artifact(key, path, span)
+
+    def _disk_load_artifact(self, key: str, path: Path,
+                            span: Any) -> Optional[Any]:
         try:
             artifact = json.loads(path.read_text(encoding="utf-8"))
             if artifact.get("version") != ARTIFACT_VERSION \
@@ -279,8 +310,9 @@ class TranslationCache:
                                           artifact["device_source"]):
                 raise ValueError("artifact payload/source mismatch")
             return result
-        except Exception:
+        except Exception as e:
             # corrupted or stale: behave as a miss and drop the artifact
+            span.set(discarded=type(e).__name__)
             try:
                 path.unlink()
             except OSError:

@@ -49,6 +49,7 @@ from fnmatch import fnmatchcase
 from typing import Any, List, Optional, Sequence, Tuple
 
 from ..errors import WorkerCrash
+from ..observability import get_metrics, get_tracer
 
 __all__ = ["FAULT_PLAN_ENV", "FaultAction", "FaultPlan", "UnpicklableResult"]
 
@@ -178,6 +179,7 @@ class FaultPlan:
                 continue            # pickling never happens in-process
             if not self._claim(idx, name, attempt, action.count):
                 continue
+            self._observe(action, name, attempt)
             if action.kind == "fail":
                 raise self._exception(action, name)
             if action.kind == "crash":
@@ -206,6 +208,7 @@ class FaultPlan:
                 continue
             if not self._claim(idx, name, 1, action.count):
                 continue
+            self._observe(action, name, 1)
             text = path.read_text(encoding="utf-8")
             if (action.arg or "payload") == "tmp":
                 # crash mid-write: a half-written temp file, no artifact
@@ -221,6 +224,17 @@ class FaultPlan:
         return corrupted
 
     # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _observe(action: FaultAction, name: str, attempt: int) -> None:
+        """Leave a trace event + metric when an injection actually fires
+        (crash injections in pool workers die before export, but the
+        parent's dispatch span records the resulting BrokenProcessPool)."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("fault", kind=action.kind, job=name,
+                         attempt=attempt)
+        get_metrics().counter("faults.injected", kind=action.kind).inc()
 
     def _claim(self, idx: int, name: str, attempt: int, count: int) -> bool:
         if count <= 0:

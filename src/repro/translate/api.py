@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 from ..clike import ast as A
 from ..device.specs import GTX_TITAN, DeviceSpec
 from ..errors import TranslationNotSupported
+from ..observability import get_tracer
 from ..pipeline.cache import TranslationCache, cache_key
 from .analyzer import (Finding, analyze_cuda_source, analyze_opencl_source,
                        check_cuda_translatable, check_opencl_translatable)
@@ -123,12 +124,24 @@ def translate_cuda_program(source: str,
     spec) is returned as-is — the result object is immutable by contract,
     and the cached sources are byte-identical to a fresh run.
     """
-    key = None
-    if cache is not None:
-        key = cache_key(source, "cuda", defines, spec.name)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
+    with get_tracer().span("translate:cuda2ocl", spec=spec.name) as span:
+        key = None
+        if cache is not None:
+            key = cache_key(source, "cuda", defines, spec.name)
+            hit = cache.get(key)
+            if hit is not None:
+                span.set(cached=True)
+                return hit
+        prog = _translate_cuda_fresh(source, defines, spec)
+        if cache is not None and key is not None:
+            cache.put(key, prog, meta={"direction": "cuda2ocl",
+                                       "spec": spec.name})
+        span.set(cached=False)
+    return prog
+
+
+def _translate_cuda_fresh(source: str, defines: Optional[Dict[str, str]],
+                          spec: DeviceSpec) -> TranslatedCudaProgram:
     ctx = PassContext(source=source, dialect="cuda", defines=defines)
     ctx.state["spec"] = spec
     frontend = PassManager("cuda2ocl-frontend", [
@@ -149,9 +162,6 @@ def translate_cuda_program(source: str,
         pass_stats=_concat_stats("cuda2ocl-program", frontend_stats,
                                  device.pass_stats, host.pass_stats),
     )
-    if cache is not None and key is not None:
-        cache.put(key, prog, meta={"direction": "cuda2ocl",
-                                   "spec": spec.name})
     return prog
 
 
@@ -167,24 +177,27 @@ def translate_opencl_program(kernel_source: str, host_source: str = "",
     :func:`translate_cuda_program`; the host source participates in the
     key because it feeds the translatability check.
     """
-    key = None
-    if cache is not None:
-        key = cache_key(kernel_source + "\x00" + host_source, "opencl",
-                        defines, spec.name)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-    ctx = PassContext(source=kernel_source, dialect="opencl",
-                      defines=defines)
-    ctx.state["spec"] = spec
-    ctx.state["host_source"] = host_source
-    frontend = PassManager("ocl2cuda-frontend",
-                           [OclTranslatabilityCheckPass()])
-    frontend_stats = frontend.run(ctx)
-    result = translate_kernel_unit(kernel_source, defines=defines)
-    result.pass_stats = _concat_stats("ocl2cuda-program", frontend_stats,
-                                      result.pass_stats)
-    if cache is not None and key is not None:
-        cache.put(key, result, meta={"direction": "ocl2cuda",
-                                     "spec": spec.name})
+    with get_tracer().span("translate:ocl2cuda", spec=spec.name) as span:
+        key = None
+        if cache is not None:
+            key = cache_key(kernel_source + "\x00" + host_source, "opencl",
+                            defines, spec.name)
+            hit = cache.get(key)
+            if hit is not None:
+                span.set(cached=True)
+                return hit
+        ctx = PassContext(source=kernel_source, dialect="opencl",
+                          defines=defines)
+        ctx.state["spec"] = spec
+        ctx.state["host_source"] = host_source
+        frontend = PassManager("ocl2cuda-frontend",
+                               [OclTranslatabilityCheckPass()])
+        frontend_stats = frontend.run(ctx)
+        result = translate_kernel_unit(kernel_source, defines=defines)
+        result.pass_stats = _concat_stats("ocl2cuda-program", frontend_stats,
+                                          result.pass_stats)
+        if cache is not None and key is not None:
+            cache.put(key, result, meta={"direction": "ocl2cuda",
+                                         "spec": spec.name})
+        span.set(cached=False)
     return result

@@ -30,6 +30,7 @@ from typing import (Any, Dict, Iterable, List, NoReturn, Optional, Sequence,
 
 from ..clike import ast as A
 from ..errors import PassOrderError, TranslationError, TranslationNotSupported
+from ..observability import get_tracer
 from . import common
 from .diagnostics import (SEV_ERROR, SEV_NOTE, SEV_WARNING, Diagnostic,
                           SourceSpan, span_of)
@@ -263,6 +264,7 @@ class PassManager:
 
     def run(self, ctx: PassContext) -> PipelineStats:
         stats = PipelineStats(self.pipeline)
+        tracer = get_tracer()
         prev = common._INSTR.ctx
         common._INSTR.ctx = ctx
         try:
@@ -271,12 +273,19 @@ class PassManager:
                 v0, r0, d0 = ctx.visits, ctx.rewrites, len(ctx.diagnostics)
                 t0 = time.perf_counter()
                 try:
-                    p.run(ctx)
+                    with tracer.span(f"pass:{p.name}",
+                                     pipeline=self.pipeline) as span:
+                        p.run(ctx)
                 finally:
-                    stats.passes.append(PassStats(
+                    rec = PassStats(
                         p.name, time.perf_counter() - t0,
                         ctx.visits - v0, ctx.rewrites - r0,
-                        len(ctx.diagnostics) - d0))
+                        len(ctx.diagnostics) - d0)
+                    stats.passes.append(rec)
+                    # the span absorbs the PassStats counters, so one
+                    # trace file carries the whole timing table
+                    span.set(visits=rec.visits, rewrites=rec.rewrites,
+                             diagnostics=rec.diagnostics)
         except Exception as e:
             if getattr(e, "pass_stats", None) is None:
                 try:

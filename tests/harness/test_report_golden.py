@@ -1,0 +1,113 @@
+"""Golden snapshots of the harness report renderers.
+
+``render_pass_stats`` / ``render_batch_stats`` (and the observability
+renders added with them) format numbers into aligned columns that tools
+and humans both read; a stray format change silently breaks every
+downstream diff.  Each renderer is fed a fixed synthetic input and the
+exact text is pinned against a checked-in golden file.
+
+Regenerate intentionally with::
+
+    pytest tests/harness/test_report_golden.py --regen-golden
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.report import (render_batch_stats, render_cache_stats,
+                                  render_metrics, render_pass_stats,
+                                  render_trace_summary)
+from repro.observability import MetricsRegistry
+from repro.pipeline.batch import BatchStats
+from repro.pipeline.cache import TranslationCache
+from repro.translate.api import translate_cuda_program
+from repro.translate.passes import PassStats, PipelineStats
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def check_golden(name: str, text: str, regen: bool) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    if regen:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), \
+        f"golden file {path} missing — run with --regen-golden"
+    assert text + "\n" == path.read_text(encoding="utf-8")
+
+
+@pytest.fixture()
+def regen(request):
+    return request.config.getoption("--regen-golden")
+
+
+def test_render_pass_stats_golden(regen):
+    stats = PipelineStats("cuda2ocl-program", [
+        PassStats("translatability-check", 0.004, 120, 0, 0, 1),
+        PassStats("parse", 0.0123456, 0, 0, 0, 1),
+        PassStats("host-rewrite", 0.0761, 470, 16, 2, 10),
+        PassStats("emit-opencl", 0.002, 0, 0, 0, 10),
+    ])
+    check_golden("pass_stats",
+                 render_pass_stats(stats, title="translation passes"),
+                 regen)
+
+
+def test_render_pass_stats_zero_total_golden(regen):
+    stats = PipelineStats("empty", [PassStats("noop", 0.0, 0, 0, 0, 1)])
+    check_golden("pass_stats_zero", render_pass_stats(stats), regen)
+
+
+def test_render_batch_stats_golden(regen):
+    stats = BatchStats(total=93, ok=90, failed=3, cached=12, retries=2,
+                       timeouts=1, crashes=1,
+                       by_class={"internal": 2, "not-supported": 1})
+    check_golden("batch_stats",
+                 render_batch_stats(stats, title="batch translation"),
+                 regen)
+
+
+def test_render_batch_stats_clean_golden(regen):
+    stats = BatchStats(total=4, ok=4, failed=0, cached=4)
+    check_golden("batch_stats_clean", render_batch_stats(stats), regen)
+
+
+def test_render_cache_stats_golden(regen):
+    cache = TranslationCache(capacity=8)
+    src = "__global__ void k(float* a) { a[0] = 1.0f; }\n" \
+          "int main() { return 0; }\n"
+    translate_cuda_program(src, cache=cache)      # miss + put
+    translate_cuda_program(src, cache=cache)      # hit
+    check_golden("cache_stats", render_cache_stats(cache), regen)
+
+
+def test_render_metrics_golden(regen):
+    reg = MetricsRegistry()
+    reg.counter("cache.hits", tier="mem").inc(7)
+    reg.counter("cache.hits", tier="disk").inc(2)
+    reg.gauge("pool.width").set(4)
+    h = reg.histogram("job.wall_s", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.02, 0.02, 0.5):
+        h.observe(v)
+    check_golden("metrics", render_metrics(reg), regen)
+
+
+def test_render_trace_summary_golden(regen):
+    spans = [
+        {"name": "batch:translate_many", "span_id": "1", "parent_id": None,
+         "start_ns": 0, "end_ns": 10_000_000, "status": "ok", "events": []},
+        {"name": "job:srad", "span_id": "2", "parent_id": "1",
+         "start_ns": 1_000_000, "end_ns": 5_000_000, "status": "ok",
+         "events": [{"name": "retry", "ts_ns": 2_000_000, "attrs": {}}]},
+        {"name": "job:nw", "span_id": "3", "parent_id": "1",
+         "start_ns": 5_000_000, "end_ns": 9_000_000, "status": "error",
+         "events": []},
+        {"name": "pass:parse", "span_id": "4", "parent_id": "2",
+         "start_ns": 1_500_000, "end_ns": 2_500_000, "status": "ok",
+         "events": []},
+    ]
+    check_golden("trace_summary", render_trace_summary(spans), regen)

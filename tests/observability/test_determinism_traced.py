@@ -1,0 +1,157 @@
+"""Tracing must never change translation output.
+
+The observability layer rides along every hot path — passes, cache,
+batch dispatch, fault injection — so the one property that makes it safe
+to leave in production code is proven here: a traced run produces
+byte-identical results to an untraced one, serial or pooled, with or
+without injected faults.  The final test is the acceptance run of the
+issue: a traced 50-job corpus batch through the real worker pool whose
+Chrome trace covers passes, cache lookups, worker jobs, and a retry,
+while the results match an untraced serial run byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import corpus_jobs
+from repro.observability import Tracer
+from repro.pipeline.batch import translate_many
+from repro.pipeline.cache import TranslationCache
+from repro.pipeline.faults import FaultPlan
+
+#: the byte-identity contract, field by field — mirrors
+#: scripts/check_determinism.py FIELDS; JobResult.spans is deliberately
+#: absent (trace output is excluded from the diff)
+FIELDS = ("ok", "error_type", "error_class", "error_category",
+          "error_message", "error_traceback", "host_source", "device_source")
+
+
+def snap(results):
+    return {(r.job.name, r.job.direction):
+            tuple(getattr(r, f) for f in FIELDS) for r in results}
+
+
+def test_traced_serial_matches_untraced():
+    jobs = corpus_jobs()[:10]
+    base = snap(translate_many(jobs, cache=None, parallel=False))
+    tracer = Tracer("det-serial")
+    traced = snap(translate_many(jobs, cache=None, parallel=False,
+                                 trace=tracer))
+    assert traced == base
+    assert tracer.finished, "the traced run recorded nothing"
+
+
+def test_traced_pooled_matches_untraced_serial():
+    jobs = corpus_jobs()[:6]
+    base = snap(translate_many(jobs, cache=None, parallel=False))
+    tracer = Tracer("det-pooled")
+    traced = snap(translate_many(jobs, cache=None, parallel=True,
+                                 max_workers=2, trace=tracer))
+    assert traced == base
+    assert any(s["name"].startswith("dispatch:")
+               for s in tracer.export_spans())
+
+
+def test_traced_fault_run_matches_untraced_fault_run(tmp_path):
+    jobs = corpus_jobs()[:6]
+    target = jobs[0].name
+    spec = f"fail:{target}:0:ValueError"       # count 0: every attempt
+    base = snap(translate_many(jobs, cache=None, parallel=False,
+                               fault_plan=FaultPlan.parse(spec)))
+    tracer = Tracer("det-fault")
+    traced = snap(translate_many(jobs, cache=None, parallel=False,
+                                 fault_plan=FaultPlan.parse(spec),
+                                 trace=tracer))
+    assert traced == base
+    key = (target, jobs[0].direction)
+    assert base[key][FIELDS.index("ok")] is False
+    events = [e["name"] for s in tracer.export_spans()
+              for e in s["events"]]
+    assert "fault" in events
+
+
+def test_cached_rerun_is_byte_identical_and_traced():
+    jobs = corpus_jobs()[:6]
+    cache = TranslationCache(capacity=32)
+    cold = snap(translate_many(jobs, cache=cache, parallel=False))
+    tracer = Tracer("det-cache")
+    warm = snap(translate_many(jobs, cache=cache, parallel=False,
+                               trace=tracer))
+    assert warm == cold
+    hits = [s for s in tracer.export_spans()
+            if s["name"] == "cache:get"
+            and s["attrs"].get("outcome") == "hit"]
+    assert hits, "warm rerun recorded no cache hits"
+
+
+def test_trace_env_knob_writes_files_without_changing_results(tmp_path):
+    """REPRO_TRACE=1 installs an ambient tracer whose atexit flush writes
+    the Chrome + JSONL pair — and stdout (the translated sources) is
+    byte-identical to an untraced child process."""
+    script = (
+        "from repro.harness.runner import corpus_jobs\n"
+        "from repro.pipeline.batch import translate_many\n"
+        "rs = translate_many(corpus_jobs()[:2], cache=None, parallel=False)\n"
+        "for r in rs:\n"
+        "    print(r.job.name, r.ok)\n"
+        "    print(r.host_source or '')\n"
+        "    print(r.device_source or '')\n")
+    env = dict(os.environ,
+               PYTHONPATH=str(Path(__file__).parents[2] / "src"),
+               REPRO_TRACE_DIR=str(tmp_path))
+    env.pop("REPRO_TRACE", None)
+    untraced = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True)
+    traced = subprocess.run([sys.executable, "-c", script],
+                            env=dict(env, REPRO_TRACE="1"),
+                            capture_output=True, text=True, check=True)
+    assert traced.stdout == untraced.stdout
+    written = list(tmp_path.glob("trace-*.json"))
+    assert written, "atexit flush wrote no Chrome trace"
+    data = json.loads(written[0].read_text())
+    assert data["traceEvents"]
+
+
+@pytest.mark.slow
+def test_acceptance_traced_50_job_corpus_run():
+    """The issue's acceptance gate, end to end."""
+    jobs = corpus_jobs()[:50]
+    base = snap(translate_many(jobs, cache=None, parallel=False))
+
+    # aim one transient worker crash at the first ok job: the retry must
+    # appear in the trace and the job must still land byte-identical
+    ok_names = [j.name for j in jobs
+                if base[(j.name, j.direction)][0]]
+    plan = FaultPlan.parse(f"crash:{ok_names[0]}:1")
+
+    tracer = Tracer("acceptance")
+    results = translate_many(jobs, cache=TranslationCache(capacity=64),
+                             parallel=True, max_workers=2, retries=2,
+                             fault_plan=plan, trace=tracer)
+    assert snap(results) == base
+    assert all(r.spans == () for r in results)
+
+    spans = tracer.export_spans()
+    cats = {s["name"].split(":", 1)[0] for s in spans}
+    assert {"batch", "dispatch", "job", "translate", "pass",
+            "cache"} <= cats
+
+    events = [e["name"] for s in spans for e in s["events"]]
+    assert "retry" in events
+    assert "crash" in events
+
+    # the Chrome export is valid trace-event JSON
+    data = json.loads(json.dumps(tracer.chrome_trace()))
+    assert len(data["traceEvents"]) >= len(spans)
+    for ev in data["traceEvents"]:
+        assert {"ph", "ts", "pid", "tid"} <= set(ev)
+
+    # worker spans really came from worker processes
+    assert len({s["pid"] for s in spans}) >= 2

@@ -1,0 +1,125 @@
+"""Unit tests for the metrics registry and its three instrument kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import (Counter, Gauge, Histogram, MetricsRegistry,
+                                 get_metrics)
+from repro.observability.metrics import DEFAULT_TIME_BUCKETS
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+# -- instruments ------------------------------------------------------------
+
+def test_counter_increments(reg):
+    c = reg.counter("hits")
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    assert c.as_dict() == {"value": 4}
+
+
+def test_gauge_set_inc_dec(reg):
+    g = reg.gauge("depth")
+    g.set(5.0)
+    g.inc()
+    g.dec(2.0)
+    assert g.value == 4.0
+
+
+def test_histogram_buckets_and_stats(reg):
+    h = reg.histogram("t", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == pytest.approx(106.0)
+    assert h.min == 0.5 and h.max == 100.0
+    assert h.mean == pytest.approx(21.2)
+    # inclusive upper bounds: 0.5,1.0 -> <=1.0 | 1.5 -> <=2.0 | 3.0 -> <=4.0
+    # | 100.0 -> overflow
+    assert h.counts == [2, 1, 1, 1]
+
+
+def test_histogram_quantiles(reg):
+    h = reg.histogram("t", buckets=(1.0, 2.0))
+    for _ in range(9):
+        h.observe(0.5)
+    h.observe(10.0)
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(1.0) == 10.0     # overflow bucket reports the max
+    assert reg.histogram("empty").quantile(0.5) == 0.0
+
+
+def test_histogram_default_buckets_sorted(reg):
+    h = reg.histogram("t")
+    assert h.buckets == tuple(sorted(DEFAULT_TIME_BUCKETS))
+    assert len(h.counts) == len(h.buckets) + 1
+
+
+# -- registry ---------------------------------------------------------------
+
+def test_get_or_create_returns_same_instrument(reg):
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("g") is reg.gauge("g")
+
+
+def test_labels_make_distinct_series(reg):
+    mem = reg.counter("cache.hits", tier="mem")
+    disk = reg.counter("cache.hits", tier="disk")
+    assert mem is not disk
+    mem.inc()
+    assert disk.value == 0
+    # label order is irrelevant
+    assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+
+def test_kind_mismatch_raises(reg):
+    reg.counter("n")
+    with pytest.raises(TypeError):
+        reg.gauge("n")
+    with pytest.raises(TypeError):
+        reg.histogram("n")
+
+
+def test_snapshot_keys_and_kinds(reg):
+    reg.counter("c", tier="mem").inc(2)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h").observe(0.1)
+    snap = reg.snapshot()
+    assert snap["c{tier=mem}"] == {"value": 2, "kind": "counter"}
+    assert snap["g"] == {"value": 1.5, "kind": "gauge"}
+    assert snap["h"]["kind"] == "histogram"
+    assert snap["h"]["count"] == 1
+
+
+def test_snapshot_is_sorted_and_stable(reg):
+    reg.counter("b")
+    reg.counter("a", z="2")
+    reg.counter("a", z="1")
+    assert list(reg.snapshot()) == ["a{z=1}", "a{z=2}", "b"]
+
+
+def test_reset_drops_everything(reg):
+    reg.counter("c").inc()
+    reg.reset()
+    assert reg.snapshot() == {}
+    assert reg.counter("c").value == 0
+
+
+def test_render_mentions_every_instrument(reg):
+    reg.counter("c").inc()
+    reg.histogram("h").observe(0.5)
+    text = reg.render(title="test metrics")
+    assert text.startswith("test metrics:")
+    assert "c" in text and "counter" in text
+    assert "h" in text and "histogram" in text and "p95" in text
+
+
+def test_process_registry_is_shared():
+    assert get_metrics() is get_metrics()
+    assert isinstance(get_metrics(), MetricsRegistry)

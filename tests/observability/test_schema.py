@@ -1,0 +1,158 @@
+"""Trace-schema validation over real pipeline runs.
+
+A recorded trace is only useful if tools can rely on its shape, so these
+tests pin the contract: spans nest inside their parents on one monotonic
+timeline, the Chrome export round-trips through JSON with the keys the
+trace-event format requires (``ph``/``ts``/``pid``/``tid``), and the
+summary aggregation attributes self time correctly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.runner import corpus_jobs
+from repro.observability import Tracer, span_forest, summarize_spans
+from repro.pipeline.batch import translate_many
+from repro.pipeline.cache import TranslationCache
+
+
+@pytest.fixture(scope="module")
+def traced_serial():
+    """(tracer, results) of a small traced serial batch with a cache."""
+    tracer = Tracer("schema-test")
+    jobs = corpus_jobs()[:6]
+    results = translate_many(jobs, cache=TranslationCache(capacity=16),
+                             parallel=False, trace=tracer)
+    return tracer, results
+
+
+@pytest.fixture(scope="module")
+def spans(traced_serial):
+    return traced_serial[0].export_spans()
+
+
+# -- span stream shape ------------------------------------------------------
+
+def test_all_spans_are_closed(spans):
+    assert spans
+    for s in spans:
+        assert s["end_ns"] is not None, f"unclosed span {s['name']}"
+
+
+def test_timestamps_are_monotonic_and_ordered(spans):
+    for s in spans:
+        assert 0 <= s["start_ns"] <= s["end_ns"]
+
+
+def test_every_parent_id_resolves(spans):
+    by_id = {s["span_id"]: s for s in spans}
+    for s in spans:
+        if s["parent_id"] is not None:
+            assert s["parent_id"] in by_id, \
+                f"orphan span {s['name']} -> {s['parent_id']}"
+
+
+def test_children_nest_inside_parents(spans):
+    by_id = {s["span_id"]: s for s in spans}
+    for s in spans:
+        parent = by_id.get(s["parent_id"])
+        if parent is None:
+            continue
+        assert parent["start_ns"] <= s["start_ns"]
+        assert s["end_ns"] <= parent["end_ns"]
+
+
+def test_one_batch_root_covers_the_run(spans):
+    roots, children = span_forest(spans)
+    batch_roots = [r for r in roots if r["name"].startswith("batch:")]
+    assert len(batch_roots) == 1
+    # every job span hangs off the batch root
+    job_spans = [s for s in spans if s["name"].startswith("job:")]
+    assert job_spans
+    kids = {c["span_id"] for c in children.get(batch_roots[0]["span_id"], ())}
+    assert all(s["span_id"] in kids for s in job_spans)
+
+
+def test_expected_categories_present(spans):
+    cats = {s["name"].split(":", 1)[0] for s in spans}
+    assert {"batch", "job", "translate", "pass", "cache"} <= cats
+
+
+def test_span_ids_unique(spans):
+    ids = [s["span_id"] for s in spans]
+    assert len(ids) == len(set(ids))
+
+
+# -- Chrome trace-event export ----------------------------------------------
+
+def test_chrome_trace_round_trips_with_required_keys(traced_serial):
+    tracer, _ = traced_serial
+    data = json.loads(json.dumps(tracer.chrome_trace()))
+    events = data["traceEvents"]
+    assert events
+    for ev in events:
+        for key in ("ph", "ts", "pid", "tid"):
+            assert key in ev, f"event {ev.get('name')} missing {key!r}"
+        assert ev["ph"] in ("X", "i", "M")
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+            assert "span_id" in ev["args"]
+        if ev["ph"] == "i":
+            assert ev["s"] == "t"
+    assert data["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_has_process_metadata(traced_serial):
+    tracer, _ = traced_serial
+    events = tracer.chrome_trace()["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    span_pids = {e["pid"] for e in events if e["ph"] == "X"}
+    assert {e["pid"] for e in meta} == span_pids
+    assert all(e["name"] == "process_name" for e in meta)
+
+
+def test_jsonl_lines_parse_one_span_each(traced_serial):
+    tracer, _ = traced_serial
+    lines = list(tracer.jsonl_lines())
+    assert len(lines) == len(tracer.export_spans())
+    for line in lines:
+        d = json.loads(line)
+        assert {"name", "span_id", "trace_id", "start_ns",
+                "end_ns", "pid", "tid", "status"} <= set(d)
+
+
+# -- summary aggregation ----------------------------------------------------
+
+def test_summarize_spans_self_time_excludes_children(spans):
+    rows = {r.category: r for r in summarize_spans(spans)}
+    assert rows["batch"].count == 1
+    # the batch span encloses everything, so its self time must be far
+    # below its total
+    assert rows["batch"].self_ns < rows["batch"].total_ns
+    # categories together cover every span exactly once
+    assert sum(r.count for r in rows.values()) == len(spans)
+
+
+def test_summarize_spans_top_truncates(spans):
+    all_cats = [r.category for r in summarize_spans(spans)]
+    assert [r.category for r in summarize_spans(spans, top=2)] \
+        == all_cats[:2]
+
+
+def test_span_forest_handles_foreign_parent():
+    orphan = {"name": "x", "span_id": "1", "parent_id": "gone",
+              "start_ns": 0, "end_ns": 1}
+    roots, children = span_forest([orphan])
+    assert roots == [orphan]
+    assert children == {}
+
+
+def test_category_row_as_dict(spans):
+    row = summarize_spans(spans)[0]
+    d = row.as_dict()
+    assert d == {"category": row.category, "count": row.count,
+                 "total_ns": row.total_ns, "self_ns": row.self_ns,
+                 "errors": row.errors, "events": row.events}

@@ -1,0 +1,273 @@
+"""Unit tests for the span tracer: lifecycle, nesting, wiring, no-ops."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.observability import (NULL_TRACER, NullTracer, Span, Tracer,
+                                 activate, get_tracer, install_tracer,
+                                 installed_tracer, tracing_enabled_from_env)
+from repro.observability.trace import TRACE_ENV, _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _clean_install():
+    """Never leak a process-wide tracer into other tests."""
+    prev = install_tracer(None)
+    yield
+    install_tracer(prev if not isinstance(prev, NullTracer) else None)
+
+
+# -- span lifecycle ---------------------------------------------------------
+
+def test_span_records_name_parent_and_duration():
+    t = Tracer("t")
+    with t.span("outer", color="red") as outer:
+        with t.span("inner") as inner:
+            pass
+    assert [s.name for s in t.finished] == ["inner", "outer"]
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert outer.attrs == {"color": "red"}
+    assert outer.end_ns is not None and outer.end_ns >= outer.start_ns
+    assert outer.duration_ns >= inner.duration_ns
+
+
+def test_span_category_is_name_prefix():
+    t = Tracer()
+    with t.span("pass:emit-cuda") as a, t.span("plain") as b:
+        pass
+    assert a.category == "pass"
+    assert b.category == "plain"
+
+
+def test_exception_marks_span_error_and_propagates():
+    t = Tracer()
+    with pytest.raises(ValueError):
+        with t.span("boom"):
+            raise ValueError("nope")
+    (span,) = t.finished
+    assert span.status == "error"
+    assert span.attrs["error_type"] == "ValueError"
+    assert span.end_ns is not None
+
+
+def test_set_chains_and_merges_attrs():
+    t = Tracer()
+    with t.span("s", a=1) as span:
+        assert span.set(b=2) is span
+    assert span.attrs == {"a": 1, "b": 2}
+
+
+def test_begin_end_manual_spans_do_not_join_stack():
+    t = Tracer()
+    with t.span("parent") as parent:
+        manual = t.begin("dispatch:x")
+        assert manual.parent_id == parent.span_id
+        with t.span("child") as child:
+            # the manual span is invisible to the stack
+            assert child.parent_id == parent.span_id
+        t.end(manual, status="error")
+    assert manual.status == "error"
+    assert {s.name for s in t.finished} == {"parent", "child", "dispatch:x"}
+
+
+def test_event_attaches_to_current_span():
+    t = Tracer()
+    with t.span("s") as span:
+        t.event("retry", job="a", attempt=2)
+    assert [e.name for e in span.events] == ["retry"]
+    assert span.events[0].attrs == {"job": "a", "attempt": 2}
+
+
+def test_event_without_active_span_synthesizes_holder():
+    t = Tracer()
+    t.event("orphan", k="v")
+    (span,) = t.finished
+    assert span.name == "event:orphan"
+    assert span.events[0].attrs == {"k": "v"}
+    assert span.end_ns is not None
+
+
+def test_event_on_explicit_span():
+    t = Tracer()
+    target = t.begin("dispatch:j")
+    with t.span("other"):
+        t.event("timeout", span=target, limit_s=1.0)
+    assert [e.name for e in target.events] == ["timeout"]
+
+
+def test_span_dict_round_trip():
+    t = Tracer()
+    with t.span("s", n=1) as span:
+        t.event("e", x="y")
+    clone = Span.from_dict(span.as_dict())
+    assert clone.as_dict() == span.as_dict()
+
+
+# -- cross-process stitching ------------------------------------------------
+
+def test_context_carries_current_span_and_epoch():
+    t = Tracer("parent")
+    with t.span("dispatch:j") as d:
+        ctx = t.context()
+    assert ctx == {"trace_id": t.trace_id, "span_id": d.span_id,
+                   "epoch_ns": t.epoch_ns}
+
+
+def test_worker_tracer_shares_timeline_and_parents_under_context():
+    parent = Tracer("parent")
+    d = parent.begin("dispatch:j")
+    worker = Tracer.from_context(parent.context(d))
+    assert worker.epoch_ns == parent.epoch_ns
+    assert worker.trace_id == parent.trace_id
+    with worker.span("job:j"):
+        pass
+    parent.end(d)
+    n = parent.ingest(worker.export_spans())
+    assert n == 1
+    job = next(s for s in parent.finished if s.name == "job:j")
+    assert job.parent_id == d.span_id
+    # shared epoch: the worker span lies inside the dispatch span
+    assert d.start_ns <= job.start_ns and job.end_ns <= d.end_ns
+
+
+def test_export_spans_are_plain_picklable_dicts():
+    import pickle
+    t = Tracer()
+    with t.span("s"):
+        t.event("e")
+    (d,) = t.export_spans()
+    assert isinstance(d, dict)
+    pickle.loads(pickle.dumps(d))
+
+
+# -- wiring: install / activate / env --------------------------------------
+
+def test_get_tracer_defaults_to_null():
+    assert get_tracer() is NULL_TRACER
+    assert installed_tracer() is NULL_TRACER
+
+
+def test_install_tracer_and_restore():
+    t = Tracer()
+    prev = install_tracer(t)
+    assert prev is NULL_TRACER
+    assert get_tracer() is t
+    install_tracer(None)
+    assert get_tracer() is NULL_TRACER
+
+
+def test_activate_overrides_installed_tracer():
+    installed, local = Tracer("i"), Tracer("l")
+    install_tracer(installed)
+    with activate(local):
+        assert get_tracer() is local
+        with activate(NULL_TRACER):
+            assert get_tracer() is NULL_TRACER
+        assert get_tracer() is local
+    assert get_tracer() is installed
+
+
+@pytest.mark.parametrize("value,expected", [
+    ("1", True), ("true", True), ("yes", True), ("ON", True),
+    ("", False), ("0", False), ("false", False), ("no", False),
+    ("off", False), ("  ", False),
+])
+def test_tracing_enabled_from_env(monkeypatch, value, expected):
+    monkeypatch.setenv(TRACE_ENV, value)
+    assert tracing_enabled_from_env() is expected
+
+
+def test_tracing_env_unset_is_disabled(monkeypatch):
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    assert tracing_enabled_from_env() is False
+
+
+# -- the disabled path ------------------------------------------------------
+
+def test_null_tracer_span_is_shared_singleton():
+    s1 = NULL_TRACER.span("a", k=1)
+    s2 = NULL_TRACER.span("b")
+    assert s1 is s2 is _NULL_SPAN
+
+
+def test_null_span_accepts_full_span_surface():
+    with NULL_TRACER.span("x") as span:
+        span.set(a=1)
+        span.status = "error"        # silently discarded
+        span.anything = "ignored"
+    assert span.status == "ok"
+    assert span.attrs == {}
+    assert NULL_TRACER.event("e", span=span) is None
+    assert NULL_TRACER.context() is None
+    assert NULL_TRACER.export_spans() == []
+    assert NULL_TRACER.ingest([{"name": "s"}]) == 0
+    assert NULL_TRACER.finished == []
+
+
+def test_null_tracer_disabled_flag():
+    assert NULL_TRACER.enabled is False
+    assert Tracer().enabled is True
+
+
+def test_null_tracer_begin_end_current():
+    span = NULL_TRACER.begin("dispatch:x", attempt=1)
+    assert span is _NULL_SPAN
+    assert NULL_TRACER.end(span, status="error") is span
+    assert NULL_TRACER.current() is None
+
+
+def test_configure_from_env_disabled(monkeypatch):
+    from repro.observability import configure_from_env
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    assert configure_from_env() is NULL_TRACER
+
+
+def test_configure_from_env_installs_process_tracer(monkeypatch):
+    from repro.observability import configure_from_env
+    monkeypatch.setenv(TRACE_ENV, "1")
+    t = configure_from_env()
+    assert isinstance(t, Tracer)
+    assert installed_tracer() is t
+    # a second call never replaces an already-installed tracer
+    assert configure_from_env() is t
+
+
+# -- file output ------------------------------------------------------------
+
+def test_write_produces_chrome_and_jsonl(tmp_path):
+    t = Tracer()
+    with t.span("s"):
+        pass
+    chrome, jsonl = t.write(tmp_path)
+    assert chrome == tmp_path / "trace.json"
+    assert jsonl == tmp_path / "trace.jsonl"
+    data = json.loads(chrome.read_text())
+    assert "traceEvents" in data
+    lines = jsonl.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["name"] == "s"
+
+
+def test_write_honours_trace_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "env-dir"))
+    t = Tracer()
+    with t.span("s"):
+        pass
+    chrome, _ = t.write(basename="custom")
+    assert chrome == tmp_path / "env-dir" / "custom.json"
+    assert chrome.exists()
+
+
+def test_span_ids_unique_across_many_spans():
+    t = Tracer()
+    for i in range(100):
+        with t.span(f"s{i}"):
+            pass
+    ids = [s.span_id for s in t.finished]
+    assert len(set(ids)) == 100
+    assert all(sid.startswith(f"{os.getpid():x}.") for sid in ids)
