@@ -1,0 +1,201 @@
+"""Execution-tier speedup bench: compiled kernels vs the interpreter.
+
+The compile tier exists to take the device engine off the figure benches'
+critical path (ROADMAP item 1): the interpreter re-walks the kernel AST per
+work-item, the compiled tier runs generated Python.  This bench runs the
+two kernel-heaviest corpus apps — NPB FT and Rodinia gaussian — under both
+tiers and measures *kernel execution wall time* as the sum of ``kernel:``
+span durations from the observability layer, which isolates the engine from
+host-program interpretation (FT's host loop dominates its whole-app time).
+
+Simulated *modeled* time must be bit-for-bit identical across tiers — the
+tier changes how fast the simulation runs, never what it reports.
+
+CI regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke
+
+re-measures and fails if the compiled tier is less than ``MIN_SPEEDUP``×
+the interpreter on either app, or if a warm second run fails to skip
+codegen (``engine.compile.cache_hit`` must rise).  Refresh the committed
+``benchmarks/BENCH_engine.json`` after an intentional change with::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+from pathlib import Path
+
+from repro.apps.base import all_apps
+from repro.harness import run_opencl_app
+from repro.observability import Tracer, activate, get_metrics
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_engine.json"
+
+#: the acceptance bar: compiled kernel execution must beat the interpreter
+#: by at least this factor on every benched app (ISSUE 6 asks for >=10x)
+MIN_SPEEDUP = 10.0
+
+#: (suite, name) of the benched apps — kernel-bound corpus members
+APPS = [("npb", "FT"), ("rodinia", "gaussian")]
+
+#: runs per (app, tier); the fastest is kept (classic min-of-N timing)
+REPEATS = 3
+
+
+def _find_app(suite, name):
+    for app in all_apps():
+        if app.suite == suite and app.name == name:
+            return app
+    raise LookupError(f"{suite}/{name} not in corpus")
+
+
+def _kernel_wall_s(app, tier):
+    """One traced run; returns (kernel-span wall seconds, RunResult).
+
+    Runs with GC in its default state — the interpreter's allocation rate
+    makes GC churn a real part of its wall-clock cost — but starts from a
+    collected heap so prior runs' garbage doesn't land in this one.
+    """
+    tracer = Tracer()
+    gc.collect()
+    with activate(tracer):
+        res = run_opencl_app(app.name, app.opencl_host,
+                             app.opencl_kernels, exec_tier=tier)
+    assert res.ok, f"{app.name} failed under {tier}: {res.stdout!r}"
+    ns = sum(s.duration_ns for s in tracer.finished
+             if s.name.startswith("kernel:"))
+    assert ns > 0, f"no kernel: spans recorded for {app.name}"
+    return ns / 1e9, res
+
+
+def collect():
+    """Measure both tiers on every benched app.
+
+    Each (app, tier) pair is run ``REPEATS`` times and the fastest run kept
+    — the first compiled run also warms the codegen cache, so the kept
+    number reflects steady-state corpus benching.  Returns ``{app: record}``.
+    """
+    out = {}
+    for suite, name in APPS:
+        app = _find_app(suite, name)
+        rec = {}
+        for tier in ("interp", "compiled"):
+            walls, results = [], []
+            for _ in range(REPEATS):
+                w, r = _kernel_wall_s(app, tier)
+                walls.append(w)
+                results.append(r)
+            rec[tier] = min(walls)
+            rec[f"sim_time_{tier}"] = results[0].sim_time
+        # the tier must not change the modeled time
+        assert rec["sim_time_compiled"] == rec["sim_time_interp"], \
+            f"{name}: modeled time diverged across tiers"
+        rec["speedup"] = rec["interp"] / rec["compiled"]
+        out[f"{suite}/{name}"] = rec
+    return out
+
+
+def _check_warm_cache():
+    """A warm re-run must serve generated code from the cache, not codegen.
+
+    Returns an error string or ``None``.  ``collect()`` already populated
+    the kernel-code cache, so one more compiled run must raise the
+    ``engine.compile.cache_hit`` counter and leave ``cache_miss`` alone.
+    """
+    hits = get_metrics().counter("engine.compile.cache_hit")
+    misses = get_metrics().counter("engine.compile.cache_miss")
+    h0, m0 = hits.value, misses.value
+    app = _find_app(*APPS[0])
+    _kernel_wall_s(app, "compiled")
+    if hits.value <= h0:
+        return ("warm compiled run did not hit the kernel-code cache "
+                f"(engine.compile.cache_hit stayed at {h0})")
+    if misses.value != m0:
+        return ("warm compiled run re-ran codegen "
+                f"(engine.compile.cache_miss {m0} -> {misses.value})")
+    return None
+
+
+def as_baseline(measured):
+    return {"unit": "seconds (kernel: span wall time)",
+            "min_speedup": MIN_SPEEDUP, "apps": measured}
+
+
+def _print_table(measured):
+    print(f"  {'app':<18}{'interp':>12}{'compiled':>12}{'speedup':>10}")
+    for name, rec in measured.items():
+        print(f"  {name:<18}{rec['interp'] * 1e3:>10.1f} ms"
+              f"{rec['compiled'] * 1e3:>10.1f} ms"
+              f"{rec['speedup']:>9.1f}x")
+
+
+# -- pytest entry ------------------------------------------------------------
+
+def bench_engine_tiers(benchmark):
+    from conftest import regen
+    measured = regen(benchmark, collect)
+    print()
+    _print_table(measured)
+    for name, rec in measured.items():
+        assert rec["speedup"] >= MIN_SPEEDUP, \
+            f"{name}: {rec['speedup']:.1f}x < {MIN_SPEEDUP}x"
+
+
+# -- CLI: baseline writer + smoke gate ---------------------------------------
+
+def _smoke(baseline, measured) -> int:
+    failures = []
+    for name, rec in baseline["apps"].items():
+        now = measured.get(name)
+        if now is None:
+            failures.append(f"{name}: app missing from this run")
+            continue
+        if now["speedup"] < MIN_SPEEDUP:
+            failures.append(
+                f"{name}: compiled tier only {now['speedup']:.1f}x faster "
+                f"than interp (gate {MIN_SPEEDUP}x; baseline had "
+                f"{rec['speedup']:.1f}x)")
+    warm = _check_warm_cache()
+    if warm:
+        failures.append(warm)
+    if failures:
+        print("\nengine-tier smoke gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nengine-tier smoke gate passed (>= {MIN_SPEEDUP}x on "
+          f"{len(measured)} apps, warm cache serves codegen)")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="compare against the committed baseline instead "
+                         "of rewriting it; non-zero exit on regression")
+    ap.add_argument("--out", type=Path, default=BASELINE_PATH,
+                    help="baseline path (default: benchmarks/BENCH_engine.json)")
+    args = ap.parse_args(argv)
+
+    measured = collect()
+    _print_table(measured)
+
+    if args.smoke:
+        if not args.out.exists():
+            print(f"no baseline at {args.out}; run without --smoke first")
+            return 2
+        return _smoke(json.loads(args.out.read_text()), measured)
+
+    args.out.write_text(json.dumps(as_baseline(measured), indent=2) + "\n")
+    print(f"baseline written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

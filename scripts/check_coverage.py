@@ -8,7 +8,12 @@ Two rules, checked against ``benchmarks/COVERAGE_baseline.json``:
 2. the ``repro.observability`` package must stay at 100% — it is pure
    instrumentation plumbing, every branch of which is reachable from
    tests, and an uncovered branch there is exactly where a tracing bug
-   would hide.
+   would hide;
+3. modules listed under ``module_floors`` (currently
+   ``repro.clike.compile`` — the codegen behind the compiled execution
+   tier, whose uncovered branches are exactly where interp/compiled
+   divergence would hide) must each stay within ``tolerance`` points of
+   their recorded per-module coverage.
 
 Backends, in order of preference:
 
@@ -49,13 +54,18 @@ OBS_DIR = REPO / "src" / "repro" / "observability"
 #: lines, and runners skip environment-dependent tests
 TOLERANCE = 2.0
 
+#: modules with an individual coverage floor (rule 3), as repo-relative
+#: paths; enforced under the coverage.py backend only
+MODULE_FLOOR_FILES = ("src/repro/clike/compile.py",)
+
 
 # ---------------------------------------------------------------------------
 # coverage.py backend (CI)
 # ---------------------------------------------------------------------------
 
 def run_coverage_backend(tests: str):
-    """(overall_percent, {observability_file: missing_line_list})."""
+    """(overall_percent, {observability_file: missing_lines},
+    {floored_module: percent})."""
     with tempfile.TemporaryDirectory() as td:
         data_file = os.path.join(td, ".coverage")
         json_file = os.path.join(td, "coverage.json")
@@ -74,16 +84,22 @@ def run_coverage_backend(tests: str):
         data = json.loads(Path(json_file).read_text())
     percent = data["totals"]["percent_covered"]
     obs_missing = {}
+    module_percents = {}
+    floored = {(REPO / rel).resolve(): rel for rel in MODULE_FLOOR_FILES}
     for fname, info in data["files"].items():
         path = Path(fname)
         if not path.is_absolute():
             path = REPO / path
+        path = path.resolve()
+        rel = floored.get(path)
+        if rel is not None:
+            module_percents[rel] = info["summary"]["percent_covered"]
         try:
-            path.resolve().relative_to(OBS_DIR)
+            path.relative_to(OBS_DIR)
         except ValueError:
             continue
         obs_missing[path.name] = info["missing_lines"]
-    return percent, obs_missing
+    return percent, obs_missing, module_percents
 
 
 # ---------------------------------------------------------------------------
@@ -148,7 +164,7 @@ def run_builtin_backend(tests: str = "tests/observability"):
         hit = {line for fname, line in hits if fname == str(path)}
         missing = sorted(executable - excluded - hit)
         obs_missing[path.name] = missing
-    return None, obs_missing
+    return None, obs_missing, {}
 
 
 # ---------------------------------------------------------------------------
@@ -165,6 +181,25 @@ def gate_observability(obs_missing) -> int:
                   f"— missing lines {shown}")
         else:
             print(f"  repro/observability/{name}: 100%")
+    return problems
+
+
+def gate_module_floors(module_percents, baseline) -> int:
+    problems = 0
+    tol = baseline.get("tolerance", TOLERANCE)
+    for rel, recorded in sorted(baseline.get("module_floors", {}).items()):
+        measured = module_percents.get(rel)
+        if measured is None:
+            print(f"FAILED: floored module {rel} missing from the "
+                  f"coverage report")
+            problems += 1
+            continue
+        floor = recorded - tol
+        print(f"  {rel}: {measured:.2f}% "
+              f"(recorded {recorded:.2f}%, floor {floor:.2f}%)")
+        if measured < floor:
+            print(f"FAILED: {rel} coverage dropped below its floor")
+            problems += 1
     return problems
 
 
@@ -209,7 +244,7 @@ def main(argv=None) -> int:
         measured = run_builtin_backend()
     if measured is None:
         return 1
-    percent, obs_missing = measured
+    percent, obs_missing, module_percents = measured
 
     problems = gate_observability(obs_missing)
 
@@ -218,21 +253,24 @@ def main(argv=None) -> int:
             BASELINE_PATH.write_text(json.dumps(
                 {"percent_covered": round(percent, 2),
                  "tolerance": TOLERANCE,
+                 "module_floors": {rel: round(p, 2) for rel, p
+                                   in sorted(module_percents.items())},
                  "note": "overall line coverage of src/repro under the "
                          "full suite; refresh with "
                          "scripts/check_coverage.py --update"},
                 indent=2) + "\n")
             print(f"baseline written to {BASELINE_PATH}")
         elif BASELINE_PATH.exists():
-            problems += gate_overall(
-                percent, json.loads(BASELINE_PATH.read_text()))
+            baseline = json.loads(BASELINE_PATH.read_text())
+            problems += gate_overall(percent, baseline)
+            problems += gate_module_floors(module_percents, baseline)
         else:
             print(f"no baseline at {BASELINE_PATH}; run --update to "
                   f"create it")
             problems += 1
     else:
         print("  overall src/repro: skipped (builtin backend covers the "
-              "observability package only)")
+              "observability package only; module floors skipped too)")
 
     if problems:
         print(f"\ncoverage gate FAILED ({problems} problem(s))")

@@ -25,10 +25,18 @@ trace itself is *not* part of the diff (spans carry timestamps and are
 never deterministic); the flag instead proves tracing has no effect on
 results while the span stream stays well-formed.
 
+``--exec-tier`` extends the gate from translation to *execution*: a small
+fixed corpus subset runs natively through the device engine under the
+requested tier(s), and stdout, modeled time, and the per-category time
+breakdown are diffed across tiers (``both`` compares ``compiled`` against
+``interp``), not just across runs — the compile-tier equivalence contract
+of ``repro.clike.compile``.
+
 Exit status 0 on success, 1 on any divergence.  Run from the repo root::
 
     PYTHONPATH=src python scripts/check_determinism.py
     PYTHONPATH=src python scripts/check_determinism.py --fault-plan smoke --trace
+    PYTHONPATH=src python scripts/check_determinism.py --exec-tier both
 """
 
 from __future__ import annotations
@@ -125,6 +133,77 @@ def check_fault_pass(serial, faulted, plan) -> int:
     return problems
 
 
+#: the execution smoke plan: kernel-heavy corpus apps with barriers, local
+#: memory, and (FT) multi-kernel launches — small enough to run in seconds
+EXEC_SMOKE_APPS = (("npb", "FT"), ("rodinia", "gaussian"),
+                   ("rodinia", "nw"), ("toolkit", "vectorAdd"))
+
+#: RunResult fields compared across execution tiers
+EXEC_FIELDS = ("ok", "exit_code", "stdout", "sim_time", "breakdown",
+               "api_calls", "kernel_launches")
+
+
+def exec_snapshot(tier):
+    """Run the execution smoke plan natively under one tier."""
+    from repro.apps.base import all_apps
+    from repro.harness import run_cuda_app, run_opencl_app
+    by_key = {(a.suite, a.name): a for a in all_apps()}
+    snap = {}
+    for suite, name in EXEC_SMOKE_APPS:
+        app = by_key.get((suite, name))
+        if app is None:
+            continue
+        if app.has_opencl:
+            r = run_opencl_app(app.name, app.opencl_host, app.opencl_kernels,
+                               exec_tier=tier)
+            snap[(f"{suite}/{name}", "ocl-native")] = tuple(
+                getattr(r, f) for f in EXEC_FIELDS)
+        if app.has_cuda and app.cuda_runs_natively:
+            r = run_cuda_app(app.name, app.cuda_source, exec_tier=tier)
+            snap[(f"{suite}/{name}", "cuda-native")] = tuple(
+                getattr(r, f) for f in EXEC_FIELDS)
+    return snap
+
+
+def diff_exec_snapshots(label_a, snap_a, label_b, snap_b) -> int:
+    problems = 0
+    for key in sorted(set(snap_a) | set(snap_b)):
+        a, b = snap_a.get(key), snap_b.get(key)
+        if a == b:
+            continue
+        problems += 1
+        name, mode = key
+        print(f"EXEC DIVERGENCE {name} [{mode}] between {label_a} and "
+              f"{label_b}:")
+        if a is None or b is None:
+            print(f"  present only in {label_a if b is None else label_b}")
+            continue
+        for part, av, bv in zip(EXEC_FIELDS, a, b):
+            if av != bv:
+                print(f"  {part}: {av!r} vs {bv!r}")
+    return problems
+
+
+def check_exec_tiers(tier, runs) -> int:
+    """Run the execution smoke plan under the requested tier(s); diff
+    across tiers (for ``both``) and across repeat runs."""
+    tiers = ["interp", "compiled"] if tier == "both" else [tier]
+    t0 = time.perf_counter()
+    snaps = {t: exec_snapshot(t) for t in tiers}
+    base_tier = tiers[0]
+    base = snaps[base_tier]
+    print(f"execution pass ({'+'.join(tiers)}): "
+          f"{len(base)} app runs, {time.perf_counter() - t0:.2f}s")
+    problems = 0
+    for other in tiers[1:]:
+        problems += diff_exec_snapshots(base_tier, base, other, snaps[other])
+    for i in range(runs - 1):
+        rerun = exec_snapshot(base_tier)
+        problems += diff_exec_snapshots(base_tier, base,
+                                        f"{base_tier}-rerun-{i + 2}", rerun)
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="serial-vs-parallel translation determinism check")
@@ -143,6 +222,13 @@ def main(argv=None) -> int:
                         help="pool width of the parallel passes (default "
                              "4 — explicit so single-CPU containers still "
                              "exercise the real pool)")
+    parser.add_argument("--exec-tier", default=None,
+                        choices=("interp", "compiled", "auto", "both"),
+                        metavar="TIER",
+                        help="also run the execution smoke plan under this "
+                             "device-engine tier; 'both' diffs compiled "
+                             "against interp output (stdout, modeled time, "
+                             "breakdown)")
     parser.add_argument("--trace", action="store_true",
                         help="record the parallel passes with a tracer; "
                              "results must stay byte-identical to the "
@@ -189,6 +275,9 @@ def main(argv=None) -> int:
         print(f"fault-injected pass: {time.perf_counter() - t0:.2f}s")
         print(render_batch_stats(faulted_results))
         problems += check_fault_pass(serial, snapshot(faulted_results), plan)
+
+    if args.exec_tier:
+        problems += check_exec_tiers(args.exec_tier, args.runs)
 
     if tracer is not None:
         spans = tracer.export_spans()

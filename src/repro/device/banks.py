@@ -47,10 +47,20 @@ def warp_transactions(accesses: Sequence[Tuple[int, int]],
         raise ValueError(f"mode_bits must be 32 or 64, got {mode_bits}")
     word_bytes = mode_bits // 8
     per_bank: Dict[int, Set[int]] = {}
+    get = per_bank.get
     for addr, size in accesses:
-        for w in _words(addr, size, word_bytes):
-            per_bank.setdefault(w % banks, set()).add(w)
-    return max(len(words) for words in per_bank.values())
+        # fast path: the access fits in one word (the overwhelmingly
+        # common case — scalar loads/stores at their natural width)
+        first = addr // word_bytes
+        last = first if size <= 1 else (addr + size - 1) // word_bytes
+        for w in (first,) if last == first else range(first, last + 1):
+            bank = w % banks
+            words = get(bank)
+            if words is None:
+                per_bank[bank] = {w}
+            else:
+                words.add(w)
+    return max(map(len, per_bank.values()))
 
 
 def conflict_degree(accesses: Sequence[Tuple[int, int]],

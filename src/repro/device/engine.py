@@ -15,8 +15,11 @@ coalescing models; the counts are scaled to the full grid.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, \
+    Tuple
 
 from ..clike import ast as A
 from ..clike import types as T
@@ -34,7 +37,8 @@ from .perf import KernelTime, PerfCounters, kernel_time
 from .specs import DeviceSpec, GTX_TITAN
 
 __all__ = ["Device", "DeviceModule", "KernelObject", "LocalArg",
-           "load_module", "launch_kernel", "LaunchResult"]
+           "load_module", "launch_kernel", "LaunchResult",
+           "exec_tier_override", "resolve_exec_tier"]
 
 #: number of leading work-groups traced for bank-conflict / coalescing
 _SAMPLE_GROUPS = 2
@@ -43,6 +47,47 @@ _SAMPLE_GROUPS = 2
 _GLOBAL_POOL = 96 * 1024 * 1024
 _PRIVATE_BYTES_PER_WI = 8 * 1024
 _DRAM_SEGMENT = 128
+
+# address-space singletons hoisted out of the per-access hot path
+_SP_GLOBAL = T.AddressSpace.GLOBAL
+_SP_LOCAL = T.AddressSpace.LOCAL
+_SP_CONSTANT = T.AddressSpace.CONSTANT
+
+# ---------------------------------------------------------------------------
+# execution tiers
+# ---------------------------------------------------------------------------
+
+#: tiers: ``interp`` walks the AST per work-item (reference semantics);
+#: ``compiled`` lowers kernels to generated Python at module load;
+#: ``auto`` compiles lazily at the first launch of each module.  Both
+#: non-interp tiers fall back to the interpreter per kernel when codegen
+#: does not cover a construct (DESIGN.md §9).
+_EXEC_TIERS = ("interp", "compiled", "auto")
+_EXEC_TIER_OVERRIDE: Optional[str] = None
+
+
+def resolve_exec_tier(explicit: Optional[str] = None) -> str:
+    """The effective execution tier: explicit arg > process override
+    (:func:`exec_tier_override`) > ``$REPRO_EXEC_TIER`` > ``interp``."""
+    tier = (explicit or _EXEC_TIER_OVERRIDE
+            or os.environ.get("REPRO_EXEC_TIER") or "interp")
+    tier = tier.strip().lower()
+    if tier not in _EXEC_TIERS:
+        raise DeviceError(
+            f"bad execution tier {tier!r} (expected one of {_EXEC_TIERS})")
+    return tier
+
+
+@contextmanager
+def exec_tier_override(tier: Optional[str]) -> Iterator[None]:
+    """Force a tier for modules loaded inside the block (tests/benches)."""
+    global _EXEC_TIER_OVERRIDE
+    prev = _EXEC_TIER_OVERRIDE
+    _EXEC_TIER_OVERRIDE = tier
+    try:
+        yield
+    finally:
+        _EXEC_TIER_OVERRIDE = prev
 
 
 class Device:
@@ -112,6 +157,16 @@ class DeviceModule:
         self.symbols: Dict[str, Ptr] = {}
         #: opaque file-scope objects (CUDA texture references)
         self.globals_values: Dict[str, Any] = {}
+        #: execution tier for this module's launches (see resolve_exec_tier)
+        self.exec_tier: str = "interp"
+        #: kernel name -> generated-code generator function (compile tier)
+        self.compiled_entries: Dict[str, Any] = {}
+        #: generated Python source (debugging/introspection; None until
+        #: codegen has run)
+        self.compiled_source: Optional[str] = None
+        #: kernel name -> reason it fell back to the interpreter
+        self.compile_fallbacks: Dict[str, str] = {}
+        self._compile_attempted = False
 
     def get_kernel(self, name: str) -> KernelObject:
         try:
@@ -128,8 +183,12 @@ class DeviceModule:
 
 
 def load_module(device: Device, unit: A.TranslationUnit,
-                dialect: str) -> DeviceModule:
-    """Allocate module-level state and register kernels (cuModuleLoad)."""
+                dialect: str, exec_tier: Optional[str] = None) -> DeviceModule:
+    """Allocate module-level state and register kernels (cuModuleLoad).
+
+    ``exec_tier`` overrides the process-wide tier selection (see
+    :func:`resolve_exec_tier`) for this module only.
+    """
     annotate_unit(unit, dialect)
     unit._sema_done = True  # type: ignore[attr-defined]
     mod = DeviceModule(device, unit, dialect)
@@ -168,7 +227,60 @@ def load_module(device: Device, unit: A.TranslationUnit,
     for fn in unit.functions():
         if fn.is_kernel and fn.body is not None:
             mod.kernels[fn.name] = KernelObject(fn.name, fn, mod)
+    mod.exec_tier = resolve_exec_tier(exec_tier)
+    if mod.exec_tier == "compiled":
+        _compile_module(mod)  # eager; "auto" compiles at first launch
     return mod
+
+
+def _compile_module(mod: DeviceModule) -> None:
+    """Lower the module's kernels to generated Python (compile tier).
+
+    Codegen output is content-addressed by the printed kernel source, so
+    warm runs skip codegen entirely; kernels using constructs codegen does
+    not cover are recorded in ``compile_fallbacks`` and keep running
+    through the interpreter.  Never raises: a codegen failure demotes the
+    whole module to the interpreter.
+    """
+    if mod._compile_attempted:
+        return
+    mod._compile_attempted = True
+    from ..clike.compile import CODEGEN_VERSION, bind_unit, compile_unit
+    from ..clike.printer import print_unit
+    from ..pipeline.cache import cache_key, kernel_code_cache
+    metrics = get_metrics()
+    with get_tracer().span(f"compile:{mod.dialect}",
+                           kernels=len(mod.kernels)) as span:
+        try:
+            src = print_unit(mod.unit, mod.dialect)
+            key = cache_key(src, mod.dialect,
+                            {"codegen": str(CODEGEN_VERSION)},
+                            "kernel-codegen")
+            cache = kernel_code_cache()
+            cs = cache.get(key)
+            if cs is not None and cs.codegen_version == CODEGEN_VERSION:
+                metrics.counter("engine.compile.cache_hit").inc()
+                span.set(outcome="cache_hit")
+            else:
+                cs = compile_unit(mod.unit, mod.dialect)
+                metrics.counter("engine.compile.cache_miss").inc()
+                span.set(outcome="cache_miss")
+                cache.put(key, cs, meta={"dialect": mod.dialect,
+                                         "kind": "kernel-codegen"})
+            mod.compiled_source = cs.source
+            mod.compile_fallbacks = dict(cs.fallbacks)
+            mod.compiled_entries = bind_unit(mod.unit, cs, mod.symbols,
+                                             mod.globals_values)
+        except Exception as e:  # pragma: no cover - defensive demotion
+            mod.compile_fallbacks = {k: f"module codegen failed: {e}"
+                                     for k in mod.kernels}
+            mod.compiled_entries = {}
+            span.set(outcome="error", error=str(e))
+        if mod.compile_fallbacks:
+            metrics.counter("engine.compile.fallback").inc(
+                len(mod.compile_fallbacks))
+        span.set(covered=len(mod.compiled_entries),
+                 fallbacks=len(mod.compile_fallbacks))
 
 
 @dataclass(frozen=True)
@@ -198,6 +310,7 @@ class _LaunchEnv:
                  framework: str, grid: Tuple[int, int, int],
                  block: Tuple[int, int, int]) -> None:
         self.device = device
+        self._gmem = device.global_mem   # hot-path alias (access_site)
         self.kernel = kernel
         self.framework = framework
         self.grid = grid
@@ -224,10 +337,13 @@ class _LaunchEnv:
         self._clock = 0
 
     def in_constant_range(self, ptr: Ptr) -> bool:
-        if ptr.mem is not self.device.global_mem:
+        return self.in_constant_off(ptr.mem, ptr.off)
+
+    def in_constant_off(self, mem: Memory, off: int) -> bool:
+        if mem is not self._gmem:
             return False
         for lo, hi in self.constant_ranges:
-            if lo <= ptr.off < hi:
+            if lo <= off < hi:
                 return True
         return False
 
@@ -251,7 +367,9 @@ class WorkItemEnv(ExecEnv):
                     group[1] * block[1] + lid[1],
                     group[2] * block[2] + lid[2])
         self.linear_lid = (lid[2] * block[1] + lid[1]) * block[0] + lid[0]
-        self._builtins = make_builtins(self, launch.kernel.module.dialect)
+        # built lazily on first lookup: most compiled-tier work-items never
+        # call a builtin, and the table is ~100 closures per work-item
+        self._builtins: Optional[Dict[str, Callable[..., Any]]] = None
 
     # -- ids ------------------------------------------------------------------
 
@@ -276,7 +394,11 @@ class WorkItemEnv(ExecEnv):
     # -- ExecEnv hooks -----------------------------------------------------------
 
     def builtin(self, name: str) -> Optional[Callable[..., Any]]:
-        return self._builtins.get(name)
+        table = self._builtins
+        if table is None:
+            table = self._builtins = make_builtins(
+                self, self.launch.kernel.module.dialect)
+        return table.get(name)
 
     def special_var(self, name: str) -> Any:
         if self.launch.kernel.module.dialect == "cuda":
@@ -364,29 +486,39 @@ class WorkItemEnv(ExecEnv):
 
     def _on_access(self, ptr: Ptr, nbytes: int, node: Optional[A.Node],
                    load: bool) -> None:
+        self.access_site(ptr.mem, ptr.off, nbytes,
+                         id(node) if node is not None else 0, load)
+
+    def access_site(self, mem: Memory, off: int, nbytes: int, site: int,
+                    load: bool) -> None:
+        """Account one memory access at ``site`` (an opaque int identifying
+        the syntactic access point: ``id(node)`` for the interpreter, a
+        codegen-assigned literal for the compile tier — both unique per
+        site, which is all the trace-pairing in ``_account_traces`` needs).
+        """
         launch = self.launch
-        space = ptr.mem.space
+        space = mem.space
         c = launch.counters
-        if space == T.AddressSpace.GLOBAL:
-            if launch.in_constant_range(ptr):
-                c.constant_read_bytes += nbytes
-                return
+        if space is _SP_GLOBAL:
+            if mem is launch._gmem:          # in_constant_off, inlined
+                for lo, hi in launch.constant_ranges:
+                    if lo <= off < hi:
+                        c.constant_read_bytes += nbytes
+                        return
             if load:
                 c.global_load_bytes += nbytes
             else:
                 c.global_store_bytes += nbytes
             if launch.tracing:
-                site = id(node) if node is not None else 0
                 launch.global_traces[self.linear_lid].setdefault(
-                    site, []).append((ptr.off, nbytes))
-        elif space == T.AddressSpace.LOCAL:
+                    site, []).append((off, nbytes))
+        elif space is _SP_LOCAL:
             c.local_accesses += 1
             c.local_bytes += nbytes
             if launch.tracing:
-                site = id(node) if node is not None else 0
                 launch.local_traces[self.linear_lid].setdefault(
-                    site, []).append((ptr.off, nbytes))
-        elif space == T.AddressSpace.CONSTANT:
+                    site, []).append((off, nbytes))
+        elif space is _SP_CONSTANT:
             c.constant_read_bytes += nbytes
         # private/host: free
 
@@ -580,6 +712,13 @@ def _run_group(launch: _LaunchEnv, group: Tuple[int, int, int],
         raise DeviceError("dynamic local memory exceeds pool")
     launch.local_bump = bump
 
+    mod = kernel.module
+    entry = None
+    if mod.exec_tier != "interp":
+        if not mod._compile_attempted:
+            _compile_module(mod)  # auto tier: compile at first launch
+        entry = mod.compiled_entries.get(kernel.fn.name)
+
     gens = []
     for lz in range(block[2]):
         for ly in range(block[1]):
@@ -589,12 +728,14 @@ def _run_group(launch: _LaunchEnv, group: Tuple[int, int, int],
                 stack.sp = linear * _PRIVATE_BYTES_PER_WI
                 stack_limit = stack.sp + _PRIVATE_BYTES_PER_WI
                 env = WorkItemEnv(launch, stack, group, (lx, ly, lz))
-                interp = Interp(kernel.module.unit, env,
-                                kernel.module.dialect, annotate=False)
-                interp.global_slots = kernel.module.symbols
-                interp.global_values = kernel.module.globals_values
                 wi_args = [dyn_ptrs.get(i, a) for i, a in enumerate(args)]
                 wi_args = _bind_args(kernel.fn, wi_args, env)
+                if entry is not None:
+                    gens.append(entry(env, *wi_args))
+                    continue
+                interp = Interp(mod.unit, env, mod.dialect, annotate=False)
+                interp.global_slots = mod.symbols
+                interp.global_values = mod.globals_values
                 gens.append(interp.call_gen(kernel.fn, wi_args))
     _drive_group(launch, gens)
 
@@ -652,30 +793,33 @@ def _account_traces(launch: _LaunchEnv, threads: int, mode_bits: int) -> None:
     banks = launch.device.spec.shared_banks
     c = launch.counters
     for w0 in range(0, threads, warp):
-        lanes = range(w0, min(w0 + warp, threads))
+        hi = min(w0 + warp, threads)
         # shared memory: bank conflicts
+        lane_traces = launch.local_traces[w0:hi]
         sites = set()
-        for lane in lanes:
-            sites.update(launch.local_traces[lane].keys())
+        for t in lane_traces:
+            sites.update(t)
         for site in sites:
-            seqs = [launch.local_traces[lane].get(site, ()) for lane in lanes]
-            depth = max((len(s) for s in seqs), default=0)
+            seqs = [t.get(site, ()) for t in lane_traces]
+            depth = max(map(len, seqs))
             for k in range(depth):
                 accesses = [s[k] for s in seqs if len(s) > k]
                 c.local_transactions += warp_transactions(
                     accesses, mode_bits, banks)
         # global memory: 128-byte segment coalescing
+        lane_traces = launch.global_traces[w0:hi]
         gsites = set()
-        for lane in lanes:
-            gsites.update(launch.global_traces[lane].keys())
+        for t in lane_traces:
+            gsites.update(t)
         for site in gsites:
-            seqs = [launch.global_traces[lane].get(site, ()) for lane in lanes]
-            depth = max((len(s) for s in seqs), default=0)
+            seqs = [t.get(site, ()) for t in lane_traces]
+            depth = max(map(len, seqs))
             for k in range(depth):
                 segs = set()
                 for s in seqs:
                     if len(s) > k:
                         addr, size = s[k]
                         segs.add(addr // _DRAM_SEGMENT)
-                        segs.add((addr + max(size, 1) - 1) // _DRAM_SEGMENT)
+                        segs.add((addr + (size - 1 if size > 1 else 0))
+                                 // _DRAM_SEGMENT)
                 c.global_transactions += len(segs)

@@ -23,6 +23,7 @@ like the NVIDIA samples do, and ``RunResult.ok`` reflects that.
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -30,7 +31,7 @@ from ..clike import parse
 from ..clike.hostlib import HostEnv, _ExitSignal
 from ..clike.interp import Interp
 from ..cuda.runtime import CudaRuntime
-from ..device.engine import Device
+from ..device.engine import Device, exec_tier_override
 from ..device.perf import SimClock
 from ..device.specs import DeviceSpec, get_device_spec
 from ..errors import CudaApiError, ReproError
@@ -86,6 +87,16 @@ def _resolve_cache(cache: CacheArg) -> Optional[TranslationCache]:
         return cache
     raise TypeError(f"cache= must be a TranslationCache, None, or "
                     f"{_SHARED!r}; got {cache!r}")
+
+
+def _tier_ctx(exec_tier: Optional[str]):
+    """Scope a device-engine execution-tier override for one run.
+
+    ``None`` (the default) leaves the ambient selection — an enclosing
+    :func:`~repro.device.engine.exec_tier_override` or
+    ``$REPRO_EXEC_TIER`` — untouched.
+    """
+    return exec_tier_override(exec_tier) if exec_tier else nullcontext()
 
 
 @dataclass
@@ -189,10 +200,12 @@ def translate_corpus(apps: Optional[Sequence[Any]] = None, *,
 
 
 def run_opencl_app(name: str, host_source: str, kernel_source: str,
-                   device: "str | DeviceSpec" = "titan") -> RunResult:
+                   device: "str | DeviceSpec" = "titan",
+                   exec_tier: Optional[str] = None) -> RunResult:
     """Original OpenCL program on the native simulated OpenCL framework."""
     spec = _resolve_device(device)
-    with get_tracer().span(f"run:ocl-native:{name}", device=spec.name):
+    with _tier_ctx(exec_tier), \
+            get_tracer().span(f"run:ocl-native:{name}", device=spec.name):
         PTR_TABLE.reset()
         env = HostEnv()
         fw = OpenCLFramework([Device(spec)])
@@ -206,13 +219,15 @@ def run_opencl_app(name: str, host_source: str, kernel_source: str,
 
 def run_opencl_translated(name: str, host_source: str, kernel_source: str,
                           device: "str | DeviceSpec" = "titan",
-                          cache: CacheArg = _SHARED) -> RunResult:
+                          cache: CacheArg = _SHARED,
+                          exec_tier: Optional[str] = None) -> RunResult:
     """The untouched OpenCL host program over the OpenCL→CUDA wrapper
     library (Fig. 2); requires a CUDA-capable device."""
     spec = _resolve_device(device)
     if not spec.supports_cuda:
         raise CudaApiError(38, f"{spec.name} does not support CUDA")
-    with get_tracer().span(f"run:ocl->cuda:{name}", device=spec.name):
+    with _tier_ctx(exec_tier), \
+            get_tracer().span(f"run:ocl->cuda:{name}", device=spec.name):
         PTR_TABLE.reset()
         env = HostEnv()
         fw = Ocl2CudaFramework(Device(spec), cache=_resolve_cache(cache))
@@ -226,12 +241,14 @@ def run_opencl_translated(name: str, host_source: str, kernel_source: str,
 
 
 def run_cuda_app(name: str, cu_source: str,
-                 device: "str | DeviceSpec" = "titan") -> RunResult:
+                 device: "str | DeviceSpec" = "titan",
+                 exec_tier: Optional[str] = None) -> RunResult:
     """Original CUDA program on the native simulated CUDA framework."""
     spec = _resolve_device(device)
     if not spec.supports_cuda:
         raise CudaApiError(38, f"{spec.name} does not support CUDA")
-    with get_tracer().span(f"run:cuda-native:{name}", device=spec.name):
+    with _tier_ctx(exec_tier), \
+            get_tracer().span(f"run:cuda-native:{name}", device=spec.name):
         PTR_TABLE.reset()
         env = HostEnv()
         rt = CudaRuntime(device=Device(spec))
@@ -247,11 +264,13 @@ def run_cuda_app(name: str, cu_source: str,
 
 def run_cuda_translated(name: str, cu_source: str,
                         device: "str | DeviceSpec" = "titan",
-                        cache: CacheArg = _SHARED) -> RunResult:
+                        cache: CacheArg = _SHARED,
+                        exec_tier: Optional[str] = None) -> RunResult:
     """The CUDA program translated to OpenCL (static host rewriting +
     wrapper runtime), on any OpenCL device (Fig. 3)."""
     spec = _resolve_device(device)
-    with get_tracer().span(f"run:cuda->ocl:{name}", device=spec.name):
+    with _tier_ctx(exec_tier), \
+            get_tracer().span(f"run:cuda->ocl:{name}", device=spec.name):
         PTR_TABLE.reset()
         prog = translate_cuda_program(cu_source, cache=_resolve_cache(cache))
         env = HostEnv()

@@ -27,6 +27,13 @@ _FMT: Dict[str, str] = {
     "float": "f", "double": "d", "size_t": "Q", "void": "B",
 }
 
+# precompiled converters: scalar loads/stores are the hottest operation in
+# kernel execution (both tiers), so skip per-call format-string assembly
+_UNPACK = {name: struct.Struct("<" + fmt).unpack_from
+           for name, fmt in _FMT.items()}
+_PACK = {name: struct.Struct("<" + fmt).pack_into
+         for name, fmt in _FMT.items()}
+
 
 class Allocator:
     """First-fit free-list allocator with coalescing on free.
@@ -94,7 +101,7 @@ class Allocator:
 class Memory:
     """One simulated memory pool (an address space instance)."""
 
-    __slots__ = ("name", "space", "buf", "allocator", "_mv")
+    __slots__ = ("name", "space", "buf", "allocator", "_mv", "_size")
 
     def __init__(self, name: str, size: int,
                  space: T.AddressSpace = T.AddressSpace.HOST,
@@ -103,6 +110,7 @@ class Memory:
         self.space = space
         self.buf = np.zeros(size, dtype=np.uint8)
         self._mv = memoryview(self.buf)  # fast struct access
+        self._size = int(size)           # fixed at construction
         self.allocator = Allocator(size) if with_allocator else None
 
     @property
@@ -130,21 +138,21 @@ class Memory:
 
     def read_scalar(self, off: int, st: T.ScalarType):
         n = st.size
-        self._check(off, n)
-        v = struct.unpack_from("<" + _FMT[st.name], self._mv, off)[0]
-        return v
+        if off < 0 or off + n > self._size:
+            self._check(off, n)
+        return _UNPACK[st.name](self._mv, off)[0]
 
     def write_scalar(self, off: int, st: T.ScalarType, value) -> None:
         n = st.size
-        self._check(off, n)
-        fmt = _FMT[st.name]
+        if off < 0 or off + n > self._size:
+            self._check(off, n)
         if st.floating:
             value = float(value)
         else:
             value = int(value) & ((1 << (8 * n)) - 1)
             if st.signed and value >= (1 << (8 * n - 1)):
                 value -= 1 << (8 * n)
-        struct.pack_into("<" + fmt, self._mv, off, value)
+        _PACK[st.name](self._mv, off, value)
 
     def read_bytes(self, off: int, n: int) -> bytes:
         self._check(off, n)

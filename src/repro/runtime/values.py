@@ -272,9 +272,24 @@ def _coerce_scalar(value, st: T.ScalarType):
     return iv
 
 
+_INT32_MIN, _INT32_MAX = -(1 << 31), 1 << 31
+
+
 def coerce(value, t: T.Type):
     """Coerce a runtime value to C type ``t`` (assignment / cast / argument
     passing semantics)."""
+    # hot fast paths (identical results to the general code below): plain
+    # Python ints/floats hitting the two dominant scalar types
+    if type(t) is T.ScalarType:
+        tv = type(value)
+        if tv is int:
+            if t.name == "int" and _INT32_MIN <= value < _INT32_MAX:
+                return value
+        elif tv is float:
+            if t.name == "float":
+                return _F32.unpack(_F32.pack(value))[0]
+            if t.name == "double":
+                return value
     if isinstance(t, T.ScalarType):
         if t.name == "void":
             return None

@@ -1,0 +1,110 @@
+"""Differential harness: compiled-tier execution vs the interpreter.
+
+The compile tier (``repro.clike.compile``) only earns its keep if it is
+*indistinguishable* from the tree-walking interpreter on everything the
+reproduction measures: program output, modeled (simulated) time and its
+per-category breakdown, and the kernel-level trace shape.  This suite runs
+every corpus application under both tiers and asserts byte-identity —
+IPMACC/cf4ocl-style generated-code equivalence checking (PAPERS.md).
+
+Modeled time must match bit-for-bit (``==`` on floats, not approx): the
+compiled tier changes how Python executes the kernel, never what the
+simulated device is charged for.
+"""
+
+import pytest
+
+from repro.apps.base import all_apps
+from repro.harness import run_cuda_app, run_opencl_app
+from repro.observability import Tracer, activate
+
+# ---------------------------------------------------------------------------
+# corpus enumeration: one (app, mode) pair per natively runnable combination
+# ---------------------------------------------------------------------------
+
+
+def _corpus_cases():
+    cases = []
+    for app in all_apps():
+        if app.has_opencl:
+            cases.append(pytest.param(app, "ocl",
+                                      id=f"{app.suite}/{app.name}-ocl"))
+        if app.has_cuda and app.cuda_runs_natively:
+            cases.append(pytest.param(app, "cuda",
+                                      id=f"{app.suite}/{app.name}-cuda"))
+    return cases
+
+
+def _run(app, mode, tier):
+    if mode == "ocl":
+        return run_opencl_app(app.name, app.opencl_host, app.opencl_kernels,
+                              exec_tier=tier)
+    return run_cuda_app(app.name, app.cuda_source, exec_tier=tier)
+
+
+def _assert_identical(interp, compiled):
+    # stdout carries the self-verification verdict and any printed buffers:
+    # byte-identical output means byte-identical result buffers.
+    assert compiled.stdout == interp.stdout
+    assert compiled.ok == interp.ok
+    assert compiled.exit_code == interp.exit_code
+    # modeled time is bit-for-bit, not approximately, equal
+    assert compiled.sim_time == interp.sim_time
+    assert compiled.breakdown == interp.breakdown
+    assert compiled.api_calls == interp.api_calls
+    assert compiled.kernel_launches == interp.kernel_launches
+
+
+# ---------------------------------------------------------------------------
+# the differential sweep
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("app,mode", _corpus_cases())
+def test_corpus_app_byte_identical(app, mode):
+    interp = _run(app, mode, "interp")
+    compiled = _run(app, mode, "compiled")
+    _assert_identical(interp, compiled)
+
+
+# ---------------------------------------------------------------------------
+# trace-shape equivalence: same kernel: span structure under both tiers
+# ---------------------------------------------------------------------------
+
+# A barrier-heavy app with several distinct kernels keeps this meaningful
+# without re-tracing the whole corpus.
+_TRACED = [("npb", "FT", "ocl"), ("rodinia", "gaussian", "ocl"),
+           ("rodinia", "gaussian", "cuda")]
+
+
+def _find_app(suite, name):
+    for app in all_apps():
+        if app.suite == suite and app.name == name:
+            return app
+    raise LookupError(f"{suite}/{name} not in corpus")
+
+
+@pytest.mark.parametrize("suite,name,mode", _TRACED,
+                         ids=[f"{s}/{n}-{m}" for s, n, m in _TRACED])
+def test_kernel_span_counts_match(suite, name, mode):
+    app = _find_app(suite, name)
+    spans = {}
+    for tier in ("interp", "compiled"):
+        tracer = Tracer()
+        with activate(tracer):
+            res = _run(app, mode, tier)
+        assert res.ok, res.stdout
+        spans[tier] = [s.name for s in tracer.finished
+                       if s.name.startswith("kernel:")]
+    assert spans["compiled"], "expected kernel: spans under tracing"
+    # identical launch sequence: same kernels, same order, same count
+    assert spans["compiled"] == spans["interp"]
+
+
+def test_auto_tier_matches_interp():
+    """The ``auto`` tier (compile lazily, fall back per kernel) is also
+    output-identical on a real app."""
+    app = _find_app("rodinia", "gaussian")
+    interp = _run(app, "ocl", "interp")
+    auto = _run(app, "ocl", "auto")
+    _assert_identical(interp, auto)
