@@ -127,6 +127,7 @@ class Histogram:
         return {"count": self.count, "sum": round(self.sum, 9),
                 "min": self.min, "max": self.max, "mean": self.mean,
                 "p50": self.quantile(0.5), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
                 "buckets": {str(b): c for b, c in
                             zip(self.buckets + ("+inf",), self.counts)}}
 

@@ -14,11 +14,23 @@ Two tiers:
   objects (:class:`~repro.translate.api.TranslatedCudaProgram` /
   :class:`~repro.translate.ocl2cuda.kernel.Ocl2CudaResult`), shared by the
   harness runners and the figure benchmarks within one process;
-* an optional on-disk tier (``cache_dir=``): one JSON artifact per entry
-  carrying human-readable metadata, the translated ``host_source`` /
-  ``device_source`` texts, and a compressed payload from which the full
-  result object is restored.  Artifacts whose payload does not reproduce
-  the recorded sources are discarded (stale-artifact protection).
+* an optional on-disk tier (:class:`DiskTier`, ``cache_dir=``): one JSON
+  artifact per entry carrying human-readable metadata, the translated
+  ``host_source`` / ``device_source`` texts, and a compressed payload from
+  which the full result object is restored.  Artifacts whose payload does
+  not reproduce the recorded sources are discarded (stale-artifact
+  protection).  The tier is *size-bounded*: when ``disk_limit_bytes`` (or
+  ``$REPRO_CACHE_DISK_LIMIT``) is set, least-recently-used artifacts are
+  evicted after each write until the directory fits the bound
+  (``cache.evict{tier=disk}`` counts them).
+
+Concurrency: :class:`TranslationCache` serializes every operation on one
+lock, which is fine for the batch pipeline (parent-process access only)
+but makes concurrent service clients convoy.  :class:`ShardedTranslationCache`
+splits the LRU into N independently locked shards selected by key prefix —
+same observable contents, N-way lock parallelism — over a single shared
+:class:`DiskTier`.  ``tests/pipeline/test_cache_sharded.py`` holds the
+sharded cache byte-equivalent to the unsharded one.
 
 Simulated time is *not* affected by the cache: the
 :class:`~repro.device.perf.SimClock` build charge models the paper's
@@ -31,21 +43,49 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import os
 import pickle
 import threading
 import zlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..observability import get_metrics, get_tracer
 
-__all__ = ["cache_key", "result_sources", "CacheStats", "TranslationCache",
-           "kernel_code_cache"]
+__all__ = ["cache_key", "result_sources", "CacheStats", "DiskTier",
+           "TranslationCache", "ShardedTranslationCache",
+           "kernel_code_cache", "DISK_LIMIT_ENV", "parse_bytes"]
 
 #: on-disk artifact format version; bump to invalidate old artifacts
 ARTIFACT_VERSION = 1
+
+#: env knob bounding every disk tier that is not given an explicit
+#: ``disk_limit_bytes``; accepts plain bytes or k/m/g suffixes ("64m")
+DISK_LIMIT_ENV = "REPRO_CACHE_DISK_LIMIT"
+
+_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_bytes(text: str) -> Optional[int]:
+    """``"65536"`` / ``"64k"`` / ``"8m"`` / ``"1g"`` → bytes (None when
+    empty or malformed; sizes must be positive)."""
+    text = text.strip().lower()
+    if not text:
+        return None
+    factor = _SUFFIXES.get(text[-1], 1)
+    if factor != 1:
+        text = text[:-1]
+    try:
+        value = int(text) * factor
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def _disk_limit_from_env() -> Optional[int]:
+    return parse_bytes(os.environ.get(DISK_LIMIT_ENV, ""))
 
 
 def cache_key(source: str, dialect: str,
@@ -103,20 +143,212 @@ class CacheStats:
                 "disk_hits": self.disk_hits, "disk_writes": self.disk_writes,
                 "hit_rate": round(self.hit_rate, 4)}
 
+    def add(self, other: "CacheStats") -> "CacheStats":
+        for f in ("hits", "misses", "evictions", "puts", "invalidations",
+                  "disk_hits", "disk_writes"):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
+
+
+class DiskTier:
+    """The on-disk artifact store shared by one or more memory shards.
+
+    Owns its own lock (lock order is always shard → tier, never back), the
+    artifact encode/decode/verify logic, and the size bound: when
+    ``limit_bytes`` is set, every store evicts least-recently-used
+    artifacts (by mtime; loads refresh it) until the tier fits.  A single
+    artifact larger than the whole bound is kept — evicting the entry just
+    written would turn the cache into a miss machine.
+    """
+
+    def __init__(self, cache_dir: "str | Path",
+                 limit_bytes: Optional[int] = None) -> None:
+        self.dir = Path(cache_dir)
+        self.limit_bytes = limit_bytes if limit_bytes is not None \
+            else _disk_limit_from_env()
+        if self.limit_bytes is not None and self.limit_bytes < 1:
+            raise ValueError("disk limit must be >= 1 byte")
+        self.evictions = 0
+        self._lock = threading.RLock()
+        self._bytes: Optional[int] = None      # lazy; exact after any scan
+        m = get_metrics()
+        self._m_evict = m.counter("cache.evict", tier="disk")
+        self._m_bytes = m.gauge("cache.disk_bytes")
+
+    # -- paths / accounting -------------------------------------------------
+
+    def path(self, key: str) -> Path:
+        return self.dir / key[:2] / f"{key}.json"
+
+    def exists(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def total_bytes(self) -> int:
+        """Bytes held by artifacts (exact; scans on first use)."""
+        with self._lock:
+            if self._bytes is None:
+                self._scan()
+            return self._bytes          # type: ignore[return-value]
+
+    def _scan(self) -> List[Tuple[int, int, Path]]:
+        """``[(mtime_ns, size, path)]`` over every artifact; refreshes the
+        byte total as a side effect."""
+        entries: List[Tuple[int, int, Path]] = []
+        total = 0
+        if self.dir.exists():
+            for p in self.dir.glob("*/*.json"):
+                try:
+                    st = p.stat()
+                except OSError:
+                    continue
+                entries.append((st.st_mtime_ns, st.st_size, p))
+                total += st.st_size
+        self._bytes = total
+        self._m_bytes.set(total)
+        return entries
+
+    def _account(self, delta: int) -> None:
+        if self._bytes is not None:
+            self._bytes += delta
+            self._m_bytes.set(self._bytes)
+
+    # -- store / load -------------------------------------------------------
+
+    def store(self, key: str, result: Any, meta: Dict[str, Any]) -> None:
+        path = self.path(key)
+        stats = getattr(result, "pass_stats", None)
+        if stats is not None and "pass_stats" not in meta:
+            # per-pass timing travels with the artifact so cold-cache reports
+            # can still show where the original translation spent its time
+            meta = dict(meta)
+            meta["pass_stats"] = stats.as_dict()
+        host_src, device_src = result_sources(result)
+        artifact = {
+            "version": ARTIFACT_VERSION,
+            "key": key,
+            "meta": meta,
+            "host_source": host_src,
+            "device_source": device_src,
+            "payload": base64.b64encode(
+                zlib.compress(pickle.dumps(result))).decode("ascii"),
+        }
+        text = json.dumps(artifact, indent=1)
+        with self._lock:
+            old = 0
+            try:
+                old = path.stat().st_size
+            except OSError:
+                pass
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(text, encoding="utf-8")
+            tmp.replace(path)
+            self._account(path.stat().st_size - old)
+            if self.limit_bytes is not None \
+                    and self.total_bytes() > self.limit_bytes:
+                self._evict_to_limit(protect=path)
+
+    def _evict_to_limit(self, protect: Path) -> None:
+        """Drop oldest-mtime artifacts (never ``protect``) until the tier
+        fits ``limit_bytes``.  Called under the tier lock."""
+        entries = self._scan()          # exact sizes + refreshed total
+        entries.sort(key=lambda e: (e[0], str(e[2])))
+        for _, size, p in entries:
+            if self._bytes <= self.limit_bytes:     # type: ignore[operator]
+                break
+            if p == protect:
+                continue
+            try:
+                p.unlink()
+            except OSError:
+                continue
+            self._account(-size)
+            self.evictions += 1
+            self._m_evict.inc()
+
+    def load(self, key: str) -> Optional[Any]:
+        path = self.path(key)
+        if not path.exists():
+            return None
+        with get_tracer().span("cache:disk-load") as span:
+            with self._lock:
+                return self._load_artifact(key, path, span)
+
+    def _load_artifact(self, key: str, path: Path, span: Any) -> Optional[Any]:
+        try:
+            artifact = json.loads(path.read_text(encoding="utf-8"))
+            if artifact.get("version") != ARTIFACT_VERSION \
+                    or artifact.get("key") != key:
+                raise ValueError("artifact version/key mismatch")
+            result = pickle.loads(
+                zlib.decompress(base64.b64decode(artifact["payload"])))
+            # stale-artifact protection: the payload must reproduce the
+            # recorded sources exactly, or the entry is untrustworthy
+            host_src, device_src = result_sources(result)
+            if (host_src, device_src) != (artifact["host_source"],
+                                          artifact["device_source"]):
+                raise ValueError("artifact payload/source mismatch")
+            try:
+                os.utime(path)          # refresh LRU recency for eviction
+            except OSError:
+                pass
+            return result
+        except Exception as e:
+            # corrupted or stale: behave as a miss and drop the artifact
+            span.set(discarded=type(e).__name__)
+            self.remove(key)
+            return None
+
+    # -- removal ------------------------------------------------------------
+
+    def remove(self, key: str) -> bool:
+        path = self.path(key)
+        with self._lock:
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                return False
+            self._account(-size)
+            return True
+
+    def clear(self) -> None:
+        """Drop every artifact, reaping orphaned ``.tmp`` debris left by
+        writes interrupted mid-flight."""
+        with self._lock:
+            if self.dir.exists():
+                for pattern in ("*/*.json", "*/*.tmp"):
+                    for p in self.dir.glob(pattern):
+                        p.unlink()
+            self._bytes = 0
+            self._m_bytes.set(0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"dir": str(self.dir), "bytes": self.total_bytes(),
+                "limit_bytes": self.limit_bytes, "evictions": self.evictions}
+
 
 class TranslationCache:
     """Content-addressed LRU cache for translation results.
 
     Thread-safe; the process-pool batch path only touches it from the
-    parent process, but the harness may be driven from worker threads.
+    parent process, but the harness may be driven from worker threads (and
+    the service's shards are exactly this class, one lock each).
     """
 
     def __init__(self, capacity: int = 256,
-                 cache_dir: "str | Path | None" = None) -> None:
+                 cache_dir: "str | Path | None" = None,
+                 disk_limit_bytes: Optional[int] = None,
+                 disk_tier: Optional[DiskTier] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if disk_tier is not None:
+            self._disk: Optional[DiskTier] = disk_tier
+        elif cache_dir is not None:
+            self._disk = DiskTier(cache_dir, disk_limit_bytes)
+        else:
+            self._disk = None
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._mem: "OrderedDict[str, Any]" = OrderedDict()
@@ -129,8 +361,17 @@ class TranslationCache:
         self._m_misses = m.counter("cache.misses")
         self._m_puts = m.counter("cache.puts")
         self._m_evictions = m.counter("cache.evictions")
+        self._m_evict_mem = m.counter("cache.evict", tier="mem")
         self._m_invalidations = m.counter("cache.invalidations")
         self._m_disk_writes = m.counter("cache.disk_writes")
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return self._disk.dir if self._disk is not None else None
+
+    @property
+    def disk_tier(self) -> Optional[DiskTier]:
+        return self._disk
 
     # -- lookup / store -----------------------------------------------------
 
@@ -145,7 +386,8 @@ class TranslationCache:
                     self._m_hits_mem.inc()
                     span.set(outcome="hit", tier="mem")
                     return self._mem[key]
-                result = self._disk_load(key)
+                result = self._disk.load(key) if self._disk is not None \
+                    else None
                 if result is not None:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
@@ -161,15 +403,17 @@ class TranslationCache:
     def put(self, key: str, result: Any,
             meta: Optional[Dict[str, Any]] = None) -> None:
         """Store ``result`` under ``key``; persists an artifact when a
-        ``cache_dir`` is configured."""
+        disk tier is configured."""
         with get_tracer().span("cache:put",
-                               disk=self.cache_dir is not None):
+                               disk=self._disk is not None):
             with self._lock:
                 self.stats.puts += 1
                 self._m_puts.inc()
                 self._mem_store(key, result)
-                if self.cache_dir is not None:
-                    self._disk_store(key, result, meta or {})
+                if self._disk is not None:
+                    self._disk.store(key, result, meta or {})
+                    self.stats.disk_writes += 1
+                    self._m_disk_writes.inc()
 
     def get_or_translate(self, key: str, translate: Callable[[], Any],
                          meta: Optional[Dict[str, Any]] = None) -> Any:
@@ -187,9 +431,7 @@ class TranslationCache:
         """Drop one entry from both tiers; True if anything was removed."""
         with self._lock:
             removed = self._mem.pop(key, None) is not None
-            path = self._artifact_path(key)
-            if path is not None and path.exists():
-                path.unlink()
+            if self._disk is not None and self._disk.remove(key):
                 removed = True
             if removed:
                 self.stats.invalidations += 1
@@ -200,14 +442,12 @@ class TranslationCache:
         """Empty the in-memory tier (and the disk tier when ``disk``).
 
         Clearing the disk tier also reaps orphaned ``.tmp`` files left
-        behind by ``_disk_store`` writes interrupted mid-flight.
+        behind by writes interrupted mid-flight.
         """
         with self._lock:
             self._mem.clear()
-            if disk and self.cache_dir is not None and self.cache_dir.exists():
-                for pattern in ("*/*.json", "*/*.tmp"):
-                    for p in self.cache_dir.glob(pattern):
-                        p.unlink()
+            if disk and self._disk is not None:
+                self._disk.clear()
 
     # -- introspection ------------------------------------------------------
 
@@ -224,15 +464,14 @@ class TranslationCache:
         with self._lock:
             if key in self._mem:
                 return True
-            path = self._artifact_path(key)
-            return path is not None and path.exists()
+            return self._disk is not None and self._disk.exists(key)
 
     def keys(self) -> Iterator[str]:
         with self._lock:
             return iter(list(self._mem))
 
     def __repr__(self) -> str:  # pragma: no cover
-        disk = f" dir={self.cache_dir}" if self.cache_dir else ""
+        disk = f" dir={self.cache_dir}" if self._disk else ""
         return (f"<TranslationCache {len(self._mem)}/{self.capacity}{disk} "
                 f"hits={self.stats.hits} misses={self.stats.misses}>")
 
@@ -245,6 +484,7 @@ class TranslationCache:
             self._mem.popitem(last=False)
             self.stats.evictions += 1
             self._m_evictions.inc()
+            self._m_evict_mem.inc()
 
     # -- disk tier ----------------------------------------------------------
 
@@ -254,71 +494,107 @@ class TranslationCache:
         The file need not exist; used by introspection and by the
         fault-injection layer to target artifacts.
         """
-        return self._artifact_path(key)
+        return self._disk.path(key) if self._disk is not None else None
 
-    def _artifact_path(self, key: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / key[:2] / f"{key}.json"
 
-    def _disk_store(self, key: str, result: Any,
-                    meta: Dict[str, Any]) -> None:
-        path = self._artifact_path(key)
-        assert path is not None
-        stats = getattr(result, "pass_stats", None)
-        if stats is not None and "pass_stats" not in meta:
-            # per-pass timing travels with the artifact so cold-cache reports
-            # can still show where the original translation spent its time
-            meta = dict(meta)
-            meta["pass_stats"] = stats.as_dict()
-        host_src, device_src = result_sources(result)
-        artifact = {
-            "version": ARTIFACT_VERSION,
-            "key": key,
-            "meta": meta,
-            "host_source": host_src,
-            "device_source": device_src,
-            "payload": base64.b64encode(
-                zlib.compress(pickle.dumps(result))).decode("ascii"),
-        }
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(artifact, indent=1), encoding="utf-8")
-        tmp.replace(path)
-        self.stats.disk_writes += 1
-        self._m_disk_writes.inc()
+class ShardedTranslationCache:
+    """A :class:`TranslationCache` facade over N independently locked shards.
 
-    def _disk_load(self, key: str) -> Optional[Any]:
-        path = self._artifact_path(key)
-        if path is None or not path.exists():
-            return None
-        with get_tracer().span("cache:disk-load") as span:
-            return self._disk_load_artifact(key, path, span)
+    Shard selection hashes the key *prefix* (the first two characters of
+    the sha256 content address, uniform by construction), so concurrent
+    clients touching different entries proceed in parallel instead of
+    convoying on one LRU lock.  All shards share a single
+    :class:`DiskTier` — the on-disk layout, artifact format, and size
+    bound are identical to the unsharded cache, and
+    ``tests/pipeline/test_cache_sharded.py`` holds lookups byte-equivalent
+    to :class:`TranslationCache`.
 
-    def _disk_load_artifact(self, key: str, path: Path,
-                            span: Any) -> Optional[Any]:
-        try:
-            artifact = json.loads(path.read_text(encoding="utf-8"))
-            if artifact.get("version") != ARTIFACT_VERSION \
-                    or artifact.get("key") != key:
-                raise ValueError("artifact version/key mismatch")
-            result = pickle.loads(
-                zlib.decompress(base64.b64decode(artifact["payload"])))
-            # stale-artifact protection: the payload must reproduce the
-            # recorded sources exactly, or the entry is untrustworthy
-            host_src, device_src = result_sources(result)
-            if (host_src, device_src) != (artifact["host_source"],
-                                          artifact["device_source"]):
-                raise ValueError("artifact payload/source mismatch")
-            return result
-        except Exception as e:
-            # corrupted or stale: behave as a miss and drop the artifact
-            span.set(discarded=type(e).__name__)
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+    ``capacity`` is the total across shards (each shard gets the ceiling
+    share, so aggregate capacity never shrinks below the requested one);
+    per-shard LRU order can diverge from a global LRU only through
+    capacity evictions, exactly like a set-associative cache vs a fully
+    associative one.
+    """
+
+    def __init__(self, capacity: int = 256,
+                 cache_dir: "str | Path | None" = None,
+                 shards: int = 8,
+                 disk_limit_bytes: Optional[int] = None) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.shards = shards
+        self._disk = DiskTier(cache_dir, disk_limit_bytes) \
+            if cache_dir is not None else None
+        per_shard = -(-capacity // shards)      # ceil
+        self._shards: Tuple[TranslationCache, ...] = tuple(
+            TranslationCache(capacity=per_shard, disk_tier=self._disk)
+            for _ in range(shards))
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return self._disk.dir if self._disk is not None else None
+
+    @property
+    def disk_tier(self) -> Optional[DiskTier]:
+        return self._disk
+
+    def shard_for(self, key: str) -> TranslationCache:
+        """The shard owning ``key`` (prefix-hashed; stable)."""
+        prefix = key[:2].encode("utf-8", "replace") or b"\x00"
+        return self._shards[int.from_bytes(prefix, "big") % self.shards]
+
+    # -- the TranslationCache surface, delegated ----------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        return self.shard_for(key).get(key)
+
+    def put(self, key: str, result: Any,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        self.shard_for(key).put(key, result, meta)
+
+    def get_or_translate(self, key: str, translate: Callable[[], Any],
+                         meta: Optional[Dict[str, Any]] = None) -> Any:
+        return self.shard_for(key).get_or_translate(key, translate, meta)
+
+    def invalidate(self, key: str) -> bool:
+        return self.shard_for(key).invalidate(key)
+
+    def clear(self, disk: bool = False) -> None:
+        for shard in self._shards:
+            shard.clear(disk=False)
+        if disk and self._disk is not None:
+            self._disk.clear()
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shard_for(key)
+
+    def keys(self) -> Iterator[str]:
+        out: List[str] = []
+        for shard in self._shards:
+            out.extend(shard.keys())
+        return iter(out)
+
+    def artifact_path(self, key: str) -> Optional[Path]:
+        return self._disk.path(key) if self._disk is not None else None
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate counters over every shard (computed on access)."""
+        total = CacheStats()
+        for shard in self._shards:
+            total.add(shard.stats)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        disk = f" dir={self.cache_dir}" if self._disk else ""
+        return (f"<ShardedTranslationCache {len(self)}/{self.capacity} "
+                f"x{self.shards}{disk}>")
 
 
 # ---------------------------------------------------------------------------
@@ -341,7 +617,6 @@ def kernel_code_cache() -> TranslationCache:
     """
     global _KERNEL_CODE_CACHE
     if _KERNEL_CODE_CACHE is None:
-        import os
         cache_dir = os.environ.get("REPRO_KERNEL_CACHE_DIR") or None
         _KERNEL_CODE_CACHE = TranslationCache(capacity=128,
                                               cache_dir=cache_dir)

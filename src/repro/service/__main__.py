@@ -1,0 +1,118 @@
+"""CLI entry point: ``python -m repro.service``.
+
+Two modes:
+
+* **serve** (default) — start the daemon with a health endpoint and run
+  until interrupted.  With ``--replay N`` it first replays the benchmark
+  corpus N times through the service (a quick self-exercise) and prints
+  the stats snapshot instead of serving forever.
+* ``--config FILE`` — load a JSON :class:`ServiceConfig`; the same file
+  is then polled for hot reloads while serving.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.service --health-port 8642
+    PYTHONPATH=src python -m repro.service --replay 2 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+from .config import ServiceConfig
+from .daemon import TranslationService
+
+
+def _build_config(args: argparse.Namespace) -> ServiceConfig:
+    if args.config:
+        cfg = ServiceConfig.from_file(args.config)
+    else:
+        cfg = ServiceConfig.from_env()
+    overrides = {}
+    if args.health_port is not None:
+        overrides["health_port"] = args.health_port
+    if args.workers is not None:
+        overrides["pool_workers"] = args.workers
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
+    return cfg.merged(**overrides) if overrides else cfg
+
+
+async def _replay(service: TranslationService, rounds: int) -> dict:
+    from ..harness.runner import corpus_jobs
+    jobs = corpus_jobs()
+    ok = failed = 0
+    for round_no in range(rounds):
+        results = await service.submit(jobs, client=f"replay-{round_no}")
+        ok += sum(1 for r in results if r.ok)
+        failed += sum(1 for r in results if not r.ok)
+    return {"rounds": rounds, "jobs_per_round": len(jobs),
+            "ok": ok, "failed": failed}
+
+
+async def _serve(cfg: ServiceConfig, replay: int, as_json: bool) -> int:
+    service = TranslationService(cfg)
+    await service.start()
+    try:
+        if service.health is not None:
+            host, port = service.health.address
+            print(f"health endpoint: http://{host}:{port}/healthz",
+                  file=sys.stderr)
+        if replay > 0:
+            summary = await _replay(service, replay)
+            snapshot = service.stats_snapshot()
+            if as_json:
+                print(json.dumps({"replay": summary, "stats": snapshot},
+                                 indent=2, sort_keys=True, default=str))
+            else:
+                print(f"replayed corpus x{replay}: {summary['ok']} ok, "
+                      f"{summary['failed']} failed "
+                      f"({summary['jobs_per_round']} jobs/round)")
+                cache = snapshot.get("cache", {}).get("stats", {})
+                if cache:
+                    print(f"cache: {cache}")
+            return 0 if summary["failed"] == 0 else 1
+        print("serving (Ctrl-C to stop)", file=sys.stderr)
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except asyncio.CancelledError:      # pragma: no cover
+            pass
+        return 0
+    finally:
+        await service.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the resident translation service.")
+    parser.add_argument("--config", help="JSON ServiceConfig file "
+                        "(also polled for hot reloads)")
+    parser.add_argument("--health-port", type=int, default=None,
+                        help="health endpoint port (0 = ephemeral; "
+                        "default: config value)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker pool width (default: config value)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="disk cache directory")
+    parser.add_argument("--replay", type=int, default=0, metavar="N",
+                        help="replay the benchmark corpus N times and "
+                        "print stats instead of serving forever")
+    parser.add_argument("--json", action="store_true",
+                        help="with --replay: print the full stats "
+                        "snapshot as JSON")
+    args = parser.parse_args(argv)
+    cfg = _build_config(args)
+    try:
+        return asyncio.run(_serve(cfg, args.replay, args.json))
+    except KeyboardInterrupt:               # pragma: no cover
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Admission control: a bounded queue that rejects with a retry hint.
+
+A resident service must shed load it cannot absorb — an unbounded queue
+turns overload into unbounded latency for everyone.  The
+:class:`AdmissionController` keeps two bounds (outstanding *requests* and
+outstanding *jobs*, since one request can carry a whole corpus) and
+rejects at the door with :class:`ServiceSaturated` carrying a
+``retry_after`` estimate computed from the current backlog over an
+exponentially weighted completion-rate average — clients back off for
+roughly the time the existing queue needs to drain instead of hammering a
+saturated daemon.
+
+``service.admitted`` / ``service.rejected`` counters and the
+``service.queue.jobs`` gauge surface the pressure on the health endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+from ..observability import get_metrics
+
+__all__ = ["AdmissionController", "ServiceSaturated"]
+
+#: retry_after clamps (seconds): never tell a client "now", never "an hour"
+MIN_RETRY_AFTER = 0.05
+MAX_RETRY_AFTER = 30.0
+
+#: assumed drain rate (jobs/s) before any batch has completed
+DEFAULT_RATE = 20.0
+
+#: EWMA smoothing for the completion-rate estimate
+ALPHA = 0.3
+
+
+class ServiceSaturated(Exception):
+    """Admission rejected: the queue is full.  Retry after ``retry_after``
+    seconds (an estimate of the current backlog's drain time)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Bounded-queue accounting with backpressure estimates."""
+
+    def __init__(self, max_queued_jobs: int,
+                 max_queued_requests: int) -> None:
+        self._lock = threading.Lock()
+        self.max_queued_jobs = max_queued_jobs
+        self.max_queued_requests = max_queued_requests
+        self.queued_jobs = 0
+        self.queued_requests = 0
+        self.admitted = 0
+        self.rejected = 0
+        self._rate = 0.0                # EWMA jobs/second; 0 = no sample yet
+        m = get_metrics()
+        self._m_admitted = m.counter("service.admitted")
+        self._m_rejected = m.counter("service.rejected")
+        self._g_jobs = m.gauge("service.queue.jobs")
+        self._g_requests = m.gauge("service.queue.requests")
+
+    def configure(self, max_queued_jobs: int,
+                  max_queued_requests: int) -> None:
+        """Hot-reload the bounds (in-flight accounting is untouched)."""
+        with self._lock:
+            self.max_queued_jobs = max_queued_jobs
+            self.max_queued_requests = max_queued_requests
+
+    # -- the gate -----------------------------------------------------------
+
+    def admit(self, n_jobs: int) -> None:
+        """Claim queue room for one request of ``n_jobs`` jobs, or raise
+        :class:`ServiceSaturated` with a drain-time retry hint.
+
+        A single request larger than ``max_queued_jobs`` is admitted when
+        the queue is otherwise empty — rejecting it forever would make the
+        bound a request-size cap, which it is not.
+        """
+        with self._lock:
+            over_requests = self.queued_requests + 1 > self.max_queued_requests
+            over_jobs = self.queued_jobs + n_jobs > self.max_queued_jobs \
+                and self.queued_jobs > 0
+            oversized_alone = n_jobs > self.max_queued_jobs \
+                and self.queued_jobs == 0
+            if (over_requests or over_jobs) and not oversized_alone:
+                self.rejected += 1
+                self._m_rejected.inc()
+                retry = self._retry_after_locked()
+                raise ServiceSaturated(
+                    f"service saturated ({self.queued_jobs} jobs / "
+                    f"{self.queued_requests} requests queued; bounds "
+                    f"{self.max_queued_jobs}/{self.max_queued_requests}); "
+                    f"retry after {retry:.2f}s", retry)
+            self.queued_jobs += n_jobs
+            self.queued_requests += 1
+            self.admitted += 1
+            self._m_admitted.inc()
+            self._g_jobs.set(self.queued_jobs)
+            self._g_requests.set(self.queued_requests)
+
+    def depart(self, n_jobs: int, wall_s: float) -> None:
+        """Release one finished (or failed) request's queue room and fold
+        its completion rate into the drain estimate."""
+        with self._lock:
+            self.queued_jobs = max(0, self.queued_jobs - n_jobs)
+            self.queued_requests = max(0, self.queued_requests - 1)
+            self._g_jobs.set(self.queued_jobs)
+            self._g_requests.set(self.queued_requests)
+            if n_jobs > 0 and wall_s > 0:
+                sample = n_jobs / wall_s
+                self._rate = sample if self._rate == 0.0 \
+                    else ALPHA * sample + (1 - ALPHA) * self._rate
+
+    # -- estimates / introspection ------------------------------------------
+
+    def _retry_after_locked(self) -> float:
+        rate = self._rate or DEFAULT_RATE
+        backlog = max(self.queued_jobs, 1)
+        return min(max(backlog / rate, MIN_RETRY_AFTER), MAX_RETRY_AFTER)
+
+    def retry_after(self) -> float:
+        """Current drain-time estimate for the whole backlog (seconds)."""
+        with self._lock:
+            return self._retry_after_locked()
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"queued_jobs": self.queued_jobs,
+                    "queued_requests": self.queued_requests,
+                    "max_queued_jobs": self.max_queued_jobs,
+                    "max_queued_requests": self.max_queued_requests,
+                    "admitted": self.admitted, "rejected": self.rejected,
+                    "drain_rate_jobs_per_s": round(self._rate, 3),
+                    "retry_after_s": round(self._retry_after_locked(), 3)}

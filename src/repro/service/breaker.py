@@ -1,0 +1,137 @@
+"""Circuit breaker over the batch pipeline's failure taxonomy.
+
+The batch layer (PR 3) already classifies every failure
+(``unsupported`` / ``framework`` / ``internal`` / ``timeout`` / ``crash``)
+and quarantines persistent crashers *within one batch*.  A resident
+service needs the cross-request version of the same idea: a job that
+keeps killing workers or hanging past its timeout must stop being
+dispatched at all, or every request that includes it pays pool recycles
+and timeout waits.
+
+The breaker keys on the job *name* (the stable identity across requests —
+the same identity the fault plans target) and trips only on the
+*infrastructure* classes (``RETRYABLE_CLASSES``: crash, timeout).
+Translation-level failures — an ``unsupported`` Table-3 rejection is a
+correct answer, not a sick worker — never open a circuit.
+
+States per target: closed → (``threshold`` consecutive infra failures) →
+**open** (requests fail fast with a :class:`~repro.pipeline.batch.JobResult`
+carrying ``error_type='CircuitOpen'`` and the original failure class) →
+after ``cooldown_s`` one probe dispatch is allowed (**half-open**); a
+clean result closes the circuit, another infra failure re-opens it
+immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..observability import get_metrics, get_tracer
+from ..pipeline.batch import RETRYABLE_CLASSES, JobResult, TranslationJob
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Per-target trip/cooldown state over job infra failures."""
+
+    def __init__(self, threshold: int = 2, cooldown_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._strikes: Dict[str, int] = {}      # consecutive infra failures
+        self._opened_at: Dict[str, float] = {}  # open circuits
+        self._last_class: Dict[str, str] = {}   # last infra class per target
+        m = get_metrics()
+        self._m_opened = m.counter("service.breaker.opened")
+        self._m_closed = m.counter("service.breaker.closed")
+        self._m_fast_fail = m.counter("service.breaker.fast_fail")
+
+    def configure(self, threshold: int, cooldown_s: float) -> None:
+        """Hot-reload the trip knobs (open circuits keep their state)."""
+        with self._lock:
+            self.threshold = max(1, threshold)
+            self.cooldown_s = cooldown_s
+
+    # -- recording outcomes --------------------------------------------------
+
+    def record(self, name: str, ok: bool,
+               error_class: Optional[str]) -> None:
+        """Fold one job outcome in; may open or close the circuit."""
+        with self._lock:
+            if ok or error_class not in RETRYABLE_CLASSES:
+                # success or a *translation* verdict: the target is healthy
+                self._strikes.pop(name, None)
+                if self._opened_at.pop(name, None) is not None:
+                    self._m_closed.inc()
+                    self._trace_event("breaker-close", name)
+                return
+            self._strikes[name] = self._strikes.get(name, 0) + 1
+            self._last_class[name] = error_class      # type: ignore[assignment]
+            if self._strikes[name] >= self.threshold \
+                    and name not in self._opened_at:
+                self._opened_at[name] = self._clock()
+                self._m_opened.inc()
+                self._trace_event("breaker-open", name,
+                                  cls=error_class,
+                                  strikes=self._strikes[name])
+
+    # -- the gate ------------------------------------------------------------
+
+    def is_open(self, name: str) -> bool:
+        """True while ``name`` must fail fast.  After the cooldown the
+        circuit moves to half-open: this call returns False *once* (the
+        probe) with the strike count re-armed at ``threshold - 1`` so a
+        failing probe re-opens immediately."""
+        with self._lock:
+            opened = self._opened_at.get(name)
+            if opened is None:
+                return False
+            if self._clock() - opened < self.cooldown_s:
+                return True
+            # half-open: allow one probe through
+            del self._opened_at[name]
+            self._strikes[name] = self.threshold - 1
+            self._trace_event("breaker-probe", name)
+            return False
+
+    def fail_fast(self, job: TranslationJob) -> JobResult:
+        """The canned result for a quarantined target: same taxonomy class
+        as the failure that opened the circuit, zero dispatches burned."""
+        with self._lock:
+            cls = self._last_class.get(job.name, "crash")
+            strikes = self._strikes.get(job.name, self.threshold)
+        self._m_fast_fail.inc()
+        return JobResult(
+            job=job, ok=False, error_type="CircuitOpen", error_class=cls,
+            error_message=(f"circuit breaker open for {job.name!r} after "
+                           f"{strikes} consecutive {cls} failures; "
+                           f"cooling down {self.cooldown_s:g}s"),
+            attempts=0)
+
+    # -- introspection -------------------------------------------------------
+
+    def open_targets(self) -> List[str]:
+        with self._lock:
+            return sorted(self._opened_at)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            now = self._clock()
+            return {"threshold": self.threshold,
+                    "cooldown_s": self.cooldown_s,
+                    "open": {name: round(now - t, 3)
+                             for name, t in sorted(self._opened_at.items())},
+                    "strikes": dict(sorted(self._strikes.items()))}
+
+    @staticmethod
+    def _trace_event(event: str, name: str, **attrs: Any) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(event, target=name, **attrs)

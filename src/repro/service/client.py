@@ -1,0 +1,154 @@
+"""Client helpers: backpressure-honoring retry and a sync bridge.
+
+Two callers talk to the daemon:
+
+* async code uses :class:`ServiceClient`, which wraps
+  :meth:`TranslationService.submit` with the *correct* reaction to
+  :class:`~repro.service.admission.ServiceSaturated` — sleep for the
+  server's ``retry_after`` hint and try again, up to a bounded number of
+  attempts.  The bench suite uses this to model well-behaved concurrent
+  clients.
+* synchronous code (benchmarks' thread workers, the harness, tests that
+  drive the service from plain functions) uses :class:`ServiceHandle`,
+  which runs the daemon's event loop on a dedicated daemon thread and
+  exposes blocking ``submit`` / ``stats`` / ``reload`` calls via
+  ``asyncio.run_coroutine_threadsafe``.  ``close()`` (or the context
+  manager) stops the service and the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..observability import Tracer
+from ..pipeline.batch import JobResult, TranslationJob
+from ..pipeline.faults import FaultPlan
+from .admission import ServiceSaturated
+from .config import ServiceConfig
+from .daemon import ServiceClosed, TranslationService
+
+__all__ = ["ServiceClient", "ServiceHandle"]
+
+
+class ServiceClient:
+    """An async client identity with bounded retry-on-saturation."""
+
+    def __init__(self, service: TranslationService, client_id: str,
+                 max_attempts: int = 8) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.service = service
+        self.client_id = client_id
+        self.max_attempts = max_attempts
+        self.retries = 0                 # saturation retries performed
+
+    async def submit(self, jobs: Sequence[TranslationJob], *,
+                     fault_plan: Optional[FaultPlan] = None,
+                     trace: Optional[Tracer] = None) -> List[JobResult]:
+        """Submit, sleeping out ``retry_after`` on saturation; re-raises
+        the final :class:`ServiceSaturated` after ``max_attempts``."""
+        for attempt in range(self.max_attempts):
+            try:
+                return await self.service.submit(
+                    jobs, client=self.client_id,
+                    fault_plan=fault_plan, trace=trace)
+            except ServiceSaturated as e:
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                self.retries += 1
+                await asyncio.sleep(e.retry_after)
+        raise AssertionError("unreachable")          # pragma: no cover
+
+
+class ServiceHandle:
+    """Blocking facade: the daemon plus its event loop on a side thread.
+
+    ::
+
+        with ServiceHandle(ServiceConfig(pool_workers=2)) as handle:
+            results = handle.submit(jobs, client="harness")
+            print(handle.stats()["service"]["requests_served"])
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 cache: Any = ...,
+                 start_timeout: float = 60.0) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="svc-loop", daemon=True)
+        self._thread.start()
+        if cache is ...:
+            self.service = TranslationService(config)
+        else:
+            self.service = TranslationService(config, cache=cache)
+        self._closed = False
+        try:
+            self._call(self.service.start(), timeout=start_timeout)
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    # -- blocking surface ----------------------------------------------------
+
+    def submit(self, jobs: Sequence[TranslationJob],
+               client: str = "default", *,
+               fault_plan: Optional[FaultPlan] = None,
+               trace: Optional[Tracer] = None,
+               timeout: Optional[float] = None) -> List[JobResult]:
+        self._ensure_open()
+        return self._call(self.service.submit(
+            jobs, client=client, fault_plan=fault_plan, trace=trace),
+            timeout=timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        self._ensure_open()
+        return self._call(self._in_loop(self.service.stats_snapshot))
+
+    def health(self) -> Dict[str, Any]:
+        self._ensure_open()
+        return self._call(self._in_loop(self.service.health_snapshot))
+
+    def reload(self) -> bool:
+        """Force a config-file poll now; True if a reload happened."""
+        self._ensure_open()
+        return self._call(self._in_loop(self.service.maybe_reload_config))
+
+    def health_address(self) -> Optional[tuple]:
+        return self.service.health.address if self.service.health else None
+
+    def close(self, timeout: float = 60.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._call(self.service.stop(), timeout=timeout)
+        finally:
+            self._stop_loop()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("ServiceHandle is closed")
+
+    @staticmethod
+    async def _in_loop(fn: Any) -> Any:
+        return fn()
+
+    def _call(self, coro: Any, timeout: Optional[float] = None) -> Any:
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=timeout)
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        if not self._loop.is_running():
+            self._loop.close()

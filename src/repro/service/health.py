@@ -1,0 +1,115 @@
+"""Health/stats endpoint: a dependency-free asyncio HTTP server.
+
+The PR 4 observability layer gave the pipeline a metrics registry and a
+span tracer, but reading them required being *inside* the process.  The
+service exports them over plain HTTP on localhost so an operator (or the
+CI bench) can ask a running daemon how it feels:
+
+* ``GET /healthz`` — cheap liveness verdict (``ok`` / ``degraded``),
+  queue depth, open circuits, pool generation;
+* ``GET /statsz``  — the full :meth:`TranslationService.stats_snapshot`
+  (admission, breaker, cache incl. disk tier, metrics registry dump);
+* ``GET /configz`` — the effective :class:`ServiceConfig` after reloads.
+
+Implementation is deliberately minimal — ``asyncio.start_server`` plus
+hand-rolled HTTP/1.0 (GET only, ``Connection: close``) — because the
+container rule is *no new dependencies* and the surface is three
+read-only JSON routes on a loopback interface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:                                   # pragma: no cover
+    from .daemon import TranslationService
+
+__all__ = ["HealthServer"]
+
+_MAX_REQUEST_LINE = 4096
+
+
+class HealthServer:
+    """Serves ``/healthz`` / ``/statsz`` / ``/configz`` for one daemon."""
+
+    def __init__(self, service: "TranslationService",
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.host, self.port = self.address
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Actual bound ``(host, port)`` (meaningful once started; port 0
+        in the config becomes the ephemeral port the OS picked)."""
+        if self._server is None or not self._server.sockets:
+            return (self.host, self.port)
+        name = self._server.sockets[0].getsockname()
+        return (name[0], name[1])
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            line = await reader.readline()
+            if len(line) > _MAX_REQUEST_LINE:
+                status, payload = 400, {"error": "request line too long"}
+            else:
+                status, payload = self._route(line.decode("latin-1"))
+            # drain (and ignore) headers so well-behaved clients aren't
+            # surprised by a reset mid-send
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            body = json.dumps(payload, indent=2, sort_keys=True,
+                              default=str).encode("utf-8")
+            reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                      405: "Method Not Allowed"}.get(status, "OK")
+            writer.write(
+                f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1"))
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass                                     # client went away
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _route(self, request_line: str) -> Tuple[int, Dict[str, Any]]:
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, target = parts[0], parts[1].split("?", 1)[0]
+        if method != "GET":
+            return 405, {"error": f"method {method} not allowed"}
+        if target == "/healthz":
+            return 200, self.service.health_snapshot()
+        if target == "/statsz":
+            return 200, self.service.stats_snapshot()
+        if target == "/configz":
+            return 200, self.service.config.as_dict()
+        return 404, {"error": f"unknown path {target}",
+                     "paths": ["/healthz", "/statsz", "/configz"]}

@@ -1,0 +1,144 @@
+"""The resident worker pool: one process pool, reused across requests.
+
+``translate_many`` historically built a fresh ``ProcessPoolExecutor`` per
+batch — fine for one corpus sweep, ruinous for a service where most
+requests are small and pool spin-up dwarfs the work.  A
+:class:`ResidentPool` keeps one executor alive for the daemon's lifetime
+and satisfies the duck-typed ``pool=`` contract of
+:func:`repro.pipeline.batch.translate_many`:
+
+* ``acquire()`` hands out a healthy executor, transparently rebuilding it
+  if the previous one was damaged (a worker died, a hung job had to be
+  terminated) — the *self-healing* half of the service's degraded-pool
+  story;
+* ``report_damage(executor, terminate=)`` is how a borrower flags the
+  pool after a ``BrokenProcessPool`` or an abandoned (hung) future; the
+  damaged executor is retired immediately and the next ``acquire`` gets a
+  fresh generation.
+
+``service.pool.recycles`` / ``service.pool.generation`` make pool churn
+visible on the health endpoint: a climbing recycle count is the signature
+of a crashing workload that the circuit breaker should be quarantining.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from typing import Any, Dict, Optional
+
+from ..observability import get_metrics
+from ..pipeline.batch import POOL_ENV_ERRORS, _terminate_pool
+
+__all__ = ["ResidentPool"]
+
+
+def _warm_task(delay_s: float = 0.0) -> int:
+    """Module-level no-op submitted to force worker spawn (picklable)."""
+    if delay_s:
+        time.sleep(delay_s)
+    return os.getpid()
+
+
+class ResidentPool:
+    """A self-healing, generation-counted ``ProcessPoolExecutor`` host."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers or max(2, min(os.cpu_count() or 1, 8))
+        self._lock = threading.Lock()
+        self._exec: Optional[ProcessPoolExecutor] = None
+        self.generation = 0
+        self.recycles = 0
+        self._closed = False
+        m = get_metrics()
+        self._m_recycles = m.counter("service.pool.recycles")
+        self._m_generation = m.gauge("service.pool.generation")
+
+    # -- the translate_many pool= contract ----------------------------------
+
+    def acquire(self) -> ProcessPoolExecutor:
+        """A healthy executor (rebuilt if the last one was retired).
+
+        Raises the same environment errors as ``ProcessPoolExecutor``
+        construction when this host cannot run subprocesses at all —
+        ``translate_many`` degrades to its serial path in that case.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ResidentPool is shut down")
+            if self._exec is not None and self._broken_locked():
+                self._retire_locked(terminate=False)
+            if self._exec is None:
+                self._exec = ProcessPoolExecutor(max_workers=self.workers)
+                self.generation += 1
+                self._m_generation.set(self.generation)
+            return self._exec
+
+    def report_damage(self, executor: Any, terminate: bool = False) -> None:
+        """Retire ``executor`` if it is the current one (borrowers call
+        this after a broken pool or after abandoning hung futures)."""
+        with self._lock:
+            if executor is self._exec:
+                self._retire_locked(terminate=terminate)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def warm(self, timeout: float = 10.0) -> int:
+        """Force worker processes to exist before the first request.
+
+        Submits one trivial task per worker slot and waits briefly; the
+        return value is how many completed (0 in environments without
+        subprocess support — the service still works, serially).
+        """
+        try:
+            pool = self.acquire()
+            futs = [pool.submit(_warm_task, 0.01)
+                    for _ in range(self.workers)]
+        except POOL_ENV_ERRORS + (RuntimeError,):
+            return 0
+        done, _ = wait(futs, timeout=timeout)
+        return sum(1 for f in done if not f.exception())
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._exec is not None:
+                ex, self._exec = self._exec, None
+                ex.shutdown(wait=False, cancel_futures=True)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        with self._lock:
+            return self._exec is not None and not self._broken_locked()
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"workers": self.workers, "generation": self.generation,
+                    "recycles": self.recycles,
+                    "alive": self._exec is not None
+                    and not self._broken_locked()}
+
+    # -- internals ----------------------------------------------------------
+
+    def _broken_locked(self) -> bool:
+        # ProcessPoolExecutor sets _broken when a worker dies; treat an
+        # unreadable flag as healthy (the borrow path reports real damage)
+        return bool(getattr(self._exec, "_broken", False))
+
+    def _retire_locked(self, terminate: bool) -> None:
+        ex, self._exec = self._exec, None
+        if ex is None:
+            return
+        if terminate:
+            _terminate_pool(ex)
+        ex.shutdown(wait=False, cancel_futures=True)
+        self.recycles += 1
+        self._m_recycles.inc()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ResidentPool workers={self.workers} "
+                f"gen={self.generation} recycles={self.recycles}>")

@@ -53,6 +53,8 @@ def test_histogram_quantiles(reg):
     assert h.quantile(0.5) == 1.0
     assert h.quantile(1.0) == 10.0     # overflow bucket reports the max
     assert reg.histogram("empty").quantile(0.5) == 0.0
+    d = h.as_dict()
+    assert d["p50"] == 1.0 and d["p99"] == 10.0     # tail lands in overflow
 
 
 def test_histogram_default_buckets_sorted(reg):

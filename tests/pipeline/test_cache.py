@@ -237,3 +237,111 @@ def test_stats_as_dict():
     s = CacheStats(hits=3, misses=1)
     d = s.as_dict()
     assert d["hits"] == 3 and d["hit_rate"] == 0.75
+
+
+# -- disk-tier size bound (the unbounded-growth fix) ------------------------
+
+def _old(path, rank):
+    """Pin an artifact's mtime well in the past (rank orders recency)."""
+    import os
+    t = 1_000_000_000 + rank
+    os.utime(path, (t, t))
+
+
+def _blob(tag, n=800):
+    """Seeded *incompressible* payload (zlib squashes repeated chars to
+    nothing, which would defeat any size-bound test)."""
+    import random
+    return random.Random(tag).randbytes(n)
+
+
+def test_parse_bytes():
+    from repro.pipeline.cache import parse_bytes
+    assert parse_bytes("123") == 123
+    assert parse_bytes("64k") == 64 * 1024
+    assert parse_bytes("8M") == 8 * 1024 * 1024
+    assert parse_bytes("1g") == 1 << 30
+    assert parse_bytes("") is None
+    assert parse_bytes("nope") is None
+    assert parse_bytes("-5") is None and parse_bytes("0") is None
+
+
+def test_disk_limit_from_env(tmp_path, monkeypatch):
+    from repro.pipeline.cache import DISK_LIMIT_ENV, DiskTier
+    monkeypatch.setenv(DISK_LIMIT_ENV, "2k")
+    assert DiskTier(tmp_path).limit_bytes == 2048
+    monkeypatch.setenv(DISK_LIMIT_ENV, "")
+    assert DiskTier(tmp_path).limit_bytes is None
+    assert DiskTier(tmp_path, limit_bytes=512).limit_bytes == 512
+
+
+def test_disk_tier_rejects_nonpositive_limit(tmp_path):
+    from repro.pipeline.cache import DiskTier
+    with pytest.raises(ValueError):
+        DiskTier(tmp_path, limit_bytes=0)
+
+
+def test_disk_tier_evicts_oldest_when_over_limit(tmp_path):
+    c = TranslationCache(cache_dir=tmp_path, disk_limit_bytes=2500)
+    c.put("aa1", _blob(1))                    # each artifact ~1.2 KiB
+    c.put("bb2", _blob(2))
+    _old(c.artifact_path("aa1"), rank=0)      # aa1 is oldest
+    _old(c.artifact_path("bb2"), rank=1)
+    c.put("cc3", _blob(3))                    # pushes the tier over 2500
+    tier = c.disk_tier
+    assert not tier.exists("aa1")             # oldest evicted first
+    assert tier.exists("bb2") and tier.exists("cc3")
+    assert tier.evictions == 1
+    assert tier.total_bytes() <= 2500
+    assert tier.snapshot()["limit_bytes"] == 2500
+    # memory tier is untouched by disk eviction
+    assert c.get("aa1") == _blob(1)
+
+
+def test_disk_eviction_never_drops_the_entry_just_written(tmp_path):
+    """A single artifact larger than the whole bound is kept — evicting
+    the fresh write would make every oversized entry a guaranteed miss."""
+    c = TranslationCache(cache_dir=tmp_path, disk_limit_bytes=64)
+    c.put("aa", "x" * 500)
+    tier = c.disk_tier
+    assert tier.exists("aa")
+    assert tier.total_bytes() > 64            # over-bound but resident
+    assert tier.evictions == 0
+
+
+def test_disk_hit_refreshes_recency(tmp_path):
+    """Loading an artifact must refresh its mtime so the eviction order
+    is LRU, not FIFO: the recently *read* entry survives."""
+    seed = TranslationCache(cache_dir=tmp_path, disk_limit_bytes=2500)
+    seed.put("aa1", _blob(1))
+    seed.put("bb2", _blob(2))
+    _old(seed.artifact_path("aa1"), rank=0)
+    _old(seed.artifact_path("bb2"), rank=1)
+
+    c = TranslationCache(cache_dir=tmp_path, disk_limit_bytes=2500)
+    assert c.get("aa1") == _blob(1)           # disk hit refreshes aa1
+    c.put("cc3", _blob(3))                    # now over the bound
+    tier = c.disk_tier
+    assert tier.exists("aa1")                 # read recently -> survived
+    assert not tier.exists("bb2")             # stale -> evicted
+    assert tier.evictions == 1
+
+
+def test_disk_eviction_is_a_clean_miss_for_future_caches(tmp_path):
+    c = TranslationCache(capacity=1, cache_dir=tmp_path,
+                         disk_limit_bytes=1300)
+    for i, key in enumerate(["aa1", "bb2", "cc3", "dd4"]):
+        c.put(key, _blob(key))                # ~1.2 KiB each: 1 fits
+        _old(c.artifact_path(key), rank=i)
+    fresh = TranslationCache(cache_dir=tmp_path, disk_limit_bytes=1300)
+    assert fresh.get("aa1") is None           # evicted long ago
+    assert fresh.stats.misses == 1 and fresh.stats.disk_hits == 0
+
+
+def test_disk_evictions_surface_on_metrics():
+    from repro.observability import get_metrics
+    snap = get_metrics().snapshot()
+    # the eviction tests above ran in this process: the labelled
+    # eviction counter family exists and counted them
+    disk_evict = snap.get("cache.evict{tier=disk}")
+    assert disk_evict is not None and disk_evict["value"] > 0

@@ -1,0 +1,224 @@
+"""Property tests for the sharded translation cache.
+
+Three families of guarantees, per ISSUE 7:
+
+* **equivalence** — for any operation sequence that does not trigger
+  capacity eviction, :class:`ShardedTranslationCache` is observationally
+  identical to :class:`TranslationCache` (same get results, same
+  counters), and the disk artifacts it writes are byte-identical;
+* **no lost commits** — under concurrent get/put/invalidate storms from
+  many threads, every committed entry is still retrievable with its exact
+  value afterwards;
+* **disk bound** — the shared disk tier never ends a storm above its
+  size bound, evictions are visible on the counters, and surviving
+  artifacts load back uncorrupted.
+
+Concurrency tests are seeded (``random.Random(seed)``) so a failure
+reproduces; sequence properties use hypothesis with explicit examples.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import get_app
+from repro.pipeline.cache import (DiskTier, ShardedTranslationCache,
+                                  TranslationCache, cache_key)
+from repro.translate.api import translate_cuda_program
+
+KEYS = [cache_key(f"__global__ void k{i}(int *p) {{}}", "cuda", None, "spec")
+        for i in range(20)]
+
+
+# -- shard selection --------------------------------------------------------
+
+def test_shard_selection_is_stable_and_spreads():
+    c = ShardedTranslationCache(capacity=64, shards=4)
+    owners = [c.shard_for(k) for k in KEYS]
+    assert owners == [c.shard_for(k) for k in KEYS]     # stable
+    assert len({id(s) for s in owners}) > 1             # not one hot shard
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ShardedTranslationCache(shards=0)
+    with pytest.raises(ValueError):
+        ShardedTranslationCache(capacity=0)
+
+
+def test_aggregate_capacity_never_below_requested():
+    c = ShardedTranslationCache(capacity=10, shards=4)  # ceil -> 3 each
+    assert sum(s.capacity for s in c._shards) >= 10
+
+
+# -- observational equivalence to the unsharded cache -----------------------
+
+OPS = st.lists(st.tuples(st.sampled_from(["put", "get", "inv", "has"]),
+                         st.integers(min_value=0, max_value=len(KEYS) - 1)),
+               max_size=80)
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops=OPS)
+def test_sharded_matches_unsharded_without_eviction(ops):
+    """Below capacity, sharding must be invisible: every get/contains/
+    invalidate answer and every counter matches the flat cache."""
+    sharded = ShardedTranslationCache(capacity=256, shards=4)
+    flat = TranslationCache(capacity=256)
+    for op, i in ops:
+        k = KEYS[i]
+        if op == "put":
+            sharded.put(k, f"v{i}")
+            flat.put(k, f"v{i}")
+        elif op == "get":
+            assert sharded.get(k) == flat.get(k)
+        elif op == "inv":
+            assert sharded.invalidate(k) == flat.invalidate(k)
+        else:
+            assert (k in sharded) == (k in flat)
+    assert len(sharded) == len(flat)
+    assert sharded.stats.as_dict() == flat.stats.as_dict()
+    assert sorted(sharded.keys()) == sorted(flat.keys())
+
+
+def test_disk_artifacts_byte_identical_to_unsharded(tmp_path):
+    """The on-disk format is the *same cache*: identical relative path,
+    identical bytes, interchangeable between implementations."""
+    app = get_app("rodinia", "bfs")
+    prog = translate_cuda_program(app.cuda_source)
+    key = cache_key(app.cuda_source, "cuda", None, "GeForce GTX Titan")
+
+    flat_dir, shard_dir = tmp_path / "flat", tmp_path / "sharded"
+    TranslationCache(cache_dir=flat_dir).put(key, prog, meta={"name": "bfs"})
+    ShardedTranslationCache(cache_dir=shard_dir, shards=8).put(
+        key, prog, meta={"name": "bfs"})
+
+    (flat_art,) = flat_dir.glob("*/*.json")
+    (shard_art,) = shard_dir.glob("*/*.json")
+    assert flat_art.relative_to(flat_dir) == shard_art.relative_to(shard_dir)
+    assert flat_art.read_bytes() == shard_art.read_bytes()
+
+    # and the artifact one wrote, the other reads (cross-promotion)
+    cross = ShardedTranslationCache(cache_dir=flat_dir, shards=3)
+    restored = cross.get(key)
+    assert restored is not None
+    assert restored.device_source == prog.device_source
+    assert cross.stats.disk_hits == 1
+
+
+def test_disk_tier_is_shared_across_shards(tmp_path):
+    c1 = ShardedTranslationCache(cache_dir=tmp_path, shards=4)
+    for i, k in enumerate(KEYS):
+        c1.put(k, f"v{i}")
+    assert isinstance(c1.disk_tier, DiskTier)
+    c2 = ShardedTranslationCache(cache_dir=tmp_path, shards=4)
+    assert all(c2.get(k) == f"v{i}" for i, k in enumerate(KEYS))
+    assert c2.stats.disk_hits == len(KEYS)
+
+
+# -- concurrent storms ------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 1337, 20260809])
+def test_concurrent_storm_never_loses_committed_entries(seed):
+    """4 threads each commit 40 entries in their own keyspace while
+    hammering random gets/invalidate-recommit cycles across everyone's.
+    Afterwards every committed entry must be present with its exact value.
+    """
+    n_threads, n_keys = 4, 40
+    cache = ShardedTranslationCache(capacity=2048, shards=8)
+    spaces = [[cache_key(f"t{t}-src{i}", "cuda", None, "s")
+               for i in range(n_keys)] for t in range(n_threads)]
+    all_keys = [k for space in spaces for k in space]
+    errors = []
+    start = threading.Barrier(n_threads)
+
+    def worker(t: int) -> None:
+        rng = random.Random(seed * 1000 + t)
+        mine = list(spaces[t])
+        rng.shuffle(mine)
+        try:
+            start.wait()
+            for i, k in enumerate(mine):
+                cache.put(k, f"val:{k}")
+                for _ in range(3):          # interleaved cross-traffic
+                    probe = rng.choice(all_keys)
+                    got = cache.get(probe)
+                    if got is not None and got != f"val:{probe}":
+                        errors.append(f"wrong value for {probe}: {got}")
+                if i % 7 == 0:              # invalidate+recommit my own
+                    victim = rng.choice(spaces[t])
+                    cache.invalidate(victim)
+                    cache.put(victim, f"val:{victim}")
+        except Exception as e:              # pragma: no cover
+            errors.append(repr(e))
+
+    threads = [threading.Thread(target=worker, args=(t,))
+               for t in range(n_threads)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+
+    assert not errors
+    for k in all_keys:                      # nothing committed was lost
+        assert cache.get(k) == f"val:{k}"
+    assert cache.stats.evictions == 0       # capacity was never pressure
+    assert len(cache) == n_threads * n_keys
+
+
+@pytest.mark.parametrize("seed", [7, 4242])
+def test_concurrent_disk_bound_never_exceeded(tmp_path, seed):
+    """Concurrent writers against a small shared disk tier: the tier ends
+    the storm within its byte bound, evictions surface on the counters,
+    and every surviving artifact still loads cleanly."""
+    limit = 16 * 1024
+    cache = ShardedTranslationCache(capacity=8, shards=4,
+                                    cache_dir=tmp_path,
+                                    disk_limit_bytes=limit)
+    n_threads, n_keys = 4, 30
+    payload = "x" * 600                     # artifact ends up ~1 KiB
+    spaces = [[cache_key(f"d{t}-{i}", "cuda", None, "s")
+               for i in range(n_keys)] for t in range(n_threads)]
+    errors = []
+    start = threading.Barrier(n_threads)
+
+    def worker(t: int) -> None:
+        rng = random.Random(seed * 77 + t)
+        try:
+            start.wait()
+            for k in spaces[t]:
+                cache.put(k, payload + k)
+                probe = rng.choice(spaces[t])
+                got = cache.get(probe)
+                if got is not None and got != payload + probe:
+                    errors.append(f"wrong value for {probe}")
+        except Exception as e:              # pragma: no cover
+            errors.append(repr(e))
+
+    threads = [threading.Thread(target=worker, args=(t,))
+               for t in range(n_threads)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert not errors
+
+    tier = cache.disk_tier
+    on_disk = sum(p.stat().st_size for p in tmp_path.glob("*/*.json"))
+    assert on_disk <= limit                 # the bound held
+    assert tier.total_bytes() == on_disk    # accounting is exact
+    assert tier.evictions > 0               # and the churn was visible
+    assert tier.snapshot()["evictions"] == tier.evictions
+
+    # survivors are readable by a fresh cache over the same directory
+    fresh = TranslationCache(cache_dir=tmp_path)
+    survivors = [p.stem for p in tmp_path.glob("*/*.json")]
+    assert survivors
+    for key in survivors:
+        got = fresh.get(key)
+        assert got is not None and got.endswith(key)

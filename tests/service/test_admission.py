@@ -1,0 +1,93 @@
+"""Unit tests for admission control and backpressure estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.admission import (MAX_RETRY_AFTER, MIN_RETRY_AFTER,
+                                     AdmissionController, ServiceSaturated)
+
+
+def test_admit_depart_accounting():
+    a = AdmissionController(max_queued_jobs=10, max_queued_requests=4)
+    a.admit(3)
+    a.admit(4)
+    assert a.queued_jobs == 7 and a.queued_requests == 2
+    a.depart(3, wall_s=0.1)
+    assert a.queued_jobs == 4 and a.queued_requests == 1
+    assert a.admitted == 2 and a.rejected == 0
+
+
+def test_rejects_over_job_bound_with_retry_hint():
+    a = AdmissionController(max_queued_jobs=10, max_queued_requests=100)
+    a.admit(8)
+    with pytest.raises(ServiceSaturated) as exc:
+        a.admit(5)
+    assert MIN_RETRY_AFTER <= exc.value.retry_after <= MAX_RETRY_AFTER
+    assert a.rejected == 1
+    assert a.queued_jobs == 8               # failed admit left no residue
+
+
+def test_rejects_over_request_bound():
+    a = AdmissionController(max_queued_jobs=1000, max_queued_requests=2)
+    a.admit(1)
+    a.admit(1)
+    with pytest.raises(ServiceSaturated):
+        a.admit(1)
+
+
+def test_oversized_request_admitted_only_when_idle():
+    a = AdmissionController(max_queued_jobs=5, max_queued_requests=10)
+    a.admit(50)                             # bigger than the whole bound
+    assert a.queued_jobs == 50
+    with pytest.raises(ServiceSaturated):   # but not behind other work
+        a.admit(50)
+    a.depart(50, wall_s=1.0)
+    a.admit(2)
+    with pytest.raises(ServiceSaturated):   # queue non-empty now
+        a.admit(50)
+
+
+def test_retry_after_tracks_drain_rate():
+    a = AdmissionController(max_queued_jobs=100, max_queued_requests=100)
+    a.admit(50)
+    # observed throughput: 10 jobs/s -> 50-job backlog ~ 5s to drain
+    a.depart(10, wall_s=1.0)
+    a.admit(10)
+    assert a.queued_jobs == 50
+    estimate = a.retry_after()
+    assert 2.0 < estimate < 10.0
+    # a faster service shrinks the hint (EWMA folds the new sample in)
+    for _ in range(20):
+        a.depart(10, wall_s=0.01)
+        a.admit(10)
+    assert a.retry_after() < estimate
+
+
+def test_retry_after_clamps():
+    a = AdmissionController(max_queued_jobs=10**6, max_queued_requests=10)
+    a.admit(10**6 - 1)                      # huge backlog, default rate
+    assert a.retry_after() == MAX_RETRY_AFTER
+    b = AdmissionController(max_queued_jobs=10, max_queued_requests=10)
+    for _ in range(5):
+        b.depart(100, wall_s=0.001)         # absurdly fast service
+    assert b.retry_after() == MIN_RETRY_AFTER
+
+
+def test_configure_applies_new_bounds_live():
+    a = AdmissionController(max_queued_jobs=2, max_queued_requests=2)
+    a.admit(2)
+    with pytest.raises(ServiceSaturated):
+        a.admit(1)
+    a.configure(max_queued_jobs=10, max_queued_requests=10)
+    a.admit(1)                              # fits under the new bound
+    assert a.queued_jobs == 3
+
+
+def test_snapshot_shape():
+    a = AdmissionController(max_queued_jobs=4, max_queued_requests=2)
+    a.admit(1)
+    snap = a.snapshot()
+    assert snap["queued_jobs"] == 1 and snap["admitted"] == 1
+    assert snap["max_queued_jobs"] == 4
+    assert "retry_after_s" in snap and "drain_rate_jobs_per_s" in snap

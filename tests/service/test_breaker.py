@@ -1,0 +1,112 @@
+"""Unit tests for the per-target circuit breaker (fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.batch import TranslationJob
+from repro.service.breaker import CircuitBreaker
+
+JOB = TranslationJob(name="suite/app", direction="cuda2ocl", source="")
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def _breaker(clock, threshold=2, cooldown=10.0):
+    return CircuitBreaker(threshold=threshold, cooldown_s=cooldown,
+                          clock=clock)
+
+
+def test_trips_after_threshold_consecutive_infra_failures(clock):
+    b = _breaker(clock)
+    b.record("t", ok=False, error_class="crash")
+    assert not b.is_open("t")               # one strike: still closed
+    b.record("t", ok=False, error_class="timeout")
+    assert b.is_open("t")
+    assert b.open_targets() == ["t"]
+
+
+def test_translation_failures_never_trip(clock):
+    b = _breaker(clock, threshold=1)
+    for cls in ("unsupported", "framework", "internal"):
+        b.record("t", ok=False, error_class=cls)
+        assert not b.is_open("t"), cls      # a verdict, not sickness
+
+
+def test_success_resets_the_strike_count(clock):
+    b = _breaker(clock)
+    b.record("t", ok=False, error_class="crash")
+    b.record("t", ok=True, error_class=None)
+    b.record("t", ok=False, error_class="crash")
+    assert not b.is_open("t")               # never two *consecutive*
+
+
+def test_half_open_probe_after_cooldown(clock):
+    b = _breaker(clock, cooldown=10.0)
+    b.record("t", ok=False, error_class="crash")
+    b.record("t", ok=False, error_class="crash")
+    assert b.is_open("t")
+    clock.t = 9.9
+    assert b.is_open("t")                   # still cooling
+    clock.t = 10.1
+    assert not b.is_open("t")               # the probe goes through
+    # a failed probe re-opens immediately (strikes re-armed)
+    b.record("t", ok=False, error_class="crash")
+    assert b.is_open("t")
+
+
+def test_successful_probe_closes_for_good(clock):
+    b = _breaker(clock, cooldown=1.0)
+    b.record("t", ok=False, error_class="timeout")
+    b.record("t", ok=False, error_class="timeout")
+    clock.t = 2.0
+    assert not b.is_open("t")
+    b.record("t", ok=True, error_class=None)
+    assert not b.is_open("t")
+    b.record("t", ok=False, error_class="timeout")
+    assert not b.is_open("t")               # back to a full threshold
+
+
+def test_fail_fast_result_shape(clock):
+    b = _breaker(clock)
+    b.record(JOB.name, ok=False, error_class="timeout")
+    b.record(JOB.name, ok=False, error_class="timeout")
+    res = b.fail_fast(JOB)
+    assert not res.ok and res.job is JOB
+    assert res.error_type == "CircuitOpen"
+    assert res.error_class == "timeout"     # the class that opened it
+    assert res.attempts == 0                # no dispatch was burned
+    assert "circuit breaker open" in res.error_message
+
+
+def test_targets_are_independent(clock):
+    b = _breaker(clock, threshold=1)
+    b.record("sick", ok=False, error_class="crash")
+    assert b.is_open("sick") and not b.is_open("healthy")
+
+
+def test_configure_and_snapshot(clock):
+    b = _breaker(clock)
+    b.configure(threshold=5, cooldown_s=1.5)
+    assert b.threshold == 5 and b.cooldown_s == 1.5
+    b.configure(threshold=0, cooldown_s=1.0)
+    assert b.threshold == 1                 # clamped to sane
+    b.record("t", ok=False, error_class="crash")
+    snap = b.snapshot()                     # threshold 1: opened at once
+    assert snap["strikes"] == {"t": 1} and list(snap["open"]) == ["t"]
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)

@@ -1,0 +1,64 @@
+"""Unit tests for the self-healing resident worker pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.pool import ResidentPool, _warm_task
+
+
+def test_acquire_reuses_one_executor_across_calls():
+    pool = ResidentPool(workers=2)
+    try:
+        assert pool.acquire() is pool.acquire()
+        assert pool.generation == 1
+    finally:
+        pool.shutdown()
+
+
+def test_report_damage_recycles_only_the_current_executor():
+    pool = ResidentPool(workers=2)
+    try:
+        first = pool.acquire()
+        pool.report_damage(first)
+        assert pool.recycles == 1
+        second = pool.acquire()
+        assert second is not first and pool.generation == 2
+        pool.report_damage(first)           # stale report: ignored
+        assert pool.recycles == 1
+        assert pool.acquire() is second
+    finally:
+        pool.shutdown()
+
+
+def test_warm_spawns_live_workers():
+    pool = ResidentPool(workers=2)
+    try:
+        assert pool.warm(timeout=30.0) >= 1
+        assert pool.alive
+        # warmed pool really executes work
+        assert pool.acquire().submit(_warm_task).result(timeout=30) > 0
+    finally:
+        pool.shutdown()
+
+
+def test_shutdown_is_terminal():
+    pool = ResidentPool(workers=2)
+    pool.acquire()
+    pool.shutdown()
+    assert not pool.alive
+    with pytest.raises(RuntimeError):
+        pool.acquire()
+    assert pool.warm() == 0                 # degrades, never raises
+
+
+def test_snapshot_shape():
+    pool = ResidentPool(workers=3)
+    try:
+        snap = pool.snapshot()
+        assert snap == {"workers": 3, "generation": 0, "recycles": 0,
+                        "alive": False}     # lazy: no executor yet
+        pool.acquire()
+        assert pool.snapshot()["generation"] == 1
+    finally:
+        pool.shutdown()

@@ -1,0 +1,143 @@
+"""Differential suite: the daemon is a *transparent* front-end.
+
+In the style of ``tests/device/test_compile_differential.py``: run the
+same job set through plain :func:`translate_many` and through a
+:class:`TranslationService`, then hold every observable byte-identical —
+translated sources, failure diagnostics (type / taxonomy class /
+category / message / location), cache-hit flags, and the per-job pass
+span sequences recorded by the tracer.  If the service ever reorders,
+re-translates, or rewrites anything, this suite is the tripwire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List
+
+from repro.harness.runner import corpus_jobs
+from repro.observability import Tracer
+from repro.pipeline.batch import TranslationJob, translate_many
+from repro.pipeline.cache import TranslationCache
+from repro.service import ServiceConfig, TranslationService
+
+#: fields that must match byte-for-byte between direct and service runs
+COMPARED_FIELDS = (
+    "ok", "cached", "error_type", "error_class", "error_category",
+    "error_feature", "error_message", "error_line", "error_col",
+    "attempts", "error_history",
+)
+
+BROKEN = TranslationJob(
+    name="diff/broken", direction="cuda2ocl",
+    source="__global__ void k(float *x { x[0] = 1; }")      # parse error
+
+SHFL = TranslationJob(
+    name="diff/shfl", direction="cuda2ocl",
+    source="""
+__global__ void reduce(float *x) {
+  float v = x[threadIdx.x];
+  v += __shfl_down(v, 16);
+  x[threadIdx.x] = v;
+}
+""")                                    # warp shuffle: Table-3 unsupported
+
+
+def _mixed_jobs() -> List[TranslationJob]:
+    """Real corpus jobs plus deliberate failures, so the diagnostics
+    (not just the happy path) are under differential test."""
+    return corpus_jobs()[:8] + [BROKEN, SHFL]
+
+
+def _fingerprint(results) -> List[Dict]:
+    out = []
+    for r in results:
+        row = {f: getattr(r, f) for f in COMPARED_FIELDS}
+        row["name"] = r.job.name
+        row["host_source"] = r.host_source
+        row["device_source"] = r.device_source
+        out.append(row)
+    return out
+
+
+def _pass_sequences(tracer: Tracer) -> Dict[str, List[str]]:
+    """job name -> ordered ``pass:*`` span names of that job.
+
+    A job's spans land in ``finished`` as one contiguous block (worker
+    blocks are ingested atomically at harvest; serial jobs run one at a
+    time), with the enclosing ``job:`` span finishing last — so every
+    ``pass:`` span belongs to the next ``job:`` span in finished order.
+    (Parent-id walking is not usable here: worker tracers restart their
+    span-id sequence per dispatch, so ids collide across jobs.)
+    """
+    seqs: Dict[str, List[str]] = {}
+    pending: List[str] = []
+    for span in tracer.finished:
+        if span.name.startswith("pass:"):
+            pending.append(span.name)
+        elif span.name.startswith("job:"):
+            seqs.setdefault(span.name[len("job:"):], []).extend(pending)
+            pending = []
+    return seqs
+
+
+def _via_service(jobs, cache, tracer, rounds=1):
+    async def main():
+        cfg = ServiceConfig(pool_workers=2, warm_pool=False,
+                            job_retries=1)
+        async with TranslationService(cfg, cache=cache) as svc:
+            out = []
+            for i in range(rounds):
+                out.append(await svc.submit(jobs, client=f"diff-{i}",
+                                            trace=tracer))
+            return out
+    return asyncio.run(main())
+
+
+def test_service_results_byte_identical_to_direct_translate_many():
+    jobs = _mixed_jobs()
+    direct = translate_many(jobs, cache=None, parallel=True, max_workers=2,
+                            retries=1)
+    (served,) = _via_service(jobs, cache=None, tracer=None)
+    assert _fingerprint(served) == _fingerprint(direct)
+    # sanity: the mix really exercises both verdicts
+    by_name = {r.job.name: r for r in served}
+    assert not by_name["diff/broken"].ok
+    assert not by_name["diff/shfl"].ok
+    assert by_name["diff/shfl"].error_class == "unsupported"
+    assert sum(1 for r in served if r.ok) == len(jobs) - 2
+
+
+def test_cache_mediated_rounds_match_direct_cache_rounds():
+    """Round 2 through the service's cache must look exactly like round 2
+    through a direct cache: same hits, same bytes, nothing re-translated."""
+    jobs = _mixed_jobs()
+    direct_cache = TranslationCache(capacity=64)
+    direct_r1 = translate_many(jobs, cache=direct_cache, max_workers=2)
+    direct_r2 = translate_many(jobs, cache=direct_cache, max_workers=2)
+
+    svc_r1, svc_r2 = _via_service(jobs, cache=TranslationCache(capacity=64),
+                                  tracer=None, rounds=2)
+    assert _fingerprint(svc_r1) == _fingerprint(direct_r1)
+    assert _fingerprint(svc_r2) == _fingerprint(direct_r2)
+    # failures are not cached; successes all are
+    assert all(r.cached for r in svc_r2 if r.ok)
+    assert not any(r.cached for r in svc_r2 if not r.ok)
+
+
+def test_span_sequences_identical_through_the_service():
+    jobs = _mixed_jobs()[:6]
+    t_direct, t_service = Tracer(), Tracer()
+    direct = translate_many(jobs, cache=None, max_workers=2,
+                            trace=t_direct)
+    (served,) = _via_service(jobs, cache=None, tracer=t_service)
+    assert _fingerprint(served) == _fingerprint(direct)
+
+    direct_seqs = _pass_sequences(t_direct)
+    service_seqs = _pass_sequences(t_service)
+    assert set(direct_seqs) == {j.name for j in jobs}
+    assert service_seqs == direct_seqs      # same passes, same order
+    # the service adds its request envelope *around* the batch, never
+    # inside the per-job timeline
+    service_names = {s.name for s in t_service.finished}
+    assert "service:request" in service_names
+    assert "batch:translate_many" in service_names

@@ -1,0 +1,161 @@
+"""Fault-injected service tests: the daemon under hostile workloads.
+
+``repro.pipeline.faults`` plans (hang / crash / timeout) flow through
+:meth:`TranslationService.submit` exactly as they do through
+``translate_many`` — but the *service* must additionally survive them:
+the resident pool recycles after worker crashes, the circuit breaker
+fail-fasts targets that keep being sick while sibling jobs complete, and
+a cooled-down circuit lets a healthy probe close it again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.pipeline.batch import TranslationJob
+from repro.pipeline.faults import FaultPlan
+from repro.service import ServiceConfig, TranslationService
+
+CUDA = """
+__global__ void iota(int *p, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) p[i] = i;
+}
+"""
+
+
+def _jobs(n, tag):
+    return [TranslationJob(name=f"flt/{tag}{i}", direction="cuda2ocl",
+                           source=CUDA + f"// {tag}{i}\n")
+            for i in range(n)]
+
+
+def _cfg(**kw):
+    base = dict(pool_workers=2, warm_pool=False, health_port=None,
+                cache_capacity=64)
+    base.update(kw)
+    return ServiceConfig(**base)
+
+
+def test_hung_job_times_out_while_siblings_complete():
+    async def main():
+        cfg = _cfg(job_timeout=1.5, job_retries=0)
+        async with TranslationService(cfg) as svc:
+            jobs = _jobs(3, "hang")
+            plan = FaultPlan.parse("hang:flt/hang0:0:30")   # every attempt
+            results = await svc.submit(jobs, client="f", fault_plan=plan)
+            by_name = {r.job.name: r for r in results}
+            assert by_name["flt/hang0"].error_class == "timeout"
+            assert by_name["flt/hang1"].ok and by_name["flt/hang2"].ok
+            # the hung worker was reaped: the resident pool self-healed
+            assert svc.pool.recycles >= 1
+            # and the daemon still serves (fresh pool generation)
+            again = await svc.submit(_jobs(2, "after"), client="f")
+            assert all(r.ok for r in again)
+    asyncio.run(main())
+
+
+def test_crashing_target_opens_breaker_and_siblings_keep_completing():
+    async def main():
+        cfg = _cfg(breaker_threshold=2, breaker_cooldown_s=300.0,
+                   job_retries=1)
+        async with TranslationService(cfg) as svc:
+            crash = FaultPlan.parse("crash:flt/sick0:0")    # every attempt
+            # strike 1: the crash burns retries + quarantine, then lands
+            # as a crash result; siblings are unaffected
+            r1 = await svc.submit(_jobs(2, "sick"), client="f",
+                                  fault_plan=crash)
+            assert not r1[0].ok and r1[0].error_class == "crash"
+            assert r1[1].ok
+            assert svc.pool.recycles >= 1                   # self-healed
+            assert svc.breaker.open_targets() == []
+            # strike 2: the circuit opens
+            r2 = await svc.submit(_jobs(2, "sick"), client="f",
+                                  fault_plan=crash)
+            assert not r2[0].ok
+            assert svc.breaker.open_targets() == ["flt/sick0"]
+            # strike 3: fail-fast, zero dispatches burned, siblings fine —
+            # no fault plan this time, yet the target is still quarantined
+            r3 = await svc.submit(_jobs(3, "sick"), client="f")
+            assert r3[0].error_type == "CircuitOpen"
+            assert r3[0].attempts == 0
+            assert r3[0].error_class == "crash"             # inherited class
+            assert r3[1].ok and r3[2].ok
+            assert svc.health_snapshot()["status"] == "degraded"
+            assert svc.health_snapshot()["open_circuits"] == ["flt/sick0"]
+    asyncio.run(main())
+
+
+def test_breaker_probe_closes_after_recovery():
+    async def main():
+        cfg = _cfg(breaker_threshold=1, breaker_cooldown_s=0.3,
+                   job_retries=0)
+        async with TranslationService(cfg) as svc:
+            crash = FaultPlan.parse("crash:flt/flaky0:0")
+            r1 = await svc.submit(_jobs(2, "flaky"), client="f",
+                                  fault_plan=crash)
+            assert not r1[0].ok
+            assert svc.breaker.open_targets() == ["flt/flaky0"]
+            # while hot, the target fails fast
+            r2 = await svc.submit(_jobs(2, "flaky"), client="f")
+            assert r2[0].error_type == "CircuitOpen"
+            await asyncio.sleep(0.35)                       # cooldown passes
+            # the probe dispatches for real this time — and succeeds
+            r3 = await svc.submit(_jobs(2, "flaky"), client="f")
+            assert r3[0].ok and r3[0].attempts >= 1
+            assert svc.breaker.open_targets() == []
+            assert svc.health_snapshot()["status"] == "ok"
+    asyncio.run(main())
+
+
+def test_serial_crash_injection_cannot_kill_the_daemon():
+    """Single-job batches run in-process; an injected crash there raises
+    ``WorkerCrash`` instead of ``os._exit``, and must surface as a result,
+    not take the event loop down."""
+    async def main():
+        async with TranslationService(_cfg(job_retries=0)) as svc:
+            (res,) = await svc.submit(
+                _jobs(1, "serial"), client="f",
+                fault_plan=FaultPlan.parse("crash:flt/serial0:0"))
+            assert not res.ok and res.error_class == "crash"
+            (after,) = await svc.submit(_jobs(1, "ok"), client="f")
+            assert after.ok                                 # still alive
+    asyncio.run(main())
+
+
+def test_smoke_plan_through_the_daemon():
+    """The standard four-kind smoke plan (fail/hang/crash/badresult) in
+    one request: every injection lands on its target, nothing else."""
+    async def main():
+        cfg = _cfg(job_timeout=2.0, job_retries=0)
+        async with TranslationService(cfg) as svc:
+            jobs = _jobs(5, "smoke")
+            plan = FaultPlan.smoke([j.name for j in jobs[:4]])
+            results = await svc.submit(jobs, client="f", fault_plan=plan)
+            by_name = {r.job.name: r for r in results}
+
+            def felt(r):                    # the injection left a mark:
+                return not r.ok or bool(r.error_history)
+
+            # fail:RecursionError is not retryable -> always a final error
+            assert not by_name["flt/smoke0"].ok
+            # the once-only hang/crash injections may recover on the retry
+            # or quarantine dispatch (their markers are spent), and pool
+            # breakage couples in-flight siblings — exactly as in direct
+            # translate_many.  Each must at least have been *felt*.
+            # (badresult recovers transparently by design — its pickling
+            # failure is a redispatch, not an attempt; see
+            # test_unpicklable_result_does_not_crash_the_batch.)
+            for name in ("flt/smoke1", "flt/smoke2"):
+                assert felt(by_name[name]), by_name[name]
+            hung = by_name["flt/smoke1"]
+            assert hung.error_class == "timeout" \
+                or set(hung.error_history) & {"crash", "timeout"}
+            crashed = by_name["flt/smoke2"]
+            assert crashed.error_class == "crash" \
+                or "crash" in crashed.error_history
+            assert by_name["flt/smoke4"].ok                 # untouched
+            # and the daemon survived the whole menagerie
+            (after,) = await svc.submit(_jobs(1, "post"), client="f")
+            assert after.ok
+    asyncio.run(main())
