@@ -1,12 +1,14 @@
-"""Execution-tier speedup bench: compiled kernels vs the interpreter.
+"""Execution-tier speedup bench: generated kernel code vs the interpreter.
 
-The compile tier exists to take the device engine off the figure benches'
+The generated tiers exist to take the device engine off the figure benches'
 critical path (ROADMAP item 1): the interpreter re-walks the kernel AST per
-work-item, the compiled tier runs generated Python.  This bench runs the
-two kernel-heaviest corpus apps — NPB FT and Rodinia gaussian — under both
-tiers and measures *kernel execution wall time* as the sum of ``kernel:``
-span durations from the observability layer, which isolates the engine from
-host-program interpretation (FT's host loop dominates its whole-app time).
+work-item, the ``compiled`` tier runs generated scalar Python, and the
+``vector`` tier executes eligible kernels one numpy-batched warp per step.
+This bench runs the two kernel-heaviest corpus apps — NPB FT and Rodinia
+gaussian — under all three tiers and measures *kernel execution wall time*
+as the sum of ``kernel:`` span durations from the observability layer,
+which isolates the engine from host-program interpretation (FT's host loop
+dominates its whole-app time).
 
 Simulated *modeled* time must be bit-for-bit identical across tiers — the
 tier changes how fast the simulation runs, never what it reports.
@@ -16,9 +18,11 @@ CI regression gate::
     PYTHONPATH=src python benchmarks/bench_engine.py --smoke
 
 re-measures and fails if the compiled tier is less than ``MIN_SPEEDUP``×
-the interpreter on either app, or if a warm second run fails to skip
-codegen (``engine.compile.cache_hit`` must rise).  Refresh the committed
-``benchmarks/BENCH_engine.json`` after an intentional change with::
+the interpreter on either app, if the vector tier is less than
+``MIN_VECTOR_SPEEDUP``× the scalar compiled tier, or if a warm second run
+fails to skip codegen (``engine.compile.cache_hit`` must rise).  Refresh
+the committed ``benchmarks/BENCH_engine.json`` after an intentional change
+with::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
 """
@@ -40,6 +44,10 @@ BASELINE_PATH = Path(__file__).parent / "BENCH_engine.json"
 #: the acceptance bar: compiled kernel execution must beat the interpreter
 #: by at least this factor on every benched app (ISSUE 6 asks for >=10x)
 MIN_SPEEDUP = 10.0
+
+#: the warp-vectorized tier must beat the scalar compiled tier by at least
+#: this factor on every benched app (ISSUE 8 asks for >=1.5x)
+MIN_VECTOR_SPEEDUP = 1.5
 
 #: (suite, name) of the benched apps — kernel-bound corpus members
 APPS = [("npb", "FT"), ("rodinia", "gaussian")]
@@ -85,7 +93,7 @@ def collect():
     for suite, name in APPS:
         app = _find_app(suite, name)
         rec = {}
-        for tier in ("interp", "compiled"):
+        for tier in ("interp", "compiled", "vector"):
             walls, results = [], []
             for _ in range(REPEATS):
                 w, r = _kernel_wall_s(app, tier)
@@ -96,7 +104,10 @@ def collect():
         # the tier must not change the modeled time
         assert rec["sim_time_compiled"] == rec["sim_time_interp"], \
             f"{name}: modeled time diverged across tiers"
+        assert rec["sim_time_vector"] == rec["sim_time_interp"], \
+            f"{name}: modeled time diverged under the vector tier"
         rec["speedup"] = rec["interp"] / rec["compiled"]
+        rec["vector_speedup"] = rec["compiled"] / rec["vector"]
         out[f"{suite}/{name}"] = rec
     return out
 
@@ -124,15 +135,19 @@ def _check_warm_cache():
 
 def as_baseline(measured):
     return {"unit": "seconds (kernel: span wall time)",
-            "min_speedup": MIN_SPEEDUP, "apps": measured}
+            "min_speedup": MIN_SPEEDUP,
+            "min_vector_speedup": MIN_VECTOR_SPEEDUP, "apps": measured}
 
 
 def _print_table(measured):
-    print(f"  {'app':<18}{'interp':>12}{'compiled':>12}{'speedup':>10}")
+    print(f"  {'app':<18}{'interp':>12}{'compiled':>12}{'vector':>12}"
+          f"{'speedup':>10}{'vec/cmp':>9}")
     for name, rec in measured.items():
         print(f"  {name:<18}{rec['interp'] * 1e3:>10.1f} ms"
               f"{rec['compiled'] * 1e3:>10.1f} ms"
-              f"{rec['speedup']:>9.1f}x")
+              f"{rec['vector'] * 1e3:>10.1f} ms"
+              f"{rec['speedup']:>9.1f}x"
+              f"{rec['vector_speedup']:>8.2f}x")
 
 
 # -- pytest entry ------------------------------------------------------------
@@ -145,6 +160,9 @@ def bench_engine_tiers(benchmark):
     for name, rec in measured.items():
         assert rec["speedup"] >= MIN_SPEEDUP, \
             f"{name}: {rec['speedup']:.1f}x < {MIN_SPEEDUP}x"
+        assert rec["vector_speedup"] >= MIN_VECTOR_SPEEDUP, \
+            f"{name}: vector only {rec['vector_speedup']:.2f}x over " \
+            f"compiled (< {MIN_VECTOR_SPEEDUP}x)"
 
 
 # -- CLI: baseline writer + smoke gate ---------------------------------------
@@ -161,6 +179,12 @@ def _smoke(baseline, measured) -> int:
                 f"{name}: compiled tier only {now['speedup']:.1f}x faster "
                 f"than interp (gate {MIN_SPEEDUP}x; baseline had "
                 f"{rec['speedup']:.1f}x)")
+        if now["vector_speedup"] < MIN_VECTOR_SPEEDUP:
+            failures.append(
+                f"{name}: vector tier only {now['vector_speedup']:.2f}x "
+                f"faster than the scalar compiled tier (gate "
+                f"{MIN_VECTOR_SPEEDUP}x; baseline had "
+                f"{rec.get('vector_speedup', 0.0):.2f}x)")
     warm = _check_warm_cache()
     if warm:
         failures.append(warm)
@@ -169,7 +193,8 @@ def _smoke(baseline, measured) -> int:
         for f in failures:
             print(f"  {f}")
         return 1
-    print(f"\nengine-tier smoke gate passed (>= {MIN_SPEEDUP}x on "
+    print(f"\nengine-tier smoke gate passed (compiled >= {MIN_SPEEDUP}x, "
+          f"vector >= {MIN_VECTOR_SPEEDUP}x over compiled on "
           f"{len(measured)} apps, warm cache serves codegen)")
     return 0
 

@@ -12,8 +12,9 @@ Two rules, checked against ``benchmarks/COVERAGE_baseline.json``:
 3. modules listed under ``module_floors`` (currently
    ``repro.clike.compile`` — the codegen behind the compiled execution
    tier, whose uncovered branches are exactly where interp/compiled
-   divergence would hide) must each stay within ``tolerance`` points of
-   their recorded per-module coverage.
+   divergence would hide — and ``repro.device.sched``, the warp-scheduler
+   execution core every tier drives through) must each stay within
+   ``tolerance`` points of their recorded per-module coverage.
 
 Backends, in order of preference:
 
@@ -56,7 +57,8 @@ TOLERANCE = 2.0
 
 #: modules with an individual coverage floor (rule 3), as repo-relative
 #: paths; enforced under the coverage.py backend only
-MODULE_FLOOR_FILES = ("src/repro/clike/compile.py",)
+MODULE_FLOOR_FILES = ("src/repro/clike/compile.py",
+                      "src/repro/device/sched.py")
 
 
 # ---------------------------------------------------------------------------

@@ -29,8 +29,9 @@ results while the span stream stays well-formed.
 fixed corpus subset runs natively through the device engine under the
 requested tier(s), and stdout, modeled time, and the per-category time
 breakdown are diffed across tiers (``both`` compares ``compiled`` against
-``interp``), not just across runs — the compile-tier equivalence contract
-of ``repro.clike.compile``.
+``interp``; ``all`` additionally diffs the warp-vectorized ``vector``
+tier), not just across runs — the generated-tier equivalence contract of
+``repro.clike.compile`` and ``repro.clike.vectorize``.
 
 Exit status 0 on success, 1 on any divergence.  Run from the repo root::
 
@@ -187,7 +188,12 @@ def diff_exec_snapshots(label_a, snap_a, label_b, snap_b) -> int:
 def check_exec_tiers(tier, runs) -> int:
     """Run the execution smoke plan under the requested tier(s); diff
     across tiers (for ``both``) and across repeat runs."""
-    tiers = ["interp", "compiled"] if tier == "both" else [tier]
+    if tier == "all":
+        tiers = ["interp", "compiled", "vector"]
+    elif tier == "both":
+        tiers = ["interp", "compiled"]
+    else:
+        tiers = [tier]
     t0 = time.perf_counter()
     snaps = {t: exec_snapshot(t) for t in tiers}
     base_tier = tiers[0]
@@ -223,12 +229,14 @@ def main(argv=None) -> int:
                              "4 — explicit so single-CPU containers still "
                              "exercise the real pool)")
     parser.add_argument("--exec-tier", default=None,
-                        choices=("interp", "compiled", "auto", "both"),
+                        choices=("interp", "compiled", "vector", "auto",
+                                 "both", "all"),
                         metavar="TIER",
                         help="also run the execution smoke plan under this "
                              "device-engine tier; 'both' diffs compiled "
                              "against interp output (stdout, modeled time, "
-                             "breakdown)")
+                             "breakdown), 'all' adds the warp-vectorized "
+                             "tier to the diff")
     parser.add_argument("--trace", action="store_true",
                         help="record the parallel passes with a tracer; "
                              "results must stay byte-identical to the "

@@ -47,8 +47,9 @@ from ..runtime.values import _F32, Ptr, StructRef, Vec, coerce, sizeof
 from . import ast as A
 from . import types as T
 from .dialect import get_dialect
-from .interp import (_apply_binop, _c_div, _c_mod, _memvar_names, _op_kind,
-                     _pointer_binop, _reinterpret, _truth)
+from .interp import (WARP_OP_KINDS, WarpOp, _apply_binop, _c_div, _c_mod,
+                     _memvar_names, _op_kind, _pointer_binop, _reinterpret,
+                     _truth)
 from .sema import resolve_conversion
 from .stdlib import swizzle_indices
 
@@ -59,7 +60,7 @@ __all__ = ["CODEGEN_VERSION", "CompileUnsupported", "CompiledSource",
            "compile_unit", "bind_unit"]
 
 #: bump to invalidate cached compiled artifacts when codegen changes
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 _MAX_LOOP_ITERS = 50_000_000
 
@@ -80,6 +81,12 @@ class CompiledSource:
     kernel_names: List[str]
     fallbacks: Dict[str, str] = field(default_factory=dict)
     codegen_version: int = CODEGEN_VERSION
+    #: warp-batched (vector tier) codegen output; kernels missing from
+    #: ``vector_kernel_names`` demote to the scalar compiled form above,
+    #: with the reason recorded in ``vector_fallbacks``
+    vector_source: str = ""
+    vector_kernel_names: List[str] = field(default_factory=list)
+    vector_fallbacks: Dict[str, str] = field(default_factory=dict)
 
     @property
     def host_source(self) -> str:
@@ -454,7 +461,7 @@ def _base_namespace() -> Dict[str, Any]:
         "_Ptr": Ptr, "Vec": Vec, "StructRef": StructRef,
         "_PtrT": T.PointerType, "_ArrT": T.ArrayType, "_vt": T.vector,
         "_AS": T.AddressSpace, "InterpError": InterpError,
-        "_B": "barrier",
+        "_B": "barrier", "_WOP": WarpOp,
     }
     for name, st in T.SCALAR_TYPES.items():
         ns[f"_T_{name}"] = st
@@ -560,6 +567,10 @@ class _UnitCodegen:
         self.dialect_name = dialect_name
         self.dialect = get_dialect(dialect_name)
         self.barrier_names = frozenset(BARRIER_NAMES.get(dialect_name, ()))
+        # warp primitives suspend on a WarpOp token (scheduler rendezvous);
+        # only the CUDA dialect exposes them (mirrors ExecEnv.warp_op_kind)
+        self.warp_ops: Dict[str, str] = (
+            WARP_OP_KINDS if dialect_name == "cuda" else {})
         self.fns: Dict[str, A.FunctionDecl] = {
             f.name: f for f in unit.functions() if f.body is not None}
         # mirror of load_module's symbol registration
@@ -1097,6 +1108,11 @@ class _FnCodegen:
         if name in self.u.barrier_names:
             # interp raises before evaluating any argument
             return f"_barexpr({name!r})", "?"
+        if name in self.u.warp_ops:
+            # expression-position warp primitives raise InterpError at run
+            # time (statement forms suspend on a WarpOp token instead);
+            # demote so the interpreter reports the error at its own site
+            raise self.unsup(f"warp primitive {name!r} in expression position")
         fn = self.u.fns.get(name)
         if fn is not None:
             if len(e.args) != len(fn.params):
@@ -1500,6 +1516,10 @@ class _FnCodegen:
                     self.w(a)
                 self.w("yield _B")
                 return
+            wk = self.u.warp_ops.get(name)
+            if wk is not None:
+                self._warp_yield(wk, e, cnt)
+                return
             fn = self.u.fns.get(name)
             if fn is not None:
                 if e.template_args:
@@ -1513,6 +1533,10 @@ class _FnCodegen:
                 self.w(f"yield from _F_{name}({inner})")
                 return
         if isinstance(e, A.Assign):
+            if (isinstance(e.value, A.Call)
+                    and e.value.callee_name in self.u.warp_ops):
+                self._warp_assign(e, cnt)
+                return
             mark = len(self.lines)
             code, _ = self.assign(e, cnt, as_stmt=True)
             self.flush_at(cnt, mark)
@@ -1529,6 +1553,34 @@ class _FnCodegen:
         code, _ = self.expr(e, cnt)
         self.flush(cnt)
         self.w(code)
+
+    def _warp_yield(self, wk: str, call: A.Call,
+                    cnt: List[int]) -> str:
+        """Evaluate the primitive's arguments, flush counts, and suspend on
+        a WarpOp token (mirrors the interpreter's statement-position arms);
+        returns the name holding the rendezvous result."""
+        args = [self.expr(a, cnt)[0] for a in call.args]
+        self.flush(cnt)
+        tup = ", ".join(args) + ("," if len(args) == 1 else "")
+        r = self.tmp()
+        self.w(f"{r} = yield _WOP({wk!r}, ({tup}), {self.site()})")
+        return r
+
+    def _warp_assign(self, e: A.Assign, cnt: List[int]) -> None:
+        """``x = __shfl(...)`` / ``x op= __ballot(...)`` statement forms."""
+        call = e.value
+        wk = self.u.warp_ops[call.callee_name]
+        t = e.target
+        rec = self.names.get(t.name) if isinstance(t, A.Ident) else None
+        if rec is None or rec[0] != "reg":
+            raise self.unsup(
+                "warp primitive assigned to a non-register target")
+        _cls, dt = rec
+        r = self._warp_yield(wk, call, cnt)
+        if e.op:
+            # uncounted apply, exactly like the interpreter's Assign arm
+            self.w(f"{r} = _ab({e.op!r}, V_{t.name}, {r}, env)")
+        self.w(f"V_{t.name} = {self.co(r, dt, '?')}")
 
     def flush_at(self, cnt: List[int], mark: int) -> None:
         """Insert the statement's static count flush *before* any lines an
@@ -1750,7 +1802,12 @@ class _FnCodegen:
         v = f"V_{name}"
         if d.init is not None:
             cnt: List[int] = [0, 0]
-            if isinstance(d.init, A.InitList) and isinstance(t, T.VectorType):
+            if (isinstance(d.init, A.Call)
+                    and d.init.callee_name in self.u.warp_ops):
+                wk = self.u.warp_ops[d.init.callee_name]
+                r = self._warp_yield(wk, d.init, cnt)
+                self.w(f"{v} = {self.co(r, t, '?')}")
+            elif isinstance(d.init, A.InitList) and isinstance(t, T.VectorType):
                 items = [self.expr(i, cnt)[0] for i in d.init.items]
                 self.flush(cnt)
                 self.w(f"{v} = _vdecl({self.tref(t)}, "
@@ -1892,9 +1949,17 @@ def compile_unit(unit: A.TranslationUnit, dialect: str) -> CompiledSource:
     Functions using unsupported constructs are recorded in ``fallbacks``
     and excluded (together with their transitive callers) from
     ``kernel_names``; the engine runs those kernels through the
-    interpreter.  Never raises for per-function issues.
+    interpreter.  Kernels that compiled scalar are additionally offered to
+    the warp-vectorized codegen (:mod:`repro.clike.vectorize`), populating
+    ``vector_source``/``vector_kernel_names``/``vector_fallbacks`` — the
+    top rung of the ``vector -> compiled -> interp`` demotion ladder.
+    Never raises for per-function issues.
     """
-    return _UnitCodegen(unit, dialect).run()
+    cs = _UnitCodegen(unit, dialect).run()
+    # local import: vectorize imports this module for the shared tables
+    from .vectorize import vector_compile_unit
+    vector_compile_unit(unit, dialect, cs)
+    return cs
 
 
 _CODE_MEMO: Dict[str, Any] = {}

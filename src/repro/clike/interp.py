@@ -27,10 +27,48 @@ from .dialect import Dialect, get_dialect
 from .sema import annotate_unit, resolve_conversion
 from .stdlib import swizzle_indices
 
-__all__ = ["ExecEnv", "Stack", "Interp", "BARRIER"]
+__all__ = ["ExecEnv", "Stack", "Interp", "BARRIER", "WarpOp",
+           "WARP_OP_KINDS"]
 
 #: token yielded at barriers
 BARRIER = "barrier"
+
+
+class WarpOp:
+    """Suspension token for a warp-level primitive (vote / shuffle).
+
+    A lane that executes ``__ballot``/``__shfl``/... yields one of these
+    and suspends; the warp scheduler (:mod:`repro.device.sched`) collects
+    every lane of the warp suspended at the same ``(kind, site)``, computes
+    each lane's result from the whole rendezvous group, and resumes the
+    lanes with ``gen.send(result)``.  ``site`` identifies the syntactic
+    call site (``id(node)`` for the interpreter, a codegen-assigned literal
+    for the compile tier) so lanes diverged onto *different* warp
+    primitives never rendezvous with each other.
+    """
+
+    __slots__ = ("kind", "args", "site")
+
+    def __init__(self, kind: str, args: Tuple[Any, ...], site: int) -> None:
+        self.kind = kind
+        self.args = args
+        self.site = site
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WarpOp({self.kind}, site={self.site})"
+
+
+#: CUDA warp-primitive name -> :class:`WarpOp` kind.  The device
+#: environment exposes these through :meth:`ExecEnv.warp_op_kind`; other
+#: environments leave them undefined.
+WARP_OP_KINDS: Dict[str, str] = {
+    "__all": "all", "__any": "any", "__ballot": "ballot",
+    "__shfl": "shfl", "__shfl_up": "shfl_up",
+    "__shfl_down": "shfl_down", "__shfl_xor": "shfl_xor",
+}
+
+#: sentinel distinguishing "no override" from "override with None"
+_NO_INIT = object()
 
 
 class Stack:
@@ -90,6 +128,13 @@ class ExecEnv:
 
     def is_barrier(self, name: str) -> bool:
         return False
+
+    def warp_op_kind(self, name: str) -> Optional[str]:
+        """:class:`WarpOp` kind for warp-primitive ``name``, or ``None``
+        when the name is not a warp primitive in this environment.  Like
+        barriers, warp primitives suspend the work-item, so they are only
+        legal in statement position (the device scheduler resumes them)."""
+        return None
 
     # -- device memory hooks (overridden by the device engine) -----------------
 
@@ -451,7 +496,17 @@ class Interp:
             yield from self._exec_expr_stmt(s.expr)
         elif kind is A.DeclStmt:
             for d in s.decls:
-                self._declare_local(d)
+                wk = None
+                if (isinstance(d.init, A.Call)
+                        and d.init.callee_name is not None
+                        and d.space != T.AddressSpace.LOCAL):
+                    wk = self.env.warp_op_kind(d.init.callee_name)
+                if wk is None:
+                    self._declare_local(d)
+                else:
+                    args = tuple(self.eval(a) for a in d.init.args)
+                    res = yield WarpOp(wk, args, id(d.init))
+                    self._declare_local(d, value=res)
         elif kind is A.If:
             if _truth(self.eval(s.cond)):
                 yield from self.exec_stmt(s.then)
@@ -524,8 +579,8 @@ class Interp:
             pass
 
     def _exec_expr_stmt(self, e: A.Node) -> Iterator[Any]:
-        """Run a statement-level expression; the only place barriers and
-        user-function yields may occur."""
+        """Run a statement-level expression; the only place barriers, warp
+        primitives, and user-function yields may occur."""
         if isinstance(e, A.Call):
             name = e.callee_name
             if name is not None:
@@ -534,14 +589,32 @@ class Interp:
                         self.eval(a)
                     yield BARRIER
                     return
+                wk = self.env.warp_op_kind(name)
+                if wk is not None:
+                    args = tuple(self.eval(a) for a in e.args)
+                    yield WarpOp(wk, args, id(e))
+                    return
                 fn = self.functions.get(name)
                 if fn is not None:
                     args, bindings = self._prepare_call(fn, e)
                     yield from self.call_gen(fn, args, bindings)
                     return
+        elif isinstance(e, A.Assign) and isinstance(e.value, A.Call):
+            name = e.value.callee_name
+            wk = self.env.warp_op_kind(name) if name is not None else None
+            if wk is not None:
+                # x = __shfl(...) / x op= __ballot(...): the lvalue first,
+                # mirroring _assign's evaluation order
+                lv = self._lvalue(e.target)
+                args = tuple(self.eval(a) for a in e.value.args)
+                res = yield WarpOp(wk, args, id(e.value))
+                if e.op:
+                    res = _apply_binop(e.op, lv.get(), res, self.env)
+                lv.set(res)
+                return
         self.eval(e)
 
-    def _declare_local(self, d: A.VarDecl) -> None:
+    def _declare_local(self, d: A.VarDecl, value: Any = _NO_INIT) -> None:
         frame = self.frames[-1]
         dtype = self._resolve_type(d.type, frame)
         fn = frame.fn
@@ -565,12 +638,16 @@ class Interp:
             off = self.env.stack.alloc(size, max(dtype.align, 1))
             ptr = Ptr(self.env.stack.mem, off, dtype)
             frame.memvars[d.name] = ptr
-            if d.init is not None:
+            if value is not _NO_INIT:
+                ptr.store(coerce(value, dtype))
+            elif d.init is not None:
                 self._store_init(ptr, d.init)
             elif isinstance(dtype, T.StructType):
                 self._zero(ptr)
         else:
-            if d.init is not None:
+            if value is not _NO_INIT:
+                frame.regs[d.name] = coerce(value, dtype)
+            elif d.init is not None:
                 if isinstance(d.init, A.InitList) and isinstance(dtype, T.VectorType):
                     vals = [self.eval(i) for i in d.init.items]
                     if len(vals) == 1:
@@ -927,6 +1004,10 @@ class Interp:
         if self.env.is_barrier(name):
             raise InterpError(
                 f"{name}() may only appear as a standalone statement")
+        if self.env.warp_op_kind(name) is not None:
+            raise InterpError(
+                f"{name}() may only appear as a standalone statement or "
+                f"the value of a simple assignment")
         fn = self.functions.get(name)
         if fn is not None:
             args, bindings = self._prepare_call(fn, e)

@@ -46,21 +46,31 @@ def warp_transactions(accesses: Sequence[Tuple[int, int]],
     if mode_bits not in (32, 64):
         raise ValueError(f"mode_bits must be 32 or 64, got {mode_bits}")
     word_bytes = mode_bits // 8
-    per_bank: Dict[int, Set[int]] = {}
-    get = per_bank.get
+    # a word fully determines its bank, so "distinct words per bank" can
+    # be computed as one global distinct-word set (broadcast dedup) and a
+    # per-bank tally — cheaper than a set per bank
+    words: Set[int] = set()
+    add = words.add
     for addr, size in accesses:
         # fast path: the access fits in one word (the overwhelmingly
         # common case — scalar loads/stores at their natural width)
         first = addr // word_bytes
         last = first if size <= 1 else (addr + size - 1) // word_bytes
-        for w in (first,) if last == first else range(first, last + 1):
-            bank = w % banks
-            words = get(bank)
-            if words is None:
-                per_bank[bank] = {w}
-            else:
-                words.add(w)
-    return max(map(len, per_bank.values()))
+        if last == first:
+            add(first)
+        else:
+            for w in range(first, last + 1):
+                add(w)
+    counts: Dict[int, int] = {}
+    get = counts.get
+    m = 1
+    for w in words:
+        b = w % banks
+        c = get(b, 0) + 1
+        counts[b] = c
+        if c > m:
+            m = c
+    return m
 
 
 def conflict_degree(accesses: Sequence[Tuple[int, int]],

@@ -344,14 +344,11 @@ def _add_cuda(table: Dict[str, Callable[..., Any]],
         "tex1D": _tex_fetch(env, 1),
         "tex2D": _tex_fetch(env, 2),
         "tex3D": _tex_fetch(env, 3),
-        # warp intrinsics: execute with our serialized-warp semantics
-        "__all": env.warp_all,
-        "__any": env.warp_any,
-        "__ballot": env.warp_ballot,
-        "__shfl": env.warp_shfl,
-        "__shfl_up": env.warp_shfl,
-        "__shfl_down": env.warp_shfl,
-        "__shfl_xor": env.warp_shfl,
+        # warp primitives (__all/__any/__ballot/__shfl*) are NOT in this
+        # table: like barriers they suspend the work-item, so the
+        # interpreter and the compile tier route them through
+        # ExecEnv.warp_op_kind and the warp scheduler's rendezvous
+        # (repro.device.sched) instead of a plain call
     })
     # make_<type><n> constructors
     for base in ("char", "uchar", "short", "ushort", "int", "uint",

@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, \
 from ..clike import ast as A
 from ..clike import types as T
 from ..clike.dialect import get_dialect
-from ..clike.interp import BARRIER, ExecEnv, Interp, Stack
+from ..clike.interp import WARP_OP_KINDS, ExecEnv, Interp, Stack
 from ..clike.sema import annotate_unit
 from ..errors import DeviceError, InterpError
 from ..observability import get_metrics, get_tracer
@@ -34,6 +34,7 @@ from .banks import warp_transactions
 from .builtins import BARRIER_NAMES, make_builtins
 from .occupancy import Occupancy, calc_occupancy, estimate_registers
 from .perf import KernelTime, PerfCounters, kernel_time
+from .sched import GeneratorProgram, WarpScheduler, warp_windows
 from .specs import DeviceSpec, GTX_TITAN
 
 __all__ = ["Device", "DeviceModule", "KernelObject", "LocalArg",
@@ -59,10 +60,12 @@ _SP_CONSTANT = T.AddressSpace.CONSTANT
 
 #: tiers: ``interp`` walks the AST per work-item (reference semantics);
 #: ``compiled`` lowers kernels to generated Python at module load;
-#: ``auto`` compiles lazily at the first launch of each module.  Both
-#: non-interp tiers fall back to the interpreter per kernel when codegen
-#: does not cover a construct (DESIGN.md §9).
-_EXEC_TIERS = ("interp", "compiled", "auto")
+#: ``vector`` additionally executes eligible kernels one numpy-batched
+#: warp per step; ``auto`` compiles lazily at the first launch of each
+#: module (scalar code).  Every non-interp tier demotes per kernel down
+#: the ladder ``vector -> compiled -> interp`` when codegen does not
+#: cover a construct (DESIGN.md §9 and §11).
+_EXEC_TIERS = ("interp", "compiled", "vector", "auto")
 _EXEC_TIER_OVERRIDE: Optional[str] = None
 
 
@@ -166,6 +169,10 @@ class DeviceModule:
         self.compiled_source: Optional[str] = None
         #: kernel name -> reason it fell back to the interpreter
         self.compile_fallbacks: Dict[str, str] = {}
+        #: kernel name -> warp-batched generator function (vector tier)
+        self.vector_entries: Dict[str, Any] = {}
+        #: kernel name -> reason it demoted to the scalar compiled form
+        self.vector_fallbacks: Dict[str, str] = {}
         self._compile_attempted = False
 
     def get_kernel(self, name: str) -> KernelObject:
@@ -228,7 +235,7 @@ def load_module(device: Device, unit: A.TranslationUnit,
         if fn.is_kernel and fn.body is not None:
             mod.kernels[fn.name] = KernelObject(fn.name, fn, mod)
     mod.exec_tier = resolve_exec_tier(exec_tier)
-    if mod.exec_tier == "compiled":
+    if mod.exec_tier in ("compiled", "vector"):
         _compile_module(mod)  # eager; "auto" compiles at first launch
     return mod
 
@@ -247,6 +254,7 @@ def _compile_module(mod: DeviceModule) -> None:
     mod._compile_attempted = True
     from ..clike.compile import CODEGEN_VERSION, bind_unit, compile_unit
     from ..clike.printer import print_unit
+    from ..clike.vectorize import bind_vector_unit
     from ..pipeline.cache import cache_key, kernel_code_cache
     metrics = get_metrics()
     with get_tracer().span(f"compile:{mod.dialect}",
@@ -271,16 +279,27 @@ def _compile_module(mod: DeviceModule) -> None:
             mod.compile_fallbacks = dict(cs.fallbacks)
             mod.compiled_entries = bind_unit(mod.unit, cs, mod.symbols,
                                              mod.globals_values)
+            mod.vector_fallbacks = dict(cs.vector_fallbacks)
+            mod.vector_entries = bind_vector_unit(mod.unit, cs, mod.symbols,
+                                                  mod.globals_values)
         except Exception as e:  # pragma: no cover - defensive demotion
             mod.compile_fallbacks = {k: f"module codegen failed: {e}"
                                      for k in mod.kernels}
             mod.compiled_entries = {}
+            mod.vector_entries = {}
             span.set(outcome="error", error=str(e))
         if mod.compile_fallbacks:
             metrics.counter("engine.compile.fallback").inc(
                 len(mod.compile_fallbacks))
+        if mod.vector_entries:
+            metrics.counter("engine.vector.kernels").inc(
+                len(mod.vector_entries))
+        if mod.vector_fallbacks:
+            metrics.counter("engine.vector.fallback").inc(
+                len(mod.vector_fallbacks))
         span.set(covered=len(mod.compiled_entries),
-                 fallbacks=len(mod.compile_fallbacks))
+                 fallbacks=len(mod.compile_fallbacks),
+                 vector_covered=len(mod.vector_entries))
 
 
 @dataclass(frozen=True)
@@ -555,20 +574,15 @@ class WorkItemEnv(ExecEnv):
         self.launch._clock += 32
         return self.launch._clock
 
-    # -- warp intrinsics (valid under serialized-warp execution for uniform
-    # arguments; the translator refuses these anyway) ------------------------
+    # -- warp primitives -------------------------------------------------------
+    # True per-lane semantics: the work-item suspends on a WarpOp token and
+    # the warp scheduler (repro.device.sched) resolves the rendezvous with
+    # every lane of the warp stopped at the same call site.
 
-    def warp_all(self, pred) -> int:
-        return 1 if pred else 0
-
-    def warp_any(self, pred) -> int:
-        return 1 if pred else 0
-
-    def warp_ballot(self, pred) -> int:
-        return ((1 << self.launch.device.spec.warp_size) - 1) if pred else 0
-
-    def warp_shfl(self, var, _lane, *rest) -> Any:
-        return var
+    def warp_op_kind(self, name: str) -> Optional[str]:
+        if self.launch.kernel.module.dialect == "cuda":
+            return WARP_OP_KINDS.get(name)
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -713,13 +727,28 @@ def _run_group(launch: _LaunchEnv, group: Tuple[int, int, int],
     launch.local_bump = bump
 
     mod = kernel.module
-    entry = None
+    entry = ventry = None
     if mod.exec_tier != "interp":
         if not mod._compile_attempted:
             _compile_module(mod)  # auto tier: compile at first launch
         entry = mod.compiled_entries.get(kernel.fn.name)
+        if mod.exec_tier == "vector":
+            ventry = mod.vector_entries.get(kernel.fn.name)
 
-    gens = []
+    if ventry is not None:
+        # warp-vectorized tier: one program per warp, all lanes per step
+        from ..clike.vectorize import WarpEnv
+        bound = _bind_args(
+            kernel.fn, [dyn_ptrs.get(i, a) for i, a in enumerate(args)], None)
+        programs = [
+            GeneratorProgram(ventry(WarpEnv(launch, group, lo, hi), *bound),
+                             range(lo, hi))
+            for lo, hi in warp_windows(threads,
+                                       launch.device.spec.warp_size)]
+        _drive_group(launch, programs)
+        return
+
+    programs = []
     for lz in range(block[2]):
         for ly in range(block[1]):
             for lx in range(block[0]):
@@ -731,13 +760,15 @@ def _run_group(launch: _LaunchEnv, group: Tuple[int, int, int],
                 wi_args = [dyn_ptrs.get(i, a) for i, a in enumerate(args)]
                 wi_args = _bind_args(kernel.fn, wi_args, env)
                 if entry is not None:
-                    gens.append(entry(env, *wi_args))
-                    continue
-                interp = Interp(mod.unit, env, mod.dialect, annotate=False)
-                interp.global_slots = mod.symbols
-                interp.global_values = mod.globals_values
-                gens.append(interp.call_gen(kernel.fn, wi_args))
-    _drive_group(launch, gens)
+                    gen = entry(env, *wi_args)
+                else:
+                    interp = Interp(mod.unit, env, mod.dialect,
+                                    annotate=False)
+                    interp.global_slots = mod.symbols
+                    interp.global_values = mod.globals_values
+                    gen = interp.call_gen(kernel.fn, wi_args)
+                programs.append(GeneratorProgram(gen, (linear,)))
+    _drive_group(launch, programs)
 
 
 def _bind_args(fn: A.FunctionDecl, args: Sequence[Any],
@@ -760,31 +791,22 @@ def _bind_args(fn: A.FunctionDecl, args: Sequence[Any],
     return bound
 
 
-def _drive_group(launch: _LaunchEnv, gens: List[Any]) -> None:
-    """Advance all work-item generators phase by phase."""
-    active = list(range(len(gens)))
-    barrier_rounds = 0
-    while active:
-        waiting: List[int] = []
-        done: List[int] = []
-        for i in active:
-            try:
-                tok = next(gens[i])
-            except StopIteration:
-                done.append(i)
-                continue
-            if tok != BARRIER:
-                raise DeviceError(f"unexpected yield token {tok!r}")
-            waiting.append(i)
-        if waiting and done:
-            raise DeviceError(
-                "barrier divergence: some work-items reached the barrier "
-                "while others returned — undefined behaviour in both models")
-        if waiting:
-            barrier_rounds += 1
-        active = waiting
-    warps = -(-len(gens) // launch.device.spec.warp_size)
-    launch.counters.barriers += barrier_rounds * warps
+def _drive_group(launch: _LaunchEnv, programs: List[Any]) -> None:
+    """Drive one group's lane programs through the warp scheduler."""
+    sched = WarpScheduler(programs, launch.device.spec.warp_size,
+                          kernel_name=launch.kernel.name,
+                          kernel_node=launch.kernel.fn)
+    epochs = sched.run()
+    launch.counters.barriers += epochs * sched.num_warps
+    if os.environ.get("REPRO_WARP_SPANS", "0") not in ("", "0"):
+        # per-warp epoch markers (default off: span differential tests
+        # compare kernel: sequences, and a span per warp per group is
+        # far too hot for production tracing)
+        tracer = get_tracer()
+        for w in range(sched.num_warps):
+            with tracer.span(f"warp:{launch.kernel.name}", warp=w,
+                             epochs=epochs, lanes=sched.num_lanes):
+                pass
 
 
 def _account_traces(launch: _LaunchEnv, threads: int, mode_bits: int) -> None:
@@ -792,8 +814,7 @@ def _account_traces(launch: _LaunchEnv, threads: int, mode_bits: int) -> None:
     warp = launch.device.spec.warp_size
     banks = launch.device.spec.shared_banks
     c = launch.counters
-    for w0 in range(0, threads, warp):
-        hi = min(w0 + warp, threads)
+    for w0, hi in warp_windows(threads, warp):
         # shared memory: bank conflicts
         lane_traces = launch.local_traces[w0:hi]
         sites = set()
@@ -801,8 +822,15 @@ def _account_traces(launch: _LaunchEnv, threads: int, mode_bits: int) -> None:
             sites.update(t)
         for site in sites:
             seqs = [t.get(site, ()) for t in lane_traces]
-            depth = max(map(len, seqs))
-            for k in range(depth):
+            lens = set(map(len, seqs))
+            if len(lens) == 1:
+                # every lane has the same depth (the common case):
+                # zip sweeps the steps without per-step length checks
+                for accesses in zip(*seqs):
+                    c.local_transactions += warp_transactions(
+                        accesses, mode_bits, banks)
+                continue
+            for k in range(max(lens)):
                 accesses = [s[k] for s in seqs if len(s) > k]
                 c.local_transactions += warp_transactions(
                     accesses, mode_bits, banks)
@@ -813,8 +841,17 @@ def _account_traces(launch: _LaunchEnv, threads: int, mode_bits: int) -> None:
             gsites.update(t)
         for site in gsites:
             seqs = [t.get(site, ()) for t in lane_traces]
-            depth = max(map(len, seqs))
-            for k in range(depth):
+            lens = set(map(len, seqs))
+            if len(lens) == 1:
+                for step in zip(*seqs):
+                    segs = set()
+                    for addr, size in step:
+                        segs.add(addr // _DRAM_SEGMENT)
+                        segs.add((addr + (size - 1 if size > 1 else 0))
+                                 // _DRAM_SEGMENT)
+                    c.global_transactions += len(segs)
+                continue
+            for k in range(max(lens)):
                 segs = set()
                 for s in seqs:
                     if len(s) > k:

@@ -1,0 +1,278 @@
+"""Warp scheduler: lanes grouped into warps, driven in barrier epochs.
+
+This is the execution core extracted from the engine's former inline drive
+loop.  Every execution tier — interpreter, scalar compiled, and
+warp-vectorized — runs through one :class:`WarpScheduler`, which owns a set
+of :class:`LaneProgram` s (one per work-item in the scalar tiers, one per
+warp in the vector tier) and advances them in *barrier epochs*: all
+programs run until they suspend at a barrier or finish, barrier divergence
+is detected, and the next epoch begins.
+
+Suspension is explicit and resumable: :meth:`WarpScheduler.step_epoch`
+advances exactly one epoch and leaves the suspended programs inspectable
+via :attr:`WarpScheduler.active`, which is the hook the planned SSI-style
+kernel debugger (ROADMAP item 2) attaches to — break "on barrier", inspect
+lane state, resume.
+
+Warp primitives (``__shfl*``/``__ballot``/``__all``/``__any``) are a second
+suspension point *within* an epoch: a lane yields a
+:class:`~repro.clike.interp.WarpOp` and blocks until every other lane of
+its warp has also suspended (at the same primitive, at a barrier, or by
+returning).  Lanes of the warp stopped at the same ``(kind, site)`` form a
+rendezvous group and exchange values; everyone else sits the primitive out,
+which models the divergence semantics of the real hardware — and makes
+``__ballot`` report exactly the participating lanes, partial warps
+included.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..clike import ast as A
+from ..clike.interp import BARRIER, WarpOp
+from ..errors import DeviceError
+
+__all__ = ["DONE", "LaneProgram", "GeneratorProgram", "WarpScheduler",
+           "warp_windows", "resolve_warp_op", "divergence_error"]
+
+#: token returned by :meth:`LaneProgram.resume` when the program finished
+DONE = object()
+
+
+def warp_windows(lanes: int, warp_size: int) -> List[Tuple[int, int]]:
+    """``[lo, hi)`` linear-lane windows of each (possibly partial) warp.
+
+    The single source of truth for how a work-group's lanes split into
+    warps — the scheduler, the vector tier, and the trace accounting in
+    the engine all group through this.
+    """
+    return [(lo, min(lo + warp_size, lanes))
+            for lo in range(0, lanes, warp_size)]
+
+
+class LaneProgram:
+    """One schedulable unit of a work-group.
+
+    Scalar tiers wrap one generator per work-item; the vector tier wraps
+    one generator per *warp*.  ``lanes`` are the linear work-item ids the
+    program covers; ``resume(value)`` advances it to the next suspension
+    point and returns the suspension token: :data:`BARRIER`, a
+    :class:`WarpOp`, or :data:`DONE`.
+    """
+
+    __slots__ = ()
+
+    lanes: Tuple[int, ...] = ()
+
+    def resume(self, value: Any = None) -> Any:
+        raise NotImplementedError
+
+
+class GeneratorProgram(LaneProgram):
+    """A :class:`LaneProgram` over a Python generator (all current tiers:
+    interpreter frames, generated scalar code, generated warp code)."""
+
+    __slots__ = ("gen", "lanes")
+
+    def __init__(self, gen: Any, lanes: Iterable[int]) -> None:
+        self.gen = gen
+        self.lanes = tuple(lanes)
+
+    def resume(self, value: Any = None) -> Any:
+        try:
+            return self.gen.send(value)
+        except StopIteration:
+            return DONE
+
+
+class WarpScheduler:
+    """Drives the programs of one work-group in barrier-delimited epochs."""
+
+    def __init__(self, programs: Sequence[LaneProgram], warp_size: int, *,
+                 kernel_name: str = "",
+                 kernel_node: Optional[A.Node] = None) -> None:
+        self.programs = list(programs)
+        self.warp_size = warp_size
+        self.kernel_name = kernel_name
+        self.kernel_node = kernel_node
+        #: programs suspended at the last barrier (the debugger hook);
+        #: initially every program, finally empty
+        self.active: List[LaneProgram] = list(self.programs)
+        #: completed barrier epochs (phases in which >= 1 program waited)
+        self.barrier_epochs = 0
+
+    @property
+    def num_lanes(self) -> int:
+        return sum(len(p.lanes) for p in self.programs)
+
+    @property
+    def num_warps(self) -> int:
+        return -(-self.num_lanes // self.warp_size)
+
+    @property
+    def done(self) -> bool:
+        return not self.active
+
+    # -- stepping -------------------------------------------------------------
+
+    def step_epoch(self) -> bool:
+        """Advance every active program to its next barrier (or to
+        completion), resolving warp-primitive rendezvous along the way.
+
+        Returns True when at least one program suspended at a barrier —
+        i.e. another epoch remains.  Raises :class:`DeviceError` on
+        barrier divergence (some lanes waiting while others returned).
+        """
+        if not self.active:
+            return False
+        waiting: List[LaneProgram] = []
+        finished: List[LaneProgram] = []
+        pending: List[Tuple[LaneProgram, Any]] = [
+            (p, None) for p in self.active]
+        while pending:
+            suspended: Dict[LaneProgram, WarpOp] = {}
+            for prog, value in pending:
+                tok = prog.resume(value)
+                if tok is DONE:
+                    finished.append(prog)
+                elif tok is BARRIER:
+                    waiting.append(prog)
+                elif isinstance(tok, WarpOp):
+                    suspended[prog] = tok
+                else:
+                    raise DeviceError(f"unexpected yield token {tok!r}")
+            # every still-running lane is now parked; lanes stopped at warp
+            # primitives rendezvous and continue.  Progress is guaranteed:
+            # a lone lane at a primitive resolves with itself as the only
+            # participant.
+            pending = self._rendezvous(suspended) if suspended else []
+        if waiting and finished:
+            raise self._divergence_error()
+        if waiting:
+            self.barrier_epochs += 1
+        self.active = waiting
+        return bool(waiting)
+
+    def run(self) -> int:
+        """Run to completion; returns the number of barrier epochs."""
+        while self.step_epoch():
+            pass
+        return self.barrier_epochs
+
+    # -- warp-primitive rendezvous ---------------------------------------------
+
+    def _rendezvous(self, suspended: Dict[LaneProgram, WarpOp]
+                    ) -> List[Tuple[LaneProgram, Any]]:
+        groups: Dict[Tuple[int, str, int],
+                     Dict[int, Tuple[LaneProgram, WarpOp]]] = {}
+        for prog, op in suspended.items():
+            if len(prog.lanes) != 1:
+                raise DeviceError(
+                    "warp primitive suspended a multi-lane program — "
+                    "vectorized kernels must demote warp primitives to a "
+                    "scalar tier")
+            lane = prog.lanes[0]
+            key = (lane // self.warp_size, op.kind, op.site)
+            groups.setdefault(key, {})[lane % self.warp_size] = (prog, op)
+        resumed: List[Tuple[LaneProgram, Any]] = []
+        for (_w, kind, _site), members in groups.items():
+            ops = {pos: op for pos, (_p, op) in members.items()}
+            results = resolve_warp_op(kind, ops, self.warp_size)
+            for pos, (prog, _op) in members.items():
+                resumed.append((prog, results[pos]))
+        return resumed
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def _divergence_error(self) -> DeviceError:
+        return divergence_error(self.kernel_name, self.kernel_node)
+
+
+def divergence_error(kernel_name: str, kernel_node) -> DeviceError:
+    """The located barrier-divergence error, shared by the scheduler
+    (cross-program divergence) and the vector tier (intra-warp)."""
+    where = f" in kernel {kernel_name!r}" if kernel_name else ""
+    loc = ""
+    span = None
+    if kernel_node is not None:
+        # lazy: repro.translate pulls in the host frameworks
+        from ..translate.diagnostics import span_of
+        span = span_of(kernel_node)
+        if span.known:
+            loc = f" (defined at line {span.line}, col {span.col})"
+    err = DeviceError(
+        f"barrier divergence{where}{loc}: some work-items reached the "
+        "barrier while others returned — undefined behaviour in both "
+        "models")
+    if span is not None and span.known:
+        from ..translate.diagnostics import SEV_ERROR, Diagnostic
+        err.diagnostic = Diagnostic(  # type: ignore[attr-defined]
+            SEV_ERROR,
+            f"barrier divergence in kernel {kernel_name!r}",
+            span=span, pass_name="warp-scheduler")
+    return err
+
+
+# ---------------------------------------------------------------------------
+# warp-primitive semantics
+# ---------------------------------------------------------------------------
+
+def resolve_warp_op(kind: str, ops: Dict[int, WarpOp],
+                    warp_size: int) -> Dict[int, Any]:
+    """Result for each participating lane of one rendezvous group.
+
+    ``ops`` maps warp lane position -> that lane's :class:`WarpOp`.
+    Participation follows the divergence model: only lanes suspended at
+    the same call site take part; everyone else (at a barrier, at a
+    different site, or already returned) contributes neither votes nor
+    shuffle sources.
+    """
+    if kind in ("all", "any", "ballot"):
+        votes = {pos: _pred(op.args[0]) for pos, op in ops.items()}
+        if kind == "all":
+            r = 1 if all(votes.values()) else 0
+            return {pos: r for pos in ops}
+        if kind == "any":
+            r = 1 if any(votes.values()) else 0
+            return {pos: r for pos in ops}
+        mask = 0
+        for pos, v in votes.items():
+            if v:
+                mask |= 1 << pos
+        return {pos: mask for pos in ops}
+    results: Dict[int, Any] = {}
+    for pos, op in ops.items():
+        src = _shfl_source(kind, pos, op, warp_size)
+        # inactive source lane: the hardware leaves the value undefined;
+        # we model it as the lane's own value
+        results[pos] = ops[src].args[0] if src in ops else op.args[0]
+    return results
+
+
+def _pred(v: Any) -> bool:
+    if isinstance(v, (int, float)):
+        return v != 0
+    return bool(v)
+
+
+def _shfl_source(kind: str, pos: int, op: WarpOp, warp_size: int) -> int:
+    """Source lane position for a shuffle, per the CUDA width-segment
+    rules: the warp splits into ``width``-lane segments and indexing that
+    crosses a segment boundary returns the lane's own value."""
+    args = op.args
+    delta = int(args[1]) if len(args) > 1 else 0
+    width = int(args[2]) if len(args) > 2 and args[2] else warp_size
+    seg = (pos // width) * width
+    if kind == "shfl":
+        return seg + delta % width
+    if kind == "shfl_up":
+        src = pos - delta
+        return src if src >= seg else pos
+    if kind == "shfl_down":
+        src = pos + delta
+        return src if src < seg + width else pos
+    if kind == "shfl_xor":
+        src = pos ^ delta
+        return src if src < seg + width else pos
+    raise DeviceError(f"unknown warp primitive kind {kind!r}")

@@ -143,6 +143,24 @@ def test_generated_kernel_identical(seed):
     assert r2.time == r1.time
 
 
+@pytest.mark.parametrize("seed", range(12))
+def test_generated_kernel_identical_vector(seed):
+    """The warp-vectorized tier over the same seeds: the generator only
+    emits uniformly-branching bodies with divergent *data* masks, so every
+    seed must vectorize (no silent demotion) and stay byte-identical."""
+    src = gen_kernel(seed)
+    f1, i1, r1, m1 = _run_tier(src, "interp")
+    f3, i3, r3, m3 = _run_tier(src, "vector")
+    assert m3.vector_fallbacks == {}, m3.vector_fallbacks
+    assert "prop" in m3.vector_entries
+    assert f3 == f1
+    assert i3 == i1
+    assert r3.counters == r1.counters
+    assert r3.time.total == r1.time.total
+    assert r3.time == r1.time
+    assert r3.occupancy == r1.occupancy
+
+
 # ---------------------------------------------------------------------------
 # auto-tier fallback on unsupported constructs
 # ---------------------------------------------------------------------------
@@ -182,6 +200,63 @@ def test_compiled_tier_also_falls_back():
     got, mod = _launch_shadow("compiled")
     assert "shadow" in mod.compile_fallbacks
     assert np.array_equal(got, np.arange(7, 7 + N, dtype=np.int32))
+
+
+# ---------------------------------------------------------------------------
+# vector-tier demotion chain: vector -> compiled -> interp
+# ---------------------------------------------------------------------------
+
+_BUILTIN_CALL = """
+__kernel void root(__global float* out, int n) {
+  int gid = get_global_id(0);
+  if (gid >= n) return;
+  out[gid] = sqrt((float)gid);
+}
+"""
+
+
+def test_vector_demotes_to_scalar_compiled():
+    """A per-lane builtin call is outside the vector subset: the kernel
+    demotes one rung (to generated scalar code), not two, and the
+    demotion is recorded with a reason."""
+    dev = Device(GTX_TITAN)
+    mod = load_module(dev, parse(_BUILTIN_CALL, "opencl"), "opencl",
+                      exec_tier="vector")
+    assert "root" in mod.vector_fallbacks
+    assert "root" not in mod.vector_entries
+    # middle rung still holds: the scalar compiled form runs it
+    assert "root" in mod.compiled_entries
+    assert mod.compile_fallbacks == {}
+    p = dev.alloc_global(4 * N)
+    launch_kernel(dev, mod.get_kernel("root"), [GROUPS], [BLOCK],
+                  [p.retype(T.FLOAT), N])
+    out = dev.global_mem.typed_view(p.off, T.FLOAT, N).copy()
+    assert np.allclose(out, np.sqrt(np.arange(N, dtype=np.float32)))
+
+
+def test_vector_chains_to_interp_on_scalar_fallback():
+    """A kernel the *scalar* pass already demoted records the chained
+    reason in the vector tier and still executes via the interpreter."""
+    dev = Device(GTX_TITAN)
+    mod = load_module(dev, parse(_SHADOW, "opencl"), "opencl",
+                      exec_tier="vector")
+    assert "shadow" in mod.vector_fallbacks
+    assert mod.vector_fallbacks["shadow"].startswith("scalar fallback:")
+    assert "shadows parameter" in mod.vector_fallbacks["shadow"]
+    assert "shadow" not in mod.vector_entries
+    assert "shadow" not in mod.compiled_entries
+    p = dev.alloc_global(4 * N)
+    launch_kernel(dev, mod.get_kernel("shadow"), [GROUPS], [BLOCK],
+                  [p.retype(T.INT), N])
+    got = dev.global_mem.typed_view(p.off, T.INT, N).copy()
+    assert np.array_equal(got, np.arange(7, 7 + N, dtype=np.int32))
+
+
+def test_vector_demotion_counted():
+    before = get_metrics().counter("engine.vector.fallback").value
+    load_module(Device(GTX_TITAN), parse(_BUILTIN_CALL, "opencl"), "opencl",
+                exec_tier="vector")
+    assert get_metrics().counter("engine.vector.fallback").value > before
 
 
 def test_bad_tier_rejected():

@@ -62,9 +62,14 @@ def _assert_identical(interp, compiled):
 
 @pytest.mark.parametrize("app,mode", _corpus_cases())
 def test_corpus_app_byte_identical(app, mode):
+    """One interpreter reference run per app, compared against both
+    generated-code tiers (scalar ``compiled`` and warp-batched
+    ``vector``)."""
     interp = _run(app, mode, "interp")
     compiled = _run(app, mode, "compiled")
     _assert_identical(interp, compiled)
+    vector = _run(app, mode, "vector")
+    _assert_identical(interp, vector)
 
 
 # ---------------------------------------------------------------------------
@@ -89,7 +94,7 @@ def _find_app(suite, name):
 def test_kernel_span_counts_match(suite, name, mode):
     app = _find_app(suite, name)
     spans = {}
-    for tier in ("interp", "compiled"):
+    for tier in ("interp", "compiled", "vector"):
         tracer = Tracer()
         with activate(tracer):
             res = _run(app, mode, tier)
@@ -99,6 +104,7 @@ def test_kernel_span_counts_match(suite, name, mode):
     assert spans["compiled"], "expected kernel: spans under tracing"
     # identical launch sequence: same kernels, same order, same count
     assert spans["compiled"] == spans["interp"]
+    assert spans["vector"] == spans["interp"]
 
 
 def test_auto_tier_matches_interp():
@@ -108,3 +114,53 @@ def test_auto_tier_matches_interp():
     interp = _run(app, "ocl", "interp")
     auto = _run(app, "ocl", "auto")
     _assert_identical(interp, auto)
+
+
+# ---------------------------------------------------------------------------
+# demotion-chain coverage on real corpus kernels, one per fallback edge
+# ---------------------------------------------------------------------------
+
+
+def _load_vector_module(suite, name, mode):
+    from repro.clike import parse
+    from repro.device.engine import Device, load_module
+    from repro.device.specs import GTX_TITAN
+    app = _find_app(suite, name)
+    src = app.cuda_source if mode == "cuda" else app.opencl_kernels
+    dialect = "cuda" if mode == "cuda" else "opencl"
+    return load_module(Device(GTX_TITAN), parse(src, dialect), dialect,
+                       exec_tier="vector")
+
+
+def test_corpus_kernels_fully_vectorized():
+    """Top rung: FT's and gaussian's kernels run warp-batched."""
+    mod = _load_vector_module("npb", "FT", "ocl")
+    assert {"cffts1", "cffts2", "cffts3"} <= set(mod.vector_entries)
+    assert mod.vector_fallbacks == {}
+    mod = _load_vector_module("rodinia", "gaussian", "ocl")
+    assert {"fan1", "fan2"} <= set(mod.vector_entries)
+    assert mod.vector_fallbacks == {}
+
+
+def test_corpus_kernel_demotes_vector_to_compiled():
+    """Middle edge: srad's divergent-update kernels are outside the
+    vector subset but still scalar-compile."""
+    mod = _load_vector_module("rodinia", "srad", "ocl")
+    assert "srad1" in mod.vector_fallbacks
+    assert "srad2" in mod.vector_fallbacks
+    assert "srad1" in mod.compiled_entries  # one rung down, not two
+    assert mod.compile_fallbacks == {}
+
+
+def test_corpus_kernel_demotes_through_both_edges():
+    """Bottom edge: the templated toolkit kernel falls past the scalar
+    tier too, recorded as a chained reason, and runs via the
+    interpreter."""
+    mod = _load_vector_module("toolkit", "template", "cuda")
+    assert "templ_kernel" in mod.vector_fallbacks
+    assert mod.vector_fallbacks["templ_kernel"].startswith("scalar fallback:")
+    assert "templ_kernel" not in mod.compiled_entries
+    app = _find_app("toolkit", "template")
+    interp = _run(app, "cuda", "interp")
+    vector = _run(app, "cuda", "vector")
+    _assert_identical(interp, vector)
