@@ -1,0 +1,203 @@
+"""Device-farm bench: scheduler win over round-robin + matrix coverage.
+
+The farm tier (ROADMAP item 4) generalizes the paper's two-device
+evaluation to a seven-device fleet.  This bench measures the two claims
+the tier makes:
+
+* **scheduling** — placing the profiled translated corpus with
+  :class:`~repro.farm.scheduler.FarmScheduler` (perf-model costs, LPT +
+  earliest-finish-time) must beat the cost-blind round-robin baseline by
+  at least ``MIN_IMPROVEMENT``x modeled makespan;
+* **coverage** — the default portability matrix must be *complete*:
+  every (app, device) cell is either a modeled-time ratio or a located
+  Table-3 diagnostic, never a bare infeasible cell.
+
+Modeled makespans are pure perf-model arithmetic, so the published
+numbers are deterministic; wall-clock fields only report how fast the
+profiling+costing machinery itself runs.
+
+CI regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_farm.py --smoke
+
+re-measures and fails if the scheduler's improvement drops below
+``MIN_IMPROVEMENT``x, if any corpus job goes unplaced, or if the matrix
+grows an infeasible cell.  Refresh the committed
+``benchmarks/BENCH_farm.json`` after an intentional change with::
+
+    PYTHONPATH=src python benchmarks/bench_farm.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.farm.fleet import default_fleet
+from repro.farm.matrix import build_matrix, corpus_farm_jobs
+from repro.farm.profile import ProfileStore
+from repro.farm.scheduler import FarmScheduler, compare_schedules
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_farm.json"
+
+#: the acceptance bar (ISSUE 9): perf-model-driven placement must beat
+#: cost-blind round-robin by at least this factor of modeled makespan
+MIN_IMPROVEMENT = 1.3
+
+
+def collect():
+    fleet = default_fleet()
+    store = ProfileStore()
+
+    t0 = time.perf_counter()
+    jobs = corpus_farm_jobs(store=store)
+    profile_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cmp = compare_schedules(jobs, fleet)
+    plan_wall = time.perf_counter() - t0
+    planned = FarmScheduler(fleet).plan(jobs)
+
+    t0 = time.perf_counter()
+    matrix = build_matrix(fleet=fleet, store=store)
+    matrix_wall = time.perf_counter() - t0
+    kinds = [c.kind for c in matrix.cells.values()]
+
+    return {
+        "fleet": [d.key for d in fleet],
+        "jobs": len(jobs),
+        "profiles_captured": len(store),
+        "scheduler_makespan_ms": round(cmp["scheduler_makespan"] * 1e3, 6),
+        "round_robin_makespan_ms":
+            round(cmp["round_robin_makespan"] * 1e3, 6),
+        "improvement": round(cmp["improvement"], 3),
+        "jobs_placed": len(planned.placements),
+        "jobs_skipped": len(planned.skipped),
+        "busy_ms": {k: round(v * 1e3, 6)
+                    for k, v in sorted(planned.busy.items())},
+        "matrix": {
+            "apps": len(matrix.apps),
+            "devices": len(matrix.devices),
+            "time_cells": kinds.count("time"),
+            "diagnostic_cells": kinds.count("diagnostic"),
+            "infeasible_cells": kinds.count("infeasible"),
+        },
+        "wall": {
+            "profile_s": round(profile_wall, 3),
+            "plan_s": round(plan_wall, 3),
+            "matrix_s": round(matrix_wall, 3),
+        },
+    }
+
+
+def as_baseline(measured):
+    return dict({"unit": "ms (modeled makespan), x (makespan ratio)",
+                 "min_improvement": MIN_IMPROVEMENT}, **measured)
+
+
+def _print_table(measured):
+    m = measured["matrix"]
+    print(f"  fleet: {len(measured['fleet'])} devices | "
+          f"{measured['jobs']} profiled corpus jobs "
+          f"({measured['profiles_captured']} captures, "
+          f"{measured['wall']['profile_s']:.1f}s)")
+    print(f"  {'policy':<22}{'makespan':>12}")
+    print(f"  {'round-robin':<22}"
+          f"{measured['round_robin_makespan_ms']:>10.3f}ms")
+    print(f"  {'farm scheduler':<22}"
+          f"{measured['scheduler_makespan_ms']:>10.3f}ms")
+    print(f"  improvement: {measured['improvement']:.2f}x "
+          f"(gate {MIN_IMPROVEMENT}x); "
+          f"{measured['jobs_placed']} placed, "
+          f"{measured['jobs_skipped']} skipped")
+    print(f"  matrix: {m['apps']} apps x {m['devices']} devices = "
+          f"{m['time_cells']} time + {m['diagnostic_cells']} diagnostic + "
+          f"{m['infeasible_cells']} infeasible cells "
+          f"({measured['wall']['matrix_s']:.1f}s)")
+
+
+def _gate(measured):
+    """Invariant checks shared by the pytest entry and the smoke gate.
+    Returns a list of failure strings (empty = healthy)."""
+    failures = []
+    if measured["improvement"] < MIN_IMPROVEMENT:
+        failures.append(
+            f"scheduler only {measured['improvement']:.2f}x round-robin "
+            f"makespan (gate {MIN_IMPROVEMENT}x)")
+    if measured["jobs_skipped"]:
+        failures.append(
+            f"{measured['jobs_skipped']} corpus jobs went unplaced "
+            "(every profiled job is feasible on its capture device)")
+    if measured["jobs_placed"] != measured["jobs"]:
+        failures.append(
+            f"placed {measured['jobs_placed']} of {measured['jobs']} jobs")
+    if measured["matrix"]["infeasible_cells"]:
+        failures.append(
+            f"{measured['matrix']['infeasible_cells']} infeasible matrix "
+            "cells (every cell must be a time ratio or a located "
+            "diagnostic)")
+    return failures
+
+
+# -- pytest entry ------------------------------------------------------------
+
+def bench_farm_schedule(benchmark):
+    from conftest import regen
+    measured = regen(benchmark, collect)
+    print()
+    _print_table(measured)
+    failures = _gate(measured)
+    assert not failures, "; ".join(failures)
+
+
+# -- CLI: baseline writer + smoke gate ---------------------------------------
+
+def _smoke(baseline, measured) -> int:
+    failures = _gate(measured)
+    base_imp = baseline.get("improvement")
+    if measured["improvement"] != base_imp:
+        failures.append(
+            f"modeled improvement drifted: {measured['improvement']}x "
+            f"vs committed {base_imp}x (modeled makespans are "
+            "deterministic; an intentional model change needs a baseline "
+            "refresh)")
+    if failures:
+        print("\nfarm smoke gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nfarm smoke gate passed ({measured['improvement']:.2f}x >= "
+          f"{MIN_IMPROVEMENT}x, baseline {base_imp}x, "
+          f"{measured['jobs_placed']} jobs placed, "
+          f"{measured['matrix']['infeasible_cells']} infeasible cells)")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="compare against the committed baseline instead "
+                         "of rewriting it; non-zero exit on regression")
+    ap.add_argument("--out", type=Path, default=BASELINE_PATH,
+                    help="baseline path (default: benchmarks/BENCH_farm.json)")
+    args = ap.parse_args(argv)
+
+    measured = collect()
+    _print_table(measured)
+
+    if args.smoke:
+        if not args.out.exists():
+            print(f"no baseline at {args.out}; run without --smoke first")
+            return 2
+        return _smoke(json.loads(args.out.read_text()), measured)
+
+    args.out.write_text(json.dumps(as_baseline(measured), indent=2) + "\n")
+    print(f"baseline written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

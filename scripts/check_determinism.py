@@ -33,11 +33,18 @@ breakdown are diffed across tiers (``both`` compares ``compiled`` against
 tier), not just across runs — the generated-tier equivalence contract of
 ``repro.clike.compile`` and ``repro.clike.vectorize``.
 
+``--farm`` extends the gate to the device-farm tier: the default
+portability matrix and the corpus farm schedule are each built twice from
+scratch (fresh profile captures included) and their rendered text must
+match byte-for-byte — a matrix cell or placement that moves between runs
+would make the published fleet comparison unreproducible.
+
 Exit status 0 on success, 1 on any divergence.  Run from the repo root::
 
     PYTHONPATH=src python scripts/check_determinism.py
     PYTHONPATH=src python scripts/check_determinism.py --fault-plan smoke --trace
     PYTHONPATH=src python scripts/check_determinism.py --exec-tier both
+    PYTHONPATH=src python scripts/check_determinism.py --farm
 """
 
 from __future__ import annotations
@@ -210,6 +217,49 @@ def check_exec_tiers(tier, runs) -> int:
     return problems
 
 
+def farm_snapshot():
+    """Build the portability matrix and the corpus schedule from scratch
+    (fresh profile store, fresh captures) and render both."""
+    from repro.farm.fleet import default_fleet
+    from repro.farm.matrix import build_matrix, corpus_farm_jobs, \
+        render_matrix
+    from repro.farm.profile import ProfileStore
+    from repro.farm.scheduler import FarmScheduler, render_schedule
+    fleet = default_fleet()
+    store = ProfileStore()
+    matrix_text = render_matrix(build_matrix(fleet=fleet, store=store))
+    jobs = corpus_farm_jobs(store=store)
+    schedule_text = render_schedule(FarmScheduler(fleet).plan(jobs))
+    return {"matrix": matrix_text, "schedule": schedule_text}
+
+
+def check_farm(runs) -> int:
+    """The farm byte-stability contract: two independent builds of the
+    matrix and the schedule render identical bytes."""
+    t0 = time.perf_counter()
+    base = farm_snapshot()
+    print(f"farm pass 1: {len(base['matrix'].splitlines())}-line matrix, "
+          f"{len(base['schedule'].splitlines())}-line schedule, "
+          f"{time.perf_counter() - t0:.2f}s")
+    problems = 0
+    for i in range(max(2, runs + 1) - 1):
+        t0 = time.perf_counter()
+        rerun = farm_snapshot()
+        print(f"farm pass {i + 2}: {time.perf_counter() - t0:.2f}s")
+        for part in ("matrix", "schedule"):
+            if base[part] == rerun[part]:
+                continue
+            problems += 1
+            print(f"FARM DIVERGENCE in rendered {part} "
+                  f"(pass 1 vs pass {i + 2}):")
+            udiff = difflib.unified_diff(
+                base[part].splitlines(), rerun[part].splitlines(),
+                lineterm="", n=1)
+            for line in list(udiff)[:16]:
+                print(f"  {line}")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="serial-vs-parallel translation determinism check")
@@ -237,6 +287,10 @@ def main(argv=None) -> int:
                              "against interp output (stdout, modeled time, "
                              "breakdown), 'all' adds the warp-vectorized "
                              "tier to the diff")
+    parser.add_argument("--farm", action="store_true",
+                        help="also build the portability matrix and the "
+                             "corpus farm schedule twice from scratch and "
+                             "require byte-identical rendered output")
     parser.add_argument("--trace", action="store_true",
                         help="record the parallel passes with a tracer; "
                              "results must stay byte-identical to the "
@@ -286,6 +340,9 @@ def main(argv=None) -> int:
 
     if args.exec_tier:
         problems += check_exec_tiers(args.exec_tier, args.runs)
+
+    if args.farm:
+        problems += check_farm(args.runs)
 
     if tracer is not None:
         spans = tracer.export_spans()

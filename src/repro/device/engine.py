@@ -32,14 +32,16 @@ from ..runtime.memory import Memory
 from ..runtime.values import Ptr, Vec, coerce
 from .banks import warp_transactions
 from .builtins import BARRIER_NAMES, make_builtins
-from .occupancy import Occupancy, calc_occupancy, estimate_registers
+from .occupancy import KNOWN_COMPILERS, Occupancy, calc_occupancy, \
+    estimate_registers
 from .perf import KernelTime, PerfCounters, kernel_time
 from .sched import GeneratorProgram, WarpScheduler, warp_windows
 from .specs import DeviceSpec, GTX_TITAN
 
 __all__ = ["Device", "DeviceModule", "KernelObject", "LocalArg",
            "load_module", "launch_kernel", "LaunchResult",
-           "exec_tier_override", "resolve_exec_tier"]
+           "exec_tier_override", "resolve_exec_tier",
+           "LaunchProfile", "launch_profiling"]
 
 #: number of leading work-groups traced for bank-conflict / coalescing
 _SAMPLE_GROUPS = 2
@@ -300,6 +302,52 @@ def _compile_module(mod: DeviceModule) -> None:
         span.set(covered=len(mod.compiled_entries),
                  fallbacks=len(mod.compile_fallbacks),
                  vector_covered=len(mod.vector_entries))
+
+
+# ---------------------------------------------------------------------------
+# launch profiling (feeds repro.farm cross-device cost estimation)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LaunchProfile:
+    """Device-independent record of one kernel launch.
+
+    Everything the analytical perf model needs to re-cost the launch on a
+    *different* :class:`DeviceSpec`: the raw event counters, the launch
+    geometry, and register estimates precomputed for every known compiler
+    (register allocation is a property of (kernel, compiler), not of the
+    device the profile was captured on).  The transaction counters embed
+    the profiling device's warp geometry — held fixed when re-costing, a
+    documented approximation (DESIGN.md §12).
+    """
+
+    kernel: str
+    framework: str
+    counters: PerfCounters
+    threads_per_block: int
+    shared_per_block: int
+    #: compiler name -> estimated registers per thread
+    regs_by_compiler: Dict[str, int]
+
+
+#: when non-None, every launch appends a LaunchProfile here
+_PROFILE_SINK: Optional[List[LaunchProfile]] = None
+
+
+@contextmanager
+def launch_profiling(sink: List[LaunchProfile]) -> Iterator[None]:
+    """Capture a :class:`LaunchProfile` per kernel launch into ``sink``.
+
+    Purely observational — modeled times, counters and stdout of the
+    profiled run are unchanged.  Not reentrant; the innermost sink wins.
+    """
+    global _PROFILE_SINK
+    prev = _PROFILE_SINK
+    _PROFILE_SINK = sink
+    try:
+        yield
+    finally:
+        _PROFILE_SINK = prev
 
 
 @dataclass(frozen=True)
@@ -689,6 +737,16 @@ def _launch_kernel_impl(device: Device, kernel: KernelObject,
     regs = estimate_registers(kernel.fn, compiler)
     occ = calc_occupancy(spec, threads_per_block, regs, shared_per_block)
     kt = kernel_time(launch.counters, spec, occ)
+    if _PROFILE_SINK is not None:
+        import copy
+        _PROFILE_SINK.append(LaunchProfile(
+            kernel=kernel.name,
+            framework=framework,
+            counters=copy.copy(launch.counters),
+            threads_per_block=threads_per_block,
+            shared_per_block=shared_per_block,
+            regs_by_compiler={c: estimate_registers(kernel.fn, c)
+                              for c in KNOWN_COMPILERS}))
     return LaunchResult(launch.counters, kt, occ, launch.stdout)
 
 

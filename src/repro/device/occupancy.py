@@ -24,7 +24,8 @@ from ..clike import ast as A
 from ..clike import types as T
 from .specs import DeviceSpec
 
-__all__ = ["Occupancy", "calc_occupancy", "estimate_registers"]
+__all__ = ["Occupancy", "calc_occupancy", "estimate_registers",
+           "KNOWN_COMPILERS"]
 
 #: per-compiler register allocation scale (empirical flavor of the paper's
 #: "determined by the CUDA/OpenCL native compiler from NVIDIA", §6.3)
@@ -32,7 +33,13 @@ _COMPILER_SCALE = {
     "nvcc": 1.15,
     "nvidia-opencl": 0.98,
     "amd-opencl": 1.04,
+    "intel-opencl": 1.0,
 }
+
+#: every compiler the register estimator models — job profiles precompute
+#: register counts for all of them so a profile captured on one device can
+#: be re-costed on any other (repro.farm.profile)
+KNOWN_COMPILERS = tuple(sorted(_COMPILER_SCALE))
 _REG_ALLOC_GRANULARITY = 8
 _MAX_REGS_PER_THREAD = 255
 _MAX_BLOCKS_PER_CU = 16  # CC 3.5

@@ -131,6 +131,8 @@ class SimClock:
         self.by_category: Dict[str, float] = {}
         self.api_call_count = 0
         self.kernel_launches = 0
+        self.transfer_ops = 0
+        self.transfer_bytes = 0
 
     def charge(self, seconds: float, category: str) -> None:
         if seconds < 0:
@@ -143,6 +145,8 @@ class SimClock:
         self.charge(spec.api_overhead * n, "api")
 
     def charge_transfer(self, nbytes: int, spec: DeviceSpec) -> None:
+        self.transfer_ops += 1
+        self.transfer_bytes += nbytes
         self.charge(transfer_time(nbytes, spec), "transfer")
 
     def charge_kernel(self, kt: KernelTime) -> None:
@@ -154,3 +158,5 @@ class SimClock:
         self.by_category.clear()
         self.api_call_count = 0
         self.kernel_launches = 0
+        self.transfer_ops = 0
+        self.transfer_bytes = 0

@@ -1,4 +1,4 @@
-"""Device specifications for the simulated GPUs.
+"""Device specifications for the simulated accelerator fleet.
 
 Two concrete devices mirror the paper's evaluation hardware (Table 2): an
 NVIDIA GeForce GTX Titan (GK110, CC 3.5) and an AMD Radeon HD7970 (Tahiti,
@@ -10,15 +10,27 @@ The paper's key framework asymmetry lives here too: on the Titan, the CUDA
 compiler selects the 64-bit shared-memory bank addressing mode while
 NVIDIA's OpenCL runtime uses the 32-bit mode (§6.2) — the source of the FT
 bank-conflict result.
+
+Beyond the paper's two devices, the module grows the evaluation into a
+*heterogeneous fleet* (ROADMAP item 4): three more NVIDIA generations
+(Kepler GK104, Maxwell GM204, Pascal GP104), a second GCN variant (Hawaii),
+and a CPU-like OpenCL device (``warp_size=1``, no shared-memory banking).
+Fleet specs are not hand-copied literals: they are derived from a handful
+of datasheet inputs (SM/CU count, core clock, lanes per unit, memory data
+rate and bus width) by the validated constructors :func:`nvidia_spec`,
+:func:`gcn_spec` and :func:`cpu_spec`, so a typo'd rate fails loudly at
+import instead of silently skewing the perf model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["DeviceSpec", "GTX_TITAN", "HD7970", "get_device_spec",
-           "DEVICE_SPECS"]
+__all__ = ["DeviceSpec", "GTX_TITAN", "HD7970", "GTX_680", "GTX_980",
+           "GTX_1080", "R9_290X", "XEON_E5_2650", "FLEET",
+           "get_device_spec", "DEVICE_SPECS", "UnknownDeviceError",
+           "nvidia_spec", "gcn_spec", "cpu_spec", "validate_spec"]
 
 
 @dataclass(frozen=True)
@@ -31,7 +43,8 @@ class DeviceSpec:
     compute_units: int
     #: core clock, Hz
     clock_hz: float
-    #: SIMD width the scheduler issues in lock-step (warp / wavefront)
+    #: SIMD width the scheduler issues in lock-step (warp / wavefront);
+    #: 1 for CPU-like devices (no lock-step lanes)
     warp_size: int
     #: maximum resident threads per compute unit
     max_threads_per_cu: int
@@ -41,7 +54,7 @@ class DeviceSpec:
     regs_per_cu: int
     #: shared/local memory per compute unit, bytes
     shared_per_cu: int
-    #: shared memory banks
+    #: shared memory banks (1 = no banking, e.g. CPU local-memory emulation)
     shared_banks: int
     #: global memory size, bytes
     global_mem: int
@@ -88,20 +101,29 @@ class DeviceSpec:
         architectural ratios — bank modes, occupancy steps, bandwidth
         ratios between devices — are untouched.  Normalized results (every
         figure in the paper) are invariant under this scaling.
+
+        Every divisor is clamped to >= 1 so that for any ``down >= 1``
+        no rate of the scaled spec exceeds the datasheet value (a
+        ``scaled(4)`` used to *inflate* PCIe bandwidth above the
+        unscaled spec because its gentler ``down / 8`` divisor went
+        below one).
         """
         import dataclasses
-        # Corpus inputs shrink compute by ~`down` but transfered data and
+        if down < 1.0:
+            raise ValueError(f"scale-down factor must be >= 1, got {down}")
+        # Corpus inputs shrink compute by ~`down` but transferred data and
         # per-call overheads by less (real apps amortize fixed costs over
         # far more work), so those scale by a gentler factor — keeping the
         # kernel/transfer/API time composition representative.
         soft = max(1.0, down / 12.0)
+        pcie = max(1.0, down / 8.0)
         return dataclasses.replace(
             self,
             clock_hz=self.clock_hz / down,
             dram_bw=self.dram_bw / down,
             alu_flops=self.alu_flops / down,
             sfu_ops=self.sfu_ops / down,
-            pcie_bw=self.pcie_bw / (down / 8.0),
+            pcie_bw=self.pcie_bw / pcie,
             pcie_lat=self.pcie_lat / soft,
             launch_overhead=self.launch_overhead / soft,
             api_overhead=self.api_overhead / soft,
@@ -120,8 +142,205 @@ class DeviceSpec:
         """Shared-memory addressing mode (32 or 64 bits) for a framework."""
         return self.shared_addr_mode.get(framework, 32)
 
+    def rates(self) -> Dict[str, float]:
+        """Every throughput *rate* of the spec (units/second) — the fields
+        :meth:`scaled` must never increase (monotonicity property test)."""
+        return {"clock_hz": self.clock_hz, "dram_bw": self.dram_bw,
+                "alu_flops": self.alu_flops, "sfu_ops": self.sfu_ops,
+                "pcie_bw": self.pcie_bw}
 
-#: NVIDIA GeForce GTX Titan — GK110, CC 3.5 (paper Table 2)
+
+# ---------------------------------------------------------------------------
+# validated datasheet constructors
+# ---------------------------------------------------------------------------
+
+def validate_spec(spec: DeviceSpec) -> DeviceSpec:
+    """Sanity-check a spec's architectural invariants; returns it.
+
+    Raises :class:`ValueError` listing every violated invariant, so a
+    mistyped datasheet number fails at construction, not as a silently
+    wrong simulated time.
+    """
+    problems: List[str] = []
+    if spec.compute_units < 1:
+        problems.append(f"compute_units must be >= 1 ({spec.compute_units})")
+    if spec.warp_size < 1 or spec.warp_size & (spec.warp_size - 1):
+        problems.append(f"warp_size must be a power of two >= 1 "
+                        f"({spec.warp_size})")
+    if spec.warp_size > spec.max_workgroup_size:
+        problems.append(f"warp_size {spec.warp_size} exceeds "
+                        f"max_workgroup_size {spec.max_workgroup_size}")
+    if spec.max_workgroup_size > spec.max_threads_per_cu:
+        problems.append(
+            f"max_workgroup_size {spec.max_workgroup_size} exceeds "
+            f"max_threads_per_cu {spec.max_threads_per_cu}")
+    if spec.max_threads_per_cu % spec.warp_size:
+        problems.append(
+            f"max_threads_per_cu {spec.max_threads_per_cu} is not a "
+            f"multiple of warp_size {spec.warp_size}")
+    if spec.shared_banks < 1:
+        problems.append(f"shared_banks must be >= 1 ({spec.shared_banks})")
+    for rate, value in spec.rates().items():
+        if not value > 0:
+            problems.append(f"{rate} must be positive ({value})")
+    for name in ("regs_per_cu", "shared_per_cu", "global_mem",
+                 "constant_mem"):
+        if getattr(spec, name) <= 0:
+            problems.append(f"{name} must be positive")
+    for name in ("pcie_lat", "launch_overhead", "api_overhead"):
+        if getattr(spec, name) < 0:
+            problems.append(f"{name} must be non-negative")
+    if not 0.0 < spec.occupancy_knee <= 1.0:
+        problems.append(f"occupancy_knee must be in (0, 1] "
+                        f"({spec.occupancy_knee})")
+    if not 0.0 < spec.occupancy_floor <= 1.0:
+        problems.append(f"occupancy_floor must be in (0, 1] "
+                        f"({spec.occupancy_floor})")
+    for fw, bits in spec.shared_addr_mode.items():
+        if bits not in (32, 64):
+            problems.append(f"bank mode for {fw!r} must be 32 or 64 ({bits})")
+    if problems:
+        raise ValueError(f"invalid device spec {spec.name!r}: "
+                         + "; ".join(problems))
+    return spec
+
+
+def nvidia_spec(name: str, *, sms: int, core_mhz: float, cores_per_sm: int,
+                sfu_per_sm: int, mem_gbps: float, bus_bits: int,
+                gmem_gib: float, shared_kb: int = 48, banks: int = 32,
+                max_threads_per_sm: int = 2048, max_block: int = 1024,
+                regs_per_sm: int = 65536,
+                bank_mode_cuda: int = 64,
+                launch_overhead: float = 6.0e-6,
+                api_overhead: float = 2.5e-6) -> DeviceSpec:
+    """An NVIDIA GPU spec from datasheet inputs.
+
+    Rates are *derived*, not transcribed: SP throughput is
+    ``2 (FMA) x SMs x cores/SM x clock``, SFU throughput is
+    ``SMs x SFUs/SM x clock``, and DRAM bandwidth is
+    ``data rate (Gb/s/pin) x bus width / 8`` — the same arithmetic the
+    datasheets themselves apply, so the GTX Titan inputs reproduce the
+    Table-2 figures (288.4 GB/s, 4.5 TFLOPS) to within rounding.
+    ``bank_mode_cuda=32`` models Maxwell+ parts, which dropped Kepler's
+    64-bit shared-memory addressing mode.
+    """
+    clock = core_mhz * 1e6
+    return validate_spec(DeviceSpec(
+        name=name,
+        vendor="NVIDIA Corporation",
+        compute_units=sms,
+        clock_hz=clock,
+        warp_size=32,
+        max_threads_per_cu=max_threads_per_sm,
+        max_workgroup_size=max_block,
+        regs_per_cu=regs_per_sm,
+        shared_per_cu=shared_kb * 1024,
+        shared_banks=banks,
+        global_mem=int(gmem_gib * 1024**3),
+        constant_mem=64 * 1024,
+        dram_bw=mem_gbps * 1e9 * bus_bits / 8,
+        alu_flops=2.0 * sms * cores_per_sm * clock,
+        sfu_ops=float(sms * sfu_per_sm) * clock,
+        shared_addr_mode={"cuda": bank_mode_cuda, "opencl": 32},
+        opencl_compiler="nvidia-opencl",
+        supports_cuda=True,
+        launch_overhead=launch_overhead,
+        api_overhead=api_overhead,
+    ))
+
+
+def gcn_spec(name: str, *, cus: int, core_mhz: float, mem_gbps: float,
+             bus_bits: int, gmem_gib: float, lds_kb: int = 64,
+             banks: int = 32, max_threads_per_cu: int = 2560,
+             max_block: int = 256, regs_per_cu: int = 65536,
+             launch_overhead: float = 9.0e-6,
+             api_overhead: float = 3.0e-6) -> DeviceSpec:
+    """An AMD GCN GPU spec from datasheet inputs.
+
+    Every GCN compute unit has 4 x 16-lane SIMDs (64 lanes, one wavefront
+    in lock-step) and executes transcendentals at quarter rate (one
+    16-lane SIMD equivalent), so ``alu = 2 x CUs x 64 x clock`` and
+    ``sfu = CUs x 16 x clock``.  No CUDA support, no 64-bit LDS
+    addressing mode (§6.2).
+    """
+    clock = core_mhz * 1e6
+    return validate_spec(DeviceSpec(
+        name=name,
+        vendor="Advanced Micro Devices, Inc.",
+        compute_units=cus,
+        clock_hz=clock,
+        warp_size=64,
+        max_threads_per_cu=max_threads_per_cu,
+        max_workgroup_size=max_block,
+        regs_per_cu=regs_per_cu,
+        shared_per_cu=lds_kb * 1024,
+        shared_banks=banks,
+        global_mem=int(gmem_gib * 1024**3),
+        constant_mem=64 * 1024,
+        dram_bw=mem_gbps * 1e9 * bus_bits / 8,
+        alu_flops=2.0 * cus * 64 * clock,
+        sfu_ops=float(cus * 16) * clock,
+        shared_addr_mode={"opencl": 32},
+        opencl_compiler="amd-opencl",
+        supports_cuda=False,
+        launch_overhead=launch_overhead,
+        api_overhead=api_overhead,
+    ))
+
+
+def cpu_spec(name: str, *, sockets: int, cores_per_socket: int,
+             base_ghz: float, simd_f32_lanes: int,
+             mem_gbps_per_socket: float, ram_gib: float) -> DeviceSpec:
+    """A CPU-like OpenCL device spec (the host running kernels itself).
+
+    ``warp_size=1``: nothing executes in lock-step, so there is no
+    divergence penalty, no coalescing, and — with ``shared_banks=1`` —
+    no shared-memory bank conflicts (OpenCL local memory on a CPU is
+    plain cached RAM).  Peak SP throughput is
+    ``cores x SIMD lanes x 2 (mul+add) x clock``; "transfers" are
+    memcpys inside host RAM, so the PCIe-analog latency and bandwidth
+    are those of a NUMA copy, not a bus.  Occupancy barely matters
+    (``occupancy_floor=0.9``): a CPU does not hide latency by swapping
+    warps.
+    """
+    clock = base_ghz * 1e9
+    cores = sockets * cores_per_socket
+    return validate_spec(DeviceSpec(
+        name=name,
+        vendor="GenuineIntel",
+        compute_units=cores,
+        clock_hz=clock,
+        warp_size=1,
+        max_threads_per_cu=2048,
+        max_workgroup_size=1024,
+        regs_per_cu=1 << 20,            # register pressure never limits
+        shared_per_cu=256 * 1024,       # "local" is just cache
+        shared_banks=1,
+        global_mem=int(ram_gib * 1024**3),
+        constant_mem=128 * 1024,
+        dram_bw=mem_gbps_per_socket * 1e9 * sockets,
+        alu_flops=2.0 * cores * simd_f32_lanes * clock,
+        sfu_ops=0.25 * cores * clock,   # libm transcendentals, ~4 cyc
+        pcie_bw=18.0e9,                 # intra-RAM copy, not a bus
+        pcie_lat=2.0e-6,
+        launch_overhead=3.0e-6,         # thread-pool dispatch
+        api_overhead=1.5e-6,
+        shared_addr_mode={},            # no banking -> mode irrelevant
+        occupancy_knee=0.05,
+        occupancy_floor=0.9,
+        opencl_compiler="intel-opencl",
+        supports_cuda=False,
+    ))
+
+
+# ---------------------------------------------------------------------------
+# the fleet
+# ---------------------------------------------------------------------------
+
+#: NVIDIA GeForce GTX Titan — GK110, CC 3.5 (paper Table 2).  Kept as the
+#: literal Table-2 values (the constructors reproduce them to <1%, see
+#: tests/device/test_specs_fleet.py) so every previously published
+#: simulated time stays bit-identical.
 GTX_TITAN = DeviceSpec(
     name="GeForce GTX Titan",
     vendor="NVIDIA Corporation",
@@ -144,7 +363,8 @@ GTX_TITAN = DeviceSpec(
 )
 
 #: AMD Radeon HD7970 — Tahiti, GCN 1.0 (paper Table 2).  No CUDA support;
-#: wavefront 64; LDS has no 64-bit addressing mode.
+#: wavefront 64; LDS has no 64-bit addressing mode.  Literal Table-2
+#: values, like GTX_TITAN.
 HD7970 = DeviceSpec(
     name="AMD Radeon HD7970",
     vendor="Advanced Micro Devices, Inc.",
@@ -168,17 +388,102 @@ HD7970 = DeviceSpec(
     api_overhead=3.0e-6,
 )
 
+#: NVIDIA GeForce GTX 680 — GK104, Kepler CC 3.0: 8 SMX x 192 cores
+#: @ 1006 MHz, 6.0 Gbps GDDR5 on a 256-bit bus (192 GB/s, 3.09 TFLOPS)
+GTX_680 = nvidia_spec(
+    "GeForce GTX 680", sms=8, core_mhz=1006.0, cores_per_sm=192,
+    sfu_per_sm=32, mem_gbps=6.0, bus_bits=256, gmem_gib=2.0)
+
+#: NVIDIA GeForce GTX 980 — GM204, Maxwell CC 5.2: 16 SMM x 128 cores
+#: @ 1126 MHz, 7.0 Gbps GDDR5 on a 256-bit bus (224 GB/s, 4.6 TFLOPS).
+#: Maxwell dropped Kepler's 64-bit shared-memory addressing mode, so CUDA
+#: and OpenCL agree on 32-bit banks — the paper's FT asymmetry (§6.2)
+#: disappears on this part.
+GTX_980 = nvidia_spec(
+    "GeForce GTX 980", sms=16, core_mhz=1126.0, cores_per_sm=128,
+    sfu_per_sm=32, mem_gbps=7.0, bus_bits=256, gmem_gib=4.0,
+    shared_kb=96, bank_mode_cuda=32, launch_overhead=5.0e-6,
+    api_overhead=2.2e-6)
+
+#: NVIDIA GeForce GTX 1080 — GP104, Pascal CC 6.1: 20 SM x 128 cores
+#: @ 1607 MHz, 10 Gbps GDDR5X on a 256-bit bus (320 GB/s, 8.2 TFLOPS)
+GTX_1080 = nvidia_spec(
+    "GeForce GTX 1080", sms=20, core_mhz=1607.0, cores_per_sm=128,
+    sfu_per_sm=32, mem_gbps=10.0, bus_bits=256, gmem_gib=8.0,
+    shared_kb=96, bank_mode_cuda=32, launch_overhead=4.5e-6,
+    api_overhead=2.0e-6)
+
+#: AMD Radeon R9 290X — Hawaii, GCN 2: 44 CUs @ 1000 MHz, 5.0 Gbps GDDR5
+#: on a 512-bit bus (320 GB/s, 5.6 TFLOPS)
+R9_290X = gcn_spec(
+    "AMD Radeon R9 290X", cus=44, core_mhz=1000.0, mem_gbps=5.0,
+    bus_bits=512, gmem_gib=4.0)
+
+#: Dual Intel Xeon E5-2650 — the paper's Table-2 host (2 x 8 cores
+#: @ 2.0 GHz, 8-wide AVX, 4-channel DDR3-1333) running kernels itself as
+#: an OpenCL CPU device: warp_size 1, no shared-memory banking
+XEON_E5_2650 = cpu_spec(
+    "Intel Xeon E5-2650 x2", sockets=2, cores_per_socket=8, base_ghz=2.0,
+    simd_f32_lanes=8, mem_gbps_per_socket=42.6, ram_gib=128.0)
+
+#: the heterogeneous device farm, fastest-to-slowest within each vendor
+FLEET: Tuple[DeviceSpec, ...] = (
+    GTX_TITAN, GTX_680, GTX_980, GTX_1080, HD7970, R9_290X, XEON_E5_2650)
+
 DEVICE_SPECS: Dict[str, DeviceSpec] = {
     "titan": GTX_TITAN,
     "gtx_titan": GTX_TITAN,
     "hd7970": HD7970,
+    "tahiti": HD7970,
+    "gtx680": GTX_680,
+    "gtx_680": GTX_680,
+    "gtx980": GTX_980,
+    "gtx_980": GTX_980,
+    "gtx1080": GTX_1080,
+    "gtx_1080": GTX_1080,
+    "r9_290x": R9_290X,
+    "r9290x": R9_290X,
+    "hawaii": R9_290X,
+    "cpu": XEON_E5_2650,
+    "xeon": XEON_E5_2650,
+    "xeon_e5_2650": XEON_E5_2650,
 }
 
 
+class UnknownDeviceError(KeyError):
+    """Unknown device short-name.
+
+    A :class:`KeyError` (so existing ``except KeyError`` callers keep
+    working) whose ``str()`` is the plain message — bare ``KeyError``
+    renders its argument through ``repr``, wrapping the whole sentence
+    in quotes.
+    """
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+def canonical_device_names() -> List[str]:
+    """One short name per distinct spec (aliases de-duplicated): for each
+    device the shortest — then lexicographically first — registry key."""
+    best: Dict[int, str] = {}
+    for alias, spec in DEVICE_SPECS.items():
+        cur = best.get(id(spec))
+        if cur is None or (len(alias), alias) < (len(cur), cur):
+            best[id(spec)] = alias
+    return sorted(best.values())
+
+
 def get_device_spec(name: str) -> DeviceSpec:
-    """Look up a device spec by short name ('titan', 'hd7970')."""
+    """Look up a device spec by short name ('titan', 'gtx980', 'cpu', ...).
+
+    Lookup is forgiving about case, surrounding whitespace, and
+    hyphen/space vs underscore ("GTX 680" == "gtx-680" == "gtx_680").
+    """
+    key = name.strip().lower().replace("-", "_").replace(" ", "_")
     try:
-        return DEVICE_SPECS[name.lower()]
+        return DEVICE_SPECS[key]
     except KeyError:
-        raise KeyError(
-            f"unknown device {name!r}; choose from {sorted(set(DEVICE_SPECS))}")
+        raise UnknownDeviceError(
+            f"unknown device {name!r}; choose from "
+            f"{canonical_device_names()}") from None

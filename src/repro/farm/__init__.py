@@ -1,0 +1,43 @@
+"""Heterogeneous device farm: profile-driven scheduling and the
+portability matrix (ROADMAP item 4).
+
+The paper evaluates portability on exactly one extra device (the HD7970,
+Table 2 / §6).  This package generalizes that to a simulated fleet
+(:data:`repro.device.specs.FLEET`): a run of each (app, mode) is captured
+*once* as a device-independent :class:`JobProfile` on a reference device,
+then analytically re-costed on every fleet member by the same roofline
+perf model the engine uses — which makes an N-apps x M-devices
+portability matrix and a modeled-makespan scheduler cheap enough to gate
+in CI.
+
+Layers:
+
+* :mod:`repro.farm.profile` — capture + cross-device cost estimation;
+* :mod:`repro.farm.fleet` — the schedulable fleet (specs + concurrency);
+* :mod:`repro.farm.scheduler` — :class:`FarmScheduler` (greedy LPT /
+  earliest-finish-time) vs the round-robin baseline;
+* :mod:`repro.farm.matrix` — the portability/perf matrix renderer
+  (``python -m repro.harness matrix``) with CASS-style NVIDIA->AMD ratio
+  columns and Table-3 diagnostics in untranslatable cells.
+"""
+
+from .fleet import FarmDevice, default_fleet, fleet_specs
+from .profile import (InfeasibleOnDevice, JobProfile, ProfileStore,
+                      capture_profile, compiler_for, estimate_run_time)
+from .scheduler import (FarmJob, Placement, Schedule, FarmScheduler,
+                        round_robin_schedule, compare_schedules,
+                        render_schedule)
+from .matrix import (MatrixCell, PortabilityMatrix, build_matrix,
+                     corpus_farm_jobs, default_matrix_apps, modes_for,
+                     render_matrix)
+
+__all__ = [
+    "FarmDevice", "default_fleet", "fleet_specs",
+    "InfeasibleOnDevice", "JobProfile", "ProfileStore", "capture_profile",
+    "compiler_for", "estimate_run_time",
+    "FarmJob", "Placement", "Schedule", "FarmScheduler",
+    "round_robin_schedule", "compare_schedules", "render_schedule",
+    "MatrixCell", "PortabilityMatrix", "build_matrix",
+    "default_matrix_apps", "render_matrix", "modes_for",
+    "corpus_farm_jobs",
+]

@@ -1,0 +1,72 @@
+"""The schedulable fleet: device specs plus scheduling attributes.
+
+A :class:`FarmDevice` wraps one fleet spec with the farm's scheduling
+metadata — a stable short ``key`` (column header, placement target) and a
+``concurrency`` limit (how many corpus jobs the device executes at once;
+a discrete-GPU sim runs one app per device, the CPU device time-slices a
+couple).  :func:`default_fleet` builds the seven-device farm from
+:data:`repro.device.specs.FLEET` at the harness's simulation scale so
+farm costs are directly comparable to runner ``sim_time`` s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..device.specs import FLEET, DeviceSpec
+
+__all__ = ["FarmDevice", "default_fleet", "fleet_specs", "FLEET_KEYS"]
+
+#: stable short key per fleet spec, in FLEET order (titan first: it is the
+#: profiling reference and the matrix's ratio denominator)
+FLEET_KEYS: Tuple[str, ...] = ("titan", "gtx680", "gtx980", "gtx1080",
+                               "hd7970", "r9_290x", "cpu")
+
+
+@dataclass(frozen=True)
+class FarmDevice:
+    """One schedulable device of the farm."""
+
+    key: str
+    spec: DeviceSpec
+    #: jobs the device may execute concurrently (scheduler slot count)
+    concurrency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1 ({self.key}: {self.concurrency})")
+
+
+def fleet_specs(scale: Optional[float] = None) -> Dict[str, DeviceSpec]:
+    """key -> spec for the whole fleet, optionally throughput-scaled.
+
+    ``scale=None`` uses the harness's ``SIM_SCALE`` so modeled farm times
+    live on the same clock as runner ``sim_time``s.
+    """
+    if scale is None:
+        from ..harness.runner import SIM_SCALE
+        scale = SIM_SCALE
+    assert len(FLEET_KEYS) == len(FLEET)
+    return {key: (spec.scaled(scale) if scale != 1.0 else spec)
+            for key, spec in zip(FLEET_KEYS, FLEET)}
+
+
+def default_fleet(scale: Optional[float] = None,
+                  keys: Optional[Sequence[str]] = None,
+                  cpu_concurrency: int = 2) -> Tuple[FarmDevice, ...]:
+    """The default seven-device farm (or the ``keys`` subset, in fleet
+    order).  GPUs run one job at a time; the CPU device time-slices
+    ``cpu_concurrency`` jobs (its cores are a shared pool, not a
+    dedicated accelerator)."""
+    specs = fleet_specs(scale)
+    chosen = FLEET_KEYS if keys is None else tuple(keys)
+    unknown = [k for k in chosen if k not in specs]
+    if unknown:
+        raise KeyError(f"unknown fleet keys {unknown}; "
+                       f"choose from {list(FLEET_KEYS)}")
+    return tuple(
+        FarmDevice(key=k, spec=specs[k],
+                   concurrency=cpu_concurrency if k == "cpu" else 1)
+        for k in FLEET_KEYS if k in chosen)

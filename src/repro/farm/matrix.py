@@ -1,0 +1,250 @@
+"""The N-apps x M-devices portability/perf matrix.
+
+Generalizes the paper's two-device evaluation (Figs. 7/8) to the whole
+fleet, in the shape CASS and IPMACC (PAPERS.md) report cross-vendor
+results: one row per app, one column per device, each cell either a
+modeled-time ratio against the reference device (titan) or — when the
+app cannot reach that device at all — a *located* Table-3 diagnostic
+(category + source line) from the translatability analyzer.  A CASS-style
+``nv->amd`` column closes each row: best AMD time over best NVIDIA time.
+
+Every app executes exactly once per needed mode (on the reference
+device, via :class:`~repro.farm.profile.ProfileStore`); all other cells
+are analytical re-costings, so the full matrix renders in seconds and is
+byte-stable across runs (the determinism gate's ``--farm`` mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..translate.categories import (CAT_LANG, CAT_LIBS, CAT_NO_FUNC,
+                                    CAT_OPENGL, CAT_PTX, CAT_UVA)
+from .fleet import FarmDevice, default_fleet
+from .profile import (InfeasibleOnDevice, ProfileError, ProfileStore,
+                      estimate_run_time)
+
+__all__ = ["MatrixCell", "PortabilityMatrix", "build_matrix",
+           "default_matrix_apps", "render_matrix", "modes_for",
+           "corpus_farm_jobs"]
+
+#: compact cell labels for the Table-3 categories
+_CATEGORY_ABBREV = {
+    CAT_NO_FUNC: "no-func",
+    CAT_LIBS: "library",
+    CAT_LANG: "lang-ext",
+    CAT_OPENGL: "opengl",
+    CAT_PTX: "ptx",
+    CAT_UVA: "uva",
+}
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (app, device) cell."""
+
+    kind: str                      # 'time' | 'diagnostic' | 'infeasible'
+    mode: Optional[str] = None     # execution mode behind a 'time' cell
+    time: Optional[float] = None   # modeled seconds
+    ratio: Optional[float] = None  # time / reference-device time
+    #: Table-3 category abbreviation ('diagnostic') or reason ('infeasible')
+    note: Optional[str] = None
+    line: Optional[int] = None     # diagnostic source line
+
+    def text(self) -> str:
+        if self.kind == "time":
+            return f"{self.ratio:.2f}x"
+        if self.kind == "diagnostic":
+            loc = f"@L{self.line}" if self.line is not None else ""
+            return f"-- {self.note}{loc}"
+        return f"!! {self.note}"
+
+
+@dataclass
+class PortabilityMatrix:
+    """The full matrix plus everything the renderer needs."""
+
+    apps: Tuple[str, ...]          # row keys, 'suite/app'
+    devices: Tuple[str, ...]       # column keys, fleet order
+    cells: Dict[Tuple[str, str], MatrixCell]
+    reference: str                 # the ratio denominator device key
+    #: app -> best-AMD-over-best-NVIDIA modeled time ratio (CASS column)
+    nv_amd_ratio: Dict[str, Optional[float]]
+
+
+def default_matrix_apps() -> List[Tuple[str, str]]:
+    """The default (suite, name) row set: the paper-relevant runnable
+    kernels plus one untranslatable CUDA-only app per Table-3 category
+    that the corpus carries as a *runnable* diagnostic example."""
+    return [
+        ("npb", "FT"),
+        ("rodinia", "bfs"),
+        ("rodinia", "gaussian"),
+        ("rodinia", "hotspot"),
+        ("rodinia", "nw"),
+        ("rodinia", "srad"),
+        ("toolkit", "matrixMul"),
+        ("toolkit", "vectorAdd"),
+        # CUDA-only, untranslatable: AMD/CPU columns become located
+        # Table-3 diagnostics (the paper's Table 3 rows at matrix scale)
+        ("rodinia", "mummergpu"),
+        ("toolkit", "inlinePTX"),
+        ("toolkit", "simpleStreams"),
+    ]
+
+
+def _first_finding(app, category: Optional[str]):
+    """The located analyzer finding explaining why ``app`` cannot leave
+    the CUDA ecosystem — preferring the app's expected category."""
+    from ..translate.analyzer import analyze_cuda_source
+    findings = analyze_cuda_source(app.cuda_source or "")
+    if category is not None:
+        for f in findings:
+            if f.category == category:
+                return f
+    return findings[0] if findings else None
+
+
+def _device_cell(app, dev: FarmDevice, store: ProfileStore,
+                 modes: Sequence[str]) -> MatrixCell:
+    """Cost ``app`` on ``dev`` under the first feasible mode."""
+    last: Optional[InfeasibleOnDevice] = None
+    for mode in modes:
+        try:
+            prof = store.get(app, mode)
+            t = estimate_run_time(prof, dev.spec)
+            return MatrixCell(kind="time", mode=mode, time=t)
+        except InfeasibleOnDevice as e:
+            last = e
+            continue
+    # No feasible mode reaches this device: untranslatable CUDA apps get
+    # their located Table-3 finding as the cell (this covers both AMD/CPU
+    # columns of CUDA-only apps and analyzer-corpus fragments that are
+    # not runnable anywhere in the sim)
+    if app.has_cuda and not app.cuda_translatable:
+        f = _first_finding(app, app.fail_category)
+        if f is not None:
+            return MatrixCell(
+                kind="diagnostic",
+                note=_CATEGORY_ABBREV.get(f.category, f.category),
+                line=f.line or None)
+    reason = last.reason if last is not None else "no runnable mode"
+    return MatrixCell(kind="infeasible", note=reason)
+
+
+def modes_for(app) -> List[str]:
+    """Execution modes an app supports, most-native first."""
+    modes: List[str] = []
+    if app.has_opencl:
+        modes.append("ocl-native")
+    if app.has_cuda and app.cuda_runs_natively:
+        modes.append("cuda-native")
+    if app.cuda_translatable:
+        modes.append("cuda->ocl")
+    return modes
+
+
+def corpus_farm_jobs(apps: Optional[Sequence[Tuple[str, str]]] = None,
+                     store: Optional[ProfileStore] = None) -> list:
+    """One profiled :class:`~repro.farm.scheduler.FarmJob` per runnable
+    (app, mode) pair — the workload behind the scheduler benchmark and
+    the ``schedule`` CLI.  Apps whose profiling run fails are skipped."""
+    from ..apps.base import get_app
+    from .scheduler import FarmJob
+    if store is None:
+        store = ProfileStore()
+    keys = apps if apps is not None else default_matrix_apps()
+    jobs = []
+    for suite, name in keys:
+        app = get_app(suite, name)
+        for mode in modes_for(app):
+            try:
+                jobs.append(FarmJob(name=f"{suite}/{name}", mode=mode,
+                                    profile=store.get(app, mode)))
+            except ProfileError:
+                continue
+    return jobs
+
+
+def build_matrix(apps: Optional[Sequence[Tuple[str, str]]] = None,
+                 fleet: Optional[Sequence[FarmDevice]] = None,
+                 store: Optional[ProfileStore] = None) -> PortabilityMatrix:
+    """Profile (once) and cost every (app, device) pair of the matrix."""
+    from ..apps.base import get_app
+    if fleet is None:
+        fleet = default_fleet()
+    if store is None:
+        store = ProfileStore()
+    keys = apps if apps is not None else default_matrix_apps()
+    loaded = [get_app(suite, name) for suite, name in keys]
+
+    nvidia = [d for d in fleet if d.spec.supports_cuda]
+    amd = [d for d in fleet if d.spec.vendor.startswith("Advanced Micro")]
+
+    cells: Dict[Tuple[str, str], MatrixCell] = {}
+    nv_amd: Dict[str, Optional[float]] = {}
+    rows: List[str] = []
+    reference = fleet[0].key
+    for app in loaded:
+        row = f"{app.suite}/{app.name}"
+        rows.append(row)
+        modes = modes_for(app)
+        for dev in fleet:
+            try:
+                cells[(row, dev.key)] = _device_cell(app, dev, store, modes)
+            except ProfileError as e:
+                cells[(row, dev.key)] = MatrixCell(kind="infeasible",
+                                                   note=str(e))
+        # ratios against the reference column
+        ref_cell = cells[(row, reference)]
+        ref_t = ref_cell.time if ref_cell.kind == "time" else None
+        for dev in fleet:
+            c = cells[(row, dev.key)]
+            if c.kind == "time" and ref_t:
+                cells[(row, dev.key)] = MatrixCell(
+                    kind="time", mode=c.mode, time=c.time,
+                    ratio=c.time / ref_t)
+        # CASS-style cross-vendor column: best AMD over best NVIDIA
+        best = {}
+        for label, devs in (("nv", nvidia), ("amd", amd)):
+            times = [cells[(row, d.key)].time for d in devs
+                     if cells[(row, d.key)].kind == "time"]
+            best[label] = min(times) if times else None
+        nv_amd[row] = (best["amd"] / best["nv"]
+                       if best["nv"] and best["amd"] else None)
+    return PortabilityMatrix(
+        apps=tuple(rows), devices=tuple(d.key for d in fleet),
+        cells=cells, reference=reference, nv_amd_ratio=nv_amd)
+
+
+def render_matrix(matrix: PortabilityMatrix,
+                  title: str = "portability/perf matrix") -> str:
+    """Byte-stable fixed-width table: ratio cells are modeled time
+    relative to the reference column, ``-- cat@Lnn`` cells are located
+    Table-3 diagnostics, and ``nv->amd`` is the CASS-style cross-vendor
+    modeled-time ratio (best AMD device over best NVIDIA device)."""
+    app_w = max([len(a) for a in matrix.apps] + [len("app")])
+    col_w = max([len(d) for d in matrix.devices] + [12])
+    header = f"{'app':<{app_w}}"
+    for dev in matrix.devices:
+        mark = "*" if dev == matrix.reference else ""
+        header += f"  {dev + mark:>{col_w}}"
+    header += f"  {'nv->amd':>8}"
+    rule = "-" * len(header)
+    lines = [title, "=" * len(title),
+             f"(time cells: modeled time vs {matrix.reference}; "
+             f"lower is faster)", header, rule]
+    for app in matrix.apps:
+        line = f"{app:<{app_w}}"
+        for dev in matrix.devices:
+            line += f"  {matrix.cells[(app, dev)].text():>{col_w}}"
+        r = matrix.nv_amd_ratio.get(app)
+        line += f"  {f'{r:.2f}x' if r is not None else '--':>8}"
+        lines.append(line)
+    lines.append(rule)
+    diag = sum(1 for c in matrix.cells.values() if c.kind == "diagnostic")
+    infeas = sum(1 for c in matrix.cells.values() if c.kind == "infeasible")
+    lines.append(f"{len(matrix.apps)} apps x {len(matrix.devices)} devices; "
+                 f"{diag} diagnostic cells, {infeas} infeasible cells")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Job profiles: capture one run, re-cost it on any device.
+
+A :class:`JobProfile` records everything the analytical perf model needs
+about one (app, mode) run — per-launch event counters and geometry
+(:class:`~repro.device.engine.LaunchProfile`), host API call count, and
+transfer op/byte totals — so :func:`estimate_run_time` can price the run
+on an arbitrary :class:`~repro.device.specs.DeviceSpec` without executing
+anything:
+
+``api_calls x api_overhead + transfer_ops x pcie_lat
++ transfer_bytes / pcie_bw
++ sum(kernel_time(counters, spec, occupancy-on-spec))``
+
+On the device the profile was captured on this reproduces the runner's
+``sim_time`` exactly (the estimator is the same arithmetic the SimClock
+charges, regrouped); on other devices, occupancy and register pressure
+are recomputed per device/compiler while the *memory transaction counts*
+keep the capture device's warp geometry — the documented approximation
+of DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..device.engine import LaunchProfile, launch_profiling
+from ..device.occupancy import calc_occupancy
+from ..device.perf import kernel_time
+from ..device.specs import DeviceSpec
+from ..errors import ReproError
+
+__all__ = ["JobProfile", "ProfileError", "InfeasibleOnDevice",
+           "capture_profile", "compiler_for", "estimate_run_time",
+           "ProfileStore", "MODES"]
+
+#: execution modes a profile can be captured under (the runner quartet)
+MODES = ("ocl-native", "ocl->cuda", "cuda-native", "cuda->ocl")
+
+#: modes that execute through the CUDA framework (need supports_cuda)
+_CUDA_MODES = ("ocl->cuda", "cuda-native")
+
+
+class ProfileError(ReproError):
+    """The profiling run itself failed (bad app, failed verification)."""
+
+
+class InfeasibleOnDevice(ReproError):
+    """The profiled workload cannot run on the target device at all
+    (no CUDA support, work-group too large, shared memory over budget)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """Device-independent cost profile of one (app, mode) run."""
+
+    name: str                 # 'suite/app'
+    mode: str                 # one of MODES
+    launches: Tuple[LaunchProfile, ...]
+    api_calls: int
+    transfer_ops: int
+    transfer_bytes: int
+    #: the runner's sim_time on the capture device (validation anchor)
+    ref_time: float
+    ref_device: str
+
+    @property
+    def needs_cuda(self) -> bool:
+        return (self.mode in _CUDA_MODES
+                or any(lp.framework == "cuda" for lp in self.launches))
+
+
+def compiler_for(framework: str, spec: DeviceSpec) -> str:
+    """The compiler a framework resolves to on ``spec`` (mirrors
+    ``engine._launch_kernel_impl``)."""
+    return "nvcc" if framework == "cuda" else spec.opencl_compiler
+
+
+def capture_profile(app, mode: str,
+                    device: "str | DeviceSpec" = "titan") -> JobProfile:
+    """Run ``app`` once under ``mode`` on ``device``, capturing a profile.
+
+    The run is a normal harness run (modeled time, stdout and PASSED
+    verification unchanged); the profile rides along via
+    :func:`~repro.device.engine.launch_profiling`.
+    """
+    from ..harness.runner import (run_cuda_app, run_cuda_translated,
+                                  run_opencl_app, run_opencl_translated)
+    if mode not in MODES:
+        raise ProfileError(f"unknown mode {mode!r} (expected one of {MODES})")
+    sink = []
+    with launch_profiling(sink):
+        if mode == "ocl-native":
+            r = run_opencl_app(app.name, app.opencl_host, app.opencl_kernels,
+                               device=device)
+        elif mode == "ocl->cuda":
+            r = run_opencl_translated(app.name, app.opencl_host,
+                                      app.opencl_kernels, device=device)
+        elif mode == "cuda-native":
+            r = run_cuda_app(app.name, app.cuda_source, device=device)
+        else:
+            r = run_cuda_translated(app.name, app.cuda_source, device=device)
+    if not r.ok:
+        raise ProfileError(
+            f"profiling run of {app.suite}/{app.name} [{mode}] failed "
+            f"(exit={r.exit_code})")
+    return JobProfile(
+        name=f"{app.suite}/{app.name}", mode=mode,
+        launches=tuple(sink),
+        api_calls=r.api_calls,
+        transfer_ops=r.transfer_ops,
+        transfer_bytes=r.transfer_bytes,
+        ref_time=r.sim_time,
+        ref_device=r.device)
+
+
+def check_feasible(profile: JobProfile, spec: DeviceSpec) -> None:
+    """Raise :class:`InfeasibleOnDevice` if ``profile`` cannot run on
+    ``spec``.  Unlike ``calc_occupancy`` — which silently clamps oversized
+    blocks — an oversized work-group is a hard launch *error* on real
+    hardware, so the farm treats it as such."""
+    if profile.needs_cuda and not spec.supports_cuda:
+        raise InfeasibleOnDevice(f"{spec.name} does not support CUDA")
+    for lp in profile.launches:
+        if lp.threads_per_block > spec.max_workgroup_size:
+            raise InfeasibleOnDevice(
+                f"work-group {lp.threads_per_block} exceeds "
+                f"{spec.name} maximum {spec.max_workgroup_size} "
+                f"(kernel {lp.kernel})")
+        if lp.shared_per_block > spec.shared_per_cu:
+            raise InfeasibleOnDevice(
+                f"shared memory {lp.shared_per_block} B exceeds "
+                f"{spec.name} budget {spec.shared_per_cu} B "
+                f"(kernel {lp.kernel})")
+
+
+def estimate_run_time(profile: JobProfile, spec: DeviceSpec) -> float:
+    """Modeled execution time of ``profile`` on ``spec``, seconds.
+
+    Exact on the capture device (same arithmetic as the SimClock charges);
+    on other devices occupancy and registers are recomputed while memory
+    transaction counts are held from the capture — see module docstring.
+    Raises :class:`InfeasibleOnDevice` when the workload cannot run.
+    """
+    check_feasible(profile, spec)
+    t = profile.api_calls * spec.api_overhead
+    t += profile.transfer_ops * spec.pcie_lat
+    t += profile.transfer_bytes / spec.pcie_bw
+    for lp in profile.launches:
+        compiler = compiler_for(lp.framework, spec)
+        regs = lp.regs_by_compiler[compiler]
+        occ = calc_occupancy(spec, lp.threads_per_block, regs,
+                             lp.shared_per_block)
+        t += kernel_time(lp.counters, spec, occ).total
+    return t
+
+
+class ProfileStore:
+    """Capture-once cache of profiles keyed by (app key, mode).
+
+    The farm's profiling device defaults to the harness reference
+    ('titan' at the runners' SIM_SCALE); every scheduler/matrix cost on
+    any fleet member derives from the same capture, so a store-backed
+    matrix run executes each app exactly once.
+    """
+
+    def __init__(self, device: "str | DeviceSpec" = "titan") -> None:
+        self._device = device
+        self._profiles: Dict[Tuple[str, str], JobProfile] = {}
+        self._failures: Dict[Tuple[str, str], str] = {}
+
+    def get(self, app, mode: str) -> JobProfile:
+        key = (f"{app.suite}/{app.name}", mode)
+        if key in self._failures:
+            raise ProfileError(self._failures[key])
+        prof = self._profiles.get(key)
+        if prof is None:
+            try:
+                prof = capture_profile(app, mode, device=self._device)
+            except ProfileError as e:
+                self._failures[key] = str(e)
+                raise
+            self._profiles[key] = prof
+        return prof
+
+    def peek(self, name: str, mode: str) -> Optional[JobProfile]:
+        return self._profiles.get((name, mode))
+
+    def __len__(self) -> int:
+        return len(self._profiles)

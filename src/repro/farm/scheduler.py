@@ -1,0 +1,223 @@
+"""Perf-model-driven job placement onto the device farm.
+
+:class:`FarmScheduler` places translated-corpus jobs onto fleet devices
+using :func:`repro.farm.profile.estimate_run_time` — the same analytical
+roofline the engine charges — as the cost function.  The policy is the
+classic list-scheduling pair:
+
+* **LPT order**: jobs sorted by their best-case (minimum feasible) cost,
+  longest first, so big jobs are placed while the farm is still empty;
+* **earliest finish time**: each job goes to the (device, slot) where it
+  *finishes* soonest — which on a heterogeneous farm is not the emptiest
+  device but the one whose spec suits the job's roofline.
+
+Per-device ``concurrency`` limits are modeled as independent slots.
+Everything is deterministic: ties break on fleet order, then slot index,
+then job name — a schedule is a pure function of (jobs, fleet).
+
+:func:`round_robin_schedule` is the cost-blind baseline (next job -> next
+feasible device, cycling in fleet order); :func:`compare_schedules`
+computes the modeled-makespan win the benchmark gate enforces (>= 1.3x
+on the corpus, ``benchmarks/bench_farm.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .fleet import FarmDevice
+from .profile import InfeasibleOnDevice, JobProfile, estimate_run_time
+
+__all__ = ["FarmJob", "Placement", "Schedule", "FarmScheduler",
+           "round_robin_schedule", "compare_schedules", "render_schedule"]
+
+
+@dataclass(frozen=True)
+class FarmJob:
+    """One schedulable unit: a profiled (app, mode) run."""
+
+    name: str            # 'suite/app'
+    mode: str
+    profile: JobProfile
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} [{self.mode}]"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One job placed on one device slot."""
+
+    job: str             # FarmJob.label
+    device: str          # FarmDevice.key
+    slot: int
+    start: float
+    end: float
+
+    @property
+    def cost(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Schedule:
+    """A complete placement of a job list onto the fleet."""
+
+    placements: Tuple[Placement, ...]
+    makespan: float
+    #: device key -> total busy seconds (over all its slots)
+    busy: Dict[str, float] = field(default_factory=dict)
+    #: jobs feasible on no fleet device, with the per-device reasons
+    skipped: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def total_work(self) -> float:
+        return sum(p.cost for p in self.placements)
+
+
+def _cost_row(job: FarmJob, fleet: Sequence[FarmDevice]
+              ) -> Tuple[Dict[str, float], Dict[str, str]]:
+    """Per-device modeled cost of one job; infeasible devices map to a
+    reason string instead."""
+    costs: Dict[str, float] = {}
+    reasons: Dict[str, str] = {}
+    for dev in fleet:
+        try:
+            costs[dev.key] = estimate_run_time(job.profile, dev.spec)
+        except InfeasibleOnDevice as e:
+            reasons[dev.key] = e.reason
+    return costs, reasons
+
+
+class _Slots:
+    """Free-at times of every (device, slot), in fleet order."""
+
+    def __init__(self, fleet: Sequence[FarmDevice]) -> None:
+        self.fleet = list(fleet)
+        self.free: Dict[Tuple[str, int], float] = {
+            (d.key, s): 0.0 for d in fleet for s in range(d.concurrency)}
+
+    def place(self, job: FarmJob, dev_key: str, slot: int,
+              cost: float) -> Placement:
+        start = self.free[(dev_key, slot)]
+        end = start + cost
+        self.free[(dev_key, slot)] = end
+        return Placement(job=job.label, device=dev_key, slot=slot,
+                         start=start, end=end)
+
+    def earliest_slot(self, dev: FarmDevice) -> Tuple[int, float]:
+        best, best_t = 0, self.free[(dev.key, 0)]
+        for s in range(1, dev.concurrency):
+            t = self.free[(dev.key, s)]
+            if t < best_t:
+                best, best_t = s, t
+        return best, best_t
+
+    def finish(self, placements: List[Placement],
+               skipped: List[Tuple[str, str]]) -> Schedule:
+        busy: Dict[str, float] = {d.key: 0.0 for d in self.fleet}
+        for p in placements:
+            busy[p.device] += p.cost
+        makespan = max((p.end for p in placements), default=0.0)
+        return Schedule(placements=tuple(placements), makespan=makespan,
+                        busy=busy, skipped=tuple(skipped))
+
+
+class FarmScheduler:
+    """Greedy LPT + earliest-finish-time list scheduler over the fleet."""
+
+    def __init__(self, fleet: Sequence[FarmDevice]) -> None:
+        if not fleet:
+            raise ValueError("fleet must not be empty")
+        keys = [d.key for d in fleet]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate fleet keys in {keys}")
+        self.fleet = tuple(fleet)
+
+    def plan(self, jobs: Sequence[FarmJob]) -> Schedule:
+        rows = [(job, *_cost_row(job, self.fleet)) for job in jobs]
+        skipped = [(job.label, "; ".join(f"{k}: {r}"
+                                         for k, r in sorted(reasons.items())))
+                   for job, costs, reasons in rows if not costs]
+        feasible = [(job, costs) for job, costs, _ in rows if costs]
+        # LPT: longest (by best-case cost) first; name tie-break for
+        # determinism
+        feasible.sort(key=lambda jc: (-min(jc[1].values()), jc[0].label))
+
+        slots = _Slots(self.fleet)
+        placements: List[Placement] = []
+        for job, costs in feasible:
+            best: Optional[Tuple[float, int, int]] = None  # (end, devi, slot)
+            for i, dev in enumerate(self.fleet):
+                if dev.key not in costs:
+                    continue
+                slot, free_t = slots.earliest_slot(dev)
+                end = free_t + costs[dev.key]
+                if best is None or (end, i, slot) < best:
+                    best = (end, i, slot)
+            assert best is not None
+            _, devi, slot = best
+            dev = self.fleet[devi]
+            placements.append(slots.place(job, dev.key, slot,
+                                          costs[dev.key]))
+        return slots.finish(placements, skipped)
+
+
+def round_robin_schedule(jobs: Sequence[FarmJob],
+                         fleet: Sequence[FarmDevice]) -> Schedule:
+    """The cost-blind baseline: next job onto the next feasible device in
+    fleet order (its earliest slot), ignoring the perf model entirely."""
+    slots = _Slots(fleet)
+    placements: List[Placement] = []
+    skipped: List[Tuple[str, str]] = []
+    cursor = 0
+    for job in jobs:
+        costs, reasons = _cost_row(job, fleet)
+        if not costs:
+            skipped.append((job.label,
+                            "; ".join(f"{k}: {r}"
+                                      for k, r in sorted(reasons.items()))))
+            continue
+        for probe in range(len(fleet)):
+            dev = fleet[(cursor + probe) % len(fleet)]
+            if dev.key in costs:
+                slot, _ = slots.earliest_slot(dev)
+                placements.append(slots.place(job, dev.key, slot,
+                                              costs[dev.key]))
+                cursor = (cursor + probe + 1) % len(fleet)
+                break
+    return slots.finish(placements, skipped)
+
+
+def compare_schedules(jobs: Sequence[FarmJob],
+                      fleet: Sequence[FarmDevice]) -> Dict[str, float]:
+    """Modeled makespans of the scheduler vs the round-robin baseline on
+    the same jobs and fleet, plus their ratio (> 1 means the scheduler
+    wins)."""
+    planned = FarmScheduler(fleet).plan(jobs)
+    rr = round_robin_schedule(jobs, fleet)
+    ratio = (rr.makespan / planned.makespan
+             if planned.makespan > 0 else float("inf"))
+    return {"scheduler_makespan": planned.makespan,
+            "round_robin_makespan": rr.makespan,
+            "improvement": ratio}
+
+
+def render_schedule(schedule: Schedule, title: str = "farm schedule") -> str:
+    """Fixed-width, byte-stable rendering of one schedule."""
+    lines = [title, "=" * len(title)]
+    per_dev: Dict[str, List[Placement]] = {}
+    for p in schedule.placements:
+        per_dev.setdefault(p.device, []).append(p)
+    for dev in sorted(per_dev):
+        lines.append(f"{dev} (busy {schedule.busy.get(dev, 0.0) * 1e3:.3f} ms)")
+        for p in sorted(per_dev[dev], key=lambda p: (p.slot, p.start)):
+            lines.append(f"  slot {p.slot}: {p.start * 1e3:9.3f} -> "
+                         f"{p.end * 1e3:9.3f} ms  {p.job}")
+    for label, why in schedule.skipped:
+        lines.append(f"skipped {label}: {why}")
+    lines.append(f"makespan: {schedule.makespan * 1e3:.3f} ms "
+                 f"({len(schedule.placements)} jobs)")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Farm scheduling behind the translation service (PR 7 daemon).
+
+With ``ServiceConfig.farm_enabled`` the daemon hands every batch's
+successfully translated jobs to a :class:`FarmPlanner`, which maps them
+onto the simulated fleet (direction ``cuda2ocl`` runs as ``cuda->ocl``,
+``ocl2cuda`` as ``ocl->cuda``), plans a placement with the
+:class:`~repro.farm.scheduler.FarmScheduler`, and exports ``farm.*``
+metrics through the PR 4 observability registry:
+
+* ``farm.plans`` — placements computed;
+* ``farm.jobs{outcome=scheduled|unplaceable}`` — job fates;
+* ``farm.last_makespan_s`` / ``farm.last_improvement`` — the latest
+  plan's modeled makespan and its win over round-robin.
+
+Profiles are captured once per (app, mode) on the reference device and
+cached in the planner's :class:`~repro.farm.profile.ProfileStore`, so
+steady-state planning is pure arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from ..observability import get_metrics
+from .fleet import FarmDevice, default_fleet
+from .profile import ProfileError, ProfileStore
+from .scheduler import FarmJob, FarmScheduler, Schedule, \
+    round_robin_schedule
+
+__all__ = ["FarmPlanner", "DIRECTION_MODE"]
+
+#: translation direction -> the execution mode the translated app runs as
+DIRECTION_MODE = {"cuda2ocl": "cuda->ocl", "ocl2cuda": "ocl->cuda"}
+
+
+class FarmPlanner:
+    """Maps translated service batches onto the device farm."""
+
+    def __init__(self, fleet: Optional[Sequence[FarmDevice]] = None,
+                 store: Optional[ProfileStore] = None) -> None:
+        self.fleet = tuple(fleet) if fleet is not None else default_fleet()
+        self.store = store if store is not None else ProfileStore()
+        self.scheduler = FarmScheduler(self.fleet)
+        self.plans = 0
+        self.last_schedule: Optional[Schedule] = None
+        self.last_improvement: Optional[float] = None
+        self._unplaceable: Dict[str, str] = {}
+        m = get_metrics()
+        self._m_plans = m.counter("farm.plans")
+        self._m_scheduled = m.counter("farm.jobs", outcome="scheduled")
+        self._m_unplaceable = m.counter("farm.jobs", outcome="unplaceable")
+        self._m_skipped = m.counter("farm.jobs", outcome="infeasible")
+        self._g_makespan = m.gauge("farm.last_makespan_s")
+        self._g_improvement = m.gauge("farm.last_improvement")
+
+    def jobs_from_results(self, results: Sequence[Any]) -> List[FarmJob]:
+        """Profiled farm jobs for the successful translations in a batch.
+
+        Jobs that cannot be placed — unknown corpus app, direction with
+        no runnable mode, failed profiling run — are counted as
+        ``unplaceable`` and remembered with their reason; translation
+        *failures* are simply not farm work.
+        """
+        from ..apps.base import get_app
+        jobs: List[FarmJob] = []
+        for r in results:
+            if not getattr(r, "ok", False):
+                continue
+            label = f"{r.job.name} [{r.job.direction}]"
+            mode = DIRECTION_MODE.get(r.job.direction)
+            if mode is None:
+                self._note_unplaceable(
+                    label, f"unknown direction {r.job.direction!r}")
+                continue
+            suite, sep, name = r.job.name.partition("/")
+            if not sep:
+                self._note_unplaceable(label, "job name is not suite/app")
+                continue
+            try:
+                app = get_app(suite, name)
+            except KeyError:
+                self._note_unplaceable(label, "not a corpus app")
+                continue
+            try:
+                profile = self.store.get(app, mode)
+            except (ProfileError, ReproError) as e:
+                self._note_unplaceable(label, str(e))
+                continue
+            jobs.append(FarmJob(name=r.job.name, mode=mode, profile=profile))
+        return jobs
+
+    def _note_unplaceable(self, label: str, reason: str) -> None:
+        self._unplaceable[label] = reason
+        self._m_unplaceable.inc()
+
+    def plan(self, results: Sequence[Any]) -> Optional[Schedule]:
+        """Place a batch's translated jobs onto the fleet; None when the
+        batch contributed no farm work."""
+        jobs = self.jobs_from_results(results)
+        if not jobs:
+            return None
+        schedule = self.scheduler.plan(jobs)
+        rr = round_robin_schedule(jobs, self.fleet)
+        self.plans += 1
+        self.last_schedule = schedule
+        self.last_improvement = (rr.makespan / schedule.makespan
+                                 if schedule.makespan > 0 else None)
+        self._m_plans.inc()
+        self._m_scheduled.inc(len(schedule.placements))
+        if schedule.skipped:
+            self._m_skipped.inc(len(schedule.skipped))
+        self._g_makespan.set(schedule.makespan)
+        if self.last_improvement is not None:
+            self._g_improvement.set(self.last_improvement)
+        return schedule
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``/statsz`` farm section."""
+        out: Dict[str, Any] = {
+            "fleet": [d.key for d in self.fleet],
+            "plans": self.plans,
+            "profiles_cached": len(self.store),
+            "unplaceable": dict(sorted(self._unplaceable.items())),
+        }
+        if self.last_schedule is not None:
+            s = self.last_schedule
+            out["last_plan"] = {
+                "jobs": len(s.placements),
+                "makespan_s": s.makespan,
+                "improvement_vs_rr": self.last_improvement,
+                "per_device": {k: round(v, 9)
+                               for k, v in sorted(s.busy.items())},
+            }
+        return out

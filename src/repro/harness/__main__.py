@@ -12,6 +12,17 @@ span; ``--trace-out DIR`` flushes it explicitly and prints the paths of
 the Chrome trace (load ``trace.json`` at https://ui.perfetto.dev) and the
 JSONL span log — otherwise the atexit hook writes them to
 ``$REPRO_TRACE_DIR`` (default ``traces/``).
+
+Two device-farm subcommands (``repro.farm``)::
+
+    python -m repro.harness matrix              # portability/perf matrix
+    python -m repro.harness schedule            # farm schedule vs RR
+
+``matrix`` profiles the default app rows once on the reference device
+and renders the N-apps x M-devices portability matrix (modeled-time
+ratios + located Table-3 diagnostics); ``schedule`` places the profiled
+corpus jobs onto the fleet and reports the modeled-makespan win over the
+round-robin baseline.
 """
 
 from __future__ import annotations
@@ -28,7 +39,76 @@ from .report import (render_batch_stats, render_cache_stats,
 from .runner import corpus_jobs, shared_translation_cache, translate_corpus
 
 
+def _parse_app_keys(values: List[str]) -> List[tuple]:
+    keys = []
+    for v in values:
+        if "/" not in v:
+            raise SystemExit(f"bad app {v!r}: expected suite/name")
+        suite, name = v.split("/", 1)
+        keys.append((suite, name))
+    return keys
+
+
+def main_matrix(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness matrix",
+        description="Render the N-apps x M-devices portability/perf "
+                    "matrix over the simulated fleet.")
+    ap.add_argument("--app", action="append", default=[], metavar="SUITE/NAME",
+                    help="matrix row (repeatable; default: the curated "
+                         "paper-relevant row set)")
+    ap.add_argument("--device", action="append", default=[], metavar="KEY",
+                    help="fleet column (repeatable; default: whole fleet)")
+    args = ap.parse_args(argv)
+
+    from ..farm import build_matrix, default_fleet, render_matrix
+    fleet = default_fleet(keys=args.device or None)
+    apps = _parse_app_keys(args.app) if args.app else None
+    print(render_matrix(build_matrix(apps=apps, fleet=fleet)))
+    return 0
+
+
+def main_schedule(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness schedule",
+        description="Place the profiled corpus jobs onto the device farm "
+                    "and compare against the round-robin baseline.")
+    ap.add_argument("--app", action="append", default=[], metavar="SUITE/NAME",
+                    help="job source app (repeatable; default: the curated "
+                         "matrix row set)")
+    ap.add_argument("--device", action="append", default=[], metavar="KEY",
+                    help="fleet member (repeatable; default: whole fleet)")
+    args = ap.parse_args(argv)
+
+    from ..farm import (FarmScheduler, corpus_farm_jobs, default_fleet,
+                        round_robin_schedule)
+    from ..farm.scheduler import render_schedule
+    fleet = default_fleet(keys=args.device or None)
+    apps = _parse_app_keys(args.app) if args.app else None
+    jobs = corpus_farm_jobs(apps=apps)
+    planned = FarmScheduler(fleet).plan(jobs)
+    rr = round_robin_schedule(jobs, fleet)
+    print(render_schedule(planned, title="farm schedule (perf-model EFT)"))
+    print()
+    print(f"round-robin makespan: {rr.makespan * 1e3:.3f} ms")
+    if planned.makespan > 0:
+        print(f"modeled-makespan win: "
+              f"{rr.makespan / planned.makespan:.2f}x")
+    return 0
+
+
+#: farm subcommands dispatched before the flat translate-report CLI
+_SUBCOMMANDS = {"matrix": main_matrix, "schedule": main_schedule}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    args_in = list(sys.argv[1:] if argv is None else argv)
+    if args_in and args_in[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[args_in[0]](args_in[1:])
+    return main_report(args_in)
+
+
+def main_report(argv: List[str]) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Translate the app corpus and print batch/cache/pass "

@@ -113,6 +113,8 @@ class RunResult:
     breakdown: Dict[str, float] = field(default_factory=dict)
     api_calls: int = 0
     kernel_launches: int = 0
+    transfer_ops: int = 0
+    transfer_bytes: int = 0
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -142,6 +144,8 @@ def _finish(name: str, mode: str, spec: DeviceSpec, env: HostEnv,
         breakdown=dict(clock.by_category),
         api_calls=clock.api_call_count,
         kernel_launches=clock.kernel_launches,
+        transfer_ops=clock.transfer_ops,
+        transfer_bytes=clock.transfer_bytes,
         extra=extra or {},
     )
 

@@ -60,6 +60,10 @@ class ServiceConfig:
     # health/stats endpoint (asyncio HTTP on localhost)
     health_host: str = "127.0.0.1"
     health_port: Optional[int] = None   # None = no endpoint; 0 = ephemeral
+    # device farm (repro.farm): schedule translated batches onto the
+    # simulated fleet and export farm.* metrics.  Structural (start-time)
+    farm_enabled: bool = False
+    farm_devices: Optional[tuple] = None  # fleet-key subset; None = all
     # hot reload
     config_path: Optional[str] = None   # JSON file polled for changes
 

@@ -118,6 +118,13 @@ class TranslationService:
         self._runner = ThreadPoolExecutor(
             max_workers=self.config.max_concurrent_batches,
             thread_name_prefix="svc-batch")
+        self.farm = None
+        if self.config.farm_enabled:
+            from ..farm.fleet import default_fleet
+            from ..farm.service import FarmPlanner
+            keys = self.config.farm_devices
+            self.farm = FarmPlanner(
+                fleet=default_fleet(keys=tuple(keys) if keys else None))
         m = get_metrics()
         self._m_requests_ok = m.counter("service.requests", outcome="ok")
         self._m_requests_err = m.counter("service.requests", outcome="error")
@@ -318,6 +325,19 @@ class TranslationService:
         span.set(ok=sum(1 for r in results if r and r.ok),
                  fast_failed=len(blocked))
         assert all(r is not None for r in results)
+        if self.farm is not None:
+            # place the batch's translated jobs onto the simulated fleet;
+            # a farm problem must never fail the translation request
+            try:
+                schedule = self.farm.plan(results)
+                if schedule is not None:
+                    span.set(farm_jobs=len(schedule.placements),
+                             farm_makespan_s=schedule.makespan)
+            except Exception as e:   # pragma: no cover - defensive
+                get_metrics().counter("farm.plan_errors").inc()
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event("farm-plan-error", error=str(e))
         return results                  # type: ignore[return-value]
 
     # -- hot config reload ---------------------------------------------------
@@ -414,4 +434,6 @@ class TranslationService:
                 "admission": self.admission.snapshot(),
                 "breaker": self.breaker.snapshot(),
                 "cache": cache_stats,
+                "farm": (self.farm.snapshot()
+                         if self.farm is not None else None),
                 "metrics": get_metrics().snapshot()}

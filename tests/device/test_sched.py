@@ -214,7 +214,113 @@ class TestResolveWarpOp:
         assert r[0] == 1 << 1
 
 
+class TestPartialWarpShuffleEdges:
+    """Shuffles in the trailing short warp of a ``local_size % warp_size
+    != 0`` launch: sources beyond the populated lanes exist *geometrically*
+    (inside the width segment) but carry no value — the own-value fallback
+    must kick in, and segment clamping must still apply first."""
+
+    # a 10-lane trailing warp (e.g. local_size 42 on warp 32)
+    SHORT = 10
+
+    def _short(self, kind, delta, width=None):
+        args = (lambda p: (p, delta) if width is None else (p, delta, width))
+        return {p: WarpOp(kind, args(p), 1) for p in range(self.SHORT)}
+
+    def test_shfl_up_short_warp(self):
+        r = resolve_warp_op("shfl_up", self._short("shfl_up", 4), 32)
+        # lanes 0-3 would cross the segment start: own value
+        assert r == {0: 0, 1: 1, 2: 2, 3: 3,
+                     4: 0, 5: 1, 6: 2, 7: 3, 8: 4, 9: 5}
+
+    def test_shfl_down_short_warp_absent_sources(self):
+        r = resolve_warp_op("shfl_down", self._short("shfl_down", 4), 32)
+        # lanes 6-9 target lanes 10-13: inside the 32-lane segment, so no
+        # clamping — but those lanes do not exist in the short warp, and
+        # the own-value fallback applies
+        assert r == {0: 4, 1: 5, 2: 6, 3: 7, 4: 8, 5: 9,
+                     6: 6, 7: 7, 8: 8, 9: 9}
+
+    def test_shfl_xor_short_warp_absent_partners(self):
+        r = resolve_warp_op("shfl_xor", self._short("shfl_xor", 8), 32)
+        # 0^8=8 and 1^8=9 exist; 2..7 pair with absent 10..15; 8,9 pair
+        # back with 0,1
+        assert r == {0: 8, 1: 9, 2: 2, 3: 3, 4: 4, 5: 5, 6: 6, 7: 7,
+                     8: 0, 9: 1}
+
+    def test_shfl_broadcast_short_warp_absent_source(self):
+        # broadcast from lane 12 of a 10-lane warp: nobody has it
+        ops = {p: WarpOp("shfl", (p * 10, 12), 1) for p in range(self.SHORT)}
+        r = resolve_warp_op("shfl", ops, 32)
+        assert r == {p: p * 10 for p in range(self.SHORT)}
+
+    def test_width_zero_falls_back_to_warp_size(self):
+        # CUDA's default width arg is the warp size; a literal 0 must not
+        # produce a zero-wide segment (division by zero) but mean "whole
+        # warp"
+        ops = {p: WarpOp("shfl", (p * 10, 2, 0), 1) for p in range(8)}
+        r = resolve_warp_op("shfl", ops, 32)
+        assert set(r.values()) == {20}
+        ops = {p: WarpOp("shfl_down", (p, 4, 0), 1) for p in range(8)}
+        r = resolve_warp_op("shfl_down", ops, 32)
+        assert r == {0: 4, 1: 5, 2: 6, 3: 7, 4: 4, 5: 5, 6: 6, 7: 7}
+
+    def test_width_segments_clamp_before_absence(self):
+        # width=8 segments: lane 5's shfl_down(4) target (9) crosses its
+        # segment end -> own value even though lane 9 *is* populated
+        ops = {p: WarpOp("shfl_down", (p, 4, 8), 1) for p in range(16)}
+        r = resolve_warp_op("shfl_down", ops, 32)
+        assert r[3] == 7
+        assert r[5] == 5          # 5+4=9 is outside segment [0,8)
+        assert r[9] == 13         # second segment, within bounds
+        assert r[13] == 13        # 13+4=17 outside segment [8,16)
+
+    def test_shfl_up_segment_crossing_with_width(self):
+        ops = {p: WarpOp("shfl_up", (p, 2, 4), 1) for p in range(8)}
+        r = resolve_warp_op("shfl_up", ops, 32)
+        # each 4-lane segment restarts the crossing rule
+        assert r == {0: 0, 1: 1, 2: 0, 3: 1, 4: 4, 5: 5, 6: 4, 7: 5}
+
+    def test_shfl_xor_segment_boundary_with_width(self):
+        # width=4: 2^3=1 stays in segment; 3^3=0 stays; partner outside
+        # the segment end gets own value
+        ops = {p: WarpOp("shfl_xor", (p, 6, 4), 1) for p in range(4)}
+        r = resolve_warp_op("shfl_xor", ops, 32)
+        # 0^6=6, 1^6=7, 2^6=4, 3^6=5 — all >= seg+width(4): own values
+        assert r == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
 # ---------------------------------------------------------------------------
+# partial-warp shuffles through real kernel launches
+# ---------------------------------------------------------------------------
+
+
+_SHFL_SHORT_WARP = """
+__global__ void k(long* out) {
+  int t = threadIdx.x;
+  int u;
+  int d;
+  u = __shfl_up(t, 4);
+  d = __shfl_down(t, 4);
+  out[t] = (long)u * 100 + d;
+}
+"""
+
+
+@pytest.mark.parametrize("tier", ["interp", "compiled"])
+def test_shfl_short_trailing_warp_launch(dev, tier):
+    """local_size 42 = one full warp + a 10-lane trailing warp: the short
+    warp's segment rules and own-value fallbacks, end to end."""
+    out = _launch(dev, _SHFL_SHORT_WARP, 42, 42, tier=tier)
+    for t in range(42):
+        lane = t % 32
+        warp_lanes = range(32) if t < 32 else range(10)
+        up_src = lane - 4
+        up = (t - 4) if up_src >= 0 else t
+        dn_src = lane + 4
+        dn = (t + 4) if (dn_src < 32 and dn_src in warp_lanes) else t
+        assert int(out[t]) == up * 100 + dn, f"lane {t}"
+
 # warp primitives through real kernel launches (per-lane semantics)
 # ---------------------------------------------------------------------------
 

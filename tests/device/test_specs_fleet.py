@@ -1,0 +1,197 @@
+"""Fleet specs: datasheet constructors, scaled() monotonicity, lookup."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.specs import (DEVICE_SPECS, FLEET, GTX_680, GTX_980,
+                                GTX_1080, GTX_TITAN, HD7970, R9_290X,
+                                XEON_E5_2650, DeviceSpec,
+                                UnknownDeviceError, canonical_device_names,
+                                cpu_spec, gcn_spec, get_device_spec,
+                                nvidia_spec, validate_spec)
+
+#: latency fields scaled() must never increase either
+_LATENCIES = ("pcie_lat", "launch_overhead", "api_overhead")
+
+
+class TestScaledMonotonicity:
+    def test_pcie_bw_clamp_regression(self):
+        # scaled(4) used to divide pcie_bw by 4/8 = 0.5, *inflating* it
+        for spec in FLEET:
+            s = spec.scaled(4)
+            assert s.pcie_bw == spec.pcie_bw          # clamped divisor = 1
+            assert s.alu_flops == spec.alu_flops / 4
+
+    @given(st.floats(min_value=1.0, max_value=1e5,
+                     allow_nan=False, allow_infinity=False),
+           st.sampled_from(FLEET))
+    @settings(max_examples=120, deadline=None)
+    def test_no_rate_exceeds_datasheet(self, down, spec):
+        s = spec.scaled(down)
+        for name, scaled_rate in s.rates().items():
+            assert scaled_rate <= spec.rates()[name], \
+                f"{spec.name}.{name} inflated at down={down}"
+        for name in _LATENCIES:
+            assert getattr(s, name) <= getattr(spec, name)
+
+    @given(st.sampled_from(FLEET))
+    @settings(max_examples=7, deadline=None)
+    def test_scale_one_is_identity_on_rates(self, spec):
+        s = spec.scaled(1.0)
+        assert s.rates() == spec.rates()
+        for name in _LATENCIES:
+            assert getattr(s, name) == getattr(spec, name)
+
+    def test_architecture_unchanged(self):
+        s = GTX_TITAN.scaled(400)
+        assert s.warp_size == GTX_TITAN.warp_size
+        assert s.shared_banks == GTX_TITAN.shared_banks
+        assert s.shared_addr_mode == GTX_TITAN.shared_addr_mode
+        assert s.max_workgroup_size == GTX_TITAN.max_workgroup_size
+
+    def test_down_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            GTX_TITAN.scaled(0.5)
+
+
+class TestGetDeviceSpec:
+    def test_lookup_identity(self):
+        assert get_device_spec("titan") is GTX_TITAN
+        assert get_device_spec("HD7970") is HD7970
+        assert get_device_spec("gtx980") is GTX_980
+
+    def test_name_normalization(self):
+        # case, whitespace, hyphen/space vs underscore
+        assert get_device_spec("  Titan  ") is GTX_TITAN
+        assert get_device_spec("GTX-680") is GTX_680
+        assert get_device_spec("gtx 1080") is GTX_1080
+        assert get_device_spec("R9-290X") is R9_290X
+
+    def test_unknown_raises_keyerror_subclass(self):
+        with pytest.raises(KeyError):
+            get_device_spec("voodoo2")
+        with pytest.raises(UnknownDeviceError):
+            get_device_spec("voodoo2")
+
+    def test_no_chained_traceback(self):
+        # raise ... from None: a clean single-traceback error
+        with pytest.raises(UnknownDeviceError) as ei:
+            get_device_spec("voodoo2")
+        assert ei.value.__cause__ is None
+        assert ei.value.__suppress_context__
+
+    def test_message_renders_plainly(self):
+        # KeyError str()s through repr, wrapping the sentence in quotes;
+        # the subclass must not
+        with pytest.raises(UnknownDeviceError) as ei:
+            get_device_spec("voodoo2")
+        msg = str(ei.value)
+        assert msg.startswith("unknown device 'voodoo2'")
+        assert not msg.startswith('"')
+
+    def test_suggestions_deduplicate_aliases(self):
+        names = canonical_device_names()
+        # one suggestion per distinct spec, not one per alias
+        assert len(names) == len(FLEET)
+        assert len(names) < len(DEVICE_SPECS)
+        assert "titan" in names and "gtx_titan" not in names
+        with pytest.raises(UnknownDeviceError) as ei:
+            get_device_spec("voodoo2")
+        for n in names:
+            assert n in str(ei.value)
+
+
+class TestDatasheetConstructors:
+    def test_nvidia_constructor_reproduces_titan_table2(self):
+        # the GTX Titan datasheet inputs must land on the Table-2 values
+        # the module keeps as literals (GK110: 14 SMX x 192 cores @ 837
+        # MHz, 6.008 Gbps GDDR5 on a 384-bit bus)
+        built = nvidia_spec("check", sms=14, core_mhz=837.0,
+                            cores_per_sm=192, sfu_per_sm=32,
+                            mem_gbps=6.008, bus_bits=384, gmem_gib=6.0)
+        assert built.alu_flops == pytest.approx(GTX_TITAN.alu_flops, rel=0.01)
+        assert built.dram_bw == pytest.approx(GTX_TITAN.dram_bw, rel=0.01)
+        assert built.warp_size == 32
+
+    def test_gcn_constructor_reproduces_hd7970_table2(self):
+        built = gcn_spec("check", cus=32, core_mhz=925.0, mem_gbps=5.5,
+                         bus_bits=384, gmem_gib=3.0)
+        assert built.alu_flops == pytest.approx(HD7970.alu_flops, rel=0.01)
+        assert built.dram_bw == pytest.approx(HD7970.dram_bw, rel=0.01)
+        assert built.sfu_ops == pytest.approx(HD7970.sfu_ops, rel=0.01)
+        assert built.warp_size == 64
+        assert not built.supports_cuda
+
+    def test_bad_datasheet_input_fails_loudly(self):
+        with pytest.raises(ValueError, match="dram_bw"):
+            nvidia_spec("broken", sms=8, core_mhz=1000.0, cores_per_sm=192,
+                        sfu_per_sm=32, mem_gbps=-6.0, bus_bits=256,
+                        gmem_gib=2.0)
+        with pytest.raises(ValueError, match="max_workgroup_size"):
+            gcn_spec("broken", cus=32, core_mhz=925.0, mem_gbps=5.5,
+                     bus_bits=384, gmem_gib=3.0, max_block=32)
+
+    def test_validate_lists_every_problem(self):
+        import dataclasses
+        bad = dataclasses.replace(GTX_TITAN, warp_size=3, shared_banks=0)
+        with pytest.raises(ValueError) as ei:
+            validate_spec(bad)
+        assert "warp_size" in str(ei.value)
+        assert "shared_banks" in str(ei.value)
+
+
+class TestFleet:
+    def test_fleet_shape(self):
+        assert len(FLEET) == 7
+        assert len({s.name for s in FLEET}) == 7
+        for spec in FLEET:
+            validate_spec(spec)          # whole fleet passes validation
+
+    def test_every_fleet_spec_is_registered(self):
+        registered = {id(s) for s in DEVICE_SPECS.values()}
+        for spec in FLEET:
+            assert id(spec) in registered
+
+    def test_cpu_spec_has_no_lockstep_or_banking(self):
+        assert XEON_E5_2650.warp_size == 1
+        assert XEON_E5_2650.shared_banks == 1
+        assert not XEON_E5_2650.supports_cuda
+        assert XEON_E5_2650.opencl_compiler == "intel-opencl"
+        # no banking -> bank mode queries fall back to 32 for any framework
+        assert XEON_E5_2650.bank_mode("opencl") == 32
+
+    def test_maxwell_dropped_64bit_bank_mode(self):
+        # the paper's FT asymmetry (§6.2) exists on Kepler parts only
+        assert GTX_TITAN.bank_mode("cuda") == 64
+        assert GTX_680.bank_mode("cuda") == 64
+        assert GTX_980.bank_mode("cuda") == 32
+        assert GTX_1080.bank_mode("cuda") == 32
+        for spec in FLEET:
+            assert spec.bank_mode("opencl") == 32
+
+    def test_amd_specs_do_not_support_cuda(self):
+        assert not HD7970.supports_cuda
+        assert not R9_290X.supports_cuda
+        assert GTX_680.supports_cuda and GTX_1080.supports_cuda
+
+    def test_paper_literals_untouched(self):
+        # the two Table-2 devices anchor every published simulated time
+        assert GTX_TITAN.alu_flops == 4.5e12
+        assert GTX_TITAN.dram_bw == 288.4e9
+        assert GTX_TITAN.compute_units == 14
+        assert HD7970.alu_flops == 3.79e12
+        assert HD7970.dram_bw == 264.0e9
+        assert HD7970.max_workgroup_size == 256
+
+    def test_cpu_spec_constructor_arithmetic(self):
+        # 2 sockets x 8 cores x 8 AVX lanes x 2 (mul+add) x 2 GHz
+        assert XEON_E5_2650.alu_flops == pytest.approx(2 * 8 * 8 * 2 * 2e9)
+        assert XEON_E5_2650.compute_units == 16
+
+    def test_fresh_cpu_spec_validates(self):
+        built = cpu_spec("check", sockets=1, cores_per_socket=4,
+                         base_ghz=3.0, simd_f32_lanes=8,
+                         mem_gbps_per_socket=25.6, ram_gib=16.0)
+        assert built.warp_size == 1
+        assert built.occupancy_floor == 0.9

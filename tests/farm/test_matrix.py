@@ -1,0 +1,129 @@
+"""Portability matrix: completeness, diagnostics, byte-stable render."""
+
+import pytest
+
+from repro.apps.base import get_app
+from repro.farm.fleet import default_fleet
+from repro.farm.matrix import (build_matrix, corpus_farm_jobs,
+                               default_matrix_apps, modes_for,
+                               render_matrix)
+from repro.farm.profile import ProfileStore
+
+#: small app set exercising every cell kind without the full default run
+_APPS = [("rodinia", "gaussian"),     # OpenCL + translatable CUDA
+         ("toolkit", "vectorAdd"),    # both directions
+         ("toolkit", "inlinePTX")]    # CUDA-only, untranslatable (ptx)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return default_fleet()
+
+
+@pytest.fixture(scope="module")
+def matrix(fleet):
+    return build_matrix(apps=_APPS, fleet=fleet)
+
+
+class TestCells:
+    def test_every_cell_filled(self, matrix, fleet):
+        assert matrix.devices == tuple(d.key for d in fleet)
+        for app in matrix.apps:
+            for dev in matrix.devices:
+                assert (app, dev) in matrix.cells
+
+    def test_no_infeasible_cells(self, matrix):
+        # the acceptance bar: every cell is a modeled-time ratio or a
+        # located Table-3 diagnostic — never a bare '!!'
+        kinds = {c.kind for c in matrix.cells.values()}
+        assert "infeasible" not in kinds
+
+    def test_reference_ratio_is_one(self, matrix):
+        for app in matrix.apps:
+            c = matrix.cells[(app, matrix.reference)]
+            if c.kind == "time":
+                assert c.ratio == pytest.approx(1.0)
+
+    def test_time_cells_pick_most_native_mode(self, matrix):
+        c = matrix.cells[("rodinia/gaussian", "titan")]
+        assert c.kind == "time"
+        assert c.mode == "ocl-native"
+        # AMD cannot run CUDA natively but still gets a time via OpenCL
+        c = matrix.cells[("rodinia/gaussian", "hd7970")]
+        assert c.kind == "time"
+        assert c.mode == "ocl-native"
+
+    def test_untranslatable_app_gets_located_diagnostic(self, matrix):
+        app = get_app("toolkit", "inlinePTX")
+        assert app.fail_category is not None
+        c = matrix.cells[("toolkit/inlinePTX", "hd7970")]
+        assert c.kind == "diagnostic"
+        assert c.note == "ptx"
+        assert c.line is not None and c.line > 0
+        assert c.text().startswith("-- ptx@L")
+        # same diagnostic on the CPU column
+        assert matrix.cells[("toolkit/inlinePTX", "cpu")].kind \
+            == "diagnostic"
+
+    def test_nv_amd_ratio_present_for_portable_apps(self, matrix):
+        assert matrix.nv_amd_ratio["rodinia/gaussian"] is not None
+        assert matrix.nv_amd_ratio["rodinia/gaussian"] > 0
+        # untranslatable app never reaches AMD -> no cross-vendor ratio
+        assert matrix.nv_amd_ratio["toolkit/inlinePTX"] is None
+
+
+class TestDefaultMatrix:
+    def test_default_rows_resolve_and_cover_diagnostics(self):
+        rows = default_matrix_apps()
+        assert len(rows) >= 10
+        apps = [get_app(s, n) for s, n in rows]
+        # at least one untranslatable CUDA-only app rides along so the
+        # matrix always shows Table-3 diagnostics
+        assert any(a.has_cuda and not a.cuda_translatable for a in apps)
+        assert any(a.has_opencl for a in apps)
+
+    def test_modes_for_orders_most_native_first(self):
+        app = get_app("rodinia", "gaussian")
+        modes = modes_for(app)
+        assert modes[0] == "ocl-native"
+        assert "cuda->ocl" in modes
+        ptx = get_app("toolkit", "inlinePTX")
+        assert "cuda->ocl" not in modes_for(ptx)
+
+
+class TestRender:
+    def test_render_byte_stable_across_builds(self, fleet):
+        a = render_matrix(build_matrix(apps=_APPS, fleet=fleet))
+        b = render_matrix(build_matrix(apps=_APPS, fleet=fleet))
+        assert a == b
+
+    def test_render_shape(self, matrix):
+        text = render_matrix(matrix)
+        lines = text.splitlines()
+        assert "nv->amd" in lines[3]                 # header row
+        assert "titan*" in lines[3]                  # reference marked
+        for app in matrix.apps:
+            assert any(line.startswith(app) for line in lines)
+        assert "0 infeasible cells" in lines[-1]
+
+    def test_profile_store_shared_across_cells(self, fleet):
+        # each (app, mode) is executed exactly once however many devices
+        # re-cost it
+        store = ProfileStore()
+        build_matrix(apps=_APPS, fleet=fleet, store=store)
+        per_app_modes = sum(
+            len(modes_for(get_app(s, n))) for s, n in _APPS)
+        assert len(store) <= per_app_modes
+
+
+class TestCorpusJobs:
+    def test_jobs_cover_runnable_modes(self):
+        jobs = corpus_farm_jobs(apps=[("rodinia", "gaussian")])
+        modes = {j.mode for j in jobs}
+        assert "ocl-native" in modes
+        assert "cuda->ocl" in modes
+        assert all(j.name == "rodinia/gaussian" for j in jobs)
+
+    def test_unrunnable_apps_contribute_nothing(self):
+        jobs = corpus_farm_jobs(apps=[("toolkit", "inlinePTX")])
+        assert jobs == []

@@ -1,0 +1,145 @@
+"""Profile capture and cross-device cost estimation."""
+
+import pytest
+
+from repro.apps.base import get_app
+from repro.device.engine import LaunchProfile
+from repro.device.occupancy import KNOWN_COMPILERS
+from repro.device.perf import PerfCounters
+from repro.device.specs import get_device_spec
+from repro.farm.fleet import fleet_specs
+from repro.farm.profile import (InfeasibleOnDevice, JobProfile,
+                                ProfileError, ProfileStore, capture_profile,
+                                compiler_for, estimate_run_time)
+from repro.harness.runner import SIM_SCALE, run_opencl_app
+
+
+@pytest.fixture(scope="module")
+def gaussian():
+    return get_app("rodinia", "gaussian")
+
+
+@pytest.fixture(scope="module")
+def gaussian_profile(gaussian):
+    return capture_profile(gaussian, "ocl-native")
+
+
+class TestCapture:
+    def test_profile_shape(self, gaussian_profile):
+        p = gaussian_profile
+        assert p.name == "rodinia/gaussian"
+        assert p.mode == "ocl-native"
+        assert p.launches, "kernel launches must be captured"
+        assert p.api_calls > 0
+        assert p.transfer_bytes > 0
+        assert p.ref_time > 0
+        for lp in p.launches:
+            assert isinstance(lp, LaunchProfile)
+            assert lp.framework == "opencl"
+            assert set(lp.regs_by_compiler) == set(KNOWN_COMPILERS)
+            assert lp.threads_per_block > 0
+
+    def test_capture_is_observational(self, gaussian):
+        # a profiled run and a plain run model identical times
+        r = run_opencl_app(gaussian.name, gaussian.opencl_host,
+                           gaussian.opencl_kernels)
+        p = capture_profile(gaussian, "ocl-native")
+        assert p.ref_time == r.sim_time
+
+    def test_unknown_mode_rejected(self, gaussian):
+        with pytest.raises(ProfileError, match="unknown mode"):
+            capture_profile(gaussian, "warp-drive")
+
+    def test_cuda_translated_capture(self, gaussian):
+        p = capture_profile(gaussian, "cuda->ocl")
+        assert p.mode == "cuda->ocl"
+        assert not p.needs_cuda      # runs through OpenCL everywhere
+        assert p.launches
+
+    def test_cuda_native_capture_needs_cuda(self, gaussian):
+        p = capture_profile(gaussian, "cuda-native")
+        assert p.needs_cuda
+
+
+class TestEstimate:
+    def test_exact_on_capture_device(self, gaussian_profile):
+        # the estimator is the SimClock arithmetic regrouped: on the
+        # device the profile came from it must reproduce sim_time
+        spec = get_device_spec("titan").scaled(SIM_SCALE)
+        est = estimate_run_time(gaussian_profile, spec)
+        assert est == pytest.approx(gaussian_profile.ref_time, rel=1e-9)
+
+    def test_estimates_differ_across_fleet(self, gaussian_profile):
+        specs = fleet_specs()
+        times = {k: estimate_run_time(gaussian_profile, s)
+                 for k, s in specs.items()}
+        assert len(set(times.values())) > 1
+        # the CPU device is the slowest home for a GPU-shaped kernel
+        assert times["cpu"] == max(times.values())
+
+    def test_estimate_deterministic(self, gaussian_profile):
+        spec = fleet_specs()["gtx980"]
+        assert estimate_run_time(gaussian_profile, spec) \
+            == estimate_run_time(gaussian_profile, spec)
+
+    def test_cuda_profile_infeasible_on_amd(self, gaussian):
+        p = capture_profile(gaussian, "cuda-native")
+        with pytest.raises(InfeasibleOnDevice, match="CUDA"):
+            estimate_run_time(p, fleet_specs()["hd7970"])
+
+    def test_oversized_block_infeasible(self):
+        lp = LaunchProfile(
+            kernel="big", framework="opencl",
+            counters=PerfCounters(work_items=512, flops=512),
+            threads_per_block=512, shared_per_block=0,
+            regs_by_compiler={c: 16 for c in KNOWN_COMPILERS})
+        prof = JobProfile(name="synth/big", mode="ocl-native",
+                          launches=(lp,), api_calls=1, transfer_ops=0,
+                          transfer_bytes=0, ref_time=1.0,
+                          ref_device="titan")
+        # HD7970 caps work-groups at 256 — a hard launch error, not a
+        # silent occupancy clamp
+        with pytest.raises(InfeasibleOnDevice, match="work-group"):
+            estimate_run_time(prof, fleet_specs()["hd7970"])
+        assert estimate_run_time(prof, fleet_specs()["titan"]) > 0
+
+    def test_oversized_shared_infeasible(self):
+        lp = LaunchProfile(
+            kernel="fat", framework="opencl",
+            counters=PerfCounters(work_items=64),
+            threads_per_block=64, shared_per_block=56 * 1024,
+            regs_by_compiler={c: 16 for c in KNOWN_COMPILERS})
+        prof = JobProfile(name="synth/fat", mode="ocl-native",
+                          launches=(lp,), api_calls=1, transfer_ops=0,
+                          transfer_bytes=0, ref_time=1.0,
+                          ref_device="titan")
+        # 56 KiB of local memory fits the HD7970's 64 KiB LDS but not the
+        # Titan's 48 KiB shared memory
+        with pytest.raises(InfeasibleOnDevice, match="shared memory"):
+            estimate_run_time(prof, fleet_specs()["titan"])
+        assert estimate_run_time(prof, fleet_specs()["hd7970"]) > 0
+
+    def test_compiler_for(self):
+        specs = fleet_specs()
+        assert compiler_for("cuda", specs["titan"]) == "nvcc"
+        assert compiler_for("opencl", specs["titan"]) == "nvidia-opencl"
+        assert compiler_for("opencl", specs["hd7970"]) == "amd-opencl"
+        assert compiler_for("opencl", specs["cpu"]) == "intel-opencl"
+
+
+class TestStore:
+    def test_capture_once(self, gaussian):
+        store = ProfileStore()
+        p1 = store.get(gaussian, "ocl-native")
+        p2 = store.get(gaussian, "ocl-native")
+        assert p1 is p2
+        assert len(store) == 1
+        assert store.peek("rodinia/gaussian", "ocl-native") is p1
+        assert store.peek("rodinia/gaussian", "cuda->ocl") is None
+
+    def test_failures_remembered(self):
+        store = ProfileStore()
+        app = get_app("toolkit", "inlinePTX")   # not natively runnable
+        with pytest.raises(Exception):
+            store.get(app, "cuda-native")
+        assert len(store) == 0

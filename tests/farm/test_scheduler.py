@@ -1,0 +1,158 @@
+"""FarmScheduler: LPT/EFT placement, concurrency, RR baseline."""
+
+import pytest
+
+from repro.device.engine import LaunchProfile
+from repro.device.occupancy import KNOWN_COMPILERS
+from repro.device.perf import PerfCounters
+from repro.farm.fleet import FarmDevice, default_fleet, fleet_specs
+from repro.farm.matrix import corpus_farm_jobs
+from repro.farm.profile import JobProfile, estimate_run_time
+from repro.farm.scheduler import (FarmJob, FarmScheduler, compare_schedules,
+                                  render_schedule, round_robin_schedule)
+
+
+def synth_job(name, flops, mode="ocl-native", framework="opencl",
+              threads=256, shared=0):
+    """A synthetic job whose cost is dominated by ``flops`` ALU work."""
+    lp = LaunchProfile(
+        kernel="k", framework=framework,
+        counters=PerfCounters(work_items=threads, flops=flops),
+        threads_per_block=threads, shared_per_block=shared,
+        regs_by_compiler={c: 16 for c in KNOWN_COMPILERS})
+    prof = JobProfile(name=name, mode=mode, launches=(lp,), api_calls=4,
+                      transfer_ops=2, transfer_bytes=1 << 20,
+                      ref_time=0.0, ref_device="titan")
+    return FarmJob(name=name, mode=mode, profile=prof)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return default_fleet()
+
+
+class TestPlan:
+    def test_every_feasible_job_placed_once(self, fleet):
+        jobs = [synth_job(f"synth/j{i}", flops=(i + 1) * 1e7)
+                for i in range(10)]
+        sched = FarmScheduler(fleet).plan(jobs)
+        assert not sched.skipped
+        assert sorted(p.job for p in sched.placements) \
+            == sorted(j.label for j in jobs)
+
+    def test_no_slot_overlap(self, fleet):
+        jobs = [synth_job(f"synth/j{i}", flops=(i % 3 + 1) * 1e8)
+                for i in range(20)]
+        sched = FarmScheduler(fleet).plan(jobs)
+        by_slot = {}
+        for p in sched.placements:
+            by_slot.setdefault((p.device, p.slot), []).append(p)
+        for ps in by_slot.values():
+            ps.sort(key=lambda p: p.start)
+            for a, b in zip(ps, ps[1:]):
+                assert a.end <= b.start
+        assert sched.makespan == max(p.end for p in sched.placements)
+
+    def test_deterministic(self, fleet):
+        jobs = [synth_job(f"synth/j{i}", flops=(i * 37 % 11 + 1) * 1e7)
+                for i in range(15)]
+        a = FarmScheduler(fleet).plan(jobs)
+        b = FarmScheduler(fleet).plan(jobs)
+        assert a.placements == b.placements
+        assert a.makespan == b.makespan
+        assert render_schedule(a) == render_schedule(b)
+
+    def test_first_job_lands_on_its_cheapest_device(self, fleet):
+        # a lone job on an empty farm must go where the perf model says
+        # it finishes soonest
+        job = synth_job("synth/big", flops=5e9)
+        sched = FarmScheduler(fleet).plan([job])
+        costs = {d.key: estimate_run_time(job.profile, d.spec)
+                 for d in fleet}
+        assert sched.placements[0].device == min(costs, key=costs.get)
+
+    def test_cuda_job_avoids_non_cuda_devices(self, fleet):
+        nvidia = {d.key for d in fleet if d.spec.supports_cuda}
+        jobs = [synth_job(f"synth/c{i}", flops=1e8, mode="cuda-native",
+                          framework="cuda") for i in range(8)]
+        sched = FarmScheduler(fleet).plan(jobs)
+        assert not sched.skipped
+        assert {p.device for p in sched.placements} <= nvidia
+
+    def test_infeasible_everywhere_is_skipped_with_reasons(self, fleet):
+        bad = synth_job("synth/huge", flops=1e8, threads=4096)
+        ok = synth_job("synth/ok", flops=1e8)
+        sched = FarmScheduler(fleet).plan([bad, ok])
+        assert len(sched.placements) == 1
+        assert len(sched.skipped) == 1
+        label, why = sched.skipped[0]
+        assert label == bad.label
+        assert "work-group" in why
+        # per-device reasons, one per fleet member
+        for d in fleet:
+            assert d.key in why
+
+    def test_concurrency_slots_overlap(self):
+        specs = fleet_specs()
+        fleet = (FarmDevice(key="cpu", spec=specs["cpu"], concurrency=2),)
+        jobs = [synth_job(f"synth/j{i}", flops=1e8) for i in range(2)]
+        sched = FarmScheduler(fleet).plan(jobs)
+        # with two slots both jobs start at t=0 on different slots
+        assert {p.slot for p in sched.placements} == {0, 1}
+        assert all(p.start == 0.0 for p in sched.placements)
+
+    def test_fleet_validation(self, fleet):
+        with pytest.raises(ValueError, match="empty"):
+            FarmScheduler(())
+        with pytest.raises(ValueError, match="duplicate"):
+            FarmScheduler((fleet[0], fleet[0]))
+        with pytest.raises(ValueError, match="concurrency"):
+            FarmDevice(key="x", spec=fleet[0].spec, concurrency=0)
+
+
+class TestBaseline:
+    def test_round_robin_cycles_fleet_order(self, fleet):
+        jobs = [synth_job(f"synth/j{i}", flops=1e8)
+                for i in range(len(fleet))]
+        sched = round_robin_schedule(jobs, fleet)
+        # cost-blind: one job per device, in fleet order
+        assert [p.device for p in sched.placements] \
+            == [d.key for d in fleet]
+
+    def test_round_robin_skips_infeasible_devices(self, fleet):
+        jobs = [synth_job(f"synth/c{i}", flops=1e8, mode="cuda-native",
+                          framework="cuda") for i in range(6)]
+        sched = round_robin_schedule(jobs, fleet)
+        nvidia = {d.key for d in fleet if d.spec.supports_cuda}
+        assert {p.device for p in sched.placements} <= nvidia
+        assert len(sched.placements) == 6
+
+    def test_scheduler_beats_round_robin_on_synthetic_mix(self, fleet):
+        # a skewed mix: RR parks work on the CPU device blindly, the
+        # scheduler only uses it when the queue on the GPUs is worth it
+        jobs = [synth_job(f"synth/j{i}", flops=(i % 5 + 1) * 4e8)
+                for i in range(24)]
+        cmp = compare_schedules(jobs, fleet)
+        assert cmp["improvement"] > 1.0
+        assert cmp["scheduler_makespan"] < cmp["round_robin_makespan"]
+
+    def test_scheduler_beats_round_robin_on_corpus_slice(self, fleet):
+        jobs = corpus_farm_jobs(apps=[("rodinia", "gaussian"),
+                                      ("rodinia", "nw"),
+                                      ("toolkit", "matrixMul"),
+                                      ("toolkit", "vectorAdd")])
+        assert len(jobs) >= 8      # several modes per app
+        cmp = compare_schedules(jobs, fleet)
+        assert cmp["improvement"] > 1.0
+
+
+class TestRender:
+    def test_render_is_byte_stable_and_complete(self, fleet):
+        jobs = [synth_job(f"synth/j{i}", flops=(i + 1) * 1e8)
+                for i in range(6)]
+        sched = FarmScheduler(fleet).plan(jobs)
+        text = render_schedule(sched)
+        assert text == render_schedule(FarmScheduler(fleet).plan(jobs))
+        for j in jobs:
+            assert j.label in text
+        assert "makespan:" in text

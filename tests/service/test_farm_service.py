@@ -1,0 +1,133 @@
+"""Farm planning behind the translation daemon (farm_enabled)."""
+
+from __future__ import annotations
+
+import asyncio
+from types import SimpleNamespace
+
+from repro.apps.base import get_app
+from repro.farm.fleet import default_fleet
+from repro.farm.service import DIRECTION_MODE, FarmPlanner
+from repro.observability import get_metrics
+from repro.pipeline.batch import TranslationJob
+from repro.service import ServiceConfig, TranslationService
+
+
+def _result(name, direction="cuda2ocl", ok=True):
+    return SimpleNamespace(ok=ok,
+                           job=SimpleNamespace(name=name,
+                                               direction=direction))
+
+
+def _corpus_jobs():
+    apps = [("rodinia", "gaussian"), ("rodinia", "nw"),
+            ("toolkit", "vectorAdd")]
+    return [TranslationJob(name=f"{s}/{n}", direction="cuda2ocl",
+                           source=get_app(s, n).cuda_source)
+            for s, n in apps]
+
+
+class TestFarmPlanner:
+    def test_plan_places_translated_corpus_jobs(self):
+        planner = FarmPlanner()
+        results = [_result("rodinia/gaussian"), _result("toolkit/vectorAdd"),
+                   _result("rodinia/nw", direction="ocl2cuda")]
+        sched = planner.plan(results)
+        assert sched is not None
+        assert len(sched.placements) == 3
+        assert planner.plans == 1
+        assert planner.last_improvement is not None
+        # one profile per (app, mode) was captured and cached
+        assert len(planner.store) == 3
+        snap = planner.snapshot()
+        assert snap["plans"] == 1
+        assert snap["last_plan"]["jobs"] == 3
+        assert snap["last_plan"]["improvement_vs_rr"] \
+            == planner.last_improvement
+        assert set(snap["fleet"]) == {d.key for d in default_fleet()}
+
+    def test_direction_maps_to_translated_mode(self):
+        planner = FarmPlanner()
+        jobs = planner.jobs_from_results([_result("rodinia/gaussian")])
+        assert jobs[0].mode == DIRECTION_MODE["cuda2ocl"] == "cuda->ocl"
+
+    def test_failed_translations_are_not_farm_work(self):
+        planner = FarmPlanner()
+        assert planner.plan([_result("rodinia/gaussian", ok=False)]) is None
+        assert planner.plans == 0
+
+    def test_unplaceable_jobs_counted_with_reasons(self):
+        planner = FarmPlanner()
+        before = get_metrics().counter("farm.jobs",
+                                       outcome="unplaceable").value
+        results = [_result("nosuite/nope"),            # not a corpus app
+                   _result("flat-name"),               # no suite/ prefix
+                   _result("rodinia/gaussian", direction="sideways")]
+        assert planner.plan(results) is None
+        after = get_metrics().counter("farm.jobs",
+                                      outcome="unplaceable").value
+        assert after - before == 3
+        snap = planner.snapshot()
+        assert len(snap["unplaceable"]) == 3
+        assert snap["unplaceable"]["nosuite/nope [cuda2ocl]"] \
+            == "not a corpus app"
+
+    def test_profiles_cached_across_plans(self):
+        planner = FarmPlanner()
+        planner.plan([_result("rodinia/gaussian")])
+        prof = planner.store.peek("rodinia/gaussian", "cuda->ocl")
+        planner.plan([_result("rodinia/gaussian")])
+        assert planner.store.peek("rodinia/gaussian", "cuda->ocl") is prof
+        assert planner.plans == 2
+
+    def test_custom_fleet_subset(self):
+        planner = FarmPlanner(fleet=default_fleet(keys=("titan", "hd7970")))
+        sched = planner.plan([_result("rodinia/gaussian")])
+        assert sched.placements[0].device in {"titan", "hd7970"}
+
+
+class TestDaemonIntegration:
+    def test_farm_disabled_by_default(self):
+        async def main():
+            cfg = ServiceConfig(pool_workers=2, warm_pool=False,
+                                health_port=None)
+            async with TranslationService(cfg) as svc:
+                assert svc.farm is None
+                await svc.submit(_corpus_jobs()[:1], client="a")
+                assert svc.stats_snapshot()["farm"] is None
+        asyncio.run(main())
+
+    def test_farm_enabled_plans_every_batch(self):
+        async def main():
+            m = get_metrics()
+            plans_before = m.counter("farm.plans").value
+            sched_before = m.counter("farm.jobs", outcome="scheduled").value
+            cfg = ServiceConfig(pool_workers=2, warm_pool=False,
+                                health_port=None, farm_enabled=True)
+            async with TranslationService(cfg) as svc:
+                results = await svc.submit(_corpus_jobs(), client="a")
+                assert all(r.ok for r in results)
+                snap = svc.stats_snapshot()["farm"]
+                assert snap["plans"] == 1
+                assert snap["profiles_cached"] == 3
+                assert snap["last_plan"]["jobs"] == 3
+                assert snap["last_plan"]["makespan_s"] > 0
+                assert snap["last_plan"]["improvement_vs_rr"] >= 1.0
+                assert snap["last_plan"]["per_device"]
+            assert m.counter("farm.plans").value == plans_before + 1
+            assert m.counter("farm.jobs", outcome="scheduled").value \
+                == sched_before + 3
+        asyncio.run(main())
+
+    def test_farm_devices_config_restricts_fleet(self):
+        async def main():
+            cfg = ServiceConfig(pool_workers=2, warm_pool=False,
+                                health_port=None, farm_enabled=True,
+                                farm_devices=("titan", "gtx1080"))
+            async with TranslationService(cfg) as svc:
+                await svc.submit(_corpus_jobs()[:2], client="a")
+                snap = svc.stats_snapshot()["farm"]
+                assert snap["fleet"] == ["titan", "gtx1080"]
+                assert set(snap["last_plan"]["per_device"]) \
+                    == {"titan", "gtx1080"}
+        asyncio.run(main())
