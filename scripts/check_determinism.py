@@ -39,12 +39,21 @@ scratch (fresh profile captures included) and their rendered text must
 match byte-for-byte — a matrix cell or placement that moves between runs
 would make the published fleet comparison unreproducible.
 
+``--debug`` extends the gate to the interactive debugger
+(``repro.debug``): a fixed pair of scripted sessions — the FT
+bank-conflict walk and a gaussian stepping session through the
+forced-demotion path — is replayed twice from scratch and the full
+transcripts (stop reports, bank views, program output) must match
+byte-for-byte, the property the golden suite under ``tests/debug/``
+assumes.
+
 Exit status 0 on success, 1 on any divergence.  Run from the repo root::
 
     PYTHONPATH=src python scripts/check_determinism.py
     PYTHONPATH=src python scripts/check_determinism.py --fault-plan smoke --trace
     PYTHONPATH=src python scripts/check_determinism.py --exec-tier both
     PYTHONPATH=src python scripts/check_determinism.py --farm
+    PYTHONPATH=src python scripts/check_determinism.py --debug
 """
 
 from __future__ import annotations
@@ -260,6 +269,63 @@ def check_farm(runs) -> int:
     return problems
 
 
+#: the debugger smoke plan: one session per stop flavor — breakpoints +
+#: epoch stepping + bank view on FT, lane/warp stepping through the
+#: forced-demotion path on gaussian
+DEBUG_SMOKE_SESSIONS = (
+    ("npb", "FT", "cffts1", None,
+     ("break 11", "run", "epoch", "lanes", "print partner",
+      "banks lre[partner]", "quit")),
+    ("rodinia", "gaussian", "fan1", "vector",
+     ("break 5", "run", "locals", "stepw", "continue", "print i",
+      "info", "quit")),
+)
+
+
+def debug_snapshot():
+    """Replay every debugger smoke session from scratch."""
+    from repro.debug.session import run_script
+    snap = {}
+    for suite, name, kernel, tier, commands in DEBUG_SMOKE_SESSIONS:
+        transcript, result = run_script(suite, name, kernel, list(commands),
+                                        exec_tier=tier)
+        snap[f"{suite}/{name}:{kernel}"] = (transcript, result is not None
+                                            and result.ok)
+    return snap
+
+
+def check_debug(runs) -> int:
+    """The debugger byte-stability contract: independent replays of the
+    scripted sessions emit identical transcripts, and the debugged
+    programs still pass their own verification."""
+    t0 = time.perf_counter()
+    base = debug_snapshot()
+    lines = sum(len(t.splitlines()) for t, _ in base.values())
+    print(f"debug pass 1: {len(base)} sessions, {lines} transcript lines, "
+          f"{time.perf_counter() - t0:.2f}s")
+    problems = 0
+    for key, (_, ok) in sorted(base.items()):
+        if not ok:
+            problems += 1
+            print(f"DEBUG FAILURE {key}: program did not pass under the "
+                  f"debugger")
+    for i in range(max(2, runs + 1) - 1):
+        t0 = time.perf_counter()
+        rerun = debug_snapshot()
+        print(f"debug pass {i + 2}: {time.perf_counter() - t0:.2f}s")
+        for key in sorted(base):
+            if base[key][0] == rerun[key][0]:
+                continue
+            problems += 1
+            print(f"DEBUG DIVERGENCE {key} (pass 1 vs pass {i + 2}):")
+            udiff = difflib.unified_diff(
+                base[key][0].splitlines(), rerun[key][0].splitlines(),
+                lineterm="", n=1)
+            for line in list(udiff)[:16]:
+                print(f"  {line}")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="serial-vs-parallel translation determinism check")
@@ -291,6 +357,10 @@ def main(argv=None) -> int:
                         help="also build the portability matrix and the "
                              "corpus farm schedule twice from scratch and "
                              "require byte-identical rendered output")
+    parser.add_argument("--debug", action="store_true",
+                        help="also replay the scripted debugger smoke "
+                             "sessions twice from scratch and require "
+                             "byte-identical transcripts")
     parser.add_argument("--trace", action="store_true",
                         help="record the parallel passes with a tracer; "
                              "results must stay byte-identical to the "
@@ -343,6 +413,9 @@ def main(argv=None) -> int:
 
     if args.farm:
         problems += check_farm(args.runs)
+
+    if args.debug:
+        problems += check_debug(args.runs)
 
     if tracer is not None:
         spans = tracer.export_spans()

@@ -27,7 +27,7 @@ from .dialect import Dialect, get_dialect
 from .sema import annotate_unit, resolve_conversion
 from .stdlib import swizzle_indices
 
-__all__ = ["ExecEnv", "Stack", "Interp", "BARRIER", "WarpOp",
+__all__ = ["ExecEnv", "Stack", "Interp", "BARRIER", "WarpOp", "DebugTrap",
            "WARP_OP_KINDS"]
 
 #: token yielded at barriers
@@ -56,6 +56,28 @@ class WarpOp:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"WarpOp({self.kind}, site={self.site})"
+
+
+class DebugTrap:
+    """Suspension token for a debugger stop.
+
+    When an :class:`Interp` has a ``debug_sink`` attached and the sink asks
+    to stop at a statement, the interpreter yields one of these *before*
+    executing the statement and suspends.  The warp scheduler parks the
+    lane (stop-the-world within the work-group) and hands control to the
+    debugger, which inspects live frames through ``interp`` and resumes
+    with ``gen.send(None)`` — the statement then executes normally, so no
+    re-trap guard is needed on resume.
+    """
+
+    __slots__ = ("interp", "node")
+
+    def __init__(self, interp: "Interp", node: A.Node) -> None:
+        self.interp = interp
+        self.node = node
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DebugTrap(line={self.node.loc[0]})"
 
 
 #: CUDA warp-primitive name -> :class:`WarpOp` kind.  The device
@@ -358,6 +380,11 @@ class Interp:
         self.globals_mem = globals_mem
         self.steps = 0
         self.max_steps = _MAX_STEPS_DEFAULT
+        #: debugger attachment point: an object with
+        #: ``should_stop(interp, stmt) -> bool``, consulted before every
+        #: non-compound statement.  None (the default) costs one attribute
+        #: load per statement.
+        self.debug_sink: Optional[Any] = None
 
     # -- globals ---------------------------------------------------------------
 
@@ -427,6 +454,35 @@ class Interp:
         n = ptr.ctype.size or 1
         ptr.mem.write_bytes(ptr.off, b"\0" * n)
 
+    # -- debugger entry points ---------------------------------------------------
+
+    def parse_source_expr(self, src: str) -> A.Node:
+        """Parse ``src`` as one expression in this unit's dialect."""
+        # lazy: the interpreter normally receives pre-parsed ASTs
+        from .parser import Parser
+        p = Parser(src, self.dialect)
+        node = p.parse_expr()
+        tok = p.peek()
+        if tok.kind != "eof":
+            raise InterpError(
+                f"trailing input after expression: {tok.text!r}")
+        return node
+
+    def eval_source(self, src: str) -> Any:
+        """Evaluate a C-like expression string against the live top frame.
+
+        The debugger's ``print``/``watch`` entry point: runs under whatever
+        frame the interpreter is currently suspended in, with full access
+        to locals, parameters, and globals.
+        """
+        return self.eval(self.parse_source_expr(src))
+
+    def lvalue_source(self, src: str):
+        """Resolve a C-like expression string to an lvalue (for taking
+        addresses — the debugger's bank view needs the ``Ptr``, not the
+        loaded value)."""
+        return self._lvalue(self.parse_source_expr(src))
+
     # -- calls --------------------------------------------------------------------
 
     def call(self, name: str, args: Sequence[Any]) -> Any:
@@ -489,6 +545,9 @@ class Interp:
         if self.steps > self.max_steps:
             raise InterpError(f"step budget exceeded ({self.max_steps})")
         kind = type(s)
+        if (self.debug_sink is not None and kind is not A.Compound
+                and self.debug_sink.should_stop(self, s)):
+            yield DebugTrap(self, s)
         if kind is A.Compound:
             for st in s.stmts:
                 yield from self.exec_stmt(st)

@@ -1,0 +1,28 @@
+"""Interactive kernel debugger over the simulated device engine.
+
+``python -m repro.debug <suite/app> <kernel>`` attaches a gdb-style
+debugger to one kernel of a corpus application: breakpoints on line/col,
+stepping by work-item, by warp, and by barrier epoch (through
+:meth:`repro.device.sched.WarpScheduler.step_epoch`), ``print``/``watch``
+of lane locals via live C-like expression evaluation, a shared-memory
+*bank view* that makes the FT bank-conflict story visible, and
+``verbose``-style interception of device built-ins.
+
+Everything works without a TTY: ``--script file.dbg`` (or piped stdin)
+replays a command list and emits a byte-deterministic transcript, which
+is how the golden-transcript suite under ``tests/debug/`` and the
+``check_determinism.py --debug`` CI gate exercise every feature.
+
+Attaching is *observational by design*: with no breakpoints set, a run
+under the debugger is byte-identical (stdout, modeled times, span
+sequence) to a plain interpreter-tier run, and only the debugged kernel
+is demoted to the interpreter tier — sibling kernels keep their selected
+tier (recorded in :attr:`repro.device.engine.DeviceModule.debug_demotions`).
+"""
+
+from __future__ import annotations
+
+from .breakpoints import Breakpoint, BreakpointTable
+from .session import DebugSession, run_script
+
+__all__ = ["Breakpoint", "BreakpointTable", "DebugSession", "run_script"]

@@ -1,0 +1,81 @@
+"""Breakpoint table: line/col anchors over the kernel source.
+
+Breakpoints match the pre-execution trap check in
+:meth:`repro.clike.interp.Interp.exec_stmt`: a statement whose
+``node.loc`` line equals the breakpoint line (and column, when one was
+given) traps the lane *before* the statement runs — the same located
+``(line, col)`` spans the PR 2 diagnostics carry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+__all__ = ["Breakpoint", "BreakpointTable"]
+
+
+class Breakpoint:
+    """One line(/col) breakpoint with a gdb-style ordinal and hit count."""
+
+    __slots__ = ("num", "line", "col", "enabled", "hits")
+
+    def __init__(self, num: int, line: int, col: Optional[int] = None) -> None:
+        self.num = num
+        self.line = line
+        self.col = col
+        self.enabled = True
+        self.hits = 0
+
+    def matches(self, line: int, col: int) -> bool:
+        return (self.enabled and line == self.line
+                and (self.col is None or col == self.col))
+
+    def describe(self) -> str:
+        where = f"line {self.line}"
+        if self.col is not None:
+            where += f", col {self.col}"
+        return f"breakpoint {self.num} at {where} (hits: {self.hits})"
+
+
+class BreakpointTable:
+    """Ordered breakpoints; ordinals are never reused within a session."""
+
+    def __init__(self) -> None:
+        self._bps: List[Breakpoint] = []
+        self._next = 1
+
+    def add(self, line: int, col: Optional[int] = None) -> Breakpoint:
+        bp = Breakpoint(self._next, line, col)
+        self._next += 1
+        self._bps.append(bp)
+        return bp
+
+    def delete(self, num: int) -> bool:
+        for i, bp in enumerate(self._bps):
+            if bp.num == num:
+                del self._bps[i]
+                return True
+        return False
+
+    def clear(self) -> int:
+        n = len(self._bps)
+        self._bps.clear()
+        return n
+
+    def match(self, line: int, col: int) -> Optional[Breakpoint]:
+        for bp in self._bps:
+            if bp.matches(line, col):
+                return bp
+        return None
+
+    def lines(self) -> List[int]:
+        return sorted({bp.line for bp in self._bps})
+
+    def __iter__(self) -> Iterator[Breakpoint]:
+        return iter(self._bps)
+
+    def __len__(self) -> int:
+        return len(self._bps)
+
+    def __bool__(self) -> bool:
+        return bool(self._bps)

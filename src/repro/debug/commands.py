@@ -1,0 +1,266 @@
+"""Command parsing and dispatch for the debugger prompt.
+
+Each command is a small handler over the :class:`~repro.debug.session.
+DebugSession` state; ``dispatch`` returns True when the command resumes
+execution (the session's command loop hands control back to the drive
+loop).  The table below is also the single source for ``help`` and the
+DESIGN.md §13 command reference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .session import DebugCommandError, DebugSession
+
+__all__ = ["dispatch", "COMMANDS"]
+
+
+def _parse_line_col(arg: str) -> Tuple[int, Optional[int]]:
+    if not arg:
+        raise DebugCommandError("usage: break LINE[:COL]")
+    parts = arg.split(":")
+    try:
+        line = int(parts[0])
+        col = int(parts[1]) if len(parts) > 1 else None
+    except ValueError:
+        raise DebugCommandError(f"bad location {arg!r} (want LINE[:COL])")
+    if line < 1:
+        raise DebugCommandError("line numbers start at 1")
+    return line, col
+
+
+def _cmd_break(ses: DebugSession, arg: str, running: bool) -> bool:
+    line, col = _parse_line_col(arg)
+    ses.do_break(line, col)
+    return False
+
+
+def _cmd_delete(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not arg:
+        n = ses.bps.clear()
+        ses.emit(f"deleted {n} breakpoint{'s' if n != 1 else ''}")
+    else:
+        try:
+            num = int(arg)
+        except ValueError:
+            raise DebugCommandError(f"bad breakpoint number {arg!r}")
+        if not ses.bps.delete(num):
+            raise DebugCommandError(f"no breakpoint {num}")
+        ses.emit(f"deleted breakpoint {num}")
+    ses._rearm()
+    return False
+
+
+def _cmd_info(ses: DebugSession, arg: str, running: bool) -> bool:
+    ses.do_info()
+    return False
+
+
+def _cmd_lanes(ses: DebugSession, arg: str, running: bool) -> bool:
+    ses.do_lanes()
+    return False
+
+
+def _cmd_lane(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not arg:
+        ses.emit(f"focus: lane {ses.focus}")
+        return False
+    try:
+        lane = int(arg)
+    except ValueError:
+        raise DebugCommandError(f"bad lane {arg!r}")
+    if lane < 0:
+        raise DebugCommandError("lane ids start at 0")
+    ses.focus = lane
+    ses.emit(f"focus: lane {lane}")
+    return False
+
+
+def _cmd_warp(ses: DebugSession, arg: str, running: bool) -> bool:
+    sched = ses.require_running()
+    if not arg:
+        ses.emit(f"focus: warp {ses.focus // sched.warp_size} "
+                 f"(lane {ses.focus})")
+        return False
+    try:
+        warp = int(arg)
+    except ValueError:
+        raise DebugCommandError(f"bad warp {arg!r}")
+    lane = warp * sched.warp_size
+    if not 0 <= lane < sched.num_lanes:
+        raise DebugCommandError(
+            f"warp {warp} out of range (group has {sched.num_warps} warps)")
+    ses.focus = lane
+    ses.emit(f"focus: warp {warp} (lane {lane})")
+    return False
+
+
+def _cmd_print(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not arg:
+        raise DebugCommandError("usage: print EXPR")
+    ses.do_print(arg)
+    return False
+
+
+def _cmd_watch(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not arg:
+        raise DebugCommandError("usage: watch EXPR")
+    ses.do_watch(arg)
+    return False
+
+
+def _cmd_banks(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not arg:
+        raise DebugCommandError("usage: banks LVALUE-EXPR")
+    ses.do_banks(arg)
+    return False
+
+
+def _cmd_locals(ses: DebugSession, arg: str, running: bool) -> bool:
+    ses.do_locals()
+    return False
+
+
+def _cmd_backtrace(ses: DebugSession, arg: str, running: bool) -> bool:
+    ses.do_backtrace()
+    return False
+
+
+def _cmd_list(ses: DebugSession, arg: str, running: bool) -> bool:
+    line: Optional[int] = None
+    if arg:
+        try:
+            line = int(arg)
+        except ValueError:
+            raise DebugCommandError(f"bad line {arg!r}")
+    ses.do_list(line)
+    return False
+
+
+def _cmd_intercept(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not arg:
+        if ses.intercepts:
+            ses.emit("intercepting: " + ", ".join(sorted(ses.intercepts)))
+        else:
+            ses.emit("intercepting nothing (usage: intercept BUILTIN)")
+        return False
+    ses.do_intercept(arg)
+    return False
+
+
+def _cmd_continue(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not running:
+        raise DebugCommandError("the kernel is not stopped (use run)")
+    ses.resume_continue()
+    return True
+
+
+def _cmd_step(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not running:
+        raise DebugCommandError("the kernel is not stopped (use run)")
+    ses.resume_step()
+    return True
+
+
+def _cmd_stepw(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not running:
+        raise DebugCommandError("the kernel is not stopped (use run)")
+    ses.resume_stepw()
+    return True
+
+
+def _cmd_epoch(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not running:
+        raise DebugCommandError("the kernel is not stopped (use run)")
+    ses.resume_epoch()
+    return True
+
+
+def _cmd_run(ses: DebugSession, arg: str, running: bool) -> bool:
+    if running:
+        raise DebugCommandError("already running (use continue)")
+    if ses.started:
+        raise DebugCommandError("the program already ran")
+    return True
+
+
+def _cmd_quit(ses: DebugSession, arg: str, running: bool) -> bool:
+    if not ses.started:
+        ses.quit_requested = True
+        return True
+    ses._detach("quit")
+    return True
+
+
+def _cmd_help(ses: DebugSession, arg: str, running: bool) -> bool:
+    ses.emit("commands:")
+    for names, _needs_run, _fn, doc in _TABLE:
+        ses.emit(f"  {'/'.join(names):<22} {doc}")
+    return False
+
+
+#: (names+aliases, needs a live stop, handler, one-line help)
+_TABLE: List[Tuple[Tuple[str, ...], bool,
+                   Callable[[DebugSession, str, bool], bool], str]] = [
+    (("break", "b"), False, _cmd_break,
+     "set a breakpoint at LINE[:COL] of the kernel source"),
+    (("delete", "d"), False, _cmd_delete,
+     "delete breakpoint N (no arg: delete all)"),
+    (("run", "r"), False, _cmd_run,
+     "start the program (pre-run only)"),
+    (("continue", "c"), True, _cmd_continue,
+     "resume until the next breakpoint hit"),
+    (("step", "s"), True, _cmd_step,
+     "run to the next statement of the focus lane"),
+    (("stepw", "sw"), True, _cmd_stepw,
+     "run to the next statement of any lane in the focus warp"),
+    (("epoch", "e"), True, _cmd_epoch,
+     "finish the current barrier epoch (all lanes to the next barrier)"),
+    (("print", "p"), True, _cmd_print,
+     "evaluate a C expression on the focus lane"),
+    (("watch", "w"), False, _cmd_watch,
+     "re-evaluate EXPR at every stop, printing changes"),
+    (("banks",), True, _cmd_banks,
+     "shared-memory bank view of LVALUE-EXPR across the focus warp"),
+    (("locals",), True, _cmd_locals,
+     "all locals of the focus lane's innermost frame"),
+    (("backtrace", "bt"), True, _cmd_backtrace,
+     "call stack of the focus lane"),
+    (("lanes",), True, _cmd_lanes,
+     "scheduler state of every lane in the current group"),
+    (("lane",), False, _cmd_lane,
+     "set (or show) the focus lane"),
+    (("warp",), True, _cmd_warp,
+     "set (or show) the focus warp"),
+    (("list", "l"), False, _cmd_list,
+     "show kernel source around LINE (default: first breakpoint)"),
+    (("intercept",), False, _cmd_intercept,
+     "toggle verbose-style interception of a device built-in"),
+    (("info", "i"), False, _cmd_info,
+     "breakpoints, watches, intercepts, and tier demotions"),
+    (("quit", "q", "detach"), False, _cmd_quit,
+     "detach and run the rest of the program without stops"),
+    (("help", "h", "?"), False, _cmd_help,
+     "this table"),
+]
+
+COMMANDS: Dict[str, Tuple[bool,
+                          Callable[[DebugSession, str, bool], bool]]] = {}
+for _names, _needs, _fn, _doc in _TABLE:
+    for _n in _names:
+        COMMANDS[_n] = (_needs, _fn)
+
+
+def dispatch(ses: DebugSession, line: str, running: bool) -> bool:
+    """Run one command line; True means "resume execution"."""
+    verb, _, rest = line.partition(" ")
+    entry = COMMANDS.get(verb)
+    if entry is None:
+        raise DebugCommandError(f"unknown command {verb!r} (try help)")
+    needs_running, fn = entry
+    if needs_running and not running and verb not in (
+            "continue", "c", "step", "s", "stepw", "sw", "epoch", "e"):
+        raise DebugCommandError(
+            f"{verb!r} needs a live stop (set a breakpoint and run)")
+    return fn(ses, rest.strip(), running)

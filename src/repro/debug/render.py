@@ -1,0 +1,130 @@
+"""Deterministic rendering of debugger output.
+
+Every formatter here feeds the byte-stable transcripts the golden suite
+and ``check_determinism.py --debug`` diff, so nothing in this module may
+depend on object identity, wall time, or dict ordering beyond insertion
+order: values render through ``repr`` for floats (round-trip exact),
+pointers through their pool name + offset (allocation order is
+deterministic), and lane tables through sorted lane ids.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.values import Ptr, StructRef, Vec
+
+__all__ = ["render_value", "render_lane_states", "render_source_window",
+           "render_bank_view", "compact_ranges"]
+
+
+def render_value(v: Any) -> str:
+    """One value as it appears in ``print``/``watch``/``locals`` output."""
+    if v is None:
+        return "void"
+    if isinstance(v, bool):
+        return "1" if v else "0"
+    if isinstance(v, int):
+        return str(v)
+    if isinstance(v, float):
+        return repr(v)
+    if isinstance(v, Ptr):
+        return f"<{v.mem.name}+0x{v.off:x} {v.ctype}*>"
+    if isinstance(v, Vec):
+        inner = ", ".join(render_value(x) for x in v.vals)
+        return f"({v.ctype})({inner})"
+    if isinstance(v, StructRef):
+        return f"<struct {v.ctype} at {v.mem.name}+0x{v.off:x}>"
+    if isinstance(v, str):
+        return repr(v)
+    return f"<{type(v).__name__}>"
+
+
+def compact_ranges(ids: Sequence[int]) -> str:
+    """``[0,1,2,5,7,8]`` -> ``"0-2,5,7-8"`` (for lane/bank listings)."""
+    out: List[str] = []
+    run: List[int] = []
+    for i in sorted(ids):
+        if run and i == run[-1] + 1:
+            run.append(i)
+            continue
+        if run:
+            out.append(_run_str(run))
+        run = [i]
+    if run:
+        out.append(_run_str(run))
+    return ",".join(out)
+
+
+def _run_str(run: List[int]) -> str:
+    return str(run[0]) if len(run) == 1 else f"{run[0]}-{run[-1]}"
+
+
+def render_lane_states(states: Dict[int, str]) -> List[str]:
+    """Lane-state summary grouped by state, lanes as compact ranges."""
+    by_state: Dict[str, List[int]] = {}
+    for lane, st in sorted(states.items()):
+        by_state.setdefault(st, []).append(lane)
+    lines = [f"lanes: {len(states)} total"]
+    for st, lanes in sorted(by_state.items()):
+        lines.append(f"  {st:<8} {len(lanes):>4}  [{compact_ranges(lanes)}]")
+    return lines
+
+
+def render_source_window(source_lines: Sequence[str], center: int,
+                         context: int = 3,
+                         bp_lines: Sequence[int] = (),
+                         current: Optional[int] = None) -> List[str]:
+    """Numbered source window around ``center`` with ``B``/``>`` markers."""
+    lo = max(1, center - context)
+    hi = min(len(source_lines), center + context)
+    out: List[str] = []
+    bps = set(bp_lines)
+    for n in range(lo, hi + 1):
+        mark = ">" if n == current else " "
+        bmark = "B" if n in bps else " "
+        out.append(f" {mark}{bmark}{n:>4} | {source_lines[n - 1]}")
+    return out
+
+
+def render_bank_view(rows: Sequence[Tuple[int, Any]],
+                     accesses: Sequence[Tuple[int, int]],
+                     banks: int, native_mode: int, framework: str,
+                     warp_index: int, lo: int, hi: int) -> List[str]:
+    """The shared-memory bank view for one warp.
+
+    ``rows`` is ``(lane, info)`` where info is either an error string or
+    ``(offset, size, value_str)``.  The summary shows the transaction
+    count under *both* addressing modes — 32-bit (OpenCL on NVIDIA) vs
+    64-bit (CUDA) — which is exactly the FT asymmetry of Fig. 7b.
+    """
+    from ..device.banks import warp_transactions
+    lines = [f"bank view · warp {warp_index} (lanes {lo}-{hi - 1}) · "
+             f"{banks} banks · native mode {native_mode}-bit ({framework})"]
+    for lane, info in rows:
+        if isinstance(info, str):
+            lines.append(f"  lane {lane:>3}: {info}")
+            continue
+        off, size, value = info
+        wb = native_mode // 8
+        words = range(off // wb, (off + max(size, 1) - 1) // wb + 1)
+        bank_ids = sorted({w % banks for w in words})
+        lines.append(f"  lane {lane:>3}: local+0x{off:04x} {size:>2}B "
+                     f"bank{'s' if len(bank_ids) > 1 else ' '} "
+                     f"{compact_ranges(bank_ids):<7} = {value}")
+    if accesses:
+        # a warp instruction serializes once per distinct word in the
+        # most-contended bank: >1 means that bank replays — the paper's
+        # §6.2 "consecutive doubles under 32-bit addressing" story
+        for mode in (32, 64):
+            tx = warp_transactions(accesses, mode, banks)
+            tag = "32-bit (opencl)" if mode == 32 else "64-bit (cuda)  "
+            verdict = ("conflict-free" if tx <= 1
+                       else f"{tx}-way bank conflict ({tx - 1} "
+                            f"replay{'s' if tx > 2 else ''})")
+            star = " <- native" if mode == native_mode else ""
+            lines.append(f"  {tag}: {tx} transaction"
+                         f"{'s' if tx != 1 else ''} — {verdict}{star}")
+    else:
+        lines.append("  (no local-memory accesses to model)")
+    return lines

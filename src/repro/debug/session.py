@@ -1,0 +1,699 @@
+"""The debugger session: engine driver, lane sinks, and the stop loop.
+
+A :class:`DebugSession` owns the whole life of one debugging run:
+
+* it installs an engine-side :class:`~repro.device.engine.KernelDebugDriver`
+  for the dynamic extent of the app run, so every group of every launch of
+  the *debugged kernel* is driven through :meth:`DebugSession.drive`
+  instead of ``WarpScheduler.run()`` — sibling kernels are untouched;
+* each debugged lane runs under the interpreter with a :class:`_LaneSink`
+  attached (``Interp.debug_sink``), which decides per statement whether to
+  yield a :class:`~repro.clike.interp.DebugTrap`;
+* at every stop (trap, barrier epoch, group end) the session reads
+  commands from its script or TTY until a resume command, emitting
+  byte-deterministic transcript lines.
+
+Expression evaluation (``print``/``watch``/``banks``/``locals``) runs
+against the live suspended frames through
+:meth:`repro.clike.interp.Interp.eval_source`, with the launch counters
+swapped out (:meth:`DebugSession.quiet_eval`) so inspection never
+perturbs the perf model — the pure-observer differential suite holds the
+debugger to byte-identity with plain runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..apps.base import App
+from ..clike import ast as A
+from ..clike.interp import Interp
+from ..clike.parser import parse
+from ..device import engine
+from ..device.engine import KernelDebugDriver, WorkItemEnv, _LaunchEnv
+from ..device.perf import PerfCounters
+from ..device.sched import GeneratorProgram, WarpScheduler, warp_windows
+from ..errors import ReproError
+from ..observability import get_metrics, get_tracer
+from ..runtime.values import Ptr
+from .breakpoints import BreakpointTable
+from .render import (render_bank_view, render_lane_states,
+                     render_source_window, render_value)
+
+__all__ = ["DebugSession", "DebugCommandError", "run_script",
+           "DebugLaneProgram"]
+
+#: statement node classes a breakpoint can anchor to (the exec_stmt
+#: dispatch set minus Compound, which never traps)
+_STMT_KINDS = (A.ExprStmt, A.DeclStmt, A.If, A.For, A.While, A.DoWhile,
+               A.Return, A.Break, A.Continue, A.Switch)
+
+_PROMPT = "(repro-dbg) "
+
+
+class DebugCommandError(ReproError):
+    """A command failed; the session keeps running."""
+
+
+class DebugLaneProgram(GeneratorProgram):
+    """A lane program that keeps its interpreter and env inspectable."""
+
+    __slots__ = ("interp", "env")
+
+    def __init__(self, gen: Any, lanes: Sequence[int], interp: Interp,
+                 env: WorkItemEnv) -> None:
+        super().__init__(gen, lanes)
+        self.interp = interp
+        self.env = env
+
+
+class _LaneSink:
+    """Per-lane ``Interp.debug_sink``: decides stop-or-not per statement."""
+
+    __slots__ = ("session", "prog")
+
+    def __init__(self, session: "DebugSession", prog: DebugLaneProgram
+                 ) -> None:
+        self.session = session
+        self.prog = prog
+
+    def should_stop(self, interp: Interp, node: A.Node) -> bool:
+        ses = self.session
+        if not ses.armed:
+            return False
+        lane = self.prog.lanes[0]
+        mode = ses.mode
+        if mode == "step":
+            return lane == ses.step_lane
+        if mode == "stepw":
+            return ses.step_lo <= lane < ses.step_hi
+        if mode == "continue" and ses.bps:
+            line, col = node.loc
+            bp = ses.bps.match(line, col)
+            if bp is not None:
+                bp.hits += 1
+                ses.hit_bp = bp
+                return True
+        return False
+
+
+class _SessionDriver(KernelDebugDriver):
+    """Engine attachment forwarding to the session."""
+
+    def __init__(self, session: "DebugSession") -> None:
+        self.session = session
+
+    def wants(self, module: engine.DeviceModule, kernel_name: str) -> bool:
+        ses = self.session
+        return not ses.detached and kernel_name == ses.kernel
+
+    def make_env(self, launch: _LaunchEnv, stack: Any,
+                 group: Tuple[int, int, int],
+                 lid: Tuple[int, int, int]) -> WorkItemEnv:
+        return DebugWorkItemEnv(self.session, launch, stack, group, lid)
+
+    def wrap_program(self, prog: GeneratorProgram, interp: Interp,
+                     env: WorkItemEnv) -> GeneratorProgram:
+        dp = DebugLaneProgram(prog.gen, prog.lanes, interp, env)
+        interp.debug_sink = _LaneSink(self.session, dp)
+        return dp
+
+    def drive(self, launch: _LaunchEnv, sched: WarpScheduler) -> None:
+        self.session.drive(launch, sched)
+
+
+class DebugWorkItemEnv(WorkItemEnv):
+    """Work-item env with ``verbose``-style built-in interception."""
+
+    __slots__ = ("session",)
+
+    def __init__(self, session: "DebugSession", launch: _LaunchEnv,
+                 stack: Any, group: Tuple[int, int, int],
+                 lid: Tuple[int, int, int]) -> None:
+        super().__init__(launch, stack, group, lid)
+        self.session = session
+
+    def builtin(self, name: str):
+        fn = super().builtin(name)
+        ses = self.session
+        if (fn is None or ses.in_eval or ses.detached
+                or name not in ses.intercepts):
+            return fn
+        lane = self.linear_lid
+
+        def intercepted(*args: Any) -> Any:
+            res = fn(*args)
+            ses.emit_intercept(lane, name, args, res)
+            return res
+
+        return intercepted
+
+
+class DebugSession:
+    """One scripted or interactive debugging run over a corpus app."""
+
+    def __init__(self, app: App, kernel: str, *,
+                 mode: Optional[str] = None, device: str = "titan",
+                 exec_tier: Optional[str] = None,
+                 script: Optional[Sequence[str]] = None,
+                 out: Any = None, echo: bool = True,
+                 reader: Any = None) -> None:
+        self.app = app
+        self.kernel = kernel
+        self.mode_fw = mode or ("ocl" if app.has_opencl else "cuda")
+        if self.mode_fw not in ("ocl", "cuda"):
+            raise DebugCommandError(f"unknown mode {self.mode_fw!r} "
+                                    "(expected 'ocl' or 'cuda')")
+        self.device = device
+        self.exec_tier = exec_tier
+        self.out = out if out is not None else sys.stdout
+        self.echo = echo
+        self.script: Optional[List[str]] = (
+            list(script) if script is not None else None)
+        self._script_pos = 0
+        self.reader = reader  # interactive fallback: callable(prompt) -> str
+
+        # execution-control state
+        self.mode = "continue"      # continue | step | stepw | epoch
+        self.detached = False
+        self.armed = False          # cheap per-statement gate for the sink
+        self.step_lane = 0
+        self.step_lo = 0
+        self.step_hi = 0
+        self.focus = 0
+        self.hit_bp = None
+        self.in_eval = False
+        self.quit_requested = False
+        self.started = False
+
+        # user-visible tables
+        self.bps = BreakpointTable()
+        self.watches: List[str] = []
+        self._watch_last: Dict[int, str] = {}
+        self.intercepts: set = set()
+
+        # live-execution context (only while drive() is on the stack)
+        self.launch: Optional[_LaunchEnv] = None
+        self.sched: Optional[WarpScheduler] = None
+        self._launch_ids: List[int] = []
+        self._group_header: Optional[str] = None
+        self.saw_kernel = False
+
+        self.source = self._device_source()
+        self.source_lines = self.source.splitlines()
+        self.dialect = "opencl" if self.mode_fw == "ocl" else "cuda"
+        self.unit = parse(self.source, self.dialect)
+        self.kernel_names = [f.name for f in self.unit.functions()
+                             if f.is_kernel and f.body is not None]
+        if kernel not in self.kernel_names:
+            raise DebugCommandError(
+                f"no kernel {kernel!r} in {app.suite}/{app.name} "
+                f"({self.mode_fw}); have: {', '.join(self.kernel_names)}")
+        self.stmt_lines = self._collect_stmt_lines()
+
+    # -- source / static info --------------------------------------------------
+
+    def _device_source(self) -> str:
+        if self.mode_fw == "ocl":
+            if not self.app.has_opencl:
+                raise DebugCommandError(
+                    f"{self.app.suite}/{self.app.name} has no OpenCL version")
+            return self.app.opencl_kernels or ""
+        if not self.app.has_cuda or not self.app.cuda_runs_natively:
+            raise DebugCommandError(
+                f"{self.app.suite}/{self.app.name} has no runnable CUDA "
+                "version")
+        return self.app.cuda_source or ""
+
+    def _collect_stmt_lines(self) -> set:
+        lines: set = set()
+        for fn in self.unit.functions():
+            if fn.body is None:
+                continue
+            for node in A.walk(fn.body):
+                if isinstance(node, _STMT_KINDS) and node.loc != (0, 0):
+                    lines.add(node.loc[0])
+        return lines
+
+    # -- transcript output -----------------------------------------------------
+
+    def emit(self, text: str = "") -> None:
+        self.out.write(text + "\n")
+
+    def emit_intercept(self, lane: int, name: str, args: Tuple[Any, ...],
+                       result: Any) -> None:
+        rendered = ", ".join(render_value(a) for a in args)
+        self.emit(f"intercept: lane {lane} {name}({rendered}) "
+                  f"-> {render_value(result)}")
+        get_metrics().counter("debug.intercepted_calls").inc()
+
+    # -- command input ---------------------------------------------------------
+
+    def _next_command(self) -> Optional[str]:
+        if self.script is not None:
+            if self._script_pos >= len(self.script):
+                return None
+            cmd = self.script[self._script_pos]
+            self._script_pos += 1
+            if self.echo:
+                self.emit(_PROMPT + cmd)
+            return cmd
+        if self.reader is None:
+            return None
+        try:
+            return self.reader(_PROMPT)
+        except (EOFError, KeyboardInterrupt):
+            self.emit()
+            return None
+
+    # -- top level -------------------------------------------------------------
+
+    def run(self) -> Any:
+        """Run the whole session; returns the app's ``RunResult``."""
+        get_metrics().counter("debug.sessions").inc()
+        self.emit(f"repro.debug — {self.app.suite}/{self.app.name} "
+                  f"({self.mode_fw}) kernel {self.kernel!r} "
+                  f"on {self.device!r}"
+                  + (f" [tier {self.exec_tier}]" if self.exec_tier else ""))
+        self.emit(f"module kernels: {', '.join(self.kernel_names)} · "
+                  f"{len(self.source_lines)} source lines")
+        self._command_loop(running=False)
+        if self.quit_requested and not self.started:
+            self.emit("session ended before run")
+            return None
+        result = self._run_app()
+        if not self.saw_kernel:
+            self.emit(f"note: kernel {self.kernel!r} was never launched")
+        self.emit("--- program output ---")
+        for line in result.stdout.splitlines():
+            self.emit(line)
+        self.emit(f"exit {result.exit_code} · "
+                  f"{'ok' if result.ok else 'FAILED'} · "
+                  f"sim_time {result.sim_time!r}")
+        return result
+
+    def _run_app(self) -> Any:
+        # lazy: repro.harness pulls in both host frameworks
+        from ..harness.runner import run_cuda_app, run_opencl_app
+        self.started = True
+        self._rearm()
+        with get_tracer().span(f"debug:session:{self.kernel}",
+                               app=f"{self.app.suite}/{self.app.name}",
+                               mode=self.mode_fw), \
+                engine.debug_driver(_SessionDriver(self)):
+            if self.mode_fw == "ocl":
+                return run_opencl_app(self.app.name, self.app.opencl_host,
+                                      self.app.opencl_kernels,
+                                      device=self.device,
+                                      exec_tier=self.exec_tier)
+            return run_cuda_app(self.app.name, self.app.cuda_source,
+                                device=self.device,
+                                exec_tier=self.exec_tier)
+
+    # -- the drive loop (engine calls this per debugged group) -----------------
+
+    def drive(self, launch: _LaunchEnv, sched: WarpScheduler) -> None:
+        self.saw_kernel = True
+        self.launch = launch
+        self.sched = sched
+        if id(launch) not in self._launch_ids:
+            self._launch_ids.append(id(launch))
+        group = self._group_of(sched)
+        self._group_header = (
+            f"[{self.kernel} · launch {len(self._launch_ids)} · "
+            f"group {group} · grid {launch.grid} · block {launch.block}]")
+        try:
+            while True:
+                if self.detached or not self._wants_stops():
+                    while sched.step_epoch():
+                        if sched.trapped:      # race-proofing; sink is dark
+                            sched.resume_trapped()
+                    return
+                more = sched.step_epoch()
+                if sched.trapped:
+                    self._on_trap()
+                    sched.resume_trapped()
+                    continue
+                if self.mode == "epoch":
+                    self._on_epoch_stop(more)
+                    if not more:
+                        return
+                    continue
+                if not more:
+                    if self.mode in ("step", "stepw"):
+                        self._announce_group()
+                        self.emit(f"group {group} completed "
+                                  f"({sched.barrier_epochs} barrier epochs)")
+                        self._command_loop(running=True)
+                    return
+        finally:
+            self.launch = None
+            self.sched = None
+            self._group_header = None
+
+    def _wants_stops(self) -> bool:
+        return self.mode in ("step", "stepw", "epoch") or bool(self.bps)
+
+    def _rearm(self) -> None:
+        self.armed = (not self.detached
+                      and (self.mode in ("step", "stepw") or bool(self.bps)))
+
+    def _group_of(self, sched: WarpScheduler) -> Tuple[int, int, int]:
+        for p in sched.programs:
+            if isinstance(p, DebugLaneProgram):
+                return p.env.group
+        return (0, 0, 0)
+
+    def _announce_group(self) -> None:
+        if self._group_header is not None:
+            self.emit(self._group_header)
+            self._group_header = None
+
+    # -- stops -----------------------------------------------------------------
+
+    def _on_trap(self) -> None:
+        assert self.sched is not None
+        prog, trap = self.sched.trapped[0]
+        lane = prog.lanes[0]
+        self.focus = lane
+        line, col = trap.node.loc
+        warp = lane // self.sched.warp_size
+        self._announce_group()
+        if self.mode in ("step", "stepw"):
+            reason = "step"
+        else:
+            bp = self.hit_bp
+            reason = f"breakpoint {bp.num}" if bp is not None else "trap"
+        self.hit_bp = None
+        get_metrics().counter("debug.stops", reason=reason.split()[0]).inc()
+        with get_tracer().span("debug:stop", reason=reason.split()[0],
+                               lane=lane, line=line):
+            self.emit(f"stop: {reason} — lane {lane} (warp {warp}) "
+                      f"at line {line}, col {col}")
+            self._emit_source_line(line)
+            self._emit_watches()
+            self._command_loop(running=True)
+
+    def _on_epoch_stop(self, more: bool) -> None:
+        assert self.sched is not None
+        self._announce_group()
+        get_metrics().counter("debug.stops", reason="epoch").inc()
+        with get_tracer().span("debug:stop", reason="epoch",
+                               epoch=self.sched.barrier_epochs):
+            if more:
+                states = self.sched.lane_states()
+                at_barrier = sum(1 for s in states.values() if s == "barrier")
+                done = sum(1 for s in states.values() if s == "done")
+                self.emit(f"stop: barrier epoch "
+                          f"{self.sched.barrier_epochs} complete — "
+                          f"{at_barrier} at barrier, {done} done")
+            else:
+                self.emit(f"stop: group completed "
+                          f"({self.sched.barrier_epochs} barrier epochs)")
+            self._emit_watches()
+            self._command_loop(running=True)
+
+    def _emit_source_line(self, line: int) -> None:
+        if 1 <= line <= len(self.source_lines):
+            for text in render_source_window(
+                    self.source_lines, line, context=0,
+                    bp_lines=self.bps.lines(), current=line):
+                self.emit(text)
+
+    def _emit_watches(self) -> None:
+        for i, expr in enumerate(self.watches):
+            try:
+                val = render_value(self.eval_on(self.focus, expr))
+            except ReproError as e:
+                val = f"<error: {e}>"
+            last = self._watch_last.get(i)
+            if val != last:
+                suffix = f" (was {last})" if last is not None else ""
+                self.emit(f"watch {i + 1}: {expr} = {val}{suffix}")
+                self._watch_last[i] = val
+
+    # -- the command loop ------------------------------------------------------
+
+    def _command_loop(self, running: bool) -> None:
+        from .commands import dispatch
+        while True:
+            cmd = self._next_command()
+            if cmd is None:
+                if not self.detached:
+                    self._detach("end of script" if self.script is not None
+                                 else "end of input")
+                return
+            stripped = cmd.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            get_metrics().counter("debug.commands").inc()
+            try:
+                if dispatch(self, stripped, running):
+                    return
+            except DebugCommandError as e:
+                self.emit(f"error: {e}")
+            except ReproError as e:
+                self.emit(f"error: {type(e).__name__}: {e}")
+
+    def _detach(self, why: str) -> None:
+        self.detached = True
+        self.armed = False
+        if self.started:
+            self.emit(f"detaching ({why}): running to completion")
+        else:
+            self.emit(f"detaching ({why}): running without stops")
+
+    # -- live-state helpers (used by commands) ---------------------------------
+
+    def require_running(self) -> WarpScheduler:
+        if self.sched is None:
+            raise DebugCommandError(
+                "the kernel is not stopped here (this command needs a "
+                "live stop; set a breakpoint and run)")
+        return self.sched
+
+    def program_for(self, lane: int) -> DebugLaneProgram:
+        sched = self.require_running()
+        prog = sched.program_for_lane(lane)
+        if not isinstance(prog, DebugLaneProgram):
+            raise DebugCommandError(f"no debuggable program for lane {lane}")
+        return prog
+
+    def live_interp(self, lane: int) -> Interp:
+        prog = self.program_for(lane)
+        if not prog.interp.frames:
+            state = self.require_running().lane_state(lane)
+            raise DebugCommandError(
+                f"lane {lane} has no live frame (state: {state})")
+        return prog.interp
+
+    @contextmanager
+    def quiet_eval(self) -> Iterator[None]:
+        """Suppress counters/traces/intercepts while evaluating debugger
+        expressions, so inspection cannot perturb the perf model."""
+        launch = self.launch
+        assert launch is not None
+        self.in_eval = True
+        saved_counters = launch.counters
+        saved_tracing = launch.tracing
+        launch.counters = PerfCounters()
+        launch.tracing = False
+        try:
+            yield
+        finally:
+            launch.counters = saved_counters
+            launch.tracing = saved_tracing
+            self.in_eval = False
+
+    def eval_on(self, lane: int, src: str) -> Any:
+        interp = self.live_interp(lane)
+        get_metrics().counter("debug.evals").inc()
+        with self.quiet_eval():
+            return interp.eval_source(src)
+
+    def lvalue_ptr_on(self, lane: int, src: str) -> Tuple[Ptr, Any]:
+        """(pointer, loaded value) of an lvalue expression on one lane."""
+        interp = self.live_interp(lane)
+        with self.quiet_eval():
+            lv = interp.lvalue_source(src)
+            ptr = getattr(lv, "ptr", None)
+            if ptr is None:
+                raise DebugCommandError(
+                    f"{src!r} is not a memory lvalue on lane {lane} "
+                    "(registers have no address)")
+            return ptr, ptr.load()
+
+    # -- feature implementations (called from commands.py) ---------------------
+
+    def do_break(self, line: int, col: Optional[int]) -> None:
+        bp = self.bps.add(line, col)
+        where = f"line {line}" + (f", col {col}" if col is not None else "")
+        note = ""
+        if line not in self.stmt_lines:
+            note = " (note: no statement starts on that line)"
+        self.emit(f"breakpoint {bp.num} set at {where}{note}")
+        self._rearm()
+
+    def do_lanes(self) -> None:
+        sched = self.require_running()
+        for text in render_lane_states(sched.lane_states()):
+            self.emit(text)
+
+    def do_print(self, expr: str) -> None:
+        val = self.eval_on(self.focus, expr)
+        self.emit(f"lane {self.focus}: {expr} = {render_value(val)}")
+
+    def do_locals(self) -> None:
+        interp = self.live_interp(self.focus)
+        frame = interp.frames[-1]
+        fn = frame.fn.name if frame.fn is not None else "<toplevel>"
+        self.emit(f"lane {self.focus} locals in {fn}:")
+        with self.quiet_eval():
+            for name, val in frame.regs.items():
+                if name.startswith("__"):
+                    continue
+                self.emit(f"  {name} = {render_value(val)}")
+            for name, ptr in frame.memvars.items():
+                try:
+                    val = render_value(ptr.load())
+                except ReproError:
+                    val = f"<{ptr.ctype} at {ptr.mem.name}+0x{ptr.off:x}>"
+                self.emit(f"  {name} = {val}")
+
+    def do_backtrace(self) -> None:
+        interp = self.live_interp(self.focus)
+        self.emit(f"lane {self.focus} backtrace "
+                  f"({len(interp.frames)} frames, innermost first):")
+        for i, frame in enumerate(reversed(interp.frames)):
+            fn = frame.fn
+            name = fn.name if fn is not None else "<toplevel>"
+            loc = ""
+            if fn is not None and fn.body is not None:
+                line = A.best_loc(fn.body)[0]
+                if line:
+                    loc = f" (body at line {line})"
+            self.emit(f"  #{i} {name}{loc}")
+
+    def do_banks(self, expr: str) -> None:
+        sched = self.require_running()
+        launch = self.launch
+        assert launch is not None
+        spec = launch.device.spec
+        warp = self.focus // sched.warp_size
+        windows = warp_windows(sched.num_lanes, sched.warp_size)
+        lo, hi = windows[warp]
+        native_mode = spec.bank_mode(
+            "opencl" if self.mode_fw == "ocl" else "cuda")
+        rows: List[Tuple[int, Any]] = []
+        accesses: List[Tuple[int, int]] = []
+        for lane in range(lo, hi):
+            try:
+                ptr, val = self.lvalue_ptr_on(lane, expr)
+            except ReproError as e:
+                rows.append((lane, f"<{e}>"))
+                continue
+            if ptr.mem is not launch.local_mem:
+                rows.append((lane, f"<not local memory: {ptr.mem.name}>"))
+                continue
+            size = ptr.ctype.size or 4
+            accesses.append((ptr.off, size))
+            rows.append((lane, (ptr.off, size, render_value(val))))
+        for text in render_bank_view(rows, accesses, spec.shared_banks,
+                                     native_mode, self.mode_fw, warp, lo, hi):
+            self.emit(text)
+
+    def do_watch(self, expr: str) -> None:
+        self.watches.append(expr)
+        self.emit(f"watch {len(self.watches)}: {expr}")
+        if self.sched is not None:
+            self._emit_watches()
+
+    def do_intercept(self, name: str) -> None:
+        if name in self.intercepts:
+            self.intercepts.discard(name)
+            self.emit(f"intercept off: {name}")
+        else:
+            self.intercepts.add(name)
+            self.emit(f"intercept on: {name}")
+
+    def do_info(self) -> None:
+        self.emit(f"target: {self.app.suite}/{self.app.name} "
+                  f"({self.mode_fw}) kernel {self.kernel!r}")
+        if len(self.bps):
+            for bp in self.bps:
+                self.emit(f"  {bp.describe()}")
+        else:
+            self.emit("  no breakpoints")
+        for i, w in enumerate(self.watches):
+            self.emit(f"  watch {i + 1}: {w}")
+        for name in sorted(self.intercepts):
+            self.emit(f"  intercept: {name}")
+        if self.launch is not None:
+            mod = self.launch.kernel.module
+            for k, why in sorted(mod.debug_demotions.items()):
+                self.emit(f"  demoted: {k} — {why}")
+
+    def do_list(self, line: Optional[int]) -> None:
+        if line is not None:
+            center = line
+        elif len(self.bps):
+            center = self.bps.lines()[0]
+        else:
+            center = 1
+        center = max(1, min(center, len(self.source_lines)))
+        for text in render_source_window(self.source_lines, center,
+                                         context=5,
+                                         bp_lines=self.bps.lines()):
+            self.emit(text)
+
+    # resume commands ----------------------------------------------------------
+
+    def resume_continue(self) -> None:
+        self.mode = "continue"
+        self._rearm()
+
+    def resume_step(self) -> None:
+        get_metrics().counter("debug.steps", kind="lane").inc()
+        self.mode = "step"
+        self.step_lane = self.focus
+        self._rearm()
+
+    def resume_stepw(self) -> None:
+        get_metrics().counter("debug.steps", kind="warp").inc()
+        sched = self.require_running()
+        self.mode = "stepw"
+        warp = self.focus // sched.warp_size
+        self.step_lo = warp * sched.warp_size
+        self.step_hi = min(self.step_lo + sched.warp_size, sched.num_lanes)
+        self._rearm()
+
+    def resume_epoch(self) -> None:
+        get_metrics().counter("debug.steps", kind="epoch").inc()
+        self.mode = "epoch"
+        self._rearm()
+
+
+def run_script(suite: str, name: str, kernel: str,
+               commands: "str | Sequence[str]", *,
+               mode: Optional[str] = None, device: str = "titan",
+               exec_tier: Optional[str] = None,
+               echo: bool = True) -> Tuple[str, Any]:
+    """Run one scripted session; returns ``(transcript, RunResult)``.
+
+    The pytest-facing entry point: no TTY, output captured into a string,
+    byte-deterministic across from-scratch runs.
+    """
+    import io
+
+    from ..apps.base import get_app
+    script = (commands.splitlines() if isinstance(commands, str)
+              else list(commands))
+    out = io.StringIO()
+    app = get_app(suite, name)
+    ses = DebugSession(app, kernel, mode=mode, device=device,
+                       exec_tier=exec_tier, script=script, out=out,
+                       echo=echo)
+    result = ses.run()
+    return out.getvalue(), result

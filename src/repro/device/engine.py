@@ -41,7 +41,8 @@ from .specs import DeviceSpec, GTX_TITAN
 __all__ = ["Device", "DeviceModule", "KernelObject", "LocalArg",
            "load_module", "launch_kernel", "LaunchResult",
            "exec_tier_override", "resolve_exec_tier",
-           "LaunchProfile", "launch_profiling"]
+           "LaunchProfile", "launch_profiling",
+           "KernelDebugDriver", "debug_driver"]
 
 #: number of leading work-groups traced for bank-conflict / coalescing
 _SAMPLE_GROUPS = 2
@@ -175,6 +176,11 @@ class DeviceModule:
         self.vector_entries: Dict[str, Any] = {}
         #: kernel name -> reason it demoted to the scalar compiled form
         self.vector_fallbacks: Dict[str, str] = {}
+        #: kernel name -> reason the debugger demoted it to the
+        #: interpreter tier.  Scoped per *kernel*, like
+        #: ``compile_fallbacks``/``vector_fallbacks``: attaching the
+        #: debugger to one kernel never changes how its siblings run.
+        self.debug_demotions: Dict[str, str] = {}
         self._compile_attempted = False
 
     def get_kernel(self, name: str) -> KernelObject:
@@ -350,6 +356,53 @@ def launch_profiling(sink: List[LaunchProfile]) -> Iterator[None]:
         _PROFILE_SINK = prev
 
 
+class KernelDebugDriver:
+    """Engine attachment point for the interactive debugger.
+
+    :mod:`repro.debug` subclasses this and installs an instance through
+    :func:`debug_driver`.  For every group of every launch whose kernel
+    the driver :meth:`wants`, the engine (a) demotes *that kernel only*
+    to the interpreter tier (recorded in
+    :attr:`DeviceModule.debug_demotions`), (b) builds work-item
+    environments through :meth:`make_env` (built-in interception) and
+    lane programs through :meth:`wrap_program` (live-frame access), and
+    (c) hands the warp scheduler to :meth:`drive` instead of calling
+    ``sched.run()``.  The base class is a transparent no-op driver.
+    """
+
+    def wants(self, module: "DeviceModule", kernel_name: str) -> bool:
+        return False
+
+    def make_env(self, launch: "_LaunchEnv", stack: Stack,
+                 group: Tuple[int, int, int],
+                 lid: Tuple[int, int, int]) -> "WorkItemEnv":
+        return WorkItemEnv(launch, stack, group, lid)
+
+    def wrap_program(self, prog: GeneratorProgram, interp: Interp,
+                     env: "WorkItemEnv") -> GeneratorProgram:
+        return prog
+
+    def drive(self, launch: "_LaunchEnv", sched: WarpScheduler) -> None:
+        sched.run()
+
+
+#: when non-None, launches consult the driver's ``wants()`` per kernel
+_DEBUG_DRIVER: Optional[KernelDebugDriver] = None
+
+
+@contextmanager
+def debug_driver(driver: KernelDebugDriver) -> Iterator[None]:
+    """Attach a :class:`KernelDebugDriver` for the dynamic extent of the
+    block.  Not reentrant; the innermost driver wins."""
+    global _DEBUG_DRIVER
+    prev = _DEBUG_DRIVER
+    _DEBUG_DRIVER = driver
+    try:
+        yield
+    finally:
+        _DEBUG_DRIVER = prev
+
+
 @dataclass(frozen=True)
 class LocalArg:
     """Marker for a dynamically-sized local/shared argument
@@ -402,6 +455,9 @@ class _LaunchEnv:
         self.local_traces: List[Dict[int, List[Tuple[int, int]]]] = []
         self.global_traces: List[Dict[int, List[Tuple[int, int]]]] = []
         self._clock = 0
+        #: the attached KernelDebugDriver when this launch's kernel is
+        #: being debugged (set per group by _run_group), else None
+        self.debug_driver: Optional[KernelDebugDriver] = None
 
     def in_constant_range(self, ptr: Ptr) -> bool:
         return self.in_constant_off(ptr.mem, ptr.off)
@@ -785,6 +841,9 @@ def _run_group(launch: _LaunchEnv, group: Tuple[int, int, int],
     launch.local_bump = bump
 
     mod = kernel.module
+    drv = _DEBUG_DRIVER
+    debug = drv is not None and drv.wants(mod, kernel.fn.name)
+    launch.debug_driver = drv if debug else None
     entry = ventry = None
     if mod.exec_tier != "interp":
         if not mod._compile_attempted:
@@ -792,6 +851,16 @@ def _run_group(launch: _LaunchEnv, group: Tuple[int, int, int],
         entry = mod.compiled_entries.get(kernel.fn.name)
         if mod.exec_tier == "vector":
             ventry = mod.vector_entries.get(kernel.fn.name)
+    if debug and (entry is not None or ventry is not None):
+        # demote only the debugged kernel to the interpreter; sibling
+        # kernels in the same module keep their selected tier
+        if kernel.fn.name not in mod.debug_demotions:
+            mod.debug_demotions[kernel.fn.name] = (
+                f"debugger attached: demoted from tier {mod.exec_tier!r} "
+                "to interp")
+            get_metrics().counter("debug.demotions",
+                                  kernel=kernel.fn.name).inc()
+        entry = ventry = None
 
     if ventry is not None:
         # warp-vectorized tier: one program per warp, all lanes per step
@@ -814,18 +883,24 @@ def _run_group(launch: _LaunchEnv, group: Tuple[int, int, int],
                 stack = Stack(launch.private_mem)
                 stack.sp = linear * _PRIVATE_BYTES_PER_WI
                 stack_limit = stack.sp + _PRIVATE_BYTES_PER_WI
-                env = WorkItemEnv(launch, stack, group, (lx, ly, lz))
+                env = (drv.make_env(launch, stack, group, (lx, ly, lz))
+                       if debug else
+                       WorkItemEnv(launch, stack, group, (lx, ly, lz)))
                 wi_args = [dyn_ptrs.get(i, a) for i, a in enumerate(args)]
                 wi_args = _bind_args(kernel.fn, wi_args, env)
                 if entry is not None:
                     gen = entry(env, *wi_args)
+                    programs.append(GeneratorProgram(gen, (linear,)))
                 else:
                     interp = Interp(mod.unit, env, mod.dialect,
                                     annotate=False)
                     interp.global_slots = mod.symbols
                     interp.global_values = mod.globals_values
                     gen = interp.call_gen(kernel.fn, wi_args)
-                programs.append(GeneratorProgram(gen, (linear,)))
+                    prog = GeneratorProgram(gen, (linear,))
+                    if debug:
+                        prog = drv.wrap_program(prog, interp, env)
+                    programs.append(prog)
     _drive_group(launch, programs)
 
 
@@ -854,7 +929,12 @@ def _drive_group(launch: _LaunchEnv, programs: List[Any]) -> None:
     sched = WarpScheduler(programs, launch.device.spec.warp_size,
                           kernel_name=launch.kernel.name,
                           kernel_node=launch.kernel.fn)
-    epochs = sched.run()
+    drv = launch.debug_driver
+    if drv is not None:
+        drv.drive(launch, sched)
+        epochs = sched.barrier_epochs
+    else:
+        epochs = sched.run()
     launch.counters.barriers += epochs * sched.num_warps
     if os.environ.get("REPRO_WARP_SPANS", "0") not in ("", "0"):
         # per-warp epoch markers (default off: span differential tests

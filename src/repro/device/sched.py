@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..clike import ast as A
-from ..clike.interp import BARRIER, WarpOp
+from ..clike.interp import BARRIER, DebugTrap, WarpOp
 from ..errors import DeviceError
 
 __all__ = ["DONE", "LaneProgram", "GeneratorProgram", "WarpScheduler",
@@ -101,6 +101,24 @@ class WarpScheduler:
         self.active: List[LaneProgram] = list(self.programs)
         #: completed barrier epochs (phases in which >= 1 program waited)
         self.barrier_epochs = 0
+        #: programs parked at a :class:`DebugTrap`, as ``(program, trap)``
+        #: pairs.  Only populated while a debugger is attached; the first
+        #: trap stops the world, so at most one entry at a time in
+        #: practice.
+        self.trapped: List[Tuple[LaneProgram, DebugTrap]] = []
+        # mid-epoch resume state — step_epoch() is reentrant so a debug
+        # trap can pause an epoch and a later call pick it up where it
+        # stopped, with scheduling order byte-identical to the untrapped
+        # run
+        self._pending: List[Tuple[LaneProgram, Any]] = []
+        self._parked: Dict[LaneProgram, WarpOp] = {}
+        self._waiting: List[LaneProgram] = []
+        self._finished: List[LaneProgram] = []
+        self._epoch_open = False
+        self._lane_state: Dict[int, str] = {
+            lane: "new" for p in self.programs for lane in p.lanes}
+        self._lane_program: Dict[int, LaneProgram] = {
+            lane: p for p in self.programs for lane in p.lanes}
 
     @property
     def num_lanes(self) -> int:
@@ -112,7 +130,36 @@ class WarpScheduler:
 
     @property
     def done(self) -> bool:
-        return not self.active
+        return not self.active and not self._epoch_open
+
+    @property
+    def paused(self) -> bool:
+        """Whether the scheduler is stopped at a debug trap."""
+        return bool(self.trapped)
+
+    @property
+    def epoch_open(self) -> bool:
+        """Whether an epoch is mid-flight (paused at a trap or resumable)."""
+        return self._epoch_open
+
+    # -- lane introspection ----------------------------------------------------
+
+    def program_for_lane(self, lane: int) -> Optional[LaneProgram]:
+        return self._lane_program.get(lane)
+
+    def lane_state(self, lane: int) -> str:
+        """One of ``new`` / ``run`` / ``barrier`` / ``warp-op`` /
+        ``trapped`` / ``queued`` / ``done`` for the program covering
+        ``lane`` (multi-lane programs report their shared state)."""
+        return self._lane_state.get(lane, "unknown")
+
+    def lane_states(self) -> Dict[int, str]:
+        """Snapshot of every lane's state, keyed by linear lane id."""
+        return dict(sorted(self._lane_state.items()))
+
+    def _set_state(self, prog: LaneProgram, state: str) -> None:
+        for lane in prog.lanes:
+            self._lane_state[lane] = state
 
     # -- stepping -------------------------------------------------------------
 
@@ -123,30 +170,57 @@ class WarpScheduler:
         Returns True when at least one program suspended at a barrier —
         i.e. another epoch remains.  Raises :class:`DeviceError` on
         barrier divergence (some lanes waiting while others returned).
+
+        When a program yields a :class:`DebugTrap`, the epoch pauses
+        *stop-the-world*: the trapping program is parked on
+        :attr:`trapped`, every not-yet-resumed program stays queued, and
+        the call returns True with the epoch still open.  After
+        :meth:`resume_trapped`, the next ``step_epoch`` call continues the
+        same epoch in the original scheduling order.
         """
-        if not self.active:
-            return False
-        waiting: List[LaneProgram] = []
-        finished: List[LaneProgram] = []
-        pending: List[Tuple[LaneProgram, Any]] = [
-            (p, None) for p in self.active]
-        while pending:
-            suspended: Dict[LaneProgram, WarpOp] = {}
-            for prog, value in pending:
+        if not self._epoch_open:
+            if not self.active:
+                return False
+            self._pending = [(p, None) for p in self.active]
+            self._parked = {}
+            self._waiting = []
+            self._finished = []
+            self._epoch_open = True
+        while self._pending or self._parked:
+            batch = self._pending
+            self._pending = []
+            for i, (prog, value) in enumerate(batch):
+                self._set_state(prog, "run")
                 tok = prog.resume(value)
                 if tok is DONE:
-                    finished.append(prog)
+                    self._finished.append(prog)
+                    self._set_state(prog, "done")
                 elif tok is BARRIER:
-                    waiting.append(prog)
+                    self._waiting.append(prog)
+                    self._set_state(prog, "barrier")
                 elif isinstance(tok, WarpOp):
-                    suspended[prog] = tok
+                    self._parked[prog] = tok
+                    self._set_state(prog, "warp-op")
+                elif isinstance(tok, DebugTrap):
+                    # stop the world: everything not yet resumed in this
+                    # batch goes back to the front of the queue
+                    self.trapped.append((prog, tok))
+                    self._set_state(prog, "trapped")
+                    self._pending = batch[i + 1:] + self._pending
+                    return True
                 else:
                     raise DeviceError(f"unexpected yield token {tok!r}")
             # every still-running lane is now parked; lanes stopped at warp
             # primitives rendezvous and continue.  Progress is guaranteed:
             # a lone lane at a primitive resolves with itself as the only
             # participant.
-            pending = self._rendezvous(suspended) if suspended else []
+            if not self._pending and self._parked:
+                parked, self._parked = self._parked, {}
+                self._pending = self._rendezvous(parked)
+        self._epoch_open = False
+        waiting, finished = self._waiting, self._finished
+        self._waiting = []
+        self._finished = []
         if waiting and finished:
             raise self._divergence_error()
         if waiting:
@@ -154,10 +228,27 @@ class WarpScheduler:
         self.active = waiting
         return bool(waiting)
 
+    def resume_trapped(self, value: Any = None) -> int:
+        """Re-queue every trapped program at the front of the pending
+        queue (preserving trap order) so the paused epoch can continue;
+        returns how many programs were resumed."""
+        if not self.trapped:
+            return 0
+        moved = [(prog, value) for prog, _tok in self.trapped]
+        for prog, _ in moved:
+            self._set_state(prog, "queued")
+        self.trapped = []
+        self._pending = moved + self._pending
+        return len(moved)
+
     def run(self) -> int:
         """Run to completion; returns the number of barrier epochs."""
         while self.step_epoch():
-            pass
+            if self.trapped:
+                raise DeviceError(
+                    "debug trap reached outside a debugger drive loop — "
+                    "a debug sink is attached but nothing is driving the "
+                    "scheduler through repro.debug")
         return self.barrier_epochs
 
     # -- warp-primitive rendezvous ---------------------------------------------

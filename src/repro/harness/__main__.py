@@ -23,6 +23,14 @@ and renders the N-apps x M-devices portability matrix (modeled-time
 ratios + located Table-3 diagnostics); ``schedule`` places the profiled
 corpus jobs onto the fleet and reports the modeled-makespan win over the
 round-robin baseline.
+
+One debugger subcommand (``repro.debug``)::
+
+    python -m repro.harness debug npb/FT cffts1   # gdb-style kernel debugger
+
+equivalent to ``python -m repro.debug`` — breakpoints, lane/warp/epoch
+stepping, live C expressions, and the shared-memory bank view, scripted
+or interactive (see DESIGN.md §13).
 """
 
 from __future__ import annotations
@@ -97,8 +105,16 @@ def main_schedule(argv: List[str]) -> int:
     return 0
 
 
-#: farm subcommands dispatched before the flat translate-report CLI
-_SUBCOMMANDS = {"matrix": main_matrix, "schedule": main_schedule}
+def main_debug(argv: List[str]) -> int:
+    """Forward to the interactive kernel debugger (``repro.debug``)."""
+    # lazy: the debugger pulls in the device engine + apps corpus
+    from ..debug.__main__ import main as debug_main
+    return debug_main(argv)
+
+
+#: subcommands dispatched before the flat translate-report CLI
+_SUBCOMMANDS = {"matrix": main_matrix, "schedule": main_schedule,
+                "debug": main_debug}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

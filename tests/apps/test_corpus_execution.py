@@ -7,39 +7,30 @@ in full by the benchmark harness.)
 
 import pytest
 
-from repro.apps.base import all_apps
-from repro.harness import run_cuda_app, run_opencl_app
-
-_OPENCL_APPS = [a for a in all_apps() if a.has_opencl]
-_CUDA_APPS = [a for a in all_apps()
-              if a.has_cuda and a.cuda_runs_natively
-              and a.fail_category is None]
-# untranslatable-but-runnable CUDA apps (they appear as Fig. 7a's third bar)
-_CUDA_FAILING_RUNNABLE = [a for a in all_apps()
-                          if a.has_cuda and a.cuda_runs_natively
-                          and a.fail_category is not None]
+from tests.conftest import (cuda_apps, cuda_failing_runnable_apps,
+                            opencl_apps, run_app)
 
 
-@pytest.mark.parametrize("app", _OPENCL_APPS,
+@pytest.mark.parametrize("app", opencl_apps(),
                          ids=lambda a: f"{a.suite}-{a.name}")
 def test_opencl_native(app):
-    r = run_opencl_app(app.name, app.opencl_host, app.opencl_kernels)
+    r = run_app(app, "ocl")
     assert r.ok, f"{app.name}: {r.stdout[:200]}"
     assert r.sim_time > 0
 
 
-@pytest.mark.parametrize("app", _CUDA_APPS,
+@pytest.mark.parametrize("app", cuda_apps(),
                          ids=lambda a: f"{a.suite}-{a.name}")
 def test_cuda_native(app):
-    r = run_cuda_app(app.name, app.cuda_source)
+    r = run_app(app, "cuda")
     assert r.ok, f"{app.name}: {r.stdout[:200]}"
     assert r.sim_time > 0
 
 
-@pytest.mark.parametrize("app", _CUDA_FAILING_RUNNABLE,
+@pytest.mark.parametrize("app", cuda_failing_runnable_apps(),
                          ids=lambda a: f"{a.suite}-{a.name}")
 def test_untranslatable_cuda_still_runs_natively(app):
     """kmeans/leukocyte/hybridsort/nn/mummergpu/heartwall use features
     OpenCL cannot express — but they are perfectly valid CUDA."""
-    r = run_cuda_app(app.name, app.cuda_source)
+    r = run_app(app, "cuda")
     assert r.ok, f"{app.name}: {r.stdout[:200]}"

@@ -1,4 +1,14 @@
-"""Shared pytest configuration for the test tree."""
+"""Shared pytest configuration and corpus-enumeration helpers.
+
+The corpus fixture lists used to be duplicated per test module (the
+compile-differential suite and the execution smoke each grew their own
+``all_apps()`` filters and runners); they live here once now, and the
+debugger suite (``tests/debug/``) parametrizes over the same helpers so
+every suite agrees on what "the corpus" is.
+
+Import them as ``from tests.conftest import corpus_exec_cases`` — the
+test tree is a package and pytest runs from the repo root.
+"""
 
 from __future__ import annotations
 
@@ -6,5 +16,71 @@ from __future__ import annotations
 def pytest_addoption(parser):
     parser.addoption(
         "--regen-golden", action="store_true", default=False,
-        help="regenerate the checked-in golden translation snapshots under "
-             "tests/translate/golden/ instead of comparing against them")
+        help="regenerate the checked-in golden snapshots (translation "
+             "goldens under tests/translate/golden/, debugger transcripts "
+             "under tests/debug/golden/) instead of comparing against them")
+
+
+# ---------------------------------------------------------------------------
+# corpus enumeration (shared by device/apps/debug suites)
+# ---------------------------------------------------------------------------
+
+
+def find_app(suite, name):
+    """Look up one corpus app by (suite, name) or raise LookupError."""
+    from repro.apps.base import all_apps
+    for app in all_apps():
+        if app.suite == suite and app.name == name:
+            return app
+    raise LookupError(f"{suite}/{name} not in corpus")
+
+
+def opencl_apps():
+    """Every app with a native OpenCL version."""
+    from repro.apps.base import all_apps
+    return [a for a in all_apps() if a.has_opencl]
+
+
+def cuda_apps():
+    """Natively runnable CUDA apps that also translate (Fig. 7a bars 1-2)."""
+    from repro.apps.base import all_apps
+    return [a for a in all_apps()
+            if a.has_cuda and a.cuda_runs_natively
+            and a.fail_category is None]
+
+
+def cuda_failing_runnable_apps():
+    """Untranslatable-but-runnable CUDA apps (Fig. 7a's third bar)."""
+    from repro.apps.base import all_apps
+    return [a for a in all_apps()
+            if a.has_cuda and a.cuda_runs_natively
+            and a.fail_category is not None]
+
+
+def corpus_exec_cases():
+    """``pytest.param(app, mode)`` per natively runnable (app, framework).
+
+    The canonical sweep list: ids are ``suite/name-mode`` so failures read
+    the same across the differential, pure-observer, and smoke suites.
+    """
+    import pytest
+    from repro.apps.base import all_apps
+    cases = []
+    for app in all_apps():
+        if app.has_opencl:
+            cases.append(pytest.param(app, "ocl",
+                                      id=f"{app.suite}/{app.name}-ocl"))
+        if app.has_cuda and app.cuda_runs_natively:
+            cases.append(pytest.param(app, "cuda",
+                                      id=f"{app.suite}/{app.name}-cuda"))
+    return cases
+
+
+def run_app(app, mode, tier=None, device="titan"):
+    """Run one corpus app natively under ``mode`` ("ocl"/"cuda")."""
+    from repro.harness import run_cuda_app, run_opencl_app
+    if mode == "ocl":
+        return run_opencl_app(app.name, app.opencl_host, app.opencl_kernels,
+                              device=device, exec_tier=tier)
+    return run_cuda_app(app.name, app.cuda_source,
+                        device=device, exec_tier=tier)

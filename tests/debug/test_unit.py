@@ -1,0 +1,229 @@
+"""Unit tests for the debugger's building blocks.
+
+Session-level behaviour (stops, transcripts, bank views) is locked down
+by the golden suite; these cover the pieces in isolation — breakpoint
+table semantics, deterministic value rendering, and command dispatch.
+"""
+
+import io
+
+import pytest
+
+from repro.clike import types as T
+from repro.debug.breakpoints import Breakpoint, BreakpointTable
+from repro.debug.render import (compact_ranges, render_bank_view,
+                                render_lane_states, render_source_window,
+                                render_value)
+from repro.debug.session import DebugCommandError, DebugSession
+from repro.runtime.memory import Memory
+from repro.runtime.values import Ptr, Vec
+from tests.conftest import find_app
+
+
+# ---------------------------------------------------------------------------
+# breakpoints
+# ---------------------------------------------------------------------------
+
+
+class TestBreakpointTable:
+    def test_add_and_match(self):
+        t = BreakpointTable()
+        bp = t.add(11, None)
+        assert bp.num == 1
+        assert t.match(11, 36) is bp
+        assert t.match(12, 36) is None
+
+    def test_column_breakpoints_are_exact(self):
+        t = BreakpointTable()
+        t.add(11, 36)
+        assert t.match(11, 36) is not None
+        assert t.match(11, 5) is None
+
+    def test_disabled_breakpoints_do_not_match(self):
+        t = BreakpointTable()
+        bp = t.add(7, None)
+        bp.enabled = False
+        assert t.match(7, 1) is None
+
+    def test_ordinals_never_reused(self):
+        t = BreakpointTable()
+        t.add(1, None)
+        b2 = t.add(2, None)
+        assert t.delete(b2.num)
+        assert not t.delete(b2.num)
+        assert t.add(3, None).num == 3
+
+    def test_clear_reports_count(self):
+        t = BreakpointTable()
+        t.add(1, None)
+        t.add(2, None)
+        assert t.clear() == 2
+        assert len(t) == 0 and not t
+
+    def test_describe(self):
+        assert Breakpoint(1, 11).describe() == \
+            "breakpoint 1 at line 11 (hits: 0)"
+        assert "col 36" in Breakpoint(2, 11, 36).describe()
+
+
+# ---------------------------------------------------------------------------
+# rendering (the byte-determinism contract)
+# ---------------------------------------------------------------------------
+
+
+class TestRenderValue:
+    def test_scalars(self):
+        assert render_value(None) == "void"
+        assert render_value(True) == "1"
+        assert render_value(False) == "0"
+        assert render_value(42) == "42"
+        # floats render via repr: round-trip exact, no precision loss
+        assert render_value(0.1) == "0.1"
+        assert render_value(256.624) == repr(256.624)
+
+    def test_pointer_renders_pool_and_offset_never_identity(self):
+        mem = Memory("local", 1024)
+        s = render_value(Ptr(mem, 0x40, "double"))
+        assert s == "<local+0x40 double*>"
+        assert hex(id(mem)) not in s
+
+    def test_vector(self):
+        mem = Memory("global", 64)
+        v = Vec(T.VectorType(T.FLOAT, 2), [1.0, 2.0])
+        assert render_value(v) == f"({v.ctype})(1.0, 2.0)"
+        assert render_value(Ptr(mem, 0, "float")) == "<global+0x0 float*>"
+
+
+class TestCompactRanges:
+    def test_runs_and_singletons(self):
+        assert compact_ranges([0, 1, 2, 5, 7, 8]) == "0-2,5,7-8"
+        assert compact_ranges([3]) == "3"
+        assert compact_ranges([]) == ""
+
+    def test_input_order_does_not_matter(self):
+        assert compact_ranges([8, 7, 5, 2, 1, 0]) == "0-2,5,7-8"
+
+
+class TestLaneStates:
+    def test_grouped_by_state(self):
+        lines = render_lane_states({0: "trapped", 1: "run", 2: "run"})
+        assert lines[0] == "lanes: 3 total"
+        assert any("run" in ln and "[1-2]" in ln for ln in lines)
+        assert any("trapped" in ln and "[0]" in ln for ln in lines)
+
+
+class TestSourceWindow:
+    def test_markers(self):
+        src = [f"line {i}" for i in range(1, 8)]
+        out = render_source_window(src, 4, context=1, bp_lines=[3], current=4)
+        assert out == ["  B   3 | line 3",
+                       " >    4 | line 4",
+                       "      5 | line 5"]
+
+    def test_clamps_to_file(self):
+        out = render_source_window(["only"], 1, context=5)
+        assert len(out) == 1
+
+
+class TestBankView:
+    def test_ft_consecutive_doubles_conflict_only_in_32bit(self):
+        """The Fig. 7b asymmetry: a warp striding consecutive doubles
+        wraps the 32 banks after 16 lanes under 32-bit addressing (lane 0
+        and lane 16 collide on bank 0 with distinct words) but stays
+        conflict-free under 64-bit."""
+        rows = [(0, (0x00, 8, "1.0")), (16, (0x80, 8, "2.0"))]
+        accesses = [(0x00, 8), (0x80, 8)]
+        lines = render_bank_view(rows, accesses, banks=32, native_mode=32,
+                                 framework="opencl", warp_index=0,
+                                 lo=0, hi=32)
+        text = "\n".join(lines)
+        assert "2-way bank conflict (1 replay)" in text
+        assert "64-bit (cuda)  : 1 transaction — conflict-free" in text
+        assert "32-bit (opencl)" in text and "<- native" in text
+
+    def test_no_accesses(self):
+        lines = render_bank_view([], [], banks=32, native_mode=64,
+                                 framework="cuda", warp_index=0, lo=0, hi=32)
+        assert lines[-1] == "  (no local-memory accesses to model)"
+
+
+# ---------------------------------------------------------------------------
+# command dispatch
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def ft_session():
+    """A pre-run session (no program started) for command parsing tests."""
+    app = find_app("npb", "FT")
+    return DebugSession(app, "cffts1", out=io.StringIO(), script=[])
+
+
+class TestDispatch:
+    def _run(self, ses, line, running=False):
+        from repro.debug.commands import dispatch
+        ses.out = io.StringIO()
+        resume = dispatch(ses, line, running)
+        return resume, ses.out.getvalue()
+
+    def test_unknown_command(self, ft_session):
+        with pytest.raises(DebugCommandError, match="unknown command"):
+            self._run(ft_session, "frobnicate")
+
+    def test_break_rejects_bad_location(self, ft_session):
+        with pytest.raises(DebugCommandError, match="LINE"):
+            self._run(ft_session, "break eleven")
+        with pytest.raises(DebugCommandError, match="start at 1"):
+            self._run(ft_session, "break 0")
+
+    def test_break_warns_off_statement_lines(self, ft_session):
+        ft_session.bps.clear()
+        _, out = self._run(ft_session, "break 1")
+        assert "no statement starts on that line" in out
+        ft_session.bps.clear()
+
+    def test_stop_only_commands_require_a_stop(self, ft_session):
+        for cmd in ("print x", "locals", "backtrace", "lanes",
+                    "banks x", "warp 0"):
+            with pytest.raises(DebugCommandError):
+                self._run(ft_session, cmd, running=False)
+
+    def test_resume_commands_refuse_pre_run(self, ft_session):
+        for cmd in ("continue", "step", "stepw", "epoch"):
+            with pytest.raises(DebugCommandError, match="not stopped"):
+                self._run(ft_session, cmd, running=False)
+
+    def test_aliases_share_handlers(self):
+        from repro.debug.commands import COMMANDS
+        assert COMMANDS["b"] == COMMANDS["break"]
+        assert COMMANDS["bt"] == COMMANDS["backtrace"]
+        assert COMMANDS["q"] == COMMANDS["quit"] == COMMANDS["detach"]
+
+    def test_help_lists_every_command(self, ft_session):
+        from repro.debug.commands import _TABLE
+        _, out = self._run(ft_session, "help")
+        for names, _needs, _fn, _doc in _TABLE:
+            assert names[0] in out
+
+    def test_lane_focus(self, ft_session):
+        _, out = self._run(ft_session, "lane 7")
+        assert "focus: lane 7" in out
+        ft_session.focus = 0
+
+    def test_watch_registers(self, ft_session):
+        ft_session.watches.clear()
+        _, out = self._run(ft_session, "watch lre[lid]")
+        assert ft_session.watches == ["lre[lid]"]
+        ft_session.watches.clear()
+
+
+class TestSessionStatics:
+    def test_unknown_kernel_lists_candidates(self):
+        app = find_app("npb", "FT")
+        with pytest.raises(DebugCommandError, match="cffts1"):
+            DebugSession(app, "nosuch", out=io.StringIO())
+
+    def test_stmt_lines_cover_breakpointable_source(self, ft_session):
+        # line 11 is the FT partner computation the golden session breaks on
+        assert 11 in ft_session.stmt_lines
+        assert 1 not in ft_session.stmt_lines

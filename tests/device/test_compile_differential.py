@@ -14,32 +14,8 @@ simulated device is charged for.
 
 import pytest
 
-from repro.apps.base import all_apps
-from repro.harness import run_cuda_app, run_opencl_app
 from repro.observability import Tracer, activate
-
-# ---------------------------------------------------------------------------
-# corpus enumeration: one (app, mode) pair per natively runnable combination
-# ---------------------------------------------------------------------------
-
-
-def _corpus_cases():
-    cases = []
-    for app in all_apps():
-        if app.has_opencl:
-            cases.append(pytest.param(app, "ocl",
-                                      id=f"{app.suite}/{app.name}-ocl"))
-        if app.has_cuda and app.cuda_runs_natively:
-            cases.append(pytest.param(app, "cuda",
-                                      id=f"{app.suite}/{app.name}-cuda"))
-    return cases
-
-
-def _run(app, mode, tier):
-    if mode == "ocl":
-        return run_opencl_app(app.name, app.opencl_host, app.opencl_kernels,
-                              exec_tier=tier)
-    return run_cuda_app(app.name, app.cuda_source, exec_tier=tier)
+from tests.conftest import corpus_exec_cases, find_app, run_app as _run
 
 
 def _assert_identical(interp, compiled):
@@ -60,7 +36,7 @@ def _assert_identical(interp, compiled):
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("app,mode", _corpus_cases())
+@pytest.mark.parametrize("app,mode", corpus_exec_cases())
 def test_corpus_app_byte_identical(app, mode):
     """One interpreter reference run per app, compared against both
     generated-code tiers (scalar ``compiled`` and warp-batched
@@ -82,17 +58,10 @@ _TRACED = [("npb", "FT", "ocl"), ("rodinia", "gaussian", "ocl"),
            ("rodinia", "gaussian", "cuda")]
 
 
-def _find_app(suite, name):
-    for app in all_apps():
-        if app.suite == suite and app.name == name:
-            return app
-    raise LookupError(f"{suite}/{name} not in corpus")
-
-
 @pytest.mark.parametrize("suite,name,mode", _TRACED,
                          ids=[f"{s}/{n}-{m}" for s, n, m in _TRACED])
 def test_kernel_span_counts_match(suite, name, mode):
-    app = _find_app(suite, name)
+    app = find_app(suite, name)
     spans = {}
     for tier in ("interp", "compiled", "vector"):
         tracer = Tracer()
@@ -110,7 +79,7 @@ def test_kernel_span_counts_match(suite, name, mode):
 def test_auto_tier_matches_interp():
     """The ``auto`` tier (compile lazily, fall back per kernel) is also
     output-identical on a real app."""
-    app = _find_app("rodinia", "gaussian")
+    app = find_app("rodinia", "gaussian")
     interp = _run(app, "ocl", "interp")
     auto = _run(app, "ocl", "auto")
     _assert_identical(interp, auto)
@@ -125,7 +94,7 @@ def _load_vector_module(suite, name, mode):
     from repro.clike import parse
     from repro.device.engine import Device, load_module
     from repro.device.specs import GTX_TITAN
-    app = _find_app(suite, name)
+    app = find_app(suite, name)
     src = app.cuda_source if mode == "cuda" else app.opencl_kernels
     dialect = "cuda" if mode == "cuda" else "opencl"
     return load_module(Device(GTX_TITAN), parse(src, dialect), dialect,
@@ -160,7 +129,7 @@ def test_corpus_kernel_demotes_through_both_edges():
     assert "templ_kernel" in mod.vector_fallbacks
     assert mod.vector_fallbacks["templ_kernel"].startswith("scalar fallback:")
     assert "templ_kernel" not in mod.compiled_entries
-    app = _find_app("toolkit", "template")
+    app = find_app("toolkit", "template")
     interp = _run(app, "cuda", "interp")
     vector = _run(app, "cuda", "vector")
     _assert_identical(interp, vector)
